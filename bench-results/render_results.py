@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Render bench-results/*.csv into the RESULTS section of EXPERIMENTS.md.
+
+Usage: python3 bench-results/render_results.py >> EXPERIMENTS.md
+(Idempotence is the caller's job: run once against the run of record.)
+"""
+import csv
+import os
+import sys
+
+DIR = os.path.dirname(os.path.abspath(__file__))
+
+ORDER = [
+    ("fig4", "Fig. 4 — insertion, avg µs/record"),
+    ("fig5", "Fig. 5 — search, avg µs/record"),
+    ("fig6", "Fig. 6 — update, avg µs/record"),
+    ("fig7", "Fig. 7 — deletion, avg µs/record"),
+    ("fig8", "Fig. 8 — scaling, total seconds (Random @ 300/100)"),
+    ("fig9", "Fig. 9 — YCSB mixes, avg µs/op"),
+    ("fig10a", "Fig. 10a — range query, avg µs/record"),
+    ("fig10b", "Fig. 10b — memory consumption, MiB"),
+    ("fig10c", "Fig. 10c — build vs recovery, seconds"),
+    ("fig10d", "Fig. 10d — HART scaling, MIOPS"),
+    ("summary", "§I headline — best-case HART speedups (×)"),
+    ("extras", "Extras — radix family incl. WORT, avg µs/record"),
+    ("tail", "Tail — per-op percentiles, µs (Random @ 300/300)"),
+    ("profile", "Profile — PM events per op (modeled, Random @ 300/300)"),
+]
+
+
+def table(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        return "(empty)"
+    out = ["| " + " | ".join(rows[0]) + " |"]
+    out.append("|" + "---|" * len(rows[0]))
+    for r in rows[1:]:
+        out.append("| " + " | ".join(r) + " |")
+    return "\n".join(out)
+
+
+def main():
+    for name, title in ORDER:
+        path = os.path.join(DIR, f"{name}.csv")
+        if not os.path.exists(path):
+            print(f"<!-- {name}.csv missing -->", file=sys.stderr)
+            continue
+        print(f"\n## RESULTS:{name} — {title}\n")
+        print(table(path))
+
+
+if __name__ == "__main__":
+    main()

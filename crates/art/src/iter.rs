@@ -1,0 +1,145 @@
+//! Lazy in-order iteration over an [`Art`].
+//!
+//! [`Art::for_each`] is the cheapest full traversal, but callers that want
+//! to stop early (first-N queries, min/max, cursors) need a pull-based
+//! iterator. [`ArtIter`] keeps an explicit stack of pending children —
+//! O(height) space — and yields leaves in ascending key order without
+//! visiting more nodes than it must.
+
+use crate::node::{Child, Node};
+use crate::tree::Art;
+
+/// Lazy in-order leaf iterator. Created by [`Art::iter`].
+pub struct ArtIter<'a, L> {
+    /// Children still to be expanded; the next leaf in order is reached by
+    /// expanding the top of the stack.
+    stack: Vec<&'a Child<L>>,
+}
+
+impl<'a, L> ArtIter<'a, L> {
+    pub(crate) fn new(root: Option<&'a Child<L>>) -> ArtIter<'a, L> {
+        ArtIter { stack: root.into_iter().collect() }
+    }
+
+    /// Push `node`'s children in *reverse* order so the smallest edge is
+    /// popped first.
+    fn push_children(&mut self, node: &'a Node<L>) {
+        let mut children: Vec<&'a Child<L>> = Vec::with_capacity(node.count as usize);
+        node.for_each_child(|_, c| children.push(c));
+        for c in children.into_iter().rev() {
+            self.stack.push(c);
+        }
+    }
+}
+
+impl<'a, L> Iterator for ArtIter<'a, L> {
+    type Item = &'a L;
+
+    fn next(&mut self) -> Option<&'a L> {
+        while let Some(c) = self.stack.pop() {
+            match c {
+                Child::Leaf(l) => return Some(l),
+                Child::Inner(n) => self.push_children(n),
+            }
+        }
+        None
+    }
+}
+
+impl<L> Art<L> {
+    /// Lazy in-order iterator over all leaves (ascending key order).
+    pub fn iter(&self) -> ArtIter<'_, L> {
+        ArtIter::new(self.root_child())
+    }
+
+    /// The leaf with the smallest key, if any — O(height), no full scan.
+    pub fn min(&self) -> Option<&L> {
+        self.iter().next()
+    }
+
+    /// The leaf with the largest key, if any — O(height) via a rightmost
+    /// descent.
+    pub fn max(&self) -> Option<&L> {
+        let mut cur = self.root_child()?;
+        loop {
+            match cur {
+                Child::Leaf(l) => return Some(l),
+                Child::Inner(n) => {
+                    let mut last = None;
+                    n.for_each_child(|_, c| last = Some(c));
+                    cur = last.expect("inner nodes have children");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Art, OwnedLeaf, SliceResolver};
+
+    const R: SliceResolver = SliceResolver;
+
+    fn tree(keys: &[&str]) -> Art<OwnedLeaf> {
+        let mut t = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), i as u64));
+        }
+        t
+    }
+
+    #[test]
+    fn iterates_in_key_order() {
+        let t = tree(&["pear", "apple", "app", "banana", "z", "a"]);
+        let got: Vec<&[u8]> = t.iter().map(|l| l.key.as_slice()).collect();
+        assert_eq!(got, vec![b"a".as_slice(), b"app", b"apple", b"banana", b"pear", b"z"]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t: Art<OwnedLeaf> = Art::new();
+        assert!(t.iter().next().is_none());
+        assert!(t.min().is_none());
+        assert!(t.max().is_none());
+
+        let t = tree(&["only"]);
+        assert_eq!(t.iter().count(), 1);
+        assert_eq!(t.min().unwrap().key.as_slice(), b"only");
+        assert_eq!(t.max().unwrap().key.as_slice(), b"only");
+    }
+
+    #[test]
+    fn early_termination_is_lazy() {
+        let mut t = Art::new();
+        for i in 0..10_000u64 {
+            let k = format!("{i:06}");
+            t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), i));
+        }
+        // take(3) must not visit all 10k leaves (behavioural check: it
+        // returns the 3 smallest, and nothing panics on a partial walk).
+        let first: Vec<u64> = t.iter().take(3).map(|l| l.val).collect();
+        assert_eq!(first, vec![0, 1, 2]);
+        assert_eq!(t.min().unwrap().val, 0);
+        assert_eq!(t.max().unwrap().val, 9_999);
+    }
+
+    #[test]
+    fn iter_matches_for_each() {
+        let t = tree(&["d", "b", "c", "a", "ab", "abc", "abcd"]);
+        let mut via_for_each = Vec::new();
+        t.for_each(|l| via_for_each.push(l.val));
+        let via_iter: Vec<u64> = t.iter().map(|l| l.val).collect();
+        assert_eq!(via_for_each, via_iter);
+    }
+
+    #[test]
+    fn min_max_after_removals() {
+        let mut t = tree(&["a", "m", "z"]);
+        assert_eq!(t.min().unwrap().key.as_slice(), b"a");
+        assert_eq!(t.max().unwrap().key.as_slice(), b"z");
+        t.remove(&R, b"a");
+        t.remove(&R, b"z");
+        assert_eq!(t.min().unwrap().key.as_slice(), b"m");
+        assert_eq!(t.max().unwrap().key.as_slice(), b"m");
+    }
+}

@@ -1,0 +1,62 @@
+//! A volatile (DRAM-resident) Adaptive Radix Tree.
+//!
+//! This is the internal-node layer HART keeps in DRAM (§III-A.2 "HART keeps
+//! the leaf nodes on PM while leaves all internal nodes and the hash table on
+//! DRAM") and the algorithmic base of the radix-tree baselines. It follows
+//! Leis et al., "The Adaptive Radix Tree: ARTful Indexing for Main-Memory
+//! Databases" (ICDE 2013):
+//!
+//! * four adaptive node types — NODE4, NODE16, NODE48, NODE256 — grown and
+//!   shrunk as fan-out changes;
+//! * **path compression**: single-child chains are collapsed into a per-node
+//!   prefix (complete prefixes — keys are ≤ 24 bytes so they always fit
+//!   inline, no optimistic re-check needed);
+//! * **lazy expansion**: a subtree containing one key is just a leaf; inner
+//!   nodes materialize only when two keys diverge.
+//!
+//! # Leaves are external
+//!
+//! The tree is generic over the leaf handle `L`. HART stores persistent
+//! pointers whose key bytes live in emulated persistent memory; unit tests
+//! store owned keys. The tree itself never interprets `L` — whenever it
+//! needs a leaf's key (for lazy-expansion splits and final comparisons) it
+//! asks the caller-supplied [`KeyResolver`], so PM read latency is charged
+//! on exactly the accesses a real HART would make.
+//!
+//! # Terminated keys
+//!
+//! Like the libart implementation the paper builds on, keys are logically
+//! suffixed with a `0` terminator so a key that is a strict prefix of
+//! another key terminates in its own leaf (child slot 0 of the node where
+//! the longer key continues). Keys must therefore contain no interior NUL
+//! bytes — enforced by `hart_kv::Key`. The *empty* ART key (a full key
+//! shorter than HART's hash-prefix length) is handled naturally: its
+//! terminated view is the single byte `0`.
+
+//! # Example
+//!
+//! ```
+//! use hart_art::{Art, OwnedLeaf, SliceResolver};
+//!
+//! let mut art = Art::new();
+//! let r = SliceResolver;
+//! art.insert(&r, b"romane", OwnedLeaf::new(b"romane", 1));
+//! art.insert(&r, b"romanus", OwnedLeaf::new(b"romanus", 2));
+//! art.insert(&r, b"romulus", OwnedLeaf::new(b"romulus", 3));
+//!
+//! assert_eq!(art.search(&r, b"romanus").unwrap().val, 2);
+//! assert_eq!(art.search(&r, b"roman"), None);
+//!
+//! // In-order traversal is sorted.
+//! let mut keys = Vec::new();
+//! art.for_each(|l| keys.push(l.key.as_slice().to_vec()));
+//! assert_eq!(keys, vec![b"romane".to_vec(), b"romanus".to_vec(), b"romulus".to_vec()]);
+//! ```
+
+mod iter;
+mod node;
+mod tree;
+
+pub use iter::ArtIter;
+pub use node::NodeKind;
+pub use tree::{Art, KeyResolver, OwnedLeaf, SliceResolver};

@@ -1,0 +1,555 @@
+//! The four adaptive inner-node types of ART.
+//!
+//! Each node stores a compressed path prefix (complete — max key length is
+//! 24 bytes, so prefixes always fit inline) and a set of `(byte, child)`
+//! edges in one of four representations chosen by fan-out:
+//!
+//! | kind    | capacity | representation                                  |
+//! |---------|----------|-------------------------------------------------|
+//! | NODE4   | 4        | sorted parallel `keys[4]` / `children[4]` arrays |
+//! | NODE16  | 16       | sorted parallel arrays, binary/linear search     |
+//! | NODE48  | 48       | 256-entry byte index into a 48-slot child array  |
+//! | NODE256 | 256      | direct 256-slot child array                      |
+//!
+//! Nodes grow on overflow and shrink on underflow; a NODE4 that drops to a
+//! single child is collapsed into that child by the tree layer (path
+//! compression on delete).
+
+use hart_kv::InlineKey;
+use std::mem::size_of;
+
+/// Which adaptive representation a node currently uses. Exposed for the
+/// memory-consumption experiment (Fig. 10b) and for white-box tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    Node4,
+    Node16,
+    Node48,
+    Node256,
+}
+
+impl NodeKind {
+    /// Index 0..4, for histograms.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            NodeKind::Node4 => 0,
+            NodeKind::Node16 => 1,
+            NodeKind::Node48 => 2,
+            NodeKind::Node256 => 3,
+        }
+    }
+}
+
+/// An edge target: either an external leaf handle or a boxed inner node.
+pub(crate) enum Child<L> {
+    Leaf(L),
+    Inner(Box<Node<L>>),
+}
+
+impl<L> Child<L> {
+    /// Heap bytes attributable to this child (recursive), for Fig. 10b.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Child::Leaf(_) => 0,
+            Child::Inner(n) => n.heap_bytes() + size_of::<Node<L>>(),
+        }
+    }
+}
+
+const NO_SLOT: u8 = 0xFF;
+
+/// Inner representation. Variants are boxed so a [`Node`] is small no matter
+/// which representation it currently uses.
+pub(crate) enum Repr<L> {
+    N4(Box<N4<L>>),
+    N16(Box<N16<L>>),
+    N48(Box<N48<L>>),
+    N256(Box<N256<L>>),
+}
+
+pub(crate) struct N4<L> {
+    pub keys: [u8; 4],
+    pub children: [Option<Child<L>>; 4],
+}
+
+pub(crate) struct N16<L> {
+    pub keys: [u8; 16],
+    pub children: [Option<Child<L>>; 16],
+}
+
+pub(crate) struct N48<L> {
+    /// Maps edge byte -> slot in `children`; `NO_SLOT` = absent.
+    pub index: [u8; 256],
+    pub children: [Option<Child<L>>; 48],
+}
+
+pub(crate) struct N256<L> {
+    pub children: Box<[Option<Child<L>>; 256]>,
+}
+
+/// An inner node: compressed path prefix + adaptive edge set.
+pub(crate) struct Node<L> {
+    /// Compressed path consumed before this node's edge byte.
+    pub prefix: InlineKey,
+    /// Number of live edges.
+    pub count: u16,
+    pub repr: Repr<L>,
+}
+
+fn empty_children<L, const N: usize>() -> [Option<Child<L>>; N] {
+    std::array::from_fn(|_| None)
+}
+
+impl<L> Node<L> {
+    /// New empty NODE4 with the given prefix.
+    pub fn new4(prefix: InlineKey) -> Node<L> {
+        Node {
+            prefix,
+            count: 0,
+            repr: Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
+        }
+    }
+
+    /// Current representation kind.
+    pub fn kind(&self) -> NodeKind {
+        match &self.repr {
+            Repr::N4(_) => NodeKind::Node4,
+            Repr::N16(_) => NodeKind::Node16,
+            Repr::N48(_) => NodeKind::Node48,
+            Repr::N256(_) => NodeKind::Node256,
+        }
+    }
+
+    /// Heap bytes of this node's representation plus all descendants
+    /// (excluding the `Node` header itself, which the caller sizes).
+    pub fn heap_bytes(&self) -> usize {
+        let own = match &self.repr {
+            Repr::N4(_) => size_of::<N4<L>>(),
+            Repr::N16(_) => size_of::<N16<L>>(),
+            Repr::N48(_) => size_of::<N48<L>>(),
+            Repr::N256(_) => size_of::<N256<L>>() + size_of::<[Option<Child<L>>; 256]>(),
+        };
+        let mut total = own;
+        self.for_each_child(|_, c| total += c.heap_bytes());
+        total
+    }
+
+    /// Look up the child for edge byte `b`.
+    pub fn get(&self, b: u8) -> Option<&Child<L>> {
+        match &self.repr {
+            Repr::N4(n) => {
+                let c = self.count as usize;
+                n.keys[..c].iter().position(|&k| k == b).and_then(|i| n.children[i].as_ref())
+            }
+            Repr::N16(n) => {
+                let c = self.count as usize;
+                n.keys[..c].iter().position(|&k| k == b).and_then(|i| n.children[i].as_ref())
+            }
+            Repr::N48(n) => {
+                let slot = n.index[b as usize];
+                if slot == NO_SLOT {
+                    None
+                } else {
+                    n.children[slot as usize].as_ref()
+                }
+            }
+            Repr::N256(n) => n.children[b as usize].as_ref(),
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, b: u8) -> Option<&mut Child<L>> {
+        match &mut self.repr {
+            Repr::N4(n) => {
+                let c = self.count as usize;
+                match n.keys[..c].iter().position(|&k| k == b) {
+                    Some(i) => n.children[i].as_mut(),
+                    None => None,
+                }
+            }
+            Repr::N16(n) => {
+                let c = self.count as usize;
+                match n.keys[..c].iter().position(|&k| k == b) {
+                    Some(i) => n.children[i].as_mut(),
+                    None => None,
+                }
+            }
+            Repr::N48(n) => {
+                let slot = n.index[b as usize];
+                if slot == NO_SLOT {
+                    None
+                } else {
+                    n.children[slot as usize].as_mut()
+                }
+            }
+            Repr::N256(n) => n.children[b as usize].as_mut(),
+        }
+    }
+
+    /// Insert edge `b -> child`. Grows the representation when full.
+    ///
+    /// # Panics
+    /// Panics (debug) if `b` is already present — callers route duplicates
+    /// through `get_mut`.
+    pub fn add(&mut self, b: u8, child: Child<L>) {
+        debug_assert!(self.get(b).is_none(), "duplicate edge byte {b}");
+        if self.is_full() {
+            self.grow();
+        }
+        let count = self.count as usize;
+        match &mut self.repr {
+            Repr::N4(n) => {
+                // Keep keys sorted for ordered traversal.
+                let pos = n.keys[..count].iter().position(|&k| k > b).unwrap_or(count);
+                for i in (pos..count).rev() {
+                    n.keys[i + 1] = n.keys[i];
+                    n.children[i + 1] = n.children[i].take();
+                }
+                n.keys[pos] = b;
+                n.children[pos] = Some(child);
+            }
+            Repr::N16(n) => {
+                let pos = n.keys[..count].iter().position(|&k| k > b).unwrap_or(count);
+                for i in (pos..count).rev() {
+                    n.keys[i + 1] = n.keys[i];
+                    n.children[i + 1] = n.children[i].take();
+                }
+                n.keys[pos] = b;
+                n.children[pos] = Some(child);
+            }
+            Repr::N48(n) => {
+                let slot = n.children.iter().position(|c| c.is_none()).expect("N48 has room");
+                n.index[b as usize] = slot as u8;
+                n.children[slot] = Some(child);
+            }
+            Repr::N256(n) => {
+                n.children[b as usize] = Some(child);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Remove the edge for byte `b`, returning its child. Shrinks the
+    /// representation on underflow (with hysteresis so add/remove at a
+    /// boundary does not thrash).
+    pub fn remove(&mut self, b: u8) -> Option<Child<L>> {
+        let count = self.count as usize;
+        let removed = match &mut self.repr {
+            Repr::N4(n) => {
+                let pos = n.keys[..count].iter().position(|&k| k == b)?;
+                let child = n.children[pos].take();
+                for i in pos..count - 1 {
+                    n.keys[i] = n.keys[i + 1];
+                    n.children[i] = n.children[i + 1].take();
+                }
+                child
+            }
+            Repr::N16(n) => {
+                let pos = n.keys[..count].iter().position(|&k| k == b)?;
+                let child = n.children[pos].take();
+                for i in pos..count - 1 {
+                    n.keys[i] = n.keys[i + 1];
+                    n.children[i] = n.children[i + 1].take();
+                }
+                child
+            }
+            Repr::N48(n) => {
+                let slot = n.index[b as usize];
+                if slot == NO_SLOT {
+                    return None;
+                }
+                n.index[b as usize] = NO_SLOT;
+                n.children[slot as usize].take()
+            }
+            Repr::N256(n) => n.children[b as usize].take(),
+        };
+        let removed = removed?;
+        self.count -= 1;
+        self.maybe_shrink();
+        Some(removed)
+    }
+
+    /// If exactly one edge remains, take it out (with its byte) so the tree
+    /// layer can collapse this node into the child (delete-side path
+    /// compression).
+    pub fn take_only_child(&mut self) -> Option<(u8, Child<L>)> {
+        if self.count != 1 {
+            return None;
+        }
+        let b = self.first_byte().expect("count==1 implies an edge");
+        let child = self.remove(b).expect("edge must exist");
+        Some((b, child))
+    }
+
+    /// Smallest edge byte, if any.
+    pub fn first_byte(&self) -> Option<u8> {
+        match &self.repr {
+            Repr::N4(n) => (self.count > 0).then(|| n.keys[0]),
+            Repr::N16(n) => (self.count > 0).then(|| n.keys[0]),
+            Repr::N48(n) => (0..=255u8).find(|&b| n.index[b as usize] != NO_SLOT),
+            Repr::N256(n) => (0..=255u8).find(|&b| n.children[b as usize].is_some()),
+        }
+    }
+
+    /// Visit children in ascending edge-byte order.
+    pub fn for_each_child<'a, F: FnMut(u8, &'a Child<L>)>(&'a self, mut f: F) {
+        match &self.repr {
+            Repr::N4(n) => {
+                for i in 0..self.count as usize {
+                    f(n.keys[i], n.children[i].as_ref().expect("live slot"));
+                }
+            }
+            Repr::N16(n) => {
+                for i in 0..self.count as usize {
+                    f(n.keys[i], n.children[i].as_ref().expect("live slot"));
+                }
+            }
+            Repr::N48(n) => {
+                for b in 0..=255u8 {
+                    let slot = n.index[b as usize];
+                    if slot != NO_SLOT {
+                        f(b, n.children[slot as usize].as_ref().expect("live slot"));
+                    }
+                }
+            }
+            Repr::N256(n) => {
+                for b in 0..=255u8 {
+                    if let Some(c) = n.children[b as usize].as_ref() {
+                        f(b, c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        let cap = match &self.repr {
+            Repr::N4(_) => 4,
+            Repr::N16(_) => 16,
+            Repr::N48(_) => 48,
+            Repr::N256(_) => 256,
+        };
+        self.count as usize == cap
+    }
+
+    fn grow(&mut self) {
+        let count = self.count as usize;
+        self.repr = match std::mem::replace(
+            &mut self.repr,
+            Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
+        ) {
+            Repr::N4(mut old) => {
+                let mut n = Box::new(N16 { keys: [0; 16], children: empty_children() });
+                for i in 0..count {
+                    n.keys[i] = old.keys[i];
+                    n.children[i] = old.children[i].take();
+                }
+                Repr::N16(n)
+            }
+            Repr::N16(mut old) => {
+                let mut n = Box::new(N48 { index: [NO_SLOT; 256], children: empty_children() });
+                for i in 0..count {
+                    n.index[old.keys[i] as usize] = i as u8;
+                    n.children[i] = old.children[i].take();
+                }
+                Repr::N48(n)
+            }
+            Repr::N48(mut old) => {
+                let mut n = N256 { children: Box::new(empty_children()) };
+                for b in 0..256usize {
+                    let slot = old.index[b];
+                    if slot != NO_SLOT {
+                        n.children[b] = old.children[slot as usize].take();
+                    }
+                }
+                Repr::N256(Box::new(n))
+            }
+            Repr::N256(_) => unreachable!("NODE256 cannot grow"),
+        };
+    }
+
+    fn maybe_shrink(&mut self) {
+        let count = self.count as usize;
+        let shrink = match &self.repr {
+            Repr::N4(_) => false,
+            Repr::N16(_) => count <= 3,
+            Repr::N48(_) => count <= 12,
+            Repr::N256(_) => count <= 36,
+        };
+        if !shrink {
+            return;
+        }
+        self.repr = match std::mem::replace(
+            &mut self.repr,
+            Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
+        ) {
+            Repr::N16(mut old) => {
+                let mut n = Box::new(N4 { keys: [0; 4], children: empty_children() });
+                for i in 0..count {
+                    n.keys[i] = old.keys[i];
+                    n.children[i] = old.children[i].take();
+                }
+                Repr::N4(n)
+            }
+            Repr::N48(mut old) => {
+                let mut n = Box::new(N16 { keys: [0; 16], children: empty_children() });
+                let mut j = 0;
+                for b in 0..256usize {
+                    let slot = old.index[b];
+                    if slot != NO_SLOT {
+                        n.keys[j] = b as u8;
+                        n.children[j] = old.children[slot as usize].take();
+                        j += 1;
+                    }
+                }
+                Repr::N16(n)
+            }
+            Repr::N256(mut old) => {
+                let mut n = Box::new(N48 { index: [NO_SLOT; 256], children: empty_children() });
+                let mut j = 0;
+                for b in 0..256usize {
+                    if let Some(c) = old.children[b].take() {
+                        n.index[b] = j as u8;
+                        n.children[j as usize] = Some(c);
+                        j += 1;
+                    }
+                }
+                Repr::N48(n)
+            }
+            Repr::N4(n) => Repr::N4(n),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(v: u32) -> Child<u32> {
+        Child::Leaf(v)
+    }
+
+    fn leaf_val(c: &Child<u32>) -> u32 {
+        match c {
+            Child::Leaf(v) => *v,
+            Child::Inner(_) => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn add_get_remove_node4() {
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        n.add(b'c', leaf(3));
+        n.add(b'a', leaf(1));
+        n.add(b'b', leaf(2));
+        assert_eq!(n.kind(), NodeKind::Node4);
+        assert_eq!(leaf_val(n.get(b'a').unwrap()), 1);
+        assert_eq!(leaf_val(n.get(b'b').unwrap()), 2);
+        assert!(n.get(b'z').is_none());
+        assert_eq!(n.first_byte(), Some(b'a'));
+        let r = n.remove(b'b').unwrap();
+        assert_eq!(leaf_val(&r), 2);
+        assert!(n.get(b'b').is_none());
+        assert_eq!(n.count, 2);
+    }
+
+    #[test]
+    fn grows_through_all_kinds() {
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        for b in 0..=255u8 {
+            n.add(b, leaf(b as u32));
+            let expected = match n.count {
+                0..=4 => NodeKind::Node4,
+                5..=16 => NodeKind::Node16,
+                17..=48 => NodeKind::Node48,
+                _ => NodeKind::Node256,
+            };
+            assert_eq!(n.kind(), expected, "at count {}", n.count);
+        }
+        for b in 0..=255u8 {
+            assert_eq!(leaf_val(n.get(b).unwrap()), b as u32);
+        }
+    }
+
+    #[test]
+    fn shrinks_back_down() {
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        for b in 0..=255u8 {
+            n.add(b, leaf(b as u32));
+        }
+        for b in (3..=255u8).rev() {
+            assert_eq!(leaf_val(&n.remove(b).unwrap()), b as u32);
+        }
+        // Shrink thresholds have hysteresis: NODE4 is reached at ≤3 children.
+        assert_eq!(n.kind(), NodeKind::Node4);
+        for b in 0..3u8 {
+            assert_eq!(leaf_val(n.get(b).unwrap()), b as u32);
+        }
+    }
+
+    #[test]
+    fn ordered_traversal_all_kinds() {
+        for size in [3usize, 10, 30, 100] {
+            let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+            // Insert in a scrambled order.
+            let mut bytes: Vec<u8> = (0..size as u32).map(|i| (i * 37 % 251) as u8).collect();
+            bytes.sort_unstable();
+            bytes.dedup();
+            let mut scrambled = bytes.clone();
+            scrambled.reverse();
+            for &b in &scrambled {
+                n.add(b, leaf(b as u32));
+            }
+            let mut seen = Vec::new();
+            n.for_each_child(|b, _| seen.push(b));
+            assert_eq!(seen, bytes, "size {size}");
+        }
+    }
+
+    #[test]
+    fn take_only_child() {
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        n.add(b'x', leaf(9));
+        let (b, c) = n.take_only_child().unwrap();
+        assert_eq!(b, b'x');
+        assert_eq!(leaf_val(&c), 9);
+        assert_eq!(n.count, 0);
+
+        let mut two: Node<u32> = Node::new4(InlineKey::EMPTY);
+        two.add(b'a', leaf(1));
+        two.add(b'b', leaf(2));
+        assert!(two.take_only_child().is_none());
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        n.add(b'a', leaf(1));
+        assert!(n.remove(b'b').is_none());
+        assert_eq!(n.count, 1);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_kind() {
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        n.add(0, leaf(0));
+        let small = n.heap_bytes();
+        for b in 1..=200u8 {
+            n.add(b, leaf(b as u32));
+        }
+        assert!(n.heap_bytes() > small * 4, "NODE256 must report much more heap");
+    }
+
+    #[test]
+    fn zero_byte_edge_sorts_first() {
+        // The terminator edge (0) must come first in ordered traversal so
+        // "ab" iterates before "abc".
+        let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
+        n.add(b'a', leaf(1));
+        n.add(0, leaf(0));
+        let mut seen = Vec::new();
+        n.for_each_child(|b, _| seen.push(b));
+        assert_eq!(seen, vec![0, b'a']);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests: the adaptive radix tree must behave exactly like
+//! a sorted map for arbitrary operation sequences, and its structural
+//! invariants (node counts, path compression, adaptive sizing) must hold
+//! at every step.
+
+use hart_art::{Art, OwnedLeaf, SliceResolver};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const R: SliceResolver = SliceResolver;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>, u64),
+    Remove(Vec<u8>),
+    Search(Vec<u8>),
+}
+
+/// Keys of 1–12 bytes from a small alphabet: plenty of shared prefixes,
+/// prefix-of-prefix cases, and node-kind churn.
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'z'), Just(b'0')], 1..12)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Remove),
+        arb_key().prop_map(Op::Search),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn behaves_like_btreemap(ops in vec(arb_op(), 1..400)) {
+        let mut art: Art<OwnedLeaf> = Art::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = art.insert(&R, k, OwnedLeaf::new(k, *v)).map(|l| l.val);
+                    prop_assert_eq!(old, model.insert(k.clone(), *v));
+                }
+                Op::Remove(k) => {
+                    let got = art.remove(&R, k).map(|l| l.val);
+                    prop_assert_eq!(got, model.remove(k));
+                }
+                Op::Search(k) => {
+                    let got = art.search(&R, k).map(|l| l.val);
+                    prop_assert_eq!(got, model.get(k).copied());
+                }
+            }
+            prop_assert_eq!(art.len(), model.len());
+        }
+        art.check_invariants(&R).map_err(TestCaseError::fail)?;
+
+        // Ordered iteration equals the model's.
+        let mut got = Vec::new();
+        art.for_each(|l| got.push((l.key.as_slice().to_vec(), l.val)));
+        let expect: Vec<(Vec<u8>, u64)> =
+            model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_scan_equals_model(
+        keys in vec((arb_key(), any::<u64>()), 1..200),
+        lo in arb_key(),
+        hi in arb_key(),
+    ) {
+        let mut art: Art<OwnedLeaf> = Art::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (k, v) in &keys {
+            art.insert(&R, k, OwnedLeaf::new(k, *v));
+            model.insert(k.clone(), *v);
+        }
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut got = Vec::new();
+        art.for_each_in_range(&R, &lo, &hi, |l| {
+            got.push((l.key.as_slice().to_vec(), l.val))
+        });
+        let expect: Vec<(Vec<u8>, u64)> =
+            model.range(lo..=hi).map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn insert_all_then_remove_all_is_empty(keys in vec(arb_key(), 1..300)) {
+        let mut art: Art<OwnedLeaf> = Art::new();
+        let mut distinct: Vec<Vec<u8>> = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for k in &keys {
+            art.insert(&R, k, OwnedLeaf::new(k, 1));
+        }
+        prop_assert_eq!(art.len(), distinct.len());
+        art.check_invariants(&R).map_err(TestCaseError::fail)?;
+        for k in &distinct {
+            prop_assert!(art.remove(&R, k).is_some());
+        }
+        prop_assert!(art.is_empty());
+        prop_assert_eq!(art.memory_bytes(), std::mem::size_of::<Art<OwnedLeaf>>());
+    }
+
+    #[test]
+    fn height_bounded_by_longest_key(keys in vec(arb_key(), 1..200)) {
+        let mut art: Art<OwnedLeaf> = Art::new();
+        let mut max_len = 0;
+        for k in &keys {
+            max_len = max_len.max(k.len());
+            art.insert(&R, k, OwnedLeaf::new(k, 0));
+        }
+        // Terminated view adds one byte; each inner level consumes ≥ 1.
+        prop_assert!(art.height() <= max_len + 1,
+            "height {} exceeds max key length {}", art.height(), max_len);
+    }
+}

@@ -1,0 +1,19 @@
+//! ART+CoW — an adaptive radix tree in persistent memory made
+//! crash-consistent by **copy-on-write** (Lee et al., FAST 2017; the
+//! paper's third radix baseline).
+//!
+//! ART+CoW shares WOART's PM node formats (re-used from
+//! [`hart_woart::layout`]) but never mutates a published node's edge set in
+//! place: every child addition or removal copies the affected node, applies
+//! the change to the copy, persists the copy wholesale, and then publishes
+//! it with a single 8-byte atomic parent-pointer store. The old node is
+//! freed afterwards.
+//!
+//! This gives simple failure atomicity at the price the paper observes in
+//! §IV-B: "in most cases ART+CoW performs the worst. The main reason is
+//! that its CoW overhead is very high" — every insert pays a node-sized
+//! copy, an extra PM allocation and an extra free on top of WOART's costs.
+
+mod tree;
+
+pub use tree::ArtCow;

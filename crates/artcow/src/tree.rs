@@ -1,0 +1,549 @@
+//! The ART+CoW tree.
+
+use hart_epalloc::{
+    leaf_read_key, leaf_read_pvalue, leaf_read_val_len, leaf_write_key, leaf_write_pvalue,
+    persist_leaf_pvalue, LEAF_SIZE,
+};
+use hart_kv::{Error, Key, MemoryStats, PersistentIndex, Result, Value, MAX_KEY_LEN};
+use hart_pm::{PmPtr, PmemPool, PoolConfig};
+use hart_woart::layout::*;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const MAGIC: u64 = 0x4152_5443_4F57_3031; // "ARTCOW01"
+
+#[inline]
+fn tb(key: &[u8], i: usize) -> u8 {
+    if i >= key.len() {
+        0
+    } else {
+        key[i]
+    }
+}
+
+/// ART with copy-on-write consistency, entirely in emulated PM.
+pub struct ArtCow {
+    pool: Arc<PmemPool>,
+    lock: RwLock<()>,
+    len: AtomicUsize,
+    root_slot: PmPtr,
+}
+
+impl ArtCow {
+    /// Format a fresh pool.
+    pub fn create(pool: Arc<PmemPool>) -> Result<ArtCow> {
+        let base = pool.root_area(16);
+        pool.write_zeros(base, 16);
+        pool.persist(base, 16);
+        pool.write_u64_atomic(base, MAGIC);
+        pool.persist(base, 8);
+        Ok(ArtCow {
+            root_slot: base.add(8),
+            pool,
+            lock: RwLock::new(()),
+            len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Open an existing pool (pure-PM tree — nothing to rebuild, only the
+    /// record count is re-derived).
+    pub fn open(pool: Arc<PmemPool>) -> Result<ArtCow> {
+        let base = pool.root_area(16);
+        if pool.read::<u64>(base) != MAGIC {
+            return Err(Error::Corrupted("bad ART+CoW magic"));
+        }
+        let t = ArtCow {
+            root_slot: base.add(8),
+            pool,
+            lock: RwLock::new(()),
+            len: AtomicUsize::new(0),
+        };
+        let mut n = 0;
+        t.for_each_leaf(|_| n += 1);
+        t.len.store(n, Ordering::Relaxed);
+        Ok(t)
+    }
+
+    /// Convenience constructor: fresh pool from a config.
+    pub fn with_config(cfg: PoolConfig) -> Result<ArtCow> {
+        ArtCow::create(Arc::new(PmemPool::new(cfg)))
+    }
+
+    /// The underlying pool.
+    pub fn pm_pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    fn make_leaf(&self, key: &Key, value: &Value) -> Result<PmPtr> {
+        let pool = &self.pool;
+        let vptr = alloc_value(pool, value)?;
+        let leaf = pool.alloc_raw(LEAF_SIZE, 8).ok_or(Error::PmExhausted)?;
+        leaf_write_key(pool, leaf, key);
+        leaf_write_pvalue(pool, leaf, vptr, value.len());
+        pool.persist(leaf, LEAF_SIZE);
+        Ok(leaf)
+    }
+
+    fn free_leaf(&self, leaf: PmPtr) {
+        let pool = &self.pool;
+        let pv = leaf_read_pvalue(pool, leaf);
+        if !pv.is_null() {
+            free_value(pool, pv, leaf_read_val_len(pool, leaf));
+        }
+        pool.free_raw(leaf, LEAF_SIZE, 8);
+    }
+
+    fn update_value(&self, leaf: PmPtr, value: &Value) -> Result<()> {
+        let pool = &self.pool;
+        let old = leaf_read_pvalue(pool, leaf);
+        let old_len = leaf_read_val_len(pool, leaf);
+        let new = alloc_value(pool, value)?;
+        leaf_write_pvalue(pool, leaf, new, value.len());
+        persist_leaf_pvalue(pool, leaf);
+        if !old.is_null() {
+            free_value(pool, old, old_len);
+        }
+        Ok(())
+    }
+
+    /// Copy `node` (optionally into a different kind), run `edit` on the
+    /// unpublished copy, persist it wholesale and publish it — the CoW
+    /// primitive every structural change goes through.
+    fn cow_replace<F: FnOnce(&PmemPool, PmPtr)>(
+        &self,
+        slot: PmPtr,
+        node: PmPtr,
+        new_kind: u8,
+        edit: F,
+    ) -> Result<PmPtr> {
+        let pool = &self.pool;
+        let copy = copy_to_kind(pool, node, new_kind)?;
+        edit(pool, copy);
+        persist_node(pool, copy);
+        publish_slot(pool, slot, Tagged::Node(copy));
+        free_node(pool, node);
+        Ok(copy)
+    }
+
+    fn insert_rec(&self, slot: PmPtr, key: &Key, depth: usize, value: &Value) -> Result<bool> {
+        let pool = &self.pool;
+        let kb = key.as_slice();
+        match read_slot(pool, slot) {
+            Tagged::Null => {
+                let leaf = self.make_leaf(key, value)?;
+                publish_slot(pool, slot, Tagged::Leaf(leaf));
+                Ok(true)
+            }
+            Tagged::Leaf(l) => {
+                let lk = leaf_read_key(pool, l);
+                if lk.as_slice() == kb {
+                    self.update_value(l, value)?;
+                    return Ok(false);
+                }
+                let lks = lk.as_slice();
+                let mut lcp = 0;
+                while depth + lcp < lks.len()
+                    && depth + lcp < kb.len()
+                    && lks[depth + lcp] == kb[depth + lcp]
+                {
+                    lcp += 1;
+                }
+                let new_leaf = self.make_leaf(key, value)?;
+                let node = alloc_node(pool, NT_N4, &kb[depth..depth + lcp])?;
+                add_child_volatile(pool, node, tb(lks, depth + lcp), Tagged::Leaf(l));
+                add_child_volatile(pool, node, tb(kb, depth + lcp), Tagged::Leaf(new_leaf));
+                persist_node(pool, node);
+                publish_slot(pool, slot, Tagged::Node(node));
+                Ok(true)
+            }
+            Tagged::Node(n) => {
+                let pfx = prefix(pool, n);
+                let p = pfx.as_slice();
+                let mut m = 0;
+                while m < p.len() && depth + m < kb.len() && kb[depth + m] == p[m] {
+                    m += 1;
+                }
+                if m < p.len() {
+                    // CoW prefix split: copy the old node with a truncated
+                    // prefix (never mutate the published node), build the
+                    // new parent over the copy, publish, free the original.
+                    let e_old = p[m];
+                    let b_new = tb(kb, depth + m);
+                    let new_leaf = self.make_leaf(key, value)?;
+                    let truncated = copy_to_kind(pool, n, node_type(pool, n))?;
+                    set_prefix(pool, truncated, &p[m + 1..]);
+                    persist_node(pool, truncated);
+                    let parent = alloc_node(pool, NT_N4, &p[..m])?;
+                    add_child_volatile(pool, parent, e_old, Tagged::Node(truncated));
+                    add_child_volatile(pool, parent, b_new, Tagged::Leaf(new_leaf));
+                    persist_node(pool, parent);
+                    publish_slot(pool, slot, Tagged::Node(parent));
+                    free_node(pool, n);
+                    Ok(true)
+                } else {
+                    let depth = depth + p.len();
+                    let b = tb(kb, depth);
+                    if let Some(cslot) = find_child_slot(pool, n, b) {
+                        self.insert_rec(cslot, key, depth + 1, value)
+                    } else {
+                        // CoW child addition (growing the kind when full).
+                        let new_leaf = self.make_leaf(key, value)?;
+                        let nt = node_type(pool, n);
+                        let target =
+                            if node_count(pool, n) == node_capacity(nt) { grown_kind(nt) } else { nt };
+                        self.cow_replace(slot, n, target, |pool, copy| {
+                            let ok = add_child_volatile(pool, copy, b, Tagged::Leaf(new_leaf));
+                            debug_assert!(ok);
+                        })?;
+                        Ok(true)
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove_rec(&self, slot: PmPtr, key: &[u8], depth: usize) -> Result<bool> {
+        let pool = &self.pool;
+        let Tagged::Node(node) = read_slot(pool, slot) else {
+            unreachable!("remove_rec called on a node slot");
+        };
+        let pfx = prefix(pool, node);
+        let p = pfx.as_slice();
+        if key.len() < depth + p.len() || &key[depth..depth + p.len()] != p {
+            return Ok(false);
+        }
+        let depth = depth + p.len();
+        let b = tb(key, depth);
+        let Some(cslot) = find_child_slot(pool, node, b) else {
+            return Ok(false);
+        };
+        match read_slot(pool, cslot) {
+            Tagged::Null => Ok(false),
+            Tagged::Leaf(l) => {
+                if leaf_read_key(pool, l).as_slice() != key {
+                    return Ok(false);
+                }
+                // CoW removal: copy without the child (shrinking the kind
+                // on underflow), publish, then free leaf + old node.
+                let count = node_count(pool, node) - 1;
+                if count == 1 {
+                    // Collapse: the survivor replaces this node entirely.
+                    let survivor = children_sorted(pool, node)
+                        .into_iter()
+                        .find(|(eb, _)| *eb != b)
+                        .expect("two children before removal");
+                    match survivor.1 {
+                        Tagged::Leaf(sl) => {
+                            publish_slot(pool, slot, Tagged::Leaf(sl));
+                        }
+                        Tagged::Node(gn) => {
+                            // CoW the grandchild with the folded prefix.
+                            let folded = copy_to_kind(pool, gn, node_type(pool, gn))?;
+                            let mut buf = [0u8; MAX_KEY_LEN];
+                            let a = prefix(pool, node);
+                            let c = prefix(pool, gn);
+                            let total = a.len() + 1 + c.len();
+                            assert!(total <= MAX_KEY_LEN);
+                            buf[..a.len()].copy_from_slice(a.as_slice());
+                            buf[a.len()] = survivor.0;
+                            buf[a.len() + 1..total].copy_from_slice(c.as_slice());
+                            set_prefix(pool, folded, &buf[..total]);
+                            persist_node(pool, folded);
+                            publish_slot(pool, slot, Tagged::Node(folded));
+                            free_node(pool, gn);
+                        }
+                        Tagged::Null => unreachable!(),
+                    }
+                    free_node(pool, node);
+                } else {
+                    let nt = node_type(pool, node);
+                    let target = shrink_kind(nt, count).unwrap_or(nt);
+                    let pool2 = &self.pool;
+                    let copy = copy_to_kind(pool2, node, target)?;
+                    let ok = remove_child(pool2, copy, b);
+                    debug_assert!(ok);
+                    persist_node(pool2, copy);
+                    publish_slot(pool2, slot, Tagged::Node(copy));
+                    free_node(pool2, node);
+                }
+                self.free_leaf(l);
+                Ok(true)
+            }
+            Tagged::Node(_) => self.remove_rec(cslot, key, depth + 1),
+        }
+    }
+
+    /// In-order traversal over every leaf.
+    pub fn for_each_leaf<F: FnMut(PmPtr)>(&self, mut f: F) {
+        fn walk<F: FnMut(PmPtr)>(pool: &PmemPool, t: Tagged, f: &mut F) {
+            match t {
+                Tagged::Null => {}
+                Tagged::Leaf(l) => f(l),
+                Tagged::Node(n) => {
+                    for (_, c) in children_sorted(pool, n) {
+                        walk(pool, c, f);
+                    }
+                }
+            }
+        }
+        walk(&self.pool, read_slot(&self.pool, self.root_slot), &mut f);
+    }
+
+    fn descend(&self, key: &[u8]) -> Option<PmPtr> {
+        let pool = &self.pool;
+        let mut cur = read_slot(pool, self.root_slot);
+        let mut depth = 0usize;
+        loop {
+            match cur {
+                Tagged::Null => return None,
+                Tagged::Leaf(l) => {
+                    return (leaf_read_key(pool, l).as_slice() == key).then_some(l);
+                }
+                Tagged::Node(n) => {
+                    let pfx = prefix(pool, n);
+                    let p = pfx.as_slice();
+                    if key.len() < depth + p.len() || &key[depth..depth + p.len()] != p {
+                        return None;
+                    }
+                    depth += p.len();
+                    let slot = find_child_slot(pool, n, tb(key, depth))?;
+                    cur = read_slot(pool, slot);
+                    depth += 1;
+                }
+            }
+        }
+    }
+}
+
+impl PersistentIndex for ArtCow {
+    fn insert(&self, key: &Key, value: &Value) -> Result<()> {
+        let _g = self.lock.write();
+        if self.insert_rec(self.root_slot, key, 0, value)? {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn search(&self, key: &Key) -> Result<Option<Value>> {
+        let _g = self.lock.read();
+        let pool = &self.pool;
+        Ok(self.descend(key.as_slice()).map(|leaf| {
+            let pv = leaf_read_pvalue(pool, leaf);
+            read_value(pool, pv, leaf_read_val_len(pool, leaf))
+        }))
+    }
+
+    fn update(&self, key: &Key, value: &Value) -> Result<bool> {
+        let _g = self.lock.write();
+        match self.descend(key.as_slice()) {
+            Some(leaf) => {
+                self.update_value(leaf, value)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn remove(&self, key: &Key) -> Result<bool> {
+        let _g = self.lock.write();
+        let pool = &self.pool;
+        let kb = key.as_slice();
+        let removed = match read_slot(pool, self.root_slot) {
+            Tagged::Null => false,
+            Tagged::Leaf(l) => {
+                if leaf_read_key(pool, l).as_slice() == kb {
+                    publish_slot(pool, self.root_slot, Tagged::Null);
+                    self.free_leaf(l);
+                    true
+                } else {
+                    false
+                }
+            }
+            Tagged::Node(_) => self.remove_rec(self.root_slot, kb, 0)?,
+        };
+        if removed {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(removed)
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats {
+            dram_bytes: std::mem::size_of::<Self>(),
+            pm_bytes: self.pool.stats().snapshot().bytes_in_use as usize,
+        }
+    }
+
+    fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
+        let _g = self.lock.read();
+        let pool = &self.pool;
+        let (s, e) = (start.as_slice(), end.as_slice());
+        let mut out = Vec::new();
+        if s > e {
+            return Ok(out);
+        }
+        self.for_each_leaf(|leaf| {
+            let k = leaf_read_key(pool, leaf);
+            let ks = k.as_slice();
+            if ks >= s && ks <= e {
+                if let Ok(key) = Key::new(ks) {
+                    let pv = leaf_read_pvalue(pool, leaf);
+                    out.push((key, read_value(pool, pv, leaf_read_val_len(pool, leaf))));
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "ART+CoW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn fresh() -> ArtCow {
+        ArtCow::with_config(PoolConfig::test_small()).unwrap()
+    }
+
+    fn k(s: &str) -> Key {
+        Key::from_str(s).unwrap()
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        let t = fresh();
+        for (i, key) in ["romane", "romanus", "romulus", "rubens", "ruber"].iter().enumerate() {
+            t.insert(&k(key), &v(i as u64)).unwrap();
+        }
+        for (i, key) in ["romane", "romanus", "romulus", "rubens", "ruber"].iter().enumerate() {
+            assert_eq!(t.search(&k(key)).unwrap().unwrap().as_u64(), i as u64);
+        }
+        assert_eq!(t.search(&k("roman")).unwrap(), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn prefix_keys_and_deletes() {
+        let t = fresh();
+        for key in ["a", "ab", "abc", "b"] {
+            t.insert(&k(key), &v(key.len() as u64)).unwrap();
+        }
+        assert!(t.remove(&k("ab")).unwrap());
+        assert!(!t.remove(&k("ab")).unwrap());
+        assert_eq!(t.search(&k("a")).unwrap().unwrap().as_u64(), 1);
+        assert_eq!(t.search(&k("abc")).unwrap().unwrap().as_u64(), 3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn cow_frees_old_nodes() {
+        let t = fresh();
+        let baseline = t.pm_pool().stats().snapshot().bytes_in_use;
+        for i in 0..300u64 {
+            t.insert(&Key::from_u64_base62(i, 6), &v(i)).unwrap();
+        }
+        for i in 0..300u64 {
+            assert!(t.remove(&Key::from_u64_base62(i, 6)).unwrap());
+        }
+        assert_eq!(
+            t.pm_pool().stats().snapshot().bytes_in_use,
+            baseline,
+            "CoW must free every superseded node"
+        );
+    }
+
+    #[test]
+    fn matches_btreemap_model() {
+        let t = fresh();
+        let mut model: BTreeMap<String, u64> = BTreeMap::new();
+        let mut state = 0x9876_5432u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..4000 {
+            let r = rng();
+            let key_s = format!("K{:03}", r % 500);
+            let key = k(&key_s);
+            match r % 4 {
+                0 | 1 => {
+                    t.insert(&key, &v(r)).unwrap();
+                    model.insert(key_s, r);
+                }
+                2 => {
+                    assert_eq!(t.remove(&key).unwrap(), model.remove(&key_s).is_some());
+                }
+                _ => {
+                    assert_eq!(
+                        t.search(&key).unwrap().map(|x| x.as_u64()),
+                        model.get(&key_s).copied()
+                    );
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len());
+    }
+
+    #[test]
+    fn update_swaps_values() {
+        let t = fresh();
+        t.insert(&k("key"), &v(1)).unwrap();
+        assert!(t.update(&k("key"), &Value::new(b"0123456789abcdef").unwrap()).unwrap());
+        assert_eq!(t.search(&k("key")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert!(!t.update(&k("absent"), &v(0)).unwrap());
+    }
+
+    #[test]
+    fn reopen_preserves_tree() {
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_small()));
+        let t = ArtCow::create(Arc::clone(&pool)).unwrap();
+        for i in 0..400u64 {
+            t.insert(&Key::from_u64_base62(i, 6), &v(i)).unwrap();
+        }
+        drop(t);
+        let t2 = ArtCow::open(pool).unwrap();
+        assert_eq!(t2.len(), 400);
+        for i in 0..400u64 {
+            assert_eq!(t2.search(&Key::from_u64_base62(i, 6)).unwrap().unwrap().as_u64(), i);
+        }
+    }
+
+    #[test]
+    fn cow_does_more_allocations_than_woart_would() {
+        // The CoW cost signature: allocation traffic far above live bytes.
+        let t = fresh();
+        for i in 0..200u64 {
+            t.insert(&Key::from_u64_base62(i, 6), &v(i)).unwrap();
+        }
+        let s = t.pm_pool().stats().snapshot();
+        assert!(
+            s.raw_frees > 100,
+            "CoW must continually free superseded nodes (saw {})",
+            s.raw_frees
+        );
+    }
+
+    #[test]
+    fn range_sorted() {
+        let t = fresh();
+        for i in (0..50u64).rev() {
+            t.insert(&Key::from_u64_base62(i, 4), &v(i)).unwrap();
+        }
+        let got = t.range(&Key::from_u64_base62(0, 4), &Key::from_u64_base62(49, 4)).unwrap();
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

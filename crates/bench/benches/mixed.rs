@@ -1,0 +1,62 @@
+//! Criterion benchmark for the YCSB-style mixed workloads of Fig. 9
+//! (Read-Intensive 10/70/10/10, Read-Modified-Write 50/50,
+//! Write-Intensive 40/20/40; Uniform request distribution).
+
+use bench::{pool_config, TreeKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hart_pm::LatencyConfig;
+use hart_workloads::{MixSpec, OpKind, YcsbWorkload};
+use std::time::Duration;
+
+const PRELOAD: usize = 10_000;
+const OPS: usize = 10_000;
+
+fn bench_mixed(c: &mut Criterion) {
+    for spec in MixSpec::ALL {
+        let w = YcsbWorkload::generate(spec, PRELOAD, OPS, 7);
+        for lat in [LatencyConfig::c300_100(), LatencyConfig::c300_300()] {
+            for kind in TreeKind::ALL {
+                let id = format!("mixed/{}/{}/{}", spec.label, kind.label(), lat.label());
+                c.bench_function(&id, |b| {
+                    b.iter_batched(
+                        || {
+                            let tree = kind.build(pool_config(lat, PRELOAD + OPS));
+                            for (k, v) in &w.preload {
+                                tree.insert(k, v).unwrap();
+                            }
+                            tree
+                        },
+                        |tree| {
+                            for op in &w.ops {
+                                match op.kind {
+                                    OpKind::Insert => tree.insert(&op.key, &op.value).unwrap(),
+                                    OpKind::Search => {
+                                        std::hint::black_box(tree.search(&op.key).unwrap());
+                                    }
+                                    OpKind::Update => {
+                                        tree.update(&op.key, &op.value).unwrap();
+                                    }
+                                    OpKind::Delete => {
+                                        tree.remove(&op.key).unwrap();
+                                    }
+                                }
+                            }
+                            tree
+                        },
+                        BatchSize::PerIteration,
+                    )
+                });
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_mixed
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the four basic operations — the
+//! per-operation view behind Figs. 4–7 (insertion, search, update,
+//! deletion) at benchmark-friendly scale.
+//!
+//! The figure harness (`cargo run --release -p bench --bin harness`)
+//! produces the full paper-sized grids; these benches give
+//! statistically-tracked per-op latencies for regression detection.
+
+use bench::{pool_config, TreeKind};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hart_kv::Value;
+use hart_pm::LatencyConfig;
+use hart_workloads::{random, value_for};
+use std::time::Duration;
+
+const N: usize = 10_000;
+
+fn bench_ops(c: &mut Criterion) {
+    let keys = random(N, 42);
+    let values: Vec<Value> = keys.iter().map(value_for).collect();
+
+    for lat in [LatencyConfig::c300_100(), LatencyConfig::c300_300()] {
+        for kind in TreeKind::ALL {
+            let tag = format!("{}/{}", kind.label(), lat.label());
+
+            // Fig. 4: insertion — fresh tree per batch.
+            c.bench_function(&format!("ops_insert/{tag}"), |b| {
+                b.iter_batched(
+                    || kind.build(pool_config(lat, N)),
+                    |tree| {
+                        for (k, v) in keys.iter().zip(&values) {
+                            tree.insert(k, v).unwrap();
+                        }
+                        tree
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+
+            // Fig. 5: search — read-only over a preloaded tree.
+            let tree = kind.build(pool_config(lat, N));
+            for (k, v) in keys.iter().zip(&values) {
+                tree.insert(k, v).unwrap();
+            }
+            c.bench_function(&format!("ops_search/{tag}"), |b| {
+                b.iter(|| {
+                    for k in &keys {
+                        std::hint::black_box(tree.search(k).unwrap());
+                    }
+                })
+            });
+
+            // Fig. 6: update — in-place value swaps on the preloaded tree.
+            c.bench_function(&format!("ops_update/{tag}"), |b| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    for k in &keys {
+                        tree.update(k, &Value::from_u64(round)).unwrap();
+                    }
+                })
+            });
+
+            // Fig. 7: deletion — fresh preloaded tree per batch.
+            c.bench_function(&format!("ops_delete/{tag}"), |b| {
+                b.iter_batched(
+                    || {
+                        let tree = kind.build(pool_config(lat, N));
+                        for (k, v) in keys.iter().zip(&values) {
+                            tree.insert(k, v).unwrap();
+                        }
+                        tree
+                    },
+                    |tree| {
+                        for k in &keys {
+                            tree.remove(k).unwrap();
+                        }
+                        tree
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_ops
+}
+criterion_main!(benches);

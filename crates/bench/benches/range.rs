@@ -1,0 +1,56 @@
+//! Criterion benchmark for the range-query experiment of Fig. 10a:
+//! Sequential keys; the ART-based trees answer a range by per-key point
+//! searches (as the paper implemented them), FPTree by a linked-leaf scan.
+
+use bench::{pool_config, TreeKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hart_pm::LatencyConfig;
+use hart_workloads::{sequential, value_for};
+use std::time::Duration;
+
+const N: usize = 20_000;
+const QUERY: usize = 10_000;
+
+fn bench_range(c: &mut Criterion) {
+    let keys = sequential(N);
+    for lat in [LatencyConfig::c300_100(), LatencyConfig::c300_300()] {
+        for kind in TreeKind::ALL {
+            let tree = kind.build(pool_config(lat, N));
+            for k in &keys {
+                tree.insert(k, &value_for(k)).unwrap();
+            }
+            let id = format!("range/{}/{}", kind.label(), lat.label());
+            c.bench_function(&id, |b| {
+                b.iter(|| match kind {
+                    TreeKind::FpTree => {
+                        std::hint::black_box(tree.range(&keys[0], &keys[QUERY - 1]).unwrap())
+                            .len()
+                    }
+                    _ => std::hint::black_box(tree.multi_get(&keys[..QUERY]).unwrap()).len(),
+                })
+            });
+
+            // Ablation: HART's ordered-scan extension vs its paper-style
+            // per-key loop.
+            if kind == TreeKind::Hart {
+                let id = format!("range/HART-ordered-scan/{}", lat.label());
+                c.bench_function(&id, |b| {
+                    b.iter(|| {
+                        std::hint::black_box(tree.range(&keys[0], &keys[QUERY - 1]).unwrap())
+                            .len()
+                    })
+                });
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_range
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmark for the recovery experiment of Fig. 10c: rebuild
+//! times of HART (full reinsertion of PM leaves into DRAM structures) vs
+//! FPTree (linked-leaf walk), against their build times.
+
+use bench::pool_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hart::{Hart, HartConfig};
+use hart_fptree::FpTree;
+use hart_kv::PersistentIndex;
+use hart_pm::{LatencyConfig, PmemPool};
+use hart_workloads::{random, value_for};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 50_000;
+
+fn bench_recovery(c: &mut Criterion) {
+    let keys = random(N, 42);
+    let lat = LatencyConfig::c300_100();
+
+    // HART: build once, then benchmark recovery from the same pool (opening
+    // is idempotent — logs are clean, bitmaps unchanged).
+    let hart_pool = Arc::new(PmemPool::new(pool_config(lat, N)));
+    {
+        let tree = Hart::create(Arc::clone(&hart_pool), HartConfig::default()).unwrap();
+        for k in &keys {
+            tree.insert(k, &value_for(k)).unwrap();
+        }
+    }
+    c.bench_function("recovery/HART", |b| {
+        b.iter(|| {
+            let t = Hart::recover(Arc::clone(&hart_pool), HartConfig::default()).unwrap();
+            assert_eq!(t.len(), N);
+            t
+        })
+    });
+
+    let fp_pool = Arc::new(PmemPool::new(pool_config(lat, N)));
+    {
+        let tree = FpTree::create(Arc::clone(&fp_pool)).unwrap();
+        for k in &keys {
+            tree.insert(k, &value_for(k)).unwrap();
+        }
+    }
+    c.bench_function("recovery/FPTree", |b| {
+        b.iter(|| {
+            let t = FpTree::recover(Arc::clone(&fp_pool)).unwrap();
+            assert_eq!(t.len(), N);
+            t
+        })
+    });
+
+    // Build times for the ratio (Fig. 10c plots both).
+    c.bench_function("build/HART", |b| {
+        b.iter(|| {
+            let pool = Arc::new(PmemPool::new(pool_config(lat, N)));
+            let tree = Hart::create(pool, HartConfig::default()).unwrap();
+            for k in &keys {
+                tree.insert(k, &value_for(k)).unwrap();
+            }
+            tree
+        })
+    });
+    c.bench_function("build/FPTree", |b| {
+        b.iter(|| {
+            let pool = Arc::new(PmemPool::new(pool_config(lat, N)));
+            let tree = FpTree::create(pool).unwrap();
+            for k in &keys {
+                tree.insert(k, &value_for(k)).unwrap();
+            }
+            tree
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_recovery
+}
+criterion_main!(benches);

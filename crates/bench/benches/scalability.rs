@@ -1,0 +1,39 @@
+//! Criterion benchmark for Fig. 10d: HART throughput scaling across
+//! threads (per-ART reader-writer locks; writes on distinct ARTs proceed
+//! in parallel).
+
+use bench::hart_scalability;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hart_pm::LatencyConfig;
+use hart_workloads::random;
+use std::time::Duration;
+
+const N: usize = 50_000;
+
+fn bench_scalability(c: &mut Criterion) {
+    let keys = random(N, 42);
+    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    for op in ["insert", "search", "update", "delete"] {
+        let mut group = c.benchmark_group(format!("scalability/{op}"));
+        group.throughput(Throughput::Elements(N as u64));
+        for threads in [1usize, 2, 4, 8, 16] {
+            if threads > max_threads * 2 {
+                continue; // pointless oversubscription on small hosts
+            }
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+                b.iter(|| hart_scalability(LatencyConfig::c300_100(), &keys, t, op))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_scalability
+}
+criterion_main!(benches);

@@ -1,0 +1,458 @@
+//! Figure harness: regenerates the data behind every table and figure of
+//! the paper's evaluation (§IV).
+//!
+//! ```text
+//! cargo run --release -p bench --bin harness -- all
+//! cargo run --release -p bench --bin harness -- fig4 --records 1000000
+//! cargo run --release -p bench --bin harness -- fig10d --records 500000
+//! ```
+//!
+//! Output: aligned tables on stdout plus CSV files under `bench-results/`
+//! (override with `--out DIR`). Defaults are scaled down from the paper's
+//! record counts (see DESIGN.md §2); pass `--records` to raise them.
+
+use bench::*;
+use hart_pm::LatencyConfig;
+use hart_workloads::{MixSpec, Workload, YcsbWorkload};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    cmd: String,
+    records: usize,
+    dict_records: usize,
+    query_n: usize,
+    out: PathBuf,
+    threads: Vec<usize>,
+    scale: Vec<usize>,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut a = Args {
+        cmd: String::new(),
+        records: 200_000,
+        dict_records: hart_workloads::dictionary::DICTIONARY_SIZE,
+        query_n: 100_000,
+        out: PathBuf::from("bench-results"),
+        threads: vec![1, 2, 4, 8, 16],
+        scale: Vec::new(),
+        seed: 42,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--records" => a.records = args.next().expect("--records N").parse().expect("number"),
+            "--dict-records" => {
+                a.dict_records = args.next().expect("--dict-records N").parse().expect("number")
+            }
+            "--query-n" => a.query_n = args.next().expect("--query-n N").parse().expect("number"),
+            "--out" => a.out = PathBuf::from(args.next().expect("--out DIR")),
+            "--seed" => a.seed = args.next().expect("--seed N").parse().expect("number"),
+            "--threads" => {
+                a.threads = args
+                    .next()
+                    .expect("--threads 1,2,4")
+                    .split(',')
+                    .map(|s| s.parse().expect("number"))
+                    .collect()
+            }
+            "--scale" => {
+                a.scale = args
+                    .next()
+                    .expect("--scale n1,n2,...")
+                    .split(',')
+                    .map(|s| s.parse().expect("number"))
+                    .collect()
+            }
+            "--quick" => {
+                a.records = 50_000;
+                a.dict_records = 50_000;
+                a.query_n = 20_000;
+            }
+            cmd if !cmd.starts_with("--") => a.cmd = cmd.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if a.scale.is_empty() {
+        a.scale = vec![a.records / 10, a.records / 2, a.records, a.records * 2];
+    }
+    if a.cmd.is_empty() {
+        a.cmd = "all".into();
+    }
+    a
+}
+
+/// One grid cell: (workload, latency) → per-tree basic results.
+type Grid = BTreeMap<(String, String), Vec<(TreeKind, BasicResult)>>;
+
+/// Run the Fig. 4–7 grid: 3 workloads × 3 latency configs × 4 trees.
+fn run_grid(a: &Args) -> Grid {
+    let mut grid = Grid::new();
+    for w in Workload::ALL {
+        let n = if w == Workload::Dictionary { a.dict_records } else { a.records };
+        let keys = workload_keys(w, n, a.seed);
+        eprintln!("[grid] {} keys for {}", keys.len(), w.label());
+        for lat in LatencyConfig::paper_configs() {
+            let mut cell = Vec::new();
+            for kind in TreeKind::ALL {
+                let t0 = Instant::now();
+                let r = run_basic(kind, lat, &keys);
+                eprintln!(
+                    "[grid] {} / {} / {}: done in {:.1}s",
+                    w.label(),
+                    lat.label(),
+                    kind.label(),
+                    t0.elapsed().as_secs_f64()
+                );
+                cell.push((kind, r));
+            }
+            grid.insert((w.label().to_string(), lat.label()), cell);
+        }
+    }
+    grid
+}
+
+fn emit_op_figure(a: &Args, grid: &Grid, fig: &str, op_name: &str, pick: fn(&BasicResult) -> f64) {
+    let mut rep = Report::new(
+        &format!("{fig}: {op_name} — avg time/record (µs)"),
+        &["workload", "latency", "HART", "WOART", "ART+CoW", "FPTree"],
+    );
+    for w in Workload::ALL {
+        for lat in LatencyConfig::paper_configs() {
+            let cell = &grid[&(w.label().to_string(), lat.label())];
+            let mut row = vec![w.label().to_string(), lat.label()];
+            for (_, r) in cell {
+                row.push(format!("{:.3}", pick(r)));
+            }
+            rep.row(row);
+        }
+    }
+    rep.print();
+    rep.write_csv(&a.out, &format!("{fig}.csv")).expect("write csv");
+}
+
+fn fig8(a: &Args) {
+    let mut rep = Report::new(
+        "fig8: record-count scaling, Random @ 300/100 — total seconds",
+        &["records", "op", "HART", "WOART", "ART+CoW", "FPTree"],
+    );
+    for &n in &a.scale {
+        let keys = hart_workloads::random(n, a.seed);
+        let results: Vec<BasicResult> = TreeKind::ALL
+            .iter()
+            .map(|kind| {
+                let t0 = Instant::now();
+                let r = run_basic(*kind, LatencyConfig::c300_100(), &keys);
+                eprintln!(
+                    "[fig8] n={n} {}: {:.1}s",
+                    kind.label(),
+                    t0.elapsed().as_secs_f64()
+                );
+                r
+            })
+            .collect();
+        for (op, pick) in [
+            ("insert", (|r: &BasicResult| r.insert_total.as_secs_f64()) as fn(&BasicResult) -> f64),
+            ("search", |r| r.search_total.as_secs_f64()),
+            ("update", |r| r.update_total.as_secs_f64()),
+            ("delete", |r| r.delete_total.as_secs_f64()),
+        ] {
+            let mut row = vec![n.to_string(), op.to_string()];
+            for r in &results {
+                row.push(format!("{:.3}", pick(r)));
+            }
+            rep.row(row);
+        }
+    }
+    rep.print();
+    rep.write_csv(&a.out, "fig8.csv").expect("write csv");
+}
+
+fn fig9(a: &Args) {
+    let mut rep = Report::new(
+        "fig9: YCSB-style mixed workloads — avg time/op (µs)",
+        &["mix", "latency", "HART", "WOART", "ART+CoW", "FPTree"],
+    );
+    for spec in MixSpec::ALL {
+        let w = YcsbWorkload::generate(spec, a.records, a.records, a.seed);
+        for lat in LatencyConfig::paper_configs() {
+            let mut row = vec![spec.label.to_string(), lat.label()];
+            for kind in TreeKind::ALL {
+                let t0 = Instant::now();
+                let us = run_mixed(kind, lat, &w);
+                eprintln!(
+                    "[fig9] {} / {} / {}: {:.1}s",
+                    spec.label,
+                    lat.label(),
+                    kind.label(),
+                    t0.elapsed().as_secs_f64()
+                );
+                row.push(format!("{us:.3}"));
+            }
+            rep.row(row);
+        }
+    }
+    rep.print();
+    rep.write_csv(&a.out, "fig9.csv").expect("write csv");
+}
+
+fn fig10a(a: &Args) {
+    let keys = hart_workloads::sequential(a.records.max(a.query_n));
+    let mut rep = Report::new(
+        "fig10a: range query (Sequential) — avg time/record (µs)",
+        &["latency", "HART", "WOART", "ART+CoW", "FPTree"],
+    );
+    for lat in LatencyConfig::paper_configs() {
+        let mut row = vec![lat.label()];
+        for kind in TreeKind::ALL {
+            row.push(format!("{:.3}", run_range_query(kind, lat, &keys, a.query_n)));
+        }
+        rep.row(row);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "fig10a.csv").expect("write csv");
+}
+
+fn fig10b(a: &Args) {
+    let keys = hart_workloads::sequential(a.records);
+    let mut rep = Report::new(
+        "fig10b: memory consumption (Sequential) — MiB",
+        &["tree", "DRAM_MiB", "PM_MiB"],
+    );
+    for kind in TreeKind::ALL {
+        let tree = kind.build(pool_config(LatencyConfig::dram(), keys.len()));
+        for k in &keys {
+            tree.insert(k, &hart_workloads::value_for(k)).expect("insert");
+        }
+        let m = tree.memory_stats();
+        rep.row(vec![
+            kind.label().to_string(),
+            format!("{:.2}", m.dram_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", m.pm_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "fig10b.csv").expect("write csv");
+}
+
+fn fig10c(a: &Args) {
+    let mut rep = Report::new(
+        "fig10c: build vs recovery (Random @ 300/100) — seconds",
+        &["records", "HART_build", "HART_recovery", "FPTree_build", "FPTree_recovery"],
+    );
+    for &n in &a.scale {
+        let keys = hart_workloads::random(n, a.seed);
+        let (hb, hr) = hart_build_recover(LatencyConfig::c300_100(), &keys);
+        let (fb, fr) = fptree_build_recover(LatencyConfig::c300_100(), &keys);
+        rep.row(vec![
+            n.to_string(),
+            format!("{:.3}", hb.as_secs_f64()),
+            format!("{:.3}", hr.as_secs_f64()),
+            format!("{:.3}", fb.as_secs_f64()),
+            format!("{:.3}", fr.as_secs_f64()),
+        ]);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "fig10c.csv").expect("write csv");
+}
+
+fn fig10d(a: &Args) {
+    let keys = hart_workloads::random(a.records, a.seed);
+    let mut rep = Report::new(
+        "fig10d: HART scalability (Random @ 300/100) — MIOPS",
+        &["threads", "insert", "search", "update", "delete"],
+    );
+    for &t in &a.threads {
+        let mut row = vec![t.to_string()];
+        for op in ["insert", "search", "update", "delete"] {
+            let miops = hart_scalability(LatencyConfig::c300_100(), &keys, t, op);
+            eprintln!("[fig10d] threads={t} {op}: {miops:.2} MIOPS");
+            row.push(format!("{miops:.3}"));
+        }
+        rep.row(row);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "fig10d.csv").expect("write csv");
+}
+
+/// Extras: the full FAST'17 radix trio (WORT, WOART, ART+CoW) against
+/// HART and FPTree — beyond the paper's figure set (DESIGN.md §6).
+fn extras(a: &Args) {
+    let keys = hart_workloads::random(a.records, a.seed);
+    let mut rep = Report::new(
+        "extras: radix-family comparison incl. WORT — avg time/record (µs)",
+        &["latency", "op", "HART", "WORT", "WOART", "ART+CoW", "FPTree"],
+    );
+    for lat in [hart_pm::LatencyConfig::c300_100(), hart_pm::LatencyConfig::c300_300()] {
+        let results: Vec<BasicResult> =
+            TreeKind::EXTENDED.iter().map(|k| run_basic(*k, lat, &keys)).collect();
+        for (op, pick) in [
+            ("insert", (|r: &BasicResult| r.insert_us) as fn(&BasicResult) -> f64),
+            ("search", |r| r.search_us),
+            ("update", |r| r.update_us),
+            ("delete", |r| r.delete_us),
+        ] {
+            let mut row = vec![lat.label(), op.to_string()];
+            for r in &results {
+                row.push(format!("{:.3}", pick(r)));
+            }
+            rep.row(row);
+        }
+    }
+    rep.print();
+    rep.write_csv(&a.out, "extras.csv").expect("write csv");
+}
+
+/// Event-count profile: *why* the figures look the way they do.
+fn profile(a: &Args) {
+    let keys = hart_workloads::random(a.records, a.seed);
+    let lat = hart_pm::LatencyConfig::c300_300();
+    let mut rep = Report::new(
+        "profile: PM events per operation (Random @ 300/300, modeled)",
+        &["tree", "op", "persists/op", "pm_lines/op", "misses/op", "allocs/op", "extra_µs/op"],
+    );
+    for kind in TreeKind::EXTENDED {
+        let pr = run_profile(kind, lat, &keys);
+        for (op, p) in [
+            ("insert", pr.insert),
+            ("search", pr.search),
+            ("update", pr.update),
+            ("delete", pr.delete),
+        ] {
+            rep.row(vec![
+                kind.label().to_string(),
+                op.to_string(),
+                format!("{:.2}", p.persists),
+                format!("{:.2}", p.pm_reads),
+                format!("{:.2}", p.pm_misses),
+                format!("{:.3}", p.allocs),
+                format!("{:.3}", p.modeled_extra_us),
+            ]);
+        }
+        eprintln!("[profile] {} done", kind.label());
+    }
+    rep.print();
+    rep.write_csv(&a.out, "profile.csv").expect("write csv");
+}
+
+/// Tail latency: per-op percentiles — beyond the paper's averages.
+fn tail(a: &Args) {
+    let keys = hart_workloads::random(a.records, a.seed);
+    let lat = hart_pm::LatencyConfig::c300_300();
+    let mut rep = Report::new(
+        "tail: per-op latency percentiles @ 300/300 (µs)",
+        &["tree", "op", "mean", "p50", "p90", "p99", "p99.9", "max"],
+    );
+    for kind in TreeKind::ALL {
+        let h = bench::run_basic_histograms(kind, lat, &keys);
+        for (op, hist) in
+            [("insert", &h.insert), ("search", &h.search), ("update", &h.update), ("delete", &h.delete)]
+        {
+            rep.row(vec![
+                kind.label().to_string(),
+                op.to_string(),
+                format!("{:.2}", hist.mean_ns() / 1e3),
+                format!("{:.2}", hist.quantile_ns(0.50) as f64 / 1e3),
+                format!("{:.2}", hist.quantile_ns(0.90) as f64 / 1e3),
+                format!("{:.2}", hist.quantile_ns(0.99) as f64 / 1e3),
+                format!("{:.2}", hist.quantile_ns(0.999) as f64 / 1e3),
+                format!("{:.2}", hist.max_ns() as f64 / 1e3),
+            ]);
+        }
+        eprintln!("[tail] {} done", kind.label());
+    }
+    rep.print();
+    rep.write_csv(&a.out, "tail.csv").expect("write csv");
+}
+
+fn summary(a: &Args, grid: &Grid) {
+    // Best-case speedups of HART vs each competitor per op (§I's headline).
+    let mut rep = Report::new(
+        "summary: best-case HART speedup over each competitor (×)",
+        &["competitor", "insert", "search", "update", "delete"],
+    );
+    for (ci, comp) in [(1usize, "WOART"), (2, "ART+CoW"), (3, "FPTree")] {
+        let mut best = [0.0f64; 4];
+        for cell in grid.values() {
+            let hart = &cell[0].1;
+            let other = &cell[ci].1;
+            for (i, (h, o)) in [
+                (hart.insert_us, other.insert_us),
+                (hart.search_us, other.search_us),
+                (hart.update_us, other.update_us),
+                (hart.delete_us, other.delete_us),
+            ]
+            .iter()
+            .enumerate()
+            {
+                if *h > 0.0 {
+                    best[i] = best[i].max(o / h);
+                }
+            }
+        }
+        rep.row(vec![
+            comp.to_string(),
+            format!("{:.1}", best[0]),
+            format!("{:.1}", best[1]),
+            format!("{:.1}", best[2]),
+            format!("{:.1}", best[3]),
+        ]);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "summary.csv").expect("write csv");
+}
+
+fn main() {
+    let a = parse_args();
+    println!(
+        "HART reproduction harness — cmd={} records={} dict={} out={}",
+        a.cmd,
+        a.records,
+        a.dict_records,
+        a.out.display()
+    );
+    let t0 = Instant::now();
+    match a.cmd.as_str() {
+        "fig4" | "fig5" | "fig6" | "fig7" | "figs4-7" => {
+            let grid = run_grid(&a);
+            emit_op_figure(&a, &grid, "fig4", "insertion", |r| r.insert_us);
+            emit_op_figure(&a, &grid, "fig5", "search", |r| r.search_us);
+            emit_op_figure(&a, &grid, "fig6", "update", |r| r.update_us);
+            emit_op_figure(&a, &grid, "fig7", "deletion", |r| r.delete_us);
+            summary(&a, &grid);
+        }
+        "fig8" => fig8(&a),
+        "extras" => extras(&a),
+        "profile" => profile(&a),
+        "tail" => tail(&a),
+        "fig9" => fig9(&a),
+        "fig10a" => fig10a(&a),
+        "fig10b" => fig10b(&a),
+        "fig10c" => fig10c(&a),
+        "fig10d" => fig10d(&a),
+        "all" => {
+            let grid = run_grid(&a);
+            emit_op_figure(&a, &grid, "fig4", "insertion", |r| r.insert_us);
+            emit_op_figure(&a, &grid, "fig5", "search", |r| r.search_us);
+            emit_op_figure(&a, &grid, "fig6", "update", |r| r.update_us);
+            emit_op_figure(&a, &grid, "fig7", "deletion", |r| r.delete_us);
+            fig8(&a);
+            fig9(&a);
+            fig10a(&a);
+            fig10b(&a);
+            fig10c(&a);
+            fig10d(&a);
+            summary(&a, &grid);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            eprintln!(
+                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d extras tail profile all"
+            );
+            std::process::exit(2);
+        }
+    }
+    println!("\ntotal harness time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,161 @@
+//! Power-of-two latency histograms for tail-latency reporting — an
+//! extension beyond the paper, which reports only averages. PM indexes
+//! have strongly bimodal operation costs (a search that stays in cache vs
+//! one that misses; an insert that fits a chunk vs one that allocates), so
+//! percentiles tell a sharper story than means.
+
+use std::fmt;
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram of nanosecond latencies.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns; recording is branch-light and
+/// allocation-free, so per-op instrumentation stays cheap.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate `p`-quantile (0 < p ≤ 1) in nanoseconds: the upper edge
+    /// of the bucket containing the quantile (conservative).
+    pub fn quantile_ns(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bucket edge, capped by the observed max.
+                return (1u64 << (i + 1).min(63)).min(self.max_ns.max(1));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Largest observed sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// One summary line: mean / p50 / p90 / p99 / p99.9 / max in µs.
+    pub fn summary(&self) -> String {
+        format!(
+            "mean {:>8.2}µs  p50 {:>8.2}µs  p90 {:>8.2}µs  p99 {:>8.2}µs  p99.9 {:>8.2}µs  max {:>8.2}µs",
+            self.mean_ns() / 1e3,
+            self.quantile_ns(0.50) as f64 / 1e3,
+            self.quantile_ns(0.90) as f64 / 1e3,
+            self.quantile_ns(0.99) as f64 / 1e3,
+            self.quantile_ns(0.999) as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({} samples, {})", self.total, self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(1_000)); // bucket ~2^10
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_nanos(1_000_000)); // bucket ~2^20
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.mean_ns() > 1_000.0 && h.mean_ns() < 200_000.0);
+        assert!(h.quantile_ns(0.5) < 10_000, "p50 in the fast mode");
+        assert!(h.quantile_ns(0.99) >= 1_000_000 / 2, "p99 in the slow mode");
+        assert_eq!(h.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_nanos(200_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 200_000);
+    }
+
+    #[test]
+    fn empty_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert!(h.summary().contains("p99"));
+    }
+
+    #[test]
+    fn zero_duration_goes_to_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(0));
+        assert_eq!(h.count(), 1);
+        let _ = h.quantile_ns(1.0);
+    }
+}

@@ -1,0 +1,546 @@
+//! Benchmark runner library: tree factories, timed phases, and result
+//! formatting shared by the figure harness binary and the Criterion
+//! benches.
+//!
+//! Every experiment builds each tree over its **own** fresh PM pool with
+//! identical latency settings (`TimeMode::Inject`, so wall-clock numbers
+//! already include the emulated PM penalties), then times one operation
+//! phase at a time, exactly like §IV-B: insert everything, search
+//! everything, update everything, delete everything.
+
+mod hist;
+
+pub use hist::Histogram;
+
+use hart::{Hart, HartConfig};
+use hart_artcow::ArtCow;
+use hart_fptree::FpTree;
+use hart_kv::{Key, PersistentIndex, Value};
+use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
+use hart_woart::Woart;
+use hart_wort::Wort;
+use hart_workloads::{value_for, Workload};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The four trees of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeKind {
+    Hart,
+    Woart,
+    ArtCow,
+    FpTree,
+    /// WORT — not part of the paper's figures; used by the `extras`
+    /// comparison (DESIGN.md §6).
+    Wort,
+}
+
+impl TreeKind {
+    /// Paper order: HART, WOART, ART+CoW, FPTree.
+    pub const ALL: [TreeKind; 4] =
+        [TreeKind::Hart, TreeKind::Woart, TreeKind::ArtCow, TreeKind::FpTree];
+
+    /// The paper's four plus WORT (the third FAST'17 radix tree).
+    pub const EXTENDED: [TreeKind; 5] = [
+        TreeKind::Hart,
+        TreeKind::Wort,
+        TreeKind::Woart,
+        TreeKind::ArtCow,
+        TreeKind::FpTree,
+    ];
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TreeKind::Hart => "HART",
+            TreeKind::Woart => "WOART",
+            TreeKind::ArtCow => "ART+CoW",
+            TreeKind::FpTree => "FPTree",
+            TreeKind::Wort => "WORT",
+        }
+    }
+
+    /// Build a fresh tree over its own pool.
+    pub fn build(&self, cfg: PoolConfig) -> Box<dyn PersistentIndex> {
+        self.build_with_pool(cfg).0
+    }
+
+    /// Build a fresh tree and keep a handle to its pool (event profiling).
+    pub fn build_with_pool(
+        &self,
+        cfg: PoolConfig,
+    ) -> (Box<dyn PersistentIndex>, Arc<PmemPool>) {
+        let pool = Arc::new(PmemPool::new(cfg));
+        let p = Arc::clone(&pool);
+        let tree: Box<dyn PersistentIndex> = match self {
+            TreeKind::Hart => {
+                Box::new(Hart::create(pool, HartConfig::default()).expect("create HART"))
+            }
+            TreeKind::Woart => Box::new(Woart::create(pool).expect("create WOART")),
+            TreeKind::ArtCow => Box::new(ArtCow::create(pool).expect("create ART+CoW")),
+            TreeKind::FpTree => Box::new(FpTree::create(pool).expect("create FPTree")),
+            TreeKind::Wort => Box::new(Wort::create(pool).expect("create WORT")),
+        };
+        (tree, p)
+    }
+}
+
+/// Pool sizing: generous per-record budget (leaves + values + internal
+/// nodes + transient CoW copies) plus fixed slack.
+pub fn pool_config(latency: LatencyConfig, records: usize) -> PoolConfig {
+    PoolConfig {
+        size_bytes: records
+            .saturating_mul(384)
+            .saturating_add(32 * 1024 * 1024)
+            .min(12 * 1024 * 1024 * 1024),
+        latency,
+        time_mode: TimeMode::Inject,
+        crash_sim: false,
+        ..PoolConfig::default()
+    }
+}
+
+/// Average-time-per-operation results of the four basic phases (Figs 4–7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BasicResult {
+    pub insert_us: f64,
+    pub search_us: f64,
+    pub update_us: f64,
+    pub delete_us: f64,
+    /// Total wall time of each phase (Fig. 8 reports totals).
+    pub insert_total: Duration,
+    pub search_total: Duration,
+    pub update_total: Duration,
+    pub delete_total: Duration,
+}
+
+fn avg_us(total: Duration, n: usize) -> f64 {
+    total.as_secs_f64() * 1e6 / n.max(1) as f64
+}
+
+/// Run the four basic phases on a freshly built tree.
+pub fn run_basic(kind: TreeKind, latency: LatencyConfig, keys: &[Key]) -> BasicResult {
+    let tree = kind.build(pool_config(latency, keys.len()));
+    let values: Vec<Value> = keys.iter().map(value_for).collect();
+    let n = keys.len();
+
+    let t0 = Instant::now();
+    for (k, v) in keys.iter().zip(&values) {
+        tree.insert(k, v).expect("insert");
+    }
+    let insert_total = t0.elapsed();
+
+    let t0 = Instant::now();
+    for k in keys {
+        let got = tree.search(k).expect("search");
+        debug_assert!(got.is_some());
+    }
+    let search_total = t0.elapsed();
+
+    let t0 = Instant::now();
+    for (k, v) in keys.iter().zip(&values) {
+        let new = Value::from_u64(v.as_u64().wrapping_add(1));
+        let ok = tree.update(k, &new).expect("update");
+        debug_assert!(ok);
+    }
+    let update_total = t0.elapsed();
+
+    let t0 = Instant::now();
+    for k in keys {
+        let ok = tree.remove(k).expect("delete");
+        debug_assert!(ok);
+    }
+    let delete_total = t0.elapsed();
+
+    BasicResult {
+        insert_us: avg_us(insert_total, n),
+        search_us: avg_us(search_total, n),
+        update_us: avg_us(update_total, n),
+        delete_us: avg_us(delete_total, n),
+        insert_total,
+        search_total,
+        update_total,
+        delete_total,
+    }
+}
+
+/// Run one YCSB-style mix (Fig. 9): preload, then time the mixed ops.
+pub fn run_mixed(
+    kind: TreeKind,
+    latency: LatencyConfig,
+    workload: &hart_workloads::YcsbWorkload,
+) -> f64 {
+    use hart_workloads::OpKind;
+    let tree =
+        kind.build(pool_config(latency, workload.preload.len() + workload.ops.len()));
+    for (k, v) in &workload.preload {
+        tree.insert(k, v).expect("preload");
+    }
+    let t0 = Instant::now();
+    for op in &workload.ops {
+        match op.kind {
+            OpKind::Insert => tree.insert(&op.key, &op.value).expect("insert"),
+            OpKind::Search => {
+                let _ = tree.search(&op.key).expect("search");
+            }
+            OpKind::Update => {
+                let _ = tree.update(&op.key, &op.value).expect("update");
+            }
+            OpKind::Delete => {
+                let _ = tree.remove(&op.key).expect("delete");
+            }
+        }
+    }
+    avg_us(t0.elapsed(), workload.ops.len())
+}
+
+/// Range-query experiment (Fig. 10a): the tree is loaded with `keys`
+/// (Sequential), then `queried` keys are looked up — per-key search for
+/// the ART-based trees, a linked-leaf scan for FPTree, exactly as §IV-D
+/// describes. Returns avg µs per queried record.
+pub fn run_range_query(kind: TreeKind, latency: LatencyConfig, keys: &[Key], query_n: usize) -> f64 {
+    let tree = kind.build(pool_config(latency, keys.len()));
+    for k in keys {
+        tree.insert(k, &value_for(k)).expect("insert");
+    }
+    let query_n = query_n.min(keys.len());
+    let t0 = Instant::now();
+    match kind {
+        TreeKind::FpTree => {
+            // Sorted linked leaves: one scan.
+            let got = tree.range(&keys[0], &keys[query_n - 1]).expect("range");
+            assert_eq!(got.len(), query_n);
+        }
+        _ => {
+            // "Simply implemented by calling a search function for each key."
+            let got = tree.multi_get(&keys[..query_n]).expect("multi_get");
+            debug_assert!(got.iter().all(|o| o.is_some()));
+        }
+    }
+    avg_us(t0.elapsed(), query_n)
+}
+
+/// Build-vs-recovery times (Fig. 10c) for HART.
+pub fn hart_build_recover(latency: LatencyConfig, keys: &[Key]) -> (Duration, Duration) {
+    let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
+    let t0 = Instant::now();
+    let tree = Hart::create(Arc::clone(&pool), HartConfig::default()).expect("create");
+    for k in keys {
+        tree.insert(k, &value_for(k)).expect("insert");
+    }
+    let build = t0.elapsed();
+    drop(tree);
+    let t0 = Instant::now();
+    let rec = Hart::recover(pool, HartConfig::default()).expect("recover");
+    let recover = t0.elapsed();
+    assert_eq!(rec.len(), keys.len());
+    (build, recover)
+}
+
+/// Build-vs-recovery times (Fig. 10c) for FPTree.
+pub fn fptree_build_recover(latency: LatencyConfig, keys: &[Key]) -> (Duration, Duration) {
+    let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
+    let t0 = Instant::now();
+    let tree = FpTree::create(Arc::clone(&pool)).expect("create");
+    for k in keys {
+        tree.insert(k, &value_for(k)).expect("insert");
+    }
+    let build = t0.elapsed();
+    drop(tree);
+    let t0 = Instant::now();
+    let rec = FpTree::recover(pool).expect("recover");
+    let recover = t0.elapsed();
+    assert_eq!(rec.len(), keys.len());
+    (build, recover)
+}
+
+/// HART multithreaded throughput in MIOPS (Fig. 10d). `op` is one of
+/// "insert", "search", "update", "delete". Keys are partitioned across
+/// `threads`; for the non-insert ops the tree is pre-populated.
+pub fn hart_scalability(latency: LatencyConfig, keys: &[Key], threads: usize, op: &str) -> f64 {
+    let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
+    let tree = Arc::new(Hart::create(pool, HartConfig::default()).expect("create"));
+    if op != "insert" {
+        for k in keys {
+            tree.insert(k, &value_for(k)).expect("preload");
+        }
+    }
+    let chunk = keys.len().div_ceil(threads);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for part in keys.chunks(chunk) {
+            let tree = Arc::clone(&tree);
+            s.spawn(move || {
+                for k in part {
+                    match op {
+                        "insert" => tree.insert(k, &value_for(k)).expect("insert"),
+                        "search" => {
+                            let got = tree.search(k).expect("search");
+                            debug_assert!(got.is_some());
+                        }
+                        "update" => {
+                            let _ = tree.update(k, &Value::from_u64(1)).expect("update");
+                        }
+                        "delete" => {
+                            let _ = tree.remove(k).expect("delete");
+                        }
+                        _ => panic!("unknown op {op}"),
+                    }
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    keys.len() as f64 / secs / 1e6
+}
+
+/// Per-phase PM event counts: the drivers of every figure, per operation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpProfile {
+    /// `persistent()` calls per operation.
+    pub persists: f64,
+    /// PM cache lines read per operation.
+    pub pm_reads: f64,
+    /// Of those, simulated-cache misses per operation.
+    pub pm_misses: f64,
+    /// Raw allocator calls (alloc + free) per operation.
+    pub allocs: f64,
+    /// Modeled extra latency per operation (µs) under the pool's config.
+    pub modeled_extra_us: f64,
+}
+
+/// Event profile of the four basic phases (harness `profile` command).
+pub struct BasicProfile {
+    pub insert: OpProfile,
+    pub search: OpProfile,
+    pub update: OpProfile,
+    pub delete: OpProfile,
+}
+
+/// Count PM events per op for each phase. Uses `TimeMode::Model` so no
+/// latency is injected — this is pure event accounting, and it explains
+/// *why* the timed figures look the way they do.
+pub fn run_profile(kind: TreeKind, latency: LatencyConfig, keys: &[Key]) -> BasicProfile {
+    let cfg = PoolConfig { time_mode: TimeMode::Model, ..pool_config(latency, keys.len()) };
+    let (tree, pool) = kind.build_with_pool(cfg);
+    let values: Vec<Value> = keys.iter().map(value_for).collect();
+    let n = keys.len() as f64;
+    let stats = pool.stats();
+
+    let snap0 = stats.snapshot();
+    for (k, v) in keys.iter().zip(&values) {
+        tree.insert(k, v).expect("insert");
+    }
+    let snap1 = stats.snapshot();
+    for k in keys {
+        let _ = tree.search(k).expect("search");
+    }
+    let snap2 = stats.snapshot();
+    for (k, v) in keys.iter().zip(&values) {
+        tree.update(k, &Value::from_u64(v.as_u64() ^ 1)).expect("update");
+    }
+    let snap3 = stats.snapshot();
+    for k in keys {
+        tree.remove(k).expect("delete");
+    }
+    let snap4 = stats.snapshot();
+
+    let diff = |a: hart_pm::PmStatsSnapshot, b: hart_pm::PmStatsSnapshot| OpProfile {
+        persists: (b.persist_calls - a.persist_calls) as f64 / n,
+        pm_reads: (b.read_lines - a.read_lines) as f64 / n,
+        pm_misses: (b.read_misses - a.read_misses) as f64 / n,
+        allocs: ((b.raw_allocs - a.raw_allocs) + (b.raw_frees - a.raw_frees)) as f64 / n,
+        modeled_extra_us: (b.extra_ns() - a.extra_ns()) as f64 / n / 1e3,
+    };
+    BasicProfile {
+        insert: diff(snap0, snap1),
+        search: diff(snap1, snap2),
+        update: diff(snap2, snap3),
+        delete: diff(snap3, snap4),
+    }
+}
+
+/// Per-operation latency histograms of the four basic phases — the
+/// tail-latency extension (harness `tail` command). More expensive than
+/// [`run_basic`] (one `Instant` pair per op).
+pub struct BasicHistograms {
+    pub insert: Histogram,
+    pub search: Histogram,
+    pub update: Histogram,
+    pub delete: Histogram,
+}
+
+/// Like [`run_basic`] but recording every single operation's latency.
+pub fn run_basic_histograms(
+    kind: TreeKind,
+    latency: LatencyConfig,
+    keys: &[Key],
+) -> BasicHistograms {
+    let tree = kind.build(pool_config(latency, keys.len()));
+    let values: Vec<Value> = keys.iter().map(value_for).collect();
+    let mut out = BasicHistograms {
+        insert: Histogram::new(),
+        search: Histogram::new(),
+        update: Histogram::new(),
+        delete: Histogram::new(),
+    };
+    for (k, v) in keys.iter().zip(&values) {
+        let t0 = Instant::now();
+        tree.insert(k, v).expect("insert");
+        out.insert.record(t0.elapsed());
+    }
+    for k in keys {
+        let t0 = Instant::now();
+        let got = tree.search(k).expect("search");
+        out.search.record(t0.elapsed());
+        debug_assert!(got.is_some());
+    }
+    for (k, v) in keys.iter().zip(&values) {
+        let new = Value::from_u64(v.as_u64().wrapping_add(1));
+        let t0 = Instant::now();
+        let ok = tree.update(k, &new).expect("update");
+        out.update.record(t0.elapsed());
+        debug_assert!(ok);
+    }
+    for k in keys {
+        let t0 = Instant::now();
+        let ok = tree.remove(k).expect("delete");
+        out.delete.record(t0.elapsed());
+        debug_assert!(ok);
+    }
+    out
+}
+
+// ------------------------------------------------------------- reporting
+
+/// A simple fixed-width table printer + CSV writer.
+pub struct Report {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    pub fn new(title: &str, header: &[&str]) -> Report {
+        Report {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Print as an aligned table to stdout.
+    pub fn print(&self) {
+        println!("\n=== {} ===", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Write as CSV under `dir`.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(name))?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared key-set cache so the harness generates each workload once.
+pub fn workload_keys(w: Workload, n: usize, seed: u64) -> Vec<Key> {
+    w.keys(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_trees_run_small_basic() {
+        let keys = hart_workloads::random(2000, 3);
+        for kind in TreeKind::ALL {
+            let r = run_basic(kind, LatencyConfig::dram(), &keys);
+            assert!(r.insert_us > 0.0, "{}", kind.label());
+            assert!(r.search_us > 0.0);
+            assert!(r.update_us > 0.0);
+            assert!(r.delete_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn mixed_runs_on_all_trees() {
+        let w = hart_workloads::YcsbWorkload::generate(
+            hart_workloads::MixSpec::read_intensive(),
+            500,
+            1000,
+            9,
+        );
+        for kind in TreeKind::ALL {
+            let us = run_mixed(kind, LatencyConfig::dram(), &w);
+            assert!(us > 0.0);
+        }
+    }
+
+    #[test]
+    fn range_query_runs() {
+        let keys = hart_workloads::sequential(2000);
+        for kind in TreeKind::ALL {
+            let us = run_range_query(kind, LatencyConfig::dram(), &keys, 1000);
+            assert!(us > 0.0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn recovery_helpers_roundtrip() {
+        let keys = hart_workloads::random(2000, 5);
+        let (b, r) = hart_build_recover(LatencyConfig::dram(), &keys);
+        assert!(b > Duration::ZERO && r > Duration::ZERO);
+        let (b, r) = fptree_build_recover(LatencyConfig::dram(), &keys);
+        assert!(b > Duration::ZERO && r > Duration::ZERO);
+    }
+
+    #[test]
+    fn scalability_runs_two_threads() {
+        let keys = hart_workloads::random(4000, 11);
+        let miops = hart_scalability(LatencyConfig::c300_100(), &keys, 2, "insert");
+        assert!(miops > 0.0);
+        let miops = hart_scalability(LatencyConfig::c300_100(), &keys, 2, "search");
+        assert!(miops > 0.0);
+    }
+
+    #[test]
+    fn report_formats() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.print();
+        let dir = std::env::temp_dir().join("hart-bench-test");
+        r.write_csv(&dir, "t.csv").unwrap();
+        let s = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,497 @@
+//! `hart-cli` — a command-line key-value tool over HART pool images.
+//!
+//! The emulated PM pool serializes to an image file
+//! ([`hart_pm::PmemPool::save_image`]), so the index genuinely persists
+//! across process runs: every mutating command loads the image, runs
+//! Algorithm 7 recovery, applies the operation, and writes the image back.
+//!
+//! ```text
+//! hart-cli create store.img --size-mb 64
+//! hart-cli put    store.img user:1001 alice
+//! hart-cli get    store.img user:1001
+//! hart-cli scan   store.img user: user:~ --limit 10
+//! hart-cli load   store.img --workload random --n 10000
+//! hart-cli stats  store.img
+//! hart-cli fsck   store.img
+//! hart-cli del    store.img user:1001
+//! hart-cli repl   store.img
+//! ```
+//!
+//! The library surface (`run`, `repl`) exists so integration tests can
+//! drive the tool without spawning processes.
+
+use hart::{Hart, HartConfig};
+use hart_kv::{Key, PersistentIndex, Value};
+use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Index(hart_kv::Error),
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Index(e) => write!(f, "index error: {e}"),
+            CliError::Corrupt(m) => write!(f, "image problem: {m}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<hart_kv::Error> for CliError {
+    fn from(e: hart_kv::Error) -> Self {
+        CliError::Index(e)
+    }
+}
+
+pub type CliResult = Result<String, CliError>;
+
+/// Parsed global options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub image: PathBuf,
+    pub latency: LatencyConfig,
+    pub size_mb: usize,
+    pub limit: usize,
+    pub n: usize,
+    pub workload: String,
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            image: PathBuf::new(),
+            latency: LatencyConfig::dram(),
+            size_mb: 64,
+            limit: usize::MAX,
+            n: 10_000,
+            workload: "random".into(),
+            seed: 42,
+        }
+    }
+}
+
+fn parse_latency(s: &str) -> Result<LatencyConfig, CliError> {
+    match s {
+        "300/100" => Ok(LatencyConfig::c300_100()),
+        "300/300" => Ok(LatencyConfig::c300_300()),
+        "600/300" => Ok(LatencyConfig::c600_300()),
+        "dram" => Ok(LatencyConfig::dram()),
+        other => Err(CliError::Usage(format!(
+            "unknown latency {other} (use 300/100, 300/300, 600/300 or dram)"
+        ))),
+    }
+}
+
+fn pool_cfg(opts: &Options) -> PoolConfig {
+    PoolConfig {
+        size_bytes: opts.size_mb * 1024 * 1024,
+        latency: opts.latency,
+        time_mode: TimeMode::Inject,
+        ..PoolConfig::default()
+    }
+}
+
+fn load(opts: &Options) -> Result<(Arc<PmemPool>, Hart), CliError> {
+    let pool = Arc::new(PmemPool::load_image(&opts.image, pool_cfg(opts))?);
+    let hart = Hart::recover(Arc::clone(&pool), HartConfig::default())?;
+    Ok((pool, hart))
+}
+
+fn save(pool: &PmemPool, path: &Path) -> Result<(), CliError> {
+    pool.save_image(path)?;
+    Ok(())
+}
+
+fn parse_key(s: &str) -> Result<Key, CliError> {
+    Key::new(s.as_bytes()).map_err(CliError::Index)
+}
+
+fn parse_value(s: &str) -> Result<Value, CliError> {
+    Value::new(s.as_bytes()).map_err(CliError::Index)
+}
+
+fn show_value(v: &Value) -> String {
+    match std::str::from_utf8(v.as_slice()) {
+        Ok(s) if s.chars().all(|c| !c.is_control()) => s.to_string(),
+        _ => format!("0x{}", v.as_slice().iter().map(|b| format!("{b:02x}")).collect::<String>()),
+    }
+}
+
+/// Top-level entry: parse `args` (without argv[0]) and execute.
+pub fn run(args: &[String]) -> CliResult {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage(usage()));
+    };
+    let mut opts = Options::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--latency" => opts.latency = parse_latency(&grab("--latency")?)?,
+            "--size-mb" => {
+                opts.size_mb = grab("--size-mb")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--size-mb: not a number".into()))?
+            }
+            "--limit" => {
+                opts.limit = grab("--limit")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--limit: not a number".into()))?
+            }
+            "--n" => {
+                opts.n = grab("--n")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--n: not a number".into()))?
+            }
+            "--seed" => {
+                opts.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed: not a number".into()))?
+            }
+            "--workload" => opts.workload = grab("--workload")?,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag {flag}")));
+            }
+            p => positional.push(p.to_string()),
+        }
+    }
+    if positional.is_empty() && cmd != "help" {
+        return Err(CliError::Usage("every command needs an image path".into()));
+    }
+    if !positional.is_empty() {
+        opts.image = PathBuf::from(&positional[0]);
+    }
+    let args = &positional[1.min(positional.len())..];
+
+    match cmd.as_str() {
+        "help" => Ok(usage()),
+        "create" => cmd_create(&opts),
+        "put" => cmd_put(&opts, args),
+        "get" => cmd_get(&opts, args),
+        "del" => cmd_del(&opts, args),
+        "scan" => cmd_scan(&opts, args),
+        "load" => cmd_load(&opts),
+        "stats" => cmd_stats(&opts),
+        "fsck" => cmd_fsck(&opts),
+        other => Err(CliError::Usage(format!("unknown command {other}\n{}", usage()))),
+    }
+}
+
+fn usage() -> String {
+    "hart-cli <command> <image> [args] [--latency 300/300] [--size-mb N]\n\
+     commands:\n\
+     \x20 create <image> [--size-mb N]        format a fresh HART pool image\n\
+     \x20 put    <image> <key> <value>        insert or update one record\n\
+     \x20 get    <image> <key>                look one key up\n\
+     \x20 del    <image> <key>                delete one key\n\
+     \x20 scan   <image> <start> <end> [--limit N]   ordered range scan\n\
+     \x20 load   <image> [--workload random|sequential|dictionary] [--n N] [--seed S]\n\
+     \x20 stats  <image>                      record/ART/memory statistics\n\
+     \x20 fsck   <image>                      deep-verify the persistent image\n\
+     \x20 repl   <image>                      interactive session (binary only)"
+        .to_string()
+}
+
+fn cmd_create(opts: &Options) -> CliResult {
+    let pool = Arc::new(PmemPool::new(pool_cfg(opts)));
+    let hart = Hart::create(Arc::clone(&pool), HartConfig::default())?;
+    drop(hart);
+    save(&pool, &opts.image)?;
+    Ok(format!("created {} ({} MiB)", opts.image.display(), opts.size_mb))
+}
+
+fn cmd_put(opts: &Options, args: &[String]) -> CliResult {
+    let [key, value] = args else {
+        return Err(CliError::Usage("put <image> <key> <value>".into()));
+    };
+    let (pool, hart) = load(opts)?;
+    hart.insert(&parse_key(key)?, &parse_value(value)?)?;
+    drop(hart);
+    save(&pool, &opts.image)?;
+    Ok(format!("put {key}"))
+}
+
+fn cmd_get(opts: &Options, args: &[String]) -> CliResult {
+    let [key] = args else {
+        return Err(CliError::Usage("get <image> <key>".into()));
+    };
+    let (_pool, hart) = load(opts)?;
+    match hart.search(&parse_key(key)?)? {
+        Some(v) => Ok(show_value(&v)),
+        None => Ok(format!("(not found: {key})")),
+    }
+}
+
+fn cmd_del(opts: &Options, args: &[String]) -> CliResult {
+    let [key] = args else {
+        return Err(CliError::Usage("del <image> <key>".into()));
+    };
+    let (pool, hart) = load(opts)?;
+    let removed = hart.remove(&parse_key(key)?)?;
+    drop(hart);
+    save(&pool, &opts.image)?;
+    Ok(if removed { format!("deleted {key}") } else { format!("(not found: {key})") })
+}
+
+fn cmd_scan(opts: &Options, args: &[String]) -> CliResult {
+    let [start, end] = args else {
+        return Err(CliError::Usage("scan <image> <start> <end>".into()));
+    };
+    let (_pool, hart) = load(opts)?;
+    let hits = hart.range(&parse_key(start)?, &parse_key(end)?)?;
+    let mut out = String::new();
+    for (k, v) in hits.iter().take(opts.limit) {
+        writeln!(out, "{k}\t{}", show_value(v)).unwrap();
+    }
+    write!(out, "{} record(s)", hits.len().min(opts.limit)).unwrap();
+    Ok(out)
+}
+
+fn cmd_load(opts: &Options) -> CliResult {
+    let keys = match opts.workload.as_str() {
+        "random" => hart_workloads::random(opts.n, opts.seed),
+        "sequential" => hart_workloads::sequential(opts.n),
+        "dictionary" => hart_workloads::dictionary::dictionary_of_size(opts.n),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown workload {other} (random|sequential|dictionary)"
+            )))
+        }
+    };
+    let (pool, hart) = load(opts)?;
+    let t0 = std::time::Instant::now();
+    for k in &keys {
+        hart.insert(k, &hart_workloads::value_for(k))?;
+    }
+    let dt = t0.elapsed();
+    let total = hart.len();
+    drop(hart);
+    save(&pool, &opts.image)?;
+    Ok(format!(
+        "loaded {} {} keys in {:.2}s ({:.2} µs/op); {} records total",
+        keys.len(),
+        opts.workload,
+        dt.as_secs_f64(),
+        dt.as_secs_f64() * 1e6 / keys.len().max(1) as f64,
+        total
+    ))
+}
+
+fn cmd_stats(opts: &Options) -> CliResult {
+    let (_pool, hart) = load(opts)?;
+    let m = hart.memory_stats();
+    let a = hart.alloc_stats();
+    let mut out = String::new();
+    writeln!(out, "records : {}", hart.len()).unwrap();
+    writeln!(out, "ARTs    : {}", hart.art_count()).unwrap();
+    writeln!(out, "memory  : {m}").unwrap();
+    writeln!(out, "alloc   : leaves={} v8={} v16={}", a.live[0], a.live[1], a.live[2]).unwrap();
+    write!(out, "chunks  : leaf={} v8={} v16={}", a.chunks[0], a.chunks[1], a.chunks[2])
+        .unwrap();
+    Ok(out)
+}
+
+fn cmd_fsck(opts: &Options) -> CliResult {
+    let (_pool, hart) = load(opts)?;
+    let rep = hart.epallocator().verify();
+    let dram = hart.check_consistency();
+    let mut out = format!("{rep}");
+    match dram {
+        Ok(()) => out.push_str("\nDRAM structures consistent ✓"),
+        Err(e) => {
+            return Err(CliError::Corrupt(format!("{out}\nDRAM inconsistency: {e}")));
+        }
+    }
+    if rep.is_healthy() {
+        Ok(out)
+    } else {
+        Err(CliError::Corrupt(out))
+    }
+}
+
+/// Interactive session over any reader/writer (stdin/stdout in the
+/// binary; byte buffers in tests). Saves the image on `exit`.
+pub fn repl(opts: &Options, input: impl BufRead, mut output: impl Write) -> Result<(), CliError> {
+    let (pool, hart) = load(opts)?;
+    writeln!(output, "hart-cli repl — {} records; commands: put get del scan stats fsck exit", hart.len())?;
+    for line in input.lines() {
+        let line = line?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let reply: CliResult = match words.as_slice() {
+            [] => continue,
+            ["exit"] | ["quit"] => break,
+            ["put", k, v] => (|| {
+                hart.insert(&parse_key(k)?, &parse_value(v)?)?;
+                Ok(format!("put {k}"))
+            })(),
+            ["get", k] => (|| {
+                Ok(match hart.search(&parse_key(k)?)? {
+                    Some(v) => show_value(&v),
+                    None => format!("(not found: {k})"),
+                })
+            })(),
+            ["del", k] => (|| {
+                Ok(if hart.remove(&parse_key(k)?)? {
+                    format!("deleted {k}")
+                } else {
+                    format!("(not found: {k})")
+                })
+            })(),
+            ["scan", a, b] => (|| {
+                let hits = hart.range(&parse_key(a)?, &parse_key(b)?)?;
+                let mut s = String::new();
+                for (k, v) in &hits {
+                    writeln!(s, "{k}\t{}", show_value(v)).unwrap();
+                }
+                write!(s, "{} record(s)", hits.len()).unwrap();
+                Ok(s)
+            })(),
+            ["stats"] => Ok(format!(
+                "{} records, {} ARTs, {}",
+                hart.len(),
+                hart.art_count(),
+                hart.memory_stats()
+            )),
+            ["fsck"] => {
+                let rep = hart.epallocator().verify();
+                Ok(format!("{rep}"))
+            }
+            other => Err(CliError::Usage(format!("unknown repl command {other:?}"))),
+        };
+        match reply {
+            Ok(s) => writeln!(output, "{s}")?,
+            Err(e) => writeln!(output, "error: {e}")?,
+        }
+    }
+    drop(hart);
+    save(&pool, &opts.image)?;
+    writeln!(output, "saved {}", opts.image.display())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hart-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn runv(args: &[&str]) -> CliResult {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn create_put_get_del_roundtrip() {
+        let img = tmp("roundtrip.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "16"]).unwrap();
+        runv(&["put", img_s, "user:1", "alice"]).unwrap();
+        runv(&["put", img_s, "user:2", "bob"]).unwrap();
+        assert_eq!(runv(&["get", img_s, "user:1"]).unwrap(), "alice");
+        assert_eq!(runv(&["get", img_s, "user:3"]).unwrap(), "(not found: user:3)");
+        assert_eq!(runv(&["del", img_s, "user:1"]).unwrap(), "deleted user:1");
+        assert_eq!(runv(&["get", img_s, "user:1"]).unwrap(), "(not found: user:1)");
+        assert_eq!(runv(&["get", img_s, "user:2"]).unwrap(), "bob");
+    }
+
+    #[test]
+    fn scan_is_sorted_and_limited() {
+        let img = tmp("scan.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "16"]).unwrap();
+        for k in ["b", "a", "c", "ab"] {
+            runv(&["put", img_s, k, "v"]).unwrap();
+        }
+        let out = runv(&["scan", img_s, "a", "c"]).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[..4], ["a\tv", "ab\tv", "b\tv", "c\tv"]);
+        let out = runv(&["scan", img_s, "a", "c", "--limit", "2"]).unwrap();
+        assert!(out.ends_with("2 record(s)"), "{out}");
+    }
+
+    #[test]
+    fn load_and_stats_and_fsck() {
+        let img = tmp("load.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "32"]).unwrap();
+        let out = runv(&["load", img_s, "--workload", "sequential", "--n", "500"]).unwrap();
+        assert!(out.contains("loaded 500"), "{out}");
+        let out = runv(&["stats", img_s]).unwrap();
+        assert!(out.contains("records : 500"), "{out}");
+        let out = runv(&["fsck", img_s]).unwrap();
+        assert!(out.contains("healthy"), "{out}");
+        assert!(out.contains("consistent"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(runv(&["put"]), Err(CliError::Usage(_))));
+        assert!(matches!(runv(&["frobnicate", "x.img"]), Err(CliError::Usage(_))));
+        let img = tmp("usage.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "16"]).unwrap();
+        assert!(matches!(runv(&["put", img_s, "only-key"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            runv(&["get", img_s, "key", "--latency", "9000/1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn get_on_missing_image_fails() {
+        assert!(matches!(runv(&["get", "/nonexistent/nope.img", "k"]), Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn repl_session() {
+        let img = tmp("repl.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "16"]).unwrap();
+        let script = "put k1 hello\nput k2 world\nget k1\nscan k1 k2\ndel k1\nget k1\nstats\nexit\n";
+        let mut out = Vec::new();
+        let opts = Options { image: img.clone(), ..Options::default() };
+        repl(&opts, script.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("put k1"));
+        assert!(out.contains("hello"));
+        assert!(out.contains("deleted k1"));
+        assert!(out.contains("(not found: k1)"));
+        assert!(out.contains("saved"));
+        // Effects persisted.
+        assert_eq!(runv(&["get", img_s, "k2"]).unwrap(), "world");
+        assert_eq!(runv(&["get", img_s, "k1"]).unwrap(), "(not found: k1)");
+    }
+
+    #[test]
+    fn dictionary_load_works() {
+        let img = tmp("dict.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "16"]).unwrap();
+        let out = runv(&["load", img_s, "--workload", "dictionary", "--n", "200"]).unwrap();
+        assert!(out.contains("loaded 200 dictionary"), "{out}");
+    }
+}

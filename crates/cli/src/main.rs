@@ -1,0 +1,37 @@
+//! `hart-cli` binary entry point. All logic lives in the library so
+//! integration tests can drive it directly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `repl` needs the live stdin/stdout, so it is dispatched here rather
+    // than through `run`.
+    if args.first().map(String::as_str) == Some("repl") {
+        let mut opts = hart_cli::Options::default();
+        let Some(image) = args.get(1) else {
+            eprintln!("usage: hart-cli repl <image>");
+            return ExitCode::from(2);
+        };
+        opts.image = image.into();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match hart_cli::repl(&opts, stdin.lock(), stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match hart_cli::run(&args) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

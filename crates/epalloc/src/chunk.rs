@@ -1,0 +1,297 @@
+//! Memory-chunk geometry and the packed chunk header of Fig. 2.
+
+use hart_pm::{PmPtr, PmemPool};
+
+/// Objects per memory chunk (Fig. 2: "56 leaf nodes" / "56 value objects").
+pub const OBJS_PER_CHUNK: u64 = 56;
+
+/// Offset of the object array within a chunk: 8-byte header + 8-byte PNext.
+pub(crate) const CHUNK_DATA_OFF: u64 = 16;
+
+/// Offset of the `PNext` pointer within a chunk.
+pub(crate) const CHUNK_PNEXT_OFF: u64 = 8;
+
+const BITMAP_MASK: u64 = (1 << OBJS_PER_CHUNK) - 1;
+const HINT_SHIFT: u32 = 56;
+const HINT_MASK: u64 = 0x3F;
+const FULL_SHIFT: u32 = 62;
+
+/// The paper's three object classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjClass {
+    /// 40-byte HART leaf nodes.
+    Leaf,
+    /// 8-byte value objects.
+    Value8,
+    /// 16-byte value objects.
+    Value16,
+}
+
+impl ObjClass {
+    /// All classes, in index order.
+    pub const ALL: [ObjClass; 3] = [ObjClass::Leaf, ObjClass::Value8, ObjClass::Value16];
+
+    /// Dense index 0..3.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            ObjClass::Leaf => 0,
+            ObjClass::Value8 => 1,
+            ObjClass::Value16 => 2,
+        }
+    }
+
+    /// Class from dense index.
+    pub fn from_idx(i: usize) -> ObjClass {
+        Self::ALL[i]
+    }
+
+    /// The value class for a value of `len` bytes (§III-A.5: two sizes).
+    #[inline]
+    pub fn for_value_len(len: usize) -> ObjClass {
+        if len <= 8 {
+            ObjClass::Value8
+        } else {
+            ObjClass::Value16
+        }
+    }
+
+    /// Object size in bytes.
+    #[inline]
+    pub fn obj_size(self) -> u64 {
+        match self {
+            ObjClass::Leaf => crate::leaf::LEAF_SIZE as u64,
+            ObjClass::Value8 => 8,
+            ObjClass::Value16 => 16,
+        }
+    }
+
+    /// Full chunk geometry for this class.
+    #[inline]
+    pub fn geometry(self) -> Geometry {
+        Geometry::of(self)
+    }
+}
+
+/// Chunk geometry: size, alignment and object addressing.
+///
+/// Chunks are allocated at an alignment ≥ their size (rounded to the next
+/// power of two) so the enclosing chunk of any object pointer is recovered
+/// with a single mask — the emulation's equivalent of the paper's
+/// `MemChunkOf()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    pub class: ObjClass,
+    pub obj_size: u64,
+    pub chunk_bytes: usize,
+    pub align: u64,
+}
+
+impl Geometry {
+    /// Geometry of `class`.
+    pub fn of(class: ObjClass) -> Geometry {
+        let obj_size = class.obj_size();
+        let chunk_bytes = (CHUNK_DATA_OFF + OBJS_PER_CHUNK * obj_size) as usize;
+        let align = (chunk_bytes as u64).next_power_of_two();
+        Geometry { class, obj_size, chunk_bytes, align }
+    }
+
+    /// Pointer to object `idx` within `chunk`.
+    #[inline]
+    pub fn obj_ptr(&self, chunk: PmPtr, idx: u64) -> PmPtr {
+        debug_assert!(idx < OBJS_PER_CHUNK);
+        chunk.add(CHUNK_DATA_OFF + idx * self.obj_size)
+    }
+
+    /// Map an object pointer back to `(chunk, index)` — `MemChunkOf()`.
+    #[inline]
+    pub fn locate(&self, obj: PmPtr) -> (PmPtr, u64) {
+        let chunk = obj.align_down(self.align);
+        let delta = obj.offset() - chunk.offset();
+        debug_assert!(delta >= CHUNK_DATA_OFF, "pointer into chunk header");
+        let idx = (delta - CHUNK_DATA_OFF) / self.obj_size;
+        debug_assert_eq!(
+            (delta - CHUNK_DATA_OFF) % self.obj_size,
+            0,
+            "pointer not at an object boundary"
+        );
+        (chunk, idx)
+    }
+
+    /// Read a chunk's `PNext`.
+    #[inline]
+    pub fn read_pnext(&self, pool: &PmemPool, chunk: PmPtr) -> PmPtr {
+        PmPtr(pool.read::<u64>(chunk.add(CHUNK_PNEXT_OFF)))
+    }
+
+    /// Write + persist a chunk's `PNext`.
+    pub fn set_pnext(&self, pool: &PmemPool, chunk: PmPtr, next: PmPtr) {
+        pool.write_u64_atomic(chunk.add(CHUNK_PNEXT_OFF), next.offset());
+        pool.persist(chunk.add(CHUNK_PNEXT_OFF), 8);
+    }
+}
+
+/// The packed 8-byte chunk header of Fig. 2:
+///
+/// ```text
+/// bits  0..56  leaf/value bitmap (1 = used)
+/// bits 56..62  next-free-index hint
+/// bits 62..64  full indicator (00 available, 01 full, 10/11 reserved)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ChunkHeader(pub u64);
+
+impl ChunkHeader {
+    /// Load from PM.
+    #[inline]
+    pub fn load(pool: &PmemPool, chunk: PmPtr) -> ChunkHeader {
+        ChunkHeader(pool.read::<u64>(chunk))
+    }
+
+    /// Store + persist to PM (the "set and persistent() the bit" steps of
+    /// Algorithms 1, 3 and 5).
+    pub fn store(self, pool: &PmemPool, chunk: PmPtr) {
+        pool.write_u64_atomic(chunk, self.0);
+        pool.persist(chunk, 8);
+    }
+
+    /// The 56-bit occupancy bitmap.
+    #[inline]
+    pub fn bitmap(self) -> u64 {
+        self.0 & BITMAP_MASK
+    }
+
+    /// Is object `idx` marked used?
+    #[inline]
+    pub fn is_set(self, idx: u64) -> bool {
+        debug_assert!(idx < OBJS_PER_CHUNK);
+        self.0 & (1 << idx) != 0
+    }
+
+    /// Number of used objects.
+    #[inline]
+    pub fn popcount(self) -> u32 {
+        self.bitmap().count_ones()
+    }
+
+    /// The full indicator says no free object exists.
+    #[inline]
+    pub fn is_full(self) -> bool {
+        (self.0 >> FULL_SHIFT) & 0b11 == 0b01
+    }
+
+    /// The 6-bit next-free-index hint.
+    #[inline]
+    pub fn next_free_hint(self) -> u64 {
+        (self.0 >> HINT_SHIFT) & HINT_MASK
+    }
+
+    /// Return a header with bit `idx` set and hint/full recomputed.
+    #[must_use]
+    pub fn with_set(self, idx: u64) -> ChunkHeader {
+        debug_assert!(idx < OBJS_PER_CHUNK);
+        ChunkHeader::compose(self.bitmap() | (1 << idx))
+    }
+
+    /// Return a header with bit `idx` cleared and hint/full recomputed.
+    #[must_use]
+    pub fn with_clear(self, idx: u64) -> ChunkHeader {
+        debug_assert!(idx < OBJS_PER_CHUNK);
+        ChunkHeader::compose(self.bitmap() & !(1 << idx))
+    }
+
+    /// Build a header from a bitmap, computing hint and full indicator.
+    pub fn compose(bitmap: u64) -> ChunkHeader {
+        debug_assert_eq!(bitmap & !BITMAP_MASK, 0);
+        let free = !bitmap & BITMAP_MASK;
+        if free == 0 {
+            // Full: indicator 01, hint unused (0).
+            ChunkHeader(bitmap | (0b01 << FULL_SHIFT))
+        } else {
+            let hint = free.trailing_zeros() as u64;
+            ChunkHeader(bitmap | (hint << HINT_SHIFT))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_invariants() {
+        for class in ObjClass::ALL {
+            let g = Geometry::of(class);
+            assert!(g.align >= g.chunk_bytes as u64, "{class:?}");
+            assert!(g.align.is_power_of_two());
+            assert_eq!(g.chunk_bytes as u64, CHUNK_DATA_OFF + OBJS_PER_CHUNK * g.obj_size);
+        }
+        // Spot-check the paper's leaf geometry: 16 + 56*40 = 2256 B.
+        assert_eq!(Geometry::of(ObjClass::Leaf).chunk_bytes, 2256);
+        assert_eq!(Geometry::of(ObjClass::Leaf).align, 4096);
+        assert_eq!(Geometry::of(ObjClass::Value8).chunk_bytes, 464);
+        assert_eq!(Geometry::of(ObjClass::Value16).chunk_bytes, 912);
+    }
+
+    #[test]
+    fn obj_ptr_locate_roundtrip() {
+        for class in ObjClass::ALL {
+            let g = Geometry::of(class);
+            let chunk = PmPtr(g.align * 3);
+            for idx in [0u64, 1, 27, 55] {
+                let p = g.obj_ptr(chunk, idx);
+                assert_eq!(g.locate(p), (chunk, idx), "{class:?} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_set_clear() {
+        let h = ChunkHeader::compose(0);
+        assert!(!h.is_full());
+        assert_eq!(h.next_free_hint(), 0);
+        assert_eq!(h.popcount(), 0);
+
+        let h = h.with_set(0);
+        assert!(h.is_set(0));
+        assert_eq!(h.next_free_hint(), 1);
+
+        let h = h.with_set(1).with_set(2);
+        assert_eq!(h.next_free_hint(), 3);
+        assert_eq!(h.popcount(), 3);
+
+        let h = h.with_clear(1);
+        assert_eq!(h.next_free_hint(), 1);
+        assert!(!h.is_set(1));
+    }
+
+    #[test]
+    fn header_full_indicator() {
+        let mut h = ChunkHeader::compose(0);
+        for i in 0..OBJS_PER_CHUNK {
+            assert!(!h.is_full(), "not full before bit {i}");
+            h = h.with_set(i);
+        }
+        assert!(h.is_full());
+        assert_eq!(h.popcount(), 56);
+        let h = h.with_clear(37);
+        assert!(!h.is_full());
+        assert_eq!(h.next_free_hint(), 37);
+    }
+
+    #[test]
+    fn value_class_selection() {
+        assert_eq!(ObjClass::for_value_len(0), ObjClass::Value8);
+        assert_eq!(ObjClass::for_value_len(8), ObjClass::Value8);
+        assert_eq!(ObjClass::for_value_len(9), ObjClass::Value16);
+        assert_eq!(ObjClass::for_value_len(16), ObjClass::Value16);
+    }
+
+    #[test]
+    fn class_indexing() {
+        for (i, c) in ObjClass::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert_eq!(ObjClass::from_idx(i), *c);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Micro-log guards: the update log of Algorithm 3 and the recycle log of
+//! Algorithm 6.
+//!
+//! The paper's `GetMicroLog(UPDATE)` / `GetMicroLog(RECYCLE)` hand out a
+//! persistent log record; this module wraps a slot from the root page's log
+//! pool in an RAII guard. **Dropping a guard without calling
+//! [`UlogGuard::finish`] releases the volatile slot but leaves the PM record
+//! intact** — deliberately, so a simulated crash between log writes leaves
+//! exactly the bytes recovery will see (`EPallocator::open` replays every
+//! non-empty slot).
+
+use crate::chunk::ObjClass;
+use crate::root::{
+    Root, UlogMeta, RLOG_CLASS, RLOG_PCURRENT, RLOG_PPREV, RLOG_SIZE, ULOG_META, ULOG_PLEAF,
+    ULOG_PNEWV, ULOG_POLDV, ULOG_SIZE,
+};
+use hart_pm::{PmPtr, PmemPool};
+use parking_lot::{Condvar, Mutex};
+
+/// Volatile free-slot manager for a log pool.
+pub(crate) struct SlotPool {
+    free: Mutex<Vec<usize>>,
+    cv: Condvar,
+}
+
+impl SlotPool {
+    pub fn new(n: usize) -> SlotPool {
+        SlotPool { free: Mutex::new((0..n).collect()), cv: Condvar::new() }
+    }
+
+    /// Take a slot, waiting if every slot is in use (bounded by the number
+    /// of concurrent writers, so waits are rare and short).
+    pub fn acquire(&self) -> usize {
+        let mut free = self.free.lock();
+        loop {
+            if let Some(s) = free.pop() {
+                return s;
+            }
+            self.cv.wait(&mut free);
+        }
+    }
+
+    pub fn release(&self, slot: usize) {
+        self.free.lock().push(slot);
+        self.cv.notify_one();
+    }
+}
+
+/// RAII guard over a persistent update-log record (Algorithm 3).
+pub struct UlogGuard<'a> {
+    pub(crate) pool: &'a PmemPool,
+    pub(crate) root: Root,
+    pub(crate) slots: &'a SlotPool,
+    pub(crate) slot: usize,
+    finished: bool,
+}
+
+impl<'a> UlogGuard<'a> {
+    pub(crate) fn new(pool: &'a PmemPool, root: Root, slots: &'a SlotPool) -> UlogGuard<'a> {
+        let slot = slots.acquire();
+        UlogGuard { pool, root, slots, slot, finished: false }
+    }
+
+    #[inline]
+    fn base(&self) -> PmPtr {
+        self.root.ulog_ptr(self.slot)
+    }
+
+    /// Algorithm 3 line 2: record the leaf under update.
+    pub fn record_leaf(&self, leaf: PmPtr) {
+        let p = self.base().add(ULOG_PLEAF);
+        self.pool.write_u64_atomic(p, leaf.offset());
+        self.pool.persist(p, 8);
+    }
+
+    /// Algorithm 3 line 3: record the old value.
+    pub fn record_old(&self, old_value: PmPtr) {
+        let p = self.base().add(ULOG_POLDV);
+        self.pool.write_u64_atomic(p, old_value.offset());
+        self.pool.persist(p, 8);
+    }
+
+    /// Algorithm 3 line 6: record the new value. The metadata word (value
+    /// classes + length) and `PNewV` are adjacent and flushed with one
+    /// `persistent()` call, which is crash-atomic in this emulation, so
+    /// recovery may trust the metadata whenever `PNewV` is non-null.
+    pub fn record_new(
+        &self,
+        new_value: PmPtr,
+        new_len: usize,
+        new_class: ObjClass,
+        old_class: ObjClass,
+    ) {
+        let meta = UlogMeta {
+            new_len: new_len as u8,
+            new_class: new_class.idx() as u8,
+            old_class: old_class.idx() as u8,
+        };
+        self.pool.write_u64_atomic(self.base().add(ULOG_META), meta.pack());
+        self.pool.write_u64_atomic(self.base().add(ULOG_PNEWV), new_value.offset());
+        self.pool.persist(self.base().add(ULOG_PNEWV), 16);
+    }
+
+    /// Algorithm 3 line 11 (`LogReclaim`): zero + persist the record, then
+    /// release the slot.
+    pub fn finish(mut self) {
+        self.pool.write_zeros(self.base(), ULOG_SIZE as usize);
+        self.pool.persist(self.base(), ULOG_SIZE as usize);
+        self.finished = true;
+        // Drop releases the slot.
+    }
+}
+
+impl Drop for UlogGuard<'_> {
+    fn drop(&mut self) {
+        // PM record deliberately left as-is when not finished (crash tests).
+        self.slots.release(self.slot);
+    }
+}
+
+/// RAII guard over a persistent recycle-log record (Algorithm 6).
+pub struct RlogGuard<'a> {
+    pub(crate) pool: &'a PmemPool,
+    pub(crate) root: Root,
+    pub(crate) slots: &'a SlotPool,
+    pub(crate) slot: usize,
+}
+
+impl<'a> RlogGuard<'a> {
+    pub(crate) fn new(pool: &'a PmemPool, root: Root, slots: &'a SlotPool) -> RlogGuard<'a> {
+        let slot = slots.acquire();
+        RlogGuard { pool, root, slots, slot }
+    }
+
+    #[inline]
+    fn base(&self) -> PmPtr {
+        self.root.rlog_ptr(self.slot)
+    }
+
+    /// Algorithm 6 line 4: record the chunk being unlinked. The class is
+    /// persisted strictly before `PCurrent` so recovery may trust it.
+    pub fn record_current(&self, chunk: PmPtr, class: ObjClass) {
+        let pc = self.base().add(RLOG_CLASS);
+        self.pool.write_u64_atomic(pc, class.idx() as u64);
+        self.pool.persist(pc, 8);
+        let p = self.base().add(RLOG_PCURRENT);
+        self.pool.write_u64_atomic(p, chunk.offset());
+        self.pool.persist(p, 8);
+    }
+
+    /// Algorithm 6 line 9: record the predecessor chunk.
+    pub fn record_prev(&self, prev: PmPtr) {
+        let p = self.base().add(RLOG_PPREV);
+        self.pool.write_u64_atomic(p, prev.offset());
+        self.pool.persist(p, 8);
+    }
+
+    /// Algorithm 6 line 12 (`LogReclaim`).
+    pub fn finish(self) {
+        self.pool.write_zeros(self.base(), RLOG_SIZE as usize);
+        self.pool.persist(self.base(), RLOG_SIZE as usize);
+    }
+}
+
+impl Drop for RlogGuard<'_> {
+    fn drop(&mut self) {
+        self.slots.release(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_pool_roundtrip() {
+        let p = SlotPool::new(3);
+        let a = p.acquire();
+        let b = p.acquire();
+        let c = p.acquire();
+        assert_eq!({ let mut v = vec![a, b, c]; v.sort_unstable(); v }, vec![0, 1, 2]);
+        p.release(b);
+        assert_eq!(p.acquire(), b);
+    }
+
+    #[test]
+    fn slot_pool_blocks_until_release() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let p = Arc::new(SlotPool::new(1));
+        let a = p.acquire();
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || p2.acquire());
+        std::thread::sleep(Duration::from_millis(20));
+        p.release(a);
+        assert_eq!(h.join().unwrap(), a);
+    }
+}

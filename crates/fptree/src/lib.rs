@@ -1,0 +1,27 @@
+//! FPTree — the Fingerprinting Persistent Tree of Oukid et al. (SIGMOD
+//! 2016), the paper's hybrid SCM-DRAM baseline.
+//!
+//! Like HART, FPTree splits its state across the memory tiers:
+//!
+//! * **PM**: unsorted leaf nodes linked in key order. Each leaf carries a
+//!   bitmap, a next pointer, and one **fingerprint** (a 1-byte key hash)
+//!   per slot — "by scanning a fingerprint first, the number of in-leaf
+//!   probed keys is limited to one" in expectation;
+//! * **DRAM**: the inner B+-tree, rebuilt on recovery by walking the leaf
+//!   list. This implementation uses `std::collections::BTreeMap` (a DRAM
+//!   B-tree) from leaf *separator keys* to leaf pointers — the same role,
+//!   data structure family and asymptotics as FPTree's transient inner
+//!   nodes (see DESIGN.md).
+//!
+//! Leaves are never coalesced when they underflow — the paper calls this
+//! out as the reason "FPTree consumes more PM space than HART does" — but
+//! a completely empty leaf is unlinked and freed.
+//!
+//! Splits are protected by a micro-log in the PM root page, so their
+//! persist-ordering cost matches the original design.
+
+mod pmleaf;
+mod tree;
+
+pub use pmleaf::LEAF_CAP;
+pub use tree::FpTree;

@@ -1,0 +1,196 @@
+//! The PM leaf-node layout of FPTree.
+//!
+//! ```text
+//! offset  0   bitmap        u64 (low LEAF_CAP bits)
+//! offset  8   pnext         u64 (next leaf in key order)
+//! offset 16   fingerprints  [u8; LEAF_CAP]
+//! offset 48   entries       [Entry; LEAF_CAP]
+//! ```
+//!
+//! Each 40-byte entry reuses the workspace leaf layout: `key[24] | key_len |
+//! val_len | pad | p_value`. Total leaf size: 48 + 32·40 = 1328 bytes,
+//! allocated at 2 KiB alignment.
+
+use hart_kv::{Error, InlineKey, Key, Result, Value, MAX_VALUE_LEN};
+use hart_pm::{PmPtr, PmemPool};
+
+/// Records per leaf.
+pub const LEAF_CAP: usize = 32;
+
+pub(crate) const OFF_BITMAP: u64 = 0;
+pub(crate) const OFF_PNEXT: u64 = 8;
+pub(crate) const OFF_FPS: u64 = 16;
+pub(crate) const OFF_ENTRIES: u64 = 48;
+pub(crate) const ENTRY_SIZE: u64 = 40;
+
+/// Total leaf size in bytes.
+pub const LEAF_BYTES: usize = (OFF_ENTRIES + LEAF_CAP as u64 * ENTRY_SIZE) as usize;
+/// Allocation alignment.
+pub const LEAF_ALIGN: u64 = 2048;
+
+const BITMAP_MASK: u64 = (1 << LEAF_CAP) - 1;
+
+/// The 1-byte fingerprint of a key (FNV-1a folded to 8 bits).
+#[inline]
+pub fn fingerprint(key: &[u8]) -> u8 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u8
+}
+
+/// Allocate a zeroed leaf.
+pub(crate) fn alloc_leaf(pool: &PmemPool) -> Result<PmPtr> {
+    pool.alloc_raw(LEAF_BYTES, LEAF_ALIGN).ok_or(Error::PmExhausted)
+}
+
+/// Free a leaf.
+pub(crate) fn free_leaf(pool: &PmemPool, leaf: PmPtr) {
+    pool.free_raw(leaf, LEAF_BYTES, LEAF_ALIGN);
+}
+
+#[inline]
+pub(crate) fn bitmap(pool: &PmemPool, leaf: PmPtr) -> u64 {
+    pool.read::<u64>(leaf.add(OFF_BITMAP)) & BITMAP_MASK
+}
+
+/// Write + persist the bitmap (an 8-byte atomic commit, as in FPTree).
+pub(crate) fn set_bitmap(pool: &PmemPool, leaf: PmPtr, bm: u64) {
+    pool.write_u64_atomic(leaf.add(OFF_BITMAP), bm & BITMAP_MASK);
+    pool.persist(leaf.add(OFF_BITMAP), 8);
+}
+
+#[inline]
+pub(crate) fn pnext(pool: &PmemPool, leaf: PmPtr) -> PmPtr {
+    PmPtr(pool.read::<u64>(leaf.add(OFF_PNEXT)))
+}
+
+pub(crate) fn set_pnext(pool: &PmemPool, leaf: PmPtr, next: PmPtr) {
+    pool.write_u64_atomic(leaf.add(OFF_PNEXT), next.offset());
+    pool.persist(leaf.add(OFF_PNEXT), 8);
+}
+
+pub(crate) fn write_fp(pool: &PmemPool, leaf: PmPtr, slot: usize, fp: u8) {
+    pool.write(leaf.add(OFF_FPS + slot as u64), &fp);
+}
+
+/// Read the whole fingerprint array (one PM line).
+pub(crate) fn fps(pool: &PmemPool, leaf: PmPtr) -> [u8; LEAF_CAP] {
+    let mut buf = [0u8; LEAF_CAP];
+    pool.read_bytes(leaf.add(OFF_FPS), &mut buf);
+    buf
+}
+
+#[inline]
+pub(crate) fn entry_ptr(leaf: PmPtr, slot: usize) -> PmPtr {
+    debug_assert!(slot < LEAF_CAP);
+    leaf.add(OFF_ENTRIES + ENTRY_SIZE * slot as u64)
+}
+
+/// Write a full entry (key, lengths, value pointer); caller persists.
+pub(crate) fn write_entry(
+    pool: &PmemPool,
+    leaf: PmPtr,
+    slot: usize,
+    key: &Key,
+    p_value: PmPtr,
+    val_len: usize,
+) {
+    let e = entry_ptr(leaf, slot);
+    hart_epalloc::leaf_write_key(pool, e, key);
+    hart_epalloc::leaf_write_pvalue(pool, e, p_value, val_len);
+}
+
+/// Persist a full entry (one `persistent()` call).
+pub(crate) fn persist_entry(pool: &PmemPool, leaf: PmPtr, slot: usize) {
+    pool.persist(entry_ptr(leaf, slot), ENTRY_SIZE as usize);
+}
+
+pub(crate) fn entry_key(pool: &PmemPool, leaf: PmPtr, slot: usize) -> InlineKey {
+    hart_epalloc::leaf_read_key(pool, entry_ptr(leaf, slot))
+}
+
+pub(crate) fn entry_pvalue(pool: &PmemPool, leaf: PmPtr, slot: usize) -> (PmPtr, usize) {
+    let e = entry_ptr(leaf, slot);
+    (hart_epalloc::leaf_read_pvalue(pool, e), hart_epalloc::leaf_read_val_len(pool, e))
+}
+
+pub(crate) fn set_entry_pvalue(
+    pool: &PmemPool,
+    leaf: PmPtr,
+    slot: usize,
+    p_value: PmPtr,
+    val_len: usize,
+) {
+    let e = entry_ptr(leaf, slot);
+    hart_epalloc::leaf_write_pvalue(pool, e, p_value, val_len);
+    hart_epalloc::persist_leaf_pvalue(pool, e);
+}
+
+// ------------------------------------------------------------------ values
+
+/// Allocate + persist an out-of-leaf value object.
+pub(crate) fn alloc_value(pool: &PmemPool, v: &Value) -> Result<PmPtr> {
+    let size = v.class_size();
+    let p = pool.alloc_raw(size, 8).ok_or(Error::PmExhausted)?;
+    pool.write_bytes(p, v.as_slice());
+    pool.persist(p, size);
+    Ok(p)
+}
+
+pub(crate) fn free_value(pool: &PmemPool, p: PmPtr, len: usize) {
+    pool.free_raw(p, if len <= 8 { 8 } else { 16 }, 8);
+}
+
+pub(crate) fn read_value(pool: &PmemPool, p: PmPtr, len: usize) -> Value {
+    let len = len.min(MAX_VALUE_LEN);
+    let mut buf = [0u8; MAX_VALUE_LEN];
+    pool.read_bytes(p, &mut buf[..len.max(1)]);
+    Value::new(&buf[..len]).expect("bounded")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hart_pm::PoolConfig;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(LEAF_BYTES, 1328);
+        assert!(LEAF_ALIGN >= LEAF_BYTES as u64);
+    }
+
+    #[test]
+    fn fingerprints_spread() {
+        // Not a cryptographic property test — just confirm variety.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u32 {
+            seen.insert(fingerprint(format!("key{i}").as_bytes()));
+        }
+        assert!(seen.len() > 100, "fingerprints too collision-prone: {}", seen.len());
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let pool = PmemPool::new(PoolConfig::test_small());
+        let leaf = alloc_leaf(&pool).unwrap();
+        let key = Key::from_str("hello").unwrap();
+        write_entry(&pool, leaf, 5, &key, PmPtr(0x800), 8);
+        persist_entry(&pool, leaf, 5);
+        assert_eq!(entry_key(&pool, leaf, 5).as_slice(), b"hello");
+        assert_eq!(entry_pvalue(&pool, leaf, 5), (PmPtr(0x800), 8));
+    }
+
+    #[test]
+    fn bitmap_and_pnext() {
+        let pool = PmemPool::new(PoolConfig::test_small());
+        let leaf = alloc_leaf(&pool).unwrap();
+        assert_eq!(bitmap(&pool, leaf), 0);
+        set_bitmap(&pool, leaf, 0b1011);
+        assert_eq!(bitmap(&pool, leaf), 0b1011);
+        set_pnext(&pool, leaf, PmPtr(0x4000));
+        assert_eq!(pnext(&pool, leaf), PmPtr(0x4000));
+    }
+}

@@ -1,0 +1,71 @@
+//! HART configuration.
+
+use hart_kv::{Error, Result, MAX_KEY_LEN};
+
+/// Tunable parameters of a HART instance.
+#[derive(Clone, Copy, Debug)]
+pub struct HartConfig {
+    /// Hash-key length `k_h` in bytes (§III-A.1). The paper sets 2 for all
+    /// experiments: "For HART, the hash key length is set to 2". `0` turns
+    /// HART into a single ART behind one lock (useful for ablations).
+    pub hash_key_len: usize,
+    /// Number of buckets in the DRAM hash directory. With `k_h = 2` over
+    /// the paper's 62-character alphabet at most 62² ≈ 3.8 k distinct hash
+    /// keys exist, so the default 4096 keeps chains short.
+    pub hash_buckets: usize,
+    /// Ablation switch: charge `persistent()` costs for internal-node
+    /// mutations as if the ART inner nodes lived in PM — i.e. *disable*
+    /// the selective consistency/persistence of §III-A.2 cost-wise.
+    /// Default `false` (the paper's design).
+    pub persist_internal_nodes: bool,
+}
+
+impl Default for HartConfig {
+    fn default() -> Self {
+        HartConfig { hash_key_len: 2, hash_buckets: 4096, persist_internal_nodes: false }
+    }
+}
+
+impl HartConfig {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.hash_key_len >= MAX_KEY_LEN {
+            return Err(Error::BadConfig("hash_key_len must be < 24"));
+        }
+        if self.hash_buckets == 0 || !self.hash_buckets.is_power_of_two() {
+            return Err(Error::BadConfig("hash_buckets must be a nonzero power of two"));
+        }
+        Ok(())
+    }
+
+    /// Config with a specific `k_h` (ablation experiments).
+    pub fn with_hash_key_len(kh: usize) -> HartConfig {
+        HartConfig { hash_key_len: kh, ..Default::default() }
+    }
+
+    /// Config with selective persistence disabled (ablation).
+    pub fn without_selective_persistence() -> HartConfig {
+        HartConfig { persist_internal_nodes: true, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = HartConfig::default();
+        assert_eq!(c.hash_key_len, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let base = HartConfig::default();
+        assert!(HartConfig { hash_key_len: 24, hash_buckets: 16, ..base }.validate().is_err());
+        assert!(HartConfig { hash_key_len: 2, hash_buckets: 0, ..base }.validate().is_err());
+        assert!(HartConfig { hash_key_len: 2, hash_buckets: 100, ..base }.validate().is_err());
+        assert!(HartConfig { hash_key_len: 0, hash_buckets: 1, ..base }.validate().is_ok());
+    }
+}

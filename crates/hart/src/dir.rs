@@ -1,0 +1,204 @@
+//! The DRAM hash directory mapping hash keys to ARTs (Fig. 1).
+//!
+//! A fixed bucket array with chaining. Entries are created lazily on first
+//! insert of a hash key (Algorithm 1 lines 3–5) and removed when their ART
+//! becomes empty (Algorithm 5 lines 15–16). The directory itself is
+//! read-mostly: after warm-up, lookups take one bucket read-lock.
+
+use crate::resolver::PmResolver;
+use hart_art::Art;
+use hart_kv::InlineKey;
+use hart_pm::PmPtr;
+use parking_lot::RwLock;
+use std::mem::size_of;
+use std::sync::Arc;
+
+/// One ART plus its liveness flag, guarded by the per-ART reader-writer
+/// lock of §III-A.3.
+pub(crate) struct ShardInner {
+    pub art: Art<PmPtr>,
+    /// Set under the write lock when the shard is unlinked from the
+    /// directory; writers that raced `get_or_insert` against removal check
+    /// it and retry, so no insert can land in an orphaned shard.
+    pub dead: bool,
+}
+
+pub(crate) type Shard = RwLock<ShardInner>;
+
+type Bucket = Vec<(InlineKey, Arc<Shard>)>;
+
+pub(crate) struct Directory {
+    buckets: Box<[RwLock<Bucket>]>,
+    mask: u64,
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl Directory {
+    /// `buckets` must be a power of two (validated by `HartConfig`).
+    pub fn new(buckets: usize) -> Directory {
+        Directory {
+            buckets: (0..buckets).map(|_| RwLock::new(Vec::new())).collect(),
+            mask: buckets as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, hk: &[u8]) -> &RwLock<Bucket> {
+        &self.buckets[(fnv1a(hk) & self.mask) as usize]
+    }
+
+    /// `HashFind` (Algorithm 1 line 2 / Algorithm 4 line 2).
+    pub fn get(&self, hk: &[u8]) -> Option<Arc<Shard>> {
+        let b = self.bucket_of(hk).read();
+        b.iter().find(|(k, _)| k.as_slice() == hk).map(|(_, s)| Arc::clone(s))
+    }
+
+    /// `HashFind` + `NewART` + `HashInsert` (Algorithm 1 lines 2–5).
+    pub fn get_or_insert(&self, hk: &[u8]) -> Arc<Shard> {
+        if let Some(s) = self.get(hk) {
+            return s;
+        }
+        let mut b = self.bucket_of(hk).write();
+        if let Some((_, s)) = b.iter().find(|(k, _)| k.as_slice() == hk) {
+            return Arc::clone(s);
+        }
+        let shard = Arc::new(RwLock::new(ShardInner { art: Art::new(), dead: false }));
+        b.push((InlineKey::from_slice(hk), Arc::clone(&shard)));
+        shard
+    }
+
+    /// "HART will free the ART if it becomes empty" (Algorithm 5 lines
+    /// 15–16). Returns `true` if the shard was unlinked.
+    pub fn remove_if_empty(&self, hk: &[u8]) -> bool {
+        let mut b = self.bucket_of(hk).write();
+        let Some(pos) = b.iter().position(|(k, _)| k.as_slice() == hk) else {
+            return false;
+        };
+        {
+            let shard = &b[pos].1;
+            let mut g = shard.write();
+            if !g.art.is_empty() || g.dead {
+                return false;
+            }
+            g.dead = true;
+        }
+        b.swap_remove(pos);
+        true
+    }
+
+    /// Snapshot of all `(hash key, shard)` pairs, sorted by hash key — the
+    /// backbone of the ordered-scan extension and of statistics.
+    pub fn shards_sorted(&self) -> Vec<(InlineKey, Arc<Shard>)> {
+        let mut out = Vec::new();
+        for b in self.buckets.iter() {
+            let g = b.read();
+            out.extend(g.iter().map(|(k, s)| (*k, Arc::clone(s))));
+        }
+        out.sort_unstable_by_key(|a| a.0);
+        out
+    }
+
+    /// Number of live shards (= ARTs = max concurrent writers).
+    pub fn shard_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.read().len()).sum()
+    }
+
+    /// DRAM bytes of the directory and every ART's internal nodes, for the
+    /// Fig. 10b experiment. `kh` is needed to size the resolver (unused on
+    /// this path but kept for symmetry).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = size_of::<Self>() + self.buckets.len() * size_of::<RwLock<Bucket>>();
+        for b in self.buckets.iter() {
+            let g = b.read();
+            total += g.capacity() * size_of::<(InlineKey, Arc<Shard>)>();
+            for (_, shard) in g.iter() {
+                total += size_of::<Shard>() + shard.read().art.memory_bytes();
+            }
+        }
+        total
+    }
+
+    /// Debug/test helper: every leaf pointer reachable from the directory.
+    pub fn all_leaves(&self, resolver: &PmResolver<'_>) -> Vec<PmPtr> {
+        let _ = resolver; // traversal does not need key resolution
+        let mut out = Vec::new();
+        for (_, shard) in self.shards_sorted() {
+            shard.read().art.for_each(|&leaf| out.push(leaf));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_insert_is_idempotent() {
+        let d = Directory::new(16);
+        let a = d.get_or_insert(b"AA");
+        let b = d.get_or_insert(b"AA");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(d.shard_count(), 1);
+        assert!(d.get(b"BB").is_none());
+    }
+
+    /// Resolver stub: the first insert into an empty ART never resolves a
+    /// key, so lookups are irrelevant here.
+    struct StubResolver;
+    impl hart_art::KeyResolver<PmPtr> for StubResolver {
+        fn load_key(&self, _: &PmPtr) -> InlineKey {
+            InlineKey::from_slice(b"x")
+        }
+    }
+
+    #[test]
+    fn remove_if_empty_only_removes_empty() {
+        let d = Directory::new(16);
+        let s = d.get_or_insert(b"AA");
+        s.write().art.insert(&StubResolver, b"x", PmPtr(64));
+        assert!(!d.remove_if_empty(b"AA"), "non-empty shard must stay");
+        assert_eq!(d.shard_count(), 1);
+    }
+
+    #[test]
+    fn remove_marks_dead() {
+        let d = Directory::new(16);
+        let s = d.get_or_insert(b"AA");
+        assert!(d.remove_if_empty(b"AA"));
+        assert!(s.read().dead);
+        assert_eq!(d.shard_count(), 0);
+        // A new shard under the same hash key is a fresh object.
+        let s2 = d.get_or_insert(b"AA");
+        assert!(!Arc::ptr_eq(&s, &s2));
+    }
+
+    #[test]
+    fn shards_sorted_orders_by_key() {
+        let d = Directory::new(4); // force collisions
+        for hk in [b"zz".as_slice(), b"aa", b"mm", b"ab"] {
+            d.get_or_insert(hk);
+        }
+        let keys: Vec<Vec<u8>> =
+            d.shards_sorted().iter().map(|(k, _)| k.as_slice().to_vec()).collect();
+        assert_eq!(keys, vec![b"aa".to_vec(), b"ab".to_vec(), b"mm".to_vec(), b"zz".to_vec()]);
+    }
+
+    #[test]
+    fn memory_accounting_is_monotone() {
+        let d = Directory::new(16);
+        let m0 = d.memory_bytes();
+        d.get_or_insert(b"AA");
+        let m1 = d.memory_bytes();
+        assert!(m1 > m0);
+    }
+}

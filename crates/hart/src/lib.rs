@@ -1,0 +1,63 @@
+//! HART — the concurrent Hash-Assisted Radix Tree of Pan, Xie & Song
+//! (IPDPS 2019), for DRAM-PM hybrid memory systems.
+//!
+//! # Architecture (Fig. 1 of the paper)
+//!
+//! A key is split into a **hash key** (its first `k_h` bytes, default 2) and
+//! an **ART key** (the rest). A DRAM hash directory maps each hash key to
+//! one adaptive radix tree; all keys in that ART share the hash-key prefix.
+//! Selective consistency/persistence (§III-A.2) places:
+//!
+//! * in **DRAM**: the hash directory and every ART internal node — fast and
+//!   reconstructable;
+//! * in **PM**: the 40-byte leaf nodes (carrying the *complete* key for
+//!   failure recovery) and the out-of-leaf value objects, both managed by
+//!   [EPallocator](hart_epalloc) — the critical, crash-consistent data.
+//!
+//! # Concurrency (§III-A.3 / §IV-G)
+//!
+//! One reader-writer lock per ART: reads share, writes exclude, and writes
+//! on *different* ARTs proceed in parallel — "the maximal number of
+//! concurrent writes allowed by a HART is equal to its number of ARTs".
+//!
+//! # Crash consistency
+//!
+//! Inserts follow Algorithm 1 (value → p_value → value bit → key → DRAM
+//! link → leaf bit), updates the logged out-of-place protocol of
+//! Algorithm 3, deletions Algorithm 5, chunk reclamation Algorithm 6, and
+//! [`Hart::recover`] rebuilds the DRAM structures from PM leaves per
+//! Algorithm 7 (after the allocator has replayed its micro-logs).
+//!
+//! # Example
+//!
+//! ```
+//! use hart::{Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> hart::Result<()> {
+//! let pool = Arc::new(PmemPool::new(PoolConfig::test_small()));
+//! let index = Hart::create(Arc::clone(&pool), HartConfig::default())?;
+//!
+//! // Fig. 1's running example: "AABF" = hash key "AA" + ART key "BF".
+//! index.insert(&Key::from_str("AABF")?, &Value::from_u64(42))?;
+//! assert_eq!(index.search(&Key::from_str("AABF")?)?.unwrap().as_u64(), 42);
+//!
+//! // Restart: rebuild the DRAM structures from the PM leaves.
+//! drop(index);
+//! let recovered = Hart::recover(pool, HartConfig::default())?;
+//! assert_eq!(recovered.len(), 1);
+//! assert_eq!(recovered.search(&Key::from_str("AABF")?)?.unwrap().as_u64(), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod dir;
+mod resolver;
+mod tree;
+
+pub use config::HartConfig;
+pub use hart_epalloc::{AllocStats, ObjClass};
+pub use hart_kv::{Error, Key, MemoryStats, PersistentIndex, Result, Value};
+pub use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
+pub use tree::Hart;

@@ -1,0 +1,51 @@
+//! Resolves ART keys from PM-resident leaves.
+
+use hart_art::KeyResolver;
+use hart_epalloc::leaf_read_key;
+use hart_kv::InlineKey;
+use hart_pm::{PmPtr, PmemPool};
+
+/// [`KeyResolver`] for HART's PM leaves: loads the complete key stored in
+/// the leaf node (a PM read, charged emulated read latency) and strips the
+/// hash-key prefix, yielding the ART key.
+pub(crate) struct PmResolver<'a> {
+    pub pool: &'a PmemPool,
+    pub kh: usize,
+}
+
+impl KeyResolver<PmPtr> for PmResolver<'_> {
+    #[inline]
+    fn load_key(&self, leaf: &PmPtr) -> InlineKey {
+        let full = leaf_read_key(self.pool, *leaf);
+        let s = full.as_slice();
+        InlineKey::from_slice(&s[self.kh.min(s.len())..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hart_epalloc::{leaf_write_key, persist_leaf_key, LEAF_SIZE};
+    use hart_kv::Key;
+    use hart_pm::PoolConfig;
+
+    #[test]
+    fn strips_hash_prefix() {
+        let pool = PmemPool::new(PoolConfig::test_small());
+        let leaf = pool.alloc_raw(LEAF_SIZE, 8).unwrap();
+        leaf_write_key(&pool, leaf, &Key::from_str("AABF").unwrap());
+        persist_leaf_key(&pool, leaf);
+        let r = PmResolver { pool: &pool, kh: 2 };
+        assert_eq!(r.load_key(&leaf).as_slice(), b"BF");
+    }
+
+    #[test]
+    fn short_key_yields_empty_art_key() {
+        let pool = PmemPool::new(PoolConfig::test_small());
+        let leaf = pool.alloc_raw(LEAF_SIZE, 8).unwrap();
+        leaf_write_key(&pool, leaf, &Key::from_str("A").unwrap());
+        persist_leaf_key(&pool, leaf);
+        let r = PmResolver { pool: &pool, kh: 2 };
+        assert!(r.load_key(&leaf).is_empty());
+    }
+}

@@ -1,0 +1,951 @@
+//! The HART index: Algorithms 1 (insertion), 3 (update), 4 (search),
+//! 5 (deletion) and 7 (recovery), over the EPallocator substrate.
+
+use crate::config::HartConfig;
+use crate::dir::Directory;
+use crate::resolver::PmResolver;
+use hart_epalloc::{
+    leaf_read_key, leaf_read_pvalue, leaf_read_val_len, leaf_write_key, leaf_write_pvalue,
+    persist_leaf_key, persist_leaf_pvalue, AllocStats, EPallocator, ObjClass,
+};
+use hart_kv::{
+    Error, InlineKey, Key, MemoryStats, PersistentIndex, Result, Value, MAX_KEY_LEN,
+    MAX_VALUE_LEN,
+};
+use hart_pm::{PmPtr, PmStatsSnapshot, PmemPool};
+use std::sync::Arc;
+
+/// A concurrent Hash-Assisted Radix Tree over an emulated PM pool.
+///
+/// See the crate docs for the architecture. Construction:
+/// * [`Hart::create`] formats a fresh pool;
+/// * [`Hart::recover`] rebuilds the DRAM hash directory and ART internal
+///   nodes from the PM leaf chunks after a crash or restart (Algorithm 7).
+pub struct Hart {
+    alloc: EPallocator,
+    cfg: HartConfig,
+    dir: Directory,
+}
+
+impl Hart {
+    /// Create a HART over a freshly formatted pool.
+    pub fn create(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
+        cfg.validate()?;
+        Ok(Hart { alloc: EPallocator::create(pool), cfg, dir: Directory::new(cfg.hash_buckets) })
+    }
+
+    /// Algorithm 7: open an existing pool, replay the allocator's
+    /// micro-logs, then rebuild the hash directory and every ART by
+    /// traversing the leaf memory chunks. "Recovering a HART is much faster
+    /// than building a new HART from scratch because the leaf nodes and
+    /// values are already on PM."
+    pub fn recover(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
+        cfg.validate()?;
+        let alloc = EPallocator::open(pool)?;
+        let hart = Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets) };
+        let mut leaves = Vec::new();
+        hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
+        for leaf in leaves {
+            // A live leaf whose value bit is unset is a deletion that
+            // crashed between its two retire steps — `recover_one_leaf`
+            // completes it instead of reattaching (see `remove`).
+            hart.recover_one_leaf(leaf)?;
+        }
+        Ok(hart)
+    }
+
+    /// Parallel variant of [`Hart::recover`] — an extension beyond the
+    /// paper (DESIGN.md §6). Leaf reattachment is embarrassingly parallel
+    /// under the existing per-ART write locks, so the live-leaf list is
+    /// simply partitioned across `threads` workers. Log replay and the
+    /// stale-leaf scrub still run single-threaded inside
+    /// `EPallocator::open` before any worker starts.
+    pub fn recover_parallel(
+        pool: Arc<PmemPool>,
+        cfg: HartConfig,
+        threads: usize,
+    ) -> Result<Hart> {
+        cfg.validate()?;
+        let threads = threads.max(1);
+        let alloc = EPallocator::open(pool)?;
+        let hart = Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets) };
+        let mut leaves = Vec::new();
+        hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
+        let chunk = leaves.len().div_ceil(threads).max(1);
+        let first_err = parking_lot::Mutex::new(None::<Error>);
+        std::thread::scope(|s| {
+            for part in leaves.chunks(chunk) {
+                let hart = &hart;
+                let first_err = &first_err;
+                s.spawn(move || {
+                    for &leaf in part {
+                        if let Err(e) = hart.recover_one_leaf(leaf) {
+                            first_err.lock().get_or_insert(e);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+        Ok(hart)
+    }
+
+    /// Recovery step for one live leaf: complete a crashed deletion or
+    /// reattach it into the DRAM structures.
+    fn recover_one_leaf(&self, leaf: PmPtr) -> Result<()> {
+        let pool = self.pool();
+        let pv = leaf_read_pvalue(pool, leaf);
+        let vclass = ObjClass::for_value_len(leaf_read_val_len(pool, leaf));
+        if pv.is_null() || !self.alloc.is_live(pv, vclass) {
+            self.alloc.retire_leaf(leaf);
+            if !pv.is_null() {
+                self.alloc.recycle_containing(pv, vclass);
+            }
+            self.alloc.recycle_containing(leaf, ObjClass::Leaf);
+            return Ok(());
+        }
+        self.reattach_leaf(leaf)
+    }
+
+    /// `Insert2HART` (Algorithm 7 line 6): link an existing PM leaf back
+    /// into the DRAM structures.
+    fn reattach_leaf(&self, leaf: PmPtr) -> Result<()> {
+        let full = leaf_read_key(self.pool(), leaf);
+        if full.is_empty() {
+            return Err(Error::Corrupted("live leaf with empty key"));
+        }
+        let (hk, ak) = split_inline(&full, self.cfg.hash_key_len);
+        let shard = self.dir.get_or_insert(hk);
+        let mut g = shard.write();
+        let r = self.resolver();
+        if g.art.insert(&r, ak, leaf).is_some() {
+            return Err(Error::Corrupted("duplicate live key in leaf chunks"));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn pool(&self) -> &PmemPool {
+        self.alloc.pool()
+    }
+
+    #[inline]
+    fn resolver(&self) -> PmResolver<'_> {
+        PmResolver { pool: self.pool(), kh: self.cfg.hash_key_len }
+    }
+
+    /// The pool this index lives in.
+    pub fn pm_pool(&self) -> &Arc<PmemPool> {
+        self.alloc.pool()
+    }
+
+    /// Allocator statistics (chunks / live objects per class).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.alloc.stats()
+    }
+
+    /// PM event counters.
+    pub fn pm_stats(&self) -> PmStatsSnapshot {
+        self.pool().stats().snapshot()
+    }
+
+    /// Number of ARTs currently linked in the hash directory — the paper's
+    /// bound on concurrent writers.
+    pub fn art_count(&self) -> usize {
+        self.dir.shard_count()
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> HartConfig {
+        self.cfg
+    }
+
+    /// The underlying EPallocator — exposed so failure-injection tests and
+    /// examples can stage torn operations at exact persist points.
+    pub fn epallocator(&self) -> &EPallocator {
+        &self.alloc
+    }
+
+    /// The PM leaf currently backing `key`, if any. Diagnostic/failure-
+    /// injection helper; takes the shard's read lock.
+    pub fn leaf_of(&self, key: &Key) -> Option<PmPtr> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len);
+        let shard = self.dir.get(hk)?;
+        let g = shard.read();
+        if g.dead {
+            return None;
+        }
+        g.art.search(&self.resolver(), ak).copied()
+    }
+
+    // ------------------------------------------------------------- updates
+
+    /// Algorithm 3: logged out-of-place value update of an existing leaf.
+    /// Caller holds the shard's write lock.
+    fn update_leaf(&self, leaf: PmPtr, value: &Value) -> Result<()> {
+        let pool = self.pool();
+        let old_v = leaf_read_pvalue(pool, leaf);
+        debug_assert!(!old_v.is_null(), "live leaf must own a value");
+        let old_class = ObjClass::for_value_len(leaf_read_val_len(pool, leaf));
+        let new_class = ObjClass::for_value_len(value.len());
+
+        let ulog = self.alloc.acquire_ulog(); // line 1
+        ulog.record_leaf(leaf); // line 2
+        ulog.record_old(old_v); // line 3
+        let new_v = match self.alloc.alloc(new_class) {
+            // line 4
+            Ok(p) => p,
+            Err(e) => {
+                ulog.finish();
+                return Err(e);
+            }
+        };
+        pool.write_bytes(new_v, value.as_slice()); // line 5
+        pool.persist(new_v, value.len().max(1));
+        ulog.record_new(new_v, value.len(), new_class, old_class); // line 6
+        self.alloc.commit(new_v, new_class); // line 7
+        leaf_write_pvalue(pool, leaf, new_v, value.len()); // line 8
+        persist_leaf_pvalue(pool, leaf);
+        self.alloc.retire(old_v, old_class); // line 9
+        self.alloc.recycle_containing(old_v, old_class); // line 10
+        ulog.finish(); // line 11
+        Ok(())
+    }
+
+    /// Multi-get — the paper's range-query implementation for the ART-based
+    /// trees ("simply implemented by calling a search function for each
+    /// key", §IV-D).
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        keys.iter().map(|k| self.search(k)).collect()
+    }
+
+    /// Ordered full-key scan over `[start, end]` — an extension beyond the
+    /// paper (see DESIGN.md): shards are visited in hash-key order, each
+    /// ART in ART-key order, yielding globally sorted results.
+    pub fn ordered_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
+        let mut out = Vec::new();
+        if start > end {
+            return Ok(out);
+        }
+        let s = start.as_slice();
+        let e = end.as_slice();
+        let r = self.resolver();
+        for (hk, shard) in self.dir.shards_sorted() {
+            let hks = hk.as_slice();
+            // Prune shards whose key region [hks, hks⋅0xff…] misses [s, e].
+            if region_before(hks, s) || region_after(hks, e) {
+                continue;
+            }
+            // Translate full-key bounds into ART-key bounds for this shard.
+            let ak_lo: &[u8] = if s.len() > hks.len() && s.starts_with(hks) {
+                &s[hks.len()..]
+            } else {
+                b""
+            };
+            let hi_buf = [0xFFu8; MAX_KEY_LEN];
+            let ak_hi: &[u8] = if e.len() > hks.len() && e.starts_with(hks) {
+                &e[hks.len()..]
+            } else {
+                &hi_buf
+            };
+            let g = shard.read();
+            if g.dead {
+                continue;
+            }
+            let mut leaves = Vec::new();
+            g.art.for_each_in_range(&r, ak_lo, ak_hi, |&leaf| leaves.push(leaf));
+            for leaf in leaves {
+                let (k, v) = self.load_record(leaf)?;
+                let ks = k.as_slice();
+                if ks >= s && ks <= e {
+                    out.push((k, v));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn load_record(&self, leaf: PmPtr) -> Result<(Key, Value)> {
+        let pool = self.pool();
+        let full = leaf_read_key(pool, leaf);
+        let key = Key::new(full.as_slice()).map_err(|_| Error::Corrupted("bad key in leaf"))?;
+        let v = self.load_value(leaf)?;
+        Ok((key, v))
+    }
+
+    fn load_value(&self, leaf: PmPtr) -> Result<Value> {
+        let pool = self.pool();
+        let pv = leaf_read_pvalue(pool, leaf);
+        if pv.is_null() {
+            return Err(Error::Corrupted("live leaf without value"));
+        }
+        let len = leaf_read_val_len(pool, leaf).min(MAX_VALUE_LEN);
+        let mut buf = [0u8; MAX_VALUE_LEN];
+        pool.read_bytes(pv, &mut buf[..len.max(1)]);
+        Ok(Value::new(&buf[..len]).expect("len bounded"))
+    }
+
+    /// Structural self-check for tests: every leaf reachable from the DRAM
+    /// structures has its persistent bit set, every committed leaf is
+    /// reachable, and per-ART invariants hold.
+    pub fn check_consistency(&self) -> std::result::Result<(), String> {
+        let r = self.resolver();
+        let mut reachable = self.dir.all_leaves(&r);
+        reachable.sort_unstable();
+        let n = reachable.len();
+        reachable.dedup();
+        if reachable.len() != n {
+            return Err("duplicate leaf pointer in DRAM structures".into());
+        }
+        for &leaf in &reachable {
+            if !self.alloc.is_live(leaf, ObjClass::Leaf) {
+                return Err(format!("reachable leaf {leaf:?} has no persistent bit"));
+            }
+            let pv = leaf_read_pvalue(self.pool(), leaf);
+            if pv.is_null() {
+                return Err(format!("reachable leaf {leaf:?} has null p_value"));
+            }
+            let vclass = ObjClass::for_value_len(leaf_read_val_len(self.pool(), leaf));
+            if !self.alloc.is_live(pv, vclass) {
+                return Err(format!("value of leaf {leaf:?} has no persistent bit"));
+            }
+        }
+        let mut committed = Vec::new();
+        self.alloc.for_each_live(ObjClass::Leaf, |p| committed.push(p));
+        committed.sort_unstable();
+        if committed != reachable {
+            return Err(format!(
+                "committed leaves ({}) != reachable leaves ({})",
+                committed.len(),
+                reachable.len()
+            ));
+        }
+        for (_, shard) in self.dir.shards_sorted() {
+            let g = shard.read();
+            g.art.check_invariants(&r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Split an inline key into hash key / ART key slices.
+#[inline]
+fn split_inline(full: &InlineKey, kh: usize) -> (&[u8], &[u8]) {
+    let s = full.as_slice();
+    let cut = kh.min(s.len());
+    (&s[..cut], &s[cut..])
+}
+
+/// Every key with prefix `region` is < `start`.
+#[inline]
+fn region_before(region: &[u8], start: &[u8]) -> bool {
+    let m = region.len().min(start.len());
+    region[..m] < start[..m]
+}
+
+/// Every key with prefix `region` is > `end`.
+#[inline]
+fn region_after(region: &[u8], end: &[u8]) -> bool {
+    let m = region.len().min(end.len());
+    if region[..m] != end[..m] {
+        region[..m] > end[..m]
+    } else {
+        region.len() > end.len()
+    }
+}
+
+impl PersistentIndex for Hart {
+    /// Algorithm 1.
+    fn insert(&self, key: &Key, value: &Value) -> Result<()> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
+        loop {
+            let shard = self.dir.get_or_insert(hk); // lines 2–5
+            let mut g = shard.write();
+            if g.dead {
+                continue; // raced shard removal; retry against a live shard
+            }
+            let r = self.resolver();
+            let existing = g.art.search(&r, ak).copied(); // line 6
+            if let Some(leaf) = existing {
+                return self.update_leaf(leaf, value); // lines 7–8
+            }
+            // Lines 10–11: allocate leaf + value space.
+            let pool = self.pool();
+            let leaf = self.alloc.alloc(ObjClass::Leaf)?;
+            let vclass = ObjClass::for_value_len(value.len());
+            let vptr = match self.alloc.alloc(vclass) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.alloc.abort(leaf, ObjClass::Leaf);
+                    return Err(e);
+                }
+            };
+            // Line 12: value = V; persistent(value).
+            pool.write_bytes(vptr, value.as_slice());
+            pool.persist(vptr, value.len().max(1));
+            // Line 13: leaf.p_value = &value; persistent(leaf.p_value).
+            leaf_write_pvalue(pool, leaf, vptr, value.len());
+            persist_leaf_pvalue(pool, leaf);
+            // Line 14: set and persist the value bit.
+            self.alloc.commit(vptr, vclass);
+            // Lines 15–16: key and key length.
+            leaf_write_key(pool, leaf, key);
+            persist_leaf_key(pool, leaf);
+            // Line 17: Insert2Tree — DRAM only, no persistence needed.
+            let replaced = g.art.insert(&r, ak, leaf);
+            debug_assert!(replaced.is_none(), "searched above");
+            if self.cfg.persist_internal_nodes {
+                // Ablation: as if the touched inner node (and an eventual
+                // expansion) had to be flushed, WOART-style.
+                pool.charge_synthetic_persist(2);
+            }
+            // Line 18: set and persist the leaf bit.
+            self.alloc.commit(leaf, ObjClass::Leaf);
+            return Ok(());
+        }
+    }
+
+    /// Algorithm 4.
+    fn search(&self, key: &Key) -> Result<Option<Value>> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
+        let Some(shard) = self.dir.get(hk) else {
+            return Ok(None); // lines 3–4
+        };
+        let g = shard.read();
+        if g.dead {
+            // Shard was concurrently emptied and unlinked: the key is gone.
+            return Ok(None);
+        }
+        let r = self.resolver();
+        let Some(&leaf) = g.art.search(&r, ak) else {
+            return Ok(None); // lines 6–7
+        };
+        // Lines 9–12: validate the leaf bit, then return the value.
+        if !self.alloc.is_live(leaf, ObjClass::Leaf) {
+            return Ok(None);
+        }
+        Ok(Some(self.load_value(leaf)?))
+    }
+
+    fn update(&self, key: &Key, value: &Value) -> Result<bool> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len);
+        let Some(shard) = self.dir.get(hk) else {
+            return Ok(false);
+        };
+        let g = shard.write();
+        if g.dead {
+            return Ok(false);
+        }
+        let r = self.resolver();
+        let Some(&leaf) = g.art.search(&r, ak) else {
+            return Ok(false);
+        };
+        self.update_leaf(leaf, value)?;
+        Ok(true)
+    }
+
+    /// Algorithm 5.
+    fn remove(&self, key: &Key) -> Result<bool> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
+        let Some(shard) = self.dir.get(hk) else {
+            return Ok(false); // lines 3–4
+        };
+        let mut g = shard.write();
+        if g.dead {
+            return Ok(false);
+        }
+        let r = self.resolver();
+        // Lines 5–9: locate and unlink from the (DRAM) tree.
+        let Some(leaf) = g.art.remove(&r, ak) else {
+            return Ok(false);
+        };
+        let pool = self.pool();
+        if self.cfg.persist_internal_nodes {
+            // Ablation: inner-node shrink/collapse would need flushing too.
+            pool.charge_synthetic_persist(2);
+        }
+        let pv = leaf_read_pvalue(pool, leaf); // line 10
+        let vclass = ObjClass::for_value_len(leaf_read_val_len(pool, leaf));
+        // Lines 11–12, reordered (see crate docs): the value bit is reset
+        // first, then the leaf is retired with its p_value nulled under
+        // the leaf-class lock so the slot can never be reallocated while
+        // still pointing at the value. A crash in between leaves a live
+        // leaf with an unset value bit, which recovery completes as a
+        // deletion.
+        self.alloc.retire(pv, vclass);
+        self.alloc.retire_leaf(leaf);
+        // Lines 13–14: try to reclaim both chunks.
+        self.alloc.recycle_containing(pv, vclass);
+        self.alloc.recycle_containing(leaf, ObjClass::Leaf);
+        // Lines 15–16: free the ART if it became empty.
+        let now_empty = g.art.is_empty();
+        drop(g);
+        if now_empty {
+            self.dir.remove_if_empty(hk);
+        }
+        Ok(true)
+    }
+
+    fn len(&self) -> usize {
+        self.alloc.live_count(ObjClass::Leaf) as usize
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats {
+            dram_bytes: self.dir.memory_bytes() + std::mem::size_of::<Self>(),
+            pm_bytes: self.pool().stats().snapshot().bytes_in_use as usize,
+        }
+    }
+
+    fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
+        self.ordered_range(start, end)
+    }
+
+    fn name(&self) -> &'static str {
+        "HART"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hart_pm::PoolConfig;
+
+    fn fresh() -> Hart {
+        Hart::create(Arc::new(PmemPool::new(PoolConfig::test_small())), HartConfig::default())
+            .unwrap()
+    }
+
+    fn crashy() -> Hart {
+        Hart::create(Arc::new(PmemPool::new(PoolConfig::test_crash())), HartConfig::default())
+            .unwrap()
+    }
+
+    fn k(s: &str) -> Key {
+        Key::from_str(s).unwrap()
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn insert_search_roundtrip() {
+        let h = fresh();
+        h.insert(&k("AABF"), &v(42)).unwrap();
+        assert_eq!(h.search(&k("AABF")).unwrap().unwrap().as_u64(), 42);
+        assert_eq!(h.search(&k("AABX")).unwrap(), None);
+        assert_eq!(h.search(&k("ZZ")).unwrap(), None);
+        assert_eq!(h.len(), 1);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn insert_is_upsert() {
+        let h = fresh();
+        h.insert(&k("key"), &v(1)).unwrap();
+        h.insert(&k("key"), &v(2)).unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.search(&k("key")).unwrap().unwrap().as_u64(), 2);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn short_keys_below_hash_prefix() {
+        let h = fresh();
+        h.insert(&k("A"), &v(1)).unwrap();
+        h.insert(&k("AB"), &v(2)).unwrap();
+        h.insert(&k("ABC"), &v(3)).unwrap();
+        assert_eq!(h.search(&k("A")).unwrap().unwrap().as_u64(), 1);
+        assert_eq!(h.search(&k("AB")).unwrap().unwrap().as_u64(), 2);
+        assert_eq!(h.search(&k("ABC")).unwrap().unwrap().as_u64(), 3);
+        assert_eq!(h.len(), 3);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_existing_and_missing() {
+        let h = fresh();
+        h.insert(&k("alpha"), &v(1)).unwrap();
+        assert!(h.update(&k("alpha"), &v(9)).unwrap());
+        assert_eq!(h.search(&k("alpha")).unwrap().unwrap().as_u64(), 9);
+        assert!(!h.update(&k("beta"), &v(5)).unwrap());
+        assert_eq!(h.search(&k("beta")).unwrap(), None);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_switches_value_class() {
+        let h = fresh();
+        h.insert(&k("key"), &Value::new(b"short").unwrap()).unwrap();
+        assert!(h.update(&k("key"), &Value::new(b"a-sixteen-byte-v").unwrap()).unwrap());
+        assert_eq!(h.search(&k("key")).unwrap().unwrap().as_slice(), b"a-sixteen-byte-v");
+        assert!(h.update(&k("key"), &Value::new(b"tiny").unwrap()).unwrap());
+        assert_eq!(h.search(&k("key")).unwrap().unwrap().as_slice(), b"tiny");
+        h.check_consistency().unwrap();
+        let s = h.alloc_stats();
+        assert_eq!(s.live, [1, 1, 0], "one leaf, one 8-byte value, no 16-byte leftovers");
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let h = fresh();
+        h.insert(&k("AAx"), &v(1)).unwrap();
+        h.insert(&k("AAy"), &v(2)).unwrap();
+        assert!(h.remove(&k("AAx")).unwrap());
+        assert!(!h.remove(&k("AAx")).unwrap());
+        assert_eq!(h.search(&k("AAx")).unwrap(), None);
+        assert_eq!(h.search(&k("AAy")).unwrap().unwrap().as_u64(), 2);
+        assert_eq!(h.len(), 1);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn empty_art_is_freed() {
+        let h = fresh();
+        h.insert(&k("QQonly"), &v(7)).unwrap();
+        assert_eq!(h.art_count(), 1);
+        assert!(h.remove(&k("QQonly")).unwrap());
+        assert_eq!(h.art_count(), 0, "Algorithm 5 lines 15-16: empty ART freed");
+        // Reinsertion after removal works.
+        h.insert(&k("QQonly"), &v(8)).unwrap();
+        assert_eq!(h.search(&k("QQonly")).unwrap().unwrap().as_u64(), 8);
+    }
+
+    #[test]
+    fn removing_everything_reclaims_pm() {
+        let h = fresh();
+        for i in 0..500 {
+            h.insert(&k(&format!("K{i:04}")), &v(i)).unwrap();
+        }
+        let mid = h.alloc_stats();
+        assert!(mid.chunks[0] > 0);
+        for i in 0..500 {
+            assert!(h.remove(&k(&format!("K{i:04}"))).unwrap());
+        }
+        let end = h.alloc_stats();
+        assert_eq!(end.live, [0, 0, 0]);
+        assert_eq!(end.chunks, [0, 0, 0], "empty chunks must all be recycled");
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn thousands_of_records() {
+        let h = fresh();
+        for i in 0..5000u64 {
+            h.insert(&Key::from_u64_base62(i * 37 % 5000, 8), &v(i)).unwrap();
+        }
+        assert_eq!(h.len(), 5000);
+        h.check_consistency().unwrap();
+        for i in 0..5000u64 {
+            let key = Key::from_u64_base62(i, 8);
+            assert!(h.search(&key).unwrap().is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn multi_get_matches_search() {
+        let h = fresh();
+        h.insert(&k("AAa"), &v(1)).unwrap();
+        h.insert(&k("AAb"), &v(2)).unwrap();
+        let keys = [k("AAa"), k("zzz"), k("AAb")];
+        let got = h.multi_get(&keys).unwrap();
+        assert_eq!(got[0].unwrap().as_u64(), 1);
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].unwrap().as_u64(), 2);
+    }
+
+    #[test]
+    fn ordered_range_spans_shards() {
+        let h = fresh();
+        // Keys across multiple hash prefixes.
+        for key in ["AAa", "AAb", "ABa", "ACz", "BAa", "Az"] {
+            h.insert(&k(key), &v(key.len() as u64)).unwrap();
+        }
+        let got: Vec<String> = h
+            .range(&k("AAb"), &k("B"))
+            .unwrap()
+            .into_iter()
+            .map(|(key, _)| key.to_string())
+            .collect();
+        assert_eq!(got, vec!["AAb", "ABa", "ACz", "Az"]);
+        // Full range, ordered.
+        let all: Vec<String> =
+            h.range(&k("A"), &k("zzzz")).unwrap().into_iter().map(|(key, _)| key.to_string()).collect();
+        assert_eq!(all, vec!["AAa", "AAb", "ABa", "ACz", "Az", "BAa"]);
+    }
+
+    #[test]
+    fn recover_rebuilds_everything() {
+        let pool = Arc::new(PmemPool::new(PoolConfig::test_small()));
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        for i in 0..1000u64 {
+            h.insert(&Key::from_u64_base62(i, 6), &v(i)).unwrap();
+        }
+        h.remove(&Key::from_u64_base62(500, 6)).unwrap();
+        let arts_before = h.art_count();
+        drop(h);
+
+        let r = Hart::recover(pool, HartConfig::default()).unwrap();
+        assert_eq!(r.len(), 999);
+        assert_eq!(r.art_count(), arts_before);
+        r.check_consistency().unwrap();
+        for i in 0..1000u64 {
+            let got = r.search(&Key::from_u64_base62(i, 6)).unwrap();
+            if i == 500 {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got.unwrap().as_u64(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_before_leaf_bit_loses_only_that_insert() {
+        let h = crashy();
+        let pool = Arc::clone(h.pm_pool());
+        h.insert(&k("AAkeep"), &v(1)).unwrap();
+        // Start an insert and crash it between value commit and leaf commit
+        // by replicating Algorithm 1 up to line 16 manually.
+        let leaf = h.alloc.alloc(ObjClass::Leaf).unwrap();
+        let vptr = h.alloc.alloc(ObjClass::Value8).unwrap();
+        pool.write(vptr, &99u64);
+        pool.persist_val::<u64>(vptr);
+        leaf_write_pvalue(&pool, leaf, vptr, 8);
+        persist_leaf_pvalue(&pool, leaf);
+        h.alloc.commit(vptr, ObjClass::Value8);
+        leaf_write_key(&pool, leaf, &k("AAlost"));
+        persist_leaf_key(&pool, leaf);
+        // crash before line 18 (leaf bit)
+        drop(h);
+        pool.simulate_crash();
+
+        let r = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        assert_eq!(r.len(), 1, "only the committed record survives");
+        assert_eq!(r.search(&k("AAkeep")).unwrap().unwrap().as_u64(), 1);
+        assert_eq!(r.search(&k("AAlost")).unwrap(), None);
+        // No persistent leak: the orphaned value was scrubbed.
+        let s = r.alloc_stats();
+        assert_eq!(s.live, [1, 1, 0]);
+        r.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn crash_during_update_recovers_consistently() {
+        // Crash right after the update log records all three pointers and
+        // the new value bit is set, but before the leaf pointer swings:
+        // recovery must resume from line 7 and complete the update.
+        let h = crashy();
+        let pool = Arc::clone(h.pm_pool());
+        h.insert(&k("AAkey"), &v(1)).unwrap();
+        let key = k("AAkey");
+        let (hk, ak) = key.split(2);
+        let shard = h.dir.get(hk).unwrap();
+        let leaf = *shard.read().art.search(&h.resolver(), ak).unwrap();
+        let old_v = leaf_read_pvalue(&pool, leaf);
+
+        let ulog = h.alloc.acquire_ulog();
+        ulog.record_leaf(leaf);
+        ulog.record_old(old_v);
+        let new_v = h.alloc.alloc(ObjClass::Value8).unwrap();
+        pool.write(new_v, &2u64);
+        pool.persist_val::<u64>(new_v);
+        ulog.record_new(new_v, 8, ObjClass::Value8, ObjClass::Value8);
+        h.alloc.commit(new_v, ObjClass::Value8);
+        std::mem::forget(ulog); // leave the log record in PM
+        drop(h);
+        pool.simulate_crash();
+
+        let r = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        assert_eq!(
+            r.search(&k("AAkey")).unwrap().unwrap().as_u64(),
+            2,
+            "recovery must roll the update forward"
+        );
+        let s = r.alloc_stats();
+        assert_eq!(s.live, [1, 1, 0], "old value must be reclaimed");
+        r.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn crash_early_update_rolls_back() {
+        // Crash after recording PLeaf/POldV but before PNewV: the old value
+        // stays current (paper: "the failure recovery process simply resets
+        // the update log").
+        let h = crashy();
+        let pool = Arc::clone(h.pm_pool());
+        h.insert(&k("AAkey"), &v(7)).unwrap();
+        let key = k("AAkey");
+        let (hk, ak) = key.split(2);
+        let shard = h.dir.get(hk).unwrap();
+        let leaf = *shard.read().art.search(&h.resolver(), ak).unwrap();
+        let old_v = leaf_read_pvalue(&pool, leaf);
+        let ulog = h.alloc.acquire_ulog();
+        ulog.record_leaf(leaf);
+        ulog.record_old(old_v);
+        std::mem::forget(ulog);
+        drop(h);
+        pool.simulate_crash();
+
+        let r = Hart::recover(pool, HartConfig::default()).unwrap();
+        assert_eq!(r.search(&k("AAkey")).unwrap().unwrap().as_u64(), 7);
+        r.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_arts() {
+        let h = Arc::new(fresh());
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                // Distinct 2-byte prefixes → distinct ARTs → fully parallel.
+                let prefix = format!("{}{}", (b'A' + t) as char, (b'a' + t) as char);
+                for i in 0..500u64 {
+                    let key = Key::from_str(&format!("{prefix}{i:04}")).unwrap();
+                    h.insert(&key, &Value::from_u64(i)).unwrap();
+                }
+            }));
+        }
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.len(), 4000);
+        assert_eq!(h.art_count(), 8);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_same_art() {
+        let h = Arc::new(fresh());
+        for i in 0..200u64 {
+            h.insert(&Key::from_str(&format!("XX{i:04}")).unwrap(), &v(i)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let key = Key::from_str(&format!("XX{i:04}")).unwrap();
+                    match (i + t) % 3 {
+                        0 => {
+                            let _ = h.search(&key).unwrap();
+                        }
+                        1 => {
+                            let _ = h.update(&key, &Value::from_u64(i * t)).unwrap();
+                        }
+                        _ => {
+                            h.insert(&key, &Value::from_u64(i)).unwrap();
+                        }
+                    }
+                }
+            }));
+        }
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.len(), 200);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn memory_stats_split_dram_pm() {
+        let h = fresh();
+        for i in 0..1000u64 {
+            h.insert(&Key::from_u64_base62(i, 8), &v(i)).unwrap();
+        }
+        let m = h.memory_stats();
+        assert!(m.dram_bytes > 0, "hash table + ART nodes live in DRAM");
+        assert!(m.pm_bytes > 1000 * 40, "leaves + values live in PM");
+    }
+
+    #[test]
+    fn zero_hash_key_len_degenerates_to_single_art() {
+        let h = Hart::create(
+            Arc::new(PmemPool::new(PoolConfig::test_small())),
+            HartConfig::with_hash_key_len(0),
+        )
+        .unwrap();
+        for key in ["alpha", "beta", "gamma"] {
+            h.insert(&k(key), &v(key.len() as u64)).unwrap();
+        }
+        assert_eq!(h.art_count(), 1);
+        assert_eq!(h.search(&k("beta")).unwrap().unwrap().as_u64(), 4);
+        h.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn values_of_both_classes() {
+        let h = fresh();
+        h.insert(&k("short"), &Value::new(b"12345678").unwrap()).unwrap();
+        h.insert(&k("long"), &Value::new(b"0123456789abcdef").unwrap()).unwrap();
+        h.insert(&k("empty"), &Value::new(b"").unwrap()).unwrap();
+        assert_eq!(h.search(&k("short")).unwrap().unwrap().as_slice(), b"12345678");
+        assert_eq!(h.search(&k("long")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert_eq!(h.search(&k("empty")).unwrap().unwrap().as_slice(), b"");
+        let s = h.alloc_stats();
+        assert_eq!(s.live, [3, 2, 1]);
+    }
+}
+
+#[cfg(test)]
+mod parallel_recovery_tests {
+    use super::*;
+    use hart_pm::PoolConfig;
+
+    #[test]
+    fn parallel_recovery_equals_sequential() {
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            size_bytes: 64 << 20,
+            ..PoolConfig::test_small()
+        }));
+        {
+            let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+            for i in 0..20_000u64 {
+                h.insert(&Key::from_u64_base62(i * 7, 8), &Value::from_u64(i)).unwrap();
+            }
+            for i in 0..20_000u64 {
+                if i % 9 == 0 {
+                    h.remove(&Key::from_u64_base62(i * 7, 8)).unwrap();
+                }
+            }
+        }
+        let par = Hart::recover_parallel(Arc::clone(&pool), HartConfig::default(), 4).unwrap();
+        par.check_consistency().unwrap();
+        assert_eq!(par.len(), 20_000 - 20_000usize.div_ceil(9));
+        for i in (0..20_000u64).step_by(37) {
+            let got = par.search(&Key::from_u64_base62(i * 7, 8)).unwrap();
+            if i % 9 == 0 {
+                assert_eq!(got, None, "key {i}");
+            } else {
+                assert_eq!(got.unwrap().as_u64(), i, "key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_recovery_after_crash() {
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            size_bytes: 32 << 20,
+            crash_sim: true,
+            ..PoolConfig::test_small()
+        }));
+        {
+            let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+            for i in 0..2000u64 {
+                h.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i)).unwrap();
+            }
+            pool.arm_persist_fuse(3); // die mid-insert
+            h.insert(&Key::from_u64_base62(9999, 8), &Value::from_u64(1)).unwrap();
+        }
+        pool.simulate_crash();
+        let par = Hart::recover_parallel(Arc::clone(&pool), HartConfig::default(), 3).unwrap();
+        par.check_consistency().unwrap();
+        assert!(par.len() == 2000 || par.len() == 2001);
+        let s = par.alloc_stats();
+        assert_eq!(s.live[1] + s.live[2], s.live[0], "no leaks");
+    }
+}

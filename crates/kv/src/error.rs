@@ -1,0 +1,61 @@
+//! Error type shared by all crates of the reproduction.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the persistent indexes and their substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The key exceeds the 24-byte maximum of §III-A.5.
+    KeyTooLong(usize),
+    /// The key is empty; all indexes require at least one byte.
+    EmptyKey,
+    /// Keys may not contain interior NUL bytes: like the libart
+    /// implementation the paper builds on, the radix trees use a NUL
+    /// terminator to disambiguate keys that are prefixes of other keys.
+    NulInKey,
+    /// The value exceeds the largest supported value class (16 bytes).
+    ValueTooLong(usize),
+    /// The emulated persistent-memory pool ran out of space.
+    PmExhausted,
+    /// The persistent image failed a consistency check during recovery.
+    Corrupted(&'static str),
+    /// A configuration parameter was out of range.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::KeyTooLong(n) => write!(f, "key of {n} bytes exceeds the 24-byte maximum"),
+            Error::EmptyKey => write!(f, "empty keys are not supported"),
+            Error::NulInKey => write!(f, "keys may not contain interior NUL bytes"),
+            Error::ValueTooLong(n) => write!(f, "value of {n} bytes exceeds the 16-byte maximum"),
+            Error::PmExhausted => write!(f, "persistent-memory pool exhausted"),
+            Error::Corrupted(what) => write!(f, "persistent image corrupted: {what}"),
+            Error::BadConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::KeyTooLong(30).to_string().contains("30"));
+        assert!(Error::ValueTooLong(99).to_string().contains("99"));
+        assert!(Error::Corrupted("bad magic").to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::PmExhausted, Error::PmExhausted);
+        assert_ne!(Error::EmptyKey, Error::NulInKey);
+    }
+}

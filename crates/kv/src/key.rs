@@ -1,0 +1,313 @@
+//! Fixed-capacity inline key types.
+//!
+//! §III-A.5 of the paper: "Although HART supports variable-size keys, it sets
+//! a limit on the maximal key length. The maximal key length supported by
+//! HART is 24 bytes." Keys are stored inline (no heap) so they can live in
+//! emulated persistent memory verbatim and be copied cheaply.
+
+use crate::error::{Error, Result};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum key length in bytes (paper §III-A.5).
+pub const MAX_KEY_LEN: usize = 24;
+
+/// A raw inline byte string of up to [`MAX_KEY_LEN`] bytes.
+///
+/// Unlike [`Key`] this type performs no validation; it is the building block
+/// used internally by the radix trees (e.g. for compressed path prefixes,
+/// which may legitimately be empty).
+#[derive(Clone, Copy)]
+pub struct InlineKey {
+    len: u8,
+    bytes: [u8; MAX_KEY_LEN],
+}
+
+impl InlineKey {
+    /// The empty inline key.
+    pub const EMPTY: InlineKey = InlineKey { len: 0, bytes: [0; MAX_KEY_LEN] };
+
+    /// Create from a slice.
+    ///
+    /// # Panics
+    /// Panics if `src` is longer than [`MAX_KEY_LEN`]; internal callers
+    /// always pass validated data.
+    #[inline]
+    pub fn from_slice(src: &[u8]) -> InlineKey {
+        assert!(src.len() <= MAX_KEY_LEN, "inline key too long: {}", src.len());
+        let mut bytes = [0u8; MAX_KEY_LEN];
+        bytes[..src.len()].copy_from_slice(src);
+        InlineKey { len: src.len() as u8, bytes }
+    }
+
+    /// The key bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the key holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte at position `i` of the *terminated* view: positions `0..len()`
+    /// return the key bytes, position `len()` returns the implicit `0`
+    /// terminator the radix trees use to disambiguate prefix keys.
+    ///
+    /// # Panics
+    /// Panics if `i > len()`.
+    #[inline]
+    pub fn terminated_byte(&self, i: usize) -> u8 {
+        let len = self.len as usize;
+        assert!(i <= len, "index {i} past terminated key of length {len}");
+        if i == len {
+            0
+        } else {
+            self.bytes[i]
+        }
+    }
+
+    /// Length of the terminated view (`len() + 1`).
+    #[inline]
+    pub fn terminated_len(&self) -> usize {
+        self.len as usize + 1
+    }
+}
+
+impl fmt::Debug for InlineKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InlineKey({})", String::from_utf8_lossy(self.as_slice()))
+    }
+}
+
+impl PartialEq for InlineKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for InlineKey {}
+
+impl PartialOrd for InlineKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InlineKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for InlineKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl Default for InlineKey {
+    fn default() -> Self {
+        InlineKey::EMPTY
+    }
+}
+
+/// A validated index key: 1–24 bytes, no interior NUL bytes.
+///
+/// The NUL restriction mirrors the libart implementation the paper builds on
+/// (keys are C strings): the radix trees append an implicit `0` terminator so
+/// that a key that is a strict prefix of another key still terminates in a
+/// leaf of its own.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(InlineKey);
+
+impl Key {
+    /// Validate and build a key from raw bytes.
+    pub fn new(bytes: &[u8]) -> Result<Key> {
+        if bytes.is_empty() {
+            return Err(Error::EmptyKey);
+        }
+        if bytes.len() > MAX_KEY_LEN {
+            return Err(Error::KeyTooLong(bytes.len()));
+        }
+        if bytes.contains(&0) {
+            return Err(Error::NulInKey);
+        }
+        Ok(Key(InlineKey::from_slice(bytes)))
+    }
+
+    /// Build a key from a string slice. (An inherent constructor rather
+    /// than `FromStr` so call sites read `Key::from_str("AABF")?` without
+    /// importing the trait.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Result<Key> {
+        Key::new(s.as_bytes())
+    }
+
+    /// Encode a `u64` as a fixed-width big-endian-style base-62 string key,
+    /// so that numeric order matches lexicographic order. Used by the
+    /// Sequential workload generator.
+    pub fn from_u64_base62(mut v: u64, width: usize) -> Key {
+        const ALPHABET: &[u8; 62] =
+            b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+        assert!((1..=MAX_KEY_LEN).contains(&width), "bad width {width}");
+        let mut buf = [b'0'; MAX_KEY_LEN];
+        let mut i = width;
+        while v > 0 && i > 0 {
+            i -= 1;
+            buf[i] = ALPHABET[(v % 62) as usize];
+            v /= 62;
+        }
+        assert!(v == 0, "value does not fit in width {width}");
+        Key(InlineKey::from_slice(&buf[..width]))
+    }
+
+    /// The key bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+
+    /// Length in bytes (1–24).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false: empty keys are rejected at construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// View as the unvalidated inline representation.
+    #[inline]
+    pub fn inline(&self) -> &InlineKey {
+        &self.0
+    }
+
+    /// Split into the hash-key prefix (first `kh` bytes) and the ART-key
+    /// suffix, as in Fig. 1 of the paper ("A key AABF is split into AA ...
+    /// and BF"). When the key is shorter than `kh` the whole key becomes the
+    /// hash key and the ART key is empty.
+    #[inline]
+    pub fn split(&self, kh: usize) -> (&[u8], &[u8]) {
+        let s = self.as_slice();
+        let cut = kh.min(s.len());
+        (&s[..cut], &s[cut..])
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", String::from_utf8_lossy(self.as_slice()))
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(self.as_slice()))
+    }
+}
+
+impl Borrow<[u8]> for Key {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Key {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_keys() {
+        assert_eq!(Key::new(b""), Err(Error::EmptyKey));
+        assert_eq!(Key::new(&[b'a'; 25]), Err(Error::KeyTooLong(25)));
+        assert_eq!(Key::new(b"a\0b"), Err(Error::NulInKey));
+        assert!(Key::new(&[b'a'; 24]).is_ok());
+    }
+
+    #[test]
+    fn split_matches_figure_1() {
+        let k = Key::from_str("AABF").unwrap();
+        let (h, a) = k.split(2);
+        assert_eq!(h, b"AA");
+        assert_eq!(a, b"BF");
+    }
+
+    #[test]
+    fn split_short_key() {
+        let k = Key::from_str("A").unwrap();
+        let (h, a) = k.split(2);
+        assert_eq!(h, b"A");
+        assert_eq!(a, b"");
+    }
+
+    #[test]
+    fn terminated_view() {
+        let k = InlineKey::from_slice(b"ab");
+        assert_eq!(k.terminated_len(), 3);
+        assert_eq!(k.terminated_byte(0), b'a');
+        assert_eq!(k.terminated_byte(1), b'b');
+        assert_eq!(k.terminated_byte(2), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn terminated_byte_past_end_panics() {
+        InlineKey::from_slice(b"ab").terminated_byte(3);
+    }
+
+    #[test]
+    fn base62_keys_are_ordered() {
+        let a = Key::from_u64_base62(41, 8);
+        let b = Key::from_u64_base62(42, 8);
+        let c = Key::from_u64_base62(62 * 62, 8);
+        assert!(a < b && b < c);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn base62_overflow_panics() {
+        // 62^2 = 3844 does not fit in width 2.
+        Key::from_u64_base62(3844, 2);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let ab = Key::from_str("ab").unwrap();
+        let abc = Key::from_str("abc").unwrap();
+        let b = Key::from_str("b").unwrap();
+        assert!(ab < abc);
+        assert!(abc < b);
+    }
+
+    #[test]
+    fn inline_key_roundtrip() {
+        let k = InlineKey::from_slice(b"hello");
+        assert_eq!(k.as_slice(), b"hello");
+        assert_eq!(k.len(), 5);
+        assert!(!k.is_empty());
+        assert!(InlineKey::EMPTY.is_empty());
+    }
+}

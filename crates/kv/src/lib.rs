@@ -1,0 +1,81 @@
+//! Shared key/value types, error types and the [`PersistentIndex`] trait used
+//! by every index structure in the HART reproduction (HART itself plus the
+//! WOART, ART+CoW and FPTree baselines).
+//!
+//! The paper (§III-A.5) fixes the maximum key length at 24 bytes ("which
+//! could generate 2^192 distinct keys") and supports two value classes of 8
+//! and 16 bytes. [`Key`] and [`Value`] encode those limits as inline,
+//! `Copy`-able types so that no heap allocation happens on the hot paths.
+
+mod error;
+mod key;
+mod stats;
+mod value;
+
+pub use error::{Error, Result};
+pub use key::{InlineKey, Key, MAX_KEY_LEN};
+pub use stats::MemoryStats;
+pub use value::{Value, MAX_VALUE_LEN};
+
+/// The common interface implemented by all four persistent indexes evaluated
+/// in the paper (HART, WOART, ART+CoW, FPTree).
+///
+/// All methods take `&self`: implementations are internally synchronized
+/// (HART with one reader-writer lock per ART as in §III-A.3; the baselines
+/// with a single tree-level lock, matching the paper's single-threaded
+/// evaluation of the competitors).
+///
+/// `insert` follows Algorithm 1 of the paper and is an *upsert*: inserting an
+/// existing key updates its value in place (via the out-of-place update
+/// protocol of Algorithm 3 for the PM-resident trees).
+pub trait PersistentIndex: Send + Sync {
+    /// Insert `key` with `value`, updating the value if the key exists.
+    fn insert(&self, key: &Key, value: &Value) -> Result<()>;
+
+    /// Look up `key`, returning its current value if present.
+    fn search(&self, key: &Key) -> Result<Option<Value>>;
+
+    /// Update the value of an existing key. Returns `false` when the key is
+    /// absent (no insertion happens).
+    fn update(&self, key: &Key, value: &Value) -> Result<bool>;
+
+    /// Remove a key. Returns `false` when the key was absent.
+    fn remove(&self, key: &Key) -> Result<bool>;
+
+    /// Number of live records.
+    fn len(&self) -> usize;
+
+    /// True when the index holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// DRAM / PM footprint, for the Fig. 10b memory-consumption experiment.
+    fn memory_stats(&self) -> MemoryStats;
+
+    /// Range query in the style the paper evaluates in Fig. 10a: the
+    /// ART-based trees implement it "by calling a search function for each
+    /// key"; FPTree scans its sorted linked leaf list. Returns the values of
+    /// all present keys in `[start, end]` (inclusive), in key order.
+    fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>>;
+
+    /// Point-lookup batch — exactly how the paper implements range query
+    /// for the three ART-based trees (§IV-D: "simply implemented by calling
+    /// a search function for each key").
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        keys.iter().map(|k| self.search(k)).collect()
+    }
+
+    /// Short human-readable name used by the benchmark harness.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn PersistentIndex) {}
+    }
+}

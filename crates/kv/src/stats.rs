@@ -1,0 +1,62 @@
+//! Memory-footprint accounting, for the Fig. 10b experiment.
+
+use std::fmt;
+use std::ops::Add;
+
+/// DRAM vs PM footprint of an index.
+///
+/// The paper's Fig. 10b compares used memory of the four trees split into
+/// DRAM and PM portions (WOART and ART+CoW use no DRAM; HART uses DRAM for
+/// the hash table and ART internal nodes; FPTree for its inner B+ nodes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes of volatile memory used by index structures (excluding the
+    /// emulated PM arena itself).
+    pub dram_bytes: usize,
+    /// Bytes of emulated persistent memory currently allocated to the index
+    /// (chunks, nodes, values — including internal fragmentation).
+    pub pm_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Combined footprint.
+    pub fn total(&self) -> usize {
+        self.dram_bytes + self.pm_bytes
+    }
+}
+
+impl Add for MemoryStats {
+    type Output = MemoryStats;
+    fn add(self, rhs: MemoryStats) -> MemoryStats {
+        MemoryStats {
+            dram_bytes: self.dram_bytes + rhs.dram_bytes,
+            pm_bytes: self.pm_bytes + rhs.pm_bytes,
+        }
+    }
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DRAM {:.2} MiB / PM {:.2} MiB",
+            self.dram_bytes as f64 / (1024.0 * 1024.0),
+            self.pm_bytes as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let a = MemoryStats { dram_bytes: 10, pm_bytes: 20 };
+        let b = MemoryStats { dram_bytes: 1, pm_bytes: 2 };
+        let c = a + b;
+        assert_eq!(c.dram_bytes, 11);
+        assert_eq!(c.pm_bytes, 22);
+        assert_eq!(c.total(), 33);
+    }
+}

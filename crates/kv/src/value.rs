@@ -1,0 +1,122 @@
+//! Fixed-capacity inline values.
+//!
+//! §III-A.5: "For simplicity, HART currently only supports two sizes of value
+//! objects: 8-byte values and 16-byte values." A [`Value`] carries up to 16
+//! bytes; the allocator picks the 8- or 16-byte object class from the length.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Maximum value length in bytes (the larger of the paper's two classes).
+pub const MAX_VALUE_LEN: usize = 16;
+
+/// An inline value of 0–16 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value {
+    len: u8,
+    bytes: [u8; MAX_VALUE_LEN],
+}
+
+impl Value {
+    /// Validate and build a value from raw bytes.
+    pub fn new(bytes: &[u8]) -> Result<Value> {
+        if bytes.len() > MAX_VALUE_LEN {
+            return Err(Error::ValueTooLong(bytes.len()));
+        }
+        let mut buf = [0u8; MAX_VALUE_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Ok(Value { len: bytes.len() as u8, bytes: buf })
+    }
+
+    /// Build an 8-byte value from a `u64` (little-endian). The most common
+    /// case in the paper's workloads.
+    #[inline]
+    pub fn from_u64(v: u64) -> Value {
+        let mut bytes = [0u8; MAX_VALUE_LEN];
+        bytes[..8].copy_from_slice(&v.to_le_bytes());
+        Value { len: 8, bytes }
+    }
+
+    /// Interpret the first 8 bytes as a little-endian `u64` (zero-padded for
+    /// shorter values).
+    #[inline]
+    pub fn as_u64(&self) -> u64 {
+        let mut b = [0u8; 8];
+        let n = (self.len as usize).min(8);
+        b[..n].copy_from_slice(&self.bytes[..n]);
+        u64::from_le_bytes(b)
+    }
+
+    /// The value bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the value holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The allocator object class this value needs: 8 or 16 bytes
+    /// (§III-A.5's two singly linked-lists of value-object memory chunks).
+    #[inline]
+    pub fn class_size(&self) -> usize {
+        if self.len as usize <= 8 {
+            8
+        } else {
+            16
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({:02x?})", self.as_slice())
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value { len: 0, bytes: [0; MAX_VALUE_LEN] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_oversized() {
+        assert_eq!(Value::new(&[0u8; 17]), Err(Error::ValueTooLong(17)));
+        assert!(Value::new(&[0u8; 16]).is_ok());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = Value::from_u64(0xdead_beef_cafe_f00d);
+        assert_eq!(v.as_u64(), 0xdead_beef_cafe_f00d);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.class_size(), 8);
+    }
+
+    #[test]
+    fn class_selection_matches_paper() {
+        assert_eq!(Value::new(b"12345678").unwrap().class_size(), 8);
+        assert_eq!(Value::new(b"123456789").unwrap().class_size(), 16);
+        assert_eq!(Value::new(b"").unwrap().class_size(), 8);
+    }
+
+    #[test]
+    fn short_value_as_u64_is_zero_padded() {
+        let v = Value::new(&[0xff, 0x01]).unwrap();
+        assert_eq!(v.as_u64(), 0x01ff);
+    }
+}

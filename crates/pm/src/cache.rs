@@ -1,0 +1,187 @@
+//! A small set-associative CPU-cache model for PM reads.
+//!
+//! The paper charged PM read latency only for loads that actually stalled
+//! the CPU (Eq. 1–2 use the measured stall cycles, which exclude cache
+//! hits). This module provides the equivalent inline mechanism: a
+//! set-associative tag array sized like the testbed's shared 20 MB L3.
+//! A PM line read that hits costs nothing; a miss is charged the read
+//! latency difference. `CLFLUSH` (i.e. [`PmemPool::persist`]) invalidates
+//! the flushed lines, reproducing the paper's observation that "CLFLUSH
+//! significantly increases the number of cache misses".
+//!
+//! The tag array uses relaxed atomics so concurrent probes are safe; races
+//! merely make the model slightly optimistic/pessimistic for one access,
+//! which is in the noise of a latency emulator.
+//!
+//! [`PmemPool::persist`]: crate::PmemPool::persist
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cache-model geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total modeled capacity in bytes. Default 20 MiB (Xeon E5-2640 v3 L3).
+    pub capacity_bytes: usize,
+    /// Associativity. Default 16 ways.
+    pub ways: usize,
+    /// Line size. Default 64 B.
+    pub line_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity_bytes: 20 * 1024 * 1024, ways: 16, line_bytes: 64 }
+    }
+}
+
+/// Set-associative tag-only cache simulator.
+pub struct CacheSim {
+    /// `sets * ways` tags; a tag stores `line_index + 1` (0 = invalid).
+    tags: Box<[AtomicU64]>,
+    /// Per-set round-robin replacement cursor.
+    cursors: Box<[AtomicUsize]>,
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+}
+
+impl CacheSim {
+    /// Build a simulator from `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// line size, or capacity smaller than one set).
+    pub fn new(cfg: CacheConfig) -> CacheSim {
+        assert!(cfg.ways > 0, "cache must have at least one way");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = cfg.capacity_bytes / cfg.line_bytes;
+        let sets = (lines / cfg.ways).max(1).next_power_of_two();
+        let tags = (0..sets * cfg.ways).map(|_| AtomicU64::new(0)).collect();
+        let cursors = (0..sets).map(|_| AtomicUsize::new(0)).collect();
+        CacheSim {
+            tags,
+            cursors,
+            sets,
+            ways: cfg.ways,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        // Multiplicative hash spreads sequential lines across sets, like a
+        // real L3's physical-address indexing does in aggregate.
+        ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize) & (self.sets - 1)
+    }
+
+    /// Record an access to the line containing byte `addr`.
+    /// Returns `true` on hit, `false` on miss (the line is then installed).
+    pub fn access(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let tag = line + 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w].load(Ordering::Relaxed) == tag {
+                return true;
+            }
+        }
+        // Miss: install with per-set round-robin replacement.
+        let way = self.cursors[set].fetch_add(1, Ordering::Relaxed) % self.ways;
+        self.tags[base + way].store(tag, Ordering::Relaxed);
+        false
+    }
+
+    /// Invalidate the line containing byte `addr` (models `CLFLUSH`).
+    pub fn invalidate(&self, addr: u64) {
+        let line = addr >> self.line_shift;
+        let tag = line + 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            // CAS so we only clear the slot if it still holds this line.
+            let _ = self.tags[base + w].compare_exchange(
+                tag,
+                0,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Drop all cached lines (used when reopening a pool after a simulated
+    /// crash: a rebooted machine starts cold).
+    pub fn clear(&self) {
+        for t in self.tags.iter() {
+            t.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes of line granularity.
+    #[inline]
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets * 2 ways * 64 B = 512 B capacity.
+        CacheSim::new(CacheConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+    }
+
+    #[test]
+    fn invalidate_causes_miss() {
+        let c = tiny();
+        c.access(128);
+        assert!(c.access(128));
+        c.invalidate(128);
+        assert!(!c.access(128));
+    }
+
+    #[test]
+    fn clear_flushes_everything() {
+        let c = tiny();
+        c.access(0);
+        c.access(64);
+        c.clear();
+        assert!(!c.access(0));
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        // With 2 ways per set, three distinct lines mapping to the same set
+        // must evict one. We can't easily pick conflicting addresses through
+        // the hash, so instead verify global behaviour: touching far more
+        // lines than the capacity then re-touching the first line usually
+        // misses. (Round-robin makes this deterministic per set.)
+        let c = tiny(); // 8 lines capacity
+        assert!(!c.access(0));
+        for i in 1..64u64 {
+            c.access(i * 64);
+        }
+        // 64 lines through an 8-line cache: line 0 must be long gone.
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn default_geometry_is_sane() {
+        let c = CacheSim::new(CacheConfig::default());
+        assert_eq!(c.line_bytes(), 64);
+        assert!(!c.access(12345));
+        assert!(c.access(12345));
+    }
+}

@@ -1,0 +1,151 @@
+//! Pool image files: save an emulated PM device to disk and map it back,
+//! so "persistent" memory actually persists across process runs.
+//!
+//! The file format is a small header followed by the raw arena:
+//!
+//! ```text
+//! offset  0  magic   u64  = IMAGE_MAGIC
+//! offset  8  version u64  = 1
+//! offset 16  size    u64  (arena bytes)
+//! offset 24  bump    u64  (raw-allocator cursor, so reopened pools keep
+//!                          allocating after the previous high-water mark)
+//! offset 32  arena   [u8; size]
+//! ```
+//!
+//! Semantics: [`PmemPool::save_image`] snapshots the *durable* state — for
+//! a crash-sim pool that is the shadow image (what a power failure would
+//! leave), otherwise the working arena (a clean shutdown; real PM systems
+//! flush caches on orderly shutdown). [`PmemPool::load_image`] builds a
+//! pool whose arena starts from the file; the higher layers then run their
+//! normal `recover`/`open` paths against it.
+
+use crate::pool::{PmemPool, PoolConfig};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+pub(crate) const IMAGE_MAGIC: u64 = 0x4841_5254_2D49_4D47; // "HART-IMG"
+pub(crate) const IMAGE_VERSION: u64 = 1;
+
+impl PmemPool {
+    /// Write the durable image of this pool to `path`.
+    ///
+    /// Crash-sim pools write their shadow (persisted) image; plain pools
+    /// write the working arena (clean-shutdown semantics).
+    pub fn save_image(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&IMAGE_MAGIC.to_le_bytes())?;
+        w.write_all(&IMAGE_VERSION.to_le_bytes())?;
+        w.write_all(&(self.capacity() as u64).to_le_bytes())?;
+        w.write_all(&self.alloc_bump().to_le_bytes())?;
+        self.with_durable_image(|bytes| w.write_all(bytes))?;
+        w.flush()
+    }
+
+    /// Build a pool from an image file. `cfg.size_bytes` is overridden by
+    /// the stored arena size; latency/cache/crash settings come from `cfg`.
+    pub fn load_image(path: &Path, cfg: PoolConfig) -> io::Result<PmemPool> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        if u64::from_le_bytes(buf8) != IMAGE_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad pool-image magic"));
+        }
+        r.read_exact(&mut buf8)?;
+        if u64::from_le_bytes(buf8) != IMAGE_VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported image version"));
+        }
+        r.read_exact(&mut buf8)?;
+        let size = u64::from_le_bytes(buf8) as usize;
+        r.read_exact(&mut buf8)?;
+        let bump = u64::from_le_bytes(buf8);
+
+        let pool = PmemPool::new(PoolConfig { size_bytes: size, ..cfg });
+        pool.fill_from_reader(&mut r, size)?;
+        pool.set_alloc_bump(bump);
+        pool.sync_shadow_to_working();
+        Ok(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hart-pm-image-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = tmp("roundtrip.img");
+        let pool = PmemPool::new(PoolConfig::test_small());
+        let a = pool.alloc_raw(64, 64).unwrap();
+        pool.write(a, &0xCAFEu64);
+        pool.persist_val::<u64>(a);
+        pool.save_image(&path).unwrap();
+
+        let re = PmemPool::load_image(&path, PoolConfig::test_small()).unwrap();
+        assert_eq!(re.capacity(), pool.capacity());
+        assert_eq!(re.read::<u64>(a), 0xCAFE);
+        // The bump cursor survived: a new allocation must not overlap `a`.
+        let b = re.alloc_raw(64, 64).unwrap();
+        assert_ne!(a, b);
+        assert!(b.offset() > a.offset());
+    }
+
+    #[test]
+    fn crash_sim_pool_saves_only_durable_state() {
+        let path = tmp("durable.img");
+        let pool = PmemPool::new(PoolConfig::test_crash());
+        let a = pool.alloc_raw(64, 64).unwrap();
+        let b = pool.alloc_raw(64, 64).unwrap();
+        pool.write(a, &1u64);
+        pool.persist_val::<u64>(a);
+        pool.write(b, &2u64); // never persisted
+        pool.save_image(&path).unwrap();
+
+        let re = PmemPool::load_image(&path, PoolConfig::test_small()).unwrap();
+        assert_eq!(re.read::<u64>(a), 1);
+        assert_eq!(re.read::<u64>(b), 0, "unpersisted write must not be in the image");
+    }
+
+    #[test]
+    fn loaded_crash_pool_starts_clean() {
+        // Loading into a crash-sim pool: the file contents are the durable
+        // baseline; an immediate crash must be a no-op.
+        let path = tmp("clean.img");
+        let pool = PmemPool::new(PoolConfig::test_small());
+        let a = pool.alloc_raw(64, 64).unwrap();
+        pool.write(a, &7u64);
+        pool.persist_val::<u64>(a);
+        pool.save_image(&path).unwrap();
+
+        let re = PmemPool::load_image(&path, PoolConfig::test_crash()).unwrap();
+        re.simulate_crash();
+        assert_eq!(re.read::<u64>(a), 7, "loaded bytes are durable");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.img");
+        std::fs::write(&path, b"not an image").unwrap();
+        assert!(PmemPool::load_image(&path, PoolConfig::test_small()).is_err());
+    }
+
+    #[test]
+    fn latency_config_comes_from_caller() {
+        let path = tmp("latency.img");
+        let pool = PmemPool::new(PoolConfig::test_small());
+        pool.save_image(&path).unwrap();
+        let re = PmemPool::load_image(
+            &path,
+            PoolConfig { latency: LatencyConfig::c600_300(), ..PoolConfig::test_small() },
+        )
+        .unwrap();
+        assert_eq!(re.latency(), LatencyConfig::c600_300());
+    }
+}

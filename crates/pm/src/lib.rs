@@ -1,0 +1,63 @@
+//! Persistent-memory (PM) emulation substrate for the HART reproduction.
+//!
+//! The paper evaluated on a 2-socket NUMA machine, treating remote-node DRAM
+//! as PM and emulating latencies with the Quartz methodology (§IV-A): the
+//! PM/DRAM *write* latency difference is added to every invocation of
+//! `persistent()` (the `MFENCE; CLFLUSH; MFENCE` sequence), and the *read*
+//! latency difference is charged per stalled load via an offline stall-cycle
+//! correction (Eq. 1–2).
+//!
+//! This crate reproduces that methodology in-process and deterministically:
+//!
+//! * [`PmemPool`] is a heap arena addressed by stable 64-bit offsets
+//!   ([`PmPtr`]), standing in for a PM device mapping. All PM state of every
+//!   tree lives inside a pool, so "what survives a crash" is well defined.
+//! * [`PmemPool::persist`] models `MFENCE; CLFLUSH; MFENCE`: it flushes the
+//!   cache lines covering a range and injects the configured extra write
+//!   latency once per call — exactly the paper's accounting.
+//! * PM reads through the pool consult a set-associative [`CacheSim`]
+//!   (default sized like the paper's Xeon E5-2640 v3 20 MB L3) and inject
+//!   the extra read latency on a miss — an inline, deterministic version of
+//!   the paper's offline stall-cycle correction.
+//! * Crash simulation: with [`PoolConfig::crash_sim`] enabled the pool keeps
+//!   a *shadow image* of the persisted state; writes dirty cache lines,
+//!   `persist` copies them to the shadow, and [`PmemPool::simulate_crash`]
+//!   reverts the working image to the shadow. Recovery code then runs
+//!   against exactly the bytes that would have survived a power failure.
+//!   (Like real hardware, flushing is line-granular: flushing any byte of a
+//!   line persists the whole line. Unlike real hardware, lines are *never*
+//!   persisted without an explicit flush — a deterministic, conservative
+//!   choice that makes missing-flush bugs reproducible.)
+//!
+//! # Example
+//!
+//! ```
+//! use hart_pm::{PmemPool, PoolConfig};
+//!
+//! let pool = PmemPool::new(PoolConfig::test_crash());
+//! let a = pool.alloc_raw(64, 64).unwrap();
+//! let b = pool.alloc_raw(64, 64).unwrap();
+//!
+//! pool.write(a, &1u64);
+//! pool.persist_val::<u64>(a);          // MFENCE; CLFLUSH; MFENCE
+//! pool.write(b, &2u64);                // written but never flushed...
+//!
+//! pool.simulate_crash();               // ...so the power failure eats it
+//! assert_eq!(pool.read::<u64>(a), 1);
+//! assert_eq!(pool.read::<u64>(b), 0);
+//! ```
+
+mod cache;
+mod image;
+mod latency;
+mod pod;
+mod pool;
+mod ptr;
+mod stats;
+
+pub use cache::{CacheConfig, CacheSim};
+pub use latency::{LatencyConfig, TimeMode};
+pub use pod::Pod;
+pub use pool::{PmemPool, PoolConfig, CACHE_LINE};
+pub use ptr::PmPtr;
+pub use stats::{PmStats, PmStatsSnapshot};

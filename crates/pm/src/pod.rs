@@ -1,0 +1,44 @@
+//! Plain-old-data marker for types stored verbatim in emulated PM.
+
+/// Marker for types that can be copied to and from the PM arena as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee:
+/// * every bit pattern is a valid value of the type (the arena is
+///   zero-initialized and may be reverted by crash simulation, so reads can
+///   observe any previously written — or zero — bytes);
+/// * the type contains **no padding bytes** (`#[repr(C)]` with explicit
+///   padding fields where needed), so writing it as raw bytes never reads
+///   uninitialized memory;
+/// * the type holds no pointers/references to volatile memory ([`PmPtr`]
+///   offsets are fine, virtual addresses are not).
+///
+/// [`PmPtr`]: crate::PmPtr
+pub unsafe trait Pod: Copy + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),* $(,)?) => {
+        $(unsafe impl Pod for $t {})*
+    };
+}
+
+impl_pod!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+unsafe impl<const N: usize> Pod for [u8; N] {}
+unsafe impl<const N: usize> Pod for [u64; N] {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_pod<T: Pod>() {}
+
+    #[test]
+    fn primitives_are_pod() {
+        assert_pod::<u8>();
+        assert_pod::<u64>();
+        assert_pod::<[u8; 24]>();
+        assert_pod::<[u64; 4]>();
+    }
+}

@@ -1,0 +1,910 @@
+//! The emulated persistent-memory pool.
+
+use crate::cache::{CacheConfig, CacheSim};
+use crate::latency::{charge, LatencyConfig, TimeMode};
+use crate::pod::Pod;
+use crate::ptr::PmPtr;
+use crate::stats::PmStats;
+use parking_lot::Mutex;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::collections::{HashMap, HashSet};
+use std::mem::{size_of, MaybeUninit};
+use std::ptr::NonNull;
+
+/// Cache-line size used for flush accounting and crash-simulation
+/// granularity (matches x86).
+pub const CACHE_LINE: u64 = 64;
+
+/// First usable offset: offset 0 is the null page, and the root area
+/// occupies the rest of the first 4 KiB page.
+const ROOT_OFF: u64 = 64;
+const HEAP_START: u64 = 4096;
+
+/// Pool construction parameters.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Arena size in bytes. Fixed for the pool's lifetime (a real PM device
+    /// does not grow either). Default 256 MiB.
+    pub size_bytes: usize,
+    /// Emulated latencies.
+    pub latency: LatencyConfig,
+    /// Inject (busy-wait) or model (account only) the extra latency.
+    pub time_mode: TimeMode,
+    /// Enable the shadow-image crash simulation. Adds per-write tracking
+    /// overhead, so it is off by default and enabled by tests/examples.
+    pub crash_sim: bool,
+    /// Geometry of the CPU-cache model used for PM read charging.
+    pub cache: CacheConfig,
+    /// Extra nanoseconds charged per raw pool allocation or free, modeling
+    /// the cost of a general-purpose persistent allocator (metadata
+    /// persistence, remote-NUMA page allocation on the paper's testbed).
+    /// §III-A.4 motivates EPallocator with exactly this cost: "existing
+    /// persistent memory allocators exhibit poor performance when
+    /// allocating numerous small objects"; EPallocator amortizes it over
+    /// 56-object chunks while the baselines pay it per node/value.
+    ///
+    /// Default 1500 ns, calibrated to the paper's testbed where every PM
+    /// allocation was a `numa_alloc_onnode` call (an `mbind`-backed
+    /// syscall costing microseconds). Set 0 to disable.
+    pub alloc_overhead_ns: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            size_bytes: 256 * 1024 * 1024,
+            latency: LatencyConfig::default(),
+            time_mode: TimeMode::Inject,
+            crash_sim: false,
+            cache: CacheConfig::default(),
+            alloc_overhead_ns: 1500,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Convenience: a small pool with no latency emulation, for unit tests.
+    pub fn test_small() -> Self {
+        PoolConfig {
+            size_bytes: 8 * 1024 * 1024,
+            latency: LatencyConfig::dram(),
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: a small crash-simulation pool, for failure-injection
+    /// tests.
+    pub fn test_crash() -> Self {
+        PoolConfig { crash_sim: true, ..Self::test_small() }
+    }
+}
+
+/// Free lists keyed by (size, align) plus a bump cursor.
+struct RawAlloc {
+    bump: u64,
+    free: HashMap<(u64, u64), Vec<u64>>,
+}
+
+/// Shadow image of the persisted state plus the set of dirty lines.
+struct CrashState {
+    shadow: Vec<u8>,
+    dirty: HashSet<u64>,
+}
+
+/// An emulated persistent-memory device.
+///
+/// All persistent state of an index lives in one pool; [`PmPtr`] offsets are
+/// stable across [`PmemPool::simulate_crash`]. Reads and writes go through
+/// accessor methods so the pool can charge emulated latency and maintain the
+/// crash shadow.
+///
+/// # Synchronization contract
+///
+/// The pool itself is thread-safe (`Sync`), but **object-level** writes are
+/// not internally ordered: two threads writing the same object concurrently
+/// is a logic error, exactly as it would be on real PM. Callers (the trees)
+/// provide object-level exclusion — HART with one RwLock per ART, the
+/// baselines with a tree lock. Distinct objects may be accessed freely in
+/// parallel.
+pub struct PmemPool {
+    base: NonNull<u8>,
+    len: usize,
+    layout: Layout,
+    latency: LatencyConfig,
+    mode: TimeMode,
+    stats: PmStats,
+    cache: CacheSim,
+    /// Read charging enabled (precomputed: `latency.read_extra_ns() > 0`).
+    charge_reads: bool,
+    alloc: Mutex<RawAlloc>,
+    crash: Option<Mutex<CrashState>>,
+    alloc_overhead_ns: u64,
+    /// Persist-fuse for systematic failure injection: when ≥ 0, each
+    /// `persist` decrements it and, once it reaches zero, durability stops —
+    /// later persists no longer promote lines into the shadow image, as if
+    /// the machine had already died. −1 = disarmed.
+    persist_fuse: std::sync::atomic::AtomicI64,
+}
+
+unsafe impl Send for PmemPool {}
+unsafe impl Sync for PmemPool {}
+
+impl PmemPool {
+    /// Create a zero-initialized pool.
+    ///
+    /// # Panics
+    /// Panics if `size_bytes` is smaller than two pages.
+    pub fn new(cfg: PoolConfig) -> PmemPool {
+        assert!(cfg.size_bytes >= 2 * 4096, "pool must be at least 8 KiB");
+        let layout = Layout::from_size_align(cfg.size_bytes, 4096).expect("pool layout");
+        let raw = unsafe { alloc_zeroed(layout) };
+        let base = NonNull::new(raw).expect("pool allocation failed");
+        let crash = cfg.crash_sim.then(|| {
+            Mutex::new(CrashState { shadow: vec![0u8; cfg.size_bytes], dirty: HashSet::new() })
+        });
+        PmemPool {
+            base,
+            len: cfg.size_bytes,
+            layout,
+            latency: cfg.latency,
+            mode: cfg.time_mode,
+            stats: PmStats::default(),
+            cache: CacheSim::new(cfg.cache),
+            charge_reads: cfg.latency.read_extra_ns() > 0,
+            alloc: Mutex::new(RawAlloc { bump: HEAP_START, free: HashMap::new() }),
+            crash,
+            alloc_overhead_ns: cfg.alloc_overhead_ns,
+            persist_fuse: std::sync::atomic::AtomicI64::new(-1),
+        }
+    }
+
+    /// The latency configuration this pool emulates.
+    pub fn latency(&self) -> LatencyConfig {
+        self.latency
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &PmStats {
+        &self.stats
+    }
+
+    /// Arena capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// True when this pool was created with crash simulation.
+    pub fn crash_sim_enabled(&self) -> bool {
+        self.crash.is_some()
+    }
+
+    /// Pointer to the fixed 4 KiB-page root area (offset 64). Clients store
+    /// their durable superblock here so `recover` can find it without any
+    /// volatile state.
+    ///
+    /// # Panics
+    /// Panics if `size > 4032` (the root area is one page minus the null
+    /// slot).
+    pub fn root_area(&self, size: usize) -> PmPtr {
+        assert!(size as u64 <= HEAP_START - ROOT_OFF, "root area overflow: {size}");
+        PmPtr(ROOT_OFF)
+    }
+
+    #[inline]
+    fn check(&self, p: PmPtr, len: usize) {
+        assert!(!p.is_null(), "null PmPtr dereference");
+        assert!(
+            (p.0 as usize).checked_add(len).is_some_and(|end| end <= self.len),
+            "PM access out of bounds: off={} len={} cap={}",
+            p.0,
+            len,
+            self.len
+        );
+    }
+
+    // ----------------------------------------------------------------- raw
+
+    /// Allocate `size` bytes with the given power-of-two alignment.
+    ///
+    /// Returns [`None`] when the pool is exhausted. Freed blocks of the same
+    /// (size, align) class are reused first. If configured, charges one
+    /// persist worth of latency for allocator-metadata durability.
+    pub fn alloc_raw(&self, size: usize, align: u64) -> Option<PmPtr> {
+        assert!(align.is_power_of_two() && size > 0);
+        let ptr = {
+            let mut a = self.alloc.lock();
+            if let Some(list) = a.free.get_mut(&(size as u64, align)) {
+                if let Some(off) = list.pop() {
+                    self.stats.on_alloc(size as u64);
+                    Some(PmPtr(off))
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+            .or_else(|| {
+                let start = (a.bump + align - 1) & !(align - 1);
+                let end = start.checked_add(size as u64)?;
+                if end as usize > self.len {
+                    return None;
+                }
+                a.bump = end;
+                self.stats.on_alloc(size as u64);
+                Some(PmPtr(start))
+            })
+        };
+        if ptr.is_some() {
+            self.charge_alloc_overhead();
+        }
+        ptr
+    }
+
+    /// Return a block to the pool. The block is zeroed (and the zeroes
+    /// persisted) so a later reuse never leaks stale persistent bytes.
+    pub fn free_raw(&self, p: PmPtr, size: usize, align: u64) {
+        self.check(p, size);
+        self.write_zeros(p, size);
+        self.persist(p, size);
+        {
+            let mut a = self.alloc.lock();
+            a.free.entry((size as u64, align)).or_default().push(p.0);
+            self.stats.on_free(size as u64);
+        }
+        self.charge_alloc_overhead();
+    }
+
+    #[inline]
+    fn charge_alloc_overhead(&self) {
+        charge(self.mode, &self.stats.alloc_extra_ns, self.alloc_overhead_ns);
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Read a [`Pod`] value from PM, charging read latency per missed line.
+    #[inline]
+    pub fn read<T: Pod>(&self, p: PmPtr) -> T {
+        self.check(p, size_of::<T>());
+        self.charge_read_range(p.0, size_of::<T>());
+        let mut out = MaybeUninit::<T>::uninit();
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.base.as_ptr().add(p.0 as usize),
+                out.as_mut_ptr() as *mut u8,
+                size_of::<T>(),
+            );
+            out.assume_init()
+        }
+    }
+
+    /// Read raw bytes from PM into `dst`.
+    #[inline]
+    pub fn read_bytes(&self, p: PmPtr, dst: &mut [u8]) {
+        self.check(p, dst.len());
+        self.charge_read_range(p.0, dst.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.base.as_ptr().add(p.0 as usize),
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
+        }
+    }
+
+    /// Write a [`Pod`] value to PM. The store lands in the (simulated) CPU
+    /// cache; it is *not* durable until [`PmemPool::persist`] covers it.
+    #[inline]
+    pub fn write<T: Pod>(&self, p: PmPtr, v: &T) {
+        self.check(p, size_of::<T>());
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                v as *const T as *const u8,
+                self.base.as_ptr().add(p.0 as usize),
+                size_of::<T>(),
+            );
+        }
+        self.after_write(p.0, size_of::<T>());
+    }
+
+    /// Write raw bytes to PM (not durable until persisted).
+    #[inline]
+    pub fn write_bytes(&self, p: PmPtr, src: &[u8]) {
+        self.check(p, src.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.base.as_ptr().add(p.0 as usize),
+                src.len(),
+            );
+        }
+        self.after_write(p.0, src.len());
+    }
+
+    /// Zero a range (not durable until persisted).
+    pub fn write_zeros(&self, p: PmPtr, len: usize) {
+        self.check(p, len);
+        unsafe {
+            std::ptr::write_bytes(self.base.as_ptr().add(p.0 as usize), 0, len);
+        }
+        self.after_write(p.0, len);
+    }
+
+    /// 8-byte store that is atomic with respect to crashes, the hardware
+    /// primitive every persistent tree in the paper builds on ("current
+    /// processors only support a 8-byte atomic memory write", §II-B).
+    ///
+    /// In this emulation all stores ≤ a cache line are already
+    /// crash-atomic (lines revert wholesale), so this is `write::<u64>` with
+    /// an alignment assertion documenting intent at call sites.
+    #[inline]
+    pub fn write_u64_atomic(&self, p: PmPtr, v: u64) {
+        assert_eq!(p.0 % 8, 0, "atomic u64 store must be 8-byte aligned");
+        self.write(p, &v);
+    }
+
+    #[inline]
+    fn after_write(&self, off: u64, len: usize) {
+        // Write-allocate into the cache model.
+        if self.charge_reads {
+            let mut line = off & !(CACHE_LINE - 1);
+            let end = off + len as u64;
+            while line < end {
+                self.cache.access(line);
+                line += CACHE_LINE;
+            }
+        }
+        if let Some(crash) = &self.crash {
+            let mut st = crash.lock();
+            let mut line = off & !(CACHE_LINE - 1);
+            let end = off + len as u64;
+            while line < end {
+                st.dirty.insert(line / CACHE_LINE);
+                line += CACHE_LINE;
+            }
+        }
+    }
+
+    #[inline]
+    fn charge_read_range(&self, off: u64, len: usize) {
+        if !self.charge_reads {
+            return;
+        }
+        let mut line = off & !(CACHE_LINE - 1);
+        let end = off + len.max(1) as u64;
+        let mut misses = 0u64;
+        let mut lines = 0u64;
+        while line < end {
+            lines += 1;
+            if !self.cache.access(line) {
+                misses += 1;
+            }
+            line += CACHE_LINE;
+        }
+        self.stats.read_lines.fetch_add(lines, std::sync::atomic::Ordering::Relaxed);
+        if misses > 0 {
+            self.stats.read_misses.fetch_add(misses, std::sync::atomic::Ordering::Relaxed);
+            charge(self.mode, &self.stats.read_extra_ns, misses * self.latency.read_extra_ns());
+        }
+    }
+
+    // ---------------------------------------------------------- persistence
+
+    /// The paper's `persistent()`: `MFENCE; CLFLUSH...; MFENCE` over the
+    /// lines covering `[p, p+len)`.
+    ///
+    /// Costs: one write-latency charge per call (the paper's accounting),
+    /// line flush counts in [`PmStats`], invalidation of the flushed lines
+    /// in the cache model (CLFLUSH evicts), and — under crash simulation —
+    /// promotion of those lines into the durable shadow image.
+    pub fn persist(&self, p: PmPtr, len: usize) {
+        self.check(p, len.max(1));
+        let first = p.0 & !(CACHE_LINE - 1);
+        let end = p.0 + len.max(1) as u64;
+        let nlines = (end - first).div_ceil(CACHE_LINE);
+        self.stats.persist_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.lines_flushed.fetch_add(nlines, std::sync::atomic::Ordering::Relaxed);
+
+        if self.charge_reads {
+            let mut line = first;
+            while line < end {
+                self.cache.invalidate(line);
+                line += CACHE_LINE;
+            }
+        }
+
+        // Failure injection: a blown fuse means this persist "never
+        // happened" — the store stays in the (volatile) working image only.
+        let fuse_ok = {
+            use std::sync::atomic::Ordering;
+            let f = self.persist_fuse.load(Ordering::Relaxed);
+            if f < 0 {
+                true // disarmed
+            } else {
+                // Decrement, clamped at 0 so a blown fuse stays blown.
+                self.persist_fuse
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        (v > 0).then_some(v - 1)
+                    })
+                    .is_ok_and(|prev| prev > 0)
+            }
+        };
+
+        if let Some(crash) = &self.crash {
+            if !fuse_ok {
+                // Leave the lines dirty so simulate_crash reverts them.
+                charge(self.mode, &self.stats.write_extra_ns, self.latency.write_extra_ns());
+                return;
+            }
+            let mut st = crash.lock();
+            let mut line = first;
+            while line < end {
+                let idx = line / CACHE_LINE;
+                if st.dirty.remove(&idx) {
+                    let a = (line as usize).min(self.len);
+                    let b = ((line + CACHE_LINE) as usize).min(self.len);
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            self.base.as_ptr().add(a),
+                            st.shadow.as_mut_ptr().add(a),
+                            b - a,
+                        );
+                    }
+                }
+                line += CACHE_LINE;
+            }
+        }
+
+        charge(self.mode, &self.stats.write_extra_ns, self.latency.write_extra_ns());
+    }
+
+    /// Persist exactly one `T` at `p`.
+    #[inline]
+    pub fn persist_val<T: Pod>(&self, p: PmPtr) {
+        self.persist(p, size_of::<T>());
+    }
+
+    /// A standalone memory fence (counted; no latency charge of its own —
+    /// the paper folds fence cost into the per-persist charge).
+    pub fn fence(&self) {
+        self.stats.fences.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------- crashes
+
+    /// Simulate a power failure: every line written since its last persist
+    /// reverts to its last-persisted contents. The CPU-cache model is
+    /// cleared (a rebooted machine starts cold). Volatile structures built
+    /// on top (DRAM nodes, allocator reservations) must be discarded by the
+    /// caller — that is the point of the exercise.
+    ///
+    /// # Panics
+    /// Panics if the pool was created without `crash_sim`.
+    pub fn simulate_crash(&self) {
+        let crash = self.crash.as_ref().expect("pool created without crash_sim");
+        let mut st = crash.lock();
+        let dirty: Vec<u64> = st.dirty.drain().collect();
+        for idx in dirty {
+            let a = ((idx * CACHE_LINE) as usize).min(self.len);
+            let b = (((idx + 1) * CACHE_LINE) as usize).min(self.len);
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    st.shadow.as_ptr().add(a),
+                    self.base.as_ptr().add(a),
+                    b - a,
+                );
+            }
+        }
+        self.cache.clear();
+    }
+
+    /// Arm the persist fuse: after `n` more `persist` calls, durability
+    /// silently stops (crash-simulation pools only). Combine with
+    /// [`PmemPool::simulate_crash`] to emulate a power failure at an
+    /// arbitrary internal persist point of an operation.
+    ///
+    /// # Panics
+    /// Panics if the pool was created without `crash_sim`.
+    pub fn arm_persist_fuse(&self, n: u64) {
+        assert!(self.crash.is_some(), "persist fuse requires crash_sim");
+        self.persist_fuse.store(n as i64, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Disarm the persist fuse (durability resumes).
+    pub fn disarm_persist_fuse(&self) {
+        self.persist_fuse.store(-1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// True when an armed fuse has burned down to zero (the simulated
+    /// machine is "already dead").
+    pub fn fuse_blown(&self) -> bool {
+        self.persist_fuse.load(std::sync::atomic::Ordering::Relaxed) == 0
+    }
+
+    /// Number of currently unpersisted (dirty) lines — test helper.
+    pub fn dirty_lines(&self) -> usize {
+        self.crash.as_ref().map_or(0, |c| c.lock().dirty.len())
+    }
+
+    /// Rebuild the raw allocator's volatile view after a simulated crash:
+    /// the bump cursor survives conservatively (space below it that is no
+    /// longer referenced is leaked *unless* a chunk allocator like
+    /// EPallocator reclaims it — which is exactly the persistent-leak story
+    /// the paper tells), while volatile free lists are dropped.
+    pub fn reset_volatile_alloc(&self) {
+        let mut a = self.alloc.lock();
+        a.free.clear();
+    }
+
+    /// Ablation hook: charge the latency and accounting of `calls`
+    /// `persistent()` invocations without touching any data. Used by the
+    /// selective-persistence ablation, which pretends HART's DRAM internal
+    /// nodes were PM-resident and had to be flushed on every structural
+    /// change (§III-A.2's claim quantified).
+    pub fn charge_synthetic_persist(&self, calls: u64) {
+        self.stats.persist_calls.fetch_add(calls, std::sync::atomic::Ordering::Relaxed);
+        charge(self.mode, &self.stats.write_extra_ns, calls * self.latency.write_extra_ns());
+    }
+
+    // ------------------------------------------------------------ imaging
+
+    /// The raw-allocator bump cursor (for pool-image files).
+    pub(crate) fn alloc_bump(&self) -> u64 {
+        self.alloc.lock().bump
+    }
+
+    /// Restore the bump cursor from a pool-image file.
+    pub(crate) fn set_alloc_bump(&self, bump: u64) {
+        let mut a = self.alloc.lock();
+        a.bump = bump.clamp(HEAP_START, self.len as u64);
+        a.free.clear();
+    }
+
+    /// Run `f` over the pool's *durable* bytes: the shadow image for a
+    /// crash-sim pool, the working arena otherwise.
+    pub(crate) fn with_durable_image<T>(
+        &self,
+        f: impl FnOnce(&[u8]) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        match &self.crash {
+            Some(crash) => {
+                let st = crash.lock();
+                f(&st.shadow)
+            }
+            None => {
+                let bytes = unsafe { std::slice::from_raw_parts(self.base.as_ptr(), self.len) };
+                f(bytes)
+            }
+        }
+    }
+
+    /// Fill the arena from a reader (pool-image loading).
+    pub(crate) fn fill_from_reader(
+        &self,
+        r: &mut impl std::io::Read,
+        len: usize,
+    ) -> std::io::Result<()> {
+        assert!(len <= self.len);
+        let bytes = unsafe { std::slice::from_raw_parts_mut(self.base.as_ptr(), len) };
+        r.read_exact(bytes)
+    }
+
+    /// After loading an image, make the crash shadow (if any) match the
+    /// working arena: the loaded bytes *are* the durable baseline.
+    pub(crate) fn sync_shadow_to_working(&self) {
+        if let Some(crash) = &self.crash {
+            let mut st = crash.lock();
+            st.dirty.clear();
+            let bytes = unsafe { std::slice::from_raw_parts(self.base.as_ptr(), self.len) };
+            st.shadow.copy_from_slice(bytes);
+        }
+    }
+}
+
+impl Drop for PmemPool {
+    fn drop(&mut self) {
+        unsafe { dealloc(self.base.as_ptr(), self.layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> PmemPool {
+        PmemPool::new(PoolConfig::test_small())
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let p = pool();
+        let ptr = p.alloc_raw(64, 64).unwrap();
+        p.write(ptr, &0xdead_beefu64);
+        assert_eq!(p.read::<u64>(ptr), 0xdead_beef);
+        let mut buf = [0u8; 8];
+        p.read_bytes(ptr, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 0xdead_beef);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_reuse() {
+        let p = pool();
+        let a = p.alloc_raw(100, 256).unwrap();
+        assert_eq!(a.0 % 256, 0);
+        let b = p.alloc_raw(100, 256).unwrap();
+        assert_ne!(a, b);
+        p.free_raw(a, 100, 256);
+        let c = p.alloc_raw(100, 256).unwrap();
+        assert_eq!(a, c, "freed block should be reused");
+    }
+
+    #[test]
+    fn freed_memory_is_zeroed() {
+        let p = pool();
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write(a, &u64::MAX);
+        p.persist_val::<u64>(a);
+        p.free_raw(a, 64, 64);
+        let b = p.alloc_raw(64, 64).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(p.read::<u64>(b), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let p = PmemPool::new(PoolConfig {
+            size_bytes: 16 * 4096,
+            ..PoolConfig::test_small()
+        });
+        let mut n = 0;
+        while p.alloc_raw(4096, 4096).is_some() {
+            n += 1;
+            assert!(n < 100);
+        }
+        assert!((10..=15).contains(&n), "got {n} pages from a 16-page pool");
+    }
+
+    #[test]
+    fn root_area_is_stable() {
+        let p = pool();
+        assert_eq!(p.root_area(100), p.root_area(4000));
+        assert_eq!(p.root_area(8).0, 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn root_area_overflow_panics() {
+        pool().root_area(5000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_access_panics() {
+        let p = pool();
+        p.read::<u64>(PmPtr(p.capacity() as u64 - 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn null_deref_panics() {
+        pool().read::<u64>(PmPtr::NULL);
+    }
+
+    #[test]
+    fn persist_counts_lines() {
+        let p = pool();
+        let ptr = p.alloc_raw(256, 64).unwrap();
+        let before = p.stats().snapshot();
+        p.persist(ptr, 130); // spans 3 lines
+        let after = p.stats().snapshot();
+        assert_eq!(after.persist_calls - before.persist_calls, 1);
+        assert_eq!(after.lines_flushed - before.lines_flushed, 3);
+    }
+
+    #[test]
+    fn crash_reverts_unpersisted_writes() {
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(64, 64).unwrap();
+        let b = p.alloc_raw(64, 64).unwrap();
+        p.write(a, &1u64);
+        p.persist_val::<u64>(a);
+        p.write(b, &2u64);
+        // b never persisted.
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a), 1, "persisted data must survive");
+        assert_eq!(p.read::<u64>(b), 0, "unpersisted data must be lost");
+    }
+
+    #[test]
+    fn crash_respects_line_granularity() {
+        // Two u64s in the same line: persisting one persists both —
+        // CLFLUSH is line-granular, like real hardware.
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let base = p.alloc_raw(64, 64).unwrap();
+        p.write(base, &11u64);
+        p.write(base.add(8), &22u64);
+        p.persist(base, 8); // flushes the whole line
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(base), 11);
+        assert_eq!(p.read::<u64>(base.add(8)), 22);
+    }
+
+    #[test]
+    fn repeated_crashes_are_stable() {
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write(a, &7u64);
+        p.persist_val::<u64>(a);
+        p.simulate_crash();
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a), 7);
+        p.write(a, &8u64);
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a), 7, "second unpersisted write also lost");
+    }
+
+    #[test]
+    fn dirty_lines_tracks_writes() {
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(256, 64).unwrap();
+        // free_raw's zeroing persisted everything, so start clean.
+        let before = p.dirty_lines();
+        p.write(a, &1u64);
+        assert_eq!(p.dirty_lines(), before + 1);
+        p.persist_val::<u64>(a);
+        assert_eq!(p.dirty_lines(), before);
+    }
+
+    #[test]
+    fn read_latency_charged_only_on_miss() {
+        let p = PmemPool::new(PoolConfig {
+            latency: LatencyConfig::c300_300(),
+            time_mode: TimeMode::Model,
+            ..PoolConfig::test_small()
+        });
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.persist(a, 64); // evict the write-allocated line
+        p.stats().reset();
+        let _: u64 = p.read(a); // cold: miss
+        let _: u64 = p.read(a); // warm: hit
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.read_lines, 2);
+        assert_eq!(snap.read_misses, 1);
+        assert_eq!(snap.read_extra_ns, 200);
+    }
+
+    #[test]
+    fn no_read_charge_at_300_100() {
+        let p = PmemPool::new(PoolConfig {
+            latency: LatencyConfig::c300_100(),
+            time_mode: TimeMode::Model,
+            ..PoolConfig::test_small()
+        });
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.stats().reset();
+        let _: u64 = p.read(a);
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.read_lines, 0, "300/100 charges no reads at all");
+        assert_eq!(snap.read_extra_ns, 0);
+    }
+
+    #[test]
+    fn write_extra_accumulates_in_model_mode() {
+        let p = PmemPool::new(PoolConfig {
+            latency: LatencyConfig::c600_300(),
+            time_mode: TimeMode::Model,
+            alloc_overhead_ns: 0,
+            ..PoolConfig::test_small()
+        });
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.stats().reset();
+        p.persist(a, 8);
+        p.persist(a, 8);
+        assert_eq!(p.stats().snapshot().write_extra_ns, 1000); // 2 * (600-100)
+    }
+
+    #[test]
+    fn alloc_overhead_is_configurable() {
+        let p = PmemPool::new(PoolConfig {
+            alloc_overhead_ns: 700,
+            time_mode: TimeMode::Model,
+            latency: LatencyConfig::c300_300(),
+            ..PoolConfig::test_small()
+        });
+        p.stats().reset();
+        let _ = p.alloc_raw(64, 64).unwrap();
+        assert_eq!(p.stats().snapshot().alloc_extra_ns, 700);
+
+        let q = PmemPool::new(PoolConfig {
+            alloc_overhead_ns: 0,
+            time_mode: TimeMode::Model,
+            latency: LatencyConfig::c300_300(),
+            ..PoolConfig::test_small()
+        });
+        q.stats().reset();
+        let _ = q.alloc_raw(64, 64).unwrap();
+        assert_eq!(q.stats().snapshot().alloc_extra_ns, 0);
+    }
+
+    #[test]
+    fn atomic_u64_requires_alignment() {
+        let p = pool();
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write_u64_atomic(a, 42);
+        assert_eq!(p.read::<u64>(a), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_atomic_panics() {
+        let p = pool();
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write_u64_atomic(a.add(4), 42);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_disjoint() {
+        use std::sync::Arc;
+        let p = Arc::new(pool());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|_| p.alloc_raw(128, 128).unwrap().0).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "allocator handed out overlapping blocks");
+    }
+}
+
+#[cfg(test)]
+mod fuse_tests {
+    use super::*;
+
+    #[test]
+    fn fuse_counts_down_and_stays_blown() {
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.arm_persist_fuse(2);
+        p.write(a, &1u64);
+        p.persist_val::<u64>(a); // survives (fuse 2 -> 1)
+        p.write(a.add(8), &2u64);
+        p.persist(a.add(8), 8); // survives (fuse 1 -> 0)... same line though
+        assert!(p.fuse_blown());
+        p.write(a.add(16), &3u64);
+        p.persist(a.add(16), 8); // lost
+        p.write(a.add(24), &4u64);
+        p.persist(a.add(24), 8); // still lost (fuse must stay blown)
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a), 1);
+        assert_eq!(p.read::<u64>(a.add(8)), 2);
+        assert_eq!(p.read::<u64>(a.add(16)), 0, "post-fuse persist must not stick");
+        assert_eq!(p.read::<u64>(a.add(24)), 0);
+    }
+
+    #[test]
+    fn disarm_restores_durability() {
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.arm_persist_fuse(0);
+        p.write(a, &1u64);
+        p.persist_val::<u64>(a); // lost
+        p.disarm_persist_fuse();
+        p.write(a.add(8), &2u64);
+        p.persist(a.add(8), 8); // durable again — and it flushes the whole
+                                // line, which also carries the first write.
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a.add(8)), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fuse_requires_crash_sim() {
+        let p = PmemPool::new(PoolConfig::test_small());
+        p.arm_persist_fuse(1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Stable persistent pointers.
+
+use std::fmt;
+
+/// A persistent pointer: a 64-bit byte offset into a [`PmemPool`] arena.
+///
+/// PM data structures must never store virtual addresses — after a crash the
+/// pool may be mapped elsewhere — so every durable pointer in this workspace
+/// is a `PmPtr`. Offset `0` is reserved as the null pointer (the first pool
+/// page is never handed out), which also means an all-zero PM image decodes
+/// as "everything null", simplifying recovery.
+///
+/// [`PmemPool`]: crate::PmemPool
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct PmPtr(pub u64);
+
+impl PmPtr {
+    /// The null persistent pointer.
+    pub const NULL: PmPtr = PmPtr(0);
+
+    /// True when this is the null pointer.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte offset into the pool.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Pointer `delta` bytes further into the pool. (Named like pointer
+    /// arithmetic on purpose; `PmPtr` is not `Add` because offset+offset
+    /// is meaningless.)
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn add(self, delta: u64) -> PmPtr {
+        debug_assert!(!self.is_null(), "offsetting a null PmPtr");
+        PmPtr(self.0 + delta)
+    }
+
+    /// Align this pointer *down* to `align` (a power of two). Used to map an
+    /// object pointer back to its enclosing allocator chunk.
+    #[inline]
+    pub fn align_down(self, align: u64) -> PmPtr {
+        debug_assert!(align.is_power_of_two());
+        PmPtr(self.0 & !(align - 1))
+    }
+}
+
+impl Default for PmPtr {
+    fn default() -> Self {
+        PmPtr::NULL
+    }
+}
+
+impl fmt::Debug for PmPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PmPtr(NULL)")
+        } else {
+            write!(f, "PmPtr({:#x})", self.0)
+        }
+    }
+}
+
+// A PmPtr is plain data and may itself be stored in PM.
+unsafe impl crate::pod::Pod for PmPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_semantics() {
+        assert!(PmPtr::NULL.is_null());
+        assert!(!PmPtr(64).is_null());
+        assert_eq!(PmPtr::default(), PmPtr::NULL);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let p = PmPtr(4096);
+        assert_eq!(p.add(16).offset(), 4112);
+        assert_eq!(PmPtr(4097).align_down(4096), PmPtr(4096));
+        assert_eq!(PmPtr(8191).align_down(4096), PmPtr(4096));
+        assert_eq!(PmPtr(8192).align_down(4096), PmPtr(8192));
+    }
+}

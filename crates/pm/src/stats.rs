@@ -1,0 +1,185 @@
+//! Event counters for the PM emulation.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, updated with relaxed atomics on the pool's hot paths.
+#[derive(Default)]
+pub struct PmStats {
+    /// `persist()` invocations (each = MFENCE; CLFLUSH*; MFENCE).
+    pub persist_calls: AtomicU64,
+    /// Individual cache lines flushed across all persists.
+    pub lines_flushed: AtomicU64,
+    /// Explicit standalone fences.
+    pub fences: AtomicU64,
+    /// PM cache lines read through the pool.
+    pub read_lines: AtomicU64,
+    /// Of those, reads that missed the simulated CPU cache.
+    pub read_misses: AtomicU64,
+    /// Raw allocations served by the pool allocator.
+    pub raw_allocs: AtomicU64,
+    /// Raw frees returned to the pool allocator.
+    pub raw_frees: AtomicU64,
+    /// Bytes currently allocated (allocs minus frees).
+    pub bytes_in_use: AtomicU64,
+    /// High-water mark of `bytes_in_use`.
+    pub bytes_peak: AtomicU64,
+    /// Extra nanoseconds charged for PM writes (injected or modeled).
+    pub write_extra_ns: AtomicU64,
+    /// Extra nanoseconds charged for PM reads (injected or modeled).
+    pub read_extra_ns: AtomicU64,
+    /// Extra nanoseconds charged for raw allocator calls.
+    pub alloc_extra_ns: AtomicU64,
+}
+
+impl PmStats {
+    /// Take a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> PmStatsSnapshot {
+        PmStatsSnapshot {
+            persist_calls: self.persist_calls.load(Ordering::Relaxed),
+            lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            read_lines: self.read_lines.load(Ordering::Relaxed),
+            read_misses: self.read_misses.load(Ordering::Relaxed),
+            raw_allocs: self.raw_allocs.load(Ordering::Relaxed),
+            raw_frees: self.raw_frees.load(Ordering::Relaxed),
+            bytes_in_use: self.bytes_in_use.load(Ordering::Relaxed),
+            bytes_peak: self.bytes_peak.load(Ordering::Relaxed),
+            write_extra_ns: self.write_extra_ns.load(Ordering::Relaxed),
+            read_extra_ns: self.read_extra_ns.load(Ordering::Relaxed),
+            alloc_extra_ns: self.alloc_extra_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record an allocation of `bytes`, maintaining the peak.
+    pub(crate) fn on_alloc(&self, bytes: u64) {
+        self.raw_allocs.fetch_add(1, Ordering::Relaxed);
+        let now = self.bytes_in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.bytes_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record a free of `bytes`.
+    pub(crate) fn on_free(&self, bytes: u64) {
+        self.raw_frees.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in_use.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Reset every counter to zero (benchmark warm-up boundaries).
+    pub fn reset(&self) {
+        for c in [
+            &self.persist_calls,
+            &self.lines_flushed,
+            &self.fences,
+            &self.read_lines,
+            &self.read_misses,
+            &self.raw_allocs,
+            &self.raw_frees,
+            &self.write_extra_ns,
+            &self.read_extra_ns,
+            &self.alloc_extra_ns,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        // bytes_in_use/bytes_peak deliberately survive: they describe state,
+        // not traffic.
+    }
+}
+
+/// Plain-data snapshot of [`PmStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PmStatsSnapshot {
+    pub persist_calls: u64,
+    pub lines_flushed: u64,
+    pub fences: u64,
+    pub read_lines: u64,
+    pub read_misses: u64,
+    pub raw_allocs: u64,
+    pub raw_frees: u64,
+    pub bytes_in_use: u64,
+    pub bytes_peak: u64,
+    pub write_extra_ns: u64,
+    pub read_extra_ns: u64,
+    pub alloc_extra_ns: u64,
+}
+
+impl PmStatsSnapshot {
+    /// Total modeled/injected extra nanoseconds.
+    pub fn extra_ns(&self) -> u64 {
+        self.write_extra_ns + self.read_extra_ns + self.alloc_extra_ns
+    }
+
+    /// Miss rate of PM reads against the simulated cache, 0..=1.
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.read_lines == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.read_lines as f64
+        }
+    }
+}
+
+impl fmt::Display for PmStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "persists={} lines_flushed={} fences={}",
+            self.persist_calls, self.lines_flushed, self.fences
+        )?;
+        writeln!(
+            f,
+            "pm_reads={} misses={} ({:.1}%)",
+            self.read_lines,
+            self.read_misses,
+            self.read_miss_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "allocs={} frees={} in_use={} B (peak {} B)",
+            self.raw_allocs, self.raw_frees, self.bytes_in_use, self.bytes_peak
+        )?;
+        write!(
+            f,
+            "extra latency: write {:.3} ms, read {:.3} ms, alloc {:.3} ms",
+            self.write_extra_ns as f64 / 1e6,
+            self.read_extra_ns as f64 / 1e6,
+            self.alloc_extra_ns as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_accounting_tracks_peak() {
+        let s = PmStats::default();
+        s.on_alloc(100);
+        s.on_alloc(50);
+        s.on_free(100);
+        s.on_alloc(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_in_use, 60);
+        assert_eq!(snap.bytes_peak, 150);
+        assert_eq!(snap.raw_allocs, 3);
+        assert_eq!(snap.raw_frees, 1);
+    }
+
+    #[test]
+    fn reset_preserves_state_counters() {
+        let s = PmStats::default();
+        s.on_alloc(100);
+        s.persist_calls.store(5, Ordering::Relaxed);
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.persist_calls, 0);
+        assert_eq!(snap.bytes_in_use, 100);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let snap = PmStatsSnapshot { read_lines: 10, read_misses: 5, ..Default::default() };
+        assert!((snap.read_miss_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(PmStatsSnapshot::default().read_miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! WOART — Write Optimal Adaptive Radix Tree (Lee et al., FAST 2017), the
+//! paper's strongest baseline.
+//!
+//! WOART is an ART that lives **entirely in persistent memory**: every
+//! internal node, leaf and value object is PM-resident, and every structural
+//! mutation is made durable with `persistent()` calls in failure-atomic
+//! order (new data persisted before the 8-byte parent-pointer store that
+//! publishes it). This is exactly the cost profile HART is designed to
+//! beat (§IV-B): WOART pays
+//!
+//! * PM read latency on every node visited during traversal,
+//! * `persistent()` on every node mutation (HART persists no internal
+//!   nodes at all), and
+//! * one general-purpose PM allocation per node/leaf/value (HART's
+//!   EPallocator amortizes allocation over 56-object chunks).
+//!
+//! Node representations follow WOART's design: NODE4 and NODE16 keep their
+//! key arrays *unsorted* and append new entries (avoiding the shifting
+//! writes a sorted array would need on PM); NODE48 uses a 256-byte index;
+//! NODE256 a direct child array. Leaves reuse HART's 40-byte layout
+//! (complete key + out-of-leaf value pointer) since the paper gives all
+//! three ART-based trees "a similar update mechanism ... only the pointer
+//! to a value is stored in each leaf".
+//!
+//! The crate also exposes its PM node layer ([`layout`]) to the `hart-artcow`
+//! crate, which shares the node formats but replaces in-place node mutation
+//! with copy-on-write.
+
+pub mod layout;
+mod tree;
+
+pub use tree::Woart;

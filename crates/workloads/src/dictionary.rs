@@ -1,0 +1,139 @@
+//! Deterministic stand-in for the paper's Dictionary workload.
+//!
+//! The paper inserts the 466,544 distinct English words of the
+//! `dwyl/english-words` file [19]. What the index structures actually see
+//! is: ~466 k distinct keys, variable lengths centered around 8–10
+//! characters, lower-case-alphabet-heavy bytes, and *dense shared
+//! prefixes* (thousands of words per leading two letters — which is what
+//! exercises HART's hash split and ART's path compression). This generator
+//! reproduces those properties from a closed syllable model, with no data
+//! file or network dependency, and returns the words sorted alphabetically
+//! — the order in which the paper's harness reads the file.
+
+use hart_kv::{Key, MAX_KEY_LEN};
+use std::collections::HashSet;
+
+/// Number of words in dwyl/english-words as the paper cites it.
+pub const DICTIONARY_SIZE: usize = 466_544;
+
+const ONSETS: &[&str] = &[
+    "", "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "qu", "r", "s", "t", "v",
+    "w", "z", "bl", "br", "ch", "cl", "cr", "dr", "fl", "fr", "gl", "gr", "pl", "pr", "sc",
+    "sh", "sk", "sl", "sm", "sn", "sp", "st", "str", "sw", "th", "tr", "wh",
+];
+
+const VOWELS: &[&str] = &[
+    "a", "e", "i", "o", "u", "y", "ai", "au", "ea", "ee", "ei", "ie", "io", "oa", "oo", "ou",
+];
+
+const CODAS: &[&str] = &[
+    "", "b", "ck", "d", "f", "g", "k", "l", "ll", "m", "n", "nd", "ng", "nk", "nt", "p", "r",
+    "rd", "rk", "rn", "rt", "s", "ss", "st", "t", "x",
+];
+
+const SUFFIXES: &[&str] = &["", "s", "ed", "ing", "er", "ly", "ness", "able", "ation"];
+
+/// Append the `i`-th syllable to `buf`.
+fn push_syllable(buf: &mut String, mut i: usize) {
+    let o = i % ONSETS.len();
+    i /= ONSETS.len();
+    let v = i % VOWELS.len();
+    i /= VOWELS.len();
+    let c = i % CODAS.len();
+    buf.push_str(ONSETS[o]);
+    buf.push_str(VOWELS[v]);
+    buf.push_str(CODAS[c]);
+}
+
+const SYLLABLES: usize = 45 * 16 * 26; // onset × vowel × coda combinations
+
+/// Generate the full synthetic dictionary: [`DICTIONARY_SIZE`] distinct
+/// words, sorted alphabetically. Deterministic (no RNG).
+pub fn dictionary() -> Vec<Key> {
+    dictionary_of_size(DICTIONARY_SIZE)
+}
+
+/// Generate a dictionary of `n` words (tests use small sizes).
+pub fn dictionary_of_size(n: usize) -> Vec<Key> {
+    let mut seen: HashSet<String> = HashSet::with_capacity(n * 2);
+    let mut out: Vec<Key> = Vec::with_capacity(n);
+    let mut counter: usize = 0;
+    let mut word = String::with_capacity(MAX_KEY_LEN);
+    while out.len() < n {
+        word.clear();
+        // Derive 1–3 syllables plus an optional suffix from the counter,
+        // mixing the bits so successive counters differ in early syllables.
+        let mut x = counter.wrapping_mul(0x9E37_79B9).rotate_left(7) ^ counter;
+        let n_syll = 1 + (x % 3);
+        x /= 3;
+        for _ in 0..n_syll {
+            push_syllable(&mut word, x % SYLLABLES);
+            x /= SYLLABLES;
+        }
+        word.push_str(SUFFIXES[x % SUFFIXES.len()]);
+        counter += 1;
+        if word.is_empty() || word.len() > MAX_KEY_LEN {
+            continue;
+        }
+        if seen.insert(word.clone()) {
+            out.push(Key::new(word.as_bytes()).expect("syllable words are valid keys"));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dictionary_is_sorted_distinct_valid() {
+        let words = dictionary_of_size(20_000);
+        assert_eq!(words.len(), 20_000);
+        assert!(words.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        for w in &words {
+            assert!(!w.is_empty() && w.len() <= MAX_KEY_LEN);
+            assert!(w.as_slice().iter().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn word_lengths_resemble_english() {
+        let words = dictionary_of_size(50_000);
+        let avg: f64 =
+            words.iter().map(|w| w.len() as f64).sum::<f64>() / words.len() as f64;
+        assert!((5.0..=14.0).contains(&avg), "average word length {avg:.1}");
+        let max = words.iter().map(|w| w.len()).max().unwrap();
+        assert!(max <= MAX_KEY_LEN);
+    }
+
+    #[test]
+    fn prefixes_are_shared() {
+        // Dictionary workloads hammer shared prefixes; confirm many words
+        // per leading 2 bytes on average.
+        let words = dictionary_of_size(50_000);
+        let mut prefixes = std::collections::HashSet::new();
+        for w in &words {
+            let s = w.as_slice();
+            prefixes.insert([s[0], *s.get(1).unwrap_or(&0)]);
+        }
+        assert!(
+            prefixes.len() < 1500,
+            "too many distinct 2-byte prefixes: {}",
+            prefixes.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(dictionary_of_size(1000), dictionary_of_size(1000));
+    }
+
+    #[test]
+    #[ignore = "full-size generation takes a few seconds; run with --ignored"]
+    fn full_dictionary_has_the_papers_size() {
+        let words = dictionary();
+        assert_eq!(words.len(), DICTIONARY_SIZE);
+    }
+}

@@ -1,0 +1,157 @@
+//! Workload generators reproducing §IV-A of the paper.
+//!
+//! Three key workloads drive Figs. 4–8 and 10:
+//!
+//! * **Dictionary** — the paper uses the 466,544-word `dwyl/english-words`
+//!   file. This crate has no network access, so [`dictionary`] produces the
+//!   same number of distinct, variable-length, heavily prefix-sharing
+//!   "words" from a deterministic syllable model, sorted alphabetically
+//!   (the order a dictionary file is read in). See DESIGN.md for why this
+//!   substitution preserves the experiment.
+//! * **Sequential** — fixed-width base-62 counter strings, so numeric order
+//!   equals lexicographic order.
+//! * **Random** — random strings of 5–16 characters over the paper's
+//!   62-character alphabet (A–Z, a–z, 0–9), deduplicated, from a seeded
+//!   RNG.
+//!
+//! [`ycsb`] generates the three YCSB-style mixed workloads of §IV-C
+//! (Read-Intensive, Read-Modified-Write, Write-Intensive) with a Uniform
+//! request distribution.
+
+pub mod dictionary;
+pub mod ycsb;
+
+use hart_kv::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+pub use dictionary::dictionary;
+pub use ycsb::{MixSpec, Op, OpKind, RequestDistribution, YcsbWorkload, ZipfSampler};
+
+/// The paper's 62-character alphabet: "each character in a key is chosen
+/// from the 52 alphabetic characters ... and 10 Arabic numerals".
+pub const ALPHABET: &[u8; 62] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+/// Which of the paper's key workloads to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    Dictionary,
+    Sequential,
+    Random,
+}
+
+impl Workload {
+    /// All three, in paper order.
+    pub const ALL: [Workload; 3] = [Workload::Dictionary, Workload::Sequential, Workload::Random];
+
+    /// Label used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Dictionary => "Dictionary",
+            Workload::Sequential => "Sequential",
+            Workload::Random => "Random",
+        }
+    }
+
+    /// Generate `n` distinct keys (Dictionary is capped at its natural
+    /// 466,544 words).
+    pub fn keys(&self, n: usize, seed: u64) -> Vec<Key> {
+        match self {
+            Workload::Dictionary => {
+                let mut words = dictionary();
+                words.truncate(n);
+                words
+            }
+            Workload::Sequential => sequential(n),
+            Workload::Random => random(n, seed),
+        }
+    }
+}
+
+/// `n` sequential keys: fixed-width base-62 counters in increasing order.
+pub fn sequential(n: usize) -> Vec<Key> {
+    // Width that fits n (minimum 8, like a realistic sequential id).
+    let mut width = 8usize;
+    let mut cap = 62u128.pow(8);
+    while (n as u128) > cap {
+        width += 1;
+        cap = cap.saturating_mul(62);
+    }
+    (0..n as u64).map(|i| Key::from_u64_base62(i, width)).collect()
+}
+
+/// `n` distinct random keys of 5–16 characters from [`ALPHABET`].
+pub fn random(n: usize, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    let mut buf = [0u8; 16];
+    while out.len() < n {
+        let len = rng.gen_range(5..=16usize);
+        for b in buf[..len].iter_mut() {
+            *b = ALPHABET[rng.gen_range(0..62)];
+        }
+        if seen.insert(buf[..len].to_vec()) {
+            out.push(Key::new(&buf[..len]).expect("alphabet keys are valid"));
+        }
+    }
+    out
+}
+
+/// Deterministic 8-byte value derived from a key (what the paper's
+/// harness stores per record).
+pub fn value_for(key: &Key) -> Value {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_slice() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    Value::from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_sorted_and_distinct() {
+        let keys = sequential(1000);
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys[0].len(), 8);
+    }
+
+    #[test]
+    fn random_is_distinct_and_in_alphabet() {
+        let keys = random(5000, 42);
+        assert_eq!(keys.len(), 5000);
+        let set: HashSet<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        assert_eq!(set.len(), 5000);
+        for k in &keys {
+            assert!(k.len() >= 5 && k.len() <= 16);
+            assert!(k.as_slice().iter().all(|b| ALPHABET.contains(b)));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        assert_eq!(random(100, 7), random(100, 7));
+        assert_ne!(random(100, 7), random(100, 8));
+    }
+
+    #[test]
+    fn workload_dispatch() {
+        assert_eq!(Workload::Sequential.keys(10, 0).len(), 10);
+        assert_eq!(Workload::Random.keys(10, 1).len(), 10);
+        let d = Workload::Dictionary.keys(100, 0);
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        let k = Key::from_str("hello").unwrap();
+        assert_eq!(value_for(&k), value_for(&k));
+        assert_ne!(value_for(&k), value_for(&Key::from_str("world").unwrap()));
+    }
+}

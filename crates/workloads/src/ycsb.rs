@@ -1,0 +1,281 @@
+//! YCSB-style mixed workloads (§IV-C, Fig. 9).
+//!
+//! "The three mixed workloads ... all employ a Uniform request
+//! distribution, which means that all records in the database are equally
+//! likely to be chosen when a read or write request arrives":
+//!
+//! * **Read-Intensive** — 10 % insertion, 70 % search, 10 % update, 10 %
+//!   deletion;
+//! * **Read-Modified-Write** — 50 % search, 50 % update;
+//! * **Write-Intensive** — 40 % insertion, 20 % search, 40 % update.
+
+use crate::{random, value_for};
+use hart_kv::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How non-insert operations pick their target record.
+///
+/// The paper's Fig. 9 uses Uniform only ("all records in the database are
+/// equally likely to be chosen"); Zipfian is YCSB's default skewed
+/// distribution and is provided as an extension for hot-key studies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RequestDistribution {
+    /// Every record equally likely (the paper's setting).
+    Uniform,
+    /// Zipf-distributed ranks with exponent `theta` (YCSB uses 0.99).
+    Zipfian { theta: f64 },
+}
+
+/// Draws ranks in `0..n` following a (rejection-inversion approximated)
+/// Zipf distribution. Precomputes the harmonic normalizer once.
+pub struct ZipfSampler {
+    n: usize,
+    h_n: f64,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Sampler over `n` items with exponent `theta` (0 < theta < 2).
+    pub fn new(n: usize, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf over an empty set");
+        assert!(theta > 0.0 && theta < 2.0 && (theta - 1.0).abs() > 1e-9);
+        let h_n = Self::harmonic(n as f64, theta);
+        ZipfSampler { n, h_n, theta }
+    }
+
+    /// Generalized harmonic number approximation (integral form).
+    fn harmonic(n: f64, theta: f64) -> f64 {
+        ((n + 0.5f64).powf(1.0 - theta) - 0.5f64.powf(1.0 - theta)) / (1.0 - theta)
+    }
+
+    /// Draw one rank (0 = hottest).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // Inverse-CDF on the continuous approximation, then round.
+        let u: f64 = rng.gen::<f64>() * self.h_n;
+        let x = (u * (1.0 - self.theta) + 0.5f64.powf(1.0 - self.theta))
+            .powf(1.0 / (1.0 - self.theta))
+            - 0.5;
+        (x.max(0.0) as usize).min(self.n - 1)
+    }
+}
+
+/// One generated operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    Insert,
+    Search,
+    Update,
+    Delete,
+}
+
+/// An operation with its target key (and payload where applicable).
+#[derive(Clone, Copy, Debug)]
+pub struct Op {
+    pub kind: OpKind,
+    pub key: Key,
+    pub value: Value,
+}
+
+/// Operation percentages; must sum to 100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixSpec {
+    pub insert: u8,
+    pub search: u8,
+    pub update: u8,
+    pub delete: u8,
+    pub label: &'static str,
+}
+
+impl MixSpec {
+    /// 10/70/10/10 (Fig. 9a).
+    pub const fn read_intensive() -> MixSpec {
+        MixSpec { insert: 10, search: 70, update: 10, delete: 10, label: "Read-Intensive" }
+    }
+
+    /// 0/50/50/0 (Fig. 9b).
+    pub const fn read_modified_write() -> MixSpec {
+        MixSpec { insert: 0, search: 50, update: 50, delete: 0, label: "Read-Modified-Write" }
+    }
+
+    /// 40/20/40/0 (Fig. 9c).
+    pub const fn write_intensive() -> MixSpec {
+        MixSpec { insert: 40, search: 20, update: 40, delete: 0, label: "Write-Intensive" }
+    }
+
+    /// The three mixes of Fig. 9, in paper order.
+    pub const ALL: [MixSpec; 3] =
+        [Self::read_intensive(), Self::read_modified_write(), Self::write_intensive()];
+
+    fn validate(&self) {
+        assert_eq!(
+            self.insert as u32 + self.search as u32 + self.update as u32 + self.delete as u32,
+            100,
+            "mix percentages must sum to 100"
+        );
+    }
+}
+
+/// A generated mixed workload: records to preload, then operations to time.
+pub struct YcsbWorkload {
+    pub spec: MixSpec,
+    pub preload: Vec<(Key, Value)>,
+    pub ops: Vec<Op>,
+}
+
+impl YcsbWorkload {
+    /// Generate a workload: `preload_n` random records loaded before the
+    /// clock starts, then `ops_n` operations drawn from `spec` with
+    /// Uniform key choice over the preloaded records (inserts target fresh
+    /// keys). The paper's configuration.
+    pub fn generate(spec: MixSpec, preload_n: usize, ops_n: usize, seed: u64) -> YcsbWorkload {
+        Self::generate_with(spec, preload_n, ops_n, seed, RequestDistribution::Uniform)
+    }
+
+    /// Generate with an explicit request distribution (Zipfian extension).
+    pub fn generate_with(
+        spec: MixSpec,
+        preload_n: usize,
+        ops_n: usize,
+        seed: u64,
+        dist: RequestDistribution,
+    ) -> YcsbWorkload {
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        // First decide every operation's kind, so exactly the right number
+        // of fresh insert keys can be drawn afterwards.
+        let kinds: Vec<OpKind> = (0..ops_n)
+            .map(|_| {
+                let dice = rng.gen_range(0..100u8);
+                if dice < spec.insert {
+                    OpKind::Insert
+                } else if dice < spec.insert + spec.search {
+                    OpKind::Search
+                } else if dice < spec.insert + spec.search + spec.update {
+                    OpKind::Update
+                } else {
+                    OpKind::Delete
+                }
+            })
+            .collect();
+        let n_inserts = kinds.iter().filter(|k| **k == OpKind::Insert).count();
+        // One key universe for preload + fresh inserts so they never collide.
+        let all = random(preload_n + n_inserts, seed);
+        let preload: Vec<(Key, Value)> =
+            all[..preload_n].iter().map(|k| (*k, value_for(k))).collect();
+        let mut fresh = all[preload_n..].iter().copied();
+
+        let zipf = match dist {
+            RequestDistribution::Uniform => None,
+            RequestDistribution::Zipfian { theta } => {
+                Some(ZipfSampler::new(preload_n.max(1), theta))
+            }
+        };
+        let ops = kinds
+            .into_iter()
+            .map(|kind| {
+                let key = match kind {
+                    OpKind::Insert => fresh.next().expect("budgeted exactly"),
+                    _ => {
+                        let idx = match &zipf {
+                            None => rng.gen_range(0..preload_n.max(1)),
+                            Some(z) => z.sample(&mut rng),
+                        };
+                        preload[idx].0
+                    }
+                };
+                Op { kind, key, value: Value::from_u64(rng.gen()) }
+            })
+            .collect();
+        YcsbWorkload { spec, preload, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_sum_to_100() {
+        for spec in MixSpec::ALL {
+            spec.validate();
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let w = YcsbWorkload::generate(MixSpec::read_intensive(), 1000, 20_000, 99);
+        let count = |k: OpKind| w.ops.iter().filter(|o| o.kind == k).count() as f64 / 20_000.0;
+        assert!((count(OpKind::Search) - 0.70).abs() < 0.02);
+        assert!((count(OpKind::Insert) - 0.10).abs() < 0.02);
+        assert!((count(OpKind::Update) - 0.10).abs() < 0.02);
+        assert!((count(OpKind::Delete) - 0.10).abs() < 0.02);
+    }
+
+    #[test]
+    fn rmw_has_no_inserts_or_deletes() {
+        let w = YcsbWorkload::generate(MixSpec::read_modified_write(), 500, 5000, 1);
+        assert!(w.ops.iter().all(|o| matches!(o.kind, OpKind::Search | OpKind::Update)));
+    }
+
+    #[test]
+    fn inserts_target_fresh_keys() {
+        let w = YcsbWorkload::generate(MixSpec::write_intensive(), 500, 5000, 2);
+        let preloaded: std::collections::HashSet<&[u8]> =
+            w.preload.iter().map(|(k, _)| k.as_slice()).collect();
+        for op in &w.ops {
+            if op.kind == OpKind::Insert {
+                assert!(!preloaded.contains(op.key.as_slice()), "insert hit a preloaded key");
+            } else {
+                assert!(preloaded.contains(op.key.as_slice()), "non-insert missed preload");
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let w = YcsbWorkload::generate_with(
+            MixSpec::read_modified_write(),
+            10_000,
+            50_000,
+            3,
+            RequestDistribution::Zipfian { theta: 0.99 },
+        );
+        // Count hits on the hottest preloaded key vs a uniform baseline.
+        let mut counts = std::collections::HashMap::new();
+        for op in &w.ops {
+            *counts.entry(op.key.as_slice().to_vec()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let uniform_expect = 50_000 / 10_000; // = 5 per key
+        assert!(
+            max > uniform_expect * 20,
+            "hottest key only {max} hits — not skewed"
+        );
+        // And the distribution still touches a long tail.
+        assert!(counts.len() > 1_000, "tail too short: {}", counts.len());
+    }
+
+    #[test]
+    fn zipf_sampler_ranks_in_range_and_monotone() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hist = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            hist[z.sample(&mut rng)] += 1;
+        }
+        assert!(hist[0] > hist[10], "rank 0 must beat rank 10");
+        assert!(hist[0] > hist[500] * 5, "head must dominate the tail");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = YcsbWorkload::generate(MixSpec::read_intensive(), 100, 1000, 5);
+        let b = YcsbWorkload::generate(MixSpec::read_intensive(), 100, 1000, 5);
+        assert_eq!(a.ops.len(), b.ops.len());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.key, y.key);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! WORT — Write Optimal Radix Tree (Lee et al., FAST 2017), the third
+//! member of the radix-tree trio the HART paper builds on (its reference
+//! [7] proposes WORT, WOART and ART+CoW; the paper evaluates the latter
+//! two because "among the three trees, WOART performs the best in most
+//! cases"). This crate completes the family so the trade-off WOART makes —
+//! adaptive nodes at the cost of more complex writes — can be measured
+//! against the original fixed-fanout design.
+//!
+//! WORT is a **non-adaptive** radix tree over 4-bit nibbles:
+//!
+//! * every inner node has a fixed 16-slot child array — no NODE4→…→NODE256
+//!   growing or shrinking, so a child insert is a single 8-byte atomic
+//!   pointer store (the "write optimal" property);
+//! * path compression collapses single-child chains into a per-node prefix
+//!   (up to 14 nibbles; longer runs chain nodes);
+//! * the whole tree lives in emulated PM; traversals pay PM read latency,
+//!   and every structural change is published with persist-then-swing
+//!   ordering.
+//!
+//! Memory trade-off vs WOART: 16 nibble children per node mean twice the
+//! tree depth of a byte-based ART, but each node is only 144 bytes — the
+//! exact design tension §II-A of the HART paper describes.
+//!
+//! Leaves reuse the workspace 40-byte layout; the tagged-pointer encoding
+//! comes from [`hart_woart::layout`].
+
+mod tree;
+
+pub use tree::Wort;

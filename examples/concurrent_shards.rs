@@ -1,0 +1,115 @@
+//! Concurrency demo (§III-A.3 / §IV-G): HART keeps one reader-writer lock
+//! per ART, so writers on distinct hash prefixes run fully in parallel
+//! while readers share.
+//!
+//! The example measures MIOPS for insert and search at increasing thread
+//! counts — a miniature of Fig. 10d — and then runs a mixed
+//! readers-plus-writers phase against overlapping ARTs to show the lock
+//! protocol under contention.
+//!
+//! ```text
+//! cargo run --release --example concurrent_shards
+//! ```
+
+use hart_suite::workloads::{random, value_for};
+use hart_suite::{Hart, HartConfig, LatencyConfig, PersistentIndex, PmemPool, PoolConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 200_000;
+
+fn main() -> hart_suite::Result<()> {
+    let keys = random(N, 7);
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    println!("host parallelism: {cores} threads\n");
+    println!("{:>8}  {:>14}  {:>14}", "threads", "insert MIOPS", "search MIOPS");
+
+    let mut baseline: Option<(f64, f64)> = None;
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > cores * 2 {
+            break;
+        }
+        // Fresh tree per row, 300/100 like the paper's Fig. 10d.
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            size_bytes: 256 * 1024 * 1024,
+            latency: LatencyConfig::c300_100(),
+            ..PoolConfig::default()
+        }));
+        let tree = Arc::new(Hart::create(pool, HartConfig::default())?);
+
+        let chunk = N.div_ceil(threads);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for part in keys.chunks(chunk) {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for k in part {
+                        tree.insert(k, &value_for(k)).expect("insert");
+                    }
+                });
+            }
+        });
+        let ins = N as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for part in keys.chunks(chunk) {
+                let tree = Arc::clone(&tree);
+                s.spawn(move || {
+                    for k in part {
+                        std::hint::black_box(tree.search(k).expect("search"));
+                    }
+                });
+            }
+        });
+        let srch = N as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+        let (b_ins, b_srch) = *baseline.get_or_insert((ins, srch));
+        println!(
+            "{threads:>8}  {ins:>10.2} ({:>4.2}x)  {srch:>9.2} ({:>4.2}x)",
+            ins / b_ins,
+            srch / b_srch
+        );
+        assert_eq!(tree.len(), N);
+        tree.check_consistency().expect("consistent after concurrent phase");
+    }
+
+    // Contended phase: all threads hammer the same keyspace with mixed ops.
+    println!("\ncontended mixed phase (same ARTs, reads + writes)...");
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 256 * 1024 * 1024,
+        latency: LatencyConfig::c300_100(),
+        ..PoolConfig::default()
+    }));
+    let tree = Arc::new(Hart::create(pool, HartConfig::default())?);
+    for k in &keys[..N / 4] {
+        tree.insert(k, &value_for(k))?;
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..cores.min(8) {
+            let tree = Arc::clone(&tree);
+            let keys = &keys;
+            s.spawn(move || {
+                for (i, k) in keys[..N / 4].iter().enumerate() {
+                    match (i + t) % 4 {
+                        0 => {
+                            tree.update(k, &value_for(k)).expect("update");
+                        }
+                        _ => {
+                            std::hint::black_box(tree.search(k).expect("search"));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    println!(
+        "mixed phase done in {:.2}s; {} records, {} ARTs, consistent: {}",
+        t0.elapsed().as_secs_f64(),
+        tree.len(),
+        tree.art_count(),
+        tree.check_consistency().is_ok()
+    );
+    Ok(())
+}

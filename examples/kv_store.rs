@@ -1,0 +1,108 @@
+//! A small persistent key-value store built on HART — the DRAM-PM hybrid
+//! use case the paper's introduction motivates (a KV store "managing user
+//! data on a PM device", like HiKV).
+//!
+//! The example models a session store for a web service:
+//! * session tokens (random 16-char keys) map to 16-byte session records;
+//! * a write-heavy login storm, a read-heavy steady state, and an expiry
+//!   sweep run against the same index;
+//! * the "service" then restarts: the store recovers from the PM image and
+//!   continues serving.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use hart_suite::workloads::{random, value_for};
+use hart_suite::{
+    Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SESSIONS: usize = 100_000;
+
+fn main() -> hart_suite::Result<()> {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 256 * 1024 * 1024,
+        latency: LatencyConfig::c300_300(),
+        ..PoolConfig::default()
+    }));
+    let store = Hart::create(Arc::clone(&pool), HartConfig::default())?;
+    let tokens = random(SESSIONS, 2024);
+
+    // Login storm: create sessions.
+    let t0 = Instant::now();
+    for (i, tok) in tokens.iter().enumerate() {
+        let record = session_record(i as u64, 0);
+        store.insert(tok, &record)?;
+    }
+    let dt = t0.elapsed();
+    println!(
+        "login storm: {} sessions in {:.2}s ({:.2} µs/op)",
+        SESSIONS,
+        dt.as_secs_f64(),
+        dt.as_secs_f64() * 1e6 / SESSIONS as f64
+    );
+
+    // Steady state: 80% reads, 20% session refreshes (updates).
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if i % 5 == 0 {
+            store.update(tok, &session_record(i as u64, 1))?;
+        } else if store.search(tok)?.is_some() {
+            hits += 1;
+        }
+    }
+    let dt = t0.elapsed();
+    println!(
+        "steady state: {hits} hits, {:.2} µs/op",
+        dt.as_secs_f64() * 1e6 / SESSIONS as f64
+    );
+
+    // Expiry sweep: evict every 7th session.
+    let t0 = Instant::now();
+    let mut evicted = 0usize;
+    for tok in tokens.iter().step_by(7) {
+        if store.remove(tok)? {
+            evicted += 1;
+        }
+    }
+    println!(
+        "expiry sweep: evicted {evicted} in {:.2}s; {} sessions remain",
+        t0.elapsed().as_secs_f64(),
+        store.len()
+    );
+    let live_before = store.len();
+    println!("footprint before restart: {}", store.memory_stats());
+
+    // Service restart: drop all DRAM state, recover from the PM image.
+    drop(store);
+    let t0 = Instant::now();
+    let store = Hart::recover(Arc::clone(&pool), HartConfig::default())?;
+    println!(
+        "restart: recovered {} sessions in {:.3}s",
+        store.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    assert_eq!(store.len(), live_before);
+
+    // The store keeps serving: surviving tokens still resolve, evicted
+    // tokens do not, and new logins work.
+    assert!(store.search(&tokens[1])?.is_some());
+    assert!(store.search(&tokens[7])?.is_none(), "evicted (index 7 is a multiple of 7)");
+    let fresh = Key::from_str("fresh-session-0001")?;
+    store.insert(&fresh, &value_for(&fresh))?;
+    assert!(store.search(&fresh)?.is_some());
+    println!("post-restart service checks passed ✓");
+    Ok(())
+}
+
+/// A 16-byte session record: user id + last-activity counter.
+fn session_record(user: u64, refreshes: u64) -> Value {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&user.to_le_bytes());
+    bytes[8..].copy_from_slice(&refreshes.to_le_bytes());
+    Value::new(&bytes).expect("16 bytes fit")
+}

@@ -1,0 +1,177 @@
+//! Concurrency stress for HART's per-ART reader-writer locking
+//! (§III-A.3): concurrent writers on disjoint and overlapping ARTs,
+//! readers during writes, deletion racing insertion on the same hash
+//! prefix (the shard-removal / shard-revival race), and a post-stress
+//! full consistency check.
+
+use hart_suite::{Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn build() -> Arc<Hart> {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 128 << 20,
+        alloc_overhead_ns: 0,
+        ..PoolConfig::test_small()
+    }));
+    Arc::new(Hart::create(pool, HartConfig::default()).unwrap())
+}
+
+#[test]
+fn disjoint_prefix_writers() {
+    let h = build();
+    std::thread::scope(|s| {
+        for t in 0..8u8 {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                let prefix = format!("{}{}", (b'A' + t) as char, (b'A' + t) as char);
+                for i in 0..2000u64 {
+                    let key = Key::from_str(&format!("{prefix}{i:05}")).unwrap();
+                    h.insert(&key, &Value::from_u64(i)).unwrap();
+                    if i % 3 == 0 {
+                        h.update(&key, &Value::from_u64(i * 2)).unwrap();
+                    }
+                    if i % 7 == 0 {
+                        assert!(h.remove(&key).unwrap());
+                    }
+                }
+            });
+        }
+    });
+    let expected_per_thread = 2000 - 2000u64.div_ceil(7);
+    assert_eq!(h.len() as u64, 8 * expected_per_thread);
+    h.check_consistency().unwrap();
+}
+
+#[test]
+fn readers_see_consistent_values_during_writes() {
+    let h = build();
+    let keys: Vec<Key> = (0..500).map(|i| Key::from_u64_base62(i, 6)).collect();
+    for k in &keys {
+        h.insert(k, &Value::from_u64(1)).unwrap();
+    }
+    let anomalies = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // One writer cycling values 1 -> 2 -> 1...
+        {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for round in 0..20u64 {
+                    for k in &keys[..] {
+                        h.update(k, &Value::from_u64(1 + (round % 2))).unwrap();
+                    }
+                }
+            });
+        }
+        // Readers: every observed value must be 1 or 2, never torn/absent.
+        for _ in 0..4 {
+            let h = Arc::clone(&h);
+            let anomalies = &anomalies;
+            s.spawn(move || {
+                for _ in 0..10 {
+                    for i in (0..500).step_by(3) {
+                        let key = Key::from_u64_base62(i, 6);
+                        match h.search(&key).unwrap() {
+                            Some(v) if v.as_u64() == 1 || v.as_u64() == 2 => {}
+                            other => {
+                                eprintln!("anomaly: {other:?}");
+                                anomalies.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(anomalies.load(Ordering::Relaxed), 0);
+    h.check_consistency().unwrap();
+}
+
+#[test]
+fn shard_removal_races_insertion() {
+    // All keys share one hash prefix; deleters empty the ART (unlinking
+    // the shard) while inserters re-create it. The dead-shard retry loop
+    // must never lose an insert.
+    let h = build();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for round in 0..300u64 {
+                    let key = Key::from_str(&format!("QQ{t}")).unwrap();
+                    h.insert(&key, &Value::from_u64(round)).unwrap();
+                    assert!(h.search(&key).unwrap().is_some(), "own insert visible");
+                    h.remove(&key).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(h.len(), 0);
+    assert_eq!(h.art_count(), 0);
+    // The prefix is still usable afterwards.
+    h.insert(&Key::from_str("QQfinal").unwrap(), &Value::from_u64(1)).unwrap();
+    assert_eq!(h.len(), 1);
+    h.check_consistency().unwrap();
+}
+
+#[test]
+fn mixed_stress_then_full_verification() {
+    let h = build();
+    let n_per_thread = 1500u64;
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                // Overlapping keyspace: thread t owns keys where
+                // key % 6 == t for writes; everyone reads everything.
+                for i in 0..n_per_thread {
+                    let id = i * 6 + t;
+                    let key = Key::from_u64_base62(id, 8);
+                    h.insert(&key, &Value::from_u64(id)).unwrap();
+                    let probe = Key::from_u64_base62(i * 6 % (id + 1), 8);
+                    let _ = h.search(&probe).unwrap();
+                    if id % 5 == 0 {
+                        h.update(&key, &Value::from_u64(id + 1_000_000)).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(h.len() as u64, 6 * n_per_thread);
+    for id in 0..6 * n_per_thread {
+        let got = h.search(&Key::from_u64_base62(id, 8)).unwrap().expect("present");
+        let expect = if id % 5 == 0 { id + 1_000_000 } else { id };
+        assert_eq!(got.as_u64(), expect, "key {id}");
+    }
+    h.check_consistency().unwrap();
+}
+
+#[test]
+fn concurrent_updates_same_keys_are_serializable() {
+    // Many writers updating the SAME keys: final value must be one of the
+    // written values and the update log pool must not deadlock.
+    let h = build();
+    let keys: Vec<Key> = (0..64).map(|i| Key::from_u64_base62(i, 6)).collect();
+    for k in &keys {
+        h.insert(k, &Value::from_u64(0)).unwrap();
+    }
+    std::thread::scope(|s| {
+        for t in 1..=8u64 {
+            let h = Arc::clone(&h);
+            let keys = &keys;
+            s.spawn(move || {
+                for round in 0..100u64 {
+                    for k in keys {
+                        h.update(k, &Value::from_u64(t * 1000 + round)).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    for k in &keys {
+        let v = h.search(k).unwrap().unwrap().as_u64();
+        let (t, round) = (v / 1000, v % 1000);
+        assert!((1..=8).contains(&t) && round < 100, "impossible final value {v}");
+    }
+    h.check_consistency().unwrap();
+}

@@ -1,0 +1,177 @@
+//! Pool-image integration: a HART saved to an image file and loaded in a
+//! "new process" (fresh pool object) must recover byte-for-byte, fsck
+//! clean, across clean shutdowns, crashes and multiple generations —
+//! the full durability story the `hart-cli` tool relies on.
+
+use hart_suite::workloads::{random, value_for};
+use hart_suite::{Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hart-suite-image-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn small_cfg() -> PoolConfig {
+    PoolConfig { size_bytes: 32 << 20, ..PoolConfig::test_small() }
+}
+
+#[test]
+fn clean_shutdown_roundtrip() {
+    let path = tmp("clean.img");
+    let keys = random(3000, 17);
+    {
+        let pool = Arc::new(PmemPool::new(small_cfg()));
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        for k in &keys {
+            h.insert(k, &value_for(k)).unwrap();
+        }
+        for k in keys.iter().step_by(3) {
+            h.remove(k).unwrap();
+        }
+        drop(h);
+        pool.save_image(&path).unwrap();
+    }
+    // "New process": nothing shared but the file.
+    let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
+    let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+    h.check_consistency().unwrap();
+    assert!(h.epallocator().verify().is_healthy());
+    for (i, k) in keys.iter().enumerate() {
+        let got = h.search(k).unwrap();
+        if i % 3 == 0 {
+            assert_eq!(got, None);
+        } else {
+            assert_eq!(got.unwrap(), value_for(k));
+        }
+    }
+}
+
+#[test]
+fn crashed_image_recovers_and_fscks_clean() {
+    let path = tmp("crashed.img");
+    let keys = random(500, 5);
+    {
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            size_bytes: 32 << 20,
+            crash_sim: true,
+            ..PoolConfig::test_small()
+        }));
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        for k in &keys {
+            h.insert(k, &value_for(k)).unwrap();
+        }
+        // Die mid-insert: the fuse lets a couple of persists through.
+        pool.arm_persist_fuse(2);
+        h.insert(&Key::from_str("torn-key").unwrap(), &Value::from_u64(1)).unwrap();
+        drop(h);
+        // A crash-sim pool's image IS the durable (shadow) state — no
+        // simulate_crash() needed before saving.
+        pool.save_image(&path).unwrap();
+    }
+    let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
+    let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+    h.check_consistency().unwrap();
+    let rep = h.epallocator().verify();
+    assert!(rep.is_healthy(), "post-crash image must fsck clean: {rep}");
+    assert_eq!(h.len(), keys.len(), "torn insert lost, everything else kept");
+    for k in keys.iter().step_by(41) {
+        assert_eq!(h.search(k).unwrap().unwrap(), value_for(k));
+    }
+}
+
+#[test]
+fn many_generations_through_files() {
+    let path = tmp("generations.img");
+    {
+        let pool = Arc::new(PmemPool::new(small_cfg()));
+        drop(Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap());
+        pool.save_image(&path).unwrap();
+    }
+    // Five open→mutate→save cycles.
+    for generation in 0u64..5 {
+        let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
+        let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        assert_eq!(h.len() as u64, generation * 100, "start of gen {generation}");
+        for i in 0..100u64 {
+            let key = Key::from_u64_base62(generation * 100 + i, 8);
+            h.insert(&key, &Value::from_u64(generation)).unwrap();
+        }
+        h.check_consistency().unwrap();
+        drop(h);
+        pool.save_image(&path).unwrap();
+    }
+    let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
+    let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+    assert_eq!(h.len(), 500);
+    for g in 0u64..5 {
+        let probe = Key::from_u64_base62(g * 100 + 50, 8);
+        assert_eq!(h.search(&probe).unwrap().unwrap().as_u64(), g);
+    }
+    assert!(h.epallocator().verify().is_healthy());
+}
+
+#[test]
+fn image_is_stable_across_noop_cycles() {
+    // Load→save without mutations must converge (same bytes after the
+    // first normalization cycle) — guards against recovery writing
+    // nondeterministic junk into the image.
+    let path1 = tmp("noop1.img");
+    let path2 = tmp("noop2.img");
+    {
+        let pool = Arc::new(PmemPool::new(small_cfg()));
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        for i in 0..200u64 {
+            h.insert(&Key::from_u64_base62(i, 6), &Value::from_u64(i)).unwrap();
+        }
+        drop(h);
+        pool.save_image(&path1).unwrap();
+    }
+    {
+        let pool = Arc::new(PmemPool::load_image(&path1, small_cfg()).unwrap());
+        let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        drop(h);
+        pool.save_image(&path2).unwrap();
+    }
+    let a = std::fs::read(&path1).unwrap();
+    let b = std::fs::read(&path2).unwrap();
+    assert_eq!(a, b, "no-op recover+save must not mutate the image");
+}
+
+#[test]
+fn woart_and_fptree_images_roundtrip_too() {
+    use hart_suite::{FpTree, Woart};
+    let keys = random(800, 9);
+
+    let path = tmp("woart.img");
+    {
+        let pool = Arc::new(PmemPool::new(small_cfg()));
+        let t = Woart::create(Arc::clone(&pool)).unwrap();
+        for k in &keys {
+            t.insert(k, &value_for(k)).unwrap();
+        }
+        drop(t);
+        pool.save_image(&path).unwrap();
+    }
+    let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
+    let t = Woart::open(pool).unwrap();
+    assert_eq!(t.len(), 800);
+    assert_eq!(t.search(&keys[13]).unwrap().unwrap(), value_for(&keys[13]));
+
+    let path = tmp("fptree.img");
+    {
+        let pool = Arc::new(PmemPool::new(small_cfg()));
+        let t = FpTree::create(Arc::clone(&pool)).unwrap();
+        for k in &keys {
+            t.insert(k, &value_for(k)).unwrap();
+        }
+        drop(t);
+        pool.save_image(&path).unwrap();
+    }
+    let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
+    let t = FpTree::recover(pool).unwrap();
+    assert_eq!(t.len(), 800);
+    assert_eq!(t.search(&keys[13]).unwrap().unwrap(), value_for(&keys[13]));
+}

@@ -1,0 +1,191 @@
+//! Workspace-level property tests: every persistent index is a sorted map
+//! (against a `BTreeMap` model) for arbitrary op sequences, and HART's
+//! recovery is lossless for arbitrary final states.
+
+use hart_suite::{
+    all_trees, Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Update(Vec<u8>, Vec<u8>),
+    Remove(Vec<u8>),
+    Search(Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // 1–10 bytes over a compact alphabet: heavy prefix sharing, keys both
+    // shorter and longer than HART's 2-byte hash prefix.
+    vec(prop_oneof![Just(b'A'), Just(b'B'), Just(b'a'), Just(b'1')], 1..10)
+}
+
+fn arb_value() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 0..16)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), arb_value()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (arb_key(), arb_value()).prop_map(|(k, v)| Op::Update(k, v)),
+        arb_key().prop_map(Op::Remove),
+        arb_key().prop_map(Op::Search),
+    ]
+}
+
+fn apply(tree: &dyn PersistentIndex, model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &Op) {
+    match op {
+        Op::Insert(k, v) => {
+            tree.insert(&Key::new(k).unwrap(), &Value::new(v).unwrap()).unwrap();
+            model.insert(k.clone(), v.clone());
+        }
+        Op::Update(k, v) => {
+            let did = tree.update(&Key::new(k).unwrap(), &Value::new(v).unwrap()).unwrap();
+            assert_eq!(did, model.contains_key(k), "[{}] update {k:?}", tree.name());
+            if did {
+                model.insert(k.clone(), v.clone());
+            }
+        }
+        Op::Remove(k) => {
+            let did = tree.remove(&Key::new(k).unwrap()).unwrap();
+            assert_eq!(did, model.remove(k).is_some(), "[{}] remove {k:?}", tree.name());
+        }
+        Op::Search(k) => {
+            let got = tree.search(&Key::new(k).unwrap()).unwrap();
+            assert_eq!(
+                got.map(|v| v.as_slice().to_vec()),
+                model.get(k).cloned(),
+                "[{}] search {k:?}",
+                tree.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_tree_is_a_sorted_map(ops in vec(arb_op(), 1..150)) {
+        for tree in all_trees(PoolConfig { alloc_overhead_ns: 0, ..PoolConfig::test_small() }) {
+            let mut model = BTreeMap::new();
+            for op in &ops {
+                apply(tree.as_ref(), &mut model, op);
+                prop_assert_eq!(tree.len(), model.len(), "[{}]", tree.name());
+            }
+            for (k, v) in &model {
+                let got = tree.search(&Key::new(k).unwrap()).unwrap();
+                let got = got.map(|v| v.as_slice().to_vec());
+                prop_assert_eq!(
+                    got.as_ref(),
+                    Some(v),
+                    "[{}] final check {:?}", tree.name(), k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hart_recovery_is_lossless(ops in vec(arb_op(), 1..120)) {
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            alloc_overhead_ns: 0,
+            ..PoolConfig::test_small()
+        }));
+        let mut model = BTreeMap::new();
+        {
+            let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+            for op in &ops {
+                apply(&h, &mut model, op);
+            }
+        }
+        let r = Hart::recover(pool, HartConfig::default()).unwrap();
+        prop_assert_eq!(r.len(), model.len());
+        r.check_consistency().map_err(TestCaseError::fail)?;
+        for (k, v) in &model {
+            let got = r.search(&Key::new(k).unwrap()).unwrap();
+            let got = got.map(|v| v.as_slice().to_vec());
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        // Ordered scan of everything matches the model order.
+        let lo = Key::from_str("0").unwrap();
+        let hi = Key::new(&[b'z'; 12]).unwrap();
+        let scan: Vec<Vec<u8>> = r
+            .range(&lo, &hi)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k.as_slice().to_vec())
+            .collect();
+        let expect: Vec<Vec<u8>> = model.keys().cloned().collect();
+        prop_assert_eq!(scan, expect);
+    }
+
+    #[test]
+    fn hart_is_correct_for_any_hash_key_len(
+        ops in vec(arb_op(), 1..100),
+        kh in 0usize..5,
+    ) {
+        // The hash split point is a pure routing decision: any k_h must
+        // produce the same map (§III-A.1's complexity argument changes,
+        // correctness must not).
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            alloc_overhead_ns: 0,
+            ..PoolConfig::test_small()
+        }));
+        let h = Hart::create(pool, HartConfig::with_hash_key_len(kh)).unwrap();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            apply(&h, &mut model, op);
+        }
+        prop_assert_eq!(h.len(), model.len());
+        h.check_consistency().map_err(TestCaseError::fail)?;
+        for (k, v) in &model {
+            let got = h.search(&Key::new(k).unwrap()).unwrap();
+            let got = got.map(|v| v.as_slice().to_vec());
+            prop_assert_eq!(got.as_ref(), Some(v), "kh={}", kh);
+        }
+    }
+
+    #[test]
+    fn hart_crash_after_history_preserves_history(
+        ops in vec(arb_op(), 1..100),
+        extra_unpersisted in 0u64..6,
+    ) {
+        // Whatever single-threaded history completed before a crash must
+        // be intact after recovery, regardless of trailing torn work.
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            alloc_overhead_ns: 0,
+            crash_sim: true,
+            ..PoolConfig::test_small()
+        }));
+        let mut model = BTreeMap::new();
+        {
+            let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+            for op in &ops {
+                apply(&h, &mut model, op);
+            }
+            // Torn trailing work: fuse allows a few more persists, then the
+            // machine dies mid-operation.
+            pool.arm_persist_fuse(extra_unpersisted);
+            let _ = h.insert(&Key::from_str("zzz-torn").unwrap(), &Value::from_u64(1));
+        }
+        pool.simulate_crash();
+        let r = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        r.check_consistency().map_err(TestCaseError::fail)?;
+        for (k, v) in &model {
+            let got = r.search(&Key::new(k).unwrap()).unwrap();
+            let got = got.map(|v| v.as_slice().to_vec());
+            prop_assert_eq!(
+                got.as_ref(),
+                Some(v),
+                "completed op on {:?} lost", k
+            );
+        }
+        // No value leaks either way.
+        let s = r.alloc_stats();
+        prop_assert_eq!(s.live[1] + s.live[2], s.live[0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Recovery round-trips (Algorithm 7 and the baselines' reopen paths):
+//! after any clean shutdown or crash, reopening the PM image must yield
+//! exactly the pre-shutdown contents — across multiple generations.
+
+use hart_suite::workloads::{random, value_for};
+use hart_suite::{
+    ArtCow, FpTree, Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value, Woart,
+};
+use std::sync::Arc;
+
+fn pool() -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(PoolConfig { size_bytes: 64 << 20, ..PoolConfig::test_small() }))
+}
+
+#[test]
+fn hart_survives_many_generations() {
+    let pool = pool();
+    let keys = random(5000, 21);
+    {
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        for k in &keys {
+            h.insert(k, &value_for(k)).unwrap();
+        }
+    }
+    // Five generations, each mutating and recovering.
+    for generation in 0..5u64 {
+        let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        h.check_consistency().unwrap();
+        // Verify previous generations' effects. Key i was removed in
+        // generation g if i ∈ [g*100, (g+1)*100); it was updated in
+        // generation m = i % 1000 (to 0xAAAA + m) if m < generation and the
+        // key had not been removed by then (i >= (m+1)*100).
+        for (i, k) in keys.iter().enumerate() {
+            let i = i as u64;
+            let got = h.search(k).unwrap();
+            if i < generation * 100 {
+                assert_eq!(got, None, "gen {generation}: key {i} should be gone");
+                continue;
+            }
+            let m = i % 1000;
+            if m < generation && i >= (m + 1) * 100 {
+                assert_eq!(got.unwrap().as_u64(), 0xAAAA + m, "gen {generation}: key {i}");
+            } else {
+                assert_eq!(got.unwrap(), value_for(k), "gen {generation}: key {i}");
+            }
+        }
+        // Mutate: remove a slice, update a sparse set.
+        for k in &keys[(generation * 100) as usize..((generation + 1) * 100) as usize] {
+            assert!(h.remove(k).unwrap());
+        }
+        for (i, k) in keys.iter().enumerate() {
+            if (i as u64) % 1000 == generation && (i as u64) >= (generation + 1) * 100 {
+                assert!(h.update(k, &Value::from_u64(0xAAAA + generation)).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn recovered_hart_equals_rebuilt_hart() {
+    // The recovered index must answer identically to one rebuilt from
+    // scratch with the same final contents.
+    let pool = pool();
+    let keys = random(3000, 5);
+    {
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            h.insert(k, &value_for(k)).unwrap();
+            if i % 3 == 0 {
+                h.remove(k).unwrap();
+            }
+        }
+    }
+    let recovered = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+
+    let fresh_pool = self::pool();
+    let fresh = Hart::create(fresh_pool, HartConfig::default()).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        if i % 3 != 0 {
+            fresh.insert(k, &value_for(k)).unwrap();
+        }
+    }
+    assert_eq!(recovered.len(), fresh.len());
+    for k in &keys {
+        assert_eq!(recovered.search(k).unwrap(), fresh.search(k).unwrap());
+    }
+    // Ordered scans agree too.
+    let lo = Key::from_str("0").unwrap();
+    let hi = Key::new(&[b'z'; 16]).unwrap();
+    assert_eq!(recovered.range(&lo, &hi).unwrap(), fresh.range(&lo, &hi).unwrap());
+}
+
+#[test]
+fn recovery_respects_hash_key_len() {
+    // Recovering with a different k_h re-splits the stored complete keys.
+    let pool = pool();
+    let keys = random(2000, 9);
+    {
+        let h = Hart::create(Arc::clone(&pool), HartConfig::with_hash_key_len(2)).unwrap();
+        for k in &keys {
+            h.insert(k, &value_for(k)).unwrap();
+        }
+    }
+    for kh in [0usize, 1, 3] {
+        let h = Hart::recover(Arc::clone(&pool), HartConfig::with_hash_key_len(kh)).unwrap();
+        assert_eq!(h.len(), keys.len(), "kh={kh}");
+        for k in keys.iter().step_by(97) {
+            assert_eq!(h.search(k).unwrap().unwrap(), value_for(k), "kh={kh}");
+        }
+        h.check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn woart_and_artcow_reopen() {
+    let keys = random(3000, 31);
+    // WOART.
+    let p = pool();
+    {
+        let t = Woart::create(Arc::clone(&p)).unwrap();
+        for k in &keys {
+            t.insert(k, &value_for(k)).unwrap();
+        }
+        for k in keys.iter().step_by(5) {
+            t.remove(k).unwrap();
+        }
+    }
+    let t = Woart::open(Arc::clone(&p)).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        let got = t.search(k).unwrap();
+        if i % 5 == 0 {
+            assert_eq!(got, None);
+        } else {
+            assert_eq!(got.unwrap(), value_for(k));
+        }
+    }
+    // ART+CoW.
+    let p = pool();
+    {
+        let t = ArtCow::create(Arc::clone(&p)).unwrap();
+        for k in &keys {
+            t.insert(k, &value_for(k)).unwrap();
+        }
+    }
+    let t = ArtCow::open(p).unwrap();
+    assert_eq!(t.len(), keys.len());
+    for k in keys.iter().step_by(13) {
+        assert_eq!(t.search(k).unwrap().unwrap(), value_for(k));
+    }
+}
+
+#[test]
+fn fptree_recovery_after_heavy_churn() {
+    let p = pool();
+    let keys = random(4000, 77);
+    {
+        let t = FpTree::create(Arc::clone(&p)).unwrap();
+        for k in &keys {
+            t.insert(k, &value_for(k)).unwrap();
+        }
+        // Churn: delete half, update a quarter, reinsert a tenth.
+        for k in keys.iter().step_by(2) {
+            assert!(t.remove(k).unwrap());
+        }
+        for k in keys.iter().skip(1).step_by(4) {
+            t.update(k, &Value::from_u64(0xBEEF)).unwrap();
+        }
+        for k in keys.iter().step_by(10) {
+            t.insert(k, &Value::from_u64(0xF00D)).unwrap();
+        }
+    }
+    let t = FpTree::recover(Arc::clone(&p)).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        let got = t.search(k).unwrap();
+        if i % 10 == 0 {
+            assert_eq!(got.unwrap().as_u64(), 0xF00D, "key {i}");
+        } else if i % 2 == 0 {
+            assert_eq!(got, None, "key {i}");
+        } else if i % 4 == 1 {
+            assert_eq!(got.unwrap().as_u64(), 0xBEEF, "key {i}");
+        } else {
+            assert_eq!(got.unwrap(), value_for(k), "key {i}");
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_everywhere() {
+    let p = pool(); // formatted by nobody
+    assert!(Hart::recover(Arc::clone(&p), HartConfig::default()).is_err());
+    assert!(Woart::open(Arc::clone(&p)).is_err());
+    assert!(ArtCow::open(Arc::clone(&p)).is_err());
+    assert!(FpTree::recover(p).is_err());
+}
