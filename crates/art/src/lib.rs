@@ -55,8 +55,10 @@
 
 mod iter;
 mod node;
+mod optimistic;
 mod tree;
 
 pub use iter::ArtIter;
 pub use node::NodeKind;
+pub use optimistic::{range_collect_raw, search_raw, RawRead};
 pub use tree::{Art, KeyResolver, OwnedLeaf, SliceResolver};

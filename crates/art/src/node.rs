@@ -57,7 +57,22 @@ impl<L> Child<L> {
     }
 }
 
-const NO_SLOT: u8 = 0xFF;
+pub(crate) const NO_SLOT: u8 = 0xFF;
+
+/// Free `x` now, or hand it to the epoch reclaimer when `defer` is set.
+///
+/// Every heap block an optimistic reader could still be traversing (inner
+/// nodes unlinked by collapse, representation boxes replaced by grow/shrink)
+/// must pass through here: with `defer = true` the block stays mapped until
+/// every reader pinned before the unlink has finished, which is what makes
+/// the lock-free read path's validate-then-dereference step sound.
+pub(crate) fn retire<T: Send + 'static>(x: T, defer: bool) {
+    if defer {
+        hart_ebr::defer_drop(x);
+    } else {
+        drop(x);
+    }
+}
 
 /// Inner representation. Variants are boxed so a [`Node`] is small no matter
 /// which representation it currently uses.
@@ -187,15 +202,19 @@ impl<L> Node<L> {
         }
     }
 
-    /// Insert edge `b -> child`. Grows the representation when full.
+    /// Insert edge `b -> child`. Grows the representation when full; `defer`
+    /// routes any replaced representation box through the epoch reclaimer.
     ///
     /// # Panics
     /// Panics (debug) if `b` is already present — callers route duplicates
     /// through `get_mut`.
-    pub fn add(&mut self, b: u8, child: Child<L>) {
+    pub fn add(&mut self, b: u8, child: Child<L>, defer: bool)
+    where
+        L: Send + 'static,
+    {
         debug_assert!(self.get(b).is_none(), "duplicate edge byte {b}");
         if self.is_full() {
-            self.grow();
+            self.grow(defer);
         }
         let count = self.count as usize;
         match &mut self.repr {
@@ -232,8 +251,12 @@ impl<L> Node<L> {
 
     /// Remove the edge for byte `b`, returning its child. Shrinks the
     /// representation on underflow (with hysteresis so add/remove at a
-    /// boundary does not thrash).
-    pub fn remove(&mut self, b: u8) -> Option<Child<L>> {
+    /// boundary does not thrash); `defer` routes any replaced representation
+    /// box through the epoch reclaimer.
+    pub fn remove(&mut self, b: u8, defer: bool) -> Option<Child<L>>
+    where
+        L: Send + 'static,
+    {
         let count = self.count as usize;
         let removed = match &mut self.repr {
             Repr::N4(n) => {
@@ -266,19 +289,22 @@ impl<L> Node<L> {
         };
         let removed = removed?;
         self.count -= 1;
-        self.maybe_shrink();
+        self.maybe_shrink(defer);
         Some(removed)
     }
 
     /// If exactly one edge remains, take it out (with its byte) so the tree
     /// layer can collapse this node into the child (delete-side path
     /// compression).
-    pub fn take_only_child(&mut self) -> Option<(u8, Child<L>)> {
+    pub fn take_only_child(&mut self, defer: bool) -> Option<(u8, Child<L>)>
+    where
+        L: Send + 'static,
+    {
         if self.count != 1 {
             return None;
         }
         let b = self.first_byte().expect("count==1 implies an edge");
-        let child = self.remove(b).expect("edge must exist");
+        let child = self.remove(b, defer).expect("edge must exist");
         Some((b, child))
     }
 
@@ -333,8 +359,17 @@ impl<L> Node<L> {
         self.count as usize == cap
     }
 
-    fn grow(&mut self) {
+    fn grow(&mut self, defer: bool)
+    where
+        L: Send + 'static,
+    {
         let count = self.count as usize;
+        // The placeholder N4 below is visible to optimistic readers only
+        // inside a writer's version-odd window, where validation always
+        // fails before any dereference — so dropping it immediately (via the
+        // final assignment to `self.repr`) is safe even in deferred mode.
+        // The *old* representation box, by contrast, was part of a committed
+        // tree state and must be retired.
         self.repr = match std::mem::replace(
             &mut self.repr,
             Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
@@ -345,6 +380,7 @@ impl<L> Node<L> {
                     n.keys[i] = old.keys[i];
                     n.children[i] = old.children[i].take();
                 }
+                retire(old, defer);
                 Repr::N16(n)
             }
             Repr::N16(mut old) => {
@@ -353,6 +389,7 @@ impl<L> Node<L> {
                     n.index[old.keys[i] as usize] = i as u8;
                     n.children[i] = old.children[i].take();
                 }
+                retire(old, defer);
                 Repr::N48(n)
             }
             Repr::N48(mut old) => {
@@ -363,13 +400,17 @@ impl<L> Node<L> {
                         n.children[b] = old.children[slot as usize].take();
                     }
                 }
+                retire(old, defer);
                 Repr::N256(Box::new(n))
             }
             Repr::N256(_) => unreachable!("NODE256 cannot grow"),
         };
     }
 
-    fn maybe_shrink(&mut self) {
+    fn maybe_shrink(&mut self, defer: bool)
+    where
+        L: Send + 'static,
+    {
         let count = self.count as usize;
         let shrink = match &self.repr {
             Repr::N4(_) => false,
@@ -380,6 +421,7 @@ impl<L> Node<L> {
         if !shrink {
             return;
         }
+        // Placeholder/retire discipline as in `grow`.
         self.repr = match std::mem::replace(
             &mut self.repr,
             Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
@@ -390,6 +432,7 @@ impl<L> Node<L> {
                     n.keys[i] = old.keys[i];
                     n.children[i] = old.children[i].take();
                 }
+                retire(old, defer);
                 Repr::N4(n)
             }
             Repr::N48(mut old) => {
@@ -403,6 +446,7 @@ impl<L> Node<L> {
                         j += 1;
                     }
                 }
+                retire(old, defer);
                 Repr::N16(n)
             }
             Repr::N256(mut old) => {
@@ -415,6 +459,7 @@ impl<L> Node<L> {
                         j += 1;
                     }
                 }
+                retire(old, defer);
                 Repr::N48(n)
             }
             Repr::N4(n) => Repr::N4(n),
@@ -440,15 +485,15 @@ mod tests {
     #[test]
     fn add_get_remove_node4() {
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
-        n.add(b'c', leaf(3));
-        n.add(b'a', leaf(1));
-        n.add(b'b', leaf(2));
+        n.add(b'c', leaf(3), false);
+        n.add(b'a', leaf(1), false);
+        n.add(b'b', leaf(2), false);
         assert_eq!(n.kind(), NodeKind::Node4);
         assert_eq!(leaf_val(n.get(b'a').unwrap()), 1);
         assert_eq!(leaf_val(n.get(b'b').unwrap()), 2);
         assert!(n.get(b'z').is_none());
         assert_eq!(n.first_byte(), Some(b'a'));
-        let r = n.remove(b'b').unwrap();
+        let r = n.remove(b'b', false).unwrap();
         assert_eq!(leaf_val(&r), 2);
         assert!(n.get(b'b').is_none());
         assert_eq!(n.count, 2);
@@ -458,7 +503,7 @@ mod tests {
     fn grows_through_all_kinds() {
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
         for b in 0..=255u8 {
-            n.add(b, leaf(b as u32));
+            n.add(b, leaf(b as u32), false);
             let expected = match n.count {
                 0..=4 => NodeKind::Node4,
                 5..=16 => NodeKind::Node16,
@@ -476,10 +521,10 @@ mod tests {
     fn shrinks_back_down() {
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
         for b in 0..=255u8 {
-            n.add(b, leaf(b as u32));
+            n.add(b, leaf(b as u32), false);
         }
         for b in (3..=255u8).rev() {
-            assert_eq!(leaf_val(&n.remove(b).unwrap()), b as u32);
+            assert_eq!(leaf_val(&n.remove(b, false).unwrap()), b as u32);
         }
         // Shrink thresholds have hysteresis: NODE4 is reached at ≤3 children.
         assert_eq!(n.kind(), NodeKind::Node4);
@@ -499,7 +544,7 @@ mod tests {
             let mut scrambled = bytes.clone();
             scrambled.reverse();
             for &b in &scrambled {
-                n.add(b, leaf(b as u32));
+                n.add(b, leaf(b as u32), false);
             }
             let mut seen = Vec::new();
             n.for_each_child(|b, _| seen.push(b));
@@ -510,33 +555,33 @@ mod tests {
     #[test]
     fn take_only_child() {
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
-        n.add(b'x', leaf(9));
-        let (b, c) = n.take_only_child().unwrap();
+        n.add(b'x', leaf(9), false);
+        let (b, c) = n.take_only_child(false).unwrap();
         assert_eq!(b, b'x');
         assert_eq!(leaf_val(&c), 9);
         assert_eq!(n.count, 0);
 
         let mut two: Node<u32> = Node::new4(InlineKey::EMPTY);
-        two.add(b'a', leaf(1));
-        two.add(b'b', leaf(2));
-        assert!(two.take_only_child().is_none());
+        two.add(b'a', leaf(1), false);
+        two.add(b'b', leaf(2), false);
+        assert!(two.take_only_child(false).is_none());
     }
 
     #[test]
     fn remove_missing_is_none() {
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
-        n.add(b'a', leaf(1));
-        assert!(n.remove(b'b').is_none());
+        n.add(b'a', leaf(1), false);
+        assert!(n.remove(b'b', false).is_none());
         assert_eq!(n.count, 1);
     }
 
     #[test]
     fn heap_bytes_grows_with_kind() {
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
-        n.add(0, leaf(0));
+        n.add(0, leaf(0), false);
         let small = n.heap_bytes();
         for b in 1..=200u8 {
-            n.add(b, leaf(b as u32));
+            n.add(b, leaf(b as u32), false);
         }
         assert!(n.heap_bytes() > small * 4, "NODE256 must report much more heap");
     }
@@ -546,8 +591,8 @@ mod tests {
         // The terminator edge (0) must come first in ordered traversal so
         // "ab" iterates before "abc".
         let mut n: Node<u32> = Node::new4(InlineKey::EMPTY);
-        n.add(b'a', leaf(1));
-        n.add(0, leaf(0));
+        n.add(b'a', leaf(1), false);
+        n.add(0, leaf(0), false);
         let mut seen = Vec::new();
         n.for_each_child(|b, _| seen.push(b));
         assert_eq!(seen, vec![0, b'a']);

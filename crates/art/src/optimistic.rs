@@ -1,0 +1,487 @@
+//! Version-validated traversal of an [`Art`] without holding its lock.
+//!
+//! HART's pessimistic read path takes a shard's `RwLock` in shared mode and
+//! walks the tree with ordinary borrows. The optimistic path instead walks
+//! the *raw* tree memory while writers may be mutating it, and relies on a
+//! caller-supplied `validate` callback (a seqlock version check in HART) to
+//! decide whether anything it read could have been torn.
+//!
+//! # Protocol
+//!
+//! Every step follows the same discipline:
+//!
+//! 1. **Copy, don't borrow.** Bytes are pulled out of the shared structure
+//!    with `ptr::read_volatile` into a local [`MaybeUninit`] — never through
+//!    a reference, so no aliasing assumption is made about memory a writer
+//!    could be rewriting, and the copy is never dropped (it may bitwise-
+//!    duplicate a `Box`).
+//! 2. **Validate before interpreting.** A torn copy of an enum (`Repr`,
+//!    `Option<Child>`) may hold an invalid tag or a mismatched tag/payload
+//!    pair, so the copy is only `assume_init`-matched after `validate()`
+//!    confirms no writer committed (or is active) since the attempt began.
+//!    A failed check aborts the attempt with [`RawRead::Retry`].
+//! 3. **Dereference only validated pointers, only into reclaimer-protected
+//!    memory.** Once validated, a pointer is the committed value, but the
+//!    writer may free its target *after* validation — which is why the tree
+//!    must run with deferred reclamation ([`Art::set_deferred_reclaim`]) and
+//!    the caller must hold an [`hart_ebr`] pin for the whole attempt:
+//!    retired nodes stay mapped until the pin is released.
+//!
+//! Values derived from unvalidated plain integers (slot indices, counts)
+//! are bounds-clamped before use, so the worst a torn read can do is route
+//! the walk to the wrong committed slot — which validation then rejects.
+//!
+//! If every validation passes, every byte the walk acted on was the
+//! committed tree state for one version, so the result is exactly what the
+//! locked path would have returned at that version.
+
+use crate::node::{Child, Node, Repr, NO_SLOT};
+use crate::tree::{prefix_gt, prefix_lt, tb, Art, KeyResolver};
+use hart_kv::MAX_KEY_LEN;
+use std::mem::MaybeUninit;
+use std::ptr::{self, addr_of};
+
+/// Outcome of one optimistic attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawRead<T> {
+    /// The key was present with this leaf handle at a committed version.
+    Found(T),
+    /// The key was absent at a committed version.
+    NotFound,
+    /// A writer interfered; the caller must retry or fall back to locking.
+    Retry,
+}
+
+/// Volatile bitwise copy that never drops (and so never double-frees a
+/// bitwise-duplicated `Box`).
+///
+/// # Safety
+/// `p` must be valid for reads of `size_of::<T>()` bytes (alignment per
+/// `T`). The *contents* may be torn; the caller must validate before
+/// calling `assume_init`-style accessors on enum-bearing `T`.
+unsafe fn vol_copy<T>(p: *const T) -> MaybeUninit<T> {
+    ptr::read_volatile(p as *const MaybeUninit<T>)
+}
+
+/// Locate the child slot for edge byte `b` in the (validated) node copy
+/// `node`, returning a raw pointer into the node's representation arrays.
+///
+/// Returns `Err(())` when the edge is absent. The returned pointer is
+/// in-bounds by construction (indices are clamped), but the slot contents
+/// still need the copy-validate treatment by the caller.
+///
+/// # Safety
+/// `node` must be a validated copy of a committed node whose representation
+/// boxes are still mapped (EBR pin).
+unsafe fn child_slot<L>(node: &Node<L>, b: u8) -> Result<*const Option<Child<L>>, ()> {
+    match &node.repr {
+        Repr::N4(bx) => {
+            let n = &**bx;
+            let keys = vol_copy(addr_of!(n.keys)).assume_init(); // plain bytes
+            let c = (node.count as usize).min(4);
+            match keys[..c].iter().position(|&k| k == b) {
+                Some(i) => Ok(addr_of!(n.children[i])),
+                None => Err(()),
+            }
+        }
+        Repr::N16(bx) => {
+            let n = &**bx;
+            let keys = vol_copy(addr_of!(n.keys)).assume_init();
+            let c = (node.count as usize).min(16);
+            match keys[..c].iter().position(|&k| k == b) {
+                Some(i) => Ok(addr_of!(n.children[i])),
+                None => Err(()),
+            }
+        }
+        Repr::N48(bx) => {
+            let n = &**bx;
+            let slot = ptr::read_volatile(addr_of!(n.index[b as usize]));
+            if slot as usize >= 48 {
+                // NO_SLOT, or a torn index a later validate will reject.
+                Err(())
+            } else {
+                Ok(addr_of!(n.children[slot as usize]))
+            }
+        }
+        Repr::N256(bx) => {
+            // `children` is a Box set at construction and never reassigned
+            // while the node is linked, so reading it non-volatilely through
+            // the validated node copy is fine.
+            Ok(addr_of!(bx.children[b as usize]))
+        }
+    }
+}
+
+/// Lock-free point lookup against the tree behind `art`.
+///
+/// Mirrors [`Art::search`], but instead of borrowing it copies and
+/// validates (see module docs). `validate` must return `true` iff the
+/// caller's version observation is still current — in HART, "the shard
+/// version I read before calling was even and has not changed".
+///
+/// # Safety
+/// - `art` must point to a live `Art<L>` for the whole call (the caller
+///   typically reads it out of a lock it does *not* hold, so liveness must
+///   come from an [`hart_ebr`] pin held across the call).
+/// - The tree must have been running with deferred reclamation since before
+///   the caller's pin was taken.
+/// - `r.load_key` must tolerate concurrently-retired leaf handles (HART's
+///   PM pool stays mapped, so reads return stale bytes, never fault).
+pub unsafe fn search_raw<L, R, V>(art: *const Art<L>, r: &R, key: &[u8], validate: &V) -> RawRead<L>
+where
+    L: Copy,
+    R: KeyResolver<L>,
+    V: Fn() -> bool,
+{
+    let root_mu = vol_copy(addr_of!((*art).root));
+    if !validate() {
+        return RawRead::Retry;
+    }
+    let mut cur: MaybeUninit<Child<L>> = match &*root_mu.as_ptr() {
+        None => return RawRead::NotFound,
+        Some(c) => ptr::read(c as *const Child<L> as *const MaybeUninit<Child<L>>),
+    };
+    let mut depth = 0usize;
+    // A committed tree consumes ≥ 1 key byte per inner level, so any walk
+    // longer than the terminated max key length means we chased torn data.
+    for _ in 0..=MAX_KEY_LEN + 2 {
+        match &*cur.as_ptr() {
+            Child::Leaf(l) => {
+                let leaf: L = *l;
+                let matches = r.load_key(&leaf).as_slice() == key;
+                // Final check covers the PM key read: if the version still
+                // holds, the leaf was committed for this key the whole time.
+                if !validate() {
+                    return RawRead::Retry;
+                }
+                return if matches { RawRead::Found(leaf) } else { RawRead::NotFound };
+            }
+            Child::Inner(bx) => {
+                let node_ptr: *const Node<L> = &**bx;
+                let node_mu = vol_copy(node_ptr);
+                if !validate() {
+                    return RawRead::Retry;
+                }
+                let node = &*node_mu.as_ptr();
+                let p = node.prefix.as_slice();
+                if key.len() < depth + p.len() || &key[depth..depth + p.len()] != p {
+                    return RawRead::NotFound;
+                }
+                depth += p.len();
+                let b = tb(key, depth);
+                depth += 1;
+                let slot = match child_slot(node, b) {
+                    Ok(s) => s,
+                    Err(()) => {
+                        // Absent edge — but the keys/index bytes that said
+                        // so were read unvalidated.
+                        return if validate() { RawRead::NotFound } else { RawRead::Retry };
+                    }
+                };
+                let slot_mu = vol_copy(slot);
+                if !validate() {
+                    return RawRead::Retry;
+                }
+                match &*slot_mu.as_ptr() {
+                    None => return RawRead::NotFound,
+                    Some(c) => {
+                        cur = ptr::read(c as *const Child<L> as *const MaybeUninit<Child<L>>);
+                    }
+                }
+            }
+        }
+    }
+    RawRead::Retry
+}
+
+/// Lock-free range scan: collects every leaf whose key lies in
+/// `[start, end]` into `out`, in ascending key order.
+///
+/// Returns `true` on success; `false` means a writer interfered — `out` is
+/// truncated back to its original length and the caller must retry or fall
+/// back to the locked [`Art::for_each_in_range`].
+///
+/// # Safety
+/// Same contract as [`search_raw`].
+pub unsafe fn range_collect_raw<L, R, V>(
+    art: *const Art<L>,
+    r: &R,
+    start: &[u8],
+    end: &[u8],
+    validate: &V,
+    out: &mut Vec<L>,
+) -> bool
+where
+    L: Copy,
+    R: KeyResolver<L>,
+    V: Fn() -> bool,
+{
+    let keep = out.len();
+    if start > end {
+        return true;
+    }
+    let root_mu = vol_copy(addr_of!((*art).root));
+    if !validate() {
+        return false;
+    }
+    let ok = match &*root_mu.as_ptr() {
+        None => true,
+        Some(c) => {
+            let cur = ptr::read(c as *const Child<L> as *const MaybeUninit<Child<L>>);
+            let mut path: Vec<u8> = Vec::with_capacity(MAX_KEY_LEN);
+            walk_raw(&cur, r, &mut path, start, end, validate, out, 0)
+        }
+    };
+    if !ok {
+        out.truncate(keep);
+    }
+    ok
+}
+
+/// Recursive worker for [`range_collect_raw`]. `cur` is a validated copy of
+/// a committed child. Returns `false` on any validation failure.
+#[allow(clippy::too_many_arguments)]
+unsafe fn walk_raw<L, R, V>(
+    cur: &MaybeUninit<Child<L>>,
+    r: &R,
+    path: &mut Vec<u8>,
+    start: &[u8],
+    end: &[u8],
+    validate: &V,
+    out: &mut Vec<L>,
+    level: usize,
+) -> bool
+where
+    L: Copy,
+    R: KeyResolver<L>,
+    V: Fn() -> bool,
+{
+    if level > MAX_KEY_LEN + 2 {
+        return false; // torn data led us in circles
+    }
+    match &*cur.as_ptr() {
+        Child::Leaf(l) => {
+            let leaf: L = *l;
+            let k = r.load_key(&leaf);
+            let ks = k.as_slice();
+            let in_range = ks >= start && ks <= end;
+            if !validate() {
+                return false;
+            }
+            if in_range {
+                out.push(leaf);
+            }
+            true
+        }
+        Child::Inner(bx) => {
+            let node_ptr: *const Node<L> = &**bx;
+            let node_mu = vol_copy(node_ptr);
+            if !validate() {
+                return false;
+            }
+            let node = &*node_mu.as_ptr();
+            let before = path.len();
+            path.extend_from_slice(node.prefix.as_slice());
+            if prefix_lt(path, start) || prefix_gt(path, end) {
+                path.truncate(before);
+                return true;
+            }
+            let ok = each_edge_raw(node, validate, |b, slot_mu| {
+                if b == 0 {
+                    walk_raw(slot_mu, r, path, start, end, validate, out, level + 1)
+                } else {
+                    path.push(b);
+                    let ok = if prefix_lt(path, start) || prefix_gt(path, end) {
+                        true
+                    } else {
+                        walk_raw(slot_mu, r, path, start, end, validate, out, level + 1)
+                    };
+                    path.pop();
+                    ok
+                }
+            });
+            path.truncate(before);
+            ok
+        }
+    }
+}
+
+/// Visit the live edges of a validated node copy in ascending byte order,
+/// copy-validating each child slot before handing it to `f`. Stops early
+/// (returning `false`) on validation failure or when `f` does.
+unsafe fn each_edge_raw<L, V, F>(node: &Node<L>, validate: &V, mut f: F) -> bool
+where
+    V: Fn() -> bool,
+    F: FnMut(u8, &MaybeUninit<Child<L>>) -> bool,
+{
+    // Emit one validated (byte, slot-pointer) pair at a time.
+    let mut visit = |b: u8, slot: *const Option<Child<L>>| -> Option<bool> {
+        let slot_mu = vol_copy(slot);
+        if !validate() {
+            return Some(false);
+        }
+        match &*slot_mu.as_ptr() {
+            None => None, // empty slot: skip (validated, so genuinely absent)
+            Some(c) => {
+                let child = ptr::read(c as *const Child<L> as *const MaybeUninit<Child<L>>);
+                Some(f(b, &child))
+            }
+        }
+    };
+    match &node.repr {
+        Repr::N4(bx) => {
+            let n = &**bx;
+            let keys = vol_copy(addr_of!(n.keys)).assume_init();
+            let c = (node.count as usize).min(4);
+            for (i, &k) in keys.iter().enumerate().take(c) {
+                if let Some(ok) = visit(k, addr_of!(n.children[i])) {
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        Repr::N16(bx) => {
+            let n = &**bx;
+            let keys = vol_copy(addr_of!(n.keys)).assume_init();
+            let c = (node.count as usize).min(16);
+            for (i, &k) in keys.iter().enumerate().take(c) {
+                if let Some(ok) = visit(k, addr_of!(n.children[i])) {
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        Repr::N48(bx) => {
+            let n = &**bx;
+            for b in 0..=255u8 {
+                let slot = ptr::read_volatile(addr_of!(n.index[b as usize]));
+                if slot == NO_SLOT || slot as usize >= 48 {
+                    continue;
+                }
+                if let Some(ok) = visit(b, addr_of!(n.children[slot as usize])) {
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        Repr::N256(bx) => {
+            let n = &**bx;
+            for b in 0..=255u8 {
+                if let Some(ok) = visit(b, addr_of!(n.children[b as usize])) {
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{OwnedLeaf, SliceResolver};
+
+    const R: SliceResolver = SliceResolver;
+    const ALWAYS: fn() -> bool = || true;
+    const NEVER: fn() -> bool = || false;
+
+    fn build(keys: &[&str]) -> Art<OwnedLeaf> {
+        let mut t = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), i as u64));
+        }
+        t
+    }
+
+    #[test]
+    fn raw_search_matches_locked_search() {
+        let keys = ["romane", "romanus", "romulus", "rubens", "ruber", "a", "ab"];
+        let t = build(&keys);
+        for k in keys {
+            let raw = unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) };
+            let locked = t.search(&R, k.as_bytes()).copied();
+            match raw {
+                RawRead::Found(l) => assert_eq!(Some(l), locked, "key {k}"),
+                other => panic!("expected Found for {k}, got {other:?}"),
+            }
+        }
+        for k in ["rom", "romanes", "z", ""] {
+            assert_eq!(
+                unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) },
+                RawRead::NotFound,
+                "key {k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_search_over_many_keys_and_node_kinds() {
+        let mut t = Art::new();
+        let keys: Vec<String> = (0..4000).map(|i| format!("key{:05}", i * 13 % 4000)).collect();
+        for k in &keys {
+            t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), 7));
+        }
+        // Wide fan-out at the root byte to exercise N48/N256.
+        for b in 1..=200u8 {
+            let k = [b, b'q'];
+            t.insert(&R, &k, OwnedLeaf::new(&k, b as u64));
+        }
+        for k in &keys {
+            assert!(matches!(
+                unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) },
+                RawRead::Found(_)
+            ));
+        }
+        for b in 1..=200u8 {
+            let k = [b, b'q'];
+            assert!(matches!(unsafe { search_raw(&t, &R, &k, &ALWAYS) }, RawRead::Found(_)));
+        }
+    }
+
+    #[test]
+    fn failing_validation_reports_retry() {
+        let t = build(&["alpha", "beta"]);
+        assert_eq!(unsafe { search_raw(&t, &R, b"alpha", &NEVER) }, RawRead::Retry);
+        let mut out = Vec::new();
+        assert!(!unsafe { range_collect_raw(&t, &R, b"a", b"z", &NEVER, &mut out) });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn raw_range_matches_locked_range() {
+        let mut t = Art::new();
+        for i in 0..500 {
+            let k = format!("k{:04}", i);
+            t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), i as u64));
+        }
+        let mut raw = Vec::new();
+        assert!(unsafe { range_collect_raw(&t, &R, b"k0100", b"k0199", &ALWAYS, &mut raw) });
+        let mut locked = Vec::new();
+        t.for_each_in_range(&R, b"k0100", b"k0199", |l| locked.push(*l));
+        assert_eq!(raw.len(), 100);
+        assert_eq!(raw, locked);
+    }
+
+    #[test]
+    fn raw_range_includes_boundary_prefix_keys() {
+        let t = build(&["ab", "abc", "abd", "ac"]);
+        let mut raw = Vec::new();
+        assert!(unsafe { range_collect_raw(&t, &R, b"ab", b"abc", &ALWAYS, &mut raw) });
+        let got: Vec<&[u8]> = raw.iter().map(|l| l.key.as_slice()).collect();
+        assert_eq!(got, vec![b"ab".as_slice(), b"abc".as_slice()]);
+    }
+
+    #[test]
+    fn empty_tree_raw_reads() {
+        let t: Art<OwnedLeaf> = Art::new();
+        assert_eq!(unsafe { search_raw(&t, &R, b"x", &ALWAYS) }, RawRead::NotFound);
+        let mut out = Vec::new();
+        assert!(unsafe { range_collect_raw(&t, &R, b"", b"zzz", &ALWAYS, &mut out) });
+        assert!(out.is_empty());
+    }
+}

@@ -1,6 +1,6 @@
 //! The adaptive radix tree proper: search / insert / remove / ordered scans.
 
-use crate::node::{Child, Node};
+use crate::node::{retire, Child, Node};
 use hart_kv::{InlineKey, MAX_KEY_LEN};
 use std::mem::size_of;
 
@@ -42,7 +42,7 @@ impl KeyResolver<OwnedLeaf> for SliceResolver {
 
 /// Byte `i` of the terminated view of `key` (see crate docs).
 #[inline]
-fn tb(key: &[u8], i: usize) -> u8 {
+pub(crate) fn tb(key: &[u8], i: usize) -> u8 {
     if i >= key.len() {
         0
     } else {
@@ -66,8 +66,12 @@ fn concat_prefix(a: &InlineKey, eb: u8, b: &InlineKey) -> InlineKey {
 /// See the crate docs for the overall design. All mutating operations take
 /// `&mut self`; HART wraps each `Art` in the per-ART `RwLock` of §III-A.3.
 pub struct Art<L> {
-    root: Option<Child<L>>,
+    pub(crate) root: Option<Child<L>>,
     len: usize,
+    /// When set, every heap block unlinked by a mutation is handed to the
+    /// epoch reclaimer instead of freed — required while optimistic readers
+    /// may traverse this tree without holding its lock.
+    defer: bool,
 }
 
 impl<L> Default for Art<L> {
@@ -79,7 +83,16 @@ impl<L> Default for Art<L> {
 impl<L> Art<L> {
     /// Empty tree.
     pub fn new() -> Art<L> {
-        Art { root: None, len: 0 }
+        Art { root: None, len: 0, defer: false }
+    }
+
+    /// Route unlinked nodes through epoch-based reclamation (see
+    /// [`hart_ebr`]) instead of freeing them inline. HART enables this on
+    /// every shard ART so its lock-free read path never touches freed
+    /// memory; the default (`false`) keeps single-owner uses allocation-
+    /// cheap.
+    pub fn set_deferred_reclaim(&mut self, on: bool) {
+        self.defer = on;
     }
 
     /// Number of leaves.
@@ -95,8 +108,13 @@ impl<L> Art<L> {
     }
 
     /// Drop all contents.
-    pub fn clear(&mut self) {
-        self.root = None;
+    pub fn clear(&mut self)
+    where
+        L: Send + 'static,
+    {
+        if let Some(root) = self.root.take() {
+            retire(root, self.defer);
+        }
         self.len = 0;
     }
 
@@ -131,9 +149,13 @@ impl<L> Art<L> {
     /// the key already existed (the caller — HART's Algorithm 1 — normally
     /// checks with `search` first and routes duplicates to its update path,
     /// but replacement keeps this structure self-contained).
-    pub fn insert<R: KeyResolver<L>>(&mut self, r: &R, key: &[u8], leaf: L) -> Option<L> {
+    pub fn insert<R: KeyResolver<L>>(&mut self, r: &R, key: &[u8], leaf: L) -> Option<L>
+    where
+        L: Send + 'static,
+    {
         debug_assert!(key.len() <= MAX_KEY_LEN, "ART key too long");
         debug_assert!(!key.contains(&0), "ART key contains NUL");
+        let defer = self.defer;
         match self.root.as_mut() {
             None => {
                 self.root = Some(Child::Leaf(leaf));
@@ -141,7 +163,7 @@ impl<L> Art<L> {
                 None
             }
             Some(slot) => {
-                let replaced = insert_rec(r, slot, key, 0, leaf);
+                let replaced = insert_rec(r, slot, key, 0, leaf, defer);
                 if replaced.is_none() {
                     self.len += 1;
                 }
@@ -151,7 +173,11 @@ impl<L> Art<L> {
     }
 
     /// Remove the leaf stored under `key`, if any.
-    pub fn remove<R: KeyResolver<L>>(&mut self, r: &R, key: &[u8]) -> Option<L> {
+    pub fn remove<R: KeyResolver<L>>(&mut self, r: &R, key: &[u8]) -> Option<L>
+    where
+        L: Send + 'static,
+    {
+        let defer = self.defer;
         enum RootAction {
             TakeLeaf,
             Collapse,
@@ -166,7 +192,7 @@ impl<L> Art<L> {
                 }
             }
             Child::Inner(node) => {
-                let removed = remove_rec(r, node, key, 0)?;
+                let removed = remove_rec(r, node, key, 0, defer)?;
                 let action =
                     if node.count == 1 { RootAction::Collapse } else { RootAction::Keep };
                 (Some(removed), action)
@@ -180,8 +206,9 @@ impl<L> Art<L> {
             }
             RootAction::Collapse => {
                 let Some(Child::Inner(mut node)) = self.root.take() else { unreachable!() };
-                let (eb, gc) = node.take_only_child().expect("count was 1");
+                let (eb, gc) = node.take_only_child(defer).expect("count was 1");
                 self.root = Some(collapse_child(&node.prefix, eb, gc));
+                retire(node, defer);
                 self.len -= 1;
                 removed
             }
@@ -350,12 +377,13 @@ fn collapse_child<L>(parent_prefix: &InlineKey, eb: u8, gc: Child<L>) -> Child<L
     }
 }
 
-fn insert_rec<L, R: KeyResolver<L>>(
+fn insert_rec<L: Send + 'static, R: KeyResolver<L>>(
     r: &R,
     slot: &mut Child<L>,
     key: &[u8],
     depth: usize,
     leaf: L,
+    defer: bool,
 ) -> Option<L> {
     match slot {
         Child::Leaf(existing) => {
@@ -379,8 +407,8 @@ fn insert_rec<L, R: KeyResolver<L>>(
             let old_child =
                 std::mem::replace(slot, Child::Inner(Box::new(Node::new4(prefix))));
             let Child::Inner(n) = slot else { unreachable!() };
-            n.add(b_old, old_child);
-            n.add(b_new, Child::Leaf(leaf));
+            n.add(b_old, old_child, defer);
+            n.add(b_new, Child::Leaf(leaf), defer);
             None
         }
         Child::Inner(node) => {
@@ -400,16 +428,16 @@ fn insert_rec<L, R: KeyResolver<L>>(
                 let old_child =
                     std::mem::replace(slot, Child::Inner(Box::new(Node::new4(new_prefix))));
                 let Child::Inner(n) = slot else { unreachable!() };
-                n.add(e_old, old_child);
-                n.add(b_new, Child::Leaf(leaf));
+                n.add(e_old, old_child, defer);
+                n.add(b_new, Child::Leaf(leaf), defer);
                 None
             } else {
                 let depth = depth + p.len();
                 let b = tb(key, depth);
                 match node.get_mut(b) {
-                    Some(child) => insert_rec(r, child, key, depth + 1, leaf),
+                    Some(child) => insert_rec(r, child, key, depth + 1, leaf, defer),
                     None => {
-                        node.add(b, Child::Leaf(leaf));
+                        node.add(b, Child::Leaf(leaf), defer);
                         None
                     }
                 }
@@ -418,11 +446,12 @@ fn insert_rec<L, R: KeyResolver<L>>(
     }
 }
 
-fn remove_rec<L, R: KeyResolver<L>>(
+fn remove_rec<L: Send + 'static, R: KeyResolver<L>>(
     r: &R,
     node: &mut Node<L>,
     key: &[u8],
     depth: usize,
+    defer: bool,
 ) -> Option<L> {
     let p = node.prefix;
     let p = p.as_slice();
@@ -450,19 +479,20 @@ fn remove_rec<L, R: KeyResolver<L>>(
     match found {
         Found::MismatchedLeaf => None,
         Found::MatchingLeaf => {
-            let Some(Child::Leaf(l)) = node.remove(b) else { unreachable!() };
+            let Some(Child::Leaf(l)) = node.remove(b, defer) else { unreachable!() };
             Some(l)
         }
         Found::Inner => {
             let child = node.get_mut(b).expect("checked above");
             let Child::Inner(cn) = child else { unreachable!() };
-            let removed = remove_rec(r, cn, key, depth + 1)?;
+            let removed = remove_rec(r, cn, key, depth + 1, defer)?;
             if cn.count == 1 {
                 // Delete-side path compression: fold the single-child node
                 // into its child.
-                let (eb, gc) = cn.take_only_child().expect("count was 1");
+                let (eb, gc) = cn.take_only_child(defer).expect("count was 1");
                 let folded = collapse_child(&cn.prefix, eb, gc);
-                *child = folded;
+                let unlinked = std::mem::replace(child, folded);
+                retire(unlinked, defer);
             }
             Some(removed)
         }
@@ -470,7 +500,7 @@ fn remove_rec<L, R: KeyResolver<L>>(
 }
 
 /// All keys prefixed by `p` are strictly greater than `end`.
-fn prefix_gt(p: &[u8], end: &[u8]) -> bool {
+pub(crate) fn prefix_gt(p: &[u8], end: &[u8]) -> bool {
     let m = p.len().min(end.len());
     if p[..m] != end[..m] {
         p[..m] > end[..m]
@@ -480,7 +510,7 @@ fn prefix_gt(p: &[u8], end: &[u8]) -> bool {
 }
 
 /// All keys prefixed by `p` are strictly less than `start`.
-fn prefix_lt(p: &[u8], start: &[u8]) -> bool {
+pub(crate) fn prefix_lt(p: &[u8], start: &[u8]) -> bool {
     let m = p.len().min(start.len());
     p[..m] < start[..m]
 }

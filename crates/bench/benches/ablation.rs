@@ -131,12 +131,55 @@ fn bench_selective_persistence(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_read_path(c: &mut Criterion) {
+    // DESIGN.md §Concurrency quantified: version-validated lock-free
+    // lookups vs the original read-locked path, single- and multi-threaded
+    // over a preloaded tree. The harness `readpath` command produces the
+    // thread-sweep CSV; this group tracks regressions per commit.
+    let keys = random(N, 42);
+    let lat = LatencyConfig::c300_100();
+    let mut group = c.benchmark_group("ablation/read_path");
+    for (label, cfg) in [
+        ("optimistic (default)", HartConfig::default()),
+        ("locked (kill-switch)", HartConfig::with_locked_reads()),
+    ] {
+        let pool = Arc::new(PmemPool::new(pool_config(lat, N)));
+        let tree = Arc::new(Hart::create(pool, cfg).unwrap());
+        for k in &keys {
+            tree.insert(k, &value_for(k)).unwrap();
+        }
+        group.bench_function(BenchmarkId::new("search-1t", label), |b| {
+            b.iter(|| {
+                for k in &keys {
+                    std::hint::black_box(tree.search(k).unwrap());
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("search-4t", label), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for part in keys.chunks(keys.len().div_ceil(4)) {
+                        let tree = Arc::clone(&tree);
+                        s.spawn(move || {
+                            for k in part {
+                                std::hint::black_box(tree.search(k).unwrap());
+                            }
+                        });
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
-    targets = bench_hash_key_len, bench_alloc_overhead, bench_selective_persistence
+    targets = bench_hash_key_len, bench_alloc_overhead, bench_selective_persistence,
+        bench_read_path
 }
 criterion_main!(benches);

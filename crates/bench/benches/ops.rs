@@ -24,7 +24,7 @@ fn bench_ops(c: &mut Criterion) {
             let tag = format!("{}/{}", kind.label(), lat.label());
 
             // Fig. 4: insertion — fresh tree per batch.
-            c.bench_function(&format!("ops_insert/{tag}"), |b| {
+            c.bench_function(format!("ops_insert/{tag}"), |b| {
                 b.iter_batched(
                     || kind.build(pool_config(lat, N)),
                     |tree| {
@@ -42,7 +42,7 @@ fn bench_ops(c: &mut Criterion) {
             for (k, v) in keys.iter().zip(&values) {
                 tree.insert(k, v).unwrap();
             }
-            c.bench_function(&format!("ops_search/{tag}"), |b| {
+            c.bench_function(format!("ops_search/{tag}"), |b| {
                 b.iter(|| {
                     for k in &keys {
                         std::hint::black_box(tree.search(k).unwrap());
@@ -51,7 +51,7 @@ fn bench_ops(c: &mut Criterion) {
             });
 
             // Fig. 6: update — in-place value swaps on the preloaded tree.
-            c.bench_function(&format!("ops_update/{tag}"), |b| {
+            c.bench_function(format!("ops_update/{tag}"), |b| {
                 let mut round = 0u64;
                 b.iter(|| {
                     round += 1;
@@ -62,7 +62,7 @@ fn bench_ops(c: &mut Criterion) {
             });
 
             // Fig. 7: deletion — fresh preloaded tree per batch.
-            c.bench_function(&format!("ops_delete/{tag}"), |b| {
+            c.bench_function(format!("ops_delete/{tag}"), |b| {
                 b.iter_batched(
                     || {
                         let tree = kind.build(pool_config(lat, N));

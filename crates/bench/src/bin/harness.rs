@@ -277,6 +277,32 @@ fn fig10d(a: &Args) {
     rep.write_csv(&a.out, "fig10d.csv").expect("write csv");
 }
 
+/// Read-path ablation (beyond the paper, DESIGN.md §Concurrency):
+/// read-only lookup throughput with the version-validated lock-free path
+/// versus the original read-locked path, across thread counts.
+fn readpath(a: &Args) {
+    let keys = hart_workloads::random(a.records, a.seed);
+    let lat = LatencyConfig::c300_100();
+    let mut rep = Report::new(
+        "readpath: search throughput, locked vs optimistic (Random @ 300/100) — MIOPS",
+        &["threads", "locked", "optimistic", "speedup"],
+    );
+    for &t in &a.threads {
+        let locked =
+            hart_scalability_cfg(lat, &keys, t, "search", hart::HartConfig::with_locked_reads());
+        let opt = hart_scalability_cfg(lat, &keys, t, "search", hart::HartConfig::default());
+        eprintln!("[readpath] threads={t}: locked {locked:.2} vs optimistic {opt:.2} MIOPS");
+        rep.row(vec![
+            t.to_string(),
+            format!("{locked:.3}"),
+            format!("{opt:.3}"),
+            format!("{:.2}", opt / locked.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "readpath.csv").expect("write csv");
+}
+
 /// Extras: the full FAST'17 radix trio (WORT, WOART, ART+CoW) against
 /// HART and FPTree — beyond the paper's figure set (DESIGN.md §6).
 fn extras(a: &Args) {
@@ -424,6 +450,7 @@ fn main() {
             summary(&a, &grid);
         }
         "fig8" => fig8(&a),
+        "readpath" => readpath(&a),
         "extras" => extras(&a),
         "profile" => profile(&a),
         "tail" => tail(&a),
@@ -444,12 +471,13 @@ fn main() {
             fig10b(&a);
             fig10c(&a);
             fig10d(&a);
+            readpath(&a);
             summary(&a, &grid);
         }
         other => {
             eprintln!("unknown command {other}");
             eprintln!(
-                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d extras tail profile all"
+                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath extras tail profile all"
             );
             std::process::exit(2);
         }

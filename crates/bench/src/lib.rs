@@ -260,8 +260,21 @@ pub fn fptree_build_recover(latency: LatencyConfig, keys: &[Key]) -> (Duration, 
 /// "insert", "search", "update", "delete". Keys are partitioned across
 /// `threads`; for the non-insert ops the tree is pre-populated.
 pub fn hart_scalability(latency: LatencyConfig, keys: &[Key], threads: usize, op: &str) -> f64 {
+    hart_scalability_cfg(latency, keys, threads, op, HartConfig::default())
+}
+
+/// [`hart_scalability`] with an explicit `HartConfig` — used by the
+/// read-path ablation to compare `HartConfig::default()` (optimistic
+/// lock-free reads) against `HartConfig::with_locked_reads()`.
+pub fn hart_scalability_cfg(
+    latency: LatencyConfig,
+    keys: &[Key],
+    threads: usize,
+    op: &str,
+    cfg: HartConfig,
+) -> f64 {
     let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
-    let tree = Arc::new(Hart::create(pool, HartConfig::default()).expect("create"));
+    let tree = Arc::new(Hart::create(pool, cfg).expect("create"));
     if op != "insert" {
         for k in keys {
             tree.insert(k, &value_for(k)).expect("preload");
@@ -531,6 +544,15 @@ mod tests {
         assert!(miops > 0.0);
         let miops = hart_scalability(LatencyConfig::c300_100(), &keys, 2, "search");
         assert!(miops > 0.0);
+    }
+
+    #[test]
+    fn read_ablation_runs_both_paths() {
+        let keys = hart_workloads::random(4000, 13);
+        for cfg in [HartConfig::default(), HartConfig::with_locked_reads()] {
+            let miops = hart_scalability_cfg(LatencyConfig::c300_100(), &keys, 2, "search", cfg);
+            assert!(miops > 0.0, "optimistic_reads={}", cfg.optimistic_reads);
+        }
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct Options {
     pub n: usize,
     pub workload: String,
     pub seed: u64,
+    /// `--locked-reads`: disable the optimistic lock-free read path
+    /// (DESIGN.md §Concurrency kill-switch); reads take the per-ART read
+    /// lock as in the paper's original protocol.
+    pub locked_reads: bool,
 }
 
 impl Default for Options {
@@ -84,6 +88,7 @@ impl Default for Options {
             n: 10_000,
             workload: "random".into(),
             seed: 42,
+            locked_reads: false,
         }
     }
 }
@@ -109,9 +114,17 @@ fn pool_cfg(opts: &Options) -> PoolConfig {
     }
 }
 
+fn hart_cfg(opts: &Options) -> HartConfig {
+    if opts.locked_reads {
+        HartConfig::with_locked_reads()
+    } else {
+        HartConfig::default()
+    }
+}
+
 fn load(opts: &Options) -> Result<(Arc<PmemPool>, Hart), CliError> {
     let pool = Arc::new(PmemPool::load_image(&opts.image, pool_cfg(opts))?);
-    let hart = Hart::recover(Arc::clone(&pool), HartConfig::default())?;
+    let hart = Hart::recover(Arc::clone(&pool), hart_cfg(opts))?;
     Ok((pool, hart))
 }
 
@@ -170,6 +183,7 @@ pub fn run(args: &[String]) -> CliResult {
                     .map_err(|_| CliError::Usage("--seed: not a number".into()))?
             }
             "--workload" => opts.workload = grab("--workload")?,
+            "--locked-reads" => opts.locked_reads = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag {flag}")));
             }
@@ -199,7 +213,7 @@ pub fn run(args: &[String]) -> CliResult {
 }
 
 fn usage() -> String {
-    "hart-cli <command> <image> [args] [--latency 300/300] [--size-mb N]\n\
+    "hart-cli <command> <image> [args] [--latency 300/300] [--size-mb N] [--locked-reads]\n\
      commands:\n\
      \x20 create <image> [--size-mb N]        format a fresh HART pool image\n\
      \x20 put    <image> <key> <value>        insert or update one record\n\
@@ -215,7 +229,7 @@ fn usage() -> String {
 
 fn cmd_create(opts: &Options) -> CliResult {
     let pool = Arc::new(PmemPool::new(pool_cfg(opts)));
-    let hart = Hart::create(Arc::clone(&pool), HartConfig::default())?;
+    let hart = Hart::create(Arc::clone(&pool), hart_cfg(opts))?;
     drop(hart);
     save(&pool, &opts.image)?;
     Ok(format!("created {} ({} MiB)", opts.image.display(), opts.size_mb))
@@ -459,6 +473,17 @@ mod tests {
             runv(&["get", img_s, "key", "--latency", "9000/1"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn locked_reads_flag_round_trips() {
+        let img = tmp("locked.img");
+        let img_s = img.to_str().unwrap();
+        runv(&["create", img_s, "--size-mb", "16", "--locked-reads"]).unwrap();
+        runv(&["put", img_s, "k", "v", "--locked-reads"]).unwrap();
+        assert_eq!(runv(&["get", img_s, "k", "--locked-reads"]).unwrap(), "v");
+        // Images written either way are readable with the other read path.
+        assert_eq!(runv(&["get", img_s, "k"]).unwrap(), "v");
     }
 
     #[test]

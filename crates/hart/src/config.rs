@@ -18,11 +18,30 @@ pub struct HartConfig {
     /// the selective consistency/persistence of §III-A.2 cost-wise.
     /// Default `false` (the paper's design).
     pub persist_internal_nodes: bool,
+    /// Kill-switch for the version-validated lock-free read path
+    /// (DESIGN.md §Concurrency). `true` (default): `search`/`range` first
+    /// traverse without taking any read lock, validating shard epoch
+    /// counters, and fall back to the pessimistic read-locked path after
+    /// [`HartConfig::optimistic_retry_limit`] failed attempts. `false`:
+    /// every read takes the per-ART read lock, reproducing the paper's
+    /// original locking protocol exactly (and skipping epoch-based node
+    /// reclamation, since no reader can then hold an unprotected pointer).
+    pub optimistic_reads: bool,
+    /// How many times an optimistic read retries after a version-validation
+    /// failure before giving up and taking the read lock. Writer-heavy
+    /// shards make low values kick readers to the fair locked path sooner.
+    pub optimistic_retry_limit: u32,
 }
 
 impl Default for HartConfig {
     fn default() -> Self {
-        HartConfig { hash_key_len: 2, hash_buckets: 4096, persist_internal_nodes: false }
+        HartConfig {
+            hash_key_len: 2,
+            hash_buckets: 4096,
+            persist_internal_nodes: false,
+            optimistic_reads: true,
+            optimistic_retry_limit: 8,
+        }
     }
 }
 
@@ -34,6 +53,9 @@ impl HartConfig {
         }
         if self.hash_buckets == 0 || !self.hash_buckets.is_power_of_two() {
             return Err(Error::BadConfig("hash_buckets must be a nonzero power of two"));
+        }
+        if self.optimistic_reads && self.optimistic_retry_limit == 0 {
+            return Err(Error::BadConfig("optimistic_retry_limit must be >= 1"));
         }
         Ok(())
     }
@@ -47,6 +69,13 @@ impl HartConfig {
     pub fn without_selective_persistence() -> HartConfig {
         HartConfig { persist_internal_nodes: true, ..Default::default() }
     }
+
+    /// Config with the lock-free read path disabled (ablation /
+    /// kill-switch): all reads go through the per-ART read locks as in the
+    /// paper's original protocol.
+    pub fn with_locked_reads() -> HartConfig {
+        HartConfig { optimistic_reads: false, ..Default::default() }
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +86,19 @@ mod tests {
     fn default_matches_paper() {
         let c = HartConfig::default();
         assert_eq!(c.hash_key_len, 2);
+        assert!(c.optimistic_reads, "lock-free reads are the default");
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn kill_switch_disables_optimistic_reads() {
+        let c = HartConfig::with_locked_reads();
+        assert!(!c.optimistic_reads);
+        assert!(c.validate().is_ok());
+        let bad = HartConfig { optimistic_retry_limit: 0, ..HartConfig::default() };
+        assert!(bad.validate().is_err());
+        let ok = HartConfig { optimistic_retry_limit: 0, ..HartConfig::with_locked_reads() };
+        assert!(ok.validate().is_ok(), "retry limit is irrelevant with locked reads");
     }
 
     #[test]

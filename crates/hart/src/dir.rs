@@ -3,14 +3,36 @@
 //! A fixed bucket array with chaining. Entries are created lazily on first
 //! insert of a hash key (Algorithm 1 lines 3–5) and removed when their ART
 //! becomes empty (Algorithm 5 lines 15–16). The directory itself is
-//! read-mostly: after warm-up, lookups take one bucket read-lock.
+//! read-mostly: after warm-up, pessimistic lookups take one bucket
+//! read-lock, and the optimistic read path (DESIGN.md §Concurrency) takes
+//! none at all.
+//!
+//! # Seqlock versioning
+//!
+//! Both levels of the structure carry a version counter for lock-free
+//! readers:
+//!
+//! * each [`Bucket`] — bumped to odd before its entry table is swapped and
+//!   back to even after, so a reader can detect a torn copy of the table's
+//!   fat pointer;
+//! * each [`Shard`] — bumped around *every* write-locked section (the
+//!   write guard does it automatically), so a reader can detect any
+//!   concurrent mutation of the shard's ART or of the PM records it owns.
+//!
+//! Bucket entry tables are immutable once published (`Box<[Entry]>`
+//! replaced wholesale, never edited in place) and retired through
+//! [`hart_ebr`], as are unlinked shards — the two facts that let readers
+//! chase raw pointers into them while pinned.
 
 use crate::resolver::PmResolver;
 use hart_art::Art;
 use hart_kv::InlineKey;
 use hart_pm::PmPtr;
-use parking_lot::RwLock;
-use std::mem::size_of;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::mem::{size_of, MaybeUninit};
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One ART plus its liveness flag, guarded by the per-ART reader-writer
@@ -23,13 +45,132 @@ pub(crate) struct ShardInner {
     pub dead: bool,
 }
 
-pub(crate) type Shard = RwLock<ShardInner>;
+/// A directory shard: the per-ART lock of §III-A.3 plus the seqlock epoch
+/// counter of the optimistic read path.
+pub(crate) struct Shard {
+    /// Seqlock version: odd while a write section is open, even when
+    /// quiescent. Every acquisition of the write lock is a write section.
+    version: AtomicU64,
+    inner: RwLock<ShardInner>,
+}
 
-type Bucket = Vec<(InlineKey, Arc<Shard>)>;
+impl Shard {
+    fn new(art: Art<PmPtr>) -> Shard {
+        Shard { version: AtomicU64::new(0), inner: RwLock::new(ShardInner { art, dead: false }) }
+    }
+
+    /// Shared (pessimistic) access; does not touch the version.
+    pub fn read(&self) -> RwLockReadGuard<'_, ShardInner> {
+        self.inner.read()
+    }
+
+    /// Exclusive access as a *write section*: the shard version is bumped
+    /// odd on acquire and even on release, so optimistic readers retry
+    /// around it. Used for every mutation — including value updates that
+    /// never touch the ART, since those still change what a concurrent
+    /// reader would return for a key.
+    pub fn write(&self) -> ShardWriteGuard<'_> {
+        let guard = self.inner.write();
+        let v = self.version.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(v.is_multiple_of(2), "write section already open under the write lock");
+        ShardWriteGuard { shard: self, guard }
+    }
+
+    /// Current version, `Acquire`-loaded. Even means quiescent.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// True when the version still equals `v0` (an even observation),
+    /// with an `Acquire` fence so the caller's preceding data reads cannot
+    /// be reordered past the check.
+    pub fn validate(&self, v0: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.version.load(Ordering::Relaxed) == v0
+    }
+
+    /// Raw pointer to the lock-protected interior, for validated
+    /// optimistic traversal. Dereference only under an [`hart_ebr`] pin and
+    /// the copy-validate discipline of `hart_art::search_raw`.
+    pub fn inner_ptr(&self) -> *const ShardInner {
+        self.inner.data_ptr()
+    }
+}
+
+/// Write guard that closes the shard's write section on drop.
+pub(crate) struct ShardWriteGuard<'a> {
+    shard: &'a Shard,
+    guard: RwLockWriteGuard<'a, ShardInner>,
+}
+
+impl Deref for ShardWriteGuard<'_> {
+    type Target = ShardInner;
+    fn deref(&self) -> &ShardInner {
+        &self.guard
+    }
+}
+
+impl DerefMut for ShardWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardInner {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Close the section (odd -> even) before the lock is released by
+        // the inner guard's drop.
+        let v = self.shard.version.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(v % 2 == 1, "write section must be open");
+    }
+}
+
+type Entry = (InlineKey, Arc<Shard>);
+
+/// A hash bucket: a versioned, wholesale-replaced entry table.
+struct Bucket {
+    /// Seqlock version guarding `entries` swaps (odd = swap in progress).
+    version: AtomicU64,
+    /// The published table. Never mutated in place; writers install a new
+    /// boxed slice and retire the old one through the epoch reclaimer.
+    entries: RwLock<Box<[Entry]>>,
+}
+
+impl Bucket {
+    fn new() -> Bucket {
+        Bucket { version: AtomicU64::new(0), entries: RwLock::new(Box::new([])) }
+    }
+
+    /// Replace the entry table under the (already held) write lock,
+    /// retiring the old table so pinned readers can finish scanning it.
+    fn install(&self, guard: &mut RwLockWriteGuard<'_, Box<[Entry]>>, next: Box<[Entry]>) {
+        let v = self.version.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(v.is_multiple_of(2), "bucket swap already in progress");
+        let old = std::mem::replace(&mut **guard, next);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        hart_ebr::defer_drop(old);
+    }
+}
+
+/// Result of a lock-free bucket probe.
+pub(crate) enum RawBucketRead {
+    /// The hash key maps to this shard. Valid while the caller's EBR pin is
+    /// held.
+    Found(*const Shard),
+    /// The hash key had no shard at a committed version.
+    Absent,
+    /// A concurrent swap interfered; retry or fall back to `get`.
+    Retry,
+}
 
 pub(crate) struct Directory {
-    buckets: Box<[RwLock<Bucket>]>,
+    buckets: Box<[Bucket]>,
     mask: u64,
+    /// Route ART node reclamation in the shards through [`hart_ebr`] —
+    /// set when optimistic readers are enabled, off for the pure-locked
+    /// ablation so the kill-switch reproduces the original allocator
+    /// behavior exactly.
+    defer_reclaim: bool,
 }
 
 #[inline]
@@ -44,22 +185,91 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 impl Directory {
     /// `buckets` must be a power of two (validated by `HartConfig`).
-    pub fn new(buckets: usize) -> Directory {
+    /// `defer_reclaim` enables epoch-based reclamation inside the shards,
+    /// required whenever lock-free readers may be active.
+    pub fn new(buckets: usize, defer_reclaim: bool) -> Directory {
         Directory {
-            buckets: (0..buckets).map(|_| RwLock::new(Vec::new())).collect(),
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
             mask: buckets as u64 - 1,
+            defer_reclaim,
         }
     }
 
     #[inline]
-    fn bucket_of(&self, hk: &[u8]) -> &RwLock<Bucket> {
+    fn bucket_of(&self, hk: &[u8]) -> &Bucket {
         &self.buckets[(fnv1a(hk) & self.mask) as usize]
     }
 
     /// `HashFind` (Algorithm 1 line 2 / Algorithm 4 line 2).
     pub fn get(&self, hk: &[u8]) -> Option<Arc<Shard>> {
-        let b = self.bucket_of(hk).read();
+        let b = self.bucket_of(hk).entries.read();
         b.iter().find(|(k, _)| k.as_slice() == hk).map(|(_, s)| Arc::clone(s))
+    }
+
+    /// Lock-free `HashFind` for the optimistic read path.
+    ///
+    /// # Safety
+    /// The caller must hold an [`hart_ebr`] pin for as long as it uses the
+    /// returned shard pointer: retired entry tables (and the shards they
+    /// reference) stay alive only until the pin is released.
+    pub unsafe fn get_raw(&self, hk: &[u8]) -> RawBucketRead {
+        let bucket = self.bucket_of(hk);
+        let v0 = bucket.version.load(Ordering::Acquire);
+        if v0 % 2 == 1 {
+            return RawBucketRead::Retry;
+        }
+        // Copy the table's fat pointer without the lock; a concurrent swap
+        // can tear it, which the version re-check below detects before the
+        // copy is dereferenced.
+        let table_mu: MaybeUninit<Box<[Entry]>> =
+            ptr::read_volatile(bucket.entries.data_ptr() as *const MaybeUninit<Box<[Entry]>>);
+        fence(Ordering::Acquire);
+        if bucket.version.load(Ordering::Relaxed) != v0 {
+            return RawBucketRead::Retry;
+        }
+        // Validated: this is a committed table. Tables are immutable once
+        // published, so scanning it needs no further checks.
+        let table: &[Entry] = &*table_mu.as_ptr();
+        match table.iter().find(|(k, _)| k.as_slice() == hk) {
+            Some((_, shard)) => RawBucketRead::Found(Arc::as_ptr(shard)),
+            None => RawBucketRead::Absent,
+        }
+    }
+
+    /// Lock-free snapshot of all `(hash key, shard)` pairs, sorted by hash
+    /// key — the optimistic counterpart of [`Directory::shards_sorted`].
+    /// Falls back to read-locking any bucket whose swaps keep interfering.
+    ///
+    /// # Safety
+    /// Same pin contract as [`Directory::get_raw`].
+    pub unsafe fn shards_sorted_raw(&self) -> Vec<(InlineKey, *const Shard)> {
+        let mut out = Vec::new();
+        for bucket in self.buckets.iter() {
+            let mut copied = false;
+            for _ in 0..4 {
+                let v0 = bucket.version.load(Ordering::Acquire);
+                if v0 % 2 == 1 {
+                    continue;
+                }
+                let table_mu: MaybeUninit<Box<[Entry]>> = ptr::read_volatile(
+                    bucket.entries.data_ptr() as *const MaybeUninit<Box<[Entry]>>,
+                );
+                fence(Ordering::Acquire);
+                if bucket.version.load(Ordering::Relaxed) != v0 {
+                    continue;
+                }
+                let table: &[Entry] = &*table_mu.as_ptr();
+                out.extend(table.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
+                copied = true;
+                break;
+            }
+            if !copied {
+                let g = bucket.entries.read();
+                out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
+            }
+        }
+        out.sort_unstable_by_key(|e| e.0);
+        out
     }
 
     /// `HashFind` + `NewART` + `HashInsert` (Algorithm 1 lines 2–5).
@@ -67,31 +277,42 @@ impl Directory {
         if let Some(s) = self.get(hk) {
             return s;
         }
-        let mut b = self.bucket_of(hk).write();
-        if let Some((_, s)) = b.iter().find(|(k, _)| k.as_slice() == hk) {
+        let bucket = self.bucket_of(hk);
+        let mut g = bucket.entries.write();
+        if let Some((_, s)) = g.iter().find(|(k, _)| k.as_slice() == hk) {
             return Arc::clone(s);
         }
-        let shard = Arc::new(RwLock::new(ShardInner { art: Art::new(), dead: false }));
-        b.push((InlineKey::from_slice(hk), Arc::clone(&shard)));
+        let mut art = Art::new();
+        art.set_deferred_reclaim(self.defer_reclaim);
+        let shard = Arc::new(Shard::new(art));
+        let next: Box<[Entry]> = g
+            .iter()
+            .cloned()
+            .chain(std::iter::once((InlineKey::from_slice(hk), Arc::clone(&shard))))
+            .collect();
+        bucket.install(&mut g, next);
         shard
     }
 
     /// "HART will free the ART if it becomes empty" (Algorithm 5 lines
     /// 15–16). Returns `true` if the shard was unlinked.
     pub fn remove_if_empty(&self, hk: &[u8]) -> bool {
-        let mut b = self.bucket_of(hk).write();
-        let Some(pos) = b.iter().position(|(k, _)| k.as_slice() == hk) else {
+        let bucket = self.bucket_of(hk);
+        let mut g = bucket.entries.write();
+        let Some(pos) = g.iter().position(|(k, _)| k.as_slice() == hk) else {
             return false;
         };
         {
-            let shard = &b[pos].1;
-            let mut g = shard.write();
-            if !g.art.is_empty() || g.dead {
+            let shard = &g[pos].1;
+            let mut sg = shard.write();
+            if !sg.art.is_empty() || sg.dead {
                 return false;
             }
-            g.dead = true;
+            sg.dead = true;
         }
-        b.swap_remove(pos);
+        let next: Box<[Entry]> =
+            g.iter().enumerate().filter(|(i, _)| *i != pos).map(|(_, e)| e.clone()).collect();
+        bucket.install(&mut g, next);
         true
     }
 
@@ -100,7 +321,7 @@ impl Directory {
     pub fn shards_sorted(&self) -> Vec<(InlineKey, Arc<Shard>)> {
         let mut out = Vec::new();
         for b in self.buckets.iter() {
-            let g = b.read();
+            let g = b.entries.read();
             out.extend(g.iter().map(|(k, s)| (*k, Arc::clone(s))));
         }
         out.sort_unstable_by_key(|a| a.0);
@@ -109,17 +330,16 @@ impl Directory {
 
     /// Number of live shards (= ARTs = max concurrent writers).
     pub fn shard_count(&self) -> usize {
-        self.buckets.iter().map(|b| b.read().len()).sum()
+        self.buckets.iter().map(|b| b.entries.read().len()).sum()
     }
 
     /// DRAM bytes of the directory and every ART's internal nodes, for the
-    /// Fig. 10b experiment. `kh` is needed to size the resolver (unused on
-    /// this path but kept for symmetry).
+    /// Fig. 10b experiment.
     pub fn memory_bytes(&self) -> usize {
-        let mut total = size_of::<Self>() + self.buckets.len() * size_of::<RwLock<Bucket>>();
+        let mut total = size_of::<Self>() + self.buckets.len() * size_of::<Bucket>();
         for b in self.buckets.iter() {
-            let g = b.read();
-            total += g.capacity() * size_of::<(InlineKey, Arc<Shard>)>();
+            let g = b.entries.read();
+            total += g.len() * size_of::<Entry>();
             for (_, shard) in g.iter() {
                 total += size_of::<Shard>() + shard.read().art.memory_bytes();
             }
@@ -144,7 +364,7 @@ mod tests {
 
     #[test]
     fn get_or_insert_is_idempotent() {
-        let d = Directory::new(16);
+        let d = Directory::new(16, true);
         let a = d.get_or_insert(b"AA");
         let b = d.get_or_insert(b"AA");
         assert!(Arc::ptr_eq(&a, &b));
@@ -163,7 +383,7 @@ mod tests {
 
     #[test]
     fn remove_if_empty_only_removes_empty() {
-        let d = Directory::new(16);
+        let d = Directory::new(16, true);
         let s = d.get_or_insert(b"AA");
         s.write().art.insert(&StubResolver, b"x", PmPtr(64));
         assert!(!d.remove_if_empty(b"AA"), "non-empty shard must stay");
@@ -172,7 +392,7 @@ mod tests {
 
     #[test]
     fn remove_marks_dead() {
-        let d = Directory::new(16);
+        let d = Directory::new(16, true);
         let s = d.get_or_insert(b"AA");
         assert!(d.remove_if_empty(b"AA"));
         assert!(s.read().dead);
@@ -184,7 +404,7 @@ mod tests {
 
     #[test]
     fn shards_sorted_orders_by_key() {
-        let d = Directory::new(4); // force collisions
+        let d = Directory::new(4, true); // force collisions
         for hk in [b"zz".as_slice(), b"aa", b"mm", b"ab"] {
             d.get_or_insert(hk);
         }
@@ -195,10 +415,77 @@ mod tests {
 
     #[test]
     fn memory_accounting_is_monotone() {
-        let d = Directory::new(16);
+        let d = Directory::new(16, true);
         let m0 = d.memory_bytes();
         d.get_or_insert(b"AA");
         let m1 = d.memory_bytes();
         assert!(m1 > m0);
+    }
+
+    #[test]
+    fn write_guard_bumps_version_by_two() {
+        let d = Directory::new(16, true);
+        let s = d.get_or_insert(b"AA");
+        let v0 = s.version();
+        assert_eq!(v0 % 2, 0);
+        {
+            let _g = s.write();
+            assert_eq!(s.version.load(Ordering::SeqCst), v0 + 1, "odd inside the section");
+        }
+        assert_eq!(s.version(), v0 + 2);
+        assert!(s.validate(v0 + 2));
+        assert!(!s.validate(v0));
+    }
+
+    #[test]
+    fn raw_probe_finds_and_misses() {
+        let d = Directory::new(16, true);
+        let s = d.get_or_insert(b"AA");
+        let _pin = hart_ebr::pin().expect("slot");
+        unsafe {
+            match d.get_raw(b"AA") {
+                RawBucketRead::Found(p) => assert_eq!(p, Arc::as_ptr(&s)),
+                _ => panic!("expected Found"),
+            }
+            assert!(matches!(d.get_raw(b"BB"), RawBucketRead::Absent));
+        }
+    }
+
+    #[test]
+    fn raw_snapshot_matches_locked_snapshot() {
+        let d = Directory::new(4, true);
+        for hk in [b"zz".as_slice(), b"aa", b"mm"] {
+            d.get_or_insert(hk);
+        }
+        let _pin = hart_ebr::pin().expect("slot");
+        let raw: Vec<InlineKey> =
+            unsafe { d.shards_sorted_raw() }.into_iter().map(|(k, _)| k).collect();
+        let locked: Vec<InlineKey> = d.shards_sorted().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(raw, locked);
+    }
+
+    /// Satellite: `bucket_of` must spread random hash keys evenly — no
+    /// bucket more than 4x the mean over 10k keys (FNV-1a quality gate).
+    #[test]
+    fn bucket_distribution_is_balanced() {
+        use rand::{Rng, SeedableRng};
+        let n_buckets = 64usize;
+        let d = Directory::new(n_buckets, true);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15_7A6);
+        let mut counts = vec![0usize; n_buckets];
+        let n_keys = 10_000usize;
+        for _ in 0..n_keys {
+            // Random 2-byte hash keys over a printable alphabet, like the
+            // paper's workloads.
+            let hk = [rng.gen_range(0x21u8..0x7f), rng.gen_range(0x21u8..0x7f)];
+            let idx = (fnv1a(&hk) & d.mask) as usize;
+            counts[idx] += 1;
+        }
+        let mean = n_keys as f64 / n_buckets as f64;
+        let worst = *counts.iter().max().unwrap() as f64;
+        assert!(
+            worst <= 4.0 * mean,
+            "worst bucket {worst} exceeds 4x mean {mean:.1}: {counts:?}"
+        );
     }
 }

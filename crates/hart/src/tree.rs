@@ -2,8 +2,9 @@
 //! 5 (deletion) and 7 (recovery), over the EPallocator substrate.
 
 use crate::config::HartConfig;
-use crate::dir::Directory;
+use crate::dir::{Directory, RawBucketRead, Shard};
 use crate::resolver::PmResolver;
+use hart_art::RawRead;
 use hart_epalloc::{
     leaf_read_key, leaf_read_pvalue, leaf_read_val_len, leaf_write_key, leaf_write_pvalue,
     persist_leaf_key, persist_leaf_pvalue, AllocStats, EPallocator, ObjClass,
@@ -13,6 +14,7 @@ use hart_kv::{
     MAX_VALUE_LEN,
 };
 use hart_pm::{PmPtr, PmStatsSnapshot, PmemPool};
+use std::ptr;
 use std::sync::Arc;
 
 /// A concurrent Hash-Assisted Radix Tree over an emulated PM pool.
@@ -31,7 +33,11 @@ impl Hart {
     /// Create a HART over a freshly formatted pool.
     pub fn create(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
         cfg.validate()?;
-        Ok(Hart { alloc: EPallocator::create(pool), cfg, dir: Directory::new(cfg.hash_buckets) })
+        Ok(Hart {
+            alloc: EPallocator::create(pool),
+            cfg,
+            dir: Directory::new(cfg.hash_buckets, cfg.optimistic_reads),
+        })
     }
 
     /// Algorithm 7: open an existing pool, replay the allocator's
@@ -42,7 +48,8 @@ impl Hart {
     pub fn recover(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
         cfg.validate()?;
         let alloc = EPallocator::open(pool)?;
-        let hart = Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets) };
+        let hart =
+            Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets, cfg.optimistic_reads) };
         let mut leaves = Vec::new();
         hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
         for leaf in leaves {
@@ -68,7 +75,8 @@ impl Hart {
         cfg.validate()?;
         let threads = threads.max(1);
         let alloc = EPallocator::open(pool)?;
-        let hart = Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets) };
+        let hart =
+            Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets, cfg.optimistic_reads) };
         let mut leaves = Vec::new();
         hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
         let chunk = leaves.len().div_ceil(threads).max(1);
@@ -225,6 +233,10 @@ impl Hart {
     /// Ordered full-key scan over `[start, end]` — an extension beyond the
     /// paper (see DESIGN.md): shards are visited in hash-key order, each
     /// ART in ART-key order, yielding globally sorted results.
+    ///
+    /// With `optimistic_reads` on, each shard is first scanned lock-free
+    /// under its epoch counter; a shard whose writers keep invalidating the
+    /// snapshot falls back to its read lock individually.
     pub fn ordered_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
         let mut out = Vec::new();
         if start > end {
@@ -232,40 +244,120 @@ impl Hart {
         }
         let s = start.as_slice();
         let e = end.as_slice();
-        let r = self.resolver();
-        for (hk, shard) in self.dir.shards_sorted() {
-            let hks = hk.as_slice();
-            // Prune shards whose key region [hks, hks⋅0xff…] misses [s, e].
-            if region_before(hks, s) || region_after(hks, e) {
-                continue;
+        let hi_buf = [0xFFu8; MAX_KEY_LEN];
+        let pin = if self.cfg.optimistic_reads { hart_ebr::pin() } else { None };
+        if pin.is_some() {
+            // `pin` stays alive for the whole scan, keeping every raw shard
+            // pointer from the snapshot dereferenceable.
+            for (hk, shard) in unsafe { self.dir.shards_sorted_raw() } {
+                let Some((ak_lo, ak_hi)) = shard_ak_bounds(hk.as_slice(), s, e, &hi_buf) else {
+                    continue;
+                };
+                unsafe { self.range_shard_optimistic(shard, s, e, ak_lo, ak_hi, &mut out)? };
             }
-            // Translate full-key bounds into ART-key bounds for this shard.
-            let ak_lo: &[u8] = if s.len() > hks.len() && s.starts_with(hks) {
-                &s[hks.len()..]
-            } else {
-                b""
-            };
-            let hi_buf = [0xFFu8; MAX_KEY_LEN];
-            let ak_hi: &[u8] = if e.len() > hks.len() && e.starts_with(hks) {
-                &e[hks.len()..]
-            } else {
-                &hi_buf
-            };
-            let g = shard.read();
-            if g.dead {
-                continue;
-            }
-            let mut leaves = Vec::new();
-            g.art.for_each_in_range(&r, ak_lo, ak_hi, |&leaf| leaves.push(leaf));
-            for leaf in leaves {
-                let (k, v) = self.load_record(leaf)?;
-                let ks = k.as_slice();
-                if ks >= s && ks <= e {
-                    out.push((k, v));
-                }
+        } else {
+            for (hk, shard) in self.dir.shards_sorted() {
+                let Some((ak_lo, ak_hi)) = shard_ak_bounds(hk.as_slice(), s, e, &hi_buf) else {
+                    continue;
+                };
+                self.range_shard_locked(&shard, s, e, ak_lo, ak_hi, &mut out)?;
             }
         }
         Ok(out)
+    }
+
+    /// Read-locked range collection over one shard.
+    fn range_shard_locked(
+        &self,
+        shard: &Shard,
+        s: &[u8],
+        e: &[u8],
+        ak_lo: &[u8],
+        ak_hi: &[u8],
+        out: &mut Vec<(Key, Value)>,
+    ) -> Result<()> {
+        let r = self.resolver();
+        let g = shard.read();
+        if g.dead {
+            return Ok(());
+        }
+        let mut leaves = Vec::new();
+        g.art.for_each_in_range(&r, ak_lo, ak_hi, |&leaf| leaves.push(leaf));
+        for leaf in leaves {
+            let (k, v) = self.load_record(leaf)?;
+            let ks = k.as_slice();
+            if ks >= s && ks <= e {
+                out.push((k, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Optimistic range collection over one shard: snapshot the version,
+    /// traverse raw, load every record, then validate once more before
+    /// publishing the rows. Falls back to [`Hart::range_shard_locked`] when
+    /// the retry budget runs out.
+    ///
+    /// # Safety
+    /// `shard` must come from a directory snapshot taken under the EBR pin
+    /// the caller still holds.
+    unsafe fn range_shard_optimistic(
+        &self,
+        shard: *const Shard,
+        s: &[u8],
+        e: &[u8],
+        ak_lo: &[u8],
+        ak_hi: &[u8],
+        out: &mut Vec<(Key, Value)>,
+    ) -> Result<()> {
+        let shard = &*shard;
+        let r = self.resolver();
+        'attempt: for _ in 0..self.cfg.optimistic_retry_limit {
+            let v0 = shard.version();
+            if v0 % 2 == 1 {
+                continue; // write section open right now
+            }
+            let validate = || shard.validate(v0);
+            let inner = shard.inner_ptr();
+            let dead = ptr::read_volatile(ptr::addr_of!((*inner).dead));
+            if !validate() {
+                continue;
+            }
+            if dead {
+                return Ok(()); // unlinked shards are empty by invariant
+            }
+            let mut leaves = Vec::new();
+            let art = ptr::addr_of!((*inner).art);
+            if !hart_art::range_collect_raw(art, &r, ak_lo, ak_hi, &validate, &mut leaves) {
+                continue;
+            }
+            // The leaf set is a committed snapshot; now copy the records
+            // out of PM and re-validate so a concurrent update/remove that
+            // recycled a value chunk mid-copy discards the whole batch.
+            let mut rows = Vec::with_capacity(leaves.len());
+            for leaf in leaves {
+                match self.load_record(leaf) {
+                    Ok((k, v)) => {
+                        let ks = k.as_slice();
+                        if ks >= s && ks <= e {
+                            rows.push((k, v));
+                        }
+                    }
+                    Err(err) => {
+                        if validate() {
+                            return Err(err); // stable snapshot: real corruption
+                        }
+                        continue 'attempt;
+                    }
+                }
+            }
+            if !validate() {
+                continue;
+            }
+            out.extend(rows);
+            return Ok(());
+        }
+        self.range_shard_locked(shard, s, e, ak_lo, ak_hi, out)
     }
 
     fn load_record(&self, leaf: PmPtr) -> Result<(Key, Value)> {
@@ -274,6 +366,99 @@ impl Hart {
         let key = Key::new(full.as_slice()).map_err(|_| Error::Corrupted("bad key in leaf"))?;
         let v = self.load_value(leaf)?;
         Ok((key, v))
+    }
+
+    /// Algorithm 4 as published: hash probe + ART search under the shard's
+    /// read lock.
+    fn search_locked(&self, hk: &[u8], ak: &[u8]) -> Result<Option<Value>> {
+        let Some(shard) = self.dir.get(hk) else {
+            return Ok(None); // lines 3–4
+        };
+        let g = shard.read();
+        if g.dead {
+            // Shard was concurrently emptied and unlinked: the key is gone.
+            return Ok(None);
+        }
+        let r = self.resolver();
+        let Some(&leaf) = g.art.search(&r, ak) else {
+            return Ok(None); // lines 6–7
+        };
+        // Lines 9–12: validate the leaf bit, then return the value.
+        if !self.alloc.is_live(leaf, ObjClass::Leaf) {
+            return Ok(None);
+        }
+        Ok(Some(self.load_value(leaf)?))
+    }
+
+    /// Version-validated lock-free search (DESIGN.md §Concurrency).
+    ///
+    /// Returns `None` when the caller must fall back to
+    /// [`Hart::search_locked`]: either no EBR reader slot was free, or
+    /// `optimistic_retry_limit` attempts were invalidated by writers.
+    /// Every returned `Some(_)` is a *validated* result: the shard version
+    /// was even and unchanged across everything the answer depends on, so
+    /// the result equals what the locked path would have produced at that
+    /// instant.
+    fn search_optimistic(&self, hk: &[u8], ak: &[u8]) -> Option<Result<Option<Value>>> {
+        let _pin = hart_ebr::pin()?;
+        let r = self.resolver();
+        for _ in 0..self.cfg.optimistic_retry_limit {
+            // Lock-free hash probe (Algorithm 4 line 2).
+            let shard = match unsafe { self.dir.get_raw(hk) } {
+                RawBucketRead::Found(p) => unsafe { &*p },
+                RawBucketRead::Absent => return Some(Ok(None)),
+                RawBucketRead::Retry => continue,
+            };
+            let v0 = shard.version();
+            if v0 % 2 == 1 {
+                continue; // a write section is open right now
+            }
+            let validate = || shard.validate(v0);
+            let inner = shard.inner_ptr();
+            // The dead flag only flips inside a write section, so a
+            // validated observation is committed state. A committed `dead`
+            // means the shard was empty when unlinked — reporting the key
+            // absent is linearizable at that unlink.
+            let dead = unsafe { ptr::read_volatile(ptr::addr_of!((*inner).dead)) };
+            if !validate() {
+                continue;
+            }
+            if dead {
+                return Some(Ok(None));
+            }
+            // Raw ART descent (Algorithm 4 lines 6–7), copy-then-validate
+            // at every step.
+            let art = unsafe { ptr::addr_of!((*inner).art) };
+            let leaf = match unsafe { hart_art::search_raw(art, &r, ak, &validate) } {
+                RawRead::Found(leaf) => leaf,
+                RawRead::NotFound => return Some(Ok(None)),
+                RawRead::Retry => continue,
+            };
+            // Lines 9–12: leaf bit, then the value bytes. Both can change
+            // only under this shard's write section, so one more validation
+            // after the copy makes the whole read atomic.
+            if !self.alloc.is_live(leaf, ObjClass::Leaf) {
+                if validate() {
+                    return Some(Ok(None));
+                }
+                continue;
+            }
+            match self.load_value(leaf) {
+                Ok(v) => {
+                    if validate() {
+                        return Some(Ok(Some(v)));
+                    }
+                    // A writer may have retired and recycled the value
+                    // chunk mid-copy; the bytes are untrusted. Retry.
+                }
+                Err(e) => {
+                    if validate() {
+                        return Some(Err(e)); // stable snapshot: real corruption
+                    }
+                }
+            }
+        }
+        None // retry budget exhausted — take the read lock
     }
 
     fn load_value(&self, leaf: PmPtr) -> Result<Value> {
@@ -337,6 +522,27 @@ fn split_inline(full: &InlineKey, kh: usize) -> (&[u8], &[u8]) {
     let s = full.as_slice();
     let cut = kh.min(s.len());
     (&s[..cut], &s[cut..])
+}
+
+/// Translate full-key range bounds `[s, e]` into ART-key bounds for the
+/// shard with hash key `hks`, or `None` if the shard's key region misses
+/// the range entirely.
+#[inline]
+fn shard_ak_bounds<'a>(
+    hks: &[u8],
+    s: &'a [u8],
+    e: &'a [u8],
+    hi_buf: &'a [u8; MAX_KEY_LEN],
+) -> Option<(&'a [u8], &'a [u8])> {
+    // Prune shards whose key region [hks, hks⋅0xff…] misses [s, e].
+    if region_before(hks, s) || region_after(hks, e) {
+        return None;
+    }
+    let ak_lo: &[u8] =
+        if s.len() > hks.len() && s.starts_with(hks) { &s[hks.len()..] } else { b"" };
+    let ak_hi: &[u8] =
+        if e.len() > hks.len() && e.starts_with(hks) { &e[hks.len()..] } else { hi_buf };
+    Some((ak_lo, ak_hi))
 }
 
 /// Every key with prefix `region` is < `start`.
@@ -408,26 +614,16 @@ impl PersistentIndex for Hart {
         }
     }
 
-    /// Algorithm 4.
+    /// Algorithm 4, with the lock-free fast path of DESIGN.md
+    /// §Concurrency in front when `optimistic_reads` is on.
     fn search(&self, key: &Key) -> Result<Option<Value>> {
         let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
-        let Some(shard) = self.dir.get(hk) else {
-            return Ok(None); // lines 3–4
-        };
-        let g = shard.read();
-        if g.dead {
-            // Shard was concurrently emptied and unlinked: the key is gone.
-            return Ok(None);
+        if self.cfg.optimistic_reads {
+            if let Some(res) = self.search_optimistic(hk, ak) {
+                return res;
+            }
         }
-        let r = self.resolver();
-        let Some(&leaf) = g.art.search(&r, ak) else {
-            return Ok(None); // lines 6–7
-        };
-        // Lines 9–12: validate the leaf bit, then return the value.
-        if !self.alloc.is_live(leaf, ObjClass::Leaf) {
-            return Ok(None);
-        }
-        Ok(Some(self.load_value(leaf)?))
+        self.search_locked(hk, ak)
     }
 
     fn update(&self, key: &Key, value: &Value) -> Result<bool> {

@@ -1,0 +1,320 @@
+//! A drop-in subset of the `parking_lot` API implemented over `std::sync`.
+//!
+//! The build environment has no crates.io mirror, so the workspace vendors
+//! the small slice of `parking_lot` it actually uses: `Mutex`, `RwLock`
+//! and `Condvar` with non-poisoning guards, plus `data_ptr` (which the
+//! optimistic read path relies on to reach lock-protected data without
+//! acquiring the lock; see `hart`'s concurrency notes).
+//!
+//! Poisoning is deliberately swallowed (`PoisonError::into_inner`): like
+//! real `parking_lot`, a panicking critical section does not make the data
+//! permanently unreachable.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock with `parking_lot`-style (non-poisoning,
+/// `Result`-free) API.
+pub struct Mutex<T: ?Sized> {
+    raw: sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: identical bounds to std::sync::Mutex — the raw lock serializes
+// all access to `data`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// New unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { raw: sync::Mutex::new(()), data: UnsafeCell::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is held.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let raw = self.raw.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { raw: ManuallyDrop::new(raw), data: self.data.get() }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.raw.try_lock() {
+            Ok(raw) => Some(MutexGuard { raw: ManuallyDrop::new(raw), data: self.data.get() }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { raw: ManuallyDrop::new(p.into_inner()), data: self.data.get() })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires unique ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data.get() }
+    }
+
+    /// Raw pointer to the protected data, without acquiring the lock.
+    pub fn data_ptr(&self) -> *mut T {
+        self.data.get()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    raw: ManuallyDrop<sync::MutexGuard<'a, ()>>,
+    data: *mut T,
+}
+
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.data }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Safety: `raw` is only taken here or in `Condvar::wait`, which
+        // always puts a fresh guard back before returning.
+        unsafe { ManuallyDrop::drop(&mut self.raw) }
+    }
+}
+
+/// A reader-writer lock with `parking_lot`-style API.
+pub struct RwLock<T: ?Sized> {
+    raw: sync::RwLock<()>,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// New unlocked lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock { raw: sync::RwLock::new(()), data: UnsafeCell::new(value) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let raw = self.raw.read().unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockReadGuard { _raw: raw, data: self.data.get() }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let raw = self.raw.write().unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockWriteGuard { _raw: raw, data: self.data.get() }
+    }
+
+    /// Try to acquire shared access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.raw.try_read() {
+            Ok(raw) => Some(RwLockReadGuard { _raw: raw, data: self.data.get() }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(RwLockReadGuard { _raw: p.into_inner(), data: self.data.get() })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires unique ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data.get() }
+    }
+
+    /// Raw pointer to the protected data, without acquiring the lock.
+    ///
+    /// The optimistic read path uses this to traverse a shard's ART with
+    /// no lock held; all such reads are validated against a seqlock
+    /// version counter before being trusted.
+    pub fn data_ptr(&self) -> *mut T {
+        self.data.get()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// RAII guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _raw: sync::RwLockReadGuard<'a, ()>,
+    data: *mut T,
+}
+
+unsafe impl<T: ?Sized + Sync> Sync for RwLockReadGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.data }
+    }
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _raw: sync::RwLockWriteGuard<'a, ()>,
+    data: *mut T,
+}
+
+unsafe impl<T: ?Sized + Sync> Sync for RwLockWriteGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.data }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data }
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Condvar {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically release the guard's mutex and wait for a notification,
+    /// reacquiring before returning.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Safety: the raw guard is moved out for the duration of the wait
+        // and a fresh one is written back before this function returns, so
+        // `MutexGuard::drop` always sees an initialized guard.
+        let raw = unsafe { ManuallyDrop::take(&mut guard.raw) };
+        let raw = self.inner.wait(raw).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.raw = ManuallyDrop::new(raw);
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = Arc::new(RwLock::new(7u64));
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 14);
+        drop((r1, r2));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn data_ptr_points_at_value() {
+        let l = RwLock::new(41u64);
+        unsafe { *l.data_ptr() += 1 };
+        assert_eq!(*l.read(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn guard_survives_panic_in_section() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // Non-poisoning: the data stays reachable.
+        assert_eq!(*m.lock(), 0);
+    }
+}

@@ -1,0 +1,466 @@
+//! A drop-in subset of the `proptest` API for offline builds.
+//!
+//! Implements random-input property testing with the same macro surface
+//! the workspace's tests use (`proptest!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!`, `Just`, `any`, `collection::vec`, `prop_map`,
+//! ranges as strategies) but **without shrinking**: a failing case reports
+//! its seed and fully-formatted inputs instead of a minimized example.
+//!
+//! Case generation is deterministic: the base seed is fixed (overridable
+//! via `PROPTEST_SEED`) and each case derives its own seed from it, so a
+//! reported `case=<n> seed=<s>` line always reproduces with
+//! `PROPTEST_SEED=<s>` and `with_cases(1)` — or simply by re-running the
+//! test, since nothing is time- or thread-dependent.
+
+use rand::rngs::StdRng;
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (subset: case count only).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case (also produced by `prop_assert*` macros).
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from any message.
+    pub fn fail<M: Into<String>>(message: M) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking; `generate`
+/// produces the final value directly.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between equally-weighted alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from boxed alternatives; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        use rand::Rng as _;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Integer ranges are strategies (`0u8..3`, `1..=10usize`, …).
+impl<T: rand::UniformInt + 'static> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::UniformInt + 'static> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/0);
+impl_tuple_strategy!(A/0, B/1);
+impl_tuple_strategy!(A/0, B/1, C/2);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: rand::Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> T {
+        use rand::Rng as _;
+        rng.gen::<T>()
+    }
+}
+
+/// Strategy for the whole domain of `T` — `any::<u64>()` etc.
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Size specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    /// See `proptest::collection::VecStrategy`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// One property case outcome.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[doc(hidden)]
+pub mod __runtime {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Derive the seed of case `case` from `base`.
+#[doc(hidden)]
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    base ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17)
+}
+
+/// The base seed: `PROPTEST_SEED` env var, or a fixed default.
+#[doc(hidden)]
+pub fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.trim().parse().expect("PROPTEST_SEED must be a u64"),
+        Err(_) => 0x9E37_79B9_7F4A_7C15,
+    }
+}
+
+/// Run the body of one case, converting panics and `TestCaseError`s into
+/// a report that names the case seed and its generated inputs.
+#[doc(hidden)]
+pub fn run_case<F>(case: u32, seed: u64, inputs: &str, body: F)
+where
+    F: FnOnce() -> TestCaseResult,
+{
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            panic!("property failed at case={case} (PROPTEST_SEED={seed}):\n{e}\ninputs:\n{inputs}")
+        }
+        Err(payload) => {
+            eprintln!("property panicked at case={case} (PROPTEST_SEED={seed}); inputs:\n{inputs}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// `assert!` that fails the property (with location) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the property instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n at {}:{}",
+                l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}\n at {}:{}",
+                format!($($fmt)+), l, r, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the property instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}\n at {}:{}",
+                l, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// The property-test block macro. Each contained `fn name(x in strategy)`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let base = $crate::base_seed();
+            for case in 0..config.cases {
+                let seed = $crate::case_seed(base, case as u64);
+                let mut __rng = <$crate::__runtime::StdRng as $crate::__runtime::SeedableRng>
+                    ::seed_from_u64(seed);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let __inputs = [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+]
+                    .join("\n");
+                $crate::run_case(case, seed, &__inputs, move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_in_range(v in vec(any::<u8>(), 3..10)) {
+            prop_assert!(v.len() >= 3 && v.len() < 10, "len={}", v.len());
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(picks in vec(prop_oneof![Just(1u8), Just(2u8), Just(3u8)], 64..65)) {
+            for p in &picks {
+                prop_assert!((1..=3).contains(p));
+            }
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0u8..10, any::<u64>()).prop_map(|(a, b)| (a as u64) + (b % 7)) ) {
+            prop_assert!(pair < 17);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::Strategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let s = vec(any::<u64>(), 5..6);
+        let a = s.generate(&mut StdRng::seed_from_u64(9));
+        let b = s.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failing_case_reports_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_case(3, 42, "x = 1", || {
+                Err(crate::TestCaseError::fail("intentional"))
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("PROPTEST_SEED=42"), "{msg}");
+        assert!(msg.contains("intentional"), "{msg}");
+    }
+}

@@ -1,0 +1,266 @@
+//! A drop-in subset of the `rand` 0.8 API for offline builds.
+//!
+//! Provides exactly what the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` and
+//! `Rng::fill_bytes`. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic across platforms, which the workload
+//! generators rely on for reproducible benchmarks.
+//!
+//! `gen_range` uses Lemire-style rejection-free mapping (widening
+//! multiply) — a negligible modulo bias is acceptable for workload
+//! generation and tests, and documented here on purpose.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full seed from one `u64` (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_below<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Successor, for inclusive ranges; saturates at the type maximum.
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_below<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128) - (lo as u128);
+                // Widening multiply maps a u64 draw onto [0, span).
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo + draw
+            }
+            #[inline]
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw a value inside the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl<T: UniformInt> SampleRange for Range<T> {
+    type Output = T;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange for RangeInclusive<T> {
+    type Output = T;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_below(rng, lo, hi.successor())
+    }
+}
+
+/// The user-facing generator trait (subset of rand 0.8's `Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of `T` uniformly over its domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw a value uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Draw a `bool` that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** — the workspace's deterministic standard generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> StdRng {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(5..=16usize);
+            assert!((5..=16).contains(&x));
+            let y = r.gen_range(0..62usize);
+            assert!(y < 62);
+            let z = r.gen_range(0..100u8);
+            assert!(z < 100);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values should appear: {seen:?}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -317,6 +317,90 @@ fn fptree_delete_crashes_are_atomic() {
     }
 }
 
+/// Algorithm 1's write ordering has six distinct crash points (§III-B):
+/// after the value bytes (line 12), after `leaf.p_value` (line 13), after
+/// the value bit (line 14), after the key + key length (lines 15–16),
+/// after the volatile DRAM link (line 17), and after the leaf bit
+/// (line 18). Only the last makes the insert durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(clippy::enum_variant_names)] // the shared "After" prefix mirrors Algorithm 1's line numbering
+enum InsertCrashPoint {
+    AfterValueWrite,
+    AfterPValue,
+    AfterValueBit,
+    AfterKeyWrite,
+    AfterDramLink,
+    AfterLeafBit,
+}
+
+#[test]
+fn insert_crash_matrix_covers_all_six_ordering_points() {
+    use hart_suite::epalloc::{
+        leaf_write_key, leaf_write_pvalue, persist_leaf_key, persist_leaf_pvalue, ObjClass,
+    };
+    use InsertCrashPoint::*;
+
+    let base = Key::from_str("AAkeep").unwrap();
+    let lost = Key::from_str("AAlost").unwrap();
+    for point in [AfterValueWrite, AfterPValue, AfterValueBit, AfterKeyWrite, AfterDramLink, AfterLeafBit] {
+        let pool = crash_pool(16 << 20);
+        let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+        h.insert(&base, &Value::from_u64(1)).unwrap();
+
+        // Replay Algorithm 1 lines 10–18 by hand, stopping at `point`.
+        let al = h.epallocator();
+        let leaf = al.alloc(ObjClass::Leaf).unwrap();
+        let vptr = al.alloc(ObjClass::Value8).unwrap();
+        pool.write(vptr, &99u64); // line 12: value = V
+        pool.persist_val::<u64>(vptr);
+        if point >= AfterPValue {
+            leaf_write_pvalue(&pool, leaf, vptr, 8); // line 13
+            persist_leaf_pvalue(&pool, leaf);
+        }
+        if point >= AfterValueBit {
+            al.commit(vptr, ObjClass::Value8); // line 14
+        }
+        if point >= AfterKeyWrite {
+            leaf_write_key(&pool, leaf, &lost); // lines 15–16
+            persist_leaf_key(&pool, leaf);
+        }
+        if point >= AfterDramLink {
+            // Line 17 touches only DRAM: the ART link vanishes in the
+            // crash regardless, so the persistent state is identical to
+            // AfterKeyWrite — the matrix keeps the point to pin that down.
+        }
+        if point >= AfterLeafBit {
+            al.commit(leaf, ObjClass::Leaf); // line 18
+        }
+        drop(h);
+        pool.simulate_crash();
+
+        let r = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
+        let committed = point >= AfterLeafBit;
+        assert_eq!(
+            r.search(&base).unwrap().unwrap().as_u64(),
+            1,
+            "{point:?}: committed base record must survive"
+        );
+        match r.search(&lost).unwrap() {
+            Some(v) if committed => assert_eq!(v.as_u64(), 99, "{point:?}"),
+            None if !committed => {}
+            other => panic!("{point:?}: expected committed-or-absent, got {other:?}"),
+        }
+        assert_eq!(r.len(), if committed { 2 } else { 1 }, "{point:?}");
+        // No partial state may leak: every staged-but-uncommitted leaf and
+        // value chunk is scrubbed by recovery.
+        let s = r.alloc_stats();
+        let n = if committed { 2 } else { 1 };
+        assert_eq!(s.live, [n, n, 0], "{point:?}: exactly the committed objects survive");
+        assert_no_leaks(&r);
+        // The key is fully usable after recovery, whatever the outcome.
+        r.insert(&lost, &Value::from_u64(7)).unwrap();
+        assert_eq!(r.search(&lost).unwrap().unwrap().as_u64(), 7, "{point:?}");
+        assert_no_leaks(&r);
+    }
+}
+
 #[test]
 fn hart_parallel_recovery_from_fuse_crashes() {
     // The parallel recovery path must satisfy the same invariants as the

@@ -1,0 +1,342 @@
+//! Stress battery for the version-validated lock-free read path
+//! (DESIGN.md §Concurrency).
+//!
+//! The oracle-shadow test keeps a committed-value history per key in plain
+//! DRAM (the "oracle"): writers record a value in the history *before*
+//! making it reachable, so any value a reader can legitimately return is in
+//! the set. A torn read — bytes mixing two committed values, or bytes from
+//! a recycled chunk — fails both the structural check (mirrored halves)
+//! and the membership check.
+//!
+//! Iteration counts scale with the `HART_STRESS_MULT` env var (the nightly
+//! CI stress job sets 4).
+
+use hart_suite::{Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn build(cfg: HartConfig) -> Arc<Hart> {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 128 << 20,
+        alloc_overhead_ns: 0,
+        ..PoolConfig::test_small()
+    }));
+    Arc::new(Hart::create(pool, cfg).unwrap())
+}
+
+fn stress_mult() -> u64 {
+    std::env::var("HART_STRESS_MULT").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// Tiny deterministic PRNG so each thread gets an independent, repeatable
+/// op stream.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+const PREFIXES: [&str; 4] = ["AA", "AB", "AC", "AD"];
+const KEYS_PER_PREFIX: u64 = 64;
+const N_KEYS: u64 = PREFIXES.len() as u64 * KEYS_PER_PREFIX;
+
+fn key_of(kid: u64) -> Key {
+    let p = PREFIXES[(kid / KEYS_PER_PREFIX) as usize];
+    let i = kid % KEYS_PER_PREFIX;
+    Key::from_str(&format!("{p}{i:03}")).unwrap()
+}
+
+/// 16-byte value: the 8-byte payload mirrored. A copy assembled from two
+/// different committed values (or from freed bytes) breaks the mirror with
+/// overwhelming probability, independently of the oracle check.
+fn value_of(x: u64) -> Value {
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&x.to_le_bytes());
+    b[8..].copy_from_slice(&x.to_le_bytes());
+    Value::new(&b).unwrap()
+}
+
+fn decode(v: &Value) -> Option<u64> {
+    let s = v.as_slice();
+    if s.len() != 16 || s[..8] != s[8..] {
+        return None;
+    }
+    Some(u64::from_le_bytes(s[..8].try_into().unwrap()))
+}
+
+/// Tentpole battery: 8 writers and 8 readers hammering 4 shards (256 keys
+/// under 4 overlapping hash prefixes). Every value a reader returns must
+/// decode cleanly and appear in that key's committed-value history.
+#[test]
+fn oracle_shadow_stress() {
+    let h = build(HartConfig::default());
+    let history: Vec<Mutex<HashSet<u64>>> =
+        (0..N_KEYS).map(|_| Mutex::new(HashSet::new())).collect();
+    // Preload half the keys so readers hit from the start.
+    for kid in (0..N_KEYS).step_by(2) {
+        history[kid as usize].lock().unwrap().insert(kid);
+        h.insert(&key_of(kid), &value_of(kid)).unwrap();
+    }
+    let iters = 4_000 * stress_mult();
+    let done = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let h = Arc::clone(&h);
+            let history = &history;
+            let done = &done;
+            let torn = &torn;
+            let hits = &hits;
+            s.spawn(move || {
+                let mut rng = XorShift(0xDEAD_BEEF ^ (t + 1));
+                while !done.load(Ordering::Relaxed) {
+                    let kid = rng.next() % N_KEYS;
+                    match h.search(&key_of(kid)).unwrap() {
+                        None => {} // absent is always a legal outcome
+                        Some(v) => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            let ok = match decode(&v) {
+                                None => false, // structurally torn
+                                Some(x) => {
+                                    history[kid as usize].lock().unwrap().contains(&x)
+                                }
+                            };
+                            if !ok {
+                                eprintln!("torn read on key {kid}: {:?}", v.as_slice());
+                                torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let writers: Vec<_> = (0..8u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let history = &history;
+                s.spawn(move || {
+                    let mut rng = XorShift(0x9E37_79B9 ^ (t + 1));
+                    for seq in 0..iters {
+                        let kid = rng.next() % N_KEYS;
+                        let key = key_of(kid);
+                        match rng.next() % 5 {
+                            // 3/5 insert-or-update, 1/5 remove, 1/5 read.
+                            0..=2 => {
+                                let x = (t << 48) | seq;
+                                // Publish to the oracle BEFORE the value
+                                // can become reachable.
+                                history[kid as usize].lock().unwrap().insert(x);
+                                h.insert(&key, &value_of(x)).unwrap();
+                            }
+                            3 => {
+                                let _ = h.remove(&key).unwrap();
+                            }
+                            _ => {
+                                let _ = h.search(&key).unwrap();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(torn.load(Ordering::Relaxed), 0, "validated reads must never tear");
+    assert!(hits.load(Ordering::Relaxed) > 0, "readers must observe data");
+    h.check_consistency().unwrap();
+}
+
+/// Shard-unlink race: every remove of the last key in a shard unlinks the
+/// whole ART from the directory while lock-free readers are mid-descent in
+/// it. Readers must keep returning committed-or-absent, and the shard
+/// memory must stay dereferenceable until their epochs are released.
+#[test]
+fn shard_unlink_race_with_readers() {
+    let h = build(HartConfig::default());
+    let rounds = 1_500 * stress_mult();
+    let done = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            let done = &done;
+            let torn = &torn;
+            s.spawn(move || {
+                let mut rng = XorShift(0xC0FF_EE00 ^ (t + 1));
+                while !done.load(Ordering::Relaxed) {
+                    // Single-key shards: "QQ0".."QQ3" each live alone in
+                    // their hash prefix's ART.
+                    let key = Key::from_str(&format!("QQ{}", rng.next() % 4)).unwrap();
+                    match h.search(&key).unwrap() {
+                        Some(v) if decode(&v).is_none() => {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                }
+            });
+        }
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    let key = Key::from_str(&format!("QQ{t}")).unwrap();
+                    for round in 0..rounds {
+                        h.insert(&key, &value_of(round)).unwrap();
+                        assert!(h.search(&key).unwrap().is_some(), "own insert visible");
+                        h.remove(&key).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(torn.load(Ordering::Relaxed), 0);
+    assert_eq!(h.len(), 0);
+    assert_eq!(h.art_count(), 0, "all shards unlinked at the end");
+    h.check_consistency().unwrap();
+}
+
+/// Ranges under concurrent writers: each returned batch must be sorted and
+/// structurally clean (no torn values), whether it came from a validated
+/// optimistic snapshot or the per-shard locked fallback.
+#[test]
+fn range_scans_during_writes_are_clean() {
+    let h = build(HartConfig::default());
+    for kid in 0..N_KEYS {
+        h.insert(&key_of(kid), &value_of(kid)).unwrap();
+    }
+    let lo = Key::from_str("AA").unwrap();
+    let hi = Key::from_str("AE").unwrap();
+    let done = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let h = Arc::clone(&h);
+            let done = &done;
+            let torn = &torn;
+            s.spawn(move || {
+                let _ = t;
+                while !done.load(Ordering::Relaxed) {
+                    let rows = h.range(&lo, &hi).unwrap();
+                    let mut prev: Option<Key> = None;
+                    for (k, v) in rows {
+                        if decode(&v).is_none() {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(p) = &prev {
+                            assert!(*p < k, "range output must stay sorted");
+                        }
+                        prev = Some(k);
+                    }
+                }
+            });
+        }
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    let mut rng = XorShift(0xFACE_FEED ^ (t + 1));
+                    for seq in 0..(2_000 * stress_mult()) {
+                        let kid = rng.next() % N_KEYS;
+                        if rng.next().is_multiple_of(4) {
+                            let _ = h.remove(&key_of(kid)).unwrap();
+                        } else {
+                            h.insert(&key_of(kid), &value_of((t << 48) | seq)).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(torn.load(Ordering::Relaxed), 0);
+    h.check_consistency().unwrap();
+}
+
+/// Kill-switch equivalence: the same deterministic op sequence must leave
+/// identical visible state whether reads are optimistic or locked, and the
+/// locked configuration must still survive the concurrent battery.
+#[test]
+fn kill_switch_reproduces_locked_behavior() {
+    let opt = build(HartConfig::default());
+    let locked = build(HartConfig::with_locked_reads());
+    let mut rng = XorShift(0x5EED_5EED);
+    for seq in 0..6_000u64 {
+        let kid = rng.next() % N_KEYS;
+        let key = key_of(kid);
+        match rng.next() % 4 {
+            0..=1 => {
+                for h in [&opt, &locked] {
+                    h.insert(&key, &value_of(seq)).unwrap();
+                }
+            }
+            2 => {
+                let a = opt.remove(&key).unwrap();
+                let b = locked.remove(&key).unwrap();
+                assert_eq!(a, b, "remove outcome diverged at seq {seq}");
+            }
+            _ => {
+                let a = opt.search(&key).unwrap();
+                let b = locked.search(&key).unwrap();
+                assert_eq!(a, b, "search diverged at seq {seq}");
+            }
+        }
+    }
+    assert_eq!(opt.len(), locked.len());
+    assert_eq!(opt.art_count(), locked.art_count());
+    let lo = Key::from_str("A").unwrap();
+    let hi = Key::from_str("zzzz").unwrap();
+    assert_eq!(opt.range(&lo, &hi).unwrap(), locked.range(&lo, &hi).unwrap());
+    opt.check_consistency().unwrap();
+    locked.check_consistency().unwrap();
+
+    // The locked config under the same concurrent pattern as the battery.
+    let torn = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let h = Arc::clone(&locked);
+            let torn = &torn;
+            s.spawn(move || {
+                let mut rng = XorShift(0xBAD_CAFE ^ (t + 1));
+                for seq in 0..(1_000 * stress_mult()) {
+                    let kid = rng.next() % N_KEYS;
+                    let key = key_of(kid);
+                    match rng.next() % 3 {
+                        0 => h.insert(&key, &value_of((t << 48) | seq)).unwrap(),
+                        1 => {
+                            let _ = h.remove(&key).unwrap();
+                        }
+                        _ => {
+                            if let Some(v) = h.search(&key).unwrap() {
+                                if decode(&v).is_none() {
+                                    torn.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(torn.load(Ordering::Relaxed), 0);
+    locked.check_consistency().unwrap();
+}
