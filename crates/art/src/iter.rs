@@ -18,7 +18,9 @@ pub struct ArtIter<'a, L> {
 
 impl<'a, L> ArtIter<'a, L> {
     pub(crate) fn new(root: Option<&'a Child<L>>) -> ArtIter<'a, L> {
-        ArtIter { stack: root.into_iter().collect() }
+        ArtIter {
+            stack: root.into_iter().collect(),
+        }
     }
 
     /// Push `node`'s children in *reverse* order so the smallest edge is
@@ -92,7 +94,10 @@ mod tests {
     fn iterates_in_key_order() {
         let t = tree(&["pear", "apple", "app", "banana", "z", "a"]);
         let got: Vec<&[u8]> = t.iter().map(|l| l.key.as_slice()).collect();
-        assert_eq!(got, vec![b"a".as_slice(), b"app", b"apple", b"banana", b"pear", b"z"]);
+        assert_eq!(
+            got,
+            vec![b"a".as_slice(), b"app", b"apple", b"banana", b"pear", b"z"]
+        );
     }
 
     #[test]

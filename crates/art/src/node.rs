@@ -122,7 +122,10 @@ impl<L> Node<L> {
         Node {
             prefix,
             count: 0,
-            repr: Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
+            repr: Repr::N4(Box::new(N4 {
+                keys: [0; 4],
+                children: empty_children(),
+            })),
         }
     }
 
@@ -155,11 +158,17 @@ impl<L> Node<L> {
         match &self.repr {
             Repr::N4(n) => {
                 let c = self.count as usize;
-                n.keys[..c].iter().position(|&k| k == b).and_then(|i| n.children[i].as_ref())
+                n.keys[..c]
+                    .iter()
+                    .position(|&k| k == b)
+                    .and_then(|i| n.children[i].as_ref())
             }
             Repr::N16(n) => {
                 let c = self.count as usize;
-                n.keys[..c].iter().position(|&k| k == b).and_then(|i| n.children[i].as_ref())
+                n.keys[..c]
+                    .iter()
+                    .position(|&k| k == b)
+                    .and_then(|i| n.children[i].as_ref())
             }
             Repr::N48(n) => {
                 let slot = n.index[b as usize];
@@ -238,7 +247,11 @@ impl<L> Node<L> {
                 n.children[pos] = Some(child);
             }
             Repr::N48(n) => {
-                let slot = n.children.iter().position(|c| c.is_none()).expect("N48 has room");
+                let slot = n
+                    .children
+                    .iter()
+                    .position(|c| c.is_none())
+                    .expect("N48 has room");
                 n.index[b as usize] = slot as u8;
                 n.children[slot] = Some(child);
             }
@@ -372,10 +385,16 @@ impl<L> Node<L> {
         // tree state and must be retired.
         self.repr = match std::mem::replace(
             &mut self.repr,
-            Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
+            Repr::N4(Box::new(N4 {
+                keys: [0; 4],
+                children: empty_children(),
+            })),
         ) {
             Repr::N4(mut old) => {
-                let mut n = Box::new(N16 { keys: [0; 16], children: empty_children() });
+                let mut n = Box::new(N16 {
+                    keys: [0; 16],
+                    children: empty_children(),
+                });
                 for i in 0..count {
                     n.keys[i] = old.keys[i];
                     n.children[i] = old.children[i].take();
@@ -384,7 +403,10 @@ impl<L> Node<L> {
                 Repr::N16(n)
             }
             Repr::N16(mut old) => {
-                let mut n = Box::new(N48 { index: [NO_SLOT; 256], children: empty_children() });
+                let mut n = Box::new(N48 {
+                    index: [NO_SLOT; 256],
+                    children: empty_children(),
+                });
                 for i in 0..count {
                     n.index[old.keys[i] as usize] = i as u8;
                     n.children[i] = old.children[i].take();
@@ -393,7 +415,9 @@ impl<L> Node<L> {
                 Repr::N48(n)
             }
             Repr::N48(mut old) => {
-                let mut n = N256 { children: Box::new(empty_children()) };
+                let mut n = N256 {
+                    children: Box::new(empty_children()),
+                };
                 for b in 0..256usize {
                     let slot = old.index[b];
                     if slot != NO_SLOT {
@@ -424,10 +448,16 @@ impl<L> Node<L> {
         // Placeholder/retire discipline as in `grow`.
         self.repr = match std::mem::replace(
             &mut self.repr,
-            Repr::N4(Box::new(N4 { keys: [0; 4], children: empty_children() })),
+            Repr::N4(Box::new(N4 {
+                keys: [0; 4],
+                children: empty_children(),
+            })),
         ) {
             Repr::N16(mut old) => {
-                let mut n = Box::new(N4 { keys: [0; 4], children: empty_children() });
+                let mut n = Box::new(N4 {
+                    keys: [0; 4],
+                    children: empty_children(),
+                });
                 for i in 0..count {
                     n.keys[i] = old.keys[i];
                     n.children[i] = old.children[i].take();
@@ -436,7 +466,10 @@ impl<L> Node<L> {
                 Repr::N4(n)
             }
             Repr::N48(mut old) => {
-                let mut n = Box::new(N16 { keys: [0; 16], children: empty_children() });
+                let mut n = Box::new(N16 {
+                    keys: [0; 16],
+                    children: empty_children(),
+                });
                 let mut j = 0;
                 for b in 0..256usize {
                     let slot = old.index[b];
@@ -450,7 +483,10 @@ impl<L> Node<L> {
                 Repr::N16(n)
             }
             Repr::N256(mut old) => {
-                let mut n = Box::new(N48 { index: [NO_SLOT; 256], children: empty_children() });
+                let mut n = Box::new(N48 {
+                    index: [NO_SLOT; 256],
+                    children: empty_children(),
+                });
                 let mut j = 0;
                 for b in 0..256usize {
                     if let Some(c) = old.children[b].take() {
@@ -583,7 +619,10 @@ mod tests {
         for b in 1..=200u8 {
             n.add(b, leaf(b as u32), false);
         }
-        assert!(n.heap_bytes() > small * 4, "NODE256 must report much more heap");
+        assert!(
+            n.heap_bytes() > small * 4,
+            "NODE256 must report much more heap"
+        );
     }
 
     #[test]

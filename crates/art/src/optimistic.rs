@@ -154,7 +154,11 @@ where
                 if !validate() {
                     return RawRead::Retry;
                 }
-                return if matches { RawRead::Found(leaf) } else { RawRead::NotFound };
+                return if matches {
+                    RawRead::Found(leaf)
+                } else {
+                    RawRead::NotFound
+                };
             }
             Child::Inner(bx) => {
                 let node_ptr: *const Node<L> = &**bx;
@@ -175,7 +179,11 @@ where
                     Err(()) => {
                         // Absent edge — but the keys/index bytes that said
                         // so were read unvalidated.
-                        return if validate() { RawRead::NotFound } else { RawRead::Retry };
+                        return if validate() {
+                            RawRead::NotFound
+                        } else {
+                            RawRead::Retry
+                        };
                     }
                 };
                 let slot_mu = vol_copy(slot);
@@ -422,7 +430,9 @@ mod tests {
     #[test]
     fn raw_search_over_many_keys_and_node_kinds() {
         let mut t = Art::new();
-        let keys: Vec<String> = (0..4000).map(|i| format!("key{:05}", i * 13 % 4000)).collect();
+        let keys: Vec<String> = (0..4000)
+            .map(|i| format!("key{:05}", i * 13 % 4000))
+            .collect();
         for k in &keys {
             t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), 7));
         }
@@ -439,14 +449,20 @@ mod tests {
         }
         for b in 1..=200u8 {
             let k = [b, b'q'];
-            assert!(matches!(unsafe { search_raw(&t, &R, &k, &ALWAYS) }, RawRead::Found(_)));
+            assert!(matches!(
+                unsafe { search_raw(&t, &R, &k, &ALWAYS) },
+                RawRead::Found(_)
+            ));
         }
     }
 
     #[test]
     fn failing_validation_reports_retry() {
         let t = build(&["alpha", "beta"]);
-        assert_eq!(unsafe { search_raw(&t, &R, b"alpha", &NEVER) }, RawRead::Retry);
+        assert_eq!(
+            unsafe { search_raw(&t, &R, b"alpha", &NEVER) },
+            RawRead::Retry
+        );
         let mut out = Vec::new();
         assert!(!unsafe { range_collect_raw(&t, &R, b"a", b"z", &NEVER, &mut out) });
         assert!(out.is_empty());
@@ -479,7 +495,10 @@ mod tests {
     #[test]
     fn empty_tree_raw_reads() {
         let t: Art<OwnedLeaf> = Art::new();
-        assert_eq!(unsafe { search_raw(&t, &R, b"x", &ALWAYS) }, RawRead::NotFound);
+        assert_eq!(
+            unsafe { search_raw(&t, &R, b"x", &ALWAYS) },
+            RawRead::NotFound
+        );
         let mut out = Vec::new();
         assert!(unsafe { range_collect_raw(&t, &R, b"", b"zzz", &ALWAYS, &mut out) });
         assert!(out.is_empty());

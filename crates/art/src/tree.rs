@@ -25,7 +25,10 @@ pub struct OwnedLeaf {
 impl OwnedLeaf {
     /// Build from raw parts.
     pub fn new(key: &[u8], val: u64) -> OwnedLeaf {
-        OwnedLeaf { key: InlineKey::from_slice(key), val }
+        OwnedLeaf {
+            key: InlineKey::from_slice(key),
+            val,
+        }
     }
 }
 
@@ -54,7 +57,10 @@ pub(crate) fn tb(key: &[u8], i: usize) -> u8 {
 fn concat_prefix(a: &InlineKey, eb: u8, b: &InlineKey) -> InlineKey {
     let mut buf = [0u8; MAX_KEY_LEN];
     let total = a.len() + 1 + b.len();
-    assert!(total <= MAX_KEY_LEN, "reconstructed prefix exceeds max key length");
+    assert!(
+        total <= MAX_KEY_LEN,
+        "reconstructed prefix exceeds max key length"
+    );
     buf[..a.len()].copy_from_slice(a.as_slice());
     buf[a.len()] = eb;
     buf[a.len() + 1..total].copy_from_slice(b.as_slice());
@@ -83,7 +89,11 @@ impl<L> Default for Art<L> {
 impl<L> Art<L> {
     /// Empty tree.
     pub fn new() -> Art<L> {
-        Art { root: None, len: 0, defer: false }
+        Art {
+            root: None,
+            len: 0,
+            defer: false,
+        }
     }
 
     /// Route unlinked nodes through epoch-based reclamation (see
@@ -130,7 +140,11 @@ impl<L> Art<L> {
         loop {
             match child {
                 Child::Leaf(l) => {
-                    return if r.load_key(l).as_slice() == key { Some(l) } else { None };
+                    return if r.load_key(l).as_slice() == key {
+                        Some(l)
+                    } else {
+                        None
+                    };
                 }
                 Child::Inner(n) => {
                     let p = n.prefix.as_slice();
@@ -193,19 +207,26 @@ impl<L> Art<L> {
             }
             Child::Inner(node) => {
                 let removed = remove_rec(r, node, key, 0, defer)?;
-                let action =
-                    if node.count == 1 { RootAction::Collapse } else { RootAction::Keep };
+                let action = if node.count == 1 {
+                    RootAction::Collapse
+                } else {
+                    RootAction::Keep
+                };
                 (Some(removed), action)
             }
         };
         match action {
             RootAction::TakeLeaf => {
-                let Some(Child::Leaf(l)) = self.root.take() else { unreachable!() };
+                let Some(Child::Leaf(l)) = self.root.take() else {
+                    unreachable!()
+                };
                 self.len -= 1;
                 Some(l)
             }
             RootAction::Collapse => {
-                let Some(Child::Inner(mut node)) = self.root.take() else { unreachable!() };
+                let Some(Child::Inner(mut node)) = self.root.take() else {
+                    unreachable!()
+                };
                 let (eb, gc) = node.take_only_child(defer).expect("count was 1");
                 self.root = Some(collapse_child(&node.prefix, eb, gc));
                 retire(node, defer);
@@ -311,8 +332,7 @@ impl<L> Art<L> {
                 Child::Leaf(l) => {
                     *n_leaves += 1;
                     let k = r.load_key(l);
-                    if !k.as_slice().starts_with(path.as_slice())
-                        && k.as_slice() != path.as_slice()
+                    if !k.as_slice().starts_with(path.as_slice()) && k.as_slice() != path.as_slice()
                     {
                         return Err(format!(
                             "leaf key {:?} does not extend its path {:?}",
@@ -359,7 +379,10 @@ impl<L> Art<L> {
             walk(r, c, &mut path, &mut n_leaves)?;
         }
         if n_leaves != self.len {
-            return Err(format!("len {} but {} leaves reachable", self.len, n_leaves));
+            return Err(format!(
+                "len {} but {} leaves reachable",
+                self.len, n_leaves
+            ));
         }
         Ok(())
     }
@@ -404,9 +427,10 @@ fn insert_rec<L: Send + 'static, R: KeyResolver<L>>(
             let b_old = tb(eks, depth + lcp);
             let b_new = tb(key, depth + lcp);
             debug_assert_ne!(b_old, b_new, "distinct keys must diverge");
-            let old_child =
-                std::mem::replace(slot, Child::Inner(Box::new(Node::new4(prefix))));
-            let Child::Inner(n) = slot else { unreachable!() };
+            let old_child = std::mem::replace(slot, Child::Inner(Box::new(Node::new4(prefix))));
+            let Child::Inner(n) = slot else {
+                unreachable!()
+            };
             n.add(b_old, old_child, defer);
             n.add(b_new, Child::Leaf(leaf), defer);
             None
@@ -427,7 +451,9 @@ fn insert_rec<L: Send + 'static, R: KeyResolver<L>>(
                 let new_prefix = InlineKey::from_slice(&p[..m]);
                 let old_child =
                     std::mem::replace(slot, Child::Inner(Box::new(Node::new4(new_prefix))));
-                let Child::Inner(n) = slot else { unreachable!() };
+                let Child::Inner(n) = slot else {
+                    unreachable!()
+                };
                 n.add(e_old, old_child, defer);
                 n.add(b_new, Child::Leaf(leaf), defer);
                 None
@@ -479,12 +505,16 @@ fn remove_rec<L: Send + 'static, R: KeyResolver<L>>(
     match found {
         Found::MismatchedLeaf => None,
         Found::MatchingLeaf => {
-            let Some(Child::Leaf(l)) = node.remove(b, defer) else { unreachable!() };
+            let Some(Child::Leaf(l)) = node.remove(b, defer) else {
+                unreachable!()
+            };
             Some(l)
         }
         Found::Inner => {
             let child = node.get_mut(b).expect("checked above");
-            let Child::Inner(cn) = child else { unreachable!() };
+            let Child::Inner(cn) = child else {
+                unreachable!()
+            };
             let removed = remove_rec(r, cn, key, depth + 1, defer)?;
             if cn.count == 1 {
                 // Delete-side path compression: fold the single-child node
@@ -563,7 +593,11 @@ mod tests {
     const R: SliceResolver = SliceResolver;
 
     fn ins(t: &mut T, k: &str) -> Option<OwnedLeaf> {
-        t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), k.len() as u64))
+        t.insert(
+            &R,
+            k.as_bytes(),
+            OwnedLeaf::new(k.as_bytes(), k.len() as u64),
+        )
     }
 
     fn has(t: &T, k: &str) -> bool {
@@ -682,7 +716,9 @@ mod tests {
     #[test]
     fn many_keys_roundtrip() {
         let mut t = T::new();
-        let keys: Vec<String> = (0..5000).map(|i| format!("key{:05}", i * 7 % 5000)).collect();
+        let keys: Vec<String> = (0..5000)
+            .map(|i| format!("key{:05}", i * 7 % 5000))
+            .collect();
         for k in &keys {
             assert!(ins(&mut t, k).is_none(), "duplicate {k}");
         }

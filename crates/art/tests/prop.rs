@@ -20,7 +20,10 @@ enum Op {
 /// Keys of 1–12 bytes from a small alphabet: plenty of shared prefixes,
 /// prefix-of-prefix cases, and node-kind churn.
 fn arb_key() -> impl Strategy<Value = Vec<u8>> {
-    vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'z'), Just(b'0')], 1..12)
+    vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'z'), Just(b'0')],
+        1..12,
+    )
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

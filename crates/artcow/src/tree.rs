@@ -190,8 +190,11 @@ impl ArtCow {
                         // CoW child addition (growing the kind when full).
                         let new_leaf = self.make_leaf(key, value)?;
                         let nt = node_type(pool, n);
-                        let target =
-                            if node_count(pool, n) == node_capacity(nt) { grown_kind(nt) } else { nt };
+                        let target = if node_count(pool, n) == node_capacity(nt) {
+                            grown_kind(nt)
+                        } else {
+                            nt
+                        };
                         self.cow_replace(slot, n, target, |pool, copy| {
                             let ok = add_child_volatile(pool, copy, b, Tagged::Leaf(new_leaf));
                             debug_assert!(ok);
@@ -425,10 +428,16 @@ mod tests {
     #[test]
     fn roundtrip_basics() {
         let t = fresh();
-        for (i, key) in ["romane", "romanus", "romulus", "rubens", "ruber"].iter().enumerate() {
+        for (i, key) in ["romane", "romanus", "romulus", "rubens", "ruber"]
+            .iter()
+            .enumerate()
+        {
             t.insert(&k(key), &v(i as u64)).unwrap();
         }
-        for (i, key) in ["romane", "romanus", "romulus", "rubens", "ruber"].iter().enumerate() {
+        for (i, key) in ["romane", "romanus", "romulus", "rubens", "ruber"]
+            .iter()
+            .enumerate()
+        {
             assert_eq!(t.search(&k(key)).unwrap().unwrap().as_u64(), i as u64);
         }
         assert_eq!(t.search(&k("roman")).unwrap(), None);
@@ -471,7 +480,9 @@ mod tests {
         let mut model: BTreeMap<String, u64> = BTreeMap::new();
         let mut state = 0x9876_5432u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..4000 {
@@ -501,8 +512,13 @@ mod tests {
     fn update_swaps_values() {
         let t = fresh();
         t.insert(&k("key"), &v(1)).unwrap();
-        assert!(t.update(&k("key"), &Value::new(b"0123456789abcdef").unwrap()).unwrap());
-        assert_eq!(t.search(&k("key")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert!(t
+            .update(&k("key"), &Value::new(b"0123456789abcdef").unwrap())
+            .unwrap());
+        assert_eq!(
+            t.search(&k("key")).unwrap().unwrap().as_slice(),
+            b"0123456789abcdef"
+        );
         assert!(!t.update(&k("absent"), &v(0)).unwrap());
     }
 
@@ -517,7 +533,13 @@ mod tests {
         let t2 = ArtCow::open(pool).unwrap();
         assert_eq!(t2.len(), 400);
         for i in 0..400u64 {
-            assert_eq!(t2.search(&Key::from_u64_base62(i, 6)).unwrap().unwrap().as_u64(), i);
+            assert_eq!(
+                t2.search(&Key::from_u64_base62(i, 6))
+                    .unwrap()
+                    .unwrap()
+                    .as_u64(),
+                i
+            );
         }
     }
 
@@ -542,7 +564,9 @@ mod tests {
         for i in (0..50u64).rev() {
             t.insert(&Key::from_u64_base62(i, 4), &v(i)).unwrap();
         }
-        let got = t.range(&Key::from_u64_base62(0, 4), &Key::from_u64_base62(49, 4)).unwrap();
+        let got = t
+            .range(&Key::from_u64_base62(0, 4), &Key::from_u64_base62(49, 4))
+            .unwrap();
         assert_eq!(got.len(), 50);
         assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
     }

@@ -72,8 +72,7 @@ fn bench_alloc_overhead(c: &mut Criterion) {
             &overhead_ns,
             |b, _| {
                 b.iter_batched(
-                    || Hart::create(Arc::new(PmemPool::new(cfg())), HartConfig::default())
-                        .unwrap(),
+                    || Hart::create(Arc::new(PmemPool::new(cfg())), HartConfig::default()).unwrap(),
                     |tree| {
                         for k in &keys {
                             tree.insert(k, &value_for(k)).unwrap();
@@ -113,7 +112,10 @@ fn bench_selective_persistence(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/selective_persistence");
     for (label, cfg) in [
         ("selective (paper)", HartConfig::default()),
-        ("persist-all (off)", HartConfig::without_selective_persistence()),
+        (
+            "persist-all (off)",
+            HartConfig::without_selective_persistence(),
+        ),
     ] {
         group.bench_function(BenchmarkId::new("insert", label), |b| {
             b.iter_batched(
@@ -173,6 +175,41 @@ fn bench_read_path(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_rehash(c: &mut Criterion) {
+    // DESIGN.md §Resizing quantified: search cost under a directory pinned
+    // at a small bucket count (every lookup walks an O(load-factor) chain)
+    // vs one that doubled its way to load factor ≤ 1 during the preload.
+    // `k_h = 3` makes the shard count track the key count, so the fixed
+    // directory is genuinely overloaded at this N. The harness `rehash`
+    // command produces the key-count sweep CSV; this group tracks
+    // regressions per commit.
+    let keys = random(N, 42);
+    let lat = LatencyConfig::c300_100();
+    let mut group = c.benchmark_group("ablation/rehash");
+    let kh3 = |initial, threshold| HartConfig {
+        hash_key_len: 3,
+        ..HartConfig::with_directory(initial, threshold)
+    };
+    for (label, cfg) in [
+        ("fixed-256", kh3(256, 0)),
+        ("resizing (default threshold)", kh3(256, 1)),
+    ] {
+        let pool = Arc::new(PmemPool::new(pool_config(lat, N)));
+        let tree = Hart::create(pool, cfg).unwrap();
+        for k in &keys {
+            tree.insert(k, &value_for(k)).unwrap();
+        }
+        group.bench_function(BenchmarkId::new("search", label), |b| {
+            b.iter(|| {
+                for k in &keys {
+                    std::hint::black_box(tree.search(k).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -180,6 +217,6 @@ criterion_group! {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
     targets = bench_hash_key_len, bench_alloc_overhead, bench_selective_persistence,
-        bench_read_path
+        bench_read_path, bench_rehash
 }
 criterion_main!(benches);

@@ -23,8 +23,7 @@ fn bench_range(c: &mut Criterion) {
             c.bench_function(&id, |b| {
                 b.iter(|| match kind {
                     TreeKind::FpTree => {
-                        std::hint::black_box(tree.range(&keys[0], &keys[QUERY - 1]).unwrap())
-                            .len()
+                        std::hint::black_box(tree.range(&keys[0], &keys[QUERY - 1]).unwrap()).len()
                     }
                     _ => std::hint::black_box(tree.multi_get(&keys[..QUERY]).unwrap()).len(),
                 })
@@ -36,8 +35,7 @@ fn bench_range(c: &mut Criterion) {
                 let id = format!("range/HART-ordered-scan/{}", lat.label());
                 c.bench_function(&id, |b| {
                     b.iter(|| {
-                        std::hint::black_box(tree.range(&keys[0], &keys[QUERY - 1]).unwrap())
-                            .len()
+                        std::hint::black_box(tree.range(&keys[0], &keys[QUERY - 1]).unwrap()).len()
                     })
                 });
             }

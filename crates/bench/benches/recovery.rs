@@ -34,6 +34,22 @@ fn bench_recovery(c: &mut Criterion) {
             t
         })
     });
+    // Parallel variant (DESIGN.md §6): the live-leaf list is striped
+    // round-robin across workers so consecutively allocated leaves — which
+    // share hot shards — spread across all of them instead of serializing
+    // one worker on a few shard write locks. Needs a multicore host for
+    // wall-clock speedup over `recovery/HART`.
+    for threads in [2usize, 4] {
+        c.bench_function(format!("recovery/HART-parallel{threads}"), |b| {
+            b.iter(|| {
+                let t =
+                    Hart::recover_parallel(Arc::clone(&hart_pool), HartConfig::default(), threads)
+                        .unwrap();
+                assert_eq!(t.len(), N);
+                t
+            })
+        });
+    }
 
     let fp_pool = Arc::new(PmemPool::new(pool_config(lat, N)));
     {

@@ -12,7 +12,9 @@ const N: usize = 50_000;
 
 fn bench_scalability(c: &mut Criterion) {
     let keys = random(N, 42);
-    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     for op in ["insert", "search", "update", "delete"] {
         let mut group = c.benchmark_group(format!("scalability/{op}"));
         group.throughput(Throughput::Elements(N as u64));

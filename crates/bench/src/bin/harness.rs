@@ -45,7 +45,11 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--records" => a.records = args.next().expect("--records N").parse().expect("number"),
             "--dict-records" => {
-                a.dict_records = args.next().expect("--dict-records N").parse().expect("number")
+                a.dict_records = args
+                    .next()
+                    .expect("--dict-records N")
+                    .parse()
+                    .expect("number")
             }
             "--query-n" => a.query_n = args.next().expect("--query-n N").parse().expect("number"),
             "--out" => a.out = PathBuf::from(args.next().expect("--out DIR")),
@@ -91,7 +95,11 @@ type Grid = BTreeMap<(String, String), Vec<(TreeKind, BasicResult)>>;
 fn run_grid(a: &Args) -> Grid {
     let mut grid = Grid::new();
     for w in Workload::ALL {
-        let n = if w == Workload::Dictionary { a.dict_records } else { a.records };
+        let n = if w == Workload::Dictionary {
+            a.dict_records
+        } else {
+            a.records
+        };
         let keys = workload_keys(w, n, a.seed);
         eprintln!("[grid] {} keys for {}", keys.len(), w.label());
         for lat in LatencyConfig::paper_configs() {
@@ -130,7 +138,8 @@ fn emit_op_figure(a: &Args, grid: &Grid, fig: &str, op_name: &str, pick: fn(&Bas
         }
     }
     rep.print();
-    rep.write_csv(&a.out, &format!("{fig}.csv")).expect("write csv");
+    rep.write_csv(&a.out, &format!("{fig}.csv"))
+        .expect("write csv");
 }
 
 fn fig8(a: &Args) {
@@ -154,7 +163,10 @@ fn fig8(a: &Args) {
             })
             .collect();
         for (op, pick) in [
-            ("insert", (|r: &BasicResult| r.insert_total.as_secs_f64()) as fn(&BasicResult) -> f64),
+            (
+                "insert",
+                (|r: &BasicResult| r.insert_total.as_secs_f64()) as fn(&BasicResult) -> f64,
+            ),
             ("search", |r| r.search_total.as_secs_f64()),
             ("update", |r| r.update_total.as_secs_f64()),
             ("delete", |r| r.delete_total.as_secs_f64()),
@@ -207,7 +219,10 @@ fn fig10a(a: &Args) {
     for lat in LatencyConfig::paper_configs() {
         let mut row = vec![lat.label()];
         for kind in TreeKind::ALL {
-            row.push(format!("{:.3}", run_range_query(kind, lat, &keys, a.query_n)));
+            row.push(format!(
+                "{:.3}",
+                run_range_query(kind, lat, &keys, a.query_n)
+            ));
         }
         rep.row(row);
     }
@@ -224,7 +239,8 @@ fn fig10b(a: &Args) {
     for kind in TreeKind::ALL {
         let tree = kind.build(pool_config(LatencyConfig::dram(), keys.len()));
         for k in &keys {
-            tree.insert(k, &hart_workloads::value_for(k)).expect("insert");
+            tree.insert(k, &hart_workloads::value_for(k))
+                .expect("insert");
         }
         let m = tree.memory_stats();
         rep.row(vec![
@@ -240,7 +256,13 @@ fn fig10b(a: &Args) {
 fn fig10c(a: &Args) {
     let mut rep = Report::new(
         "fig10c: build vs recovery (Random @ 300/100) — seconds",
-        &["records", "HART_build", "HART_recovery", "FPTree_build", "FPTree_recovery"],
+        &[
+            "records",
+            "HART_build",
+            "HART_recovery",
+            "FPTree_build",
+            "FPTree_recovery",
+        ],
     );
     for &n in &a.scale {
         let keys = hart_workloads::random(n, a.seed);
@@ -288,8 +310,13 @@ fn readpath(a: &Args) {
         &["threads", "locked", "optimistic", "speedup"],
     );
     for &t in &a.threads {
-        let locked =
-            hart_scalability_cfg(lat, &keys, t, "search", hart::HartConfig::with_locked_reads());
+        let locked = hart_scalability_cfg(
+            lat,
+            &keys,
+            t,
+            "search",
+            hart::HartConfig::with_locked_reads(),
+        );
         let opt = hart_scalability_cfg(lat, &keys, t, "search", hart::HartConfig::default());
         eprintln!("[readpath] threads={t}: locked {locked:.2} vs optimistic {opt:.2} MIOPS");
         rep.row(vec![
@@ -303,19 +330,87 @@ fn readpath(a: &Args) {
     rep.write_csv(&a.out, "readpath.csv").expect("write csv");
 }
 
+/// Directory-resizing ablation (beyond the paper, DESIGN.md §Resizing):
+/// search throughput with the bucket array pinned at the default 4096
+/// (`resize_threshold = 0`) versus load-aware doubling, across key counts.
+/// Runs with `k_h = 3` so the shard count tracks the key count — with the
+/// paper's `k_h = 2` at most ~3.8 k shards exist and the default directory
+/// never needs to grow (which is why resizing changes nothing for the
+/// fig4–10 experiments).
+fn rehash(a: &Args) {
+    let lat = LatencyConfig::c300_100();
+    let mut rep = Report::new(
+        "rehash: search MIOPS, fixed vs resizing directory (k_h=3, Random @ 300/100, 1 thread, best of 3 passes)",
+        &["records", "fixed-4096", "resizing", "speedup", "buckets", "grows"],
+    );
+    let kh3 = |threshold| hart::HartConfig {
+        hash_key_len: 3,
+        resize_threshold: threshold,
+        ..hart::HartConfig::default()
+    };
+    // Preload once per config, then time three full search passes and keep
+    // the fastest: back-to-back passes over an identical tree differ only
+    // by scheduler/cache interference, so best-of suppresses host noise
+    // without favoring either configuration.
+    use hart_kv::PersistentIndex;
+    let run = |cfg: hart::HartConfig, keys: &[hart_kv::Key]| {
+        let pool = std::sync::Arc::new(hart_pm::PmemPool::new(bench::pool_config(lat, keys.len())));
+        let tree = hart::Hart::create(pool, cfg).expect("create");
+        for k in keys {
+            tree.insert(k, &hart_workloads::value_for(k))
+                .expect("preload");
+        }
+        let mut best = f64::MIN_POSITIVE;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            for k in keys {
+                std::hint::black_box(tree.search(k).expect("search"));
+            }
+            best = best.max(keys.len() as f64 / t0.elapsed().as_secs_f64() / 1e6);
+        }
+        (best, tree.hash_bucket_count(), tree.hash_resize_count())
+    };
+    for &n in &a.scale {
+        let keys = hart_workloads::random(n, a.seed);
+        let (fixed, _, _) = run(kh3(0), &keys);
+        let (resizing, buckets, grows) = run(kh3(1), &keys);
+        eprintln!("[rehash] n={n}: fixed {fixed:.2} vs resizing {resizing:.2} MIOPS ({buckets} buckets, {grows} grows)");
+        rep.row(vec![
+            n.to_string(),
+            format!("{fixed:.3}"),
+            format!("{resizing:.3}"),
+            format!("{:.2}", resizing / fixed.max(f64::MIN_POSITIVE)),
+            buckets.to_string(),
+            grows.to_string(),
+        ]);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "rehash.csv").expect("write csv");
+}
+
 /// Extras: the full FAST'17 radix trio (WORT, WOART, ART+CoW) against
 /// HART and FPTree — beyond the paper's figure set (DESIGN.md §6).
 fn extras(a: &Args) {
     let keys = hart_workloads::random(a.records, a.seed);
     let mut rep = Report::new(
         "extras: radix-family comparison incl. WORT — avg time/record (µs)",
-        &["latency", "op", "HART", "WORT", "WOART", "ART+CoW", "FPTree"],
+        &[
+            "latency", "op", "HART", "WORT", "WOART", "ART+CoW", "FPTree",
+        ],
     );
-    for lat in [hart_pm::LatencyConfig::c300_100(), hart_pm::LatencyConfig::c300_300()] {
-        let results: Vec<BasicResult> =
-            TreeKind::EXTENDED.iter().map(|k| run_basic(*k, lat, &keys)).collect();
+    for lat in [
+        hart_pm::LatencyConfig::c300_100(),
+        hart_pm::LatencyConfig::c300_300(),
+    ] {
+        let results: Vec<BasicResult> = TreeKind::EXTENDED
+            .iter()
+            .map(|k| run_basic(*k, lat, &keys))
+            .collect();
         for (op, pick) in [
-            ("insert", (|r: &BasicResult| r.insert_us) as fn(&BasicResult) -> f64),
+            (
+                "insert",
+                (|r: &BasicResult| r.insert_us) as fn(&BasicResult) -> f64,
+            ),
             ("search", |r| r.search_us),
             ("update", |r| r.update_us),
             ("delete", |r| r.delete_us),
@@ -337,7 +432,15 @@ fn profile(a: &Args) {
     let lat = hart_pm::LatencyConfig::c300_300();
     let mut rep = Report::new(
         "profile: PM events per operation (Random @ 300/300, modeled)",
-        &["tree", "op", "persists/op", "pm_lines/op", "misses/op", "allocs/op", "extra_µs/op"],
+        &[
+            "tree",
+            "op",
+            "persists/op",
+            "pm_lines/op",
+            "misses/op",
+            "allocs/op",
+            "extra_µs/op",
+        ],
     );
     for kind in TreeKind::EXTENDED {
         let pr = run_profile(kind, lat, &keys);
@@ -373,9 +476,12 @@ fn tail(a: &Args) {
     );
     for kind in TreeKind::ALL {
         let h = bench::run_basic_histograms(kind, lat, &keys);
-        for (op, hist) in
-            [("insert", &h.insert), ("search", &h.search), ("update", &h.update), ("delete", &h.delete)]
-        {
+        for (op, hist) in [
+            ("insert", &h.insert),
+            ("search", &h.search),
+            ("update", &h.update),
+            ("delete", &h.delete),
+        ] {
             rep.row(vec![
                 kind.label().to_string(),
                 op.to_string(),
@@ -451,6 +557,7 @@ fn main() {
         }
         "fig8" => fig8(&a),
         "readpath" => readpath(&a),
+        "rehash" => rehash(&a),
         "extras" => extras(&a),
         "profile" => profile(&a),
         "tail" => tail(&a),
@@ -472,12 +579,13 @@ fn main() {
             fig10c(&a);
             fig10d(&a);
             readpath(&a);
+            rehash(&a);
             summary(&a, &grid);
         }
         other => {
             eprintln!("unknown command {other}");
             eprintln!(
-                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath extras tail profile all"
+                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras tail profile all"
             );
             std::process::exit(2);
         }

@@ -23,7 +23,12 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { counts: [0; BUCKETS], total: 0, sum_ns: 0, max_ns: 0 }
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
     }
 }
 

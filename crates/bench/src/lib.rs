@@ -18,8 +18,8 @@ use hart_fptree::FpTree;
 use hart_kv::{Key, PersistentIndex, Value};
 use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
 use hart_woart::Woart;
-use hart_wort::Wort;
 use hart_workloads::{value_for, Workload};
+use hart_wort::Wort;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -39,8 +39,12 @@ pub enum TreeKind {
 
 impl TreeKind {
     /// Paper order: HART, WOART, ART+CoW, FPTree.
-    pub const ALL: [TreeKind; 4] =
-        [TreeKind::Hart, TreeKind::Woart, TreeKind::ArtCow, TreeKind::FpTree];
+    pub const ALL: [TreeKind; 4] = [
+        TreeKind::Hart,
+        TreeKind::Woart,
+        TreeKind::ArtCow,
+        TreeKind::FpTree,
+    ];
 
     /// The paper's four plus WORT (the third FAST'17 radix tree).
     pub const EXTENDED: [TreeKind; 5] = [
@@ -68,10 +72,7 @@ impl TreeKind {
     }
 
     /// Build a fresh tree and keep a handle to its pool (event profiling).
-    pub fn build_with_pool(
-        &self,
-        cfg: PoolConfig,
-    ) -> (Box<dyn PersistentIndex>, Arc<PmemPool>) {
+    pub fn build_with_pool(&self, cfg: PoolConfig) -> (Box<dyn PersistentIndex>, Arc<PmemPool>) {
         let pool = Arc::new(PmemPool::new(cfg));
         let p = Arc::clone(&pool);
         let tree: Box<dyn PersistentIndex> = match self {
@@ -173,8 +174,10 @@ pub fn run_mixed(
     workload: &hart_workloads::YcsbWorkload,
 ) -> f64 {
     use hart_workloads::OpKind;
-    let tree =
-        kind.build(pool_config(latency, workload.preload.len() + workload.ops.len()));
+    let tree = kind.build(pool_config(
+        latency,
+        workload.preload.len() + workload.ops.len(),
+    ));
     for (k, v) in &workload.preload {
         tree.insert(k, v).expect("preload");
     }
@@ -200,7 +203,12 @@ pub fn run_mixed(
 /// (Sequential), then `queried` keys are looked up — per-key search for
 /// the ART-based trees, a linked-leaf scan for FPTree, exactly as §IV-D
 /// describes. Returns avg µs per queried record.
-pub fn run_range_query(kind: TreeKind, latency: LatencyConfig, keys: &[Key], query_n: usize) -> f64 {
+pub fn run_range_query(
+    kind: TreeKind,
+    latency: LatencyConfig,
+    keys: &[Key],
+    query_n: usize,
+) -> f64 {
     let tree = kind.build(pool_config(latency, keys.len()));
     for k in keys {
         tree.insert(k, &value_for(k)).expect("insert");
@@ -336,7 +344,10 @@ pub struct BasicProfile {
 /// latency is injected — this is pure event accounting, and it explains
 /// *why* the timed figures look the way they do.
 pub fn run_profile(kind: TreeKind, latency: LatencyConfig, keys: &[Key]) -> BasicProfile {
-    let cfg = PoolConfig { time_mode: TimeMode::Model, ..pool_config(latency, keys.len()) };
+    let cfg = PoolConfig {
+        time_mode: TimeMode::Model,
+        ..pool_config(latency, keys.len())
+    };
     let (tree, pool) = kind.build_with_pool(cfg);
     let values: Vec<Value> = keys.iter().map(value_for).collect();
     let n = keys.len() as f64;
@@ -352,7 +363,8 @@ pub fn run_profile(kind: TreeKind, latency: LatencyConfig, keys: &[Key]) -> Basi
     }
     let snap2 = stats.snapshot();
     for (k, v) in keys.iter().zip(&values) {
-        tree.update(k, &Value::from_u64(v.as_u64() ^ 1)).expect("update");
+        tree.update(k, &Value::from_u64(v.as_u64() ^ 1))
+            .expect("update");
     }
     let snap3 = stats.snapshot();
     for k in keys {
@@ -466,7 +478,10 @@ impl Report {
             println!("{}", s.trim_end());
         };
         line(&self.header);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

@@ -76,6 +76,13 @@ pub struct Options {
     /// (DESIGN.md §Concurrency kill-switch); reads take the per-ART read
     /// lock as in the paper's original protocol.
     pub locked_reads: bool,
+    /// `--initial-buckets`: starting size of the DRAM hash directory
+    /// (power of two).
+    pub initial_buckets: usize,
+    /// `--resize-threshold`: mean entries per bucket above which the
+    /// directory doubles (DESIGN.md §Resizing); `0` pins it at
+    /// `--initial-buckets` forever (kill-switch).
+    pub resize_threshold: usize,
 }
 
 impl Default for Options {
@@ -89,6 +96,8 @@ impl Default for Options {
             workload: "random".into(),
             seed: 42,
             locked_reads: false,
+            initial_buckets: HartConfig::default().initial_buckets,
+            resize_threshold: HartConfig::default().resize_threshold,
         }
     }
 }
@@ -115,11 +124,14 @@ fn pool_cfg(opts: &Options) -> PoolConfig {
 }
 
 fn hart_cfg(opts: &Options) -> HartConfig {
-    if opts.locked_reads {
+    let mut cfg = if opts.locked_reads {
         HartConfig::with_locked_reads()
     } else {
         HartConfig::default()
-    }
+    };
+    cfg.initial_buckets = opts.initial_buckets;
+    cfg.resize_threshold = opts.resize_threshold;
+    cfg
 }
 
 fn load(opts: &Options) -> Result<(Arc<PmemPool>, Hart), CliError> {
@@ -144,7 +156,13 @@ fn parse_value(s: &str) -> Result<Value, CliError> {
 fn show_value(v: &Value) -> String {
     match std::str::from_utf8(v.as_slice()) {
         Ok(s) if s.chars().all(|c| !c.is_control()) => s.to_string(),
-        _ => format!("0x{}", v.as_slice().iter().map(|b| format!("{b:02x}")).collect::<String>()),
+        _ => format!(
+            "0x{}",
+            v.as_slice()
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<String>()
+        ),
     }
 }
 
@@ -158,7 +176,9 @@ pub fn run(args: &[String]) -> CliResult {
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| {
-            it.next().cloned().ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
         };
         match a.as_str() {
             "--latency" => opts.latency = parse_latency(&grab("--latency")?)?,
@@ -184,6 +204,16 @@ pub fn run(args: &[String]) -> CliResult {
             }
             "--workload" => opts.workload = grab("--workload")?,
             "--locked-reads" => opts.locked_reads = true,
+            "--initial-buckets" => {
+                opts.initial_buckets = grab("--initial-buckets")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--initial-buckets: not a number".into()))?
+            }
+            "--resize-threshold" => {
+                opts.resize_threshold = grab("--resize-threshold")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--resize-threshold: not a number".into()))?
+            }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag {flag}")));
             }
@@ -208,12 +238,16 @@ pub fn run(args: &[String]) -> CliResult {
         "load" => cmd_load(&opts),
         "stats" => cmd_stats(&opts),
         "fsck" => cmd_fsck(&opts),
-        other => Err(CliError::Usage(format!("unknown command {other}\n{}", usage()))),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other}\n{}",
+            usage()
+        ))),
     }
 }
 
 fn usage() -> String {
     "hart-cli <command> <image> [args] [--latency 300/300] [--size-mb N] [--locked-reads]\n\
+     \x20                                  [--initial-buckets N] [--resize-threshold N (0 = fixed)]\n\
      commands:\n\
      \x20 create <image> [--size-mb N]        format a fresh HART pool image\n\
      \x20 put    <image> <key> <value>        insert or update one record\n\
@@ -232,7 +266,11 @@ fn cmd_create(opts: &Options) -> CliResult {
     let hart = Hart::create(Arc::clone(&pool), hart_cfg(opts))?;
     drop(hart);
     save(&pool, &opts.image)?;
-    Ok(format!("created {} ({} MiB)", opts.image.display(), opts.size_mb))
+    Ok(format!(
+        "created {} ({} MiB)",
+        opts.image.display(),
+        opts.size_mb
+    ))
 }
 
 fn cmd_put(opts: &Options, args: &[String]) -> CliResult {
@@ -265,7 +303,11 @@ fn cmd_del(opts: &Options, args: &[String]) -> CliResult {
     let removed = hart.remove(&parse_key(key)?)?;
     drop(hart);
     save(&pool, &opts.image)?;
-    Ok(if removed { format!("deleted {key}") } else { format!("(not found: {key})") })
+    Ok(if removed {
+        format!("deleted {key}")
+    } else {
+        format!("(not found: {key})")
+    })
 }
 
 fn cmd_scan(opts: &Options, args: &[String]) -> CliResult {
@@ -320,9 +362,18 @@ fn cmd_stats(opts: &Options) -> CliResult {
     writeln!(out, "records : {}", hart.len()).unwrap();
     writeln!(out, "ARTs    : {}", hart.art_count()).unwrap();
     writeln!(out, "memory  : {m}").unwrap();
-    writeln!(out, "alloc   : leaves={} v8={} v16={}", a.live[0], a.live[1], a.live[2]).unwrap();
-    write!(out, "chunks  : leaf={} v8={} v16={}", a.chunks[0], a.chunks[1], a.chunks[2])
-        .unwrap();
+    writeln!(
+        out,
+        "alloc   : leaves={} v8={} v16={}",
+        a.live[0], a.live[1], a.live[2]
+    )
+    .unwrap();
+    write!(
+        out,
+        "chunks  : leaf={} v8={} v16={}",
+        a.chunks[0], a.chunks[1], a.chunks[2]
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -348,7 +399,11 @@ fn cmd_fsck(opts: &Options) -> CliResult {
 /// binary; byte buffers in tests). Saves the image on `exit`.
 pub fn repl(opts: &Options, input: impl BufRead, mut output: impl Write) -> Result<(), CliError> {
     let (pool, hart) = load(opts)?;
-    writeln!(output, "hart-cli repl — {} records; commands: put get del scan stats fsck exit", hart.len())?;
+    writeln!(
+        output,
+        "hart-cli repl — {} records; commands: put get del scan stats fsck exit",
+        hart.len()
+    )?;
     for line in input.lines() {
         let line = line?;
         let words: Vec<&str> = line.split_whitespace().collect();
@@ -426,9 +481,15 @@ mod tests {
         runv(&["put", img_s, "user:1", "alice"]).unwrap();
         runv(&["put", img_s, "user:2", "bob"]).unwrap();
         assert_eq!(runv(&["get", img_s, "user:1"]).unwrap(), "alice");
-        assert_eq!(runv(&["get", img_s, "user:3"]).unwrap(), "(not found: user:3)");
+        assert_eq!(
+            runv(&["get", img_s, "user:3"]).unwrap(),
+            "(not found: user:3)"
+        );
         assert_eq!(runv(&["del", img_s, "user:1"]).unwrap(), "deleted user:1");
-        assert_eq!(runv(&["get", img_s, "user:1"]).unwrap(), "(not found: user:1)");
+        assert_eq!(
+            runv(&["get", img_s, "user:1"]).unwrap(),
+            "(not found: user:1)"
+        );
         assert_eq!(runv(&["get", img_s, "user:2"]).unwrap(), "bob");
     }
 
@@ -464,11 +525,17 @@ mod tests {
     #[test]
     fn usage_errors_are_reported() {
         assert!(matches!(runv(&["put"]), Err(CliError::Usage(_))));
-        assert!(matches!(runv(&["frobnicate", "x.img"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            runv(&["frobnicate", "x.img"]),
+            Err(CliError::Usage(_))
+        ));
         let img = tmp("usage.img");
         let img_s = img.to_str().unwrap();
         runv(&["create", img_s, "--size-mb", "16"]).unwrap();
-        assert!(matches!(runv(&["put", img_s, "only-key"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            runv(&["put", img_s, "only-key"]),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             runv(&["get", img_s, "key", "--latency", "9000/1"]),
             Err(CliError::Usage(_))
@@ -487,8 +554,57 @@ mod tests {
     }
 
     #[test]
+    fn directory_flags_round_trip() {
+        let img = tmp("dirflags.img");
+        let img_s = img.to_str().unwrap();
+        // Tiny fixed directory: everything still works, just with chains.
+        runv(&[
+            "create",
+            img_s,
+            "--size-mb",
+            "16",
+            "--initial-buckets",
+            "8",
+            "--resize-threshold",
+            "0",
+        ])
+        .unwrap();
+        for k in ["a1", "b2", "c3"] {
+            runv(&[
+                "put",
+                img_s,
+                k,
+                "v",
+                "--initial-buckets",
+                "8",
+                "--resize-threshold",
+                "0",
+            ])
+            .unwrap();
+        }
+        assert_eq!(
+            runv(&["get", img_s, "b2", "--initial-buckets", "8"]).unwrap(),
+            "v"
+        );
+        // The directory is DRAM-only, so images round-trip across knobs.
+        assert_eq!(runv(&["get", img_s, "b2"]).unwrap(), "v");
+        // A non-power-of-two size is rejected by config validation.
+        assert!(matches!(
+            runv(&["get", img_s, "b2", "--initial-buckets", "100"]),
+            Err(CliError::Index(_))
+        ));
+        assert!(matches!(
+            runv(&["get", img_s, "b2", "--resize-threshold", "zero"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn get_on_missing_image_fails() {
-        assert!(matches!(runv(&["get", "/nonexistent/nope.img", "k"]), Err(CliError::Io(_))));
+        assert!(matches!(
+            runv(&["get", "/nonexistent/nope.img", "k"]),
+            Err(CliError::Io(_))
+        ));
     }
 
     #[test]
@@ -496,9 +612,13 @@ mod tests {
         let img = tmp("repl.img");
         let img_s = img.to_str().unwrap();
         runv(&["create", img_s, "--size-mb", "16"]).unwrap();
-        let script = "put k1 hello\nput k2 world\nget k1\nscan k1 k2\ndel k1\nget k1\nstats\nexit\n";
+        let script =
+            "put k1 hello\nput k2 world\nget k1\nscan k1 k2\ndel k1\nget k1\nstats\nexit\n";
         let mut out = Vec::new();
-        let opts = Options { image: img.clone(), ..Options::default() };
+        let opts = Options {
+            image: img.clone(),
+            ..Options::default()
+        };
         repl(&opts, script.as_bytes(), &mut out).unwrap();
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("put k1"));

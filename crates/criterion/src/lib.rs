@@ -50,12 +50,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// Just the parameter (the group supplies the function name).
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -123,7 +127,8 @@ impl Bencher<'_> {
             for _ in 0..iters_per_sample {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
         }
     }
 
@@ -153,7 +158,8 @@ impl Bencher<'_> {
                 black_box(routine(input));
                 timed += start.elapsed();
             }
-            self.samples.push(timed.as_secs_f64() / iters_per_sample as f64);
+            self.samples
+                .push(timed.as_secs_f64() / iters_per_sample as f64);
         }
     }
 }
@@ -241,7 +247,10 @@ impl Criterion {
         mut f: F,
     ) -> &mut Self {
         let label = id.into_label();
-        let mut b = Bencher { cfg: self, samples: Vec::new() };
+        let mut b = Bencher {
+            cfg: self,
+            samples: Vec::new(),
+        };
         f(&mut b);
         report(&label, &b.samples, None);
         self
@@ -249,7 +258,11 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
     }
 
     /// Compat no-op: the shim prints as it goes.
@@ -277,7 +290,10 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_label());
-        let mut b = Bencher { cfg: self.parent, samples: Vec::new() };
+        let mut b = Bencher {
+            cfg: self.parent,
+            samples: Vec::new(),
+        };
         f(&mut b);
         report(&label, &b.samples, self.throughput);
         self
@@ -291,7 +307,10 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_label());
-        let mut b = Bencher { cfg: self.parent, samples: Vec::new() };
+        let mut b = Bencher {
+            cfg: self.parent,
+            samples: Vec::new(),
+        };
         f(&mut b, input);
         report(&label, &b.samples, self.throughput);
         self

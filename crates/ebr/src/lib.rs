@@ -143,7 +143,10 @@ pub fn pin() -> Option<Guard> {
             }
         }
         h.depth.set(depth + 1);
-        Some(Guard { slot: idx, _not_send: PhantomData })
+        Some(Guard {
+            slot: idx,
+            _not_send: PhantomData,
+        })
     })
 }
 
@@ -153,28 +156,42 @@ pub fn pin() -> Option<Guard> {
 /// section's version bump, so optimistic readers either revalidate away or
 /// are pinned and keep the memory alive).
 pub fn defer_drop<T: Send + 'static>(garbage: T) {
-    let epoch = EPOCH.load(Ordering::SeqCst);
-    let mut bag = GARBAGE.lock().unwrap();
-    bag.push((epoch, Box::new(garbage)));
-    if bag.len() >= COLLECT_THRESHOLD {
-        collect_locked(&mut bag);
+    let mut expired = Vec::new();
+    {
+        let epoch = EPOCH.load(Ordering::SeqCst);
+        let mut bag = GARBAGE.lock().unwrap();
+        bag.push((epoch, Box::new(garbage)));
+        if bag.len() >= COLLECT_THRESHOLD {
+            expired = collect_locked(&mut bag);
+        }
     }
+    drop(expired); // destructors run after the bag lock is released
 }
 
 /// Try to advance the epoch and free sufficiently old garbage.
 /// Safe to call from any thread at any time; drops nothing that a pinned
 /// reader could still reach.
 pub fn try_collect() {
-    let mut bag = GARBAGE.lock().unwrap();
-    collect_locked(&mut bag);
+    let expired = {
+        let mut bag = GARBAGE.lock().unwrap();
+        collect_locked(&mut bag)
+    };
+    drop(expired);
 }
 
-fn collect_locked(bag: &mut Vec<(u64, Box<dyn Send>)>) {
+/// Split off the expired garbage under the bag lock and *return* it, so the
+/// caller can run the destructors after unlocking: retired payloads can be
+/// whole directory tables or ART subtrees, and running arbitrary `Drop` code
+/// under the process-wide bag mutex would stall every concurrent retire
+/// (directory migration retires one entry table per drained bucket, in
+/// bursts).
+fn collect_locked(bag: &mut Vec<(u64, Box<dyn Send>)>) -> Vec<(u64, Box<dyn Send>)> {
     let epoch = EPOCH.load(Ordering::SeqCst);
     // Advance only if every pinned slot has observed the current epoch.
-    let all_current = SLOTS
-        .iter()
-        .all(|s| matches!(s.0.load(Ordering::SeqCst), SLOT_FREE | SLOT_IDLE) || s.0.load(Ordering::SeqCst) == epoch);
+    let all_current = SLOTS.iter().all(|s| {
+        matches!(s.0.load(Ordering::SeqCst), SLOT_FREE | SLOT_IDLE)
+            || s.0.load(Ordering::SeqCst) == epoch
+    });
     let epoch = if all_current {
         match EPOCH.compare_exchange(epoch, epoch + 1, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(_) => epoch + 1,
@@ -183,7 +200,16 @@ fn collect_locked(bag: &mut Vec<(u64, Box<dyn Send>)>) {
     } else {
         epoch
     };
-    bag.retain(|(tag, _)| tag + FREE_LAG > epoch);
+    let mut expired = Vec::new();
+    bag.retain_mut(|entry| {
+        if entry.0 + FREE_LAG > epoch {
+            true
+        } else {
+            expired.push((entry.0, std::mem::replace(&mut entry.1, Box::new(()))));
+            false
+        }
+    });
+    expired
 }
 
 /// Number of retired-but-not-yet-freed allocations. Test observability only.
@@ -235,6 +261,25 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 0, "freed under an active pin");
         drop(guard);
         flush_for_tests();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    /// Destructors run outside the bag lock, so a retired object whose
+    /// `Drop` retires *more* garbage (an ART subtree dropping its children,
+    /// a directory table dropping shards) must not deadlock on the
+    /// non-reentrant bag mutex.
+    #[test]
+    fn destructor_may_retire_more_garbage() {
+        struct Cascading(Arc<AtomicUsize>);
+        impl Drop for Cascading {
+            fn drop(&mut self) {
+                defer_drop(DropCounter(self.0.clone()));
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        defer_drop(Cascading(drops.clone()));
+        flush_for_tests();
+        flush_for_tests(); // second pass drains the cascade
         assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 

@@ -93,7 +93,12 @@ impl Geometry {
         let obj_size = class.obj_size();
         let chunk_bytes = (CHUNK_DATA_OFF + OBJS_PER_CHUNK * obj_size) as usize;
         let align = (chunk_bytes as u64).next_power_of_two();
-        Geometry { class, obj_size, chunk_bytes, align }
+        Geometry {
+            class,
+            obj_size,
+            chunk_bytes,
+            align,
+        }
     }
 
     /// Pointer to object `idx` within `chunk`.
@@ -224,7 +229,10 @@ mod tests {
             let g = Geometry::of(class);
             assert!(g.align >= g.chunk_bytes as u64, "{class:?}");
             assert!(g.align.is_power_of_two());
-            assert_eq!(g.chunk_bytes as u64, CHUNK_DATA_OFF + OBJS_PER_CHUNK * g.obj_size);
+            assert_eq!(
+                g.chunk_bytes as u64,
+                CHUNK_DATA_OFF + OBJS_PER_CHUNK * g.obj_size
+            );
         }
         // Spot-check the paper's leaf geometry: 16 + 56*40 = 2256 B.
         assert_eq!(Geometry::of(ObjClass::Leaf).chunk_bytes, 2256);

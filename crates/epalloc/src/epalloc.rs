@@ -2,13 +2,11 @@
 //! and the recovery-side log replay.
 
 use crate::chunk::{ChunkHeader, Geometry, ObjClass, OBJS_PER_CHUNK};
-use crate::leaf::{
-    leaf_read_pvalue, leaf_read_val_len, leaf_write_pvalue, persist_leaf_pvalue,
-};
+use crate::leaf::{leaf_read_pvalue, leaf_read_val_len, leaf_write_pvalue, persist_leaf_pvalue};
 use crate::logs::{RlogGuard, SlotPool, UlogGuard};
 use crate::root::{
-    Root, UlogMeta, N_RLOGS, N_ULOGS, RLOG_CLASS, RLOG_PCURRENT, RLOG_SIZE, ULOG_META,
-    ULOG_PLEAF, ULOG_PNEWV, ULOG_POLDV, ULOG_SIZE,
+    Root, UlogMeta, N_RLOGS, N_ULOGS, RLOG_CLASS, RLOG_PCURRENT, RLOG_SIZE, ULOG_META, ULOG_PLEAF,
+    ULOG_PNEWV, ULOG_POLDV, ULOG_SIZE,
 };
 use hart_kv::{Error, Result};
 use hart_pm::{PmPtr, PmemPool};
@@ -649,10 +647,16 @@ mod tests {
         let a = fresh();
         let p = a.alloc(ObjClass::Value8).unwrap();
         a.commit(p, ObjClass::Value8);
-        assert!(!a.recycle_containing(p, ObjClass::Value8), "live object present");
+        assert!(
+            !a.recycle_containing(p, ObjClass::Value8),
+            "live object present"
+        );
         a.retire(p, ObjClass::Value8);
         let q = a.alloc(ObjClass::Value8).unwrap(); // reserved, uncommitted
-        assert!(!a.recycle_containing(q, ObjClass::Value8), "reservation present");
+        assert!(
+            !a.recycle_containing(q, ObjClass::Value8),
+            "reservation present"
+        );
     }
 
     #[test]
@@ -702,7 +706,11 @@ mod tests {
         let a = EPallocator::create(Arc::clone(&pool));
         let mut committed = Vec::new();
         for i in 0..100 {
-            let class = if i % 2 == 0 { ObjClass::Value8 } else { ObjClass::Leaf };
+            let class = if i % 2 == 0 {
+                ObjClass::Value8
+            } else {
+                ObjClass::Leaf
+            };
             let p = a.alloc(class).unwrap();
             a.commit(p, class);
             committed.push((p, class));
@@ -750,14 +758,21 @@ mod tests {
         leaf_write_pvalue(&pool, leaf, val, 8);
         persist_leaf_pvalue(&pool, leaf);
         a.commit(val, ObjClass::Value8); // value bit set
-        // ... crash before the leaf bit is set.
+                                         // ... crash before the leaf bit is set.
         drop(a);
         pool.simulate_crash();
         let b = EPallocator::open(Arc::clone(&pool)).unwrap();
         // The recovery sweep must have freed the orphaned value.
-        assert_eq!(b.live_count(ObjClass::Value8), 0, "orphaned value must be scrubbed");
+        assert_eq!(
+            b.live_count(ObjClass::Value8),
+            0,
+            "orphaned value must be scrubbed"
+        );
         assert_eq!(b.live_count(ObjClass::Leaf), 0);
-        assert!(leaf_read_pvalue(&pool, leaf).is_null(), "p_value must be nulled");
+        assert!(
+            leaf_read_pvalue(&pool, leaf).is_null(),
+            "p_value must be nulled"
+        );
     }
 
     #[test]
@@ -814,8 +829,10 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<u64> =
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

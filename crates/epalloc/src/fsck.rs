@@ -80,13 +80,16 @@ impl EPallocator {
             self.for_each_chunk(class, |chunk, hdr| {
                 rep.chunks[class.idx()] += 1;
                 if !seen.insert(chunk.offset()) {
-                    rep.errors.push(format!("{class:?}: cycle at chunk {chunk:?}"));
+                    rep.errors
+                        .push(format!("{class:?}: cycle at chunk {chunk:?}"));
                 }
                 if chunk.offset() % geo.align != 0 {
-                    rep.errors.push(format!("{class:?}: misaligned chunk {chunk:?}"));
+                    rep.errors
+                        .push(format!("{class:?}: misaligned chunk {chunk:?}"));
                 }
                 if chunk.offset() + geo.chunk_bytes as u64 > cap {
-                    rep.errors.push(format!("{class:?}: chunk {chunk:?} out of bounds"));
+                    rep.errors
+                        .push(format!("{class:?}: chunk {chunk:?} out of bounds"));
                 }
                 check_header(class, chunk, hdr, &mut rep);
                 let mut bits = hdr.bitmap();
@@ -98,7 +101,8 @@ impl EPallocator {
             });
             // Guard against unbounded/corrupt lists.
             if rep.chunks[class.idx()] > (cap / geo.align.max(1)) as usize + 1 {
-                rep.errors.push(format!("{class:?}: chunk list longer than the pool allows"));
+                rep.errors
+                    .push(format!("{class:?}: chunk list longer than the pool allows"));
             }
             rep.live[class.idx()] = live_objects[class.idx()].len() as u64;
         }
@@ -108,24 +112,29 @@ impl EPallocator {
         for &leaf in &live_objects[ObjClass::Leaf.idx()] {
             let key = leaf_read_key(pool, leaf);
             if key.is_empty() || key.len() > MAX_KEY_LEN {
-                rep.errors.push(format!("leaf {leaf:?}: invalid key length {}", key.len()));
+                rep.errors
+                    .push(format!("leaf {leaf:?}: invalid key length {}", key.len()));
             }
             if key.as_slice().contains(&0) {
-                rep.errors.push(format!("leaf {leaf:?}: NUL byte inside key"));
+                rep.errors
+                    .push(format!("leaf {leaf:?}: NUL byte inside key"));
             }
             let pv = leaf_read_pvalue(pool, leaf);
             if pv.is_null() {
-                rep.errors.push(format!("leaf {leaf:?}: live leaf with null p_value"));
+                rep.errors
+                    .push(format!("leaf {leaf:?}: live leaf with null p_value"));
                 continue;
             }
             let vlen = leaf_read_val_len(pool, leaf);
             if vlen > 16 {
-                rep.errors.push(format!("leaf {leaf:?}: value length {vlen} out of range"));
+                rep.errors
+                    .push(format!("leaf {leaf:?}: value length {vlen} out of range"));
             }
             let vclass = ObjClass::for_value_len(vlen);
             let vgeo = Geometry::of(vclass);
             if pv.offset() + vgeo.obj_size > cap {
-                rep.errors.push(format!("leaf {leaf:?}: p_value {pv:?} out of bounds"));
+                rep.errors
+                    .push(format!("leaf {leaf:?}: p_value {pv:?} out of bounds"));
                 continue;
             }
             let (vchunk, _) = vgeo.locate(pv);
@@ -137,7 +146,8 @@ impl EPallocator {
                 continue;
             }
             if !self.is_live(pv, vclass) {
-                rep.errors.push(format!("leaf {leaf:?}: value {pv:?} has no committed bit"));
+                rep.errors
+                    .push(format!("leaf {leaf:?}: value {pv:?} has no committed bit"));
             }
             if let Some(prev) = value_owner.insert(pv.offset(), leaf) {
                 rep.errors.push(format!(
@@ -151,7 +161,8 @@ impl EPallocator {
         for class in [ObjClass::Value8, ObjClass::Value16] {
             for &v in &live_objects[class.idx()] {
                 if !value_owner.contains_key(&v.offset()) {
-                    rep.errors.push(format!("{class:?} object {v:?} is leaked (no owner)"));
+                    rep.errors
+                        .push(format!("{class:?} object {v:?} is leaked (no owner)"));
                 }
             }
         }
@@ -249,7 +260,10 @@ mod tests {
         persist_leaf_key(&pool, leaf);
         alloc.commit(leaf, ObjClass::Leaf); // committed without a value
         let rep = alloc.verify();
-        assert!(rep.errors.iter().any(|e| e.contains("null p_value")), "{rep}");
+        assert!(
+            rep.errors.iter().any(|e| e.contains("null p_value")),
+            "{rep}"
+        );
     }
 
     #[test]
@@ -278,6 +292,9 @@ mod tests {
         pool.write(chunk, &(hdr.0 | (0b01 << 62)));
         pool.persist(chunk, 8);
         let rep = alloc.verify();
-        assert!(rep.errors.iter().any(|e| e.contains("full indicator")), "{rep}");
+        assert!(
+            rep.errors.iter().any(|e| e.contains("full indicator")),
+            "{rep}"
+        );
     }
 }

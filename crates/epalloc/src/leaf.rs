@@ -57,7 +57,10 @@ pub fn leaf_write_pvalue(pool: &PmemPool, leaf: PmPtr, p_value: PmPtr, val_len: 
 
 /// Persist the `val_len + p_value` region (one `persistent()` call).
 pub fn persist_leaf_pvalue(pool: &PmemPool, leaf: PmPtr) {
-    pool.persist(leaf.add(VAL_LEN_OFF), (LEAF_SIZE as u64 - VAL_LEN_OFF) as usize);
+    pool.persist(
+        leaf.add(VAL_LEN_OFF),
+        (LEAF_SIZE as u64 - VAL_LEN_OFF) as usize,
+    );
 }
 
 /// Read the value pointer.
@@ -78,7 +81,10 @@ mod tests {
     #[test]
     fn layout_constants() {
         assert_eq!(LEAF_SIZE, 40);
-        assert!(P_VALUE_OFF.is_multiple_of(8), "p_value must be 8-byte aligned for atomic stores");
+        assert!(
+            P_VALUE_OFF.is_multiple_of(8),
+            "p_value must be 8-byte aligned for atomic stores"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub(crate) struct SlotPool {
 
 impl SlotPool {
     pub fn new(n: usize) -> SlotPool {
-        SlotPool { free: Mutex::new((0..n).collect()), cv: Condvar::new() }
+        SlotPool {
+            free: Mutex::new((0..n).collect()),
+            cv: Condvar::new(),
+        }
     }
 
     /// Take a slot, waiting if every slot is in use (bounded by the number
@@ -58,7 +61,13 @@ pub struct UlogGuard<'a> {
 impl<'a> UlogGuard<'a> {
     pub(crate) fn new(pool: &'a PmemPool, root: Root, slots: &'a SlotPool) -> UlogGuard<'a> {
         let slot = slots.acquire();
-        UlogGuard { pool, root, slots, slot, finished: false }
+        UlogGuard {
+            pool,
+            root,
+            slots,
+            slot,
+            finished: false,
+        }
     }
 
     #[inline]
@@ -96,8 +105,10 @@ impl<'a> UlogGuard<'a> {
             new_class: new_class.idx() as u8,
             old_class: old_class.idx() as u8,
         };
-        self.pool.write_u64_atomic(self.base().add(ULOG_META), meta.pack());
-        self.pool.write_u64_atomic(self.base().add(ULOG_PNEWV), new_value.offset());
+        self.pool
+            .write_u64_atomic(self.base().add(ULOG_META), meta.pack());
+        self.pool
+            .write_u64_atomic(self.base().add(ULOG_PNEWV), new_value.offset());
         self.pool.persist(self.base().add(ULOG_PNEWV), 16);
     }
 
@@ -129,7 +140,12 @@ pub struct RlogGuard<'a> {
 impl<'a> RlogGuard<'a> {
     pub(crate) fn new(pool: &'a PmemPool, root: Root, slots: &'a SlotPool) -> RlogGuard<'a> {
         let slot = slots.acquire();
-        RlogGuard { pool, root, slots, slot }
+        RlogGuard {
+            pool,
+            root,
+            slots,
+            slot,
+        }
     }
 
     #[inline]
@@ -178,7 +194,14 @@ mod tests {
         let a = p.acquire();
         let b = p.acquire();
         let c = p.acquire();
-        assert_eq!({ let mut v = vec![a, b, c]; v.sort_unstable(); v }, vec![0, 1, 2]);
+        assert_eq!(
+            {
+                let mut v = vec![a, b, c];
+                v.sort_unstable();
+                v
+            },
+            vec![0, 1, 2]
+        );
         p.release(b);
         assert_eq!(p.acquire(), b);
     }

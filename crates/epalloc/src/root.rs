@@ -47,7 +47,9 @@ pub(crate) struct Root {
 impl Root {
     /// Claim the root area of `pool`.
     pub fn locate(pool: &PmemPool) -> Root {
-        Root { base: pool.root_area(ROOT_SIZE) }
+        Root {
+            base: pool.root_area(ROOT_SIZE),
+        }
     }
 
     /// Format a fresh root page (magic last, so a crash mid-format is
@@ -134,7 +136,10 @@ mod tests {
     #[test]
     fn format_then_check() {
         let pool = PmemPool::new(PoolConfig::test_small());
-        assert!(Root::check(&pool).is_err(), "unformatted pool must not validate");
+        assert!(
+            Root::check(&pool).is_err(),
+            "unformatted pool must not validate"
+        );
         Root::format(&pool);
         assert!(Root::check(&pool).is_ok());
     }
@@ -161,7 +166,11 @@ mod tests {
 
     #[test]
     fn meta_roundtrip() {
-        let m = UlogMeta { new_len: 16, new_class: 2, old_class: 1 };
+        let m = UlogMeta {
+            new_len: 16,
+            new_class: 2,
+            old_class: 1,
+        };
         assert_eq!(UlogMeta::unpack(m.pack()), m);
     }
 }

@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
-    Alloc(u8),   // class index 0..3
-    Commit(u8),  // commit the i-th oldest reserved object (mod live)
+    Alloc(u8),  // class index 0..3
+    Commit(u8), // commit the i-th oldest reserved object (mod live)
     Abort(u8),
     Retire(u8),  // retire the i-th oldest committed object
     Recycle(u8), // try recycling the chunk of a committed/retired object

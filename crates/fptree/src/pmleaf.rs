@@ -43,7 +43,8 @@ pub fn fingerprint(key: &[u8]) -> u8 {
 
 /// Allocate a zeroed leaf.
 pub(crate) fn alloc_leaf(pool: &PmemPool) -> Result<PmPtr> {
-    pool.alloc_raw(LEAF_BYTES, LEAF_ALIGN).ok_or(Error::PmExhausted)
+    pool.alloc_raw(LEAF_BYTES, LEAF_ALIGN)
+        .ok_or(Error::PmExhausted)
 }
 
 /// Free a leaf.
@@ -114,7 +115,10 @@ pub(crate) fn entry_key(pool: &PmemPool, leaf: PmPtr, slot: usize) -> InlineKey 
 
 pub(crate) fn entry_pvalue(pool: &PmemPool, leaf: PmPtr, slot: usize) -> (PmPtr, usize) {
     let e = entry_ptr(leaf, slot);
-    (hart_epalloc::leaf_read_pvalue(pool, e), hart_epalloc::leaf_read_val_len(pool, e))
+    (
+        hart_epalloc::leaf_read_pvalue(pool, e),
+        hart_epalloc::leaf_read_val_len(pool, e),
+    )
 }
 
 pub(crate) fn set_entry_pvalue(
@@ -169,7 +173,11 @@ mod tests {
         for i in 0..256u32 {
             seen.insert(fingerprint(format!("key{i}").as_bytes()));
         }
-        assert!(seen.len() > 100, "fingerprints too collision-prone: {}", seen.len());
+        assert!(
+            seen.len() > 100,
+            "fingerprints too collision-prone: {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ struct Inner {
 
 impl Inner {
     fn find_leaf(&self, key: &[u8]) -> Option<PmPtr> {
-        self.map.range(..=InlineKey::from_slice(key)).next_back().map(|(_, &l)| l)
+        self.map
+            .range(..=InlineKey::from_slice(key))
+            .next_back()
+            .map(|(_, &l)| l)
     }
 }
 
@@ -44,7 +47,9 @@ impl FpTree {
             head_slot: base.add(8),
             slog: base.add(16),
             pool,
-            inner: RwLock::new(Inner { map: BTreeMap::new() }),
+            inner: RwLock::new(Inner {
+                map: BTreeMap::new(),
+            }),
             len: AtomicUsize::new(0),
         })
     }
@@ -63,7 +68,9 @@ impl FpTree {
             head_slot: base.add(8),
             slog: base.add(16),
             pool,
-            inner: RwLock::new(Inner { map: BTreeMap::new() }),
+            inner: RwLock::new(Inner {
+                map: BTreeMap::new(),
+            }),
             len: AtomicUsize::new(0),
         };
         t.replay_split_log();
@@ -101,9 +108,7 @@ impl FpTree {
             if let Some(split_key) = min_live_key(pool, new) {
                 let mut bm = bitmap(pool, old);
                 for slot in 0..LEAF_CAP {
-                    if bm & (1 << slot) != 0
-                        && entry_key(pool, old, slot) >= split_key
-                    {
+                    if bm & (1 << slot) != 0 && entry_key(pool, old, slot) >= split_key {
                         bm &= !(1 << slot);
                     }
                 }
@@ -198,7 +203,10 @@ impl FpTree {
             new_bm |= 1 << i;
         }
         pool.write(new.add(super::pmleaf::OFF_BITMAP), &new_bm);
-        pool.write(new.add(super::pmleaf::OFF_PNEXT), &pnext(pool, leaf).offset());
+        pool.write(
+            new.add(super::pmleaf::OFF_PNEXT),
+            &pnext(pool, leaf).offset(),
+        );
         pool.persist(new, LEAF_BYTES); // whole leaf, one persistent() call
 
         // Micro-log the split, then link and truncate.
@@ -232,7 +240,12 @@ impl FpTree {
             pool.persist(self.head_slot, 8);
             inner.map.remove(&sep);
             if !next.is_null() {
-                let next_sep = *inner.map.iter().next().expect("next leaf has a separator").0;
+                let next_sep = *inner
+                    .map
+                    .iter()
+                    .next()
+                    .expect("next leaf has a separator")
+                    .0;
                 let ptr = inner.map.remove(&next_sep).expect("present");
                 debug_assert_eq!(ptr, next);
                 inner.map.insert(InlineKey::EMPTY, ptr);
@@ -439,7 +452,10 @@ mod tests {
         assert!(t.inner.read().map.len() >= 5, "splits must create leaves");
         for i in 0..n as u64 {
             assert_eq!(
-                t.search(&Key::from_u64_base62(i, 6)).unwrap().unwrap().as_u64(),
+                t.search(&Key::from_u64_base62(i, 6))
+                    .unwrap()
+                    .unwrap()
+                    .as_u64(),
                 i,
                 "key {i}"
             );
@@ -453,8 +469,13 @@ mod tests {
         t.insert(&k("key"), &v(2)).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.search(&k("key")).unwrap().unwrap().as_u64(), 2);
-        assert!(t.update(&k("key"), &Value::new(b"0123456789abcdef").unwrap()).unwrap());
-        assert_eq!(t.search(&k("key")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert!(t
+            .update(&k("key"), &Value::new(b"0123456789abcdef").unwrap())
+            .unwrap());
+        assert_eq!(
+            t.search(&k("key")).unwrap().unwrap().as_slice(),
+            b"0123456789abcdef"
+        );
         assert!(!t.update(&k("missing"), &v(0)).unwrap());
     }
 
@@ -464,7 +485,9 @@ mod tests {
         let mut model: Model<String, u64> = Model::new();
         let mut state = 0xfeed_f00du64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..4000 {
@@ -554,7 +577,13 @@ mod tests {
         let r = FpTree::recover(Arc::clone(&pool)).unwrap();
         assert_eq!(r.len(), LEAF_CAP, "no records may be lost or duplicated");
         for i in 0..LEAF_CAP as u64 {
-            assert_eq!(r.search(&Key::from_u64_base62(i, 6)).unwrap().unwrap().as_u64(), i);
+            assert_eq!(
+                r.search(&Key::from_u64_base62(i, 6))
+                    .unwrap()
+                    .unwrap()
+                    .as_u64(),
+                i
+            );
         }
     }
 
@@ -583,7 +612,10 @@ mod tests {
             t.insert(&Key::from_u64_base62(i, 6), &v(i)).unwrap();
         }
         let m = t.memory_stats();
-        assert!(m.pm_bytes > m.dram_bytes, "leaves dominate; inner index is small");
+        assert!(
+            m.pm_bytes > m.dram_bytes,
+            "leaves dominate; inner index is small"
+        );
         assert!(m.dram_bytes > 0);
     }
 }

@@ -9,10 +9,19 @@ pub struct HartConfig {
     /// experiments: "For HART, the hash key length is set to 2". `0` turns
     /// HART into a single ART behind one lock (useful for ablations).
     pub hash_key_len: usize,
-    /// Number of buckets in the DRAM hash directory. With `k_h = 2` over
-    /// the paper's 62-character alphabet at most 62² ≈ 3.8 k distinct hash
-    /// keys exist, so the default 4096 keeps chains short.
-    pub hash_buckets: usize,
+    /// Initial number of buckets in the DRAM hash directory. With
+    /// `k_h = 2` over the paper's 62-character alphabet at most
+    /// 62² ≈ 3.8 k distinct hash keys exist, so the default 4096 keeps
+    /// chains short without ever resizing; larger `hash_key_len` values
+    /// rely on [`HartConfig::resize_threshold`] to keep chains short as
+    /// the shard count scales with the data.
+    pub initial_buckets: usize,
+    /// Load factor (mean directory entries per bucket) above which the
+    /// hash directory doubles its bucket array, migrating entries
+    /// incrementally (DESIGN.md §Resizing). `0` disables resizing and
+    /// pins the directory at `initial_buckets` forever — the pre-resize
+    /// behavior and the ablation baseline. Default `1`.
+    pub resize_threshold: usize,
     /// Ablation switch: charge `persistent()` costs for internal-node
     /// mutations as if the ART inner nodes lived in PM — i.e. *disable*
     /// the selective consistency/persistence of §III-A.2 cost-wise.
@@ -37,7 +46,8 @@ impl Default for HartConfig {
     fn default() -> Self {
         HartConfig {
             hash_key_len: 2,
-            hash_buckets: 4096,
+            initial_buckets: 4096,
+            resize_threshold: 1,
             persist_internal_nodes: false,
             optimistic_reads: true,
             optimistic_retry_limit: 8,
@@ -51,8 +61,10 @@ impl HartConfig {
         if self.hash_key_len >= MAX_KEY_LEN {
             return Err(Error::BadConfig("hash_key_len must be < 24"));
         }
-        if self.hash_buckets == 0 || !self.hash_buckets.is_power_of_two() {
-            return Err(Error::BadConfig("hash_buckets must be a nonzero power of two"));
+        if self.initial_buckets == 0 || !self.initial_buckets.is_power_of_two() {
+            return Err(Error::BadConfig(
+                "initial_buckets must be a nonzero power of two",
+            ));
         }
         if self.optimistic_reads && self.optimistic_retry_limit == 0 {
             return Err(Error::BadConfig("optimistic_retry_limit must be >= 1"));
@@ -62,19 +74,49 @@ impl HartConfig {
 
     /// Config with a specific `k_h` (ablation experiments).
     pub fn with_hash_key_len(kh: usize) -> HartConfig {
-        HartConfig { hash_key_len: kh, ..Default::default() }
+        HartConfig {
+            hash_key_len: kh,
+            ..Default::default()
+        }
     }
 
     /// Config with selective persistence disabled (ablation).
     pub fn without_selective_persistence() -> HartConfig {
-        HartConfig { persist_internal_nodes: true, ..Default::default() }
+        HartConfig {
+            persist_internal_nodes: true,
+            ..Default::default()
+        }
     }
 
     /// Config with the lock-free read path disabled (ablation /
     /// kill-switch): all reads go through the per-ART read locks as in the
     /// paper's original protocol.
     pub fn with_locked_reads() -> HartConfig {
-        HartConfig { optimistic_reads: false, ..Default::default() }
+        HartConfig {
+            optimistic_reads: false,
+            ..Default::default()
+        }
+    }
+
+    /// Config with directory resizing disabled (ablation / kill-switch):
+    /// the bucket array stays at `initial_buckets` forever, as before the
+    /// resizing extension.
+    pub fn with_fixed_directory() -> HartConfig {
+        HartConfig {
+            resize_threshold: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Config with an explicit directory geometry: start at `initial`
+    /// buckets and double whenever the load factor exceeds `threshold`
+    /// entries per bucket (`0` = never).
+    pub fn with_directory(initial: usize, threshold: usize) -> HartConfig {
+        HartConfig {
+            initial_buckets: initial,
+            resize_threshold: threshold,
+            ..Default::default()
+        }
     }
 }
 
@@ -87,6 +129,7 @@ mod tests {
         let c = HartConfig::default();
         assert_eq!(c.hash_key_len, 2);
         assert!(c.optimistic_reads, "lock-free reads are the default");
+        assert_eq!(c.resize_threshold, 1, "resizing is on by default");
         assert!(c.validate().is_ok());
     }
 
@@ -95,18 +138,61 @@ mod tests {
         let c = HartConfig::with_locked_reads();
         assert!(!c.optimistic_reads);
         assert!(c.validate().is_ok());
-        let bad = HartConfig { optimistic_retry_limit: 0, ..HartConfig::default() };
+        let bad = HartConfig {
+            optimistic_retry_limit: 0,
+            ..HartConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let ok = HartConfig { optimistic_retry_limit: 0, ..HartConfig::with_locked_reads() };
-        assert!(ok.validate().is_ok(), "retry limit is irrelevant with locked reads");
+        let ok = HartConfig {
+            optimistic_retry_limit: 0,
+            ..HartConfig::with_locked_reads()
+        };
+        assert!(
+            ok.validate().is_ok(),
+            "retry limit is irrelevant with locked reads"
+        );
+    }
+
+    #[test]
+    fn kill_switch_disables_resizing() {
+        let c = HartConfig::with_fixed_directory();
+        assert_eq!(c.resize_threshold, 0);
+        assert!(c.validate().is_ok());
+        let g = HartConfig::with_directory(8, 2);
+        assert_eq!((g.initial_buckets, g.resize_threshold), (8, 2));
+        assert!(g.validate().is_ok());
     }
 
     #[test]
     fn rejects_bad_configs() {
         let base = HartConfig::default();
-        assert!(HartConfig { hash_key_len: 24, hash_buckets: 16, ..base }.validate().is_err());
-        assert!(HartConfig { hash_key_len: 2, hash_buckets: 0, ..base }.validate().is_err());
-        assert!(HartConfig { hash_key_len: 2, hash_buckets: 100, ..base }.validate().is_err());
-        assert!(HartConfig { hash_key_len: 0, hash_buckets: 1, ..base }.validate().is_ok());
+        assert!(HartConfig {
+            hash_key_len: 24,
+            initial_buckets: 16,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HartConfig {
+            hash_key_len: 2,
+            initial_buckets: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HartConfig {
+            hash_key_len: 2,
+            initial_buckets: 100,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(HartConfig {
+            hash_key_len: 0,
+            initial_buckets: 1,
+            ..base
+        }
+        .validate()
+        .is_ok());
     }
 }

@@ -1,9 +1,9 @@
 //! The DRAM hash directory mapping hash keys to ARTs (Fig. 1).
 //!
-//! A fixed bucket array with chaining. Entries are created lazily on first
-//! insert of a hash key (Algorithm 1 lines 3–5) and removed when their ART
-//! becomes empty (Algorithm 5 lines 15–16). The directory itself is
-//! read-mostly: after warm-up, pessimistic lookups take one bucket
+//! A bucket array with chaining, grown online. Entries are created lazily
+//! on first insert of a hash key (Algorithm 1 lines 3–5) and removed when
+//! their ART becomes empty (Algorithm 5 lines 15–16). The directory itself
+//! is read-mostly: after warm-up, pessimistic lookups take one bucket
 //! read-lock, and the optimistic read path (DESIGN.md §Concurrency) takes
 //! none at all.
 //!
@@ -23,16 +23,41 @@
 //! replaced wholesale, never edited in place) and retired through
 //! [`hart_ebr`], as are unlinked shards — the two facts that let readers
 //! chase raw pointers into them while pinned.
+//!
+//! # Online resizing (DESIGN.md §Resizing)
+//!
+//! The bucket array is no longer fixed: the directory tracks its live
+//! entry count and, when the load factor exceeds `resize_threshold`
+//! entries per bucket (or one chain grows pathological), doubles the
+//! bucket array. Growth is *incremental and cooperative*, Dash-style:
+//!
+//! * a grow installs a fresh, empty [`Table`] as `current` and demotes the
+//!   full one to `old`; no entries move at grow time;
+//! * every subsequent directory *write* drains a stride of `old` buckets
+//!   into `current` (plus, always, the one bucket its own hash key maps
+//!   to), each under that bucket's write lock — entries are published in
+//!   the new table *before* they disappear from the old one;
+//! * lookups probe `old` first, then `current` (loading `current` before
+//!   `old`), which together with the publish order above makes a miss in
+//!   both tables a committed absence;
+//! * when the last old bucket drains, `old` is retired: through
+//!   [`hart_ebr`] when optimistic readers may hold raw pointers into it,
+//!   or onto a graveyard freed at directory drop in the locked ablation
+//!   (pessimistic readers hold no epoch pin; the geometric doubling bounds
+//!   graveyard memory by one current-table's worth of bucket headers).
+//!
+//! Hash keys are mixed with a per-directory random seed so an adversarial
+//! key set cannot be precomputed to chain into a single bucket.
 
 use crate::resolver::PmResolver;
 use hart_art::Art;
 use hart_kv::InlineKey;
 use hart_pm::PmPtr;
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::mem::{size_of, MaybeUninit};
 use std::ops::{Deref, DerefMut};
 use std::ptr;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One ART plus its liveness flag, guarded by the per-ART reader-writer
@@ -56,7 +81,10 @@ pub(crate) struct Shard {
 
 impl Shard {
     fn new(art: Art<PmPtr>) -> Shard {
-        Shard { version: AtomicU64::new(0), inner: RwLock::new(ShardInner { art, dead: false }) }
+        Shard {
+            version: AtomicU64::new(0),
+            inner: RwLock::new(ShardInner { art, dead: false }),
+        }
     }
 
     /// Shared (pessimistic) access; does not touch the version.
@@ -72,7 +100,10 @@ impl Shard {
     pub fn write(&self) -> ShardWriteGuard<'_> {
         let guard = self.inner.write();
         let v = self.version.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(v.is_multiple_of(2), "write section already open under the write lock");
+        debug_assert!(
+            v.is_multiple_of(2),
+            "write section already open under the write lock"
+        );
         ShardWriteGuard { shard: self, guard }
     }
 
@@ -134,11 +165,18 @@ struct Bucket {
     /// The published table. Never mutated in place; writers install a new
     /// boxed slice and retire the old one through the epoch reclaimer.
     entries: RwLock<Box<[Entry]>>,
+    /// Set (under the write lock) once this bucket has been drained into
+    /// the next table. A migrated bucket never accepts entries again.
+    migrated: AtomicBool,
 }
 
 impl Bucket {
     fn new() -> Bucket {
-        Bucket { version: AtomicU64::new(0), entries: RwLock::new(Box::new([])) }
+        Bucket {
+            version: AtomicU64::new(0),
+            entries: RwLock::new(Box::new([])),
+            migrated: AtomicBool::new(false),
+        }
     }
 
     /// Replace the entry table under the (already held) write lock,
@@ -149,6 +187,32 @@ impl Bucket {
         let old = std::mem::replace(&mut **guard, next);
         self.version.fetch_add(1, Ordering::AcqRel);
         hart_ebr::defer_drop(old);
+    }
+}
+
+/// One generation of the bucket array. `current` points at the newest
+/// table; during a migration `old` points at the previous one.
+struct Table {
+    buckets: Box<[Bucket]>,
+    mask: u64,
+    /// Next bucket index the cooperative stride walker will claim. Only
+    /// meaningful while this table is the `old` (draining) one.
+    migrate_next: AtomicUsize,
+}
+
+impl Table {
+    fn new(buckets: usize) -> Table {
+        debug_assert!(buckets.is_power_of_two());
+        Table {
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            mask: buckets as u64 - 1,
+            migrate_next: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, h: u64) -> &Bucket {
+        &self.buckets[(h & self.mask) as usize]
     }
 }
 
@@ -163,19 +227,75 @@ pub(crate) enum RawBucketRead {
     Retry,
 }
 
+/// How many old buckets each directory write drains beyond its own.
+const MIGRATE_STRIDE: usize = 16;
+
+/// A single chain longer than this triggers a grow even below the global
+/// load-factor threshold (guarded against degenerate repeat-growth by the
+/// `buckets < 4 * entries` condition in `maybe_grow`).
+const CHAIN_LIMIT: usize = 16;
+
+/// State serialized by the resize lock: grow/finish decisions plus the
+/// graveyard of retired tables for the no-EBR (locked reads) ablation.
+#[derive(Default)]
+struct ResizeState {
+    /// Boxed (not inlined) on purpose: pessimistic readers may still hold
+    /// references into a retired table, so its address must stay stable.
+    #[allow(clippy::vec_box)]
+    graveyard: Vec<Box<Table>>,
+}
+
 pub(crate) struct Directory {
-    buckets: Box<[Bucket]>,
-    mask: u64,
+    /// Newest table — all directory inserts land here.
+    current: AtomicPtr<Table>,
+    /// Previous table, being drained; null when no migration is running.
+    old: AtomicPtr<Table>,
+    /// Live `(hash key, shard)` entries across both tables. Exact: bumped
+    /// once per insert, once per unlink; migration moves, never counts.
+    entries: AtomicUsize,
+    /// Completed grow operations (observability / tests).
+    grows: AtomicU64,
+    /// Grow when `entries > resize_threshold * buckets`; `0` = fixed size
+    /// (the pre-resize behavior, and the ablation baseline).
+    resize_threshold: usize,
+    /// Per-directory hash seed: adversarial hash-key sets cannot chain
+    /// into one bucket without knowing it.
+    seed: u64,
+    /// Serializes grow/finish transitions and owns the table graveyard.
+    resize: Mutex<ResizeState>,
     /// Route ART node reclamation in the shards through [`hart_ebr`] —
     /// set when optimistic readers are enabled, off for the pure-locked
     /// ablation so the kill-switch reproduces the original allocator
-    /// behavior exactly.
+    /// behavior exactly. Also selects EBR vs graveyard retirement for
+    /// drained tables (see the module docs).
     defer_reclaim: bool,
 }
 
+/// Keeps the table pointers a directory operation loaded dereferenceable.
+///
+/// * `Pin`: an EBR pin — retired tables outlive it.
+/// * `Lock`: the resize lock — tables are only retired under it, so
+///   holding it serializes against retirement. Fallback when all EBR
+///   reader slots are taken.
+/// * `None`: locked-reads mode — retired tables go to the graveyard and
+///   live until the directory drops.
+enum DirGuard<'a> {
+    Pin(#[allow(dead_code)] hart_ebr::Guard),
+    Lock(#[allow(dead_code)] MutexGuard<'a, ResizeState>),
+    None,
+}
+
+impl DirGuard<'_> {
+    /// Whether the holder may take the resize lock (grow, finish); taking
+    /// it twice would deadlock.
+    fn may_resize(&self) -> bool {
+        !matches!(self, DirGuard::Lock(_))
+    }
+}
+
 #[inline]
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x1000_0000_01b3);
@@ -183,37 +303,123 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Seed entropy without an RNG dependency: wall clock, a stack address and
+/// a process-wide counter, finalized with splitmix64.
+fn random_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let stack = 0u8;
+    let mut x = t
+        ^ (&stack as *const u8 as u64).rotate_left(32)
+        ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 impl Directory {
-    /// `buckets` must be a power of two (validated by `HartConfig`).
-    /// `defer_reclaim` enables epoch-based reclamation inside the shards,
-    /// required whenever lock-free readers may be active.
-    pub fn new(buckets: usize, defer_reclaim: bool) -> Directory {
+    /// `buckets` must be a power of two (validated by `HartConfig`) — the
+    /// *initial* size when `resize_threshold > 0`, the permanent size when
+    /// it is `0`. `defer_reclaim` enables epoch-based reclamation inside
+    /// the shards, required whenever lock-free readers may be active.
+    pub fn new(buckets: usize, resize_threshold: usize, defer_reclaim: bool) -> Directory {
+        Directory::with_seed(buckets, resize_threshold, defer_reclaim, random_seed())
+    }
+
+    /// [`Directory::new`] with a fixed hash seed (tests, reproducibility).
+    pub fn with_seed(
+        buckets: usize,
+        resize_threshold: usize,
+        defer_reclaim: bool,
+        seed: u64,
+    ) -> Directory {
         Directory {
-            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
-            mask: buckets as u64 - 1,
+            current: AtomicPtr::new(Box::into_raw(Box::new(Table::new(buckets)))),
+            old: AtomicPtr::new(ptr::null_mut()),
+            entries: AtomicUsize::new(0),
+            grows: AtomicU64::new(0),
+            resize_threshold,
+            seed,
+            resize: Mutex::new(ResizeState::default()),
             defer_reclaim,
         }
     }
 
     #[inline]
-    fn bucket_of(&self, hk: &[u8]) -> &Bucket {
-        &self.buckets[(fnv1a(hk) & self.mask) as usize]
+    fn hash(&self, hk: &[u8]) -> u64 {
+        fnv1a_seeded(self.seed, hk)
+    }
+
+    /// Protect the table pointers for the duration of one operation.
+    fn protect(&self) -> DirGuard<'_> {
+        if !self.defer_reclaim {
+            return DirGuard::None; // graveyard keeps every table alive
+        }
+        match hart_ebr::pin() {
+            Some(g) => DirGuard::Pin(g),
+            None => DirGuard::Lock(self.resize.lock()),
+        }
+    }
+
+    /// Snapshot `(current, old)`. `current` is loaded *before* `old`: a
+    /// grow publishes `old` before swapping `current`, so a reader that
+    /// observes the new current is guaranteed to also observe the demoted
+    /// table, and a reader that observes the pre-grow current at worst
+    /// sees it twice.
+    ///
+    /// The caller must hold a [`DirGuard`] (or an EBR pin) so the returned
+    /// references stay valid.
+    #[inline]
+    fn tables(&self) -> (&Table, Option<&Table>) {
+        let cur = unsafe { &*self.current.load(Ordering::Acquire) };
+        let old = self.old.load(Ordering::Acquire);
+        let old = if old.is_null() {
+            None
+        } else {
+            Some(unsafe { &*old })
+        };
+        (cur, old)
+    }
+
+    /// Locked probe of one table.
+    fn find_in(t: &Table, h: u64, hk: &[u8]) -> Option<Arc<Shard>> {
+        let g = t.bucket(h).entries.read();
+        g.iter()
+            .find(|(k, _)| k.as_slice() == hk)
+            .map(|(_, s)| Arc::clone(s))
     }
 
     /// `HashFind` (Algorithm 1 line 2 / Algorithm 4 line 2).
+    ///
+    /// Two-table discipline: probe `old` first, then `current`. Migration
+    /// publishes an entry in the new table before removing it from the old
+    /// one, so "absent in old, then absent in current" is a committed
+    /// absence.
     pub fn get(&self, hk: &[u8]) -> Option<Arc<Shard>> {
-        let b = self.bucket_of(hk).entries.read();
-        b.iter().find(|(k, _)| k.as_slice() == hk).map(|(_, s)| Arc::clone(s))
+        let _g = self.protect();
+        let h = self.hash(hk);
+        let (cur, old) = self.tables();
+        if let Some(o) = old {
+            if let Some(s) = Self::find_in(o, h, hk) {
+                return Some(s);
+            }
+        }
+        Self::find_in(cur, h, hk)
     }
 
-    /// Lock-free `HashFind` for the optimistic read path.
+    /// Lock-free probe of one bucket: volatile-copy the entry-table fat
+    /// pointer, validate the bucket version, then scan the (immutable)
+    /// committed table.
     ///
     /// # Safety
-    /// The caller must hold an [`hart_ebr`] pin for as long as it uses the
-    /// returned shard pointer: retired entry tables (and the shards they
-    /// reference) stay alive only until the pin is released.
-    pub unsafe fn get_raw(&self, hk: &[u8]) -> RawBucketRead {
-        let bucket = self.bucket_of(hk);
+    /// Caller holds an EBR pin; `bucket` belongs to a table loaded under
+    /// that pin.
+    unsafe fn probe_raw(bucket: &Bucket, hk: &[u8]) -> RawBucketRead {
         let v0 = bucket.version.load(Ordering::Acquire);
         if v0 % 2 == 1 {
             return RawBucketRead::Retry;
@@ -236,113 +442,346 @@ impl Directory {
         }
     }
 
+    /// Lock-free `HashFind` for the optimistic read path.
+    ///
+    /// # Safety
+    /// The caller must hold an [`hart_ebr`] pin for as long as it uses the
+    /// returned shard pointer: retired entry tables and bucket arrays (and
+    /// the shards they reference) stay alive only until the pin is
+    /// released.
+    pub unsafe fn get_raw(&self, hk: &[u8]) -> RawBucketRead {
+        let h = self.hash(hk);
+        let (cur, old) = self.tables();
+        if let Some(o) = old {
+            match Self::probe_raw(o.bucket(h), hk) {
+                RawBucketRead::Absent => {} // fall through to current
+                found_or_retry => return found_or_retry,
+            }
+        }
+        Self::probe_raw(cur.bucket(h), hk)
+    }
+
+    /// Lock-free copy of one bucket's entries into `out`; returns false if
+    /// swaps kept interfering and the caller should fall back to the lock.
+    unsafe fn snapshot_bucket_raw(
+        bucket: &Bucket,
+        out: &mut Vec<(InlineKey, *const Shard)>,
+    ) -> bool {
+        for _ in 0..4 {
+            let v0 = bucket.version.load(Ordering::Acquire);
+            if v0 % 2 == 1 {
+                continue;
+            }
+            let table_mu: MaybeUninit<Box<[Entry]>> =
+                ptr::read_volatile(bucket.entries.data_ptr() as *const MaybeUninit<Box<[Entry]>>);
+            fence(Ordering::Acquire);
+            if bucket.version.load(Ordering::Relaxed) != v0 {
+                continue;
+            }
+            let table: &[Entry] = &*table_mu.as_ptr();
+            out.extend(table.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
+            return true;
+        }
+        false
+    }
+
     /// Lock-free snapshot of all `(hash key, shard)` pairs, sorted by hash
     /// key — the optimistic counterpart of [`Directory::shards_sorted`].
     /// Falls back to read-locking any bucket whose swaps keep interfering.
+    /// During a migration an entry can momentarily live in both tables;
+    /// duplicates (always the same shard) are removed after the sort.
     ///
     /// # Safety
     /// Same pin contract as [`Directory::get_raw`].
     pub unsafe fn shards_sorted_raw(&self) -> Vec<(InlineKey, *const Shard)> {
         let mut out = Vec::new();
-        for bucket in self.buckets.iter() {
-            let mut copied = false;
-            for _ in 0..4 {
-                let v0 = bucket.version.load(Ordering::Acquire);
-                if v0 % 2 == 1 {
-                    continue;
+        let (cur, old) = self.tables();
+        for t in old.into_iter().chain(std::iter::once(cur)) {
+            for bucket in t.buckets.iter() {
+                if !Self::snapshot_bucket_raw(bucket, &mut out) {
+                    let g = bucket.entries.read();
+                    out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
                 }
-                let table_mu: MaybeUninit<Box<[Entry]>> = ptr::read_volatile(
-                    bucket.entries.data_ptr() as *const MaybeUninit<Box<[Entry]>>,
-                );
-                fence(Ordering::Acquire);
-                if bucket.version.load(Ordering::Relaxed) != v0 {
-                    continue;
-                }
-                let table: &[Entry] = &*table_mu.as_ptr();
-                out.extend(table.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
-                copied = true;
-                break;
-            }
-            if !copied {
-                let g = bucket.entries.read();
-                out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
             }
         }
         out.sort_unstable_by_key(|e| e.0);
+        out.dedup_by_key(|e| e.0);
         out
+    }
+
+    /// Drain one `old` bucket into the current table. Entries are
+    /// published in the new table *before* the old bucket empties, so
+    /// old-then-current probes never miss. No-op if already drained.
+    ///
+    /// While we hold an un-migrated old bucket's write lock, the migration
+    /// cannot finish (the finisher checks every bucket's flag) and no
+    /// second grow can start (it requires `old == null`), so `current` is
+    /// stable for the duration.
+    fn migrate_bucket(&self, o: &Table, idx: usize) {
+        let bucket = &o.buckets[idx];
+        if bucket.migrated.load(Ordering::Acquire) {
+            return;
+        }
+        let mut g = bucket.entries.write();
+        if bucket.migrated.load(Ordering::Acquire) {
+            return;
+        }
+        let cur = unsafe { &*self.current.load(Ordering::Acquire) };
+        for (k, s) in g.iter() {
+            let nb = cur.bucket(self.hash(k.as_slice()));
+            let mut ng = nb.entries.write();
+            let next: Box<[Entry]> = ng
+                .iter()
+                .cloned()
+                .chain(std::iter::once((*k, Arc::clone(s))))
+                .collect();
+            nb.install(&mut ng, next);
+        }
+        if !g.is_empty() {
+            bucket.install(&mut g, Box::new([]));
+        }
+        bucket.migrated.store(true, Ordering::Release);
+    }
+
+    /// Cooperatively drain up to `stride` old buckets; finish the
+    /// migration once the walker has passed the end and every bucket's
+    /// flag is set. Called by directory writers holding a non-`Lock`
+    /// guard.
+    fn help_migrate(&self, stride: usize) {
+        let old_ptr = self.old.load(Ordering::Acquire);
+        if old_ptr.is_null() {
+            return;
+        }
+        let o = unsafe { &*old_ptr };
+        let len = o.buckets.len();
+        for _ in 0..stride {
+            let i = o.migrate_next.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            self.migrate_bucket(o, i);
+        }
+        if o.migrate_next.load(Ordering::Relaxed) >= len {
+            self.finish_migration(old_ptr);
+        }
+    }
+
+    /// Retire `old_ptr` once every one of its buckets has drained. Safe to
+    /// race: only the caller that still observes it as `old` under the
+    /// resize lock retires it.
+    fn finish_migration(&self, old_ptr: *mut Table) {
+        let mut st = self.resize.lock();
+        if self.old.load(Ordering::Acquire) != old_ptr {
+            return; // someone else finished
+        }
+        let o = unsafe { &*old_ptr };
+        if !o.buckets.iter().all(|b| b.migrated.load(Ordering::Acquire)) {
+            // A targeted drain is still mid-flight; it (or the next
+            // writer) will come back through here.
+            return;
+        }
+        self.old.store(ptr::null_mut(), Ordering::Release);
+        let boxed = unsafe { Box::from_raw(old_ptr) };
+        if self.defer_reclaim {
+            // Pinned readers may still probe the drained buckets; EBR
+            // frees the array once their epochs pass. Pinless fallback
+            // readers hold the resize lock, which we are holding now.
+            hart_ebr::defer_drop(boxed);
+        } else {
+            // Locked mode: readers take no pins, so the array must outlive
+            // any probe that loaded it — park it until the directory
+            // drops. Doubling bounds the graveyard below one current
+            // table's worth of bucket headers.
+            st.graveyard.push(boxed);
+        }
+    }
+
+    /// Double the bucket array if `seen` is still the current table and
+    /// the trigger (load factor, or one pathological chain) still holds.
+    fn maybe_grow(&self, seen: *const Table, chain_len: usize) {
+        if self.resize_threshold == 0 {
+            return;
+        }
+        let entries = self.entries.load(Ordering::Relaxed);
+        let len = unsafe { &*seen }.buckets.len();
+        let overloaded = entries > self.resize_threshold.saturating_mul(len);
+        let chained = chain_len > CHAIN_LIMIT && len < entries.saturating_mul(4);
+        if !overloaded && !chained {
+            return;
+        }
+        let _st = self.resize.lock();
+        if !self.old.load(Ordering::Acquire).is_null() {
+            return; // previous migration still draining
+        }
+        if !ptr::eq(self.current.load(Ordering::Acquire), seen) {
+            return; // raced another grow; its trigger re-evaluates
+        }
+        let next = Box::into_raw(Box::new(Table::new(len * 2)));
+        // Publish order matters: `old` first, then `current` (see
+        // `Directory::tables`). Entries stay put; writers drain them
+        // incrementally from here on.
+        self.old.store(seen as *mut Table, Ordering::Release);
+        self.current.store(next, Ordering::Release);
+        self.grows.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `HashFind` + `NewART` + `HashInsert` (Algorithm 1 lines 2–5).
     pub fn get_or_insert(&self, hk: &[u8]) -> Arc<Shard> {
-        if let Some(s) = self.get(hk) {
-            return s;
+        let guard = self.protect();
+        let h = self.hash(hk);
+        if guard.may_resize() {
+            self.help_migrate(MIGRATE_STRIDE);
         }
-        let bucket = self.bucket_of(hk);
-        let mut g = bucket.entries.write();
-        if let Some((_, s)) = g.iter().find(|(k, _)| k.as_slice() == hk) {
-            return Arc::clone(s);
+        loop {
+            let (cur, old) = self.tables();
+            if let Some(o) = old {
+                // Drain the bucket our key lives in, making `cur` the
+                // single authority for `hk` before we lock it.
+                self.migrate_bucket(o, (h & o.mask) as usize);
+                if guard.may_resize() && o.migrate_next.load(Ordering::Relaxed) >= o.buckets.len() {
+                    self.finish_migration(o as *const Table as *mut Table);
+                }
+            }
+            let bucket = cur.bucket(h);
+            let mut g = bucket.entries.write();
+            // Revalidate under the lock: a concurrent grow may have
+            // demoted `cur`, and a concurrent drain may have emptied this
+            // bucket into an even newer table.
+            if !ptr::eq(self.current.load(Ordering::Acquire), cur)
+                || bucket.migrated.load(Ordering::Acquire)
+            {
+                continue;
+            }
+            if let Some((_, s)) = g.iter().find(|(k, _)| k.as_slice() == hk) {
+                return Arc::clone(s);
+            }
+            let mut art = Art::new();
+            art.set_deferred_reclaim(self.defer_reclaim);
+            let shard = Arc::new(Shard::new(art));
+            let next: Box<[Entry]> = g
+                .iter()
+                .cloned()
+                .chain(std::iter::once((
+                    InlineKey::from_slice(hk),
+                    Arc::clone(&shard),
+                )))
+                .collect();
+            let chain_len = next.len();
+            bucket.install(&mut g, next);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            drop(g);
+            if guard.may_resize() {
+                self.maybe_grow(cur as *const Table, chain_len);
+            }
+            return shard;
         }
-        let mut art = Art::new();
-        art.set_deferred_reclaim(self.defer_reclaim);
-        let shard = Arc::new(Shard::new(art));
-        let next: Box<[Entry]> = g
-            .iter()
-            .cloned()
-            .chain(std::iter::once((InlineKey::from_slice(hk), Arc::clone(&shard))))
-            .collect();
-        bucket.install(&mut g, next);
-        shard
     }
 
     /// "HART will free the ART if it becomes empty" (Algorithm 5 lines
     /// 15–16). Returns `true` if the shard was unlinked.
     pub fn remove_if_empty(&self, hk: &[u8]) -> bool {
-        let bucket = self.bucket_of(hk);
-        let mut g = bucket.entries.write();
-        let Some(pos) = g.iter().position(|(k, _)| k.as_slice() == hk) else {
-            return false;
-        };
-        {
-            let shard = &g[pos].1;
-            let mut sg = shard.write();
-            if !sg.art.is_empty() || sg.dead {
-                return false;
-            }
-            sg.dead = true;
+        let guard = self.protect();
+        let h = self.hash(hk);
+        if guard.may_resize() {
+            self.help_migrate(MIGRATE_STRIDE);
         }
-        let next: Box<[Entry]> =
-            g.iter().enumerate().filter(|(i, _)| *i != pos).map(|(_, e)| e.clone()).collect();
-        bucket.install(&mut g, next);
-        true
+        loop {
+            let (cur, old) = self.tables();
+            if let Some(o) = old {
+                self.migrate_bucket(o, (h & o.mask) as usize);
+            }
+            let bucket = cur.bucket(h);
+            let mut g = bucket.entries.write();
+            if !ptr::eq(self.current.load(Ordering::Acquire), cur)
+                || bucket.migrated.load(Ordering::Acquire)
+            {
+                continue;
+            }
+            let Some(pos) = g.iter().position(|(k, _)| k.as_slice() == hk) else {
+                return false;
+            };
+            {
+                let shard = &g[pos].1;
+                let mut sg = shard.write();
+                if !sg.art.is_empty() || sg.dead {
+                    return false;
+                }
+                sg.dead = true;
+            }
+            let next: Box<[Entry]> = g
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, e)| e.clone())
+                .collect();
+            bucket.install(&mut g, next);
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+            return true;
+        }
     }
 
     /// Snapshot of all `(hash key, shard)` pairs, sorted by hash key — the
-    /// backbone of the ordered-scan extension and of statistics.
+    /// backbone of the ordered-scan extension and of statistics. Holds the
+    /// resize lock so the table set is stable for the walk; migration-
+    /// window duplicates are dropped after the sort.
     pub fn shards_sorted(&self) -> Vec<(InlineKey, Arc<Shard>)> {
+        let _st = self.resize.lock();
+        let (cur, old) = self.tables();
         let mut out = Vec::new();
-        for b in self.buckets.iter() {
-            let g = b.entries.read();
-            out.extend(g.iter().map(|(k, s)| (*k, Arc::clone(s))));
+        for t in old.into_iter().chain(std::iter::once(cur)) {
+            for b in t.buckets.iter() {
+                let g = b.entries.read();
+                out.extend(g.iter().map(|(k, s)| (*k, Arc::clone(s))));
+            }
         }
         out.sort_unstable_by_key(|a| a.0);
+        out.dedup_by_key(|a| a.0);
         out
     }
 
     /// Number of live shards (= ARTs = max concurrent writers).
     pub fn shard_count(&self) -> usize {
-        self.buckets.iter().map(|b| b.entries.read().len()).sum()
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Buckets in the current table (observability / tests / stats).
+    pub fn bucket_count(&self) -> usize {
+        let _st = self.resize.lock();
+        unsafe { &*self.current.load(Ordering::Acquire) }
+            .buckets
+            .len()
+    }
+
+    /// Completed grow operations since creation.
+    pub fn grow_count(&self) -> u64 {
+        self.grows.load(Ordering::Relaxed)
+    }
+
+    /// True while a demoted table is still draining into the current one
+    /// (observability / tests).
+    pub fn migration_in_progress(&self) -> bool {
+        !self.old.load(Ordering::Acquire).is_null()
     }
 
     /// DRAM bytes of the directory and every ART's internal nodes, for the
-    /// Fig. 10b experiment.
+    /// Fig. 10b experiment. Counts both live tables and the graveyard.
     pub fn memory_bytes(&self) -> usize {
-        let mut total = size_of::<Self>() + self.buckets.len() * size_of::<Bucket>();
-        for b in self.buckets.iter() {
-            let g = b.entries.read();
-            total += g.len() * size_of::<Entry>();
-            for (_, shard) in g.iter() {
-                total += size_of::<Shard>() + shard.read().art.memory_bytes();
+        let mut total = size_of::<Self>();
+        {
+            let st = self.resize.lock();
+            let (cur, old) = self.tables();
+            total += cur.buckets.len() * size_of::<Bucket>();
+            if let Some(o) = old {
+                total += o.buckets.len() * size_of::<Bucket>();
             }
+            total += st
+                .graveyard
+                .iter()
+                .map(|t| t.buckets.len() * size_of::<Bucket>())
+                .sum::<usize>();
+        }
+        for (_, shard) in self.shards_sorted() {
+            total += size_of::<Entry>() + size_of::<Shard>() + shard.read().art.memory_bytes();
         }
         total
     }
@@ -358,13 +797,42 @@ impl Directory {
     }
 }
 
+impl Drop for Directory {
+    fn drop(&mut self) {
+        // Exclusive access: free both live tables; the graveyard drops
+        // with the mutex.
+        let cur = *self.current.get_mut();
+        unsafe { drop(Box::from_raw(cur)) };
+        let old = *self.old.get_mut();
+        if !old.is_null() {
+            unsafe { drop(Box::from_raw(old)) };
+        }
+    }
+}
+
+// The raw pointers are owning handles to heap tables; all access is
+// synchronized by the atomics + locks above.
+unsafe impl Send for Directory {}
+unsafe impl Sync for Directory {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Fixed-size directory with a deterministic seed, like the pre-resize
+    /// default.
+    fn fixed(buckets: usize) -> Directory {
+        Directory::with_seed(buckets, 0, true, 0)
+    }
+
+    /// Aggressively resizing directory (load factor 1, deterministic seed).
+    fn resizing(buckets: usize) -> Directory {
+        Directory::with_seed(buckets, 1, true, 0)
+    }
+
     #[test]
     fn get_or_insert_is_idempotent() {
-        let d = Directory::new(16, true);
+        let d = fixed(16);
         let a = d.get_or_insert(b"AA");
         let b = d.get_or_insert(b"AA");
         assert!(Arc::ptr_eq(&a, &b));
@@ -383,7 +851,7 @@ mod tests {
 
     #[test]
     fn remove_if_empty_only_removes_empty() {
-        let d = Directory::new(16, true);
+        let d = fixed(16);
         let s = d.get_or_insert(b"AA");
         s.write().art.insert(&StubResolver, b"x", PmPtr(64));
         assert!(!d.remove_if_empty(b"AA"), "non-empty shard must stay");
@@ -392,7 +860,7 @@ mod tests {
 
     #[test]
     fn remove_marks_dead() {
-        let d = Directory::new(16, true);
+        let d = fixed(16);
         let s = d.get_or_insert(b"AA");
         assert!(d.remove_if_empty(b"AA"));
         assert!(s.read().dead);
@@ -404,18 +872,29 @@ mod tests {
 
     #[test]
     fn shards_sorted_orders_by_key() {
-        let d = Directory::new(4, true); // force collisions
+        let d = fixed(4); // force collisions
         for hk in [b"zz".as_slice(), b"aa", b"mm", b"ab"] {
             d.get_or_insert(hk);
         }
-        let keys: Vec<Vec<u8>> =
-            d.shards_sorted().iter().map(|(k, _)| k.as_slice().to_vec()).collect();
-        assert_eq!(keys, vec![b"aa".to_vec(), b"ab".to_vec(), b"mm".to_vec(), b"zz".to_vec()]);
+        let keys: Vec<Vec<u8>> = d
+            .shards_sorted()
+            .iter()
+            .map(|(k, _)| k.as_slice().to_vec())
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                b"aa".to_vec(),
+                b"ab".to_vec(),
+                b"mm".to_vec(),
+                b"zz".to_vec()
+            ]
+        );
     }
 
     #[test]
     fn memory_accounting_is_monotone() {
-        let d = Directory::new(16, true);
+        let d = fixed(16);
         let m0 = d.memory_bytes();
         d.get_or_insert(b"AA");
         let m1 = d.memory_bytes();
@@ -424,13 +903,17 @@ mod tests {
 
     #[test]
     fn write_guard_bumps_version_by_two() {
-        let d = Directory::new(16, true);
+        let d = fixed(16);
         let s = d.get_or_insert(b"AA");
         let v0 = s.version();
         assert_eq!(v0 % 2, 0);
         {
             let _g = s.write();
-            assert_eq!(s.version.load(Ordering::SeqCst), v0 + 1, "odd inside the section");
+            assert_eq!(
+                s.version.load(Ordering::SeqCst),
+                v0 + 1,
+                "odd inside the section"
+            );
         }
         assert_eq!(s.version(), v0 + 2);
         assert!(s.validate(v0 + 2));
@@ -439,7 +922,7 @@ mod tests {
 
     #[test]
     fn raw_probe_finds_and_misses() {
-        let d = Directory::new(16, true);
+        let d = fixed(16);
         let s = d.get_or_insert(b"AA");
         let _pin = hart_ebr::pin().expect("slot");
         unsafe {
@@ -453,24 +936,27 @@ mod tests {
 
     #[test]
     fn raw_snapshot_matches_locked_snapshot() {
-        let d = Directory::new(4, true);
+        let d = fixed(4);
         for hk in [b"zz".as_slice(), b"aa", b"mm"] {
             d.get_or_insert(hk);
         }
         let _pin = hart_ebr::pin().expect("slot");
-        let raw: Vec<InlineKey> =
-            unsafe { d.shards_sorted_raw() }.into_iter().map(|(k, _)| k).collect();
+        let raw: Vec<InlineKey> = unsafe { d.shards_sorted_raw() }
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         let locked: Vec<InlineKey> = d.shards_sorted().into_iter().map(|(k, _)| k).collect();
         assert_eq!(raw, locked);
     }
 
-    /// Satellite: `bucket_of` must spread random hash keys evenly — no
+    /// Satellite: the seeded hash must spread random hash keys evenly — no
     /// bucket more than 4x the mean over 10k keys (FNV-1a quality gate).
     #[test]
     fn bucket_distribution_is_balanced() {
         use rand::{Rng, SeedableRng};
         let n_buckets = 64usize;
-        let d = Directory::new(n_buckets, true);
+        let d = fixed(n_buckets);
+        let mask = n_buckets as u64 - 1;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15_7A6);
         let mut counts = vec![0usize; n_buckets];
         let n_keys = 10_000usize;
@@ -478,7 +964,7 @@ mod tests {
             // Random 2-byte hash keys over a printable alphabet, like the
             // paper's workloads.
             let hk = [rng.gen_range(0x21u8..0x7f), rng.gen_range(0x21u8..0x7f)];
-            let idx = (fnv1a(&hk) & d.mask) as usize;
+            let idx = (d.hash(&hk) & mask) as usize;
             counts[idx] += 1;
         }
         let mean = n_keys as f64 / n_buckets as f64;
@@ -487,5 +973,132 @@ mod tests {
             worst <= 4.0 * mean,
             "worst bucket {worst} exceeds 4x mean {mean:.1}: {counts:?}"
         );
+    }
+
+    /// Distinct seeds must permute bucket assignment: a key set that
+    /// chains into one bucket under seed A spreads out under seed B.
+    #[test]
+    fn seed_changes_bucket_assignment() {
+        let a = Directory::with_seed(64, 0, true, 1);
+        let b = Directory::with_seed(64, 0, true, 2);
+        let mask = 63u64;
+        let mut diff = 0;
+        for x in 0u16..512 {
+            let hk = x.to_le_bytes();
+            if a.hash(&hk) & mask != b.hash(&hk) & mask {
+                diff += 1;
+            }
+        }
+        assert!(diff > 400, "seeds barely change placement ({diff}/512)");
+    }
+
+    #[test]
+    fn fixed_directory_never_grows() {
+        let d = fixed(4);
+        for i in 0..256u16 {
+            d.get_or_insert(&i.to_le_bytes());
+        }
+        assert_eq!(d.bucket_count(), 4);
+        assert_eq!(d.grow_count(), 0);
+        assert_eq!(d.shard_count(), 256);
+    }
+
+    #[test]
+    fn directory_grows_and_stays_consistent() {
+        let d = resizing(4);
+        let shards: Vec<_> = (0..512u16)
+            .map(|i| d.get_or_insert(&i.to_le_bytes()))
+            .collect();
+        assert!(
+            d.grow_count() >= 5,
+            "expected several doublings, got {}",
+            d.grow_count()
+        );
+        assert!(d.bucket_count() >= 256, "bucket count {}", d.bucket_count());
+        assert_eq!(d.shard_count(), 512);
+        // Every shard is still found, and is the same object.
+        for (i, s) in shards.iter().enumerate() {
+            let hk = (i as u16).to_le_bytes();
+            let got = d.get(&hk).expect("present after growth");
+            assert!(
+                Arc::ptr_eq(&got, s),
+                "key {i} remapped to a different shard"
+            );
+        }
+        // Raw probes agree while a migration may still be draining.
+        let _pin = hart_ebr::pin().expect("slot");
+        for i in 0..512u16 {
+            let hk = i.to_le_bytes();
+            match unsafe { d.get_raw(&hk) } {
+                RawBucketRead::Found(p) => assert_eq!(p, Arc::as_ptr(&shards[i as usize])),
+                RawBucketRead::Absent => panic!("key {i} lost"),
+                RawBucketRead::Retry => {
+                    assert!(d.get(&hk).is_some(), "locked fallback lost key {i}")
+                }
+            }
+        }
+        let listed = d.shards_sorted();
+        assert_eq!(listed.len(), 512, "snapshot must dedup migration copies");
+    }
+
+    #[test]
+    fn growth_with_removals_keeps_exact_count() {
+        let d = resizing(4);
+        for i in 0..300u16 {
+            d.get_or_insert(&i.to_le_bytes());
+        }
+        for i in (0..300u16).step_by(2) {
+            assert!(d.remove_if_empty(&i.to_le_bytes()), "key {i}");
+        }
+        assert_eq!(d.shard_count(), 150);
+        for i in 0..300u16 {
+            let present = d.get(&i.to_le_bytes()).is_some();
+            assert_eq!(present, i % 2 == 1, "key {i}");
+        }
+        assert_eq!(d.shards_sorted().len(), 150);
+    }
+
+    #[test]
+    fn chain_limit_triggers_growth_without_load() {
+        // 512 buckets, threshold 1: global load stays far below 1, but one
+        // chain exceeding CHAIN_LIMIT must still trigger a grow... except
+        // the seeded hash makes engineered collisions impractical, so this
+        // exercises the code path statistically: inserting CHAIN_LIMIT*4
+        // keys into 2 buckets guarantees a long chain.
+        let d = Directory::with_seed(2, 1_000_000, true, 7);
+        for i in 0..((CHAIN_LIMIT as u16) * 4) {
+            d.get_or_insert(&i.to_le_bytes());
+        }
+        assert!(d.grow_count() >= 1, "chain trigger never fired");
+    }
+
+    #[test]
+    fn concurrent_growth_is_linearizable() {
+        let d = Arc::new(resizing(4));
+        let n_threads = 8u16;
+        let per = 128u16;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let hk = (t * per + i).to_le_bytes();
+                        let a = d.get_or_insert(&hk);
+                        // Immediate re-probe must find the same shard.
+                        let b = d.get(&hk).expect("own insert visible");
+                        assert!(Arc::ptr_eq(&a, &b));
+                    }
+                });
+            }
+        });
+        assert_eq!(d.shard_count(), (n_threads * per) as usize);
+        assert!(d.grow_count() >= 4);
+        for x in 0..(n_threads * per) {
+            assert!(
+                d.get(&x.to_le_bytes()).is_some(),
+                "key {x} lost after growth"
+            );
+        }
+        hart_ebr::flush_for_tests();
     }
 }

@@ -10,8 +10,7 @@ use hart_epalloc::{
     persist_leaf_key, persist_leaf_pvalue, AllocStats, EPallocator, ObjClass,
 };
 use hart_kv::{
-    Error, InlineKey, Key, MemoryStats, PersistentIndex, Result, Value, MAX_KEY_LEN,
-    MAX_VALUE_LEN,
+    Error, InlineKey, Key, MemoryStats, PersistentIndex, Result, Value, MAX_KEY_LEN, MAX_VALUE_LEN,
 };
 use hart_pm::{PmPtr, PmStatsSnapshot, PmemPool};
 use std::ptr;
@@ -36,7 +35,11 @@ impl Hart {
         Ok(Hart {
             alloc: EPallocator::create(pool),
             cfg,
-            dir: Directory::new(cfg.hash_buckets, cfg.optimistic_reads),
+            dir: Directory::new(
+                cfg.initial_buckets,
+                cfg.resize_threshold,
+                cfg.optimistic_reads,
+            ),
         })
     }
 
@@ -48,8 +51,15 @@ impl Hart {
     pub fn recover(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
         cfg.validate()?;
         let alloc = EPallocator::open(pool)?;
-        let hart =
-            Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets, cfg.optimistic_reads) };
+        let hart = Hart {
+            alloc,
+            cfg,
+            dir: Directory::new(
+                cfg.initial_buckets,
+                cfg.resize_threshold,
+                cfg.optimistic_reads,
+            ),
+        };
         let mut leaves = Vec::new();
         hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
         for leaf in leaves {
@@ -63,32 +73,46 @@ impl Hart {
 
     /// Parallel variant of [`Hart::recover`] — an extension beyond the
     /// paper (DESIGN.md §6). Leaf reattachment is embarrassingly parallel
-    /// under the existing per-ART write locks, so the live-leaf list is
-    /// simply partitioned across `threads` workers. Log replay and the
-    /// stale-leaf scrub still run single-threaded inside
-    /// `EPallocator::open` before any worker starts.
-    pub fn recover_parallel(
-        pool: Arc<PmemPool>,
-        cfg: HartConfig,
-        threads: usize,
-    ) -> Result<Hart> {
+    /// under the existing per-ART write locks. The live-leaf list is
+    /// striped round-robin by index: leaves allocated together sit in the
+    /// same chunk and tend to share hot shards, so contiguous partitioning
+    /// would serialize workers on the same shard write locks while striping
+    /// spreads each chunk's leaves across all of them. A shared abort flag
+    /// stops every worker promptly once any leaf fails to reattach, instead
+    /// of letting the survivors finish a full rebuild whose result is
+    /// already doomed. Log replay and the stale-leaf scrub still run
+    /// single-threaded inside `EPallocator::open` before any worker starts.
+    pub fn recover_parallel(pool: Arc<PmemPool>, cfg: HartConfig, threads: usize) -> Result<Hart> {
         cfg.validate()?;
         let threads = threads.max(1);
         let alloc = EPallocator::open(pool)?;
-        let hart =
-            Hart { alloc, cfg, dir: Directory::new(cfg.hash_buckets, cfg.optimistic_reads) };
+        let hart = Hart {
+            alloc,
+            cfg,
+            dir: Directory::new(
+                cfg.initial_buckets,
+                cfg.resize_threshold,
+                cfg.optimistic_reads,
+            ),
+        };
         let mut leaves = Vec::new();
         hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
-        let chunk = leaves.len().div_ceil(threads).max(1);
         let first_err = parking_lot::Mutex::new(None::<Error>);
+        let abort = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|s| {
-            for part in leaves.chunks(chunk) {
+            for w in 0..threads {
                 let hart = &hart;
+                let leaves = &leaves;
                 let first_err = &first_err;
+                let abort = &abort;
                 s.spawn(move || {
-                    for &leaf in part {
+                    for &leaf in leaves.iter().skip(w).step_by(threads) {
+                        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
                         if let Err(e) = hart.recover_one_leaf(leaf) {
                             first_err.lock().get_or_insert(e);
+                            abort.store(true, std::sync::atomic::Ordering::Relaxed);
                             return;
                         }
                     }
@@ -142,7 +166,10 @@ impl Hart {
 
     #[inline]
     fn resolver(&self) -> PmResolver<'_> {
-        PmResolver { pool: self.pool(), kh: self.cfg.hash_key_len }
+        PmResolver {
+            pool: self.pool(),
+            kh: self.cfg.hash_key_len,
+        }
     }
 
     /// The pool this index lives in.
@@ -164,6 +191,23 @@ impl Hart {
     /// bound on concurrent writers.
     pub fn art_count(&self) -> usize {
         self.dir.shard_count()
+    }
+
+    /// Buckets currently in the hash directory. Starts at
+    /// `HartConfig::initial_buckets` and doubles as the load factor crosses
+    /// `HartConfig::resize_threshold` (DESIGN.md §Resizing).
+    pub fn hash_bucket_count(&self) -> usize {
+        self.dir.bucket_count()
+    }
+
+    /// Completed directory grow operations since creation/recovery.
+    pub fn hash_resize_count(&self) -> u64 {
+        self.dir.grow_count()
+    }
+
+    /// True while an old bucket array is still draining after a grow.
+    pub fn hash_migration_in_progress(&self) -> bool {
+        self.dir.migration_in_progress()
     }
 
     /// Configuration in effect.
@@ -245,7 +289,11 @@ impl Hart {
         let s = start.as_slice();
         let e = end.as_slice();
         let hi_buf = [0xFFu8; MAX_KEY_LEN];
-        let pin = if self.cfg.optimistic_reads { hart_ebr::pin() } else { None };
+        let pin = if self.cfg.optimistic_reads {
+            hart_ebr::pin()
+        } else {
+            None
+        };
         if pin.is_some() {
             // `pin` stays alive for the whole scan, keeping every raw shard
             // pointer from the snapshot dereferenceable.
@@ -282,7 +330,8 @@ impl Hart {
             return Ok(());
         }
         let mut leaves = Vec::new();
-        g.art.for_each_in_range(&r, ak_lo, ak_hi, |&leaf| leaves.push(leaf));
+        g.art
+            .for_each_in_range(&r, ak_lo, ak_hi, |&leaf| leaves.push(leaf));
         for leaf in leaves {
             let (k, v) = self.load_record(leaf)?;
             let ks = k.as_slice();
@@ -499,7 +548,8 @@ impl Hart {
             }
         }
         let mut committed = Vec::new();
-        self.alloc.for_each_live(ObjClass::Leaf, |p| committed.push(p));
+        self.alloc
+            .for_each_live(ObjClass::Leaf, |p| committed.push(p));
         committed.sort_unstable();
         if committed != reachable {
             return Err(format!(
@@ -538,10 +588,16 @@ fn shard_ak_bounds<'a>(
     if region_before(hks, s) || region_after(hks, e) {
         return None;
     }
-    let ak_lo: &[u8] =
-        if s.len() > hks.len() && s.starts_with(hks) { &s[hks.len()..] } else { b"" };
-    let ak_hi: &[u8] =
-        if e.len() > hks.len() && e.starts_with(hks) { &e[hks.len()..] } else { hi_buf };
+    let ak_lo: &[u8] = if s.len() > hks.len() && s.starts_with(hks) {
+        &s[hks.len()..]
+    } else {
+        b""
+    };
+    let ak_hi: &[u8] = if e.len() > hks.len() && e.starts_with(hks) {
+        &e[hks.len()..]
+    } else {
+        hi_buf
+    };
     Some((ak_lo, ak_hi))
 }
 
@@ -711,13 +767,19 @@ mod tests {
     use hart_pm::PoolConfig;
 
     fn fresh() -> Hart {
-        Hart::create(Arc::new(PmemPool::new(PoolConfig::test_small())), HartConfig::default())
-            .unwrap()
+        Hart::create(
+            Arc::new(PmemPool::new(PoolConfig::test_small())),
+            HartConfig::default(),
+        )
+        .unwrap()
     }
 
     fn crashy() -> Hart {
-        Hart::create(Arc::new(PmemPool::new(PoolConfig::test_crash())), HartConfig::default())
-            .unwrap()
+        Hart::create(
+            Arc::new(PmemPool::new(PoolConfig::test_crash())),
+            HartConfig::default(),
+        )
+        .unwrap()
     }
 
     fn k(s: &str) -> Key {
@@ -777,13 +839,22 @@ mod tests {
     fn update_switches_value_class() {
         let h = fresh();
         h.insert(&k("key"), &Value::new(b"short").unwrap()).unwrap();
-        assert!(h.update(&k("key"), &Value::new(b"a-sixteen-byte-v").unwrap()).unwrap());
-        assert_eq!(h.search(&k("key")).unwrap().unwrap().as_slice(), b"a-sixteen-byte-v");
+        assert!(h
+            .update(&k("key"), &Value::new(b"a-sixteen-byte-v").unwrap())
+            .unwrap());
+        assert_eq!(
+            h.search(&k("key")).unwrap().unwrap().as_slice(),
+            b"a-sixteen-byte-v"
+        );
         assert!(h.update(&k("key"), &Value::new(b"tiny").unwrap()).unwrap());
         assert_eq!(h.search(&k("key")).unwrap().unwrap().as_slice(), b"tiny");
         h.check_consistency().unwrap();
         let s = h.alloc_stats();
-        assert_eq!(s.live, [1, 1, 0], "one leaf, one 8-byte value, no 16-byte leftovers");
+        assert_eq!(
+            s.live,
+            [1, 1, 0],
+            "one leaf, one 8-byte value, no 16-byte leftovers"
+        );
     }
 
     #[test]
@@ -832,7 +903,8 @@ mod tests {
     fn thousands_of_records() {
         let h = fresh();
         for i in 0..5000u64 {
-            h.insert(&Key::from_u64_base62(i * 37 % 5000, 8), &v(i)).unwrap();
+            h.insert(&Key::from_u64_base62(i * 37 % 5000, 8), &v(i))
+                .unwrap();
         }
         assert_eq!(h.len(), 5000);
         h.check_consistency().unwrap();
@@ -869,8 +941,12 @@ mod tests {
             .collect();
         assert_eq!(got, vec!["AAb", "ABa", "ACz", "Az"]);
         // Full range, ordered.
-        let all: Vec<String> =
-            h.range(&k("A"), &k("zzzz")).unwrap().into_iter().map(|(key, _)| key.to_string()).collect();
+        let all: Vec<String> = h
+            .range(&k("A"), &k("zzzz"))
+            .unwrap()
+            .into_iter()
+            .map(|(key, _)| key.to_string())
+            .collect();
         assert_eq!(all, vec!["AAa", "AAb", "ABa", "ACz", "Az", "BAa"]);
     }
 
@@ -1018,7 +1094,8 @@ mod tests {
     fn concurrent_mixed_ops_same_art() {
         let h = Arc::new(fresh());
         for i in 0..200u64 {
-            h.insert(&Key::from_str(&format!("XX{i:04}")).unwrap(), &v(i)).unwrap();
+            h.insert(&Key::from_str(&format!("XX{i:04}")).unwrap(), &v(i))
+                .unwrap();
         }
         let mut handles = Vec::new();
         for t in 0..4u64 {
@@ -1076,11 +1153,19 @@ mod tests {
     #[test]
     fn values_of_both_classes() {
         let h = fresh();
-        h.insert(&k("short"), &Value::new(b"12345678").unwrap()).unwrap();
-        h.insert(&k("long"), &Value::new(b"0123456789abcdef").unwrap()).unwrap();
+        h.insert(&k("short"), &Value::new(b"12345678").unwrap())
+            .unwrap();
+        h.insert(&k("long"), &Value::new(b"0123456789abcdef").unwrap())
+            .unwrap();
         h.insert(&k("empty"), &Value::new(b"").unwrap()).unwrap();
-        assert_eq!(h.search(&k("short")).unwrap().unwrap().as_slice(), b"12345678");
-        assert_eq!(h.search(&k("long")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert_eq!(
+            h.search(&k("short")).unwrap().unwrap().as_slice(),
+            b"12345678"
+        );
+        assert_eq!(
+            h.search(&k("long")).unwrap().unwrap().as_slice(),
+            b"0123456789abcdef"
+        );
         assert_eq!(h.search(&k("empty")).unwrap().unwrap().as_slice(), b"");
         let s = h.alloc_stats();
         assert_eq!(s.live, [3, 2, 1]);
@@ -1101,7 +1186,8 @@ mod parallel_recovery_tests {
         {
             let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
             for i in 0..20_000u64 {
-                h.insert(&Key::from_u64_base62(i * 7, 8), &Value::from_u64(i)).unwrap();
+                h.insert(&Key::from_u64_base62(i * 7, 8), &Value::from_u64(i))
+                    .unwrap();
             }
             for i in 0..20_000u64 {
                 if i % 9 == 0 {
@@ -1122,6 +1208,98 @@ mod parallel_recovery_tests {
         }
     }
 
+    /// A corrupted leaf must fail recovery in every mode — and the
+    /// parallel workers must stop promptly on the shared abort flag
+    /// instead of completing a full rebuild whose result is discarded.
+    #[test]
+    fn parallel_recovery_aborts_on_corruption() {
+        let records = 8_000u64;
+        // PM reads are only metered when PM read latency exceeds DRAM, and
+        // the read counter is how we observe how far the rebuild got.
+        let build = |corrupt: bool| {
+            let pool = Arc::new(PmemPool::new(PoolConfig {
+                size_bytes: 64 << 20,
+                latency: hart_pm::LatencyConfig::c300_300(),
+                time_mode: hart_pm::TimeMode::Inject,
+                ..PoolConfig::test_small()
+            }));
+            {
+                let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
+                // A committed leaf owning a committed value but with no key
+                // bytes ever written.
+                let plant_bad_leaf = || {
+                    let a = h.epallocator();
+                    let val = a.alloc(ObjClass::Value8).unwrap();
+                    a.commit(val, ObjClass::Value8);
+                    let leaf = a.alloc(ObjClass::Leaf).unwrap();
+                    leaf_write_pvalue(pool.as_ref(), leaf, val, 8);
+                    persist_leaf_pvalue(pool.as_ref(), leaf);
+                    a.commit(leaf, ObjClass::Leaf);
+                };
+                if corrupt {
+                    // Four consecutive bad leaves — one per 4-thread stripe
+                    // residue — at BOTH ends of the allocation sequence:
+                    // whichever end of the chunk list `for_each_live` walks
+                    // first, every worker trips over a bad leaf within its
+                    // first few stripe elements, independent of how a
+                    // single-core scheduler orders the worker threads.
+                    for _ in 0..4 {
+                        plant_bad_leaf();
+                    }
+                }
+                for i in 0..records {
+                    h.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i))
+                        .unwrap();
+                }
+                if corrupt {
+                    for _ in 0..4 {
+                        plant_bad_leaf();
+                    }
+                }
+            }
+            pool
+        };
+
+        let clean = build(false);
+        let before = clean.stats().snapshot().read_lines;
+        Hart::recover_parallel(Arc::clone(&clean), HartConfig::default(), 4).unwrap();
+        let full_reads = clean.stats().snapshot().read_lines - before;
+
+        let bad = build(true);
+        // `EPallocator::open` scrubs every leaf before any worker starts;
+        // meter it alone so the assertion sees only reattachment reads.
+        let before = bad.stats().snapshot().read_lines;
+        drop(EPallocator::open(Arc::clone(&bad)).unwrap());
+        let open_reads = bad.stats().snapshot().read_lines - before;
+
+        let before = bad.stats().snapshot().read_lines;
+        let err = match Hart::recover_parallel(Arc::clone(&bad), HartConfig::default(), 4) {
+            Ok(_) => panic!("corrupted pool recovered"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, Error::Corrupted("live leaf with empty key")),
+            "{err:?}"
+        );
+        let aborted_reattach = (bad.stats().snapshot().read_lines - before) - open_reads;
+        let full_reattach = full_reads.saturating_sub(open_reads);
+        assert!(
+            aborted_reattach < full_reattach / 4,
+            "workers kept rebuilding after the first corrupted leaf: \
+             {aborted_reattach} reattachment PM line reads vs {full_reattach} for a full rebuild"
+        );
+
+        // The sequential path reports the same corruption.
+        let err = match Hart::recover(bad, HartConfig::default()) {
+            Ok(_) => panic!("corrupted pool recovered"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, Error::Corrupted("live leaf with empty key")),
+            "{err:?}"
+        );
+    }
+
     #[test]
     fn parallel_recovery_after_crash() {
         let pool = Arc::new(PmemPool::new(PoolConfig {
@@ -1132,10 +1310,12 @@ mod parallel_recovery_tests {
         {
             let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
             for i in 0..2000u64 {
-                h.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i)).unwrap();
+                h.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i))
+                    .unwrap();
             }
             pool.arm_persist_fuse(3); // die mid-insert
-            h.insert(&Key::from_u64_base62(9999, 8), &Value::from_u64(1)).unwrap();
+            h.insert(&Key::from_u64_base62(9999, 8), &Value::from_u64(1))
+                .unwrap();
         }
         pool.simulate_crash();
         let par = Hart::recover_parallel(Arc::clone(&pool), HartConfig::default(), 3).unwrap();

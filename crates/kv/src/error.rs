@@ -50,7 +50,9 @@ mod tests {
     fn display_is_informative() {
         assert!(Error::KeyTooLong(30).to_string().contains("30"));
         assert!(Error::ValueTooLong(99).to_string().contains("99"));
-        assert!(Error::Corrupted("bad magic").to_string().contains("bad magic"));
+        assert!(Error::Corrupted("bad magic")
+            .to_string()
+            .contains("bad magic"));
     }
 
     #[test]

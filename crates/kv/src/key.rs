@@ -27,7 +27,10 @@ pub struct InlineKey {
 
 impl InlineKey {
     /// The empty inline key.
-    pub const EMPTY: InlineKey = InlineKey { len: 0, bytes: [0; MAX_KEY_LEN] };
+    pub const EMPTY: InlineKey = InlineKey {
+        len: 0,
+        bytes: [0; MAX_KEY_LEN],
+    };
 
     /// Create from a slice.
     ///
@@ -36,10 +39,17 @@ impl InlineKey {
     /// always pass validated data.
     #[inline]
     pub fn from_slice(src: &[u8]) -> InlineKey {
-        assert!(src.len() <= MAX_KEY_LEN, "inline key too long: {}", src.len());
+        assert!(
+            src.len() <= MAX_KEY_LEN,
+            "inline key too long: {}",
+            src.len()
+        );
         let mut bytes = [0u8; MAX_KEY_LEN];
         bytes[..src.len()].copy_from_slice(src);
-        InlineKey { len: src.len() as u8, bytes }
+        InlineKey {
+            len: src.len() as u8,
+            bytes,
+        }
     }
 
     /// The key bytes.

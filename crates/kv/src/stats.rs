@@ -52,8 +52,14 @@ mod tests {
 
     #[test]
     fn add_and_total() {
-        let a = MemoryStats { dram_bytes: 10, pm_bytes: 20 };
-        let b = MemoryStats { dram_bytes: 1, pm_bytes: 2 };
+        let a = MemoryStats {
+            dram_bytes: 10,
+            pm_bytes: 20,
+        };
+        let b = MemoryStats {
+            dram_bytes: 1,
+            pm_bytes: 2,
+        };
         let c = a + b;
         assert_eq!(c.dram_bytes, 11);
         assert_eq!(c.pm_bytes, 22);

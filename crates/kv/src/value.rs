@@ -25,7 +25,10 @@ impl Value {
         }
         let mut buf = [0u8; MAX_VALUE_LEN];
         buf[..bytes.len()].copy_from_slice(bytes);
-        Ok(Value { len: bytes.len() as u8, bytes: buf })
+        Ok(Value {
+            len: bytes.len() as u8,
+            bytes: buf,
+        })
     }
 
     /// Build an 8-byte value from a `u64` (little-endian). The most common
@@ -85,7 +88,10 @@ impl fmt::Debug for Value {
 
 impl Default for Value {
     fn default() -> Self {
-        Value { len: 0, bytes: [0; MAX_VALUE_LEN] }
+        Value {
+            len: 0,
+            bytes: [0; MAX_VALUE_LEN],
+        }
     }
 }
 

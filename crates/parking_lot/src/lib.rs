@@ -31,7 +31,10 @@ unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 impl<T> Mutex<T> {
     /// New unlocked mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { raw: sync::Mutex::new(()), data: UnsafeCell::new(value) }
+        Mutex {
+            raw: sync::Mutex::new(()),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
@@ -43,17 +46,27 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Block until the lock is held.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let raw = self.raw.lock().unwrap_or_else(sync::PoisonError::into_inner);
-        MutexGuard { raw: ManuallyDrop::new(raw), data: self.data.get() }
+        let raw = self
+            .raw
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard {
+            raw: ManuallyDrop::new(raw),
+            data: self.data.get(),
+        }
     }
 
     /// Try to acquire without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.raw.try_lock() {
-            Ok(raw) => Some(MutexGuard { raw: ManuallyDrop::new(raw), data: self.data.get() }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { raw: ManuallyDrop::new(p.into_inner()), data: self.data.get() })
-            }
+            Ok(raw) => Some(MutexGuard {
+                raw: ManuallyDrop::new(raw),
+                data: self.data.get(),
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                raw: ManuallyDrop::new(p.into_inner()),
+                data: self.data.get(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -125,7 +138,10 @@ unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 impl<T> RwLock<T> {
     /// New unlocked lock.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { raw: sync::RwLock::new(()), data: UnsafeCell::new(value) }
+        RwLock {
+            raw: sync::RwLock::new(()),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
@@ -137,23 +153,39 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        let raw = self.raw.read().unwrap_or_else(sync::PoisonError::into_inner);
-        RwLockReadGuard { _raw: raw, data: self.data.get() }
+        let raw = self
+            .raw
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockReadGuard {
+            _raw: raw,
+            data: self.data.get(),
+        }
     }
 
     /// Acquire exclusive access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        let raw = self.raw.write().unwrap_or_else(sync::PoisonError::into_inner);
-        RwLockWriteGuard { _raw: raw, data: self.data.get() }
+        let raw = self
+            .raw
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockWriteGuard {
+            _raw: raw,
+            data: self.data.get(),
+        }
     }
 
     /// Try to acquire shared access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.raw.try_read() {
-            Ok(raw) => Some(RwLockReadGuard { _raw: raw, data: self.data.get() }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(RwLockReadGuard { _raw: p.into_inner(), data: self.data.get() })
-            }
+            Ok(raw) => Some(RwLockReadGuard {
+                _raw: raw,
+                data: self.data.get(),
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                _raw: p.into_inner(),
+                data: self.data.get(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -223,7 +255,9 @@ pub struct Condvar {
 impl Condvar {
     /// New condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     /// Atomically release the guard's mutex and wait for a notification,
@@ -233,7 +267,10 @@ impl Condvar {
         // and a fresh one is written back before this function returns, so
         // `MutexGuard::drop` always sees an initialized guard.
         let raw = unsafe { ManuallyDrop::take(&mut guard.raw) };
-        let raw = self.inner.wait(raw).unwrap_or_else(sync::PoisonError::into_inner);
+        let raw = self
+            .inner
+            .wait(raw)
+            .unwrap_or_else(sync::PoisonError::into_inner);
         guard.raw = ManuallyDrop::new(raw);
     }
 

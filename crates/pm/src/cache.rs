@@ -30,7 +30,11 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { capacity_bytes: 20 * 1024 * 1024, ways: 16, line_bytes: 64 }
+        CacheConfig {
+            capacity_bytes: 20 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -53,9 +57,17 @@ impl CacheSim {
     /// line size, or capacity smaller than one set).
     pub fn new(cfg: CacheConfig) -> CacheSim {
         assert!(cfg.ways > 0, "cache must have at least one way");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = cfg.capacity_bytes / cfg.line_bytes;
-        let sets = (lines / cfg.ways).max(1).next_power_of_two();
+        // Round the set count *down* to a power of two: rounding up would
+        // model up to ~2x the configured capacity (e.g. 20 MiB -> 32 MiB),
+        // under-charging PM read misses. A model may be smaller than the
+        // configured L3, never larger.
+        let raw = (lines / cfg.ways).max(1);
+        let sets = 1usize << raw.ilog2();
         let tags = (0..sets * cfg.ways).map(|_| AtomicU64::new(0)).collect();
         let cursors = (0..sets).map(|_| AtomicUsize::new(0)).collect();
         CacheSim {
@@ -100,12 +112,8 @@ impl CacheSim {
         let base = set * self.ways;
         for w in 0..self.ways {
             // CAS so we only clear the slot if it still holds this line.
-            let _ = self.tags[base + w].compare_exchange(
-                tag,
-                0,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            );
+            let _ =
+                self.tags[base + w].compare_exchange(tag, 0, Ordering::Relaxed, Ordering::Relaxed);
         }
     }
 
@@ -130,7 +138,11 @@ mod tests {
 
     fn tiny() -> CacheSim {
         // 4 sets * 2 ways * 64 B = 512 B capacity.
-        CacheSim::new(CacheConfig { capacity_bytes: 512, ways: 2, line_bytes: 64 })
+        CacheSim::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -183,5 +195,42 @@ mod tests {
         assert_eq!(c.line_bytes(), 64);
         assert!(!c.access(12345));
         assert!(c.access(12345));
+    }
+
+    /// The modeled capacity must never exceed the configured one (it used
+    /// to: 20480 sets rounded *up* to 32768, modeling a 32 MiB L3 for the
+    /// testbed's 20 MiB part), and power-of-two rounding can at worst
+    /// halve it.
+    #[test]
+    fn modeled_capacity_never_exceeds_configured() {
+        for (capacity, ways, line) in [
+            (20 * 1024 * 1024, 16, 64), // default: Xeon E5-2640 v3 L3
+            (512, 2, 64),               // the tiny() geometry (exact)
+            (3 * 1024 * 1024, 12, 64),  // non-power-of-two everything
+            (8 * 1024 * 1024, 16, 64),  // exact power of two
+            (100, 1, 64),               // capacity ~ one line
+        ] {
+            let cfg = CacheConfig {
+                capacity_bytes: capacity,
+                ways,
+                line_bytes: line,
+            };
+            let c = CacheSim::new(cfg);
+            let modeled = c.sets * c.ways * c.line_bytes();
+            assert!(
+                modeled <= capacity.max(ways * line),
+                "{cfg:?}: modeled {modeled} exceeds configured {capacity}"
+            );
+            if capacity >= 2 * ways * line {
+                assert!(
+                    modeled >= capacity / 2,
+                    "{cfg:?}: modeled {modeled} below half capacity"
+                );
+            }
+        }
+        // The default geometry specifically: 20 MiB / 64 B / 16 ways =
+        // 20480 sets, which must round down to 16384 (a 16 MiB model).
+        let def = CacheSim::new(CacheConfig::default());
+        assert_eq!(def.sets, 16384);
     }
 }

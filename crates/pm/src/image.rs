@@ -49,18 +49,27 @@ impl PmemPool {
         let mut buf8 = [0u8; 8];
         r.read_exact(&mut buf8)?;
         if u64::from_le_bytes(buf8) != IMAGE_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad pool-image magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad pool-image magic",
+            ));
         }
         r.read_exact(&mut buf8)?;
         if u64::from_le_bytes(buf8) != IMAGE_VERSION {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported image version"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported image version",
+            ));
         }
         r.read_exact(&mut buf8)?;
         let size = u64::from_le_bytes(buf8) as usize;
         r.read_exact(&mut buf8)?;
         let bump = u64::from_le_bytes(buf8);
 
-        let pool = PmemPool::new(PoolConfig { size_bytes: size, ..cfg });
+        let pool = PmemPool::new(PoolConfig {
+            size_bytes: size,
+            ..cfg
+        });
         pool.fill_from_reader(&mut r, size)?;
         pool.set_alloc_bump(bump);
         pool.sync_shadow_to_working();
@@ -110,7 +119,11 @@ mod tests {
 
         let re = PmemPool::load_image(&path, PoolConfig::test_small()).unwrap();
         assert_eq!(re.read::<u64>(a), 1);
-        assert_eq!(re.read::<u64>(b), 0, "unpersisted write must not be in the image");
+        assert_eq!(
+            re.read::<u64>(b),
+            0,
+            "unpersisted write must not be in the image"
+        );
     }
 
     #[test]
@@ -143,7 +156,10 @@ mod tests {
         pool.save_image(&path).unwrap();
         let re = PmemPool::load_image(
             &path,
-            PoolConfig { latency: LatencyConfig::c600_300(), ..PoolConfig::test_small() },
+            PoolConfig {
+                latency: LatencyConfig::c600_300(),
+                ..PoolConfig::test_small()
+            },
         )
         .unwrap();
         assert_eq!(re.latency(), LatencyConfig::c600_300());

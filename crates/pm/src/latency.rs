@@ -46,23 +46,39 @@ impl LatencyConfig {
     /// Read latency equals DRAM, so no read penalty is charged — which is
     /// why the paper could scale this configuration to 100 M records.
     pub const fn c300_100() -> Self {
-        LatencyConfig { pm_write_ns: 300, pm_read_ns: 100, dram_ns: 100 }
+        LatencyConfig {
+            pm_write_ns: 300,
+            pm_read_ns: 100,
+            dram_ns: 100,
+        }
     }
 
     /// The paper's `300/300` configuration.
     pub const fn c300_300() -> Self {
-        LatencyConfig { pm_write_ns: 300, pm_read_ns: 300, dram_ns: 100 }
+        LatencyConfig {
+            pm_write_ns: 300,
+            pm_read_ns: 300,
+            dram_ns: 100,
+        }
     }
 
     /// The paper's `600/300` configuration.
     pub const fn c600_300() -> Self {
-        LatencyConfig { pm_write_ns: 600, pm_read_ns: 300, dram_ns: 100 }
+        LatencyConfig {
+            pm_write_ns: 600,
+            pm_read_ns: 300,
+            dram_ns: 100,
+        }
     }
 
     /// No emulated penalty at all (PM behaves like DRAM). Used by unit tests
     /// and by the paper's "first round pure DRAM" baseline measurements.
     pub const fn dram() -> Self {
-        LatencyConfig { pm_write_ns: 100, pm_read_ns: 100, dram_ns: 100 }
+        LatencyConfig {
+            pm_write_ns: 100,
+            pm_read_ns: 100,
+            dram_ns: 100,
+        }
     }
 
     /// Extra nanoseconds charged per `persist` call.

@@ -75,7 +75,10 @@ impl PoolConfig {
     /// Convenience: a small crash-simulation pool, for failure-injection
     /// tests.
     pub fn test_crash() -> Self {
-        PoolConfig { crash_sim: true, ..Self::test_small() }
+        PoolConfig {
+            crash_sim: true,
+            ..Self::test_small()
+        }
     }
 }
 
@@ -140,7 +143,10 @@ impl PmemPool {
         let raw = unsafe { alloc_zeroed(layout) };
         let base = NonNull::new(raw).expect("pool allocation failed");
         let crash = cfg.crash_sim.then(|| {
-            Mutex::new(CrashState { shadow: vec![0u8; cfg.size_bytes], dirty: HashSet::new() })
+            Mutex::new(CrashState {
+                shadow: vec![0u8; cfg.size_bytes],
+                dirty: HashSet::new(),
+            })
         });
         PmemPool {
             base,
@@ -151,7 +157,10 @@ impl PmemPool {
             stats: PmStats::default(),
             cache: CacheSim::new(cfg.cache),
             charge_reads: cfg.latency.read_extra_ns() > 0,
-            alloc: Mutex::new(RawAlloc { bump: HEAP_START, free: HashMap::new() }),
+            alloc: Mutex::new(RawAlloc {
+                bump: HEAP_START,
+                free: HashMap::new(),
+            }),
             crash,
             alloc_overhead_ns: cfg.alloc_overhead_ns,
             persist_fuse: std::sync::atomic::AtomicI64::new(-1),
@@ -186,7 +195,10 @@ impl PmemPool {
     /// Panics if `size > 4032` (the root area is one page minus the null
     /// slot).
     pub fn root_area(&self, size: usize) -> PmPtr {
-        assert!(size as u64 <= HEAP_START - ROOT_OFF, "root area overflow: {size}");
+        assert!(
+            size as u64 <= HEAP_START - ROOT_OFF,
+            "root area overflow: {size}"
+        );
         PmPtr(ROOT_OFF)
     }
 
@@ -194,7 +206,9 @@ impl PmemPool {
     fn check(&self, p: PmPtr, len: usize) {
         assert!(!p.is_null(), "null PmPtr dereference");
         assert!(
-            (p.0 as usize).checked_add(len).is_some_and(|end| end <= self.len),
+            (p.0 as usize)
+                .checked_add(len)
+                .is_some_and(|end| end <= self.len),
             "PM access out of bounds: off={} len={} cap={}",
             p.0,
             len,
@@ -256,7 +270,11 @@ impl PmemPool {
 
     #[inline]
     fn charge_alloc_overhead(&self) {
-        charge(self.mode, &self.stats.alloc_extra_ns, self.alloc_overhead_ns);
+        charge(
+            self.mode,
+            &self.stats.alloc_extra_ns,
+            self.alloc_overhead_ns,
+        );
     }
 
     // ------------------------------------------------------------ accessors
@@ -380,10 +398,18 @@ impl PmemPool {
             }
             line += CACHE_LINE;
         }
-        self.stats.read_lines.fetch_add(lines, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .read_lines
+            .fetch_add(lines, std::sync::atomic::Ordering::Relaxed);
         if misses > 0 {
-            self.stats.read_misses.fetch_add(misses, std::sync::atomic::Ordering::Relaxed);
-            charge(self.mode, &self.stats.read_extra_ns, misses * self.latency.read_extra_ns());
+            self.stats
+                .read_misses
+                .fetch_add(misses, std::sync::atomic::Ordering::Relaxed);
+            charge(
+                self.mode,
+                &self.stats.read_extra_ns,
+                misses * self.latency.read_extra_ns(),
+            );
         }
     }
 
@@ -401,8 +427,12 @@ impl PmemPool {
         let first = p.0 & !(CACHE_LINE - 1);
         let end = p.0 + len.max(1) as u64;
         let nlines = (end - first).div_ceil(CACHE_LINE);
-        self.stats.persist_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.stats.lines_flushed.fetch_add(nlines, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .persist_calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .lines_flushed
+            .fetch_add(nlines, std::sync::atomic::Ordering::Relaxed);
 
         if self.charge_reads {
             let mut line = first;
@@ -432,7 +462,11 @@ impl PmemPool {
         if let Some(crash) = &self.crash {
             if !fuse_ok {
                 // Leave the lines dirty so simulate_crash reverts them.
-                charge(self.mode, &self.stats.write_extra_ns, self.latency.write_extra_ns());
+                charge(
+                    self.mode,
+                    &self.stats.write_extra_ns,
+                    self.latency.write_extra_ns(),
+                );
                 return;
             }
             let mut st = crash.lock();
@@ -454,7 +488,11 @@ impl PmemPool {
             }
         }
 
-        charge(self.mode, &self.stats.write_extra_ns, self.latency.write_extra_ns());
+        charge(
+            self.mode,
+            &self.stats.write_extra_ns,
+            self.latency.write_extra_ns(),
+        );
     }
 
     /// Persist exactly one `T` at `p`.
@@ -466,7 +504,9 @@ impl PmemPool {
     /// A standalone memory fence (counted; no latency charge of its own —
     /// the paper folds fence cost into the per-persist charge).
     pub fn fence(&self) {
-        self.stats.fences.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .fences
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
     }
 
@@ -507,12 +547,14 @@ impl PmemPool {
     /// Panics if the pool was created without `crash_sim`.
     pub fn arm_persist_fuse(&self, n: u64) {
         assert!(self.crash.is_some(), "persist fuse requires crash_sim");
-        self.persist_fuse.store(n as i64, std::sync::atomic::Ordering::Relaxed);
+        self.persist_fuse
+            .store(n as i64, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Disarm the persist fuse (durability resumes).
     pub fn disarm_persist_fuse(&self) {
-        self.persist_fuse.store(-1, std::sync::atomic::Ordering::Relaxed);
+        self.persist_fuse
+            .store(-1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// True when an armed fuse has burned down to zero (the simulated
@@ -542,8 +584,14 @@ impl PmemPool {
     /// nodes were PM-resident and had to be flushed on every structural
     /// change (§III-A.2's claim quantified).
     pub fn charge_synthetic_persist(&self, calls: u64) {
-        self.stats.persist_calls.fetch_add(calls, std::sync::atomic::Ordering::Relaxed);
-        charge(self.mode, &self.stats.write_extra_ns, calls * self.latency.write_extra_ns());
+        self.stats
+            .persist_calls
+            .fetch_add(calls, std::sync::atomic::Ordering::Relaxed);
+        charge(
+            self.mode,
+            &self.stats.write_extra_ns,
+            calls * self.latency.write_extra_ns(),
+        );
     }
 
     // ------------------------------------------------------------ imaging
@@ -850,10 +898,15 @@ mod tests {
         for _ in 0..4 {
             let p = Arc::clone(&p);
             handles.push(std::thread::spawn(move || {
-                (0..200).map(|_| p.alloc_raw(128, 128).unwrap().0).collect::<Vec<_>>()
+                (0..200)
+                    .map(|_| p.alloc_raw(128, 128).unwrap().0)
+                    .collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();
@@ -882,7 +935,11 @@ mod fuse_tests {
         p.simulate_crash();
         assert_eq!(p.read::<u64>(a), 1);
         assert_eq!(p.read::<u64>(a.add(8)), 2);
-        assert_eq!(p.read::<u64>(a.add(16)), 0, "post-fuse persist must not stick");
+        assert_eq!(
+            p.read::<u64>(a.add(16)),
+            0,
+            "post-fuse persist must not stick"
+        );
         assert_eq!(p.read::<u64>(a.add(24)), 0);
     }
 

@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn miss_rate() {
-        let snap = PmStatsSnapshot { read_lines: 10, read_misses: 5, ..Default::default() };
+        let snap = PmStatsSnapshot {
+            read_lines: 10,
+            read_misses: 5,
+            ..Default::default()
+        };
         assert!((snap.read_miss_rate() - 0.5).abs() < 1e-9);
         assert_eq!(PmStatsSnapshot::default().read_miss_rate(), 0.0);
     }

@@ -136,7 +136,10 @@ pub struct Union<V> {
 impl<V> Union<V> {
     /// Build from boxed alternatives; panics if empty.
     pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
         Union { options }
     }
 }
@@ -178,10 +181,10 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/0);
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
 
 /// Types with a canonical whole-domain strategy ([`any`]).
 pub trait Arbitrary: Sized {
@@ -371,7 +374,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `left != right`\n  both: {:?}\n at {}:{}",
-                l, file!(), line!()
+                l,
+                file!(),
+                line!()
             )));
         }
     }};

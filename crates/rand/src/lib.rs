@@ -244,7 +244,10 @@ mod tests {
         for _ in 0..1000 {
             seen[r.gen_range(0..10usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 10 values should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 10 values should appear: {seen:?}"
+        );
     }
 
     #[test]

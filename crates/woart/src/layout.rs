@@ -127,7 +127,9 @@ pub fn publish_slot(pool: &PmemPool, slot: PmPtr, child: Tagged) {
 /// Allocate a zeroed node of kind `nt` with the given prefix. The caller
 /// fills children and then calls [`persist_node`] before publishing.
 pub fn alloc_node(pool: &PmemPool, nt: u8, prefix: &[u8]) -> Result<PmPtr> {
-    let p = pool.alloc_raw(node_size(nt), NODE_ALIGN).ok_or(Error::PmExhausted)?;
+    let p = pool
+        .alloc_raw(node_size(nt), NODE_ALIGN)
+        .ok_or(Error::PmExhausted)?;
     pool.write(p.add(OFF_TYPE), &nt);
     if nt == NT_N48 {
         pool.write_bytes(p.add(N48_INDEX), &[NO_SLOT; 256]);
@@ -194,12 +196,16 @@ pub fn find_child_slot(pool: &PmemPool, node: PmPtr, b: u8) -> Option<PmPtr> {
         NT_N4 => {
             let mut keys = [0u8; 4];
             pool.read_bytes(node.add(N4_KEYS), &mut keys);
-            (0..count).find(|&i| keys[i] == b).map(|i| node.add(N4_CHILDREN + 8 * i as u64))
+            (0..count)
+                .find(|&i| keys[i] == b)
+                .map(|i| node.add(N4_CHILDREN + 8 * i as u64))
         }
         NT_N16 => {
             let mut keys = [0u8; 16];
             pool.read_bytes(node.add(N16_KEYS), &mut keys);
-            (0..count).find(|&i| keys[i] == b).map(|i| node.add(N16_CHILDREN + 8 * i as u64))
+            (0..count)
+                .find(|&i| keys[i] == b)
+                .map(|i| node.add(N16_CHILDREN + 8 * i as u64))
         }
         NT_N48 => {
             let slot = pool.read::<u8>(node.add(N48_INDEX + b as u64));
@@ -217,7 +223,10 @@ pub fn find_child_slot(pool: &PmemPool, node: PmPtr, b: u8) -> Option<PmPtr> {
 /// (caller grows first). Writes the entry then persists the touched
 /// region(s) — the WOART-style append.
 pub fn add_child(pool: &PmemPool, node: PmPtr, b: u8, child: Tagged) -> bool {
-    debug_assert!(find_child_slot(pool, node, b).is_none(), "duplicate edge {b}");
+    debug_assert!(
+        find_child_slot(pool, node, b).is_none(),
+        "duplicate edge {b}"
+    );
     let nt = node_type(pool, node);
     let count = node_count(pool, node);
     if count == node_capacity(nt) {
@@ -331,8 +340,11 @@ pub fn children_sorted(pool: &PmemPool, node: PmPtr) -> Vec<(u8, Tagged)> {
     let mut out = Vec::with_capacity(count);
     match nt {
         NT_N4 | NT_N16 => {
-            let (keys_off, ch_off, cap) =
-                if nt == NT_N4 { (N4_KEYS, N4_CHILDREN, 4usize) } else { (N16_KEYS, N16_CHILDREN, 16) };
+            let (keys_off, ch_off, cap) = if nt == NT_N4 {
+                (N4_KEYS, N4_CHILDREN, 4usize)
+            } else {
+                (N16_KEYS, N16_CHILDREN, 16)
+            };
             let mut keys = [0u8; 16];
             pool.read_bytes(node.add(keys_off), &mut keys[..cap]);
             for (i, &b) in keys[..count].iter().enumerate() {
@@ -487,16 +499,27 @@ mod tests {
             let node = alloc_node(&pool, nt, b"pfx").unwrap();
             let cap = node_capacity(nt);
             for i in 0..cap {
-                assert!(add_child(&pool, node, i as u8, Tagged::Leaf(PmPtr(64 * (i as u64 + 1)))));
+                assert!(add_child(
+                    &pool,
+                    node,
+                    i as u8,
+                    Tagged::Leaf(PmPtr(64 * (i as u64 + 1)))
+                ));
             }
             if nt != NT_N256 {
                 // A fresh byte on a full node must be refused (NODE256 can
                 // never be full for a fresh byte — all 256 are taken).
-                assert!(!add_child(&pool, node, cap as u8, Tagged::Leaf(PmPtr(64))), "full {nt}");
+                assert!(
+                    !add_child(&pool, node, cap as u8, Tagged::Leaf(PmPtr(64))),
+                    "full {nt}"
+                );
             }
             for i in 0..cap {
                 let slot = find_child_slot(&pool, node, i as u8).expect("present");
-                assert_eq!(read_slot(&pool, slot), Tagged::Leaf(PmPtr(64 * (i as u64 + 1))));
+                assert_eq!(
+                    read_slot(&pool, slot),
+                    Tagged::Leaf(PmPtr(64 * (i as u64 + 1)))
+                );
             }
             assert!(find_child_slot(&pool, node, 254).is_none() || cap == 256);
             assert!(remove_child(&pool, node, 0));
@@ -522,7 +545,10 @@ mod tests {
         for b in [9u8, 3, 200, 0, 77] {
             add_child(&pool, node, b, Tagged::Leaf(PmPtr(64 + b as u64 * 8)));
         }
-        let bytes: Vec<u8> = children_sorted(&pool, node).iter().map(|(b, _)| *b).collect();
+        let bytes: Vec<u8> = children_sorted(&pool, node)
+            .iter()
+            .map(|(b, _)| *b)
+            .collect();
         assert_eq!(bytes, vec![0, 3, 9, 77, 200]);
     }
 

@@ -43,7 +43,12 @@ impl Woart {
         pool.persist(base, 16);
         pool.write_u64_atomic(base, MAGIC);
         pool.persist(base, 8);
-        Ok(Woart { root_slot: base.add(8), pool, lock: RwLock::new(()), len: AtomicUsize::new(0) })
+        Ok(Woart {
+            root_slot: base.add(8),
+            pool,
+            lock: RwLock::new(()),
+            len: AtomicUsize::new(0),
+        })
     }
 
     /// Open an existing pool. WOART is a pure-PM tree: "they have no need
@@ -460,7 +465,10 @@ mod tests {
             t.insert(&k(key), &v(key.len() as u64)).unwrap();
         }
         for key in ["a", "ab", "abc", "abcd"] {
-            assert_eq!(t.search(&k(key)).unwrap().unwrap().as_u64(), key.len() as u64);
+            assert_eq!(
+                t.search(&k(key)).unwrap().unwrap().as_u64(),
+                key.len() as u64
+            );
         }
         assert!(t.remove(&k("ab")).unwrap());
         assert_eq!(t.search(&k("ab")).unwrap(), None);
@@ -474,8 +482,13 @@ mod tests {
         t.insert(&k("key"), &v(2)).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.search(&k("key")).unwrap().unwrap().as_u64(), 2);
-        assert!(t.update(&k("key"), &Value::new(b"0123456789abcdef").unwrap()).unwrap());
-        assert_eq!(t.search(&k("key")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert!(t
+            .update(&k("key"), &Value::new(b"0123456789abcdef").unwrap())
+            .unwrap());
+        assert_eq!(
+            t.search(&k("key")).unwrap().unwrap().as_slice(),
+            b"0123456789abcdef"
+        );
         assert!(!t.update(&k("nope"), &v(0)).unwrap());
     }
 
@@ -483,7 +496,9 @@ mod tests {
     fn grows_and_shrinks_node_kinds() {
         let t = fresh();
         // 200 distinct first bytes forces NODE256 at the root.
-        let keys: Vec<Key> = (0..200u64).map(|i| Key::from_u64_base62(i * 62, 4)).collect();
+        let keys: Vec<Key> = (0..200u64)
+            .map(|i| Key::from_u64_base62(i * 62, 4))
+            .collect();
         for (i, key) in keys.iter().enumerate() {
             t.insert(key, &v(i as u64)).unwrap();
         }
@@ -507,7 +522,9 @@ mod tests {
         // Deterministic pseudo-random op sequence.
         let mut state = 0x1234_5678u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..4000 {
@@ -548,7 +565,13 @@ mod tests {
         let t2 = Woart::open(pool).unwrap();
         assert_eq!(t2.len(), 500);
         for i in 0..500u64 {
-            assert_eq!(t2.search(&Key::from_u64_base62(i, 6)).unwrap().unwrap().as_u64(), i);
+            assert_eq!(
+                t2.search(&Key::from_u64_base62(i, 6))
+                    .unwrap()
+                    .unwrap()
+                    .as_u64(),
+                i
+            );
         }
     }
 

@@ -17,9 +17,9 @@ use std::collections::HashSet;
 pub const DICTIONARY_SIZE: usize = 466_544;
 
 const ONSETS: &[&str] = &[
-    "", "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "qu", "r", "s", "t", "v",
-    "w", "z", "bl", "br", "ch", "cl", "cr", "dr", "fl", "fr", "gl", "gr", "pl", "pr", "sc",
-    "sh", "sk", "sl", "sm", "sn", "sp", "st", "str", "sw", "th", "tr", "wh",
+    "", "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "qu", "r", "s", "t", "v", "w",
+    "z", "bl", "br", "ch", "cl", "cr", "dr", "fl", "fr", "gl", "gr", "pl", "pr", "sc", "sh", "sk",
+    "sl", "sm", "sn", "sp", "st", "str", "sw", "th", "tr", "wh",
 ];
 
 const VOWELS: &[&str] = &[
@@ -27,8 +27,8 @@ const VOWELS: &[&str] = &[
 ];
 
 const CODAS: &[&str] = &[
-    "", "b", "ck", "d", "f", "g", "k", "l", "ll", "m", "n", "nd", "ng", "nk", "nt", "p", "r",
-    "rd", "rk", "rn", "rt", "s", "ss", "st", "t", "x",
+    "", "b", "ck", "d", "f", "g", "k", "l", "ll", "m", "n", "nd", "ng", "nk", "nt", "p", "r", "rd",
+    "rk", "rn", "rt", "s", "ss", "st", "t", "x",
 ];
 
 const SUFFIXES: &[&str] = &["", "s", "ed", "ing", "er", "ly", "ness", "able", "ation"];
@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn word_lengths_resemble_english() {
         let words = dictionary_of_size(50_000);
-        let avg: f64 =
-            words.iter().map(|w| w.len() as f64).sum::<f64>() / words.len() as f64;
+        let avg: f64 = words.iter().map(|w| w.len() as f64).sum::<f64>() / words.len() as f64;
         assert!((5.0..=14.0).contains(&avg), "average word length {avg:.1}");
         let max = words.iter().map(|w| w.len()).max().unwrap();
         assert!(max <= MAX_KEY_LEN);

@@ -78,7 +78,9 @@ pub fn sequential(n: usize) -> Vec<Key> {
         width += 1;
         cap = cap.saturating_mul(62);
     }
-    (0..n as u64).map(|i| Key::from_u64_base62(i, width)).collect()
+    (0..n as u64)
+        .map(|i| Key::from_u64_base62(i, width))
+        .collect()
 }
 
 /// `n` distinct random keys of 5–16 characters from [`ALPHABET`].

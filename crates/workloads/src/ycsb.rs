@@ -90,22 +90,43 @@ pub struct MixSpec {
 impl MixSpec {
     /// 10/70/10/10 (Fig. 9a).
     pub const fn read_intensive() -> MixSpec {
-        MixSpec { insert: 10, search: 70, update: 10, delete: 10, label: "Read-Intensive" }
+        MixSpec {
+            insert: 10,
+            search: 70,
+            update: 10,
+            delete: 10,
+            label: "Read-Intensive",
+        }
     }
 
     /// 0/50/50/0 (Fig. 9b).
     pub const fn read_modified_write() -> MixSpec {
-        MixSpec { insert: 0, search: 50, update: 50, delete: 0, label: "Read-Modified-Write" }
+        MixSpec {
+            insert: 0,
+            search: 50,
+            update: 50,
+            delete: 0,
+            label: "Read-Modified-Write",
+        }
     }
 
     /// 40/20/40/0 (Fig. 9c).
     pub const fn write_intensive() -> MixSpec {
-        MixSpec { insert: 40, search: 20, update: 40, delete: 0, label: "Write-Intensive" }
+        MixSpec {
+            insert: 40,
+            search: 20,
+            update: 40,
+            delete: 0,
+            label: "Write-Intensive",
+        }
     }
 
     /// The three mixes of Fig. 9, in paper order.
-    pub const ALL: [MixSpec; 3] =
-        [Self::read_intensive(), Self::read_modified_write(), Self::write_intensive()];
+    pub const ALL: [MixSpec; 3] = [
+        Self::read_intensive(),
+        Self::read_modified_write(),
+        Self::write_intensive(),
+    ];
 
     fn validate(&self) {
         assert_eq!(
@@ -161,8 +182,10 @@ impl YcsbWorkload {
         let n_inserts = kinds.iter().filter(|k| **k == OpKind::Insert).count();
         // One key universe for preload + fresh inserts so they never collide.
         let all = random(preload_n + n_inserts, seed);
-        let preload: Vec<(Key, Value)> =
-            all[..preload_n].iter().map(|k| (*k, value_for(k))).collect();
+        let preload: Vec<(Key, Value)> = all[..preload_n]
+            .iter()
+            .map(|k| (*k, value_for(k)))
+            .collect();
         let mut fresh = all[preload_n..].iter().copied();
 
         let zipf = match dist {
@@ -184,7 +207,11 @@ impl YcsbWorkload {
                         preload[idx].0
                     }
                 };
-                Op { kind, key, value: Value::from_u64(rng.gen()) }
+                Op {
+                    kind,
+                    key,
+                    value: Value::from_u64(rng.gen()),
+                }
             })
             .collect();
         YcsbWorkload { spec, preload, ops }
@@ -215,7 +242,10 @@ mod tests {
     #[test]
     fn rmw_has_no_inserts_or_deletes() {
         let w = YcsbWorkload::generate(MixSpec::read_modified_write(), 500, 5000, 1);
-        assert!(w.ops.iter().all(|o| matches!(o.kind, OpKind::Search | OpKind::Update)));
+        assert!(w
+            .ops
+            .iter()
+            .all(|o| matches!(o.kind, OpKind::Search | OpKind::Update)));
     }
 
     #[test]
@@ -225,9 +255,15 @@ mod tests {
             w.preload.iter().map(|(k, _)| k.as_slice()).collect();
         for op in &w.ops {
             if op.kind == OpKind::Insert {
-                assert!(!preloaded.contains(op.key.as_slice()), "insert hit a preloaded key");
+                assert!(
+                    !preloaded.contains(op.key.as_slice()),
+                    "insert hit a preloaded key"
+                );
             } else {
-                assert!(preloaded.contains(op.key.as_slice()), "non-insert missed preload");
+                assert!(
+                    preloaded.contains(op.key.as_slice()),
+                    "non-insert missed preload"
+                );
             }
         }
     }

@@ -43,7 +43,9 @@ fn nib_len(key: &[u8]) -> usize {
 
 fn alloc_node(pool: &PmemPool, prefix: &[u8]) -> Result<PmPtr> {
     debug_assert!(prefix.len() <= MAX_PREFIX);
-    let p = pool.alloc_raw(NODE_SIZE, NODE_ALIGN).ok_or(Error::PmExhausted)?;
+    let p = pool
+        .alloc_raw(NODE_SIZE, NODE_ALIGN)
+        .ok_or(Error::PmExhausted)?;
     set_prefix(pool, p, prefix);
     Ok(p)
 }
@@ -107,7 +109,12 @@ impl Wort {
         pool.persist(base, 16);
         pool.write_u64_atomic(base, MAGIC);
         pool.persist(base, 8);
-        Ok(Wort { root_slot: base.add(8), pool, lock: RwLock::new(()), len: AtomicUsize::new(0) })
+        Ok(Wort {
+            root_slot: base.add(8),
+            pool,
+            lock: RwLock::new(()),
+            len: AtomicUsize::new(0),
+        })
     }
 
     /// Open an existing pool (pure-PM tree: only the count is re-derived).
@@ -190,8 +197,14 @@ impl Wort {
             // The common run continues: chain another node underneath the
             // shared nibble.
             let shared = nib(key, depth + take);
-            let inner =
-                self.build_split(existing, ek, key, new_leaf, depth + take + 1, lcp - take - 1)?;
+            let inner = self.build_split(
+                existing,
+                ek,
+                key,
+                new_leaf,
+                depth + take + 1,
+                lcp - take - 1,
+            )?;
             pool.write_u64_atomic(child_slot(node, shared), Tagged::Node(inner).encode());
         } else {
             let b_old = nib(ek, depth + lcp);
@@ -315,7 +328,9 @@ impl Wort {
 
     fn remove_rec(&self, slot: PmPtr, key: &[u8], depth: usize) -> bool {
         let pool = &self.pool;
-        let Tagged::Node(node) = read_slot(pool, slot) else { unreachable!() };
+        let Tagged::Node(node) = read_slot(pool, slot) else {
+            unreachable!()
+        };
         let (p, plen) = prefix_of(pool, node);
         let kmax = nib_len(key);
         for (i, &pn) in p[..plen].iter().enumerate() {
@@ -509,11 +524,21 @@ mod tests {
     #[test]
     fn basic_roundtrip() {
         let t = fresh();
-        for (i, key) in ["romane", "romanus", "romulus", "a", "ab"].iter().enumerate() {
+        for (i, key) in ["romane", "romanus", "romulus", "a", "ab"]
+            .iter()
+            .enumerate()
+        {
             t.insert(&k(key), &v(i as u64)).unwrap();
         }
-        for (i, key) in ["romane", "romanus", "romulus", "a", "ab"].iter().enumerate() {
-            assert_eq!(t.search(&k(key)).unwrap().unwrap().as_u64(), i as u64, "{key}");
+        for (i, key) in ["romane", "romanus", "romulus", "a", "ab"]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(
+                t.search(&k(key)).unwrap().unwrap().as_u64(),
+                i as u64,
+                "{key}"
+            );
         }
         assert_eq!(t.search(&k("roman")).unwrap(), None);
         assert_eq!(t.len(), 5);
@@ -540,7 +565,9 @@ mod tests {
         let mut model: BTreeMap<String, u64> = BTreeMap::new();
         let mut state = 0x5EED_1234u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..4000 {
@@ -577,7 +604,13 @@ mod tests {
         let t2 = Wort::open(pool).unwrap();
         assert_eq!(t2.len(), 500);
         for i in (0..500u64).step_by(7) {
-            assert_eq!(t2.search(&Key::from_u64_base62(i, 6)).unwrap().unwrap().as_u64(), i);
+            assert_eq!(
+                t2.search(&Key::from_u64_base62(i, 6))
+                    .unwrap()
+                    .unwrap()
+                    .as_u64(),
+                i
+            );
         }
     }
 
@@ -616,8 +649,13 @@ mod tests {
     fn update_swaps_values() {
         let t = fresh();
         t.insert(&k("key"), &v(1)).unwrap();
-        assert!(t.update(&k("key"), &Value::new(b"0123456789abcdef").unwrap()).unwrap());
-        assert_eq!(t.search(&k("key")).unwrap().unwrap().as_slice(), b"0123456789abcdef");
+        assert!(t
+            .update(&k("key"), &Value::new(b"0123456789abcdef").unwrap())
+            .unwrap());
+        assert_eq!(
+            t.search(&k("key")).unwrap().unwrap().as_slice(),
+            b"0123456789abcdef"
+        );
         assert!(!t.update(&k("absent"), &v(0)).unwrap());
     }
 

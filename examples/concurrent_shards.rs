@@ -20,9 +20,14 @@ const N: usize = 200_000;
 
 fn main() -> hart_suite::Result<()> {
     let keys = random(N, 7);
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     println!("host parallelism: {cores} threads\n");
-    println!("{:>8}  {:>14}  {:>14}", "threads", "insert MIOPS", "search MIOPS");
+    println!(
+        "{:>8}  {:>14}  {:>14}",
+        "threads", "insert MIOPS", "search MIOPS"
+    );
 
     let mut baseline: Option<(f64, f64)> = None;
     for threads in [1usize, 2, 4, 8, 16] {
@@ -71,7 +76,8 @@ fn main() -> hart_suite::Result<()> {
             srch / b_srch
         );
         assert_eq!(tree.len(), N);
-        tree.check_consistency().expect("consistent after concurrent phase");
+        tree.check_consistency()
+            .expect("consistent after concurrent phase");
     }
 
     // Contended phase: all threads hammer the same keyspace with mixed ops.

@@ -18,7 +18,9 @@
 use hart_suite::epalloc::{
     leaf_write_key, leaf_write_pvalue, persist_leaf_key, persist_leaf_pvalue, ObjClass,
 };
-use hart_suite::{Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value};
+use hart_suite::{
+    Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value,
+};
 use std::sync::Arc;
 
 fn main() -> hart_suite::Result<()> {
@@ -79,16 +81,30 @@ fn main() -> hart_suite::Result<()> {
 
     // 4. Recover (Algorithm 7 + log replay + leak scrub).
     let recovered = Hart::recover(Arc::clone(&pool), HartConfig::default())?;
-    println!("recovered {} records across {} ARTs", recovered.len(), recovered.art_count());
+    println!(
+        "recovered {} records across {} ARTs",
+        recovered.len(),
+        recovered.art_count()
+    );
 
-    assert_eq!(recovered.len(), N as usize, "every committed record survives");
+    assert_eq!(
+        recovered.len(),
+        N as usize,
+        "every committed record survives"
+    );
     for i in (0..N).step_by(997) {
-        let got = recovered.search(&Key::from_u64_base62(i, 8))?.expect("survives");
+        let got = recovered
+            .search(&Key::from_u64_base62(i, 8))?
+            .expect("survives");
         if i != 42 {
             assert_eq!(got.as_u64(), i);
         }
     }
-    assert_eq!(recovered.search(&torn_key)?, None, "torn insert must vanish");
+    assert_eq!(
+        recovered.search(&torn_key)?,
+        None,
+        "torn insert must vanish"
+    );
     let rolled = recovered.search(&updated_key)?.expect("present");
     assert_eq!(rolled.as_u64(), 777_777, "torn update must roll forward");
 
@@ -96,7 +112,9 @@ fn main() -> hart_suite::Result<()> {
     let s = recovered.alloc_stats();
     assert_eq!(s.live[0], N, "leaf count");
     assert_eq!(s.live[1] + s.live[2], N, "value count — nothing leaked");
-    recovered.check_consistency().expect("post-recovery consistency");
+    recovered
+        .check_consistency()
+        .expect("post-recovery consistency");
 
     println!("torn insert scrubbed, torn update rolled forward, no PM leaked ✓");
     println!("post-recovery allocator: {s:?}");

@@ -91,7 +91,10 @@ fn main() -> hart_suite::Result<()> {
     // The store keeps serving: surviving tokens still resolve, evicted
     // tokens do not, and new logins work.
     assert!(store.search(&tokens[1])?.is_some());
-    assert!(store.search(&tokens[7])?.is_none(), "evicted (index 7 is a multiple of 7)");
+    assert!(
+        store.search(&tokens[7])?.is_none(),
+        "evicted (index 7 is a multiple of 7)"
+    );
     let fresh = Key::from_str("fresh-session-0001")?;
     store.insert(&fresh, &value_for(&fresh))?;
     assert!(store.search(&fresh)?.is_some());

@@ -6,7 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hart_suite::{Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value};
+use hart_suite::{
+    Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value,
+};
 use std::sync::Arc;
 
 fn main() -> hart_suite::Result<()> {
@@ -26,7 +28,11 @@ fn main() -> hart_suite::Result<()> {
     index.insert(&Key::from_str("AAEG")?, &Value::from_u64(3))?;
     index.insert(&Key::from_str("AAEH")?, &Value::from_u64(4))?;
     index.insert(&Key::from_str("XY12")?, &Value::from_u64(5))?;
-    println!("inserted {} records across {} ARTs", index.len(), index.art_count());
+    println!(
+        "inserted {} records across {} ARTs",
+        index.len(),
+        index.art_count()
+    );
 
     // Search.
     let got = index.search(&Key::from_str("AABF")?)?.expect("present");
@@ -35,16 +41,26 @@ fn main() -> hart_suite::Result<()> {
     // Update (the logged out-of-place protocol of Algorithm 3).
     index.update(&Key::from_str("AABF")?, &Value::new(b"a 16-byte value!")?)?;
     let got = index.search(&Key::from_str("AABF")?)?.expect("present");
-    println!("after update  = {:?}", String::from_utf8_lossy(got.as_slice()));
+    println!(
+        "after update  = {:?}",
+        String::from_utf8_lossy(got.as_slice())
+    );
 
     // Ordered range scan (extension; the paper's own range query is a
     // per-key search loop — see `multi_get`).
     let hits = index.range(&Key::from_str("AAC")?, &Key::from_str("AAZ")?)?;
-    println!("range [AAC, AAZ] -> {:?}", hits.iter().map(|(k, _)| k.to_string()).collect::<Vec<_>>());
+    println!(
+        "range [AAC, AAZ] -> {:?}",
+        hits.iter().map(|(k, _)| k.to_string()).collect::<Vec<_>>()
+    );
 
     // Delete.
     index.remove(&Key::from_str("XY12")?)?;
-    println!("after delete: {} records, {} ARTs", index.len(), index.art_count());
+    println!(
+        "after delete: {} records, {} ARTs",
+        index.len(),
+        index.art_count()
+    );
 
     // Where did everything go? DRAM: hash table + ART inner nodes;
     // PM: 40-byte leaves + value objects in EPallocator chunks.

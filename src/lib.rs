@@ -23,8 +23,8 @@ pub use hart_fptree as fptree;
 pub use hart_kv as kv;
 pub use hart_pm as pm;
 pub use hart_woart as woart;
-pub use hart_wort as wort;
 pub use hart_workloads as workloads;
+pub use hart_wort as wort;
 
 pub use hart::{Hart, HartConfig};
 pub use hart_artcow::ArtCow;

@@ -109,7 +109,8 @@ fn shard_removal_races_insertion() {
     assert_eq!(h.len(), 0);
     assert_eq!(h.art_count(), 0);
     // The prefix is still usable afterwards.
-    h.insert(&Key::from_str("QQfinal").unwrap(), &Value::from_u64(1)).unwrap();
+    h.insert(&Key::from_str("QQfinal").unwrap(), &Value::from_u64(1))
+        .unwrap();
     assert_eq!(h.len(), 1);
     h.check_consistency().unwrap();
 }
@@ -139,7 +140,10 @@ fn mixed_stress_then_full_verification() {
     });
     assert_eq!(h.len() as u64, 6 * n_per_thread);
     for id in 0..6 * n_per_thread {
-        let got = h.search(&Key::from_u64_base62(id, 8)).unwrap().expect("present");
+        let got = h
+            .search(&Key::from_u64_base62(id, 8))
+            .unwrap()
+            .expect("present");
         let expect = if id % 5 == 0 { id + 1_000_000 } else { id };
         assert_eq!(got.as_u64(), expect, "key {id}");
     }
@@ -171,7 +175,10 @@ fn concurrent_updates_same_keys_are_serializable() {
     for k in &keys {
         let v = h.search(k).unwrap().unwrap().as_u64();
         let (t, round) = (v / 1000, v % 1000);
-        assert!((1..=8).contains(&t) && round < 100, "impossible final value {v}");
+        assert!(
+            (1..=8).contains(&t) && round < 100,
+            "impossible final value {v}"
+        );
     }
     h.check_consistency().unwrap();
 }

@@ -45,7 +45,10 @@ fn value_from(r: u64) -> Value {
 
 #[test]
 fn random_ops_match_model_on_every_tree() {
-    for tree in all_trees(PoolConfig { size_bytes: 64 << 20, ..PoolConfig::test_small() }) {
+    for tree in all_trees(PoolConfig {
+        size_bytes: 64 << 20,
+        ..PoolConfig::test_small()
+    }) {
         let mut model: BTreeMap<Vec<u8>, Value> = BTreeMap::new();
         let mut rng = Rng(0xABCD_EF01);
         for step in 0..12_000u32 {
@@ -82,19 +85,32 @@ fn random_ops_match_model_on_every_tree() {
                     );
                 }
             }
-            assert_eq!(tree.len(), model.len(), "[{}] len at step {step}", tree.name());
+            assert_eq!(
+                tree.len(),
+                model.len(),
+                "[{}] len at step {step}",
+                tree.name()
+            );
         }
         // Full final verification.
         for (k, v) in &model {
             let key = Key::new(k).unwrap();
-            assert_eq!(tree.search(&key).unwrap().as_ref(), Some(v), "[{}]", tree.name());
+            assert_eq!(
+                tree.search(&key).unwrap().as_ref(),
+                Some(v),
+                "[{}]",
+                tree.name()
+            );
         }
     }
 }
 
 #[test]
 fn range_agrees_with_model_on_every_tree() {
-    for tree in all_trees(PoolConfig { size_bytes: 64 << 20, ..PoolConfig::test_small() }) {
+    for tree in all_trees(PoolConfig {
+        size_bytes: 64 << 20,
+        ..PoolConfig::test_small()
+    }) {
         let mut model: BTreeMap<Vec<u8>, Value> = BTreeMap::new();
         let mut rng = Rng(7);
         for _ in 0..3000 {
@@ -129,11 +145,14 @@ fn multi_get_agrees_across_trees() {
     let probes: Vec<Key> = (0..1500).map(|i| Key::from_u64_base62(i, 6)).collect();
     for tree in &trees {
         for k in &keys {
-            tree.insert(k, &Value::from_u64(k.as_slice()[0] as u64)).unwrap();
+            tree.insert(k, &Value::from_u64(k.as_slice()[0] as u64))
+                .unwrap();
         }
     }
-    let answers: Vec<Vec<Option<Value>>> =
-        trees.iter().map(|t| t.multi_get(&probes).unwrap()).collect();
+    let answers: Vec<Vec<Option<Value>>> = trees
+        .iter()
+        .map(|t| t.multi_get(&probes).unwrap())
+        .collect();
     for w in answers.windows(2) {
         assert_eq!(w[0], w[1]);
     }

@@ -17,7 +17,9 @@
 //!   value is owned by exactly one committed leaf);
 //! * structural consistency (`check_consistency`).
 
-use hart_suite::{Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value};
+use hart_suite::{
+    Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value,
+};
 use std::sync::Arc;
 
 fn crash_pool(bytes: usize) -> Arc<PmemPool> {
@@ -49,8 +51,8 @@ fn assert_no_leaks(h: &Hart) {
 fn insert_crashes_at_every_persist_point() {
     const BASE: u64 = 50; // records inserted before arming the fuse
     const WINDOW: u64 = 12; // records inserted across the crash window
-    // An insert issues a handful of persists; sweeping 0..40 fuse steps
-    // crosses several complete inserts and every internal boundary.
+                            // An insert issues a handful of persists; sweeping 0..40 fuse steps
+                            // crosses several complete inserts and every internal boundary.
     for fuse in 0..40u64 {
         let pool = crash_pool(16 << 20);
         let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
@@ -82,7 +84,11 @@ fn insert_crashes_at_every_persist_point() {
         }
         assert_eq!(r.len() as u64, BASE + survived, "fuse={fuse}");
         for i in 0..BASE {
-            assert_eq!(r.search(&k(i)).unwrap().unwrap().as_u64(), i, "fuse={fuse}: base key");
+            assert_eq!(
+                r.search(&k(i)).unwrap().unwrap().as_u64(),
+                i,
+                "fuse={fuse}: base key"
+            );
         }
         assert_no_leaks(&r);
     }
@@ -111,7 +117,11 @@ fn update_crashes_at_every_persist_point() {
         pool.simulate_crash();
 
         let r = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
-        assert_eq!(r.len() as u64, N, "fuse={fuse}: updates never change cardinality");
+        assert_eq!(
+            r.len() as u64,
+            N,
+            "fuse={fuse}: updates never change cardinality"
+        );
         for i in 0..N {
             let got = r.search(&k(i)).unwrap().expect("key present");
             let old_ok = got.as_u64() == i && got.len() == 8;
@@ -342,7 +352,14 @@ fn insert_crash_matrix_covers_all_six_ordering_points() {
 
     let base = Key::from_str("AAkeep").unwrap();
     let lost = Key::from_str("AAlost").unwrap();
-    for point in [AfterValueWrite, AfterPValue, AfterValueBit, AfterKeyWrite, AfterDramLink, AfterLeafBit] {
+    for point in [
+        AfterValueWrite,
+        AfterPValue,
+        AfterValueBit,
+        AfterKeyWrite,
+        AfterDramLink,
+        AfterLeafBit,
+    ] {
         let pool = crash_pool(16 << 20);
         let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
         h.insert(&base, &Value::from_u64(1)).unwrap();
@@ -392,7 +409,11 @@ fn insert_crash_matrix_covers_all_six_ordering_points() {
         // value chunk is scrubbed by recovery.
         let s = r.alloc_stats();
         let n = if committed { 2 } else { 1 };
-        assert_eq!(s.live, [n, n, 0], "{point:?}: exactly the committed objects survive");
+        assert_eq!(
+            s.live,
+            [n, n, 0],
+            "{point:?}: exactly the committed objects survive"
+        );
         assert_no_leaks(&r);
         // The key is fully usable after recovery, whatever the outcome.
         r.insert(&lost, &Value::from_u64(7)).unwrap();

@@ -26,7 +26,10 @@ fn build(cfg: HartConfig) -> Arc<Hart> {
 }
 
 fn stress_mult() -> u64 {
-    std::env::var("HART_STRESS_MULT").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    std::env::var("HART_STRESS_MULT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Tiny deterministic PRNG so each thread gets an independent, repeatable
@@ -106,9 +109,7 @@ fn oracle_shadow_stress() {
                             hits.fetch_add(1, Ordering::Relaxed);
                             let ok = match decode(&v) {
                                 None => false, // structurally torn
-                                Some(x) => {
-                                    history[kid as usize].lock().unwrap().contains(&x)
-                                }
+                                Some(x) => history[kid as usize].lock().unwrap().contains(&x),
                             };
                             if !ok {
                                 eprintln!("torn read on key {kid}: {:?}", v.as_slice());
@@ -153,8 +154,15 @@ fn oracle_shadow_stress() {
         }
         done.store(true, Ordering::Relaxed);
     });
-    assert_eq!(torn.load(Ordering::Relaxed), 0, "validated reads must never tear");
-    assert!(hits.load(Ordering::Relaxed) > 0, "readers must observe data");
+    assert_eq!(
+        torn.load(Ordering::Relaxed),
+        0,
+        "validated reads must never tear"
+    );
+    assert!(
+        hits.load(Ordering::Relaxed) > 0,
+        "readers must observe data"
+    );
     h.check_consistency().unwrap();
 }
 
@@ -305,7 +313,10 @@ fn kill_switch_reproduces_locked_behavior() {
     assert_eq!(opt.art_count(), locked.art_count());
     let lo = Key::from_str("A").unwrap();
     let hi = Key::from_str("zzzz").unwrap();
-    assert_eq!(opt.range(&lo, &hi).unwrap(), locked.range(&lo, &hi).unwrap());
+    assert_eq!(
+        opt.range(&lo, &hi).unwrap(),
+        locked.range(&lo, &hi).unwrap()
+    );
     opt.check_consistency().unwrap();
     locked.check_consistency().unwrap();
 

@@ -15,7 +15,10 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn small_cfg() -> PoolConfig {
-    PoolConfig { size_bytes: 32 << 20, ..PoolConfig::test_small() }
+    PoolConfig {
+        size_bytes: 32 << 20,
+        ..PoolConfig::test_small()
+    }
 }
 
 #[test]
@@ -65,7 +68,8 @@ fn crashed_image_recovers_and_fscks_clean() {
         }
         // Die mid-insert: the fuse lets a couple of persists through.
         pool.arm_persist_fuse(2);
-        h.insert(&Key::from_str("torn-key").unwrap(), &Value::from_u64(1)).unwrap();
+        h.insert(&Key::from_str("torn-key").unwrap(), &Value::from_u64(1))
+            .unwrap();
         drop(h);
         // A crash-sim pool's image IS the durable (shadow) state — no
         // simulate_crash() needed before saving.
@@ -76,7 +80,11 @@ fn crashed_image_recovers_and_fscks_clean() {
     h.check_consistency().unwrap();
     let rep = h.epallocator().verify();
     assert!(rep.is_healthy(), "post-crash image must fsck clean: {rep}");
-    assert_eq!(h.len(), keys.len(), "torn insert lost, everything else kept");
+    assert_eq!(
+        h.len(),
+        keys.len(),
+        "torn insert lost, everything else kept"
+    );
     for k in keys.iter().step_by(41) {
         assert_eq!(h.search(k).unwrap().unwrap(), value_for(k));
     }
@@ -94,7 +102,11 @@ fn many_generations_through_files() {
     for generation in 0u64..5 {
         let pool = Arc::new(PmemPool::load_image(&path, small_cfg()).unwrap());
         let h = Hart::recover(Arc::clone(&pool), HartConfig::default()).unwrap();
-        assert_eq!(h.len() as u64, generation * 100, "start of gen {generation}");
+        assert_eq!(
+            h.len() as u64,
+            generation * 100,
+            "start of gen {generation}"
+        );
         for i in 0..100u64 {
             let key = Key::from_u64_base62(generation * 100 + i, 8);
             h.insert(&key, &Value::from_u64(generation)).unwrap();
@@ -124,7 +136,8 @@ fn image_is_stable_across_noop_cycles() {
         let pool = Arc::new(PmemPool::new(small_cfg()));
         let h = Hart::create(Arc::clone(&pool), HartConfig::default()).unwrap();
         for i in 0..200u64 {
-            h.insert(&Key::from_u64_base62(i, 6), &Value::from_u64(i)).unwrap();
+            h.insert(&Key::from_u64_base62(i, 6), &Value::from_u64(i))
+                .unwrap();
         }
         drop(h);
         pool.save_image(&path1).unwrap();

@@ -2,9 +2,7 @@
 //! (against a `BTreeMap` model) for arbitrary op sequences, and HART's
 //! recovery is lossless for arbitrary final states.
 
-use hart_suite::{
-    all_trees, Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value,
-};
+use hart_suite::{all_trees, Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -21,7 +19,10 @@ enum Op {
 fn arb_key() -> impl Strategy<Value = Vec<u8>> {
     // 1–10 bytes over a compact alphabet: heavy prefix sharing, keys both
     // shorter and longer than HART's 2-byte hash prefix.
-    vec(prop_oneof![Just(b'A'), Just(b'B'), Just(b'a'), Just(b'1')], 1..10)
+    vec(
+        prop_oneof![Just(b'A'), Just(b'B'), Just(b'a'), Just(b'1')],
+        1..10,
+    )
 }
 
 fn arb_value() -> impl Strategy<Value = Vec<u8>> {
@@ -40,11 +41,14 @@ fn arb_op() -> impl Strategy<Value = Op> {
 fn apply(tree: &dyn PersistentIndex, model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &Op) {
     match op {
         Op::Insert(k, v) => {
-            tree.insert(&Key::new(k).unwrap(), &Value::new(v).unwrap()).unwrap();
+            tree.insert(&Key::new(k).unwrap(), &Value::new(v).unwrap())
+                .unwrap();
             model.insert(k.clone(), v.clone());
         }
         Op::Update(k, v) => {
-            let did = tree.update(&Key::new(k).unwrap(), &Value::new(v).unwrap()).unwrap();
+            let did = tree
+                .update(&Key::new(k).unwrap(), &Value::new(v).unwrap())
+                .unwrap();
             assert_eq!(did, model.contains_key(k), "[{}] update {k:?}", tree.name());
             if did {
                 model.insert(k.clone(), v.clone());
@@ -52,7 +56,12 @@ fn apply(tree: &dyn PersistentIndex, model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op:
         }
         Op::Remove(k) => {
             let did = tree.remove(&Key::new(k).unwrap()).unwrap();
-            assert_eq!(did, model.remove(k).is_some(), "[{}] remove {k:?}", tree.name());
+            assert_eq!(
+                did,
+                model.remove(k).is_some(),
+                "[{}] remove {k:?}",
+                tree.name()
+            );
         }
         Op::Search(k) => {
             let got = tree.search(&Key::new(k).unwrap()).unwrap();

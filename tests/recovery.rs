@@ -9,7 +9,10 @@ use hart_suite::{
 use std::sync::Arc;
 
 fn pool() -> Arc<PmemPool> {
-    Arc::new(PmemPool::new(PoolConfig { size_bytes: 64 << 20, ..PoolConfig::test_small() }))
+    Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 64 << 20,
+        ..PoolConfig::test_small()
+    }))
 }
 
 #[test]
@@ -39,7 +42,11 @@ fn hart_survives_many_generations() {
             }
             let m = i % 1000;
             if m < generation && i >= (m + 1) * 100 {
-                assert_eq!(got.unwrap().as_u64(), 0xAAAA + m, "gen {generation}: key {i}");
+                assert_eq!(
+                    got.unwrap().as_u64(),
+                    0xAAAA + m,
+                    "gen {generation}: key {i}"
+                );
             } else {
                 assert_eq!(got.unwrap(), value_for(k), "gen {generation}: key {i}");
             }
@@ -87,7 +94,10 @@ fn recovered_hart_equals_rebuilt_hart() {
     // Ordered scans agree too.
     let lo = Key::from_str("0").unwrap();
     let hi = Key::new(&[b'z'; 16]).unwrap();
-    assert_eq!(recovered.range(&lo, &hi).unwrap(), fresh.range(&lo, &hi).unwrap());
+    assert_eq!(
+        recovered.range(&lo, &hi).unwrap(),
+        fresh.range(&lo, &hi).unwrap()
+    );
 }
 
 #[test]

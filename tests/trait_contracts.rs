@@ -6,9 +6,14 @@ use hart_suite::{all_trees, Key, PersistentIndex, PmemPool, PoolConfig, Value, W
 use std::sync::Arc;
 
 fn every_tree() -> Vec<Box<dyn PersistentIndex>> {
-    let cfg = PoolConfig { alloc_overhead_ns: 0, ..PoolConfig::test_small() };
+    let cfg = PoolConfig {
+        alloc_overhead_ns: 0,
+        ..PoolConfig::test_small()
+    };
     let mut trees = all_trees(cfg.clone());
-    trees.push(Box::new(Wort::create(Arc::new(PmemPool::new(cfg))).expect("create WORT")));
+    trees.push(Box::new(
+        Wort::create(Arc::new(PmemPool::new(cfg))).expect("create WORT"),
+    ));
     trees
 }
 
@@ -24,10 +29,16 @@ fn empty_tree_behaviour() {
         assert!(t.is_empty(), "[{name}]");
         assert_eq!(t.search(&k("missing")).unwrap(), None, "[{name}]");
         assert!(!t.remove(&k("missing")).unwrap(), "[{name}]");
-        assert!(!t.update(&k("missing"), &Value::from_u64(1)).unwrap(), "[{name}]");
+        assert!(
+            !t.update(&k("missing"), &Value::from_u64(1)).unwrap(),
+            "[{name}]"
+        );
         assert!(t.range(&k("a"), &k("z")).unwrap().is_empty(), "[{name}]");
         assert!(
-            t.multi_get(&[k("a"), k("b")]).unwrap().iter().all(Option::is_none),
+            t.multi_get(&[k("a"), k("b")])
+                .unwrap()
+                .iter()
+                .all(Option::is_none),
             "[{name}]"
         );
     }
@@ -40,7 +51,11 @@ fn insert_is_upsert_everywhere() {
         t.insert(&k("dup"), &Value::from_u64(1)).unwrap();
         t.insert(&k("dup"), &Value::from_u64(2)).unwrap();
         assert_eq!(t.len(), 1, "[{name}] upsert must not grow");
-        assert_eq!(t.search(&k("dup")).unwrap().unwrap().as_u64(), 2, "[{name}]");
+        assert_eq!(
+            t.search(&k("dup")).unwrap().unwrap().as_u64(),
+            2,
+            "[{name}]"
+        );
     }
 }
 
@@ -49,8 +64,14 @@ fn update_only_touches_existing() {
     for t in every_tree() {
         let name = t.name();
         t.insert(&k("present"), &Value::from_u64(1)).unwrap();
-        assert!(t.update(&k("present"), &Value::from_u64(9)).unwrap(), "[{name}]");
-        assert!(!t.update(&k("absent"), &Value::from_u64(9)).unwrap(), "[{name}]");
+        assert!(
+            t.update(&k("present"), &Value::from_u64(9)).unwrap(),
+            "[{name}]"
+        );
+        assert!(
+            !t.update(&k("absent"), &Value::from_u64(9)).unwrap(),
+            "[{name}]"
+        );
         assert_eq!(t.len(), 1, "[{name}] update must never insert");
         assert_eq!(t.search(&k("absent")).unwrap(), None, "[{name}]");
     }
@@ -72,10 +93,15 @@ fn range_bounds_are_inclusive_and_ordered() {
     for t in every_tree() {
         let name = t.name();
         for key in ["a", "b", "c", "d"] {
-            t.insert(&k(key), &Value::from_u64(key.len() as u64)).unwrap();
+            t.insert(&k(key), &Value::from_u64(key.len() as u64))
+                .unwrap();
         }
-        let got: Vec<String> =
-            t.range(&k("b"), &k("c")).unwrap().iter().map(|(key, _)| key.to_string()).collect();
+        let got: Vec<String> = t
+            .range(&k("b"), &k("c"))
+            .unwrap()
+            .iter()
+            .map(|(key, _)| key.to_string())
+            .collect();
         assert_eq!(got, vec!["b", "c"], "[{name}] inclusive bounds");
         // Inverted range is empty, not an error.
         assert!(t.range(&k("c"), &k("b")).unwrap().is_empty(), "[{name}]");
@@ -96,7 +122,11 @@ fn extreme_keys_and_values() {
         t.insert(&tiny, &Value::new(b"").unwrap()).unwrap();
         t.insert(&huge, &Value::new(&[0xAB; 16]).unwrap()).unwrap();
         assert_eq!(t.search(&tiny).unwrap().unwrap().len(), 0, "[{name}]");
-        assert_eq!(t.search(&huge).unwrap().unwrap().as_slice(), &[0xAB; 16], "[{name}]");
+        assert_eq!(
+            t.search(&huge).unwrap().unwrap().as_slice(),
+            &[0xAB; 16],
+            "[{name}]"
+        );
         // Binary (non-ASCII) key bytes.
         let bin = Key::new(&[0x01, 0xFF, 0x80, 0x7F]).unwrap();
         t.insert(&bin, &Value::from_u64(7)).unwrap();
@@ -111,7 +141,9 @@ fn keys_sharing_every_prefix_length() {
     // fingerprints.
     for t in every_tree() {
         let name = t.name();
-        let keys: Vec<Key> = (1..=24).map(|n| Key::new(&vec![b'a'; n]).unwrap()).collect();
+        let keys: Vec<Key> = (1..=24)
+            .map(|n| Key::new(&vec![b'a'; n]).unwrap())
+            .collect();
         for (i, key) in keys.iter().enumerate() {
             t.insert(key, &Value::from_u64(i as u64)).unwrap();
         }
