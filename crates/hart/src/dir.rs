@@ -38,8 +38,13 @@
 //!   to), each under that bucket's write lock — entries are published in
 //!   the new table *before* they disappear from the old one;
 //! * lookups probe `old` first, then `current` (loading `current` before
-//!   `old`), which together with the publish order above makes a miss in
-//!   both tables a committed absence;
+//!   `old`); the publish order above makes a miss in both tables a
+//!   committed absence *provided `current` did not change during the
+//!   probe* — a grow landing mid-probe can demote the probed current
+//!   table and drain the key's bucket into a table the probe never
+//!   visits, so every miss revalidates the `current` pointer and retries
+//!   the whole two-table probe if it moved (the EBR pin / graveyard keeps
+//!   table addresses stable, making pointer equality an exact test);
 //! * when the last old bucket drains, `old` is retired: through
 //!   [`hart_ebr`] when optimistic readers may hold raw pointers into it,
 //!   or onto a graveyard freed at directory drop in the locked ablation
@@ -198,6 +203,11 @@ struct Table {
     /// Next bucket index the cooperative stride walker will claim. Only
     /// meaningful while this table is the `old` (draining) one.
     migrate_next: AtomicUsize,
+    /// Buckets whose `migrated` flag has been set — the O(1) "fully
+    /// drained" test for retiring this table. Counts both stride-walker
+    /// and targeted drains, so a table drained entirely by targeted
+    /// drains (walker never ran) is still retirable.
+    migrated_count: AtomicUsize,
 }
 
 impl Table {
@@ -207,6 +217,7 @@ impl Table {
             buckets: (0..buckets).map(|_| Bucket::new()).collect(),
             mask: buckets as u64 - 1,
             migrate_next: AtomicUsize::new(0),
+            migrated_count: AtomicUsize::new(0),
         }
     }
 
@@ -399,17 +410,37 @@ impl Directory {
     /// Two-table discipline: probe `old` first, then `current`. Migration
     /// publishes an entry in the new table before removing it from the old
     /// one, so "absent in old, then absent in current" is a committed
-    /// absence.
+    /// absence — as long as `current` was stable across the probe. A grow
+    /// landing mid-probe demotes `cur` and lets a targeted drain move the
+    /// key's bucket into a table this probe never visits, so a miss only
+    /// commits after revalidating the `current` pointer (exact under the
+    /// guard: tables are never freed, hence never reused, while it is
+    /// held).
     pub fn get(&self, hk: &[u8]) -> Option<Arc<Shard>> {
-        let _g = self.protect();
+        let guard = self.protect();
         let h = self.hash(hk);
-        let (cur, old) = self.tables();
-        if let Some(o) = old {
-            if let Some(s) = Self::find_in(o, h, hk) {
+        loop {
+            let (cur, old) = self.tables();
+            if let Some(o) = old {
+                if guard.may_resize() {
+                    // Keep read-only workloads from double-probing forever:
+                    // retire `old` if writers drained it but never finished.
+                    self.try_finish(o);
+                }
+                if let Some(s) = Self::find_in(o, h, hk) {
+                    return Some(s);
+                }
+            }
+            if let Some(s) = Self::find_in(cur, h, hk) {
                 return Some(s);
             }
+            if ptr::eq(self.current.load(Ordering::Acquire), cur as *const Table) {
+                return None;
+            }
+            // A grow demoted `cur` mid-probe; the key may have been
+            // drained into the new current table. Re-snapshot and retry
+            // (growth is geometric, so this terminates).
         }
-        Self::find_in(cur, h, hk)
     }
 
     /// Lock-free probe of one bucket: volatile-copy the entry-table fat
@@ -444,21 +475,47 @@ impl Directory {
 
     /// Lock-free `HashFind` for the optimistic read path.
     ///
+    /// A miss is only committed while `current` is stable (see
+    /// [`Directory::get`]): after a double-table miss the `current`
+    /// pointer is revalidated, and the probe restarts if a grow moved it
+    /// mid-probe — otherwise a concurrent grow + targeted drain could
+    /// relocate the key into a table this probe never visits and a
+    /// continuously-present key would read as absent. Bounded retries;
+    /// persistent interference degrades to [`RawBucketRead::Retry`] and
+    /// the caller's locked fallback.
+    ///
     /// # Safety
     /// The caller must hold an [`hart_ebr`] pin for as long as it uses the
     /// returned shard pointer: retired entry tables and bucket arrays (and
     /// the shards they reference) stay alive only until the pin is
-    /// released.
+    /// released. The pin also pins table addresses, making the pointer
+    /// revalidation above exact.
     pub unsafe fn get_raw(&self, hk: &[u8]) -> RawBucketRead {
         let h = self.hash(hk);
-        let (cur, old) = self.tables();
-        if let Some(o) = old {
-            match Self::probe_raw(o.bucket(h), hk) {
-                RawBucketRead::Absent => {} // fall through to current
+        for _ in 0..4 {
+            let (cur, old) = self.tables();
+            if let Some(o) = old {
+                // Read paths retire a fully-drained table too, so a
+                // workload that turns read-only after a grow does not
+                // double-probe forever (O(1) check, locks only when the
+                // drain is actually complete).
+                self.try_finish(o);
+                match Self::probe_raw(o.bucket(h), hk) {
+                    RawBucketRead::Absent => {} // fall through to current
+                    found_or_retry => return found_or_retry,
+                }
+            }
+            match Self::probe_raw(cur.bucket(h), hk) {
+                RawBucketRead::Absent => {
+                    if ptr::eq(self.current.load(Ordering::Acquire), cur as *const Table) {
+                        return RawBucketRead::Absent;
+                    }
+                    // Grow raced the probe; re-snapshot both tables.
+                }
                 found_or_retry => return found_or_retry,
             }
         }
-        Self::probe_raw(cur.bucket(h), hk)
+        RawBucketRead::Retry
     }
 
     /// Lock-free copy of one bucket's entries into `out`; returns false if
@@ -491,17 +548,45 @@ impl Directory {
     /// During a migration an entry can momentarily live in both tables;
     /// duplicates (always the same shard) are removed after the sort.
     ///
+    /// The walk visits every `old` bucket before any `current` bucket, and
+    /// drains publish into `current` before deleting from `old`, so within
+    /// one stable `(old, current)` pair no live entry can dodge both
+    /// passes. A grow completing mid-walk breaks that argument (entries
+    /// drain into a table the walk never visits), so the walk restarts if
+    /// the `current` pointer moved; persistent growth degrades to one pass
+    /// under the resize lock, which freezes the table set.
+    ///
     /// # Safety
     /// Same pin contract as [`Directory::get_raw`].
     pub unsafe fn shards_sorted_raw(&self) -> Vec<(InlineKey, *const Shard)> {
         let mut out = Vec::new();
+        for _ in 0..4 {
+            out.clear();
+            let (cur, old) = self.tables();
+            for t in old.into_iter().chain(std::iter::once(cur)) {
+                for bucket in t.buckets.iter() {
+                    if !Self::snapshot_bucket_raw(bucket, &mut out) {
+                        let g = bucket.entries.read();
+                        out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
+                    }
+                }
+            }
+            if ptr::eq(self.current.load(Ordering::Acquire), cur as *const Table) {
+                out.sort_unstable_by_key(|e| e.0);
+                out.dedup_by_key(|e| e.0);
+                return out;
+            }
+        }
+        // Grows kept landing mid-walk; hold the resize lock so the table
+        // set is stable for one final pass (scans are rare — correctness
+        // over latency here).
+        let _st = self.resize.lock();
+        out.clear();
         let (cur, old) = self.tables();
         for t in old.into_iter().chain(std::iter::once(cur)) {
             for bucket in t.buckets.iter() {
-                if !Self::snapshot_bucket_raw(bucket, &mut out) {
-                    let g = bucket.entries.read();
-                    out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
-                }
+                let g = bucket.entries.read();
+                out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
             }
         }
         out.sort_unstable_by_key(|e| e.0);
@@ -541,6 +626,19 @@ impl Directory {
             bucket.install(&mut g, Box::new([]));
         }
         bucket.migrated.store(true, Ordering::Release);
+        // Exactly-once per bucket: the flag double-check above means only
+        // one caller reaches here for each bucket.
+        o.migrated_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Retire `o` if every one of its buckets has drained — an O(1)
+    /// counter check, so cheap enough for read paths. Best-effort: bails
+    /// if the resize lock is contended (the holder, or any later
+    /// operation, will come back through here).
+    fn try_finish(&self, o: &Table) {
+        if o.migrated_count.load(Ordering::Acquire) >= o.buckets.len() {
+            self.finish_migration(o as *const Table as *mut Table);
+        }
     }
 
     /// Cooperatively drain up to `stride` old buckets; finish the
@@ -561,25 +659,28 @@ impl Directory {
             }
             self.migrate_bucket(o, i);
         }
-        if o.migrate_next.load(Ordering::Relaxed) >= len {
-            self.finish_migration(old_ptr);
-        }
+        self.try_finish(o);
     }
 
     /// Retire `old_ptr` once every one of its buckets has drained. Safe to
     /// race: only the caller that still observes it as `old` under the
-    /// resize lock retires it.
+    /// resize lock retires it. Best-effort on contention — finishing is
+    /// idempotent and every later write or lookup retries via
+    /// [`Directory::try_finish`].
     fn finish_migration(&self, old_ptr: *mut Table) {
-        let mut st = self.resize.lock();
+        let Some(mut st) = self.resize.try_lock() else {
+            return; // holder (or a later op) will finish
+        };
         if self.old.load(Ordering::Acquire) != old_ptr {
             return; // someone else finished
         }
         let o = unsafe { &*old_ptr };
-        if !o.buckets.iter().all(|b| b.migrated.load(Ordering::Acquire)) {
-            // A targeted drain is still mid-flight; it (or the next
-            // writer) will come back through here.
+        if o.migrated_count.load(Ordering::Acquire) < o.buckets.len() {
+            // A drain is still mid-flight; it (or the next operation)
+            // will come back through here.
             return;
         }
+        debug_assert!(o.buckets.iter().all(|b| b.migrated.load(Ordering::Acquire)));
         self.old.store(ptr::null_mut(), Ordering::Release);
         let boxed = unsafe { Box::from_raw(old_ptr) };
         if self.defer_reclaim {
@@ -638,8 +739,8 @@ impl Directory {
                 // Drain the bucket our key lives in, making `cur` the
                 // single authority for `hk` before we lock it.
                 self.migrate_bucket(o, (h & o.mask) as usize);
-                if guard.may_resize() && o.migrate_next.load(Ordering::Relaxed) >= o.buckets.len() {
-                    self.finish_migration(o as *const Table as *mut Table);
+                if guard.may_resize() {
+                    self.try_finish(o);
                 }
             }
             let bucket = cur.bucket(h);
@@ -689,6 +790,9 @@ impl Directory {
             let (cur, old) = self.tables();
             if let Some(o) = old {
                 self.migrate_bucket(o, (h & o.mask) as usize);
+                if guard.may_resize() {
+                    self.try_finish(o);
+                }
             }
             let bucket = cur.bucket(h);
             let mut g = bucket.entries.write();
@@ -1070,6 +1174,136 @@ mod tests {
             d.get_or_insert(&i.to_le_bytes());
         }
         assert!(d.grow_count() >= 1, "chain trigger never fired");
+    }
+
+    /// Regression (REVIEW.md): a table drained entirely by *targeted*
+    /// drains (stride walker never ran, cursor still at 0) must still be
+    /// retired — and a read-only workload must be able to do it, or every
+    /// lookup double-probes two tables forever.
+    #[test]
+    fn fully_drained_table_is_retired_by_lookups() {
+        let d = resizing(4);
+        let mut i = 0u16;
+        while d.old.load(Ordering::Acquire).is_null() {
+            d.get_or_insert(&i.to_le_bytes());
+            i += 1;
+            assert!(i < 10_000, "no grow triggered");
+        }
+        let o = unsafe { &*d.old.load(Ordering::Acquire) };
+        assert!(
+            o.migrate_next.load(Ordering::Relaxed) < o.buckets.len(),
+            "walker must not have passed the end for this test to bite"
+        );
+        for idx in 0..o.buckets.len() {
+            d.migrate_bucket(o, idx); // targeted drains only
+        }
+        assert!(d.migration_in_progress(), "nothing has finished it yet");
+        assert!(d.get(&0u16.to_le_bytes()).is_some());
+        assert!(
+            !d.migration_in_progress(),
+            "a lookup observing a fully-drained old table must retire it"
+        );
+        hart_ebr::flush_for_tests();
+    }
+
+    /// Regression (REVIEW.md): a key that is continuously present must
+    /// never read as absent, even when grows + targeted drains relocate
+    /// its bucket mid-probe. Hammers both the locked and the raw lookup
+    /// while writers force repeated doublings.
+    #[test]
+    fn lookup_never_misses_present_key_during_growth() {
+        let d = Arc::new(resizing(4));
+        let stable: Vec<[u8; 2]> = (0..64u16).map(|i| i.to_le_bytes()).collect();
+        for hk in &stable {
+            d.get_or_insert(hk);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 1000u16.wrapping_add(t.wrapping_mul(8192));
+                    while !stop.load(Ordering::Relaxed) {
+                        d.get_or_insert(&i.to_le_bytes());
+                        i = i.wrapping_add(1);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                let stable = stable.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for hk in &stable {
+                            assert!(d.get(hk).is_some(), "false absent (locked probe)");
+                            if let Some(_pin) = hart_ebr::pin() {
+                                match unsafe { d.get_raw(hk) } {
+                                    RawBucketRead::Found(_) | RawBucketRead::Retry => {}
+                                    RawBucketRead::Absent => panic!("false absent (raw probe)"),
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            stop.store(true, Ordering::Relaxed);
+        });
+        hart_ebr::flush_for_tests();
+    }
+
+    /// Regression (REVIEW.md): the lock-free full-directory snapshot must
+    /// never drop a continuously-live shard, even when a grow completes
+    /// mid-walk and drains entries into a table the walk would not visit.
+    #[test]
+    fn raw_scan_never_misses_live_shards_during_growth() {
+        let d = Arc::new(resizing(4));
+        let stable: Vec<[u8; 2]> = (0..64u16).map(|i| i.to_le_bytes()).collect();
+        for hk in &stable {
+            d.get_or_insert(hk);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 1000u16.wrapping_add(t.wrapping_mul(8192));
+                    while !stop.load(Ordering::Relaxed) {
+                        d.get_or_insert(&i.to_le_bytes());
+                        i = i.wrapping_add(1);
+                    }
+                });
+            }
+            {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                let stable = stable.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let Some(_pin) = hart_ebr::pin() else {
+                            continue;
+                        };
+                        let snap: std::collections::HashSet<Vec<u8>> =
+                            unsafe { d.shards_sorted_raw() }
+                                .into_iter()
+                                .map(|(k, _)| k.as_slice().to_vec())
+                                .collect();
+                        for hk in &stable {
+                            assert!(
+                                snap.contains(hk.as_slice()),
+                                "raw scan dropped live shard {hk:?}"
+                            );
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            stop.store(true, Ordering::Relaxed);
+        });
+        hart_ebr::flush_for_tests();
     }
 
     #[test]
