@@ -411,7 +411,7 @@ mod tests {
         let keys = ["romane", "romanus", "romulus", "rubens", "ruber", "a", "ab"];
         let t = build(&keys);
         for k in keys {
-            let raw = unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) };
+            let raw = unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) }; // SAFETY: the tree is locally owned and unmutated during the call
             let locked = t.search(&R, k.as_bytes()).copied();
             match raw {
                 RawRead::Found(l) => assert_eq!(Some(l), locked, "key {k}"),
@@ -420,7 +420,7 @@ mod tests {
         }
         for k in ["rom", "romanes", "z", ""] {
             assert_eq!(
-                unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) },
+                unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) }, // SAFETY: the tree is locally owned and unmutated during the call
                 RawRead::NotFound,
                 "key {k:?}"
             );
@@ -443,14 +443,14 @@ mod tests {
         }
         for k in &keys {
             assert!(matches!(
-                unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) },
+                unsafe { search_raw(&t, &R, k.as_bytes(), &ALWAYS) }, // SAFETY: the tree is locally owned and unmutated during the call
                 RawRead::Found(_)
             ));
         }
         for b in 1..=200u8 {
             let k = [b, b'q'];
             assert!(matches!(
-                unsafe { search_raw(&t, &R, &k, &ALWAYS) },
+                unsafe { search_raw(&t, &R, &k, &ALWAYS) }, // SAFETY: the tree is locally owned and unmutated during the call
                 RawRead::Found(_)
             ));
         }
@@ -460,11 +460,11 @@ mod tests {
     fn failing_validation_reports_retry() {
         let t = build(&["alpha", "beta"]);
         assert_eq!(
-            unsafe { search_raw(&t, &R, b"alpha", &NEVER) },
+            unsafe { search_raw(&t, &R, b"alpha", &NEVER) }, // SAFETY: the tree is locally owned and unmutated during the call
             RawRead::Retry
         );
         let mut out = Vec::new();
-        assert!(!unsafe { range_collect_raw(&t, &R, b"a", b"z", &NEVER, &mut out) });
+        assert!(!unsafe { range_collect_raw(&t, &R, b"a", b"z", &NEVER, &mut out) }); // SAFETY: the tree is locally owned and unmutated during the call
         assert!(out.is_empty());
     }
 
@@ -476,7 +476,7 @@ mod tests {
             t.insert(&R, k.as_bytes(), OwnedLeaf::new(k.as_bytes(), i as u64));
         }
         let mut raw = Vec::new();
-        assert!(unsafe { range_collect_raw(&t, &R, b"k0100", b"k0199", &ALWAYS, &mut raw) });
+        assert!(unsafe { range_collect_raw(&t, &R, b"k0100", b"k0199", &ALWAYS, &mut raw) }); // SAFETY: the tree is locally owned and unmutated during the call
         let mut locked = Vec::new();
         t.for_each_in_range(&R, b"k0100", b"k0199", |l| locked.push(*l));
         assert_eq!(raw.len(), 100);
@@ -487,7 +487,7 @@ mod tests {
     fn raw_range_includes_boundary_prefix_keys() {
         let t = build(&["ab", "abc", "abd", "ac"]);
         let mut raw = Vec::new();
-        assert!(unsafe { range_collect_raw(&t, &R, b"ab", b"abc", &ALWAYS, &mut raw) });
+        assert!(unsafe { range_collect_raw(&t, &R, b"ab", b"abc", &ALWAYS, &mut raw) }); // SAFETY: the tree is locally owned and unmutated during the call
         let got: Vec<&[u8]> = raw.iter().map(|l| l.key.as_slice()).collect();
         assert_eq!(got, vec![b"ab".as_slice(), b"abc".as_slice()]);
     }
@@ -496,11 +496,11 @@ mod tests {
     fn empty_tree_raw_reads() {
         let t: Art<OwnedLeaf> = Art::new();
         assert_eq!(
-            unsafe { search_raw(&t, &R, b"x", &ALWAYS) },
+            unsafe { search_raw(&t, &R, b"x", &ALWAYS) }, // SAFETY: the tree is locally owned and unmutated during the call
             RawRead::NotFound
         );
         let mut out = Vec::new();
-        assert!(unsafe { range_collect_raw(&t, &R, b"", b"zzz", &ALWAYS, &mut out) });
+        assert!(unsafe { range_collect_raw(&t, &R, b"", b"zzz", &ALWAYS, &mut out) }); // SAFETY: the tree is locally owned and unmutated during the call
         assert!(out.is_empty());
     }
 }

@@ -185,6 +185,9 @@ impl EPallocator {
         let mut st = self.classes[class.idx()].lock();
         let hdr = ChunkHeader::load(&self.pool, chunk);
         debug_assert!(!hdr.is_set(idx), "commit of an already-committed object");
+        // The object image must be durable before the bitmap bit makes it
+        // recoverable (no-op unless built with hart-pm's `pm-check`).
+        self.pool.check_durable(obj, class.obj_size() as usize);
         hdr.with_set(idx).store(&self.pool, chunk);
         if let Some(m) = st.reserved.get_mut(&chunk.offset()) {
             *m &= !(1 << idx);

@@ -100,6 +100,12 @@ impl<'a> UlogGuard<'a> {
         new_class: ObjClass,
         old_class: ObjClass,
     ) {
+        // The new value must be durable before the log points at it:
+        // recovery trusts `PNewV` unconditionally (pm-check asserts this;
+        // no-op otherwise).
+        if !new_value.is_null() {
+            self.pool.check_durable(new_value, new_len.max(1));
+        }
         let meta = UlogMeta {
             new_len: new_len as u8,
             new_class: new_class.idx() as u8,

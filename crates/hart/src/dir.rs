@@ -387,11 +387,15 @@ impl Directory {
     /// references stay valid.
     #[inline]
     fn tables(&self) -> (&Table, Option<&Table>) {
+        // SAFETY: `current` is never null and the caller's guard/pin (see
+        // doc above) keeps the table from being retired under us.
         let cur = unsafe { &*self.current.load(Ordering::Acquire) };
         let old = self.old.load(Ordering::Acquire);
         let old = if old.is_null() {
             None
         } else {
+            // SAFETY: non-null `old` is kept alive by the same guard/pin
+            // until `finish_migration` retires it past our epoch.
             Some(unsafe { &*old })
         };
         (cur, old)
@@ -611,6 +615,9 @@ impl Directory {
         if bucket.migrated.load(Ordering::Acquire) {
             return;
         }
+        // SAFETY: `current` is never null, and a table demoted to `old`
+        // (where this bucket lives) is only retired after every bucket —
+        // including this locked one — has drained.
         let cur = unsafe { &*self.current.load(Ordering::Acquire) };
         for (k, s) in g.iter() {
             let nb = cur.bucket(self.hash(k.as_slice()));
@@ -650,6 +657,9 @@ impl Directory {
         if old_ptr.is_null() {
             return;
         }
+        // SAFETY: a non-null `old` stays allocated until `finish_migration`
+        // under the resize lock, which cannot complete while this bucket
+        // walk still holds entry locks inside it.
         let o = unsafe { &*old_ptr };
         let len = o.buckets.len();
         for _ in 0..stride {
@@ -674,6 +684,8 @@ impl Directory {
         if self.old.load(Ordering::Acquire) != old_ptr {
             return; // someone else finished
         }
+        // SAFETY: we hold the resize lock and just confirmed `old` still
+        // equals `old_ptr`, so nobody else can retire it first.
         let o = unsafe { &*old_ptr };
         if o.migrated_count.load(Ordering::Acquire) < o.buckets.len() {
             // A drain is still mid-flight; it (or the next operation)
@@ -682,6 +694,8 @@ impl Directory {
         }
         debug_assert!(o.buckets.iter().all(|b| b.migrated.load(Ordering::Acquire)));
         self.old.store(ptr::null_mut(), Ordering::Release);
+        // SAFETY: `old_ptr` came from `Box::into_raw` at grow time and was
+        // just unlinked under the resize lock, so this is the unique owner.
         let boxed = unsafe { Box::from_raw(old_ptr) };
         if self.defer_reclaim {
             // Pinned readers may still probe the drained buckets; EBR
@@ -704,6 +718,8 @@ impl Directory {
             return;
         }
         let entries = self.entries.load(Ordering::Relaxed);
+        // SAFETY: the caller observed `seen` as the current table under its
+        // guard, which keeps the table alive for this read.
         let len = unsafe { &*seen }.buckets.len();
         let overloaded = entries > self.resize_threshold.saturating_mul(len);
         let chained = chain_len > CHAIN_LIMIT && len < entries.saturating_mul(4);
@@ -851,6 +867,8 @@ impl Directory {
     /// Buckets in the current table (observability / tests / stats).
     pub fn bucket_count(&self) -> usize {
         let _st = self.resize.lock();
+        // SAFETY: `current` is never null, and holding the resize lock
+        // blocks any concurrent grow from swapping and retiring it.
         unsafe { &*self.current.load(Ordering::Acquire) }
             .buckets
             .len()
@@ -906,17 +924,23 @@ impl Drop for Directory {
         // Exclusive access: free both live tables; the graveyard drops
         // with the mutex.
         let cur = *self.current.get_mut();
+        // SAFETY: `&mut self` in drop means no reader or writer remains;
+        // `current` uniquely owns its table here.
         unsafe { drop(Box::from_raw(cur)) };
         let old = *self.old.get_mut();
         if !old.is_null() {
+            // SAFETY: same exclusivity; a non-null `old` is the only other
+            // owning pointer and is dropped exactly once.
             unsafe { drop(Box::from_raw(old)) };
         }
     }
 }
 
-// The raw pointers are owning handles to heap tables; all access is
-// synchronized by the atomics + locks above.
+// SAFETY: the raw pointers are owning handles to heap tables; all access
+// is synchronized by the atomics + locks above.
 unsafe impl Send for Directory {}
+// SAFETY: see the Send rationale — shared access goes through the seqlock
+// validate/retry protocol or the resize lock.
 unsafe impl Sync for Directory {}
 
 #[cfg(test)]
@@ -1029,6 +1053,7 @@ mod tests {
         let d = fixed(16);
         let s = d.get_or_insert(b"AA");
         let _pin = hart_ebr::pin().expect("slot");
+        // SAFETY: `_pin` keeps the probed tables and shard alive.
         unsafe {
             match d.get_raw(b"AA") {
                 RawBucketRead::Found(p) => assert_eq!(p, Arc::as_ptr(&s)),
@@ -1045,6 +1070,7 @@ mod tests {
             d.get_or_insert(hk);
         }
         let _pin = hart_ebr::pin().expect("slot");
+        // SAFETY: `_pin` keeps the snapshotted tables alive.
         let raw: Vec<InlineKey> = unsafe { d.shards_sorted_raw() }
             .into_iter()
             .map(|(k, _)| k)
@@ -1133,6 +1159,7 @@ mod tests {
         let _pin = hart_ebr::pin().expect("slot");
         for i in 0..512u16 {
             let hk = i.to_le_bytes();
+            // SAFETY: `_pin` above keeps the probed tables alive.
             match unsafe { d.get_raw(&hk) } {
                 RawBucketRead::Found(p) => assert_eq!(p, Arc::as_ptr(&shards[i as usize])),
                 RawBucketRead::Absent => panic!("key {i} lost"),
@@ -1189,9 +1216,11 @@ mod tests {
             i += 1;
             assert!(i < 10_000, "no grow triggered");
         }
+        // SAFETY: single-threaded test — nothing can retire `old` between
+        // the loop's null check and this dereference.
         let o = unsafe { &*d.old.load(Ordering::Acquire) };
         assert!(
-            o.migrate_next.load(Ordering::Relaxed) < o.buckets.len(),
+            o.migrate_next.load(Ordering::Acquire) < o.buckets.len(),
             "walker must not have passed the end for this test to bite"
         );
         for idx in 0..o.buckets.len() {
@@ -1239,6 +1268,7 @@ mod tests {
                         for hk in &stable {
                             assert!(d.get(hk).is_some(), "false absent (locked probe)");
                             if let Some(_pin) = hart_ebr::pin() {
+                                // SAFETY: `_pin` keeps the tables alive.
                                 match unsafe { d.get_raw(hk) } {
                                     RawBucketRead::Found(_) | RawBucketRead::Retry => {}
                                     RawBucketRead::Absent => panic!("false absent (raw probe)"),
@@ -1286,11 +1316,13 @@ mod tests {
                         let Some(_pin) = hart_ebr::pin() else {
                             continue;
                         };
-                        let snap: std::collections::HashSet<Vec<u8>> =
-                            unsafe { d.shards_sorted_raw() }
-                                .into_iter()
-                                .map(|(k, _)| k.as_slice().to_vec())
-                                .collect();
+                        // SAFETY: `_pin` keeps the snapshotted tables
+                        // alive for the collect below.
+                        let raw = unsafe { d.shards_sorted_raw() };
+                        let snap: std::collections::HashSet<Vec<u8>> = raw
+                            .into_iter()
+                            .map(|(k, _)| k.as_slice().to_vec())
+                            .collect();
                         for hk in &stable {
                             assert!(
                                 snap.contains(hk.as_slice()),

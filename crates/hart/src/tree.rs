@@ -7,7 +7,7 @@ use crate::resolver::PmResolver;
 use hart_art::RawRead;
 use hart_epalloc::{
     leaf_read_key, leaf_read_pvalue, leaf_read_val_len, leaf_write_key, leaf_write_pvalue,
-    persist_leaf_key, persist_leaf_pvalue, AllocStats, EPallocator, ObjClass,
+    persist_leaf_key, persist_leaf_pvalue, AllocStats, EPallocator, ObjClass, LEAF_SIZE,
 };
 use hart_kv::{
     Error, InlineKey, Key, MemoryStats, PersistentIndex, Result, Value, MAX_KEY_LEN, MAX_VALUE_LEN,
@@ -295,12 +295,15 @@ impl Hart {
             None
         };
         if pin.is_some() {
-            // `pin` stays alive for the whole scan, keeping every raw shard
-            // pointer from the snapshot dereferenceable.
+            // SAFETY: `pin` stays alive for the whole scan, keeping every
+            // raw shard pointer from the snapshot dereferenceable (EBR
+            // defers shard frees past the pinned epoch).
             for (hk, shard) in unsafe { self.dir.shards_sorted_raw() } {
                 let Some((ak_lo, ak_hi)) = shard_ak_bounds(hk.as_slice(), s, e, &hi_buf) else {
                     continue;
                 };
+                // SAFETY: `shard` came from the pinned snapshot above and
+                // the callee re-validates every read against the seqlock.
                 unsafe { self.range_shard_optimistic(shard, s, e, ak_lo, ak_hi, &mut out)? };
             }
         } else {
@@ -453,7 +456,11 @@ impl Hart {
         let r = self.resolver();
         for _ in 0..self.cfg.optimistic_retry_limit {
             // Lock-free hash probe (Algorithm 4 line 2).
+            // SAFETY: `_pin` (held for the whole function) keeps the probed
+            // directory tables and any shard pointer they return alive.
             let shard = match unsafe { self.dir.get_raw(hk) } {
+                // SAFETY: same pin — the shard box is not freed while
+                // pinned, and `&*p` only outlives this loop iteration.
                 RawBucketRead::Found(p) => unsafe { &*p },
                 RawBucketRead::Absent => return Some(Ok(None)),
                 RawBucketRead::Retry => continue,
@@ -468,6 +475,9 @@ impl Hart {
             // validated observation is committed state. A committed `dead`
             // means the shard was empty when unlinked — reporting the key
             // absent is linearizable at that unlink.
+            // SAFETY: `inner` points into the pinned shard; the volatile
+            // read tolerates concurrent writes, and `validate()` below
+            // rejects any torn observation.
             let dead = unsafe { ptr::read_volatile(ptr::addr_of!((*inner).dead)) };
             if !validate() {
                 continue;
@@ -477,7 +487,12 @@ impl Hart {
             }
             // Raw ART descent (Algorithm 4 lines 6–7), copy-then-validate
             // at every step.
+            // SAFETY: `inner` stays valid under the pin; `addr_of!` takes
+            // the field address without creating a reference.
             let art = unsafe { ptr::addr_of!((*inner).art) };
+            // SAFETY: raw descent copies then validates every node against
+            // the shard seqlock, so freed-and-reused memory is never
+            // trusted; the pin keeps the memory itself mapped.
             let leaf = match unsafe { hart_art::search_raw(art, &r, ak, &validate) } {
                 RawRead::Found(leaf) => leaf,
                 RawRead::NotFound => return Some(Ok(None)),
@@ -664,7 +679,11 @@ impl PersistentIndex for Hart {
                 // expansion) had to be flushed, WOART-style.
                 pool.charge_synthetic_persist(2);
             }
-            // Line 18: set and persist the leaf bit.
+            // Line 18: set and persist the leaf bit. Publish point: the
+            // leaf image and the value it points at must both be durable
+            // first (pm-check asserts this; no-op otherwise).
+            pool.check_durable(leaf, LEAF_SIZE);
+            pool.check_durable(vptr, value.len().max(1));
             self.alloc.commit(leaf, ObjClass::Leaf);
             return Ok(());
         }

@@ -1,0 +1,264 @@
+//! A drop-in subset of the `loom` model-checker API.
+//!
+//! The build environment has no crates.io mirror, so the workspace vendors
+//! the slice of `loom` its concurrency models use: [`model`],
+//! `loom::thread::{spawn, yield_now}`, `loom::sync::Arc`,
+//! `loom::sync::atomic::*` and `loom::hint::spin_loop`.
+//!
+//! Real loom exhaustively enumerates interleavings under a C11 memory
+//! model. This subset explores schedules *randomly* instead, in the style
+//! of a PCT/Shuttle fuzzer: [`model`] runs the closure many times
+//! (`LOOM_ITERS`, default 128) and every wrapped atomic operation passes
+//! through a decision point ([`shake`]) that randomly yields the OS thread
+//! or spins, with a deterministic per-iteration seed so a failing
+//! iteration index reproduces. That trades loom's completeness for zero
+//! dependencies — the models stay API-compatible, so swapping in real loom
+//! under `cfg(loom)` remains a mechanical change.
+//!
+//! Limitations vs. real loom, stated plainly: no exhaustiveness guarantee,
+//! no weak-memory simulation beyond what the host CPU provides, and no
+//! deadlock detection. It still catches ordering bugs the way stress tests
+//! do — by making preemption at every shared-memory access point vastly
+//! more likely than a bare `cargo test` schedule ever would.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Global seed source: every participating thread derives its RNG stream
+/// from this counter, so each `model` iteration (and each spawned thread
+/// within it) shakes differently but deterministically.
+static SEED: StdAtomicU64 = StdAtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn rng_next() -> u64 {
+    RNG.with(|r| {
+        let mut x = r.get();
+        if x == 0 {
+            // First use on this thread: pull a fresh stream.
+            x = SEED.fetch_add(0xD1B5_4A32_D192_ED03, StdOrdering::Relaxed) | 1;
+        }
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        r.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    })
+}
+
+/// A schedule decision point: sometimes yield the OS scheduler, sometimes
+/// spin, mostly run on. Called by every wrapped atomic operation.
+pub fn shake() {
+    match rng_next() % 8 {
+        0 => std::thread::yield_now(),
+        1 => {
+            for _ in 0..(rng_next() % 64) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Number of random schedules [`model`] explores: `LOOM_ITERS` env var,
+/// default 128. CI's nightly job raises it.
+pub fn iters() -> usize {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Explore `f` under many randomized schedules (real loom: exhaustively).
+///
+/// Panics propagate out of the failing iteration with its index in the
+/// message, so `LOOM_ITERS=1` plus the printed seed context reproduces.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for i in 0..iters() {
+        // Re-seed the main thread per iteration for determinism.
+        RNG.with(|r| r.set((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(e) = caught {
+            eprintln!("loom(subset): model failed at iteration {i}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+pub mod hint {
+    /// Spin-loop hint, routed through a schedule decision point.
+    pub fn spin_loop() {
+        super::shake();
+        std::hint::spin_loop();
+    }
+}
+
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a model thread whose schedule is shaken from the start.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::shake();
+            f()
+        })
+    }
+
+    /// Yield the scheduler (a decision point in real loom too).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, Mutex};
+
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// An atomic fence preceded by a schedule decision point.
+        pub fn fence(order: Ordering) {
+            crate::shake();
+            std::sync::atomic::fence(order);
+        }
+
+        macro_rules! shaken_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Std atomic wrapped so every operation is a schedule
+                /// decision point.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::shake();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::shake();
+                        self.0.store(v, order);
+                        crate::shake();
+                    }
+
+                    pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                        crate::shake();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::shake();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        shaken_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shaken_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Shaken `AtomicBool` (separate: no `fetch_add`).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::shake();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::shake();
+                self.0.store(v, order);
+                crate::shake();
+            }
+        }
+
+        /// Shaken `AtomicPtr` for publish/retire models.
+        #[derive(Debug)]
+        pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> AtomicPtr<T> {
+            pub fn new(p: *mut T) -> Self {
+                Self(std::sync::atomic::AtomicPtr::new(p))
+            }
+
+            pub fn load(&self, order: Ordering) -> *mut T {
+                crate::shake();
+                self.0.load(order)
+            }
+
+            pub fn store(&self, p: *mut T, order: Ordering) {
+                crate::shake();
+                self.0.store(p, order);
+                crate::shake();
+            }
+
+            pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+                crate::shake();
+                self.0.swap(p, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_iterations() {
+        std::env::set_var("LOOM_ITERS", "4");
+        let runs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let r2 = Arc::clone(&runs);
+        super::model(move || {
+            r2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(std::sync::atomic::Ordering::SeqCst), 4);
+        std::env::remove_var("LOOM_ITERS");
+    }
+
+    #[test]
+    fn shaken_atomics_behave_like_std() {
+        let a = AtomicU64::new(1);
+        a.store(5, Ordering::Release);
+        assert_eq!(a.load(Ordering::Acquire), 5);
+        assert_eq!(a.fetch_add(2, Ordering::AcqRel), 5);
+        assert_eq!(
+            a.compare_exchange(7, 9, Ordering::AcqRel, Ordering::Acquire),
+            Ok(7)
+        );
+        assert_eq!(a.load(Ordering::Acquire), 9);
+    }
+
+    #[test]
+    fn threads_join_with_results() {
+        let h = super::thread::spawn(|| 40 + 2);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

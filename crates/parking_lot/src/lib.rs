@@ -23,9 +23,10 @@ pub struct Mutex<T: ?Sized> {
     data: UnsafeCell<T>,
 }
 
-// Safety: identical bounds to std::sync::Mutex — the raw lock serializes
+// SAFETY: identical bounds to std::sync::Mutex — the raw lock serializes
 // all access to `data`.
 unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — shared handles only reach `data` through the lock.
 unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
@@ -73,6 +74,7 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires unique ownership).
     pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: `&mut self` proves no guard or other borrow is alive.
         unsafe { &mut *self.data.get() }
     }
 
@@ -103,24 +105,28 @@ pub struct MutexGuard<'a, T: ?Sized> {
     data: *mut T,
 }
 
+// SAFETY: a shared guard only hands out `&T`, so `T: Sync` suffices.
 unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // SAFETY: the guard holds the raw lock, so `data` is valid and
+        // unaliased by other threads for the guard's lifetime.
         unsafe { &*self.data }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive guard borrow + held lock give unique access.
         unsafe { &mut *self.data }
     }
 }
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        // Safety: `raw` is only taken here or in `Condvar::wait`, which
+        // SAFETY: `raw` is only taken here or in `Condvar::wait`, which
         // always puts a fresh guard back before returning.
         unsafe { ManuallyDrop::drop(&mut self.raw) }
     }
@@ -132,7 +138,11 @@ pub struct RwLock<T: ?Sized> {
     data: UnsafeCell<T>,
 }
 
+// SAFETY: identical bounds to std::sync::RwLock — the raw lock mediates
+// every access to `data`.
 unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: readers share `&T` (needs `T: Sync`) and writers are exclusive
+// (needs `T: Send`), matching std's bounds.
 unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
@@ -192,6 +202,7 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Mutable access without locking (requires unique ownership).
     pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: `&mut self` proves no guard or other borrow is alive.
         unsafe { &mut *self.data.get() }
     }
 
@@ -217,11 +228,14 @@ pub struct RwLockReadGuard<'a, T: ?Sized> {
     data: *mut T,
 }
 
+// SAFETY: a read guard only hands out `&T`, so `T: Sync` suffices.
 unsafe impl<T: ?Sized + Sync> Sync for RwLockReadGuard<'_, T> {}
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // SAFETY: the held read lock keeps writers out, so `data` is valid
+        // and unchanging for the guard's lifetime.
         unsafe { &*self.data }
     }
 }
@@ -232,17 +246,21 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
     data: *mut T,
 }
 
+// SAFETY: sharing the guard only shares `&T`, so `T: Sync` suffices.
 unsafe impl<T: ?Sized + Sync> Sync for RwLockWriteGuard<'_, T> {}
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // SAFETY: the held write lock gives this guard sole access.
         unsafe { &*self.data }
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive guard borrow + held write lock give unique
+        // access.
         unsafe { &mut *self.data }
     }
 }
@@ -263,7 +281,7 @@ impl Condvar {
     /// Atomically release the guard's mutex and wait for a notification,
     /// reacquiring before returning.
     pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
-        // Safety: the raw guard is moved out for the duration of the wait
+        // SAFETY: the raw guard is moved out for the duration of the wait
         // and a fresh one is written back before this function returns, so
         // `MutexGuard::drop` always sees an initialized guard.
         let raw = unsafe { ManuallyDrop::take(&mut guard.raw) };
@@ -320,6 +338,8 @@ mod tests {
     #[test]
     fn data_ptr_points_at_value() {
         let l = RwLock::new(41u64);
+        // SAFETY: `l` is locally owned with no guard alive, so the raw
+        // pointer is unaliased.
         unsafe { *l.data_ptr() += 1 };
         assert_eq!(*l.read(), 42);
     }

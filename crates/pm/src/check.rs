@@ -1,0 +1,113 @@
+//! Byte-granular shadow durability tracking (the `pm-check` feature).
+//!
+//! The crash-simulation shadow in `pool.rs` answers "what survives a crash
+//! *right now*?". This tracker answers a stricter, discipline-level
+//! question: "has every store been covered by a persist by the time the
+//! code declares the object durable?" — the invariant Algorithms 1–7 of
+//! the paper rely on. [`crate::PmemPool::check_durable`] consults it at
+//! commit points (EPallocator chunk-commit, HART leaf-publish, micro-log
+//! `PNewV`) and panics with the exact un-persisted byte ranges, turning a
+//! silent ordering bug into a deterministic test failure.
+//!
+//! Granularity: writes are recorded per **byte**, persists clear whole
+//! cache lines (CLFLUSH semantics). Byte-granular dirtiness avoids false
+//! positives when two objects share a line — 40-byte leaves straddle
+//! 64-byte lines, so thread B's store to the tail of a line must not make
+//! thread A's already-persisted head look dirty. Line-granular clearing
+//! keeps the model faithful to hardware: flushing any byte of a line
+//! flushes its neighbours too.
+//!
+//! Persists clear the tracker even when the persist fuse has blown: the
+//! fuse models the machine dying, not the code forgetting a flush, so
+//! failure-injection tests must not trip the discipline checker.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// Tracks bytes that have been written but not yet covered by a persist.
+#[derive(Default)]
+pub(crate) struct DurTracker {
+    dirty: Mutex<BTreeSet<u64>>,
+}
+
+impl DurTracker {
+    /// Record a store of `len` bytes at `off`.
+    pub fn note_write(&self, off: u64, len: u64) {
+        let mut d = self.dirty.lock();
+        for b in off..off + len {
+            d.insert(b);
+        }
+    }
+
+    /// Record a persist covering bytes `[start, end)` (line-rounded by the
+    /// caller, matching what CLFLUSH actually makes durable).
+    pub fn note_persist(&self, start: u64, end: u64) {
+        let mut d = self.dirty.lock();
+        // Collect-then-remove: `BTreeSet` has no drain-range, and `retain`
+        // would walk the whole set instead of just the covered keys.
+        let covered: Vec<u64> = d.range(start..end).copied().collect();
+        for b in covered {
+            d.remove(&b);
+        }
+    }
+
+    /// Forget everything (crash simulation or image reload — the working
+    /// arena has been redefined as the durable baseline).
+    pub fn clear(&self) {
+        self.dirty.lock().clear();
+    }
+
+    /// Contiguous un-persisted ranges intersecting `[off, off+len)`, as
+    /// `(start, end)` byte pairs; empty when the whole range is durable.
+    pub fn unpersisted_in(&self, off: u64, len: u64) -> Vec<(u64, u64)> {
+        let d = self.dirty.lock();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for &b in d.range(off..off + len) {
+            match out.last_mut() {
+                Some(r) if r.1 == b => r.1 = b + 1,
+                _ => out.push((b, b + 1)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_persist_is_clean() {
+        let t = DurTracker::default();
+        t.note_write(100, 40);
+        t.note_persist(64, 192);
+        assert!(t.unpersisted_in(0, 4096).is_empty());
+    }
+
+    #[test]
+    fn reports_exact_ranges() {
+        let t = DurTracker::default();
+        t.note_write(10, 4);
+        t.note_write(20, 2);
+        assert_eq!(t.unpersisted_in(0, 64), vec![(10, 14), (20, 22)]);
+        assert_eq!(t.unpersisted_in(12, 4), vec![(12, 14)]);
+    }
+
+    #[test]
+    fn neighbour_write_does_not_dirty_persisted_bytes() {
+        let t = DurTracker::default();
+        t.note_write(0, 40); // leaf A: bytes 0..40
+        t.note_persist(0, 64); // A persisted (whole line)
+        t.note_write(40, 40); // leaf B shares line 0
+        assert!(t.unpersisted_in(0, 40).is_empty(), "A must stay durable");
+        assert_eq!(t.unpersisted_in(40, 40), vec![(40, 80)]);
+    }
+
+    #[test]
+    fn clear_forgets_all() {
+        let t = DurTracker::default();
+        t.note_write(0, 128);
+        t.clear();
+        assert!(t.unpersisted_in(0, 1024).is_empty());
+    }
+}

@@ -48,6 +48,8 @@
 //! ```
 
 mod cache;
+#[cfg(feature = "pm-check")]
+mod check;
 mod image;
 mod latency;
 mod pod;

@@ -19,13 +19,18 @@ pub unsafe trait Pod: Copy + 'static {}
 
 macro_rules! impl_pod {
     ($($t:ty),* $(,)?) => {
+        // SAFETY: primitive integers have no padding, no invalid bit
+        // patterns, and hold no volatile pointers.
         $(unsafe impl Pod for $t {})*
     };
 }
 
 impl_pod!(u8, u16, u32, u64, i8, i16, i32, i64);
 
+// SAFETY: arrays of Pod integers are themselves padding-free plain
+// bytes with every bit pattern valid.
 unsafe impl<const N: usize> Pod for [u8; N] {}
+// SAFETY: as above — [u64; N] is densely packed Pod data.
 unsafe impl<const N: usize> Pod for [u64; N] {}
 
 #[cfg(test)]

@@ -127,9 +127,19 @@ pub struct PmemPool {
     /// later persists no longer promote lines into the shadow image, as if
     /// the machine had already died. −1 = disarmed.
     persist_fuse: std::sync::atomic::AtomicI64,
+    /// Byte-granular written-but-not-persisted tracking for
+    /// [`PmemPool::check_durable`] (see `check.rs` for the model).
+    #[cfg(feature = "pm-check")]
+    durability: crate::check::DurTracker,
 }
 
+// SAFETY: the arena is a fixed heap allocation owned for the pool's
+// lifetime; all mutation goes through raw-pointer copies guarded by the
+// crash-state/stats mutexes or is data the caller must externally
+// synchronise, matching real PM semantics.
 unsafe impl Send for PmemPool {}
+// SAFETY: see the Send rationale — shared access only hands out values
+// copied out of the arena, never references into it.
 unsafe impl Sync for PmemPool {}
 
 impl PmemPool {
@@ -140,6 +150,8 @@ impl PmemPool {
     pub fn new(cfg: PoolConfig) -> PmemPool {
         assert!(cfg.size_bytes >= 2 * 4096, "pool must be at least 8 KiB");
         let layout = Layout::from_size_align(cfg.size_bytes, 4096).expect("pool layout");
+        // SAFETY: `layout` has non-zero size (asserted above) and valid
+        // 4096-byte alignment.
         let raw = unsafe { alloc_zeroed(layout) };
         let base = NonNull::new(raw).expect("pool allocation failed");
         let crash = cfg.crash_sim.then(|| {
@@ -164,6 +176,8 @@ impl PmemPool {
             crash,
             alloc_overhead_ns: cfg.alloc_overhead_ns,
             persist_fuse: std::sync::atomic::AtomicI64::new(-1),
+            #[cfg(feature = "pm-check")]
+            durability: crate::check::DurTracker::default(),
         }
     }
 
@@ -285,6 +299,8 @@ impl PmemPool {
         self.check(p, size_of::<T>());
         self.charge_read_range(p.0, size_of::<T>());
         let mut out = MaybeUninit::<T>::uninit();
+        // SAFETY: `check` bounds the range inside the arena; `T: Pod`
+        // makes any copied bit pattern a valid, fully-initialised value.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 self.base.as_ptr().add(p.0 as usize),
@@ -300,6 +316,8 @@ impl PmemPool {
     pub fn read_bytes(&self, p: PmPtr, dst: &mut [u8]) {
         self.check(p, dst.len());
         self.charge_read_range(p.0, dst.len());
+        // SAFETY: `check` bounds the source range inside the arena and
+        // `dst` is a live exclusive borrow of `dst.len()` bytes.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 self.base.as_ptr().add(p.0 as usize),
@@ -314,6 +332,8 @@ impl PmemPool {
     #[inline]
     pub fn write<T: Pod>(&self, p: PmPtr, v: &T) {
         self.check(p, size_of::<T>());
+        // SAFETY: `check` bounds the destination inside the arena; the
+        // source is a live `T` read for exactly `size_of::<T>()` bytes.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 v as *const T as *const u8,
@@ -328,6 +348,8 @@ impl PmemPool {
     #[inline]
     pub fn write_bytes(&self, p: PmPtr, src: &[u8]) {
         self.check(p, src.len());
+        // SAFETY: `check` bounds the destination inside the arena; `src`
+        // is a live borrow of exactly `src.len()` bytes.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 src.as_ptr(),
@@ -341,6 +363,8 @@ impl PmemPool {
     /// Zero a range (not durable until persisted).
     pub fn write_zeros(&self, p: PmPtr, len: usize) {
         self.check(p, len);
+        // SAFETY: `check` bounds the `len`-byte destination inside the
+        // arena.
         unsafe {
             std::ptr::write_bytes(self.base.as_ptr().add(p.0 as usize), 0, len);
         }
@@ -357,11 +381,13 @@ impl PmemPool {
     #[inline]
     pub fn write_u64_atomic(&self, p: PmPtr, v: u64) {
         assert_eq!(p.0 % 8, 0, "atomic u64 store must be 8-byte aligned");
-        self.write(p, &v);
+        self.write(p, &v); // pmlint: deferred-persist(8-byte-atomic primitive; ordering is the call site's contract)
     }
 
     #[inline]
     fn after_write(&self, off: u64, len: usize) {
+        #[cfg(feature = "pm-check")]
+        self.durability.note_write(off, len as u64);
         // Write-allocate into the cache model.
         if self.charge_reads {
             let mut line = off & !(CACHE_LINE - 1);
@@ -434,6 +460,12 @@ impl PmemPool {
             .lines_flushed
             .fetch_add(nlines, std::sync::atomic::Ordering::Relaxed);
 
+        // Discipline tracking clears even when the fuse is blown below: the
+        // fuse models the machine dying, not the code skipping a flush.
+        #[cfg(feature = "pm-check")]
+        self.durability
+            .note_persist(first, end.div_ceil(CACHE_LINE) * CACHE_LINE);
+
         if self.charge_reads {
             let mut line = first;
             while line < end {
@@ -476,6 +508,9 @@ impl PmemPool {
                 if st.dirty.remove(&idx) {
                     let a = (line as usize).min(self.len);
                     let b = ((line + CACHE_LINE) as usize).min(self.len);
+                    // SAFETY: `a..b` is clamped to the arena/shadow length
+                    // and the two buffers never overlap (separate
+                    // allocations).
                     unsafe {
                         std::ptr::copy_nonoverlapping(
                             self.base.as_ptr().add(a),
@@ -501,6 +536,37 @@ impl PmemPool {
         self.persist(p, size_of::<T>());
     }
 
+    /// Assert that every byte of `[p, p+len)` is durable: no store to the
+    /// range has been left uncovered by a later `persist`. Bytes that were
+    /// never written count as durable (they hold their last-persisted —
+    /// possibly initial-zero — contents).
+    ///
+    /// A no-op unless the crate is built with the `pm-check` feature, so
+    /// commit points call it unconditionally. Under `pm-check` it panics
+    /// with the exact un-persisted byte ranges — the lexical `pmlint` pass
+    /// catches missing flushes it can see, this catches the ones it can't.
+    #[inline]
+    pub fn check_durable(&self, p: PmPtr, len: usize) {
+        #[cfg(feature = "pm-check")]
+        {
+            self.check(p, len.max(1));
+            let ranges = self.durability.unpersisted_in(p.0, len as u64);
+            assert!(
+                ranges.is_empty(),
+                "pm-check: commit point reached with un-persisted bytes in \
+                 [{}, {}): {:?} (offsets; each pair is [start, end)) — a \
+                 store is missing a covering persist",
+                p.0,
+                p.0 + len as u64,
+                ranges
+            );
+        }
+        #[cfg(not(feature = "pm-check"))]
+        {
+            let _ = (p, len);
+        }
+    }
+
     /// A standalone memory fence (counted; no latency charge of its own —
     /// the paper folds fence cost into the per-persist charge).
     pub fn fence(&self) {
@@ -522,11 +588,15 @@ impl PmemPool {
     /// Panics if the pool was created without `crash_sim`.
     pub fn simulate_crash(&self) {
         let crash = self.crash.as_ref().expect("pool created without crash_sim");
+        #[cfg(feature = "pm-check")]
+        self.durability.clear();
         let mut st = crash.lock();
         let dirty: Vec<u64> = st.dirty.drain().collect();
         for idx in dirty {
             let a = ((idx * CACHE_LINE) as usize).min(self.len);
             let b = (((idx + 1) * CACHE_LINE) as usize).min(self.len);
+            // SAFETY: `a..b` is clamped to the arena/shadow length and the
+            // two buffers never overlap (separate allocations).
             unsafe {
                 std::ptr::copy_nonoverlapping(
                     st.shadow.as_ptr().add(a),
@@ -620,6 +690,8 @@ impl PmemPool {
                 f(&st.shadow)
             }
             None => {
+                // SAFETY: `base` points at `self.len` initialised arena
+                // bytes; the shared borrow lives only for `f`'s call.
                 let bytes = unsafe { std::slice::from_raw_parts(self.base.as_ptr(), self.len) };
                 f(bytes)
             }
@@ -633,6 +705,8 @@ impl PmemPool {
         len: usize,
     ) -> std::io::Result<()> {
         assert!(len <= self.len);
+        // SAFETY: `len <= self.len` is asserted above and `&self` methods
+        // are not re-entered while this exclusive view is alive.
         let bytes = unsafe { std::slice::from_raw_parts_mut(self.base.as_ptr(), len) };
         r.read_exact(bytes)
     }
@@ -640,9 +714,13 @@ impl PmemPool {
     /// After loading an image, make the crash shadow (if any) match the
     /// working arena: the loaded bytes *are* the durable baseline.
     pub(crate) fn sync_shadow_to_working(&self) {
+        #[cfg(feature = "pm-check")]
+        self.durability.clear();
         if let Some(crash) = &self.crash {
             let mut st = crash.lock();
             st.dirty.clear();
+            // SAFETY: `base` points at `self.len` initialised arena bytes;
+            // the borrow ends with the `copy_from_slice` call.
             let bytes = unsafe { std::slice::from_raw_parts(self.base.as_ptr(), self.len) };
             st.shadow.copy_from_slice(bytes);
         }
@@ -651,6 +729,8 @@ impl PmemPool {
 
 impl Drop for PmemPool {
     fn drop(&mut self) {
+        // SAFETY: `base` was produced by `alloc_zeroed(self.layout)` and is
+        // freed exactly once here.
         unsafe { dealloc(self.base.as_ptr(), self.layout) }
     }
 }
@@ -963,5 +1043,141 @@ mod fuse_tests {
     fn fuse_requires_crash_sim() {
         let p = PmemPool::new(PoolConfig::test_small());
         p.arm_persist_fuse(1);
+    }
+
+    #[test]
+    fn blown_fuse_keeps_exact_prefix_at_line_granularity() {
+        // The crash-simulation boundary itself: arm the fuse so that it
+        // blows mid-sequence and assert the shadow image holds exactly the
+        // pre-fuse prefix — whole lines persisted before the fuse blew
+        // survive, everything at or after the blowing persist reverts.
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(4 * CACHE_LINE as usize, CACHE_LINE).unwrap();
+        // One write+persist per line, fuse armed to survive exactly two.
+        p.arm_persist_fuse(2);
+        for i in 0..4u64 {
+            let at = a.add(i * CACHE_LINE);
+            p.write(at, &(i + 1));
+            p.persist(at, CACHE_LINE as usize);
+        }
+        assert!(p.fuse_blown());
+        // Before the crash the working image still sees all four stores.
+        for i in 0..4u64 {
+            assert_eq!(p.read::<u64>(a.add(i * CACHE_LINE)), i + 1);
+        }
+        p.simulate_crash();
+        // After it, exactly the two-line prefix persisted pre-fuse remains.
+        for i in 0..4u64 {
+            let want = if i < 2 { i + 1 } else { 0 };
+            assert_eq!(
+                p.read::<u64>(a.add(i * CACHE_LINE)),
+                want,
+                "line {i} violates the pre-fuse prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn blown_fuse_splits_within_one_persist_call_by_lines() {
+        // A single persist call spanning two lines when only one persist
+        // credit remains: the paper's persistent() is one MFENCE-bounded
+        // sequence, and this emulation burns the fuse per *call*, so the
+        // whole call fails — neither line may reach the shadow.
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(2 * CACHE_LINE as usize, CACHE_LINE).unwrap();
+        p.write(a, &0xa1u64);
+        p.write(a.add(CACHE_LINE), &0xa2u64);
+        p.arm_persist_fuse(1);
+        p.persist(a, 2 * CACHE_LINE as usize); // fuse 1 -> 0: survives
+        assert!(p.fuse_blown());
+        p.write(a, &0xb1u64);
+        p.persist(a, 8); // post-fuse: lost
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a), 0xa1, "pre-fuse persist must stick");
+        assert_eq!(p.read::<u64>(a.add(CACHE_LINE)), 0xa2);
+    }
+}
+
+#[cfg(all(test, feature = "pm-check"))]
+mod pm_check_tests {
+    use super::*;
+
+    #[test]
+    fn durable_after_persist() {
+        let p = PmemPool::new(PoolConfig::test_small());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write(a, &7u64);
+        p.persist_val::<u64>(a);
+        p.check_durable(a, 8); // must not panic
+    }
+
+    #[test]
+    fn never_written_counts_as_durable() {
+        let p = PmemPool::new(PoolConfig::test_small());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.check_durable(a, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "pm-check")]
+    fn unpersisted_write_panics_at_commit() {
+        let p = PmemPool::new(PoolConfig::test_small());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write(a, &7u64);
+        p.check_durable(a, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "pm-check")]
+    fn partial_persist_still_panics() {
+        let p = PmemPool::new(PoolConfig::test_small());
+        let a = p.alloc_raw(256, 64).unwrap();
+        p.write_bytes(a, &[1u8; 130]); // three lines
+        p.persist(a, 64); // only the first
+        p.check_durable(a.add(64), 66);
+    }
+
+    #[test]
+    fn line_rounded_persist_covers_shared_line_neighbours() {
+        // Two 40-byte "leaves" straddling a line boundary: persisting the
+        // first flushes the shared line, so only the second leaf's bytes in
+        // the *next* line stay dirty — byte-granular tracking must not
+        // report leaf A dirty after B's neighbouring write.
+        let p = PmemPool::new(PoolConfig::test_small());
+        let base = p.alloc_raw(128, 64).unwrap();
+        p.write_bytes(base, &[0xAA; 40]); // leaf A: [0, 40)
+        p.persist(base, 40);
+        p.write_bytes(base.add(40), &[0xBB; 40]); // leaf B: [40, 80)
+        p.check_durable(base, 40); // A stays durable
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.check_durable(base.add(40), 40)
+        }));
+        assert!(caught.is_err(), "B is not durable yet");
+        p.persist(base.add(40), 40);
+        p.check_durable(base.add(40), 40);
+    }
+
+    #[test]
+    fn fuse_blown_persist_still_clears_discipline_state() {
+        // The fuse models power loss, not a missing flush: code that *did*
+        // call persist has honoured the discipline even if the simulated
+        // machine was already dead, so check_durable stays quiet.
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.arm_persist_fuse(0);
+        p.write(a, &9u64);
+        p.persist_val::<u64>(a); // fuse already blown — not durable for real
+        p.check_durable(a, 8); // ...but the code's ordering was correct
+        p.simulate_crash();
+        assert_eq!(p.read::<u64>(a), 0, "the data itself is still lost");
+    }
+
+    #[test]
+    fn crash_resets_discipline_state() {
+        let p = PmemPool::new(PoolConfig::test_crash());
+        let a = p.alloc_raw(64, 64).unwrap();
+        p.write(a, &9u64); // never persisted
+        p.simulate_crash(); // write reverted — nothing left to flag
+        p.check_durable(a, 8);
     }
 }

@@ -66,7 +66,8 @@ impl fmt::Debug for PmPtr {
     }
 }
 
-// A PmPtr is plain data and may itself be stored in PM.
+// SAFETY: a PmPtr is a bare u64 pool offset — plain data with every bit
+// pattern valid, and not a virtual address — so it may itself live in PM.
 unsafe impl crate::pod::Pod for PmPtr {}
 
 #[cfg(test)]

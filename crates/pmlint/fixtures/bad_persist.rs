@@ -1,0 +1,27 @@
+//! Seeded R1 violations: PM writes without covering persists.
+//! Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+fn uncovered_write(pool: &PmemPool, p: PmPtr) {
+    pool.write(p, &1u64); // VIOLATION: no persist anywhere below
+    let _ = pool.read::<u64>(p);
+}
+
+fn uncovered_bytes_and_zeros(pool: &PmemPool, p: PmPtr) {
+    pool.write_bytes(p, &[1, 2, 3]); // VIOLATION
+    pool.write_zeros(p.add(8), 16); // VIOLATION (same fn, still no persist)
+}
+
+fn covered_write(pool: &PmemPool, p: PmPtr) {
+    pool.write_u64_atomic(p, 7);
+    pool.persist(p, 8); // covers the write above
+}
+
+fn waived_write(pool: &PmemPool, p: PmPtr) {
+    // pmlint: deferred-persist(caller persists the whole object at commit)
+    pool.write(p, &1u64);
+}
+
+fn lock_acquire_is_not_a_pm_write(lock: &RwLock<u32>) {
+    let mut g = lock.write(); // no args: RwLock acquire, not a PM store
+    *g += 1;
+}

@@ -1,0 +1,32 @@
+//! Seeded R4 violations: PmPtr values cached across a persist-fuse crash
+//! point. Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+#[test]
+fn caches_pvalue_across_crash(pool: &PmemPool, h: &Hart, leaf: PmPtr) {
+    pool.arm_persist_fuse(3);
+    let stale = leaf_read_pvalue(pool, leaf); // VIOLATION: used after crash
+    h.insert(&key(1), &val(9)).unwrap();
+    pool.simulate_crash();
+    assert!(!stale.is_null()); // ...the crash may have reverted p_value
+}
+
+#[test]
+fn rereads_after_crash(pool: &PmemPool, h: &Hart, leaf: PmPtr) {
+    pool.arm_persist_fuse(3);
+    let before = leaf_read_pvalue(pool, leaf);
+    assert!(!before.is_null()); // ok: consumed before the crash point
+    h.insert(&key(1), &val(9)).unwrap();
+    pool.simulate_crash();
+    let after = leaf_read_pvalue(pool, leaf); // ok: re-read post-crash
+    assert!(!after.is_null());
+}
+
+#[test]
+fn waived_comparison(pool: &PmemPool, h: &Hart, leaf: PmPtr) {
+    pool.arm_persist_fuse(3);
+    // pmlint: ptr-cache-ok(compared for equality only, never dereferenced)
+    let pre = leaf_read_pvalue(pool, leaf);
+    h.insert(&key(1), &val(9)).unwrap();
+    pool.simulate_crash();
+    assert_eq!(pre, leaf_read_pvalue(pool, leaf));
+}

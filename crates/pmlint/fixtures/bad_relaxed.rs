@@ -1,0 +1,26 @@
+//! Seeded R3 violations: Relaxed ordering on guarded atomics outside the
+//! audited helpers. This file is NOT dir.rs/optimistic.rs, so even an
+//! allowlisted function name does not excuse it.
+//! Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+fn read_version_racily(s: &Shard) -> u64 {
+    s.version.load(Ordering::Relaxed) // VIOLATION: unfenced Relaxed version
+}
+
+fn validate(s: &Shard, v0: u64) -> bool {
+    // Allowlisted *name*, but wrong file: still a violation.
+    s.version.load(Ordering::Relaxed) == v0 // VIOLATION
+}
+
+fn bump_migration(o: &Old) -> usize {
+    o.migrate_next.fetch_add(1, Ordering::Relaxed) // VIOLATION
+}
+
+fn stats_are_fine(d: &Dir) -> u64 {
+    d.entries.load(Ordering::Relaxed) // ok: not a version/migration atomic
+}
+
+fn waived(s: &Shard) -> u64 {
+    // pmlint: relaxed-ok(snapshot for debug printing only, never validated)
+    s.version.load(Ordering::Relaxed)
+}

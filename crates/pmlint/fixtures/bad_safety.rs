@@ -1,0 +1,26 @@
+//! Seeded R2 violations: `unsafe` without `// SAFETY:` comments.
+//! Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {} // VIOLATION: undocumented unsafe impl
+
+// SAFETY: the pointer is only dereferenced on the owning thread.
+unsafe impl Sync for Wrapper {} // ok: comment above
+
+fn read_it(w: &Wrapper) -> u8 {
+    unsafe { *w.0 } // VIOLATION: undocumented unsafe block
+}
+
+fn read_it_documented(w: &Wrapper) -> u8 {
+    // SAFETY: `w.0` is non-null and exclusively owned by this call.
+    unsafe { *w.0 }
+}
+
+/// # Safety
+/// Caller must guarantee `p` is valid.
+unsafe fn declared_unsafe(p: *mut u8) -> u8 {
+    // The fn itself is exempt (documented by `# Safety`), but blocks
+    // inside still need comments when they stand alone.
+    *p
+}

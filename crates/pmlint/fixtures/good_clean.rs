@@ -1,0 +1,27 @@
+//! A clean fixture: every rule satisfied. `tests/selftest.rs` asserts the
+//! linter stays quiet here. Not compiled.
+
+fn persisted_write(pool: &PmemPool, p: PmPtr) {
+    pool.write(p, &42u64);
+    pool.persist(p, 8);
+}
+
+fn documented_block(w: &Wrapper) -> u8 {
+    // SAFETY: `w.0` points into the pool arena, which outlives `w`.
+    unsafe { *w.0 }
+}
+
+// SAFETY: all fields are plain bytes; any bit pattern is a valid value.
+unsafe impl Pod for Header {}
+
+fn acquire_version(s: &Shard) -> u64 {
+    s.version.load(Ordering::Acquire)
+}
+
+#[test]
+fn crash_test_rereads(pool: &PmemPool, leaf: PmPtr) {
+    pool.arm_persist_fuse(1);
+    pool.simulate_crash();
+    let v = leaf_read_pvalue(pool, leaf);
+    assert!(v.is_null());
+}

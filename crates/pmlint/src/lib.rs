@@ -1,0 +1,711 @@
+//! A lexical lint for the repo's persistence-ordering and concurrency
+//! disciplines — the invariants the compiler cannot see but Algorithms 1–7
+//! (and the optimistic read path) depend on.
+//!
+//! The build environment has no crates.io mirror, so there is no `syn`;
+//! the linter is a careful line-level lexer instead: comments and string
+//! literals are stripped with a small state machine, function extents are
+//! recovered by brace tracking, and each rule works on the resulting
+//! `(code, comment)` view. That is deliberately conservative — the rules
+//! are tuned so the real tree lints clean and every seeded fixture
+//! violation fires (see `tests/selftest.rs`).
+//!
+//! # Rules
+//!
+//! * **R1 `persist-coverage`** — every `PmemPool::write` /
+//!   `write_bytes` / `write_zeros` / `write_u64_atomic` call site in
+//!   non-test source must be followed, within the same function, by a
+//!   `persist`-family call, or carry a
+//!   `// pmlint: deferred-persist(<reason>)` waiver. (`RwLock::write()`
+//!   lock acquires take no arguments and are ignored.) Test code is
+//!   exempt: crash-simulation tests write without persisting *on
+//!   purpose*, and the `pm-check` runtime tracker covers them instead.
+//! * **R2 `safety-comment`** — every `unsafe {` block and `unsafe impl`
+//!   must be annotated with a `// SAFETY:` comment on the same line or in
+//!   the comment block immediately above. `unsafe fn` declarations are
+//!   exempt (they carry `# Safety` docs).
+//! * **R3 `relaxed-ordering`** — `Ordering::Relaxed` on seqlock-version
+//!   or migration-counter atomics is forbidden outside the audited
+//!   fence-paired helpers in `dir.rs`/`optimistic.rs`
+//!   (`validate`, `probe_raw`, `snapshot_bucket_raw`, `help_migrate`).
+//!   Waiver: `// pmlint: relaxed-ok(<reason>)`.
+//! * **R4 `ptr-cache`** — in a function that arms the persist fuse and
+//!   simulates a crash, a `PmPtr` read from PM *before* the crash must
+//!   not be used after it: the crash may have reverted the pointer, so
+//!   the cached copy dangles. Waiver: `// pmlint: ptr-cache-ok(<reason>)`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Audited seqlock/migration helpers allowed to use `Ordering::Relaxed`
+/// (each pairs the load with an `Acquire` fence or is a pure stat).
+const RELAXED_ALLOWLIST_FNS: &[&str] = &[
+    "validate",
+    "probe_raw",
+    "snapshot_bucket_raw",
+    "help_migrate",
+];
+
+/// Files whose allowlisted helpers may use `Relaxed` on guarded atomics.
+const RELAXED_ALLOWLIST_FILES: &[&str] = &["dir.rs", "optimistic.rs"];
+
+/// Calls that read a `PmPtr` out of PM (rule R4's cache sources).
+const PMPTR_READS: &[&str] = &["leaf_read_pvalue(", "read::<PmPtr>", "read_pvalue("];
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// A source line split into its code and comment parts.
+struct Line {
+    code: String,
+    comment: String,
+}
+
+/// Carry-over lexer state between lines.
+#[derive(Default)]
+struct SplitState {
+    block_comment_depth: u32,
+    in_string: bool,
+    raw_string_hashes: Option<u32>,
+}
+
+/// Strip one line into (code, comment) under `st`. String-literal interiors
+/// become spaces in the code view so tokens inside them never match rules.
+fn split_line(line: &str, st: &mut SplitState) -> Line {
+    let ch: Vec<char> = line.chars().collect();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < ch.len() {
+        if st.block_comment_depth > 0 {
+            if ch[i] == '*' && i + 1 < ch.len() && ch[i + 1] == '/' {
+                st.block_comment_depth -= 1;
+                i += 2;
+            } else if ch[i] == '/' && i + 1 < ch.len() && ch[i + 1] == '*' {
+                st.block_comment_depth += 1;
+                i += 2;
+            } else {
+                comment.push(ch[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.raw_string_hashes {
+            // Inside r"..." / r#"..."#: ends at '"' followed by `hashes` '#'.
+            if ch[i] == '"' {
+                let mut n = 0u32;
+                while n < hashes && i + 1 + (n as usize) < ch.len() && ch[i + 1 + n as usize] == '#'
+                {
+                    n += 1;
+                }
+                if n == hashes {
+                    st.raw_string_hashes = None;
+                    i += 1 + hashes as usize;
+                    code.push(' ');
+                    continue;
+                }
+            }
+            i += 1;
+            code.push(' ');
+            continue;
+        }
+        if st.in_string {
+            if ch[i] == '\\' {
+                i += 2;
+                code.push(' ');
+                continue;
+            }
+            if ch[i] == '"' {
+                st.in_string = false;
+            }
+            code.push(' ');
+            i += 1;
+            continue;
+        }
+        match ch[i] {
+            '/' if i + 1 < ch.len() && ch[i + 1] == '/' => {
+                comment.push_str(&ch[i + 2..].iter().collect::<String>());
+                break;
+            }
+            '/' if i + 1 < ch.len() && ch[i + 1] == '*' => {
+                st.block_comment_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                st.in_string = true;
+                code.push(' ');
+                i += 1;
+            }
+            'r' if i + 1 < ch.len() && (ch[i + 1] == '"' || ch[i + 1] == '#') => {
+                // Possible raw string r"..." or r#"..."#.
+                let mut j = i + 1;
+                let mut hashes = 0u32;
+                while j < ch.len() && ch[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < ch.len() && ch[j] == '"' {
+                    st.raw_string_hashes = Some(hashes);
+                    code.push(' ');
+                    i = j + 1;
+                } else {
+                    code.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes within a few
+                // chars ('x', '\n', '\u{..}'); a lifetime does not.
+                let rest: String = ch[i..].iter().take(12).collect();
+                if let Some(len) = char_literal_len(&rest) {
+                    for _ in 0..len {
+                        code.push(' ');
+                    }
+                    i += len;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    Line { code, comment }
+}
+
+/// Length (in chars) of a char literal starting at `s[0] == '\''`, or None
+/// for a lifetime.
+fn char_literal_len(s: &str) -> Option<usize> {
+    let ch: Vec<char> = s.chars().collect();
+    if ch.len() < 3 {
+        return None;
+    }
+    if ch[1] == '\\' {
+        // Escaped: find the closing quote.
+        for (j, c) in ch.iter().enumerate().skip(2) {
+            if *c == '\'' {
+                return Some(j + 1);
+            }
+        }
+        None
+    } else if ch[2] == '\'' {
+        Some(3)
+    } else {
+        None
+    }
+}
+
+/// A function's extent in lines (1-based, inclusive).
+#[derive(Debug, Clone)]
+struct FnSpan {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Recover function extents and `#[cfg(test)]`-module extents by brace
+/// tracking over the code view.
+struct Structure {
+    fns: Vec<FnSpan>,
+    /// Line-indexed (1-based): true when inside a `#[cfg(test)]` module.
+    in_test_mod: Vec<bool>,
+}
+
+fn analyze_structure(lines: &[Line]) -> Structure {
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut stack: Vec<(String, usize, usize)> = Vec::new(); // name, open depth, start line
+    let mut test_mod_stack: Vec<usize> = Vec::new(); // open depths
+    let mut in_test_mod = vec![false; lines.len() + 1];
+    let mut brace_depth = 0usize;
+    let mut paren_depth = 0i32;
+    let mut pending_fn: Option<(String, usize)> = None; // name, start line
+    let mut awaiting_name = false;
+    let mut pending_test_mod = false;
+
+    for (li, line) in lines.iter().enumerate() {
+        let lineno = li + 1;
+        in_test_mod[lineno] = !test_mod_stack.is_empty();
+        let code = &line.code;
+        // `#[cfg(test)]` and compound forms like `#[cfg(all(test, ...))]`.
+        if code.contains("#[cfg(") && contains_word(code, "test") {
+            pending_test_mod = true;
+        }
+        let ch: Vec<char> = code.chars().collect();
+        let mut i = 0usize;
+        while i < ch.len() {
+            let c = ch[i];
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < ch.len() && (ch[i].is_alphanumeric() || ch[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = ch[start..i].iter().collect();
+                if awaiting_name {
+                    pending_fn = Some((ident.clone(), lineno));
+                    awaiting_name = false;
+                } else if ident == "fn" {
+                    awaiting_name = true;
+                }
+                continue;
+            }
+            match c {
+                '(' => {
+                    // `fn(...)` pointer type, not a definition.
+                    awaiting_name = false;
+                    paren_depth += 1;
+                }
+                ')' => paren_depth -= 1,
+                '{' if paren_depth == 0 => {
+                    brace_depth += 1;
+                    if pending_test_mod {
+                        // A `#[cfg(test)]` item (module or function) opens
+                        // here: everything inside is test code.
+                        test_mod_stack.push(brace_depth);
+                        pending_test_mod = false;
+                        in_test_mod[lineno] = true;
+                    }
+                    if let Some((name, start)) = pending_fn.take() {
+                        stack.push((name, brace_depth, start));
+                    }
+                }
+                '}' if paren_depth == 0 => {
+                    if let Some((_, d, _)) = stack.last() {
+                        if *d == brace_depth {
+                            let (name, _, start) = stack.pop().unwrap();
+                            fns.push(FnSpan {
+                                name,
+                                start,
+                                end: lineno,
+                            });
+                        }
+                    }
+                    if test_mod_stack.last() == Some(&brace_depth) {
+                        test_mod_stack.pop();
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                }
+                ';' if paren_depth == 0 => {
+                    // Trait method declaration without a body.
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Unterminated functions (EOF): close at the last line.
+    while let Some((name, _, start)) = stack.pop() {
+        fns.push(FnSpan {
+            name,
+            start,
+            end: lines.len(),
+        });
+    }
+    Structure { fns, in_test_mod }
+}
+
+impl Structure {
+    /// Innermost function containing `line` (1-based).
+    fn fn_at(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+}
+
+/// True when `hay` contains `needle` as a word (identifier-boundary match).
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let hb = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = hb[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after = at + needle.len();
+        let after_ok = after >= hb.len() || {
+            let b = hb[after];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Does any comment on `line` or the contiguous comment block above carry
+/// `marker`? Used for SAFETY comments and pmlint waivers.
+fn annotated(lines: &[Line], line: usize, marker: &str) -> bool {
+    let idx = line - 1;
+    if lines[idx].comment.contains(marker) {
+        return true;
+    }
+    // Walk up through comment-only (or attribute-only) lines.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code_trim = l.code.trim();
+        let is_pure_comment = code_trim.is_empty() || code_trim.starts_with("#[");
+        if !l.comment.is_empty() && l.comment.contains(marker) {
+            return true;
+        }
+        if !is_pure_comment {
+            return false;
+        }
+        if l.comment.is_empty() && code_trim.is_empty() {
+            // Blank line ends the annotation block.
+            return false;
+        }
+    }
+    false
+}
+
+/// Find `.name(`-style method calls of `name` in `code`, returning the
+/// index just past the opening parenthesis for each.
+fn method_calls(code: &str, name: &str) -> Vec<usize> {
+    let pat = format!(".{name}(");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pat) {
+        out.push(from + pos + pat.len());
+        from += pos + pat.len();
+    }
+    out
+}
+
+/// R1: persist coverage of PM write call sites (non-test code only).
+fn rule_persist_coverage(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Violation>) {
+    // Test code is exempt: crash tests omit persists deliberately, and the
+    // pm-check runtime tracker owns that territory.
+    if path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/") {
+        return;
+    }
+    for (li, line) in lines.iter().enumerate() {
+        let lineno = li + 1;
+        if st.in_test_mod[lineno] {
+            continue;
+        }
+        let code = &line.code;
+        let mut sites: Vec<usize> = Vec::new();
+        for name in ["write_bytes", "write_zeros", "write_u64_atomic"] {
+            sites.extend(method_calls(code, name));
+        }
+        // `.write(` only with a non-empty argument list — `.write()` is a
+        // lock acquire, not a PM store.
+        for after in method_calls(code, "write") {
+            let rest = code[after..].trim_start();
+            if code[..after].ends_with(".write(") && !rest.starts_with(')') {
+                sites.push(after);
+            }
+        }
+        if sites.is_empty() {
+            continue;
+        }
+        if annotated(lines, lineno, "pmlint: deferred-persist(") {
+            continue;
+        }
+        let Some(f) = st.fn_at(lineno) else {
+            out.push(Violation {
+                file: path.to_string(),
+                line: lineno,
+                rule: "persist-coverage",
+                msg: "PM write outside any function?".into(),
+            });
+            continue;
+        };
+        // Covered if a persist-family token appears later on this line or
+        // on any following line of the same function.
+        let first_site = *sites.iter().min().unwrap();
+        let mut covered = code[first_site..].contains("persist");
+        if !covered {
+            for l in lines.iter().take(f.end).skip(lineno) {
+                if l.code.contains("persist") {
+                    covered = true;
+                    break;
+                }
+            }
+        }
+        if !covered {
+            out.push(Violation {
+                file: path.to_string(),
+                line: lineno,
+                rule: "persist-coverage",
+                msg: format!(
+                    "PM write in `{}` has no covering persist later in the \
+                     function; persist it or waive with \
+                     `// pmlint: deferred-persist(<reason>)`",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// R2: SAFETY comments on `unsafe` blocks and impls.
+fn rule_safety_comments(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (li, line) in lines.iter().enumerate() {
+        let lineno = li + 1;
+        let code = &line.code;
+        if !contains_word(code, "unsafe") {
+            continue;
+        }
+        // Classify the token's context from what follows it.
+        let pos = code.find("unsafe").unwrap();
+        let after = code[pos + "unsafe".len()..].trim_start();
+        let kind = if after.starts_with("fn") || after.starts_with("trait") {
+            // `unsafe fn` / `unsafe trait`: contract documented by
+            // `# Safety` rustdoc, not a block comment.
+            continue;
+        } else if after.starts_with("impl") {
+            "unsafe impl"
+        } else {
+            // An unsafe block (`unsafe {`, possibly with the brace on the
+            // next line).
+            "unsafe block"
+        };
+        let has = annotated(lines, lineno, "SAFETY:") || annotated(lines, lineno, "Safety:");
+        if !has {
+            out.push(Violation {
+                file: path.to_string(),
+                line: lineno,
+                rule: "safety-comment",
+                msg: format!("{kind} without a `// SAFETY:` comment"),
+            });
+        }
+    }
+}
+
+/// R3: Relaxed ordering on seqlock-version / migration-counter atomics.
+fn rule_relaxed_ordering(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Violation>) {
+    let file_name = Path::new(path)
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let file_allowlisted = RELAXED_ALLOWLIST_FILES.contains(&file_name.as_str());
+    for (li, line) in lines.iter().enumerate() {
+        let lineno = li + 1;
+        let code = &line.code;
+        if !code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        let guarded = code.contains("version") || code.contains("migrate");
+        if !guarded {
+            continue;
+        }
+        if annotated(lines, lineno, "pmlint: relaxed-ok(") {
+            continue;
+        }
+        let fn_name = st.fn_at(lineno).map(|f| f.name.as_str()).unwrap_or("");
+        if file_allowlisted && RELAXED_ALLOWLIST_FNS.contains(&fn_name) {
+            continue;
+        }
+        out.push(Violation {
+            file: path.to_string(),
+            line: lineno,
+            rule: "relaxed-ordering",
+            msg: format!(
+                "Ordering::Relaxed on a seqlock/migration atomic outside the \
+                 audited helpers (fn `{fn_name}`); use Acquire/Release, move \
+                 into an allowlisted fence-paired helper, or waive with \
+                 `// pmlint: relaxed-ok(<reason>)`"
+            ),
+        });
+    }
+}
+
+/// R4: `PmPtr` values cached across a persist-fuse crash point.
+fn rule_ptr_cache(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Violation>) {
+    for f in &st.fns {
+        let body = || lines[f.start - 1..f.end].iter().enumerate();
+        let arm = body().find(|(_, l)| l.code.contains("arm_persist_fuse("));
+        if arm.is_none() {
+            continue;
+        }
+        let Some((crash_rel, _)) = body().find(|(_, l)| l.code.contains("simulate_crash(")) else {
+            continue;
+        };
+        let crash_line = f.start + crash_rel;
+        for (rel, l) in body() {
+            let lineno = f.start + rel;
+            if lineno >= crash_line {
+                break;
+            }
+            let code = l.code.trim_start();
+            if !code.starts_with("let ") {
+                continue;
+            }
+            if !PMPTR_READS.iter().any(|p| l.code.contains(p)) {
+                continue;
+            }
+            // Binding name: first identifier after `let` (skipping `mut`).
+            let mut name = code["let ".len()..].trim_start();
+            if let Some(rest) = name.strip_prefix("mut ") {
+                name = rest;
+            }
+            let ident: String = name
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if ident.is_empty() {
+                continue;
+            }
+            let used_after = lines[crash_line..f.end]
+                .iter()
+                .any(|l2| contains_word(&l2.code, &ident));
+            if used_after && !annotated(lines, lineno, "pmlint: ptr-cache-ok(") {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: lineno,
+                    rule: "ptr-cache",
+                    msg: format!(
+                        "`{ident}` caches a PM pointer read before \
+                         simulate_crash (line {crash_line}) and is used after \
+                         it; re-read after the crash or waive with \
+                         `// pmlint: ptr-cache-ok(<reason>)`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Lint one file's source. `path` is used for rule scoping (test dirs,
+/// allowlisted files) and reporting.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let mut state = SplitState::default();
+    let lines: Vec<Line> = src.lines().map(|l| split_line(l, &mut state)).collect();
+    let st = analyze_structure(&lines);
+    let mut out = Vec::new();
+    rule_persist_coverage(path, &lines, &st, &mut out);
+    rule_safety_comments(path, &lines, &mut out);
+    rule_relaxed_ordering(path, &lines, &st, &mut out);
+    rule_ptr_cache(path, &lines, &st, &mut out);
+    out
+}
+
+/// Collect the workspace's lintable `.rs` files under `root`.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for d in ["src", "tests", "benches", "examples"] {
+        roots.push(root.join(d));
+    }
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for c in crates.flatten() {
+            for d in ["src", "tests", "benches", "examples"] {
+                roots.push(c.path().join(d));
+            }
+        }
+    }
+    for r in roots {
+        collect_rs(&r, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in rd.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint every workspace file under `root`. Returns (files scanned,
+/// violations).
+pub fn lint_workspace(root: &Path) -> (usize, Vec<Violation>) {
+    let files = workspace_files(root);
+    let mut all = Vec::new();
+    for f in &files {
+        let Ok(src) = std::fs::read_to_string(f) else {
+            continue;
+        };
+        let label = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .into_owned();
+        all.extend(lint_source(&label, &src));
+    }
+    (files.len(), all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_strips_comments_and_strings() {
+        let mut st = SplitState::default();
+        let l = split_line(r#"let x = "a.write(b)"; // pool.write(c)"#, &mut st);
+        assert!(!l.code.contains("write"));
+        assert!(l.comment.contains("pool.write(c)"));
+    }
+
+    #[test]
+    fn splitter_handles_block_comments_across_lines() {
+        let mut st = SplitState::default();
+        let a = split_line("foo(); /* begin", &mut st);
+        let b = split_line("unsafe { } */ bar();", &mut st);
+        assert!(a.code.contains("foo"));
+        assert!(!b.code.contains("unsafe"));
+        assert!(b.code.contains("bar"));
+    }
+
+    #[test]
+    fn splitter_handles_char_literals_and_lifetimes() {
+        let mut st = SplitState::default();
+        let l = split_line("fn f<'a>(x: &'a u8) -> char { '}' }", &mut st);
+        assert!(!l.code.contains('}') || l.code.matches('}').count() == 1);
+        let l2 = split_line("let q = 'x'; pool.write(p, &v);", &mut st);
+        assert!(l2.code.contains(".write("));
+    }
+
+    #[test]
+    fn fn_spans_nest() {
+        let src = "fn outer() {\n    fn inner() {\n        x();\n    }\n    y();\n}\n";
+        let mut st = SplitState::default();
+        let lines: Vec<Line> = src.lines().map(|l| split_line(l, &mut st)).collect();
+        let s = analyze_structure(&lines);
+        assert_eq!(s.fn_at(3).unwrap().name, "inner");
+        assert_eq!(s.fn_at(5).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("let leaf = x;", "leaf"));
+        assert!(!contains_word("let leafy = x;", "leaf"));
+        assert!(!contains_word("let aleaf = x;", "leaf"));
+    }
+}

@@ -1,0 +1,47 @@
+//! `cargo run -p pmlint` — lint the workspace for persistence-ordering and
+//! concurrency discipline. Exits non-zero when any rule fires; see
+//! DESIGN.md §Verification for the rules and the waiver syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Workspace root: pmlint lives at `<root>/crates/pmlint`, so walk up from
+/// the manifest dir; fall back to the current directory (running the
+/// installed binary from the checkout).
+fn workspace_root() -> PathBuf {
+    if let Ok(m) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(m);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    let mut cur = std::env::current_dir().expect("cwd");
+    loop {
+        if cur.join("Cargo.toml").exists() && cur.join("crates").is_dir() {
+            return cur;
+        }
+        if !cur.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root(),
+    };
+    let (files, violations) = pmlint::lint_workspace(&root);
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        println!("pmlint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pmlint: {} violation(s) in {files} files", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,128 @@
+//! pmlint self-tests: every rule must fire on its seeded-violation
+//! fixture, stay quiet on the clean fixture, and — the gate that matters —
+//! the real workspace must lint clean.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> (String, String) {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let label = format!("crates/pmlint/fixtures/{name}");
+    (
+        label,
+        std::fs::read_to_string(&p).expect("fixture readable"),
+    )
+}
+
+fn lint_fixture(name: &str) -> Vec<pmlint::Violation> {
+    let (label, src) = fixture(name);
+    pmlint::lint_source(&label, &src)
+}
+
+fn rule_lines(vs: &[pmlint::Violation], rule: &str) -> Vec<usize> {
+    vs.iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn persist_coverage_rule_fires() {
+    let vs = lint_fixture("bad_persist.rs");
+    let lines = rule_lines(&vs, "persist-coverage");
+    assert_eq!(
+        lines.len(),
+        3,
+        "expected the three uncovered writes, got {vs:?}"
+    );
+    // The covered, waived and lock-acquire sites stay quiet.
+    assert_eq!(vs.len(), 3, "only persist-coverage may fire: {vs:?}");
+}
+
+#[test]
+fn safety_comment_rule_fires() {
+    let vs = lint_fixture("bad_safety.rs");
+    let lines = rule_lines(&vs, "safety-comment");
+    assert_eq!(
+        lines.len(),
+        2,
+        "expected the undocumented impl + block, got {vs:?}"
+    );
+    assert_eq!(vs.len(), 2, "only safety-comment may fire: {vs:?}");
+}
+
+#[test]
+fn relaxed_ordering_rule_fires() {
+    let vs = lint_fixture("bad_relaxed.rs");
+    let lines = rule_lines(&vs, "relaxed-ordering");
+    assert_eq!(
+        lines.len(),
+        3,
+        "expected version x2 + migration counter, got {vs:?}"
+    );
+    assert_eq!(vs.len(), 3, "only relaxed-ordering may fire: {vs:?}");
+}
+
+#[test]
+fn ptr_cache_rule_fires() {
+    let vs = lint_fixture("bad_ptr_cache.rs");
+    let lines = rule_lines(&vs, "ptr-cache");
+    assert_eq!(lines.len(), 1, "expected the cached pvalue, got {vs:?}");
+    assert_eq!(vs.len(), 1, "only ptr-cache may fire: {vs:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let vs = lint_fixture("good_clean.rs");
+    assert!(vs.is_empty(), "clean fixture must lint clean: {vs:?}");
+}
+
+#[test]
+fn allowlisted_helpers_in_dir_rs_pass() {
+    // The fence-paired seqlock idiom is only legal in the audited helpers
+    // of dir.rs/optimistic.rs — same code, allowlisted file + fn name.
+    let src = "\
+impl Shard {
+    fn validate(&self, v0: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.version.load(Ordering::Relaxed) == v0
+    }
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+}
+";
+    let vs = pmlint::lint_source("crates/hart/src/dir.rs", src);
+    let lines = rule_lines(&vs, "relaxed-ordering");
+    assert_eq!(
+        lines,
+        vec![7],
+        "validate allowlisted, bare version() not: {vs:?}"
+    );
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // CARGO_MANIFEST_DIR = <root>/crates/pmlint.
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("ROADMAP.md").exists(),
+        "mislocated root: {root:?}"
+    );
+    let (files, vs) = pmlint::lint_workspace(&root);
+    assert!(files > 50, "workspace scan looks truncated: {files} files");
+    assert!(
+        vs.is_empty(),
+        "workspace must lint clean, {} violation(s):\n{}",
+        vs.len(),
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
