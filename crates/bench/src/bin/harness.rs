@@ -27,6 +27,9 @@ struct Args {
     threads: Vec<usize>,
     scale: Vec<usize>,
     seed: u64,
+    /// `obsoverhead` fails when the observability layer costs more than
+    /// this percentage on the read path (CI smoke gate).
+    max_overhead_pct: f64,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +43,7 @@ fn parse_args() -> Args {
         threads: vec![1, 2, 4, 8, 16],
         scale: Vec::new(),
         seed: 42,
+        max_overhead_pct: 5.0,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,6 +58,13 @@ fn parse_args() -> Args {
             "--query-n" => a.query_n = args.next().expect("--query-n N").parse().expect("number"),
             "--out" => a.out = PathBuf::from(args.next().expect("--out DIR")),
             "--seed" => a.seed = args.next().expect("--seed N").parse().expect("number"),
+            "--max-overhead-pct" => {
+                a.max_overhead_pct = args
+                    .next()
+                    .expect("--max-overhead-pct P")
+                    .parse()
+                    .expect("number")
+            }
             "--threads" => {
                 a.threads = args
                     .next()
@@ -493,10 +504,76 @@ fn tail(a: &Args) {
                 format!("{:.2}", hist.max_ns() as f64 / 1e3),
             ]);
         }
+        write_phase_snapshots(&a.out, "tail", kind, &h.snapshots);
         eprintln!("[tail] {} done", kind.label());
     }
     rep.print();
     rep.write_csv(&a.out, "tail.csv").expect("write csv");
+}
+
+/// Drop each per-phase [`bench::ObsSnapshot`] next to the CSVs as
+/// `obs-<cmd>-<tree>-<phase>.json`.
+fn write_phase_snapshots(
+    out: &PathBuf,
+    cmd: &str,
+    kind: TreeKind,
+    snaps: &[(&'static str, bench::ObsSnapshot)],
+) {
+    std::fs::create_dir_all(out).expect("create out dir");
+    let tree: String = kind
+        .label()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    for (phase, snap) in snaps {
+        let path = out.join(format!("obs-{cmd}-{tree}-{phase}.json"));
+        std::fs::write(&path, snap.to_json_pretty()).expect("write snapshot");
+    }
+}
+
+/// Observability-overhead smoke gate (DESIGN.md §Observability): single
+/// thread search throughput with the recorder enabled vs the
+/// `HartConfig::without_observability()` kill-switch. Exits nonzero when
+/// the enabled run is more than `--max-overhead-pct` slower — the CI
+/// `obs-overhead` job runs this with the default 5 % budget (the design
+/// target is 3 %; the gate leaves room for runner noise).
+fn obsoverhead(a: &Args) {
+    let keys = hart_workloads::random(a.records, a.seed);
+    let lat = hart_pm::LatencyConfig::c300_100();
+    let (on, off) = bench::obs_overhead_probe(lat, &keys, 5);
+    let pct = (on / off - 1.0) * 100.0;
+    let mut rep = Report::new(
+        "obsoverhead: read-path cost of the observability layer (median of 5 tree pairs)",
+        &["config", "secs", "Mops", "overhead_pct"],
+    );
+    let mops = |secs: f64| keys.len() as f64 / secs / 1e6;
+    rep.row(vec![
+        "enabled".into(),
+        format!("{on:.4}"),
+        format!("{:.3}", mops(on)),
+        format!("{pct:.2}"),
+    ]);
+    rep.row(vec![
+        "disabled".into(),
+        format!("{off:.4}"),
+        format!("{:.3}", mops(off)),
+        "0.00".into(),
+    ]);
+    rep.print();
+    rep.write_csv(&a.out, "obs-overhead.csv")
+        .expect("write csv");
+    println!(
+        "observability overhead: {pct:.2}% (budget {:.2}%)",
+        a.max_overhead_pct
+    );
+    if pct > a.max_overhead_pct {
+        eprintln!(
+            "FAIL: observability overhead {pct:.2}% exceeds budget {:.2}%",
+            a.max_overhead_pct
+        );
+        std::process::exit(1);
+    }
 }
 
 fn summary(a: &Args, grid: &Grid) {
@@ -561,6 +638,7 @@ fn main() {
         "extras" => extras(&a),
         "profile" => profile(&a),
         "tail" => tail(&a),
+        "obsoverhead" => obsoverhead(&a),
         "fig9" => fig9(&a),
         "fig10a" => fig10a(&a),
         "fig10b" => fig10b(&a),
@@ -585,7 +663,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other}");
             eprintln!(
-                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras tail profile all"
+                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras tail obsoverhead profile all"
             );
             std::process::exit(2);
         }

@@ -8,9 +8,7 @@
 //! phase at a time, exactly like §IV-B: insert everything, search
 //! everything, update everything, delete everything.
 
-mod hist;
-
-pub use hist::Histogram;
+pub use hart_obs::{Histogram, Instrumented, ObsSnapshot, Observable};
 
 use hart::{Hart, HartConfig};
 use hart_artcow::ArtCow;
@@ -86,7 +84,31 @@ impl TreeKind {
         };
         (tree, p)
     }
+
+    /// Build a fresh tree with an observability snapshot source. HART
+    /// exports its full internal telemetry; the baselines are wrapped in
+    /// [`Instrumented`], which times the `PersistentIndex` ops and leaves
+    /// every other snapshot section zero.
+    pub fn build_observed(&self, cfg: PoolConfig) -> (Box<dyn ObservedIndex>, Arc<PmemPool>) {
+        let pool = Arc::new(PmemPool::new(cfg));
+        let p = Arc::clone(&pool);
+        let tree: Box<dyn ObservedIndex> = match self {
+            TreeKind::Hart => {
+                Box::new(Hart::create(pool, HartConfig::default()).expect("create HART"))
+            }
+            TreeKind::Woart => Box::new(Instrumented::new(Woart::create(pool).expect("WOART"))),
+            TreeKind::ArtCow => Box::new(Instrumented::new(ArtCow::create(pool).expect("ART+CoW"))),
+            TreeKind::FpTree => Box::new(Instrumented::new(FpTree::create(pool).expect("FPTree"))),
+            TreeKind::Wort => Box::new(Instrumented::new(Wort::create(pool).expect("WORT"))),
+        };
+        (tree, p)
+    }
 }
+
+/// A tree that both serves operations and exports an [`ObsSnapshot`].
+pub trait ObservedIndex: PersistentIndex + Observable {}
+
+impl<T: PersistentIndex + Observable> ObservedIndex for T {}
 
 /// Pool sizing: generous per-record budget (leaves + values + internal
 /// nodes + transient CoW copies) plus fixed slack.
@@ -395,33 +417,41 @@ pub struct BasicHistograms {
     pub search: Histogram,
     pub update: Histogram,
     pub delete: Histogram,
+    /// Cumulative [`ObsSnapshot`] taken after each phase, in phase order
+    /// (`insert`, `search`, `update`, `delete`). Full telemetry for HART,
+    /// op-latency-only for the wrapped baselines.
+    pub snapshots: Vec<(&'static str, ObsSnapshot)>,
 }
 
-/// Like [`run_basic`] but recording every single operation's latency.
+/// Like [`run_basic`] but recording every single operation's latency and
+/// an observability snapshot at each phase boundary.
 pub fn run_basic_histograms(
     kind: TreeKind,
     latency: LatencyConfig,
     keys: &[Key],
 ) -> BasicHistograms {
-    let tree = kind.build(pool_config(latency, keys.len()));
+    let (tree, _pool) = kind.build_observed(pool_config(latency, keys.len()));
     let values: Vec<Value> = keys.iter().map(value_for).collect();
     let mut out = BasicHistograms {
         insert: Histogram::new(),
         search: Histogram::new(),
         update: Histogram::new(),
         delete: Histogram::new(),
+        snapshots: Vec::new(),
     };
     for (k, v) in keys.iter().zip(&values) {
         let t0 = Instant::now();
         tree.insert(k, v).expect("insert");
         out.insert.record(t0.elapsed());
     }
+    out.snapshots.push(("insert", tree.obs_snapshot()));
     for k in keys {
         let t0 = Instant::now();
         let got = tree.search(k).expect("search");
         out.search.record(t0.elapsed());
         debug_assert!(got.is_some());
     }
+    out.snapshots.push(("search", tree.obs_snapshot()));
     for (k, v) in keys.iter().zip(&values) {
         let new = Value::from_u64(v.as_u64().wrapping_add(1));
         let t0 = Instant::now();
@@ -429,13 +459,66 @@ pub fn run_basic_histograms(
         out.update.record(t0.elapsed());
         debug_assert!(ok);
     }
+    out.snapshots.push(("update", tree.obs_snapshot()));
     for k in keys {
         let t0 = Instant::now();
         let ok = tree.remove(k).expect("delete");
         out.delete.record(t0.elapsed());
         debug_assert!(ok);
     }
+    out.snapshots.push(("delete", tree.obs_snapshot()));
     out
+}
+
+/// Single-thread wall time of the read path with observability enabled
+/// vs disabled — the < 3 % overhead-budget ablation behind the harness
+/// `obsoverhead` command (DESIGN.md §Observability). Runs `trials`
+/// independent tree pairs and returns the `(enabled_secs, disabled_secs)`
+/// pair with the median ratio, for `keys.len()` searches.
+pub fn obs_overhead_probe(latency: LatencyConfig, keys: &[Key], trials: usize) -> (f64, f64) {
+    let build = |cfg: HartConfig| {
+        let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
+        let tree = Hart::create(pool, cfg).expect("create");
+        for k in keys {
+            tree.insert(k, &value_for(k)).expect("preload");
+        }
+        tree
+    };
+    let measure = |tree: &Hart| -> f64 {
+        let t0 = Instant::now();
+        for k in keys {
+            let got = tree.search(k).expect("search");
+            debug_assert!(got.is_some());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // A single tree pair is not a fair comparison: where each pool lands
+    // in the address space (TLB/cache aliasing, hugepage boundaries) can
+    // bias one tree by ±20 % for the whole process lifetime, swamping the
+    // few-percent effect under test. So: `trials` independent pairs with
+    // alternating build order, each measured best-of-3 interleaved after
+    // an unmeasured warm pass, and the pair with the *median* ratio wins —
+    // discarding the layout-lottery outliers on both sides.
+    let mut pairs = Vec::new();
+    for round in 0..trials.max(1) {
+        let (on_tree, off_tree) = if round % 2 == 0 {
+            let on = build(HartConfig::default());
+            (on, build(HartConfig::without_observability()))
+        } else {
+            let off = build(HartConfig::without_observability());
+            (build(HartConfig::default()), off)
+        };
+        measure(&on_tree);
+        measure(&off_tree);
+        let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            on = on.min(measure(&on_tree));
+            off = off.min(measure(&off_tree));
+        }
+        pairs.push((on, off));
+    }
+    pairs.sort_by(|a, b| (a.0 / a.1).total_cmp(&(b.0 / b.1)));
+    pairs[pairs.len() / 2]
 }
 
 // ------------------------------------------------------------- reporting
@@ -568,6 +651,32 @@ mod tests {
             let miops = hart_scalability_cfg(LatencyConfig::c300_100(), &keys, 2, "search", cfg);
             assert!(miops > 0.0, "optimistic_reads={}", cfg.optimistic_reads);
         }
+    }
+
+    #[test]
+    fn histograms_capture_phase_snapshots() {
+        let keys = hart_workloads::random(1500, 7);
+        let h = run_basic_histograms(TreeKind::Hart, LatencyConfig::dram(), &keys);
+        assert_eq!(h.snapshots.len(), 4);
+        let (name, s) = &h.snapshots[0];
+        assert_eq!(*name, "insert");
+        assert!(s.enabled);
+        assert_eq!(s.ops.insert.count, 1500);
+        assert!(s.alloc.allocs >= 3000, "leaf + value per insert");
+        assert_eq!(h.snapshots[3].1.ops.remove.count, 1500);
+        // Baselines are wrapped: op latency only, other sections zero.
+        let h = run_basic_histograms(TreeKind::FpTree, LatencyConfig::dram(), &keys);
+        let s = &h.snapshots[3].1;
+        assert!(s.enabled);
+        assert_eq!(s.ops.search.count, 1500);
+        assert_eq!(s.alloc.allocs, 0);
+    }
+
+    #[test]
+    fn overhead_probe_measures_both_configs() {
+        let keys = hart_workloads::random(2000, 17);
+        let (on, off) = obs_overhead_probe(LatencyConfig::dram(), &keys, 1);
+        assert!(on > 0.0 && off > 0.0);
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub struct EPallocator {
     live: [AtomicU64; 3],
     ulog_slots: SlotPool,
     rlog_slots: SlotPool,
+    /// Observability sink for alloc/commit/retire/recycle/ulog rates; inert
+    /// until [`EPallocator::with_recorder`] replaces it.
+    obs: hart_obs::Recorder,
 }
 
 impl EPallocator {
@@ -111,7 +114,15 @@ impl EPallocator {
             live: Default::default(),
             ulog_slots: SlotPool::new(N_ULOGS),
             rlog_slots: SlotPool::new(N_RLOGS),
+            obs: hart_obs::Recorder::disabled(),
         }
+    }
+
+    /// Route allocator events into `rec` (builder style, called by the
+    /// index right after `create`/`open`, before the allocator is shared).
+    pub fn with_recorder(mut self, rec: hart_obs::Recorder) -> EPallocator {
+        self.obs = rec;
+        self
     }
 
     /// The underlying pool.
@@ -173,6 +184,7 @@ impl EPallocator {
         if class == ObjClass::Leaf {
             self.scrub_stale_leaf(obj);
         }
+        self.obs.add(hart_obs::Event::Alloc, 1);
         Ok(obj)
     }
 
@@ -196,6 +208,7 @@ impl EPallocator {
             }
         }
         self.live[class.idx()].fetch_add(1, Ordering::Relaxed);
+        self.obs.add(hart_obs::Event::Commit, 1);
     }
 
     /// Hand back an uncommitted object (failed multi-step operation).
@@ -225,6 +238,7 @@ impl EPallocator {
         hdr.with_clear(idx).store(&self.pool, chunk);
         st.free_hints.insert(chunk.offset());
         self.dec_live(class);
+        self.obs.add(hart_obs::Event::Retire, 1);
     }
 
     /// Durably retire a leaf *and* null its `p_value`, atomically with
@@ -247,6 +261,7 @@ impl EPallocator {
         persist_leaf_pvalue(&self.pool, leaf);
         st.free_hints.insert(chunk.offset());
         self.dec_live(ObjClass::Leaf);
+        self.obs.add(hart_obs::Event::Retire, 1);
     }
 
     /// Is `obj`'s bitmap bit set? (Algorithm 4 line 9's validity check.)
@@ -321,6 +336,7 @@ impl EPallocator {
         // Line 12: LogReclaim.
         rlog.finish();
         drop(st);
+        self.obs.add(hart_obs::Event::RecycleChunk, 1);
         true
     }
 
@@ -328,6 +344,7 @@ impl EPallocator {
 
     /// `GetMicroLog(UPDATE)`: acquire an update-log record for Algorithm 3.
     pub fn acquire_ulog(&self) -> UlogGuard<'_> {
+        self.obs.add(hart_obs::Event::UlogAcquire, 1);
         UlogGuard::new(&self.pool, self.root, &self.ulog_slots)
     }
 

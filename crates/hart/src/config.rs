@@ -40,6 +40,14 @@ pub struct HartConfig {
     /// failure before giving up and taking the read lock. Writer-heavy
     /// shards make low values kick readers to the fair locked path sooner.
     pub optimistic_retry_limit: u32,
+    /// Kill-switch for the always-on observability layer (`hart-obs`).
+    /// `true` (default): the embedded recorder counts ops, retries,
+    /// contention, resize and allocator events, and samples op latency
+    /// (see `Hart::obs_snapshot`). `false`: the recorder is inert — every
+    /// instrumentation point reduces to one predictable branch and no
+    /// clock is ever read — and snapshots come back zero-valued with
+    /// `enabled: false`.
+    pub observability: bool,
 }
 
 impl Default for HartConfig {
@@ -51,6 +59,7 @@ impl Default for HartConfig {
             persist_internal_nodes: false,
             optimistic_reads: true,
             optimistic_retry_limit: 8,
+            observability: true,
         }
     }
 }
@@ -118,6 +127,17 @@ impl HartConfig {
             ..Default::default()
         }
     }
+
+    /// Config with the observability layer disabled (ablation /
+    /// kill-switch): no counters, no latency sampling, zero-valued
+    /// snapshots. Results are identical to the default config — only the
+    /// telemetry disappears.
+    pub fn without_observability() -> HartConfig {
+        HartConfig {
+            observability: false,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +150,14 @@ mod tests {
         assert_eq!(c.hash_key_len, 2);
         assert!(c.optimistic_reads, "lock-free reads are the default");
         assert_eq!(c.resize_threshold, 1, "resizing is on by default");
+        assert!(c.observability, "observability is on by default");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn kill_switch_disables_observability() {
+        let c = HartConfig::without_observability();
+        assert!(!c.observability);
         assert!(c.validate().is_ok());
     }
 

@@ -104,6 +104,27 @@ impl Shard {
     /// reader would return for a key.
     pub fn write(&self) -> ShardWriteGuard<'_> {
         let guard = self.inner.write();
+        self.open_write_section(guard)
+    }
+
+    /// [`Shard::write`] with contention observability: an uncontended
+    /// `try_write` costs nothing extra, and only actual blocking is timed
+    /// (one clock pair per contended acquisition) and counted through
+    /// `rec` — so the disabled-recorder path adds a single branch.
+    pub fn write_observed(&self, rec: &hart_obs::Recorder) -> ShardWriteGuard<'_> {
+        if let Some(guard) = self.inner.try_write() {
+            return self.open_write_section(guard);
+        }
+        let t0 = rec.now();
+        let guard = self.write();
+        rec.record_shard_wait(t0);
+        guard
+    }
+
+    fn open_write_section<'a>(
+        &'a self,
+        guard: RwLockWriteGuard<'a, ShardInner>,
+    ) -> ShardWriteGuard<'a> {
         let v = self.version.fetch_add(1, Ordering::AcqRel);
         debug_assert!(
             v.is_multiple_of(2),
@@ -280,6 +301,9 @@ pub(crate) struct Directory {
     /// behavior exactly. Also selects EBR vs graveyard retirement for
     /// drained tables (see the module docs).
     defer_reclaim: bool,
+    /// Observability sink for grow/drain/finish events and lock-wait
+    /// timing; an inert [`hart_obs::Recorder`] until [`Directory::set_recorder`].
+    obs: hart_obs::Recorder,
 }
 
 /// Keeps the table pointers a directory operation loaded dereferenceable.
@@ -358,7 +382,15 @@ impl Directory {
             seed,
             resize: Mutex::new(ResizeState::default()),
             defer_reclaim,
+            obs: hart_obs::Recorder::disabled(),
         }
+    }
+
+    /// Route directory events (grows, bucket drains, migration finishes,
+    /// shard lock waits) into `rec`. Called once at tree construction,
+    /// before the directory is shared.
+    pub fn set_recorder(&mut self, rec: hart_obs::Recorder) {
+        self.obs = rec;
     }
 
     #[inline]
@@ -636,6 +668,7 @@ impl Directory {
         // Exactly-once per bucket: the flag double-check above means only
         // one caller reaches here for each bucket.
         o.migrated_count.fetch_add(1, Ordering::AcqRel);
+        self.obs.add(hart_obs::Event::DirDrain, 1);
     }
 
     /// Retire `o` if every one of its buckets has drained — an O(1)
@@ -694,6 +727,8 @@ impl Directory {
         }
         debug_assert!(o.buckets.iter().all(|b| b.migrated.load(Ordering::Acquire)));
         self.old.store(ptr::null_mut(), Ordering::Release);
+        self.obs.add(hart_obs::Event::DirFinish, 1);
+        self.obs.resize_finished();
         // SAFETY: `old_ptr` came from `Box::into_raw` at grow time and was
         // just unlinked under the resize lock, so this is the unique owner.
         let boxed = unsafe { Box::from_raw(old_ptr) };
@@ -740,6 +775,8 @@ impl Directory {
         self.old.store(seen as *mut Table, Ordering::Release);
         self.current.store(next, Ordering::Release);
         self.grows.fetch_add(1, Ordering::Relaxed);
+        self.obs.add(hart_obs::Event::DirGrow, 1);
+        self.obs.resize_started();
     }
 
     /// `HashFind` + `NewART` + `HashInsert` (Algorithm 1 lines 2–5).
@@ -822,7 +859,7 @@ impl Directory {
             };
             {
                 let shard = &g[pos].1;
-                let mut sg = shard.write();
+                let mut sg = shard.write_observed(&self.obs);
                 if !sg.art.is_empty() || sg.dead {
                     return false;
                 }

@@ -59,5 +59,6 @@ mod tree;
 pub use config::HartConfig;
 pub use hart_epalloc::{AllocStats, ObjClass};
 pub use hart_kv::{Error, Key, MemoryStats, PersistentIndex, Result, Value};
+pub use hart_obs::{ObsSnapshot, Observable};
 pub use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
 pub use tree::Hart;

@@ -8,6 +8,7 @@ use hart_art::RawRead;
 use hart_epalloc::{
     leaf_read_key, leaf_read_pvalue, leaf_read_val_len, leaf_write_key, leaf_write_pvalue,
     persist_leaf_key, persist_leaf_pvalue, AllocStats, EPallocator, ObjClass, LEAF_SIZE,
+    OBJS_PER_CHUNK,
 };
 use hart_kv::{
     Error, InlineKey, Key, MemoryStats, PersistentIndex, Result, Value, MAX_KEY_LEN, MAX_VALUE_LEN,
@@ -26,20 +27,27 @@ pub struct Hart {
     alloc: EPallocator,
     cfg: HartConfig,
     dir: Directory,
+    /// Observability recorder shared with the directory and the allocator;
+    /// inert when `cfg.observability` is off (see `HartConfig`).
+    obs: hart_obs::Recorder,
 }
 
 impl Hart {
     /// Create a HART over a freshly formatted pool.
     pub fn create(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
         cfg.validate()?;
+        let obs = hart_obs::Recorder::with_enabled(cfg.observability);
+        let mut dir = Directory::new(
+            cfg.initial_buckets,
+            cfg.resize_threshold,
+            cfg.optimistic_reads,
+        );
+        dir.set_recorder(obs.clone());
         Ok(Hart {
-            alloc: EPallocator::create(pool),
+            alloc: EPallocator::create(pool).with_recorder(obs.clone()),
             cfg,
-            dir: Directory::new(
-                cfg.initial_buckets,
-                cfg.resize_threshold,
-                cfg.optimistic_reads,
-            ),
+            dir,
+            obs,
         })
     }
 
@@ -50,15 +58,19 @@ impl Hart {
     /// values are already on PM."
     pub fn recover(pool: Arc<PmemPool>, cfg: HartConfig) -> Result<Hart> {
         cfg.validate()?;
-        let alloc = EPallocator::open(pool)?;
+        let obs = hart_obs::Recorder::with_enabled(cfg.observability);
+        let alloc = EPallocator::open(pool)?.with_recorder(obs.clone());
+        let mut dir = Directory::new(
+            cfg.initial_buckets,
+            cfg.resize_threshold,
+            cfg.optimistic_reads,
+        );
+        dir.set_recorder(obs.clone());
         let hart = Hart {
             alloc,
             cfg,
-            dir: Directory::new(
-                cfg.initial_buckets,
-                cfg.resize_threshold,
-                cfg.optimistic_reads,
-            ),
+            dir,
+            obs,
         };
         let mut leaves = Vec::new();
         hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
@@ -85,19 +97,28 @@ impl Hart {
     pub fn recover_parallel(pool: Arc<PmemPool>, cfg: HartConfig, threads: usize) -> Result<Hart> {
         cfg.validate()?;
         let threads = threads.max(1);
-        let alloc = EPallocator::open(pool)?;
+        let obs = hart_obs::Recorder::with_enabled(cfg.observability);
+        let alloc = EPallocator::open(pool)?.with_recorder(obs.clone());
+        let mut dir = Directory::new(
+            cfg.initial_buckets,
+            cfg.resize_threshold,
+            cfg.optimistic_reads,
+        );
+        dir.set_recorder(obs.clone());
         let hart = Hart {
             alloc,
             cfg,
-            dir: Directory::new(
-                cfg.initial_buckets,
-                cfg.resize_threshold,
-                cfg.optimistic_reads,
-            ),
+            dir,
+            obs,
         };
         let mut leaves = Vec::new();
         hart.alloc.for_each_live(ObjClass::Leaf, |p| leaves.push(p));
-        let first_err = parking_lot::Mutex::new(None::<Error>);
+        // Keep the failure at the lowest live-leaf index, not whichever
+        // worker wins the mutex race: leaf order is pool order, so the
+        // reported corruption is deterministic and fsck-able regardless of
+        // thread interleaving (each worker fails at most once, at the
+        // earliest bad leaf of its own stripe).
+        let first_err = parking_lot::Mutex::new(None::<(usize, Error)>);
         let abort = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|s| {
             for w in 0..threads {
@@ -106,12 +127,12 @@ impl Hart {
                 let first_err = &first_err;
                 let abort = &abort;
                 s.spawn(move || {
-                    for &leaf in leaves.iter().skip(w).step_by(threads) {
+                    for (idx, &leaf) in leaves.iter().enumerate().skip(w).step_by(threads) {
                         if abort.load(std::sync::atomic::Ordering::Relaxed) {
                             return;
                         }
                         if let Err(e) = hart.recover_one_leaf(leaf) {
-                            first_err.lock().get_or_insert(e);
+                            note_recovery_err(first_err, idx, e);
                             abort.store(true, std::sync::atomic::Ordering::Relaxed);
                             return;
                         }
@@ -119,7 +140,7 @@ impl Hart {
                 });
             }
         });
-        if let Some(e) = first_err.into_inner() {
+        if let Some((_, e)) = first_err.into_inner() {
             return Err(e);
         }
         Ok(hart)
@@ -151,7 +172,7 @@ impl Hart {
         }
         let (hk, ak) = split_inline(&full, self.cfg.hash_key_len);
         let shard = self.dir.get_or_insert(hk);
-        let mut g = shard.write();
+        let mut g = shard.write_observed(&self.obs);
         let r = self.resolver();
         if g.art.insert(&r, ak, leaf).is_some() {
             return Err(Error::Corrupted("duplicate live key in leaf chunks"));
@@ -213,6 +234,58 @@ impl Hart {
     /// Configuration in effect.
     pub fn config(&self) -> HartConfig {
         self.cfg
+    }
+
+    /// Point-in-time export of the observability layer (DESIGN.md
+    /// §Observability): exact op counts with sampled latency quantiles,
+    /// optimistic-read health, shard lock contention, directory resizing,
+    /// EBR backlog, allocator occupancy and the folded-in PM device-model
+    /// counters. Zero-valued with `enabled: false` when the
+    /// `HartConfig::observability` kill-switch is off.
+    pub fn obs_snapshot(&self) -> hart_obs::ObsSnapshot {
+        let mut s = hart_obs::ObsSnapshot::default();
+        if !self.obs.is_enabled() {
+            return s;
+        }
+        self.obs.fill_snapshot(&mut s);
+        s.dir.migration_in_progress = self.hash_migration_in_progress();
+        s.dir.buckets = self.hash_bucket_count() as u64;
+        s.dir.shards = self.art_count() as u64;
+        s.ebr.pending_garbage = hart_ebr::pending_garbage() as u64;
+        let a = self.alloc.stats();
+        let class = |c: ObjClass| {
+            let i = c.idx();
+            let cap = a.chunks[i] as u64 * OBJS_PER_CHUNK;
+            hart_obs::AllocClassStats {
+                live: a.live[i],
+                chunks: a.chunks[i] as u64,
+                slots_per_chunk: OBJS_PER_CHUNK,
+                occupancy: if cap == 0 {
+                    0.0
+                } else {
+                    a.live[i] as f64 / cap as f64
+                },
+            }
+        };
+        s.alloc.leaf = class(ObjClass::Leaf);
+        s.alloc.value8 = class(ObjClass::Value8);
+        s.alloc.value16 = class(ObjClass::Value16);
+        let p = self.pm_stats();
+        s.pm = hart_obs::PmSection {
+            persist_calls: p.persist_calls,
+            lines_flushed: p.lines_flushed,
+            fences: p.fences,
+            read_lines: p.read_lines,
+            read_misses: p.read_misses,
+            raw_allocs: p.raw_allocs,
+            raw_frees: p.raw_frees,
+            bytes_in_use: p.bytes_in_use,
+            bytes_peak: p.bytes_peak,
+            write_extra_ns: p.write_extra_ns,
+            read_extra_ns: p.read_extra_ns,
+            alloc_extra_ns: p.alloc_extra_ns,
+        };
+        s
     }
 
     /// The underlying EPallocator — exposed so failure-injection tests and
@@ -364,7 +437,10 @@ impl Hart {
     ) -> Result<()> {
         let shard = &*shard;
         let r = self.resolver();
-        'attempt: for _ in 0..self.cfg.optimistic_retry_limit {
+        'attempt: for attempt in 0..self.cfg.optimistic_retry_limit {
+            if attempt > 0 {
+                self.obs.add(hart_obs::Event::OptimisticRetry, 1);
+            }
             let v0 = shard.version();
             if v0 % 2 == 1 {
                 continue; // write section open right now
@@ -409,6 +485,7 @@ impl Hart {
             out.extend(rows);
             return Ok(());
         }
+        self.obs.add(hart_obs::Event::LockFallback, 1);
         self.range_shard_locked(shard, s, e, ak_lo, ak_hi, out)
     }
 
@@ -451,10 +528,20 @@ impl Hart {
     /// was even and unchanged across everything the answer depends on, so
     /// the result equals what the locked path would have produced at that
     /// instant.
-    fn search_optimistic(&self, hk: &[u8], ak: &[u8]) -> Option<Result<Option<Value>>> {
+    /// `retries` is bumped once per re-attempt after a failed validation
+    /// (observability; the caller feeds it to the recorder).
+    fn search_optimistic(
+        &self,
+        hk: &[u8],
+        ak: &[u8],
+        retries: &mut u64,
+    ) -> Option<Result<Option<Value>>> {
         let _pin = hart_ebr::pin()?;
         let r = self.resolver();
-        for _ in 0..self.cfg.optimistic_retry_limit {
+        for attempt in 0..self.cfg.optimistic_retry_limit {
+            if attempt > 0 {
+                *retries += 1;
+            }
             // Lock-free hash probe (Algorithm 4 line 2).
             // SAFETY: `_pin` (held for the whole function) keeps the probed
             // directory tables and any shard pointer they return alive.
@@ -579,6 +666,152 @@ impl Hart {
         }
         Ok(())
     }
+
+    // ------------------------------------------------- operation bodies
+    //
+    // The `PersistentIndex` methods below are thin timed wrappers (one
+    // sampled clock pair per `hart_obs::SAMPLE_EVERY` calls) around these.
+
+    /// Algorithm 1.
+    fn insert_impl(&self, key: &Key, value: &Value) -> Result<()> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
+        loop {
+            let shard = self.dir.get_or_insert(hk); // lines 2–5
+            let mut g = shard.write_observed(&self.obs);
+            if g.dead {
+                continue; // raced shard removal; retry against a live shard
+            }
+            let r = self.resolver();
+            let existing = g.art.search(&r, ak).copied(); // line 6
+            if let Some(leaf) = existing {
+                return self.update_leaf(leaf, value); // lines 7–8
+            }
+            // Lines 10–11: allocate leaf + value space.
+            let pool = self.pool();
+            let leaf = self.alloc.alloc(ObjClass::Leaf)?;
+            let vclass = ObjClass::for_value_len(value.len());
+            let vptr = match self.alloc.alloc(vclass) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.alloc.abort(leaf, ObjClass::Leaf);
+                    return Err(e);
+                }
+            };
+            // Line 12: value = V; persistent(value).
+            pool.write_bytes(vptr, value.as_slice());
+            pool.persist(vptr, value.len().max(1));
+            // Line 13: leaf.p_value = &value; persistent(leaf.p_value).
+            leaf_write_pvalue(pool, leaf, vptr, value.len());
+            persist_leaf_pvalue(pool, leaf);
+            // Line 14: set and persist the value bit.
+            self.alloc.commit(vptr, vclass);
+            // Lines 15–16: key and key length.
+            leaf_write_key(pool, leaf, key);
+            persist_leaf_key(pool, leaf);
+            // Line 17: Insert2Tree — DRAM only, no persistence needed.
+            let replaced = g.art.insert(&r, ak, leaf);
+            debug_assert!(replaced.is_none(), "searched above");
+            if self.cfg.persist_internal_nodes {
+                // Ablation: as if the touched inner node (and an eventual
+                // expansion) had to be flushed, WOART-style.
+                pool.charge_synthetic_persist(2);
+            }
+            // Line 18: set and persist the leaf bit. Publish point: the
+            // leaf image and the value it points at must both be durable
+            // first (pm-check asserts this; no-op otherwise).
+            pool.check_durable(leaf, LEAF_SIZE);
+            pool.check_durable(vptr, value.len().max(1));
+            self.alloc.commit(leaf, ObjClass::Leaf);
+            return Ok(());
+        }
+    }
+
+    /// Algorithm 4, with the lock-free fast path of DESIGN.md
+    /// §Concurrency in front when `optimistic_reads` is on.
+    fn search_impl(&self, key: &Key) -> Result<Option<Value>> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
+        if self.cfg.optimistic_reads {
+            let mut retries = 0u64;
+            let res = self.search_optimistic(hk, ak, &mut retries);
+            self.obs.add(hart_obs::Event::OptimisticRetry, retries);
+            if let Some(res) = res {
+                return res;
+            }
+            self.obs.add(hart_obs::Event::LockFallback, 1);
+        }
+        self.search_locked(hk, ak)
+    }
+
+    /// Algorithm 3 entry point.
+    fn update_impl(&self, key: &Key, value: &Value) -> Result<bool> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len);
+        let Some(shard) = self.dir.get(hk) else {
+            return Ok(false);
+        };
+        let g = shard.write_observed(&self.obs);
+        if g.dead {
+            return Ok(false);
+        }
+        let r = self.resolver();
+        let Some(&leaf) = g.art.search(&r, ak) else {
+            return Ok(false);
+        };
+        self.update_leaf(leaf, value)?;
+        Ok(true)
+    }
+
+    /// Algorithm 5.
+    fn remove_impl(&self, key: &Key) -> Result<bool> {
+        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
+        let Some(shard) = self.dir.get(hk) else {
+            return Ok(false); // lines 3–4
+        };
+        let mut g = shard.write_observed(&self.obs);
+        if g.dead {
+            return Ok(false);
+        }
+        let r = self.resolver();
+        // Lines 5–9: locate and unlink from the (DRAM) tree.
+        let Some(leaf) = g.art.remove(&r, ak) else {
+            return Ok(false);
+        };
+        let pool = self.pool();
+        if self.cfg.persist_internal_nodes {
+            // Ablation: inner-node shrink/collapse would need flushing too.
+            pool.charge_synthetic_persist(2);
+        }
+        let pv = leaf_read_pvalue(pool, leaf); // line 10
+        let vclass = ObjClass::for_value_len(leaf_read_val_len(pool, leaf));
+        // Lines 11–12, reordered (see crate docs): the value bit is reset
+        // first, then the leaf is retired with its p_value nulled under
+        // the leaf-class lock so the slot can never be reallocated while
+        // still pointing at the value. A crash in between leaves a live
+        // leaf with an unset value bit, which recovery completes as a
+        // deletion.
+        self.alloc.retire(pv, vclass);
+        self.alloc.retire_leaf(leaf);
+        // Lines 13–14: try to reclaim both chunks.
+        self.alloc.recycle_containing(pv, vclass);
+        self.alloc.recycle_containing(leaf, ObjClass::Leaf);
+        // Lines 15–16: free the ART if it became empty.
+        let now_empty = g.art.is_empty();
+        drop(g);
+        if now_empty {
+            self.dir.remove_if_empty(hk);
+        }
+        Ok(true)
+    }
+}
+
+/// Record a parallel-recovery failure, keeping the one at the lowest
+/// live-leaf index across all workers. Pool walk order is stable, so of
+/// the failures the racing workers *observe*, the earliest-in-pool one is
+/// reported no matter which worker reaches the mutex first.
+fn note_recovery_err(slot: &parking_lot::Mutex<Option<(usize, Error)>>, idx: usize, e: Error) {
+    let mut s = slot.lock();
+    if s.as_ref().is_none_or(|(prev, _)| idx < *prev) {
+        *s = Some((idx, e));
+    }
 }
 
 /// Split an inline key into hash key / ART key slices.
@@ -634,130 +867,43 @@ fn region_after(region: &[u8], end: &[u8]) -> bool {
     }
 }
 
+impl hart_obs::Observable for Hart {
+    fn obs_snapshot(&self) -> hart_obs::ObsSnapshot {
+        Hart::obs_snapshot(self)
+    }
+}
+
 impl PersistentIndex for Hart {
     /// Algorithm 1.
     fn insert(&self, key: &Key, value: &Value) -> Result<()> {
-        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
-        loop {
-            let shard = self.dir.get_or_insert(hk); // lines 2–5
-            let mut g = shard.write();
-            if g.dead {
-                continue; // raced shard removal; retry against a live shard
-            }
-            let r = self.resolver();
-            let existing = g.art.search(&r, ak).copied(); // line 6
-            if let Some(leaf) = existing {
-                return self.update_leaf(leaf, value); // lines 7–8
-            }
-            // Lines 10–11: allocate leaf + value space.
-            let pool = self.pool();
-            let leaf = self.alloc.alloc(ObjClass::Leaf)?;
-            let vclass = ObjClass::for_value_len(value.len());
-            let vptr = match self.alloc.alloc(vclass) {
-                Ok(p) => p,
-                Err(e) => {
-                    self.alloc.abort(leaf, ObjClass::Leaf);
-                    return Err(e);
-                }
-            };
-            // Line 12: value = V; persistent(value).
-            pool.write_bytes(vptr, value.as_slice());
-            pool.persist(vptr, value.len().max(1));
-            // Line 13: leaf.p_value = &value; persistent(leaf.p_value).
-            leaf_write_pvalue(pool, leaf, vptr, value.len());
-            persist_leaf_pvalue(pool, leaf);
-            // Line 14: set and persist the value bit.
-            self.alloc.commit(vptr, vclass);
-            // Lines 15–16: key and key length.
-            leaf_write_key(pool, leaf, key);
-            persist_leaf_key(pool, leaf);
-            // Line 17: Insert2Tree — DRAM only, no persistence needed.
-            let replaced = g.art.insert(&r, ak, leaf);
-            debug_assert!(replaced.is_none(), "searched above");
-            if self.cfg.persist_internal_nodes {
-                // Ablation: as if the touched inner node (and an eventual
-                // expansion) had to be flushed, WOART-style.
-                pool.charge_synthetic_persist(2);
-            }
-            // Line 18: set and persist the leaf bit. Publish point: the
-            // leaf image and the value it points at must both be durable
-            // first (pm-check asserts this; no-op otherwise).
-            pool.check_durable(leaf, LEAF_SIZE);
-            pool.check_durable(vptr, value.len().max(1));
-            self.alloc.commit(leaf, ObjClass::Leaf);
-            return Ok(());
-        }
+        let t0 = self.obs.op_timer();
+        let res = self.insert_impl(key, value);
+        self.obs.record_op(hart_obs::Op::Insert, t0);
+        res
     }
 
     /// Algorithm 4, with the lock-free fast path of DESIGN.md
     /// §Concurrency in front when `optimistic_reads` is on.
     fn search(&self, key: &Key) -> Result<Option<Value>> {
-        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
-        if self.cfg.optimistic_reads {
-            if let Some(res) = self.search_optimistic(hk, ak) {
-                return res;
-            }
-        }
-        self.search_locked(hk, ak)
+        let t0 = self.obs.op_timer();
+        let res = self.search_impl(key);
+        self.obs.record_op(hart_obs::Op::Search, t0);
+        res
     }
 
     fn update(&self, key: &Key, value: &Value) -> Result<bool> {
-        let (hk, ak) = key.split(self.cfg.hash_key_len);
-        let Some(shard) = self.dir.get(hk) else {
-            return Ok(false);
-        };
-        let g = shard.write();
-        if g.dead {
-            return Ok(false);
-        }
-        let r = self.resolver();
-        let Some(&leaf) = g.art.search(&r, ak) else {
-            return Ok(false);
-        };
-        self.update_leaf(leaf, value)?;
-        Ok(true)
+        let t0 = self.obs.op_timer();
+        let res = self.update_impl(key, value);
+        self.obs.record_op(hart_obs::Op::Update, t0);
+        res
     }
 
     /// Algorithm 5.
     fn remove(&self, key: &Key) -> Result<bool> {
-        let (hk, ak) = key.split(self.cfg.hash_key_len); // line 1
-        let Some(shard) = self.dir.get(hk) else {
-            return Ok(false); // lines 3–4
-        };
-        let mut g = shard.write();
-        if g.dead {
-            return Ok(false);
-        }
-        let r = self.resolver();
-        // Lines 5–9: locate and unlink from the (DRAM) tree.
-        let Some(leaf) = g.art.remove(&r, ak) else {
-            return Ok(false);
-        };
-        let pool = self.pool();
-        if self.cfg.persist_internal_nodes {
-            // Ablation: inner-node shrink/collapse would need flushing too.
-            pool.charge_synthetic_persist(2);
-        }
-        let pv = leaf_read_pvalue(pool, leaf); // line 10
-        let vclass = ObjClass::for_value_len(leaf_read_val_len(pool, leaf));
-        // Lines 11–12, reordered (see crate docs): the value bit is reset
-        // first, then the leaf is retired with its p_value nulled under
-        // the leaf-class lock so the slot can never be reallocated while
-        // still pointing at the value. A crash in between leaves a live
-        // leaf with an unset value bit, which recovery completes as a
-        // deletion.
-        self.alloc.retire(pv, vclass);
-        self.alloc.retire_leaf(leaf);
-        // Lines 13–14: try to reclaim both chunks.
-        self.alloc.recycle_containing(pv, vclass);
-        self.alloc.recycle_containing(leaf, ObjClass::Leaf);
-        // Lines 15–16: free the ART if it became empty.
-        let now_empty = g.art.is_empty();
-        drop(g);
-        if now_empty {
-            self.dir.remove_if_empty(hk);
-        }
-        Ok(true)
+        let t0 = self.obs.op_timer();
+        let res = self.remove_impl(key);
+        self.obs.record_op(hart_obs::Op::Remove, t0);
+        res
     }
 
     fn len(&self) -> usize {
@@ -1227,6 +1373,37 @@ mod parallel_recovery_tests {
         }
     }
 
+    /// The error-selection policy itself, order-independent: whatever
+    /// order racing workers report failures in, the lowest leaf index
+    /// wins. This is the deterministic-diagnostics fix — previously
+    /// `get_or_insert` kept whichever error locked the mutex first.
+    #[test]
+    fn recovery_err_selection_keeps_lowest_index() {
+        let reports = [
+            (
+                4_000usize,
+                Error::Corrupted("duplicate live key in leaf chunks"),
+            ),
+            (2, Error::Corrupted("live leaf with empty key")),
+            (9, Error::Corrupted("duplicate live key in leaf chunks")),
+            (2_000, Error::Corrupted("bad key in leaf")),
+        ];
+        // Feed every permutation-ish rotation; the winner never changes.
+        for rot in 0..reports.len() {
+            let slot = parking_lot::Mutex::new(None);
+            for i in 0..reports.len() {
+                let (idx, e) = reports[(i + rot) % reports.len()].clone();
+                super::note_recovery_err(&slot, idx, e);
+            }
+            let (idx, err) = slot.into_inner().unwrap();
+            assert_eq!(idx, 2);
+            assert!(
+                matches!(err, Error::Corrupted("live leaf with empty key")),
+                "rotation {rot} kept {err:?}"
+            );
+        }
+    }
+
     /// A corrupted leaf must fail recovery in every mode — and the
     /// parallel workers must stop promptly on the shared abort flag
     /// instead of completing a full rebuild whose result is discarded.
@@ -1255,6 +1432,19 @@ mod parallel_recovery_tests {
                     persist_leaf_pvalue(pool.as_ref(), leaf);
                     a.commit(leaf, ObjClass::Leaf);
                 };
+                // A committed leaf carrying a key some earlier leaf already
+                // owns: reattachment reports "duplicate live key".
+                let plant_dup_leaf = |key: &Key| {
+                    let a = h.epallocator();
+                    let val = a.alloc(ObjClass::Value8).unwrap();
+                    a.commit(val, ObjClass::Value8);
+                    let leaf = a.alloc(ObjClass::Leaf).unwrap();
+                    leaf_write_key(pool.as_ref(), leaf, key);
+                    persist_leaf_key(pool.as_ref(), leaf);
+                    leaf_write_pvalue(pool.as_ref(), leaf, val, 8);
+                    persist_leaf_pvalue(pool.as_ref(), leaf);
+                    a.commit(leaf, ObjClass::Leaf);
+                };
                 if corrupt {
                     // Four consecutive bad leaves — one per 4-thread stripe
                     // residue — at BOTH ends of the allocation sequence:
@@ -1266,7 +1456,21 @@ mod parallel_recovery_tests {
                         plant_bad_leaf();
                     }
                 }
-                for i in 0..records {
+                for i in 0..records / 2 {
+                    h.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i))
+                        .unwrap();
+                }
+                if corrupt {
+                    // A second corruption *type* mid-pool: duplicates of a
+                    // preloaded key. Whichever way the pool is walked these
+                    // sit at higher leaf indices than one of the empty-key
+                    // clusters, so lowest-index error selection must always
+                    // report the empty-key corruption, never this one.
+                    for _ in 0..4 {
+                        plant_dup_leaf(&Key::from_u64_base62(0, 8));
+                    }
+                }
+                for i in records / 2..records {
                     h.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i))
                         .unwrap();
                 }
@@ -1296,9 +1500,13 @@ mod parallel_recovery_tests {
             Ok(_) => panic!("corrupted pool recovered"),
             Err(e) => e,
         };
+        // Lowest-index error selection: the empty-key cluster at the walk
+        // front must always be the reported corruption — never the
+        // duplicate-key cluster mid-pool, regardless of which worker wins
+        // the race to the error mutex.
         assert!(
             matches!(err, Error::Corrupted("live leaf with empty key")),
-            "{err:?}"
+            "expected the lowest-index corruption, got {err:?}"
         );
         let aborted_reattach = (bad.stats().snapshot().read_lines - before) - open_reads;
         let full_reattach = full_reads.saturating_sub(open_reads);

@@ -1,0 +1,138 @@
+//! Sharded atomic counters: one cache-line-padded cell per shard, with
+//! each thread pinned to a shard by a cheap thread-local index, so hot-path
+//! increments from different threads never contend on one cache line.
+//!
+//! The first [`SHARDS`] threads to touch *any* counter each get a shard
+//! of their own; being its only writer, such a thread increments with a
+//! Relaxed load + store pair (~2 ns) instead of an atomic RMW (~7 ns on
+//! current x86) — the difference is most of the observability layer's
+//! per-op budget (DESIGN.md §Observability). Threads past the first
+//! [`SHARDS`] share one overflow cell and pay the RMW; the paper's
+//! evaluation tops out at 16 threads, so the common case never does.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of exclusively-owned counter shards. A small power of two:
+/// enough for the thread counts the paper evaluates (up to 16) without
+/// bloating snapshots.
+const SHARDS: usize = 16;
+
+/// One shard on its own cache line.
+#[repr(align(64))]
+#[derive(Default)]
+struct Padded(AtomicU64);
+
+/// Shard assignment, fixed per thread on first use. The first [`SHARDS`]
+/// assignments are exclusive; everything after lands on the overflow cell.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's shard index. Indexes `< SHARDS` are exclusive to one
+/// thread; index `SHARDS` is the shared overflow cell.
+#[inline]
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed).min(SHARDS);
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotonically increasing event counter shared by many threads.
+#[derive(Default)]
+pub struct ShardedCounter {
+    /// `SHARDS` single-writer cells plus the shared overflow cell.
+    shards: [Padded; SHARDS + 1],
+}
+
+impl ShardedCounter {
+    /// Zeroed counter.
+    pub fn new() -> ShardedCounter {
+        ShardedCounter::default()
+    }
+
+    /// Add `n` to this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = my_shard();
+        let cell = &self.shards[idx].0;
+        if idx < SHARDS {
+            // Single-writer cell: a load + store pair cannot lose
+            // updates, and costs no locked instruction.
+            cell.store(cell.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+        } else {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total across all shards. Exact once writers quiesce; a consistent
+    /// lower bound while they run.
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let c = ShardedCounter::new();
+        c.add(3);
+        c.add(0); // no-op, must not panic or count
+        c.add(39);
+        assert_eq!(c.sum(), 42);
+    }
+
+    #[test]
+    fn hammer_8_threads() {
+        let c = ShardedCounter::new();
+        const PER_THREAD: u64 = 100_000;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum(), 8 * PER_THREAD);
+    }
+
+    #[test]
+    fn hammer_past_the_exclusive_shards() {
+        // More threads than exclusive shards: the overflow cell absorbs
+        // the rest via RMW and the total stays exact.
+        let c = ShardedCounter::new();
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..(2 * SHARDS + 3) {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum(), (2 * SHARDS as u64 + 3) * PER_THREAD);
+    }
+}

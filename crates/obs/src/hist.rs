@@ -1,0 +1,316 @@
+//! Power-of-two latency histograms for tail-latency reporting — an
+//! extension beyond the paper, which reports only averages. PM indexes
+//! have strongly bimodal operation costs (a search that stays in cache vs
+//! one that misses; an insert that fits a chunk vs one that allocates), so
+//! percentiles tell a sharper story than means.
+//!
+//! Two flavors share the bucket layout: [`Histogram`] is the plain
+//! single-owner accumulator the bench harness threads through its loops,
+//! and [`AtomicHistogram`] is the lock-free shared variant the always-on
+//! [`Recorder`](crate::Recorder) records into from many threads at once.
+//! Atomic histograms snapshot into plain ones, and plain ones merge, so
+//! per-thread results aggregate without locks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+pub(crate) const BUCKETS: usize = 64;
+
+/// Bucket index for a nanosecond sample: bucket `i` covers `[2^i, 2^(i+1))`
+/// ns (bucket 0 also absorbs 0 ns).
+#[inline]
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+}
+
+/// Interpolated value of the sample at 1-based position `pos` out of
+/// `count` samples inside bucket `i`, assuming samples spread uniformly
+/// across the bucket's `[lo, hi)` range.
+fn interpolate(i: usize, pos: u64, count: u64) -> f64 {
+    let lo = if i == 0 { 0u64 } else { 1u64 << i };
+    let hi = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+    lo as f64 + (hi - lo) as f64 * pos as f64 / count as f64
+}
+
+/// A fixed-size log₂ histogram of nanosecond latencies.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns; recording is branch-light and
+/// allocation-free, so per-op instrumentation stays cheap.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate `p`-quantile (0 < p ≤ 1) in nanoseconds.
+    ///
+    /// The quantile's rank is located in its log₂ bucket and then linearly
+    /// interpolated within the bucket (samples are assumed uniform across
+    /// the bucket's range), clamped to the observed maximum. The previous
+    /// upper-bucket-edge answer overstated every quantile by up to 2×.
+    pub fn quantile_ns(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 && seen + c >= rank {
+                let pos = rank - seen; // 1-based position within bucket i
+                return (interpolate(i, pos, c) as u64).min(self.max_ns);
+            }
+            seen += c;
+        }
+        self.max_ns
+    }
+
+    /// Largest observed sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// One summary line: mean / p50 / p90 / p99 / p99.9 / max in µs.
+    pub fn summary(&self) -> String {
+        format!(
+            "mean {:>8.2}µs  p50 {:>8.2}µs  p90 {:>8.2}µs  p99 {:>8.2}µs  p99.9 {:>8.2}µs  max {:>8.2}µs",
+            self.mean_ns() / 1e3,
+            self.quantile_ns(0.50) as f64 / 1e3,
+            self.quantile_ns(0.90) as f64 / 1e3,
+            self.quantile_ns(0.99) as f64 / 1e3,
+            self.quantile_ns(0.999) as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({} samples, {})", self.total, self.summary())
+    }
+}
+
+/// Lock-free shared histogram with the same bucket layout as [`Histogram`].
+///
+/// All updates are Relaxed atomics on independent cells: concurrent
+/// recorders never wait, and a snapshot is a plain (not atomic) read of
+/// each cell — exact once recorders quiesce, approximate but well-formed
+/// while they run.
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Empty histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram::default()
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current contents into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.counts.iter_mut().zip(&self.counts) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.total = self.total.load(Ordering::Relaxed);
+        h.sum_ns = self.sum_ns.load(Ordering::Relaxed) as u128;
+        h.max_ns = self.max_ns.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(1_000)); // bucket 9: [512, 1024)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_nanos(1_000_000)); // bucket 19: [524288, 1048576)
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.mean_ns() > 1_000.0 && h.mean_ns() < 200_000.0);
+        // p50 = rank 50 of 90 samples in [512, 1024): 512 + 512*50/90 ≈ 796,
+        // not the old upper-edge answer of 1024.
+        let p50 = h.quantile_ns(0.50);
+        assert!((790..=800).contains(&p50), "interpolated p50, got {p50}");
+        // p90 = rank 90 = last sample of the fast bucket: exactly its upper edge.
+        assert_eq!(h.quantile_ns(0.90), 1024);
+        // p99 = rank 9 of 10 samples in [524288, 1048576): ≈ 996147.
+        let p99 = h.quantile_ns(0.99);
+        assert!(
+            (990_000..=1_000_000).contains(&p99),
+            "interpolated p99, got {p99}"
+        );
+        // The top quantile clamps to the observed max, never past it.
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        assert_eq!(h.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(700));
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert!(h.quantile_ns(p) <= 700);
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_nanos(200_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 200_000);
+    }
+
+    #[test]
+    fn empty_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert!(h.summary().contains("p99"));
+    }
+
+    #[test]
+    fn zero_duration_goes_to_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(0));
+        assert_eq!(h.count(), 1);
+        let _ = h.quantile_ns(1.0);
+    }
+
+    #[test]
+    fn atomic_matches_plain() {
+        let a = AtomicHistogram::new();
+        let mut p = Histogram::new();
+        for ns in [0u64, 1, 7, 512, 1_000, 65_536, 1_000_000] {
+            a.record_ns(ns);
+            p.record(Duration::from_nanos(ns));
+        }
+        let s = a.snapshot();
+        assert_eq!(s.count(), p.count());
+        assert_eq!(s.max_ns(), p.max_ns());
+        assert_eq!(s.counts, p.counts);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(s.quantile_ns(q), p.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn atomic_hammer_8_threads() {
+        let h = AtomicHistogram::new();
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Deterministic spread over several buckets per thread.
+                        h.record_ns((i % 20) * 100 + t);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 8 * PER_THREAD);
+        let bucket_sum: u64 = snap.counts.iter().sum();
+        assert_eq!(bucket_sum, 8 * PER_THREAD);
+        assert_eq!(snap.max_ns(), 1_900 + 7);
+    }
+}

@@ -1,0 +1,370 @@
+//! A deliberately tiny JSON value type with a recursive-descent parser and
+//! a compact/pretty writer. The workspace builds fully offline with no
+//! serde, and `ObsSnapshot` is the only schema we serialize, so ~200 lines
+//! of hand-rolled JSON beat a dependency.
+//!
+//! Numbers are kept as their literal text: the snapshot's `u64` counters
+//! must round-trip exactly (past 2^53 an `f64` representation would not),
+//! and its `f64` means rely on Rust's shortest-round-trip `Display`.
+
+use std::fmt;
+
+/// One JSON value. Object member order is preserved (snapshot schemas are
+/// key-ordered so goldens diff cleanly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Number, stored as its literal source text.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Integer-valued number.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Float-valued number (shortest round-trip formatting; non-finite
+    /// values clamp to 0 since JSON has no NaN/Inf).
+    pub fn f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else {
+            Json::Num("0".to_string())
+        }
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` (integer literals only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// All leaf paths in dotted form (`"a.b.c"`), in schema order. Arrays
+    /// contribute a single `[]` component so element count doesn't affect
+    /// the schema. This is what the schema-stability golden records.
+    pub fn leaf_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(v: &Json, prefix: &str, out: &mut Vec<String>) {
+            match v {
+                Json::Obj(members) => {
+                    for (k, v) in members {
+                        let p = if prefix.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{prefix}.{k}")
+                        };
+                        walk(v, &p, out);
+                    }
+                }
+                Json::Arr(items) => {
+                    let p = format!("{prefix}[]");
+                    match items.first() {
+                        Some(first) => walk(first, &p, out),
+                        None => out.push(p),
+                    }
+                }
+                _ => out.push(prefix.to_string()),
+            }
+        }
+        walk(self, "", &mut out);
+        out
+    }
+
+    /// Parse a JSON document (must consume all non-whitespace input).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Compact serialization.
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        write_value(self, None, 0, &mut s);
+        s
+    }
+
+    /// Pretty serialization (2-space indent).
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        write_value(self, Some(2), 0, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(s) => out.push_str(s),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(item, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, "\"")?;
+    let mut s = String::new();
+    loop {
+        let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some((_, '"')) => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some((_, '\\')) => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hex = std::str::from_utf8(
+                            b.get(*pos + 1..*pos + 5).ok_or("short \\u escape")?,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        s.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some((i, c)) => {
+                s.push(c);
+                *pos += i + c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => {
+            // Number literal: take the maximal run of number characters.
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return Err(format!("unexpected byte at {pos}"));
+            }
+            let lit = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            lit.parse::<f64>()
+                .map_err(|e| format!("bad number `{lit}`: {e}"))?;
+            Ok(Json::Num(lit.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_writes_round_trip() {
+        let src =
+            r#"{"a": 1, "b": [true, null, "x\n\"y"], "c": {"d": 1.5, "e": 18446744073709551615}}"#;
+        let v = Json::parse(src).unwrap();
+        let compact = v.to_compact();
+        assert_eq!(Json::parse(&compact).unwrap(), v);
+        let pretty = v.to_pretty();
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        // u64::MAX survives exactly (would be lossy through f64).
+        assert_eq!(
+            v.get("c").unwrap().get("e").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn leaf_paths_are_dotted() {
+        let v = Json::parse(r#"{"a": {"b": 1, "c": [ {"d": 2} ]}, "e": true}"#).unwrap();
+        assert_eq!(v.leaf_paths(), vec!["a.b", "a.c[].d", "e"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! `hart-obs` — the workspace's always-on observability layer.
+//!
+//! The instruments Dash-style PM scalability debugging needs (optimistic
+//! retry rates, shard-lock contention, directory migration progress, EBR
+//! backlog, allocator occupancy) but the paper's codebase never had:
+//!
+//! * [`ShardedCounter`] — contention-free exact event counts.
+//! * [`Histogram`] / [`AtomicHistogram`] — mergeable log₂ latency
+//!   histograms with linearly interpolated quantiles (single-owner and
+//!   lock-free shared flavors).
+//! * [`Recorder`] — the cloneable hot-path handle. Disabled it is a single
+//!   branch per call site (the `HartConfig::observability` kill-switch);
+//!   enabled it samples op latency 1-in-[`SAMPLE_EVERY`] and counts
+//!   everything else exactly.
+//! * [`ObsSnapshot`] — one point-in-time export, serializable as JSON
+//!   (schema pinned by `golden/obs_schema_keys.txt`) and Prometheus text.
+//! * [`Instrumented`] — op-latency adapter for the baseline indexes.
+//!
+//! HART itself embeds a `Recorder` (see `Hart::obs_snapshot`); the CLI
+//! exposes the snapshot via `stats --json` / `--metrics-dump`, and the
+//! bench harness drops per-phase snapshots next to its CSVs.
+
+mod counter;
+mod hist;
+mod json;
+mod recorder;
+mod snapshot;
+mod wrap;
+
+pub use counter::ShardedCounter;
+pub use hist::{AtomicHistogram, Histogram};
+pub use json::Json;
+pub use recorder::{Event, Op, Recorder, SAMPLE_EVERY};
+pub use snapshot::{
+    AllocClassStats, AllocSection, DirSection, EbrSection, LocksSection, ObsSnapshot, OpStats,
+    OpsSection, PmSection, ReadsSection,
+};
+pub use wrap::Instrumented;
+
+/// Anything that can export an [`ObsSnapshot`] — HART with its full
+/// telemetry, or an [`Instrumented`] baseline with ops only.
+pub trait Observable {
+    fn obs_snapshot(&self) -> ObsSnapshot;
+}

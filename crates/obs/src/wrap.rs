@@ -1,0 +1,97 @@
+//! [`Instrumented`]: op-latency observability for the baseline indexes.
+//!
+//! HART records into its own embedded [`Recorder`]; the baselines (WOART,
+//! ART+CoW, FPTree, WORT) stay untouched — the bench harness wraps them in
+//! this [`PersistentIndex`] adapter instead, which times the four point
+//! ops and exposes an ops-only [`ObsSnapshot`]. Every other section stays
+//! zero: the baselines have no directory, optimistic reads, or epalloc.
+
+use hart_kv::{Key, MemoryStats, PersistentIndex, Result, Value};
+
+use crate::recorder::{Op, Recorder};
+use crate::snapshot::ObsSnapshot;
+use crate::Observable;
+
+/// A [`PersistentIndex`] that delegates to `inner` and records op latency.
+pub struct Instrumented<T: PersistentIndex> {
+    inner: T,
+    rec: Recorder,
+}
+
+impl<T: PersistentIndex> Instrumented<T> {
+    /// Wrap `inner` with a fresh enabled recorder.
+    pub fn new(inner: T) -> Instrumented<T> {
+        Instrumented {
+            inner,
+            rec: Recorder::new(),
+        }
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The recorder backing this wrapper.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+}
+
+impl<T: PersistentIndex> Observable for Instrumented<T> {
+    fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut snap = ObsSnapshot::default();
+        self.rec.fill_snapshot(&mut snap);
+        snap
+    }
+}
+
+impl<T: PersistentIndex> PersistentIndex for Instrumented<T> {
+    fn insert(&self, key: &Key, value: &Value) -> Result<()> {
+        let t0 = self.rec.op_timer();
+        let r = self.inner.insert(key, value);
+        self.rec.record_op(Op::Insert, t0);
+        r
+    }
+
+    fn search(&self, key: &Key) -> Result<Option<Value>> {
+        let t0 = self.rec.op_timer();
+        let r = self.inner.search(key);
+        self.rec.record_op(Op::Search, t0);
+        r
+    }
+
+    fn update(&self, key: &Key, value: &Value) -> Result<bool> {
+        let t0 = self.rec.op_timer();
+        let r = self.inner.update(key, value);
+        self.rec.record_op(Op::Update, t0);
+        r
+    }
+
+    fn remove(&self, key: &Key) -> Result<bool> {
+        let t0 = self.rec.op_timer();
+        let r = self.inner.remove(key);
+        self.rec.record_op(Op::Remove, t0);
+        r
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        self.inner.memory_stats()
+    }
+
+    fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
+        self.inner.range(start, end)
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        self.inner.multi_get(keys)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}

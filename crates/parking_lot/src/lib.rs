@@ -185,6 +185,21 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Try to acquire exclusive access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.raw.try_write() {
+            Ok(raw) => Some(RwLockWriteGuard {
+                _raw: raw,
+                data: self.data.get(),
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                _raw: p.into_inner(),
+                data: self.data.get(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Try to acquire shared access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.raw.try_read() {

@@ -33,29 +33,56 @@ pub struct ZipfSampler {
     n: usize,
     h_n: f64,
     theta: f64,
+    /// `theta ≈ 1`: the integral form `x^(1-θ)/(1-θ)` is singular there
+    /// and degenerates to a logarithm, handled as its own branch.
+    log_form: bool,
 }
+
+/// Width of the `theta ≈ 1.0` band that uses the logarithmic harmonic
+/// form; the power form loses all precision inside it (0/0 at exactly 1).
+const LOG_FORM_EPS: f64 = 1e-9;
 
 impl ZipfSampler {
     /// Sampler over `n` items with exponent `theta` (0 < theta < 2).
+    ///
+    /// The classic Zipf exponent `theta = 1.0` is fully supported via the
+    /// logarithmic harmonic form (the generic power form divides by
+    /// `1 - theta`, which is 0 there).
     pub fn new(n: usize, theta: f64) -> ZipfSampler {
         assert!(n > 0, "zipf over an empty set");
-        assert!(theta > 0.0 && theta < 2.0 && (theta - 1.0).abs() > 1e-9);
-        let h_n = Self::harmonic(n as f64, theta);
-        ZipfSampler { n, h_n, theta }
+        assert!(theta > 0.0 && theta < 2.0);
+        let log_form = (theta - 1.0).abs() <= LOG_FORM_EPS;
+        let h_n = Self::harmonic(n as f64, theta, log_form);
+        ZipfSampler {
+            n,
+            h_n,
+            theta,
+            log_form,
+        }
     }
 
-    /// Generalized harmonic number approximation (integral form).
-    fn harmonic(n: f64, theta: f64) -> f64 {
-        ((n + 0.5f64).powf(1.0 - theta) - 0.5f64.powf(1.0 - theta)) / (1.0 - theta)
+    /// Generalized harmonic number approximation (integral form):
+    /// `∫ x^-θ dx` over `[0.5, n+0.5]`, which is a power for `θ ≠ 1` and
+    /// `ln((n+0.5)/0.5)` at `θ = 1`.
+    fn harmonic(n: f64, theta: f64, log_form: bool) -> f64 {
+        if log_form {
+            ((n + 0.5) / 0.5).ln()
+        } else {
+            ((n + 0.5f64).powf(1.0 - theta) - 0.5f64.powf(1.0 - theta)) / (1.0 - theta)
+        }
     }
 
     /// Draw one rank (0 = hottest).
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         // Inverse-CDF on the continuous approximation, then round.
         let u: f64 = rng.gen::<f64>() * self.h_n;
-        let x = (u * (1.0 - self.theta) + 0.5f64.powf(1.0 - self.theta))
-            .powf(1.0 / (1.0 - self.theta))
-            - 0.5;
+        let x = if self.log_form {
+            // Invert H(x) = ln((x+0.5)/0.5): x = 0.5·e^u − 0.5.
+            0.5 * u.exp() - 0.5
+        } else {
+            (u * (1.0 - self.theta) + 0.5f64.powf(1.0 - self.theta)).powf(1.0 / (1.0 - self.theta))
+                - 0.5
+        };
         (x.max(0.0) as usize).min(self.n - 1)
     }
 }
@@ -290,6 +317,63 @@ mod tests {
         );
         // And the distribution still touches a long tail.
         assert!(counts.len() > 1_000, "tail too short: {}", counts.len());
+    }
+
+    #[test]
+    fn zipfian_theta_one_is_skewed() {
+        // The classic Zipf exponent, previously rejected by an assert.
+        let w = YcsbWorkload::generate_with(
+            MixSpec::read_modified_write(),
+            10_000,
+            50_000,
+            3,
+            RequestDistribution::Zipfian { theta: 1.0 },
+        );
+        let mut counts = std::collections::HashMap::new();
+        for op in &w.ops {
+            *counts.entry(op.key.as_slice().to_vec()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let uniform_expect = 50_000 / 10_000; // = 5 per key
+        assert!(
+            max > uniform_expect * 20,
+            "hottest key only {max} hits — not skewed"
+        );
+        assert!(counts.len() > 1_000, "tail too short: {}", counts.len());
+    }
+
+    #[test]
+    fn zipf_sampler_theta_one_matches_neighbors() {
+        // θ = 1.0 must sit between θ just below and just above it, not
+        // degenerate: same in-range/monotone properties, comparable head
+        // mass, and strictly more skew than a mild exponent.
+        let head = |theta: f64| {
+            let z = ZipfSampler::new(1000, theta);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut hist = vec![0u32; 1000];
+            for _ in 0..100_000 {
+                hist[z.sample(&mut rng)] += 1;
+            }
+            assert!(hist[0] > hist[10], "rank 0 must beat rank 10 at θ={theta}");
+            assert!(
+                hist[0] > hist[500] * 5,
+                "head must dominate the tail at θ={theta}"
+            );
+            hist[0]
+        };
+        let below = head(0.999_999);
+        let at_one = head(1.0);
+        let above = head(1.000_001);
+        let mild = head(0.5);
+        assert!(at_one > mild, "θ=1 must be more skewed than θ=0.5");
+        // Continuity: within a few percent of the adjacent exponents.
+        for (label, other) in [("below", below), ("above", above)] {
+            let ratio = at_one as f64 / other as f64;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "θ=1 head mass {at_one} far from θ {label} ({other})"
+            );
+        }
     }
 
     #[test]

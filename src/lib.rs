@@ -10,6 +10,8 @@
 //! * [`epalloc`] — EPallocator, HART's chunked persistent allocator;
 //! * [`art`] — the volatile adaptive radix tree (DRAM internal nodes);
 //! * [`hart`] — HART itself;
+//! * [`obs`] — the always-on observability layer (sharded counters, log₂
+//!   histograms, JSON/Prometheus snapshots);
 //! * [`woart`], [`artcow`], [`fptree`] — the paper's three baselines;
 //! * [`workloads`] — Dictionary / Sequential / Random / YCSB generators.
 //!
@@ -21,6 +23,7 @@ pub use hart_artcow as artcow;
 pub use hart_epalloc as epalloc;
 pub use hart_fptree as fptree;
 pub use hart_kv as kv;
+pub use hart_obs as obs;
 pub use hart_pm as pm;
 pub use hart_woart as woart;
 pub use hart_workloads as workloads;
@@ -30,6 +33,7 @@ pub use hart::{Hart, HartConfig};
 pub use hart_artcow::ArtCow;
 pub use hart_fptree::FpTree;
 pub use hart_kv::{Error, Key, MemoryStats, PersistentIndex, Result, Value};
+pub use hart_obs::{Instrumented, ObsSnapshot, Observable};
 pub use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
 pub use hart_woart::Woart;
 pub use hart_wort::Wort;

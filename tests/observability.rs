@@ -1,0 +1,158 @@
+//! Integration tests for the `hart-obs` observability layer
+//! (DESIGN.md §Observability).
+//!
+//! * The kill-switch test proves `HartConfig::without_observability()`
+//!   changes *telemetry only*: an instrumented and an uninstrumented tree
+//!   fed the same operation stream return identical results, and the
+//!   disabled tree's snapshot is all-zero with `enabled: false`.
+//! * The snapshot tests pin the semantics the CLI and bench harness rely
+//!   on: exact op counts, event counters that move when the matching
+//!   mechanism runs, and a JSON export that round-trips.
+
+use hart_suite::{
+    Hart, HartConfig, Key, ObsSnapshot, PersistentIndex, PmemPool, PoolConfig, Value,
+};
+use std::sync::Arc;
+
+fn build(cfg: HartConfig) -> Hart {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 64 << 20,
+        ..PoolConfig::test_small()
+    }));
+    Hart::create(pool, cfg).unwrap()
+}
+
+fn key(i: u64) -> Key {
+    Key::from_str(&format!("AA{i:05}")).unwrap()
+}
+
+/// Drive one operation stream against `t`, returning every observable
+/// result in order so two trees can be compared step by step.
+fn drive(t: &Hart) -> Vec<String> {
+    let mut log = Vec::new();
+    for i in 0..500u64 {
+        t.insert(&key(i), &Value::from_u64(i)).unwrap();
+    }
+    for i in 0..600u64 {
+        log.push(format!(
+            "{:?}",
+            t.search(&key(i)).unwrap().map(|v| v.as_u64())
+        ));
+    }
+    for i in 0..500u64 {
+        log.push(format!(
+            "{}",
+            t.update(&key(i), &Value::from_u64(i * 3)).unwrap()
+        ));
+    }
+    for i in (0..500u64).step_by(2) {
+        log.push(format!("{}", t.remove(&key(i)).unwrap()));
+    }
+    for i in 0..500u64 {
+        log.push(format!(
+            "{:?}",
+            t.search(&key(i)).unwrap().map(|v| v.as_u64())
+        ));
+    }
+    let rows = t
+        .range(&key(100), &key(200))
+        .unwrap()
+        .iter()
+        .map(|(k, v)| format!("{:?}={}", k, v.as_u64()))
+        .collect::<Vec<_>>();
+    log.push(rows.join(","));
+    log.push(format!("len={}", t.len()));
+    log
+}
+
+#[test]
+fn kill_switch_preserves_results_and_zeroes_snapshot() {
+    let on = build(HartConfig::default());
+    let off = build(HartConfig::without_observability());
+    assert_eq!(drive(&on), drive(&off), "telemetry must not change results");
+
+    let s_on = on.obs_snapshot();
+    assert!(s_on.enabled);
+    assert_eq!(s_on.ops.insert.count, 500);
+    assert_eq!(s_on.ops.search.count, 1100);
+    assert_eq!(s_on.ops.update.count, 500);
+    assert_eq!(s_on.ops.remove.count, 250);
+
+    let s_off = off.obs_snapshot();
+    assert_eq!(
+        s_off,
+        ObsSnapshot::default(),
+        "disabled snapshot must be all-zero"
+    );
+    assert!(!s_off.enabled);
+}
+
+#[test]
+fn snapshot_tracks_ops_allocator_and_pm() {
+    let t = build(HartConfig::default());
+    for i in 0..200u64 {
+        t.insert(&key(i), &Value::from_u64(i)).unwrap();
+    }
+    for i in 0..200u64 {
+        t.search(&key(i)).unwrap();
+    }
+    for i in 0..50u64 {
+        t.update(&key(i), &Value::from_u64(i + 1)).unwrap();
+    }
+    let s = t.obs_snapshot();
+    assert!(s.enabled);
+    // Exact counts, sampled latencies.
+    assert_eq!(s.ops.insert.count, 200);
+    assert_eq!(s.ops.search.count, 200);
+    assert_eq!(s.ops.update.count, 50);
+    assert!(s.ops.insert.samples >= 200 / s.ops.sample_every);
+    // Allocator: one leaf + one value per insert, a ulog per update.
+    assert!(s.alloc.allocs >= 400, "allocs = {}", s.alloc.allocs);
+    assert!(s.alloc.commits >= 400);
+    assert!(s.alloc.ulog_acquisitions >= 50);
+    assert_eq!(s.alloc.leaf.live, 200);
+    assert!(s.alloc.leaf.chunks > 0);
+    assert!(s.alloc.leaf.occupancy > 0.0 && s.alloc.leaf.occupancy <= 1.0);
+    // Gauges and the PM fold-in.
+    assert_eq!(s.dir.shards, 1, "one 'AA' hash key → one shard");
+    assert!(s.dir.buckets >= 1);
+    assert!(s.pm.persist_calls > 0);
+    assert!(s.pm.bytes_in_use > 0);
+    // Removes retire leaf + value and are visible in the counters.
+    for i in 0..200u64 {
+        t.remove(&key(i)).unwrap();
+    }
+    let s2 = t.obs_snapshot();
+    assert_eq!(s2.ops.remove.count, 200);
+    assert!(s2.alloc.retires >= 400);
+    assert_eq!(s2.alloc.leaf.live, 0);
+    // JSON export of a live snapshot round-trips exactly.
+    let back = ObsSnapshot::from_json(&s2.to_json_pretty()).unwrap();
+    assert_eq!(back, s2);
+}
+
+#[test]
+fn snapshot_sees_directory_growth() {
+    // Small directory + many distinct hash keys forces grows + drains.
+    let t = build(HartConfig {
+        initial_buckets: 2,
+        resize_threshold: 1,
+        ..HartConfig::default()
+    });
+    for a in b'A'..=b'Z' {
+        for b in b'A'..=b'Z' {
+            let k = Key::from_str(&format!("{}{}x", a as char, b as char)).unwrap();
+            t.insert(&k, &Value::from_u64(1)).unwrap();
+        }
+    }
+    let s = t.obs_snapshot();
+    assert!(s.dir.grows > 0, "grows = {}", s.dir.grows);
+    assert!(s.dir.bucket_drains > 0);
+    assert_eq!(s.dir.grows, t.hash_resize_count());
+    assert!(s.dir.buckets > 2);
+    assert_eq!(s.dir.shards, 26 * 26);
+    if !s.dir.migration_in_progress {
+        assert_eq!(s.dir.migrations_finished, s.dir.grows);
+        assert!(s.dir.migration_ns_total > 0);
+    }
+}
