@@ -25,10 +25,10 @@
 //! - Retired garbage lives in a global mutex-protected bag; only writers
 //!   (already serialized per shard) and the collector touch it.
 
+use parking_lot::Mutex;
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Maximum number of threads that can be pinned simultaneously.
 const MAX_THREADS: usize = 64;
@@ -57,7 +57,12 @@ static SLOTS: [PaddedSlot; MAX_THREADS] = [SLOT_INIT; MAX_THREADS];
 static EPOCH: AtomicU64 = AtomicU64::new(FREE_LAG + 1);
 
 /// Retired allocations: `(retire_epoch, payload)`.
-static GARBAGE: Mutex<Vec<(u64, Box<dyn Send>)>> = Mutex::new(Vec::new());
+static GARBAGE: Mutex<Vec<(u64, Box<dyn Send>)>> = Mutex::new_ranked(
+    Vec::new(),
+    parking_lot::rank::EBR_GARBAGE,
+    false,
+    "ebr::GARBAGE",
+);
 
 thread_local! {
     static HANDLE: ThreadHandle = const { ThreadHandle { slot: Cell::new(None), depth: Cell::new(0) } };
@@ -159,7 +164,7 @@ pub fn defer_drop<T: Send + 'static>(garbage: T) {
     let mut expired = Vec::new();
     {
         let epoch = EPOCH.load(Ordering::SeqCst);
-        let mut bag = GARBAGE.lock().unwrap();
+        let mut bag = GARBAGE.lock();
         bag.push((epoch, Box::new(garbage)));
         if bag.len() >= COLLECT_THRESHOLD {
             expired = collect_locked(&mut bag);
@@ -173,7 +178,7 @@ pub fn defer_drop<T: Send + 'static>(garbage: T) {
 /// reader could still reach.
 pub fn try_collect() {
     let expired = {
-        let mut bag = GARBAGE.lock().unwrap();
+        let mut bag = GARBAGE.lock();
         collect_locked(&mut bag)
     };
     drop(expired);
@@ -214,7 +219,7 @@ fn collect_locked(bag: &mut Vec<(u64, Box<dyn Send>)>) -> Vec<(u64, Box<dyn Send
 
 /// Number of retired-but-not-yet-freed allocations. Test observability only.
 pub fn pending_garbage() -> usize {
-    GARBAGE.lock().unwrap().len()
+    GARBAGE.lock().len()
 }
 
 /// Drive collection until the bag is empty. Only meaningful when no thread

@@ -110,7 +110,14 @@ impl EPallocator {
         EPallocator {
             pool,
             root,
-            classes: Default::default(),
+            classes: std::array::from_fn(|_| {
+                Mutex::new_ranked(
+                    ClassState::default(),
+                    parking_lot::rank::EPALLOC_CLASS,
+                    false,
+                    "EPallocator.classes",
+                )
+            }),
             live: Default::default(),
             ulog_slots: SlotPool::new(N_ULOGS),
             rlog_slots: SlotPool::new(N_RLOGS),

@@ -29,8 +29,8 @@ const P_VALUE_OFF: u64 = 32;
 pub fn leaf_write_key(pool: &PmemPool, leaf: PmPtr, key: &Key) {
     let mut buf = [0u8; MAX_KEY_LEN];
     buf[..key.len()].copy_from_slice(key.as_slice());
-    pool.write_bytes(leaf.add(KEY_OFF), &buf); // pmlint: deferred-persist(caller runs persist_leaf_key per Algorithm 1)
-    pool.write(leaf.add(KEY_LEN_OFF), &(key.len() as u8)); // pmlint: deferred-persist(caller runs persist_leaf_key per Algorithm 1)
+    pool.write_bytes(leaf.add(KEY_OFF), &buf);
+    pool.write(leaf.add(KEY_LEN_OFF), &(key.len() as u8));
 }
 
 /// Persist the key + key_len region (one `persistent()` call — the two
@@ -51,8 +51,8 @@ pub fn leaf_read_key(pool: &PmemPool, leaf: PmPtr) -> InlineKey {
 /// [`persist_leaf_pvalue`], mirroring Algorithm 1 line 13 / Algorithm 3
 /// line 8).
 pub fn leaf_write_pvalue(pool: &PmemPool, leaf: PmPtr, p_value: PmPtr, val_len: usize) {
-    pool.write(leaf.add(VAL_LEN_OFF), &(val_len as u8)); // pmlint: deferred-persist(caller runs persist_leaf_pvalue per Algorithm 1)
-    pool.write_u64_atomic(leaf.add(P_VALUE_OFF), p_value.offset()); // pmlint: deferred-persist(caller runs persist_leaf_pvalue per Algorithm 1)
+    pool.write(leaf.add(VAL_LEN_OFF), &(val_len as u8));
+    pool.write_u64_atomic(leaf.add(P_VALUE_OFF), p_value.offset());
 }
 
 /// Persist the `val_len + p_value` region (one `persistent()` call).

@@ -26,7 +26,12 @@ pub(crate) struct SlotPool {
 impl SlotPool {
     pub fn new(n: usize) -> SlotPool {
         SlotPool {
-            free: Mutex::new((0..n).collect()),
+            free: Mutex::new_ranked(
+                (0..n).collect(),
+                parking_lot::rank::LOG_SLOTS,
+                false,
+                "SlotPool.free",
+            ),
             cv: Condvar::new(),
         }
     }

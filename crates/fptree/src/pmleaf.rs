@@ -74,7 +74,7 @@ pub(crate) fn set_pnext(pool: &PmemPool, leaf: PmPtr, next: PmPtr) {
 }
 
 pub(crate) fn write_fp(pool: &PmemPool, leaf: PmPtr, slot: usize, fp: u8) {
-    pool.write(leaf.add(OFF_FPS + slot as u64), &fp); // pmlint: deferred-persist(insert persists the fp byte; split persists the leaf wholesale)
+    pool.write(leaf.add(OFF_FPS + slot as u64), &fp);
 }
 
 /// Read the whole fingerprint array (one PM line).

@@ -88,7 +88,12 @@ impl Shard {
     fn new(art: Art<PmPtr>) -> Shard {
         Shard {
             version: AtomicU64::new(0),
-            inner: RwLock::new(ShardInner { art, dead: false }),
+            inner: RwLock::new_ranked(
+                ShardInner { art, dead: false },
+                parking_lot::rank::SHARD,
+                false,
+                "Shard.inner",
+            ),
         }
     }
 
@@ -200,7 +205,12 @@ impl Bucket {
     fn new() -> Bucket {
         Bucket {
             version: AtomicU64::new(0),
-            entries: RwLock::new(Box::new([])),
+            entries: RwLock::new_ranked(
+                Box::new([]) as Box<[Entry]>,
+                parking_lot::rank::BUCKET_ENTRIES,
+                true,
+                "Bucket.entries",
+            ),
             migrated: AtomicBool::new(false),
         }
     }
@@ -380,7 +390,12 @@ impl Directory {
             grows: AtomicU64::new(0),
             resize_threshold,
             seed,
-            resize: Mutex::new(ResizeState::default()),
+            resize: Mutex::new_ranked(
+                ResizeState::default(),
+                parking_lot::rank::DIR_RESIZE,
+                false,
+                "Directory.resize",
+            ),
             defer_reclaim,
             obs: hart_obs::Recorder::disabled(),
         }

@@ -9,6 +9,30 @@
 //! Poisoning is deliberately swallowed (`PoisonError::into_inner`): like
 //! real `parking_lot`, a panicking critical section does not make the data
 //! permanently unreachable.
+//!
+//! # The lock witness (`--features lock-witness`)
+//!
+//! The workspace's locks form a strict hierarchy (DESIGN.md §8; the same
+//! table `pmlint`'s static R5 `lock-order` rule checks). Locks opt in by
+//! being built with [`Mutex::new_ranked`] / [`RwLock::new_ranked`] using
+//! the ranks in [`rank`]. With the `lock-witness` feature enabled, every
+//! *blocking* acquisition is checked against a thread-local stack of held
+//! ranks and panics immediately on an out-of-hierarchy acquisition —
+//! turning a potential deadlock into a deterministic test failure at the
+//! exact offending call site. The rules mirror R5:
+//!
+//! * a blocking acquire must have a rank strictly above every held rank,
+//!   except that a *chained* lock class (hand-over-hand, e.g. bucket
+//!   old→current migration) may nest at its own rank;
+//! * `try_*` acquisitions are never checked (they cannot deadlock) but
+//!   are pushed, so later blocking acquires are still validated against
+//!   them;
+//! * rank-0 locks (everything built with plain `new`) are invisible to
+//!   the witness: they are leaf locks whose critical sections take no
+//!   other lock (asserted by review, not by the witness).
+//!
+//! Without the feature, `new_ranked` compiles to `new` and the witness
+//! costs nothing.
 
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -16,10 +40,121 @@ use std::mem::ManuallyDrop;
 use std::ops::{Deref, DerefMut};
 use std::sync;
 
+/// Canonical lock ranks (DESIGN.md §8). `pmlint`'s `LOCK_ORDER` table
+/// mirrors these; its self-test asserts the two stay in sync. Gaps are
+/// left for future classes.
+pub mod rank {
+    /// `Directory.resize` — serializes grow/finish and the pinless
+    /// fallback read path.
+    pub const DIR_RESIZE: u16 = 10;
+    /// `Bucket.entries` — per-bucket entry table; chained (old→current
+    /// hand-over-hand during migration).
+    pub const BUCKET_ENTRIES: u16 = 20;
+    /// `Shard.inner` — per-ART-shard seqlock'd RwLock.
+    pub const SHARD: u16 = 30;
+    /// `EPallocator.classes[i]` — per-object-class allocator state.
+    pub const EPALLOC_CLASS: u16 = 40;
+    /// `SlotPool.free` — micro-log slot free list.
+    pub const LOG_SLOTS: u16 = 50;
+    /// `ebr::GARBAGE` — global deferred-drop bag.
+    pub const EBR_GARBAGE: u16 = 60;
+}
+
+#[cfg(feature = "lock-witness")]
+mod witness {
+    use std::cell::RefCell;
+
+    /// Witness identity of one acquisition: carried by the guard so the
+    /// release pops exactly what the acquire pushed.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Token {
+        pub rank: u16,
+        pub chained: bool,
+        /// Address of the lock's raw field — stable for the lock's
+        /// lifetime and thin even for `T: ?Sized` data.
+        pub addr: usize,
+        pub name: &'static str,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Token>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Validate a *blocking* acquisition against the held stack. Called
+    /// before blocking so a would-be inversion fails fast even when the
+    /// lock happens to be free.
+    pub(crate) fn check(t: Token) {
+        if t.rank == 0 {
+            return;
+        }
+        HELD.with(|h| {
+            let h = h.borrow();
+            // Compare against the *maximum* held rank, not the top of
+            // stack: try-pushes may leave the stack non-monotonic.
+            if let Some(max) = h.iter().max_by_key(|e| e.rank) {
+                let ok = t.rank > max.rank || (t.rank == max.rank && t.chained && max.chained);
+                if !ok {
+                    panic!(
+                        "lock-witness: acquiring {} (rank {}) while holding {} (rank {}) \
+                         violates the lock hierarchy (DESIGN.md §8)",
+                        t.name, t.rank, max.name, max.rank
+                    );
+                }
+            }
+        });
+    }
+
+    /// Record a successful acquisition (blocking after [`check`], or any
+    /// successful `try_*`).
+    pub(crate) fn push(t: Token) {
+        if t.rank == 0 {
+            return;
+        }
+        HELD.with(|h| h.borrow_mut().push(t));
+    }
+
+    /// Record a release: pop the most recent entry for this lock.
+    pub(crate) fn release(t: Token) {
+        if t.rank == 0 {
+            return;
+        }
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(i) = h.iter().rposition(|e| e.addr == t.addr) {
+                h.remove(i);
+            }
+        });
+    }
+
+    /// Held-rank snapshot for assertions in tests.
+    #[allow(dead_code)]
+    pub fn held_ranks() -> Vec<u16> {
+        HELD.with(|h| h.borrow().iter().map(|e| e.rank).collect())
+    }
+}
+
+/// Rank/name metadata attached to a ranked lock under `lock-witness`.
+#[cfg(feature = "lock-witness")]
+#[derive(Clone, Copy)]
+struct LockMeta {
+    rank: u16,
+    chained: bool,
+    name: &'static str,
+}
+
+#[cfg(feature = "lock-witness")]
+const UNRANKED: LockMeta = LockMeta {
+    rank: 0,
+    chained: false,
+    name: "<unranked>",
+};
+
 /// A mutual-exclusion lock with `parking_lot`-style (non-poisoning,
 /// `Result`-free) API.
 pub struct Mutex<T: ?Sized> {
     raw: sync::Mutex<()>,
+    #[cfg(feature = "lock-witness")]
+    meta: LockMeta,
     data: UnsafeCell<T>,
 }
 
@@ -30,10 +165,32 @@ unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
 unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 impl<T> Mutex<T> {
-    /// New unlocked mutex.
+    /// New unlocked mutex, invisible to the lock witness (rank 0).
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
             raw: sync::Mutex::new(()),
+            #[cfg(feature = "lock-witness")]
+            meta: UNRANKED,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// New unlocked mutex carrying a lock-hierarchy rank (see [`rank`]).
+    /// Without the `lock-witness` feature this is exactly [`Mutex::new`].
+    pub const fn new_ranked(value: T, rank: u16, chained: bool, name: &'static str) -> Mutex<T> {
+        #[cfg(not(feature = "lock-witness"))]
+        {
+            let _ = (rank, chained, name);
+            Mutex::new(value)
+        }
+        #[cfg(feature = "lock-witness")]
+        Mutex {
+            raw: sync::Mutex::new(()),
+            meta: LockMeta {
+                rank,
+                chained,
+                name,
+            },
             data: UnsafeCell::new(value),
         }
     }
@@ -45,31 +202,59 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg(feature = "lock-witness")]
+    fn token(&self) -> witness::Token {
+        witness::Token {
+            rank: self.meta.rank,
+            chained: self.meta.chained,
+            addr: &self.raw as *const sync::Mutex<()> as usize,
+            name: self.meta.name,
+        }
+    }
+
     /// Block until the lock is held.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-witness")]
+        let tok = {
+            let t = self.token();
+            witness::check(t);
+            t
+        };
         let raw = self
             .raw
             .lock()
             .unwrap_or_else(sync::PoisonError::into_inner);
+        #[cfg(feature = "lock-witness")]
+        witness::push(tok);
         MutexGuard {
             raw: ManuallyDrop::new(raw),
             data: self.data.get(),
+            #[cfg(feature = "lock-witness")]
+            w: tok,
         }
     }
 
-    /// Try to acquire without blocking.
+    /// Try to acquire without blocking. Never checked by the lock witness
+    /// (a failed try cannot deadlock), but a successful acquisition is
+    /// recorded so later blocking acquires are validated against it.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.raw.try_lock() {
-            Ok(raw) => Some(MutexGuard {
-                raw: ManuallyDrop::new(raw),
-                data: self.data.get(),
-            }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                raw: ManuallyDrop::new(p.into_inner()),
-                data: self.data.get(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let raw = match self.raw.try_lock() {
+            Ok(raw) => raw,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-witness")]
+        let tok = {
+            let t = self.token();
+            witness::push(t);
+            t
+        };
+        Some(MutexGuard {
+            raw: ManuallyDrop::new(raw),
+            data: self.data.get(),
+            #[cfg(feature = "lock-witness")]
+            w: tok,
+        })
     }
 
     /// Mutable access without locking (requires unique ownership).
@@ -103,6 +288,8 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 pub struct MutexGuard<'a, T: ?Sized> {
     raw: ManuallyDrop<sync::MutexGuard<'a, ()>>,
     data: *mut T,
+    #[cfg(feature = "lock-witness")]
+    w: witness::Token,
 }
 
 // SAFETY: a shared guard only hands out `&T`, so `T: Sync` suffices.
@@ -126,6 +313,8 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(feature = "lock-witness")]
+        witness::release(self.w);
         // SAFETY: `raw` is only taken here or in `Condvar::wait`, which
         // always puts a fresh guard back before returning.
         unsafe { ManuallyDrop::drop(&mut self.raw) }
@@ -135,6 +324,8 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 /// A reader-writer lock with `parking_lot`-style API.
 pub struct RwLock<T: ?Sized> {
     raw: sync::RwLock<()>,
+    #[cfg(feature = "lock-witness")]
+    meta: LockMeta,
     data: UnsafeCell<T>,
 }
 
@@ -146,10 +337,32 @@ unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
 unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
-    /// New unlocked lock.
+    /// New unlocked lock, invisible to the lock witness (rank 0).
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
             raw: sync::RwLock::new(()),
+            #[cfg(feature = "lock-witness")]
+            meta: UNRANKED,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// New unlocked lock carrying a lock-hierarchy rank (see [`rank`]).
+    /// Without the `lock-witness` feature this is exactly [`RwLock::new`].
+    pub const fn new_ranked(value: T, rank: u16, chained: bool, name: &'static str) -> RwLock<T> {
+        #[cfg(not(feature = "lock-witness"))]
+        {
+            let _ = (rank, chained, name);
+            RwLock::new(value)
+        }
+        #[cfg(feature = "lock-witness")]
+        RwLock {
+            raw: sync::RwLock::new(()),
+            meta: LockMeta {
+                rank,
+                chained,
+                name,
+            },
             data: UnsafeCell::new(value),
         }
     }
@@ -161,58 +374,102 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg(feature = "lock-witness")]
+    fn token(&self) -> witness::Token {
+        witness::Token {
+            rank: self.meta.rank,
+            chained: self.meta.chained,
+            addr: &self.raw as *const sync::RwLock<()> as usize,
+            name: self.meta.name,
+        }
+    }
+
     /// Acquire shared access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-witness")]
+        let tok = {
+            let t = self.token();
+            witness::check(t);
+            t
+        };
         let raw = self
             .raw
             .read()
             .unwrap_or_else(sync::PoisonError::into_inner);
+        #[cfg(feature = "lock-witness")]
+        witness::push(tok);
         RwLockReadGuard {
             _raw: raw,
             data: self.data.get(),
+            #[cfg(feature = "lock-witness")]
+            w: tok,
         }
     }
 
     /// Acquire exclusive access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-witness")]
+        let tok = {
+            let t = self.token();
+            witness::check(t);
+            t
+        };
         let raw = self
             .raw
             .write()
             .unwrap_or_else(sync::PoisonError::into_inner);
+        #[cfg(feature = "lock-witness")]
+        witness::push(tok);
         RwLockWriteGuard {
             _raw: raw,
             data: self.data.get(),
+            #[cfg(feature = "lock-witness")]
+            w: tok,
         }
     }
 
-    /// Try to acquire exclusive access without blocking.
+    /// Try to acquire exclusive access without blocking. Witness-exempt
+    /// like [`Mutex::try_lock`], but recorded on success.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.raw.try_write() {
-            Ok(raw) => Some(RwLockWriteGuard {
-                _raw: raw,
-                data: self.data.get(),
-            }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                _raw: p.into_inner(),
-                data: self.data.get(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let raw = match self.raw.try_write() {
+            Ok(raw) => raw,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-witness")]
+        let tok = {
+            let t = self.token();
+            witness::push(t);
+            t
+        };
+        Some(RwLockWriteGuard {
+            _raw: raw,
+            data: self.data.get(),
+            #[cfg(feature = "lock-witness")]
+            w: tok,
+        })
     }
 
-    /// Try to acquire shared access without blocking.
+    /// Try to acquire shared access without blocking. Witness-exempt like
+    /// [`Mutex::try_lock`], but recorded on success.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.raw.try_read() {
-            Ok(raw) => Some(RwLockReadGuard {
-                _raw: raw,
-                data: self.data.get(),
-            }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                _raw: p.into_inner(),
-                data: self.data.get(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let raw = match self.raw.try_read() {
+            Ok(raw) => raw,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-witness")]
+        let tok = {
+            let t = self.token();
+            witness::push(t);
+            t
+        };
+        Some(RwLockReadGuard {
+            _raw: raw,
+            data: self.data.get(),
+            #[cfg(feature = "lock-witness")]
+            w: tok,
+        })
     }
 
     /// Mutable access without locking (requires unique ownership).
@@ -241,6 +498,8 @@ impl<T: Default> Default for RwLock<T> {
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     _raw: sync::RwLockReadGuard<'a, ()>,
     data: *mut T,
+    #[cfg(feature = "lock-witness")]
+    w: witness::Token,
 }
 
 // SAFETY: a read guard only hands out `&T`, so `T: Sync` suffices.
@@ -255,10 +514,19 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lock-witness")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.w);
+    }
+}
+
 /// RAII guard for [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     _raw: sync::RwLockWriteGuard<'a, ()>,
     data: *mut T,
+    #[cfg(feature = "lock-witness")]
+    w: witness::Token,
 }
 
 // SAFETY: sharing the guard only shares `&T`, so `T: Sync` suffices.
@@ -280,6 +548,13 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lock-witness")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::release(self.w);
+    }
+}
+
 /// A condition variable paired with [`Mutex`].
 pub struct Condvar {
     inner: sync::Condvar,
@@ -296,6 +571,12 @@ impl Condvar {
     /// Atomically release the guard's mutex and wait for a notification,
     /// reacquiring before returning.
     pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The witness mirrors the real lock state across the wait: the
+        // mutex is released for the wait's duration and reacquired after
+        // (re-pushed without a rank check — the reacquisition restores an
+        // ordering that was already validated at the original acquire).
+        #[cfg(feature = "lock-witness")]
+        witness::release(guard.w);
         // SAFETY: the raw guard is moved out for the duration of the wait
         // and a fresh one is written back before this function returns, so
         // `MutexGuard::drop` always sees an initialized guard.
@@ -305,6 +586,8 @@ impl Condvar {
             .wait(raw)
             .unwrap_or_else(sync::PoisonError::into_inner);
         guard.raw = ManuallyDrop::new(raw);
+        #[cfg(feature = "lock-witness")]
+        witness::push(guard.w);
     }
 
     /// Wake one waiter.
@@ -388,5 +671,115 @@ mod tests {
         .join();
         // Non-poisoning: the data stays reachable.
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[cfg(feature = "lock-witness")]
+    mod witness {
+        use super::super::*;
+
+        #[test]
+        fn in_order_acquisition_passes() {
+            let a = Mutex::new_ranked(1, rank::DIR_RESIZE, false, "A");
+            let b = RwLock::new_ranked(2, rank::BUCKET_ENTRIES, true, "B");
+            let c = Mutex::new_ranked(3, rank::EBR_GARBAGE, false, "C");
+            let _ga = a.lock();
+            let _gb = b.write();
+            let _gc = c.lock();
+        }
+
+        #[test]
+        fn out_of_order_acquisition_panics() {
+            let lo = Mutex::new_ranked(1, rank::DIR_RESIZE, false, "LO");
+            let hi = Mutex::new_ranked(2, rank::LOG_SLOTS, false, "HI");
+            let _ghi = hi.lock();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _glo = lo.lock();
+            }));
+            assert!(r.is_err(), "inversion must panic");
+        }
+
+        #[test]
+        fn equal_rank_needs_chained() {
+            let a = RwLock::new_ranked(1, rank::BUCKET_ENTRIES, true, "OLD");
+            let b = RwLock::new_ranked(2, rank::BUCKET_ENTRIES, true, "CUR");
+            // Chained class: hand-over-hand nesting at the same rank.
+            let _ga = a.write();
+            let _gb = b.write();
+            drop((_ga, _gb));
+            let c = Mutex::new_ranked(1, rank::SHARD, false, "S1");
+            let d = Mutex::new_ranked(2, rank::SHARD, false, "S2");
+            let _gc = c.lock();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gd = d.lock();
+            }));
+            assert!(r.is_err(), "unchained same-rank nesting must panic");
+        }
+
+        #[test]
+        fn try_acquisitions_are_exempt_but_recorded() {
+            let lo = Mutex::new_ranked(1, rank::DIR_RESIZE, false, "LO");
+            let hi = Mutex::new_ranked(2, rank::LOG_SLOTS, false, "HI");
+            let _ghi = hi.lock();
+            // A try below the held rank is allowed…
+            let glo = lo.try_lock().unwrap();
+            // …but it is on the stack: a blocking acquire between the two
+            // ranks must now fail against the *maximum* held rank.
+            let mid = Mutex::new_ranked(3, rank::SHARD, false, "MID");
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gm = mid.lock();
+            }));
+            assert!(r.is_err(), "blocking acquire below a held rank must panic");
+            drop(glo);
+        }
+
+        #[test]
+        fn release_unwinds_the_stack() {
+            let lo = Mutex::new_ranked(1, rank::DIR_RESIZE, false, "LO");
+            let hi = Mutex::new_ranked(2, rank::LOG_SLOTS, false, "HI");
+            {
+                let _ghi = hi.lock();
+            }
+            // After release, the lower rank is legal again.
+            let _glo = lo.lock();
+        }
+
+        #[test]
+        fn unranked_locks_are_invisible() {
+            let plain = Mutex::new(1);
+            let ranked = Mutex::new_ranked(2, rank::DIR_RESIZE, false, "R");
+            let _gp = plain.lock();
+            // Rank 0 held → any ranked acquire is still legal.
+            let _gr = ranked.lock();
+            // And rank 0 under a high rank is legal too.
+            let hi = Mutex::new_ranked(3, rank::EBR_GARBAGE, false, "HI");
+            let _gh = hi.lock();
+            let plain2 = Mutex::new(4);
+            let _gp2 = plain2.lock();
+        }
+
+        #[test]
+        fn condvar_wait_releases_for_the_witness() {
+            let pair = Arc::new((
+                Mutex::new_ranked(false, rank::LOG_SLOTS, false, "CV"),
+                Condvar::new(),
+            ));
+            let p2 = Arc::clone(&pair);
+            let t = std::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+                // Reacquired after the wait: still on the witness stack.
+                assert_eq!(crate::witness::held_ranks(), vec![rank::LOG_SLOTS]);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+            t.join().unwrap();
+        }
+
+        use std::sync::Arc;
     }
 }

@@ -1,0 +1,19 @@
+//! Seeded lexer-blind-spot fixture: the only `persist` token after the PM
+//! write lives inside a *nested* block comment, which a depth-unaware
+//! lexer would re-enter as code after the first `*/`. The fixed lexer
+//! must still report exactly one R1 violation here.
+//! Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+fn write_then_comment_only(pool: &PmemPool, p: PmPtr) {
+    pool.write_zeros(p, 16); // VIOLATION: nothing below persists
+    /* outer comment
+       /* inner: pool.persist(p, 16); stays commented */
+       still inside the outer comment: persist(p, 16);
+    */
+    let _ = pool.read::<u64>(p);
+}
+
+fn covered_control(pool: &PmemPool, p: PmPtr) {
+    pool.write_zeros(p, 8);
+    pool.persist(p, 8);
+}

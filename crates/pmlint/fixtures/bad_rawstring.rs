@@ -1,0 +1,17 @@
+//! Seeded lexer-blind-spot fixture: the only `persist` token after the PM
+//! write lives inside a raw string literal, so a lexer that mishandles
+//! `r#"…"#` would see the write as covered. The fixed lexer must still
+//! report exactly one R1 violation here.
+//! Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+fn write_then_log_only(pool: &PmemPool, p: PmPtr) {
+    pool.write_bytes(p, &[1, 2, 3]); // VIOLATION: nothing below persists
+    let msg = r#"remember to persist(p, 3) later"#;
+    let hdr = r##"quoted "# persist marker" inside deeper hashes"##;
+    log(msg, hdr);
+}
+
+fn covered_control(pool: &PmemPool, p: PmPtr) {
+    pool.write_bytes(p, &[9]);
+    pool.persist(p, 1);
+}

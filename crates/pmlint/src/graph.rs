@@ -1,0 +1,625 @@
+//! The workspace model and name-resolved call graph.
+//!
+//! Resolution is deliberately conservative — a call that cannot be pinned
+//! to exactly one definition is dropped rather than guessed, so the
+//! interprocedural rules (R1 caller-coverage, R5 lock propagation) only
+//! ever reason over edges that are certainly real:
+//!
+//! * `self.f(…)` resolves through the caller's enclosing `impl` type.
+//! * `Type::f(…)` / `Self::f(…)` resolve through impl qualifiers.
+//! * `crate_name::f(…)` (with the `hart_` prefix normalized to the crate
+//!   directory name) resolves to a free function of that crate.
+//! * bare `f(…)` resolves to a free function unique in the caller's
+//!   crate, else unique across the workspace.
+//! * `recv.f(…)` with a non-`self` receiver resolves only when `f` has
+//!   exactly one definition in the whole workspace **and** is not a
+//!   generic method name (`read`, `write`, `lock`, …) — the class of
+//!   names where receiver types genuinely diverge.
+//! * macro invocations (`f!(…)`) and calls inside strings/comments are
+//!   never calls.
+
+use crate::lexer::Line;
+use crate::structure::Structure;
+use std::collections::HashMap;
+
+/// Method names too generic to resolve through a bare receiver: many
+/// types define them, so a lexical match would wire unrelated code
+/// together (e.g. `pool.read(…)` must not resolve to `Shard::read`).
+const GENERIC_METHODS: &[&str] = &[
+    "read",
+    "write",
+    "lock",
+    "try_lock",
+    "try_read",
+    "try_write",
+    "new",
+    "get",
+    "set",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "len",
+    "load",
+    "store",
+    "swap",
+    "add",
+    "sub",
+    "next",
+    "iter",
+    "find",
+    "drop",
+    "clone",
+    "free",
+    "clear",
+    "reset",
+    "run",
+    "wait",
+    "open",
+    "close",
+    "check",
+    "init",
+    "build",
+    "create",
+    "is_empty",
+    "contains",
+    "record",
+    "finish",
+    "apply",
+    "flush",
+];
+
+/// One lexed + structured source file.
+pub struct FileLex {
+    /// Workspace-relative label, `/`-separated (e.g. `crates/hart/src/dir.rs`).
+    pub path: String,
+    /// Crate directory name (`hart`, `epalloc`, …; `root` for the root pkg).
+    pub crate_name: String,
+    pub lines: Vec<Line>,
+    pub st: Structure,
+}
+
+impl FileLex {
+    pub fn new(path: &str, src: &str) -> FileLex {
+        let lines = crate::lexer::lex(src);
+        let st = crate::structure::analyze_structure(&lines);
+        FileLex {
+            path: path.to_string(),
+            crate_name: crate_of(path),
+            lines,
+            st,
+        }
+    }
+
+    /// File name component (`dir.rs`).
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// True when every line of this file is test territory (integration
+    /// tests, benches, examples). Lint fixtures are *not* exempt: the
+    /// self-test lints them on purpose.
+    pub fn is_test_path(&self) -> bool {
+        let p = &self.path;
+        p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
+    }
+
+    /// True when `line` is test code (test file, or `#[cfg(test)]` extent).
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test_path() || self.st.in_test_mod.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Crate directory name for a workspace-relative path.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(c) = parts.next() {
+            return c.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Normalize a path-call qualifier to a crate directory name, if it is
+/// one: `hart_epalloc` → `epalloc`, `parking_lot` → `parking_lot`.
+fn qualifier_as_crate(q: &str) -> Option<String> {
+    let norm = q.strip_prefix("hart_").unwrap_or(q).replace('_', "-");
+    // Crate dirs in this workspace use no hyphens except none at all; the
+    // underscore form is the import name, so try both spellings.
+    Some(norm.replace('-', "_"))
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    Bare,
+    SelfDot,
+    Dotted { receiver: String },
+    Path { qualifier: String },
+}
+
+/// A syntactic call site on one line.
+#[derive(Debug, Clone)]
+pub struct RawCall {
+    pub name: String,
+    pub kind: CallKind,
+    /// Column of the first char of `name` (0-based, chars).
+    pub col: usize,
+}
+
+/// Extract call sites from one code line.
+pub fn scan_calls(code: &str) -> Vec<RawCall> {
+    let ch: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut prev_ident: Option<(usize, usize)> = None; // start..end of last ident
+    while i < ch.len() {
+        let c = ch[i];
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < ch.len() && (ch[i].is_alphanumeric() || ch[i] == '_') {
+                i += 1;
+            }
+            // Lifetime (`'a`)? The tick precedes the ident.
+            if start > 0 && ch[start - 1] == '\'' {
+                continue;
+            }
+            let followed_by_paren = i < ch.len() && ch[i] == '(';
+            let is_macro = i < ch.len() && ch[i] == '!';
+            let after_fn_kw = prev_ident
+                .map(|(s, e)| ch[s..e].iter().collect::<String>() == "fn")
+                .unwrap_or(false);
+            if followed_by_paren && !is_macro && !after_fn_kw {
+                let name: String = ch[start..i].iter().collect();
+                let kind = classify_call(&ch, start);
+                out.push(RawCall {
+                    name,
+                    kind,
+                    col: start,
+                });
+            }
+            prev_ident = Some((start, i));
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Classify the call whose name starts at `start` by what precedes it.
+fn classify_call(ch: &[char], start: usize) -> CallKind {
+    if start == 0 {
+        return CallKind::Bare;
+    }
+    match ch[start - 1] {
+        '.' => {
+            let receiver = receiver_chain(ch, start - 1);
+            if receiver == "self" {
+                CallKind::SelfDot
+            } else {
+                CallKind::Dotted { receiver }
+            }
+        }
+        ':' if start >= 2 && ch[start - 2] == ':' => {
+            // Qualifier: the identifier right before the `::`.
+            let mut j = start.saturating_sub(2);
+            while j > 0 && (ch[j - 1].is_alphanumeric() || ch[j - 1] == '_') {
+                j -= 1;
+            }
+            let q: String = ch[j..start - 2].iter().collect();
+            CallKind::Path { qualifier: q }
+        }
+        _ => CallKind::Bare,
+    }
+}
+
+/// Walk a dotted receiver chain backwards from the `.` at `dot`:
+/// identifiers, `.` separators, and balanced `[…]` / `(…)` groups.
+/// `self.classes[class.idx()].lock(` yields `self.classes[class.idx()]`.
+pub fn receiver_chain(ch: &[char], dot: usize) -> String {
+    let mut j = dot; // exclusive end of the chain is `dot`
+    while j > 0 {
+        let p = ch[j - 1];
+        if p.is_alphanumeric() || p == '_' || p == '.' {
+            j -= 1;
+        } else if p == ']' || p == ')' {
+            // Balanced group: skip back to its opener.
+            let (open, close) = if p == ')' { ('(', ')') } else { ('[', ']') };
+            let mut depth = 0i32;
+            let mut k = j;
+            while k > 0 {
+                let c = ch[k - 1];
+                if c == close {
+                    depth += 1;
+                } else if c == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                break;
+            }
+            j = k - 1;
+        } else {
+            break;
+        }
+    }
+    ch[j..dot].iter().collect::<String>()
+}
+
+/// The lock-relevant *field* of a receiver chain: trailing index/call
+/// groups are stripped and the last `.`-separated identifier is taken.
+/// `self.classes[class.idx()]` → `classes`; `GARBAGE` → `GARBAGE`.
+pub fn receiver_field(receiver: &str) -> String {
+    let mut s = receiver.trim_end();
+    loop {
+        let sb = s.as_bytes();
+        if sb.is_empty() {
+            return String::new();
+        }
+        let last = sb[sb.len() - 1];
+        if last == b']' || last == b')' {
+            let (open, close) = if last == b')' {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0i32;
+            let mut cut = None;
+            for (i, &b) in sb.iter().enumerate().rev() {
+                if b == close {
+                    depth += 1;
+                } else if b == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(i);
+                        break;
+                    }
+                }
+            }
+            match cut {
+                Some(i) => s = s[..i].trim_end(),
+                None => return String::new(),
+            }
+        } else {
+            break;
+        }
+    }
+    s.rsplit('.').next().unwrap_or(s).to_string()
+}
+
+/// Identity of a function definition: (file index, fn index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnId {
+    pub file: usize,
+    pub idx: usize,
+}
+
+/// A resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Where the call happens.
+    pub file: usize,
+    pub line: usize,
+    pub col: usize,
+    /// The enclosing function at the call site (None at module scope).
+    pub caller: Option<FnId>,
+    pub target: FnId,
+}
+
+/// The whole workspace: lexed files plus the resolved call graph.
+pub struct Workspace {
+    pub files: Vec<FileLex>,
+    /// fn name → definitions.
+    defs: HashMap<String, Vec<FnId>>,
+    /// All resolved calls.
+    pub calls: Vec<Call>,
+    /// target fn → indices into `calls`.
+    pub callers: HashMap<FnId, Vec<usize>>,
+    /// caller fn → indices into `calls`.
+    pub outcalls: HashMap<FnId, Vec<usize>>,
+}
+
+impl Workspace {
+    pub fn build(sources: Vec<(String, String)>) -> Workspace {
+        let files: Vec<FileLex> = sources.iter().map(|(p, s)| FileLex::new(p, s)).collect();
+        let mut defs: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (i, span) in f.st.fns.iter().enumerate() {
+                defs.entry(span.name.clone())
+                    .or_default()
+                    .push(FnId { file: fi, idx: i });
+            }
+        }
+        let mut ws = Workspace {
+            files,
+            defs,
+            calls: Vec::new(),
+            callers: HashMap::new(),
+            outcalls: HashMap::new(),
+        };
+        ws.resolve_all();
+        ws
+    }
+
+    pub fn span(&self, id: FnId) -> &crate::structure::FnSpan {
+        &self.files[id.file].st.fns[id.idx]
+    }
+
+    fn resolve_all(&mut self) {
+        let mut calls = Vec::new();
+        for (fi, f) in self.files.iter().enumerate() {
+            for (li, line) in f.lines.iter().enumerate() {
+                let lineno = li + 1;
+                for rc in scan_calls(&line.code) {
+                    let caller = f.st.fn_idx_at(lineno).map(|idx| FnId { file: fi, idx });
+                    if let Some(target) = self.resolve(fi, caller, &rc) {
+                        // A "call" to the enclosing definition's own header
+                        // line is the definition itself; scan_calls already
+                        // skipped `fn name(`, so nothing to do here.
+                        calls.push(Call {
+                            file: fi,
+                            line: lineno,
+                            col: rc.col,
+                            caller,
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+        for (i, c) in calls.iter().enumerate() {
+            self.callers.entry(c.target).or_default().push(i);
+            if let Some(cf) = c.caller {
+                self.outcalls.entry(cf).or_default().push(i);
+            }
+        }
+        self.calls = calls;
+    }
+
+    /// Resolve one syntactic call from file `fi` to a unique definition.
+    fn resolve(&self, fi: usize, caller: Option<FnId>, rc: &RawCall) -> Option<FnId> {
+        let cands = self.defs.get(&rc.name)?;
+        let caller_crate = &self.files[fi].crate_name;
+        let caller_qual = caller.and_then(|id| self.span(id).qualifier.clone());
+        let by_type = |type_name: &str| -> Option<FnId> {
+            let mut hits = cands
+                .iter()
+                .filter(|id| self.span(**id).qualifier.as_deref() == Some(type_name));
+            let first = hits.next()?;
+            // Same method on the same type in two crates (e.g. sibling
+            // trees): prefer an unambiguous same-crate hit.
+            let rest: Vec<_> = hits.collect();
+            if rest.is_empty() {
+                return Some(*first);
+            }
+            let mut same_crate = std::iter::once(first)
+                .chain(rest)
+                .filter(|id| &self.files[id.file].crate_name == caller_crate);
+            match (same_crate.next(), same_crate.next()) {
+                (Some(one), None) => Some(*one),
+                _ => None,
+            }
+        };
+        let free_in = |crate_name: &str| -> Option<FnId> {
+            let mut hits = cands.iter().filter(|id| {
+                self.span(**id).qualifier.is_none() && self.files[id.file].crate_name == crate_name
+            });
+            match (hits.next(), hits.next()) {
+                (Some(one), None) => Some(*one),
+                _ => None,
+            }
+        };
+        match &rc.kind {
+            CallKind::SelfDot => by_type(caller_qual.as_deref()?),
+            CallKind::Path { qualifier } => {
+                if qualifier == "Self" {
+                    return by_type(caller_qual.as_deref()?);
+                }
+                if qualifier == "crate" {
+                    return free_in(caller_crate);
+                }
+                if let Some(krate) = qualifier_as_crate(qualifier) {
+                    if self.files.iter().any(|f| f.crate_name == krate) {
+                        if let Some(hit) = free_in(&krate) {
+                            return Some(hit);
+                        }
+                    }
+                }
+                if let Some(hit) = by_type(qualifier) {
+                    return Some(hit);
+                }
+                // Module-qualified path (`leaf::leaf_write_key`): the
+                // module may live in the caller's crate or be re-exported
+                // from another, so fall back to a workspace-unique free
+                // fn — missing a real caller here would make R1's
+                // caller-coverage claim unsound, not just imprecise.
+                free_in(caller_crate).or_else(|| {
+                    let mut hits = cands
+                        .iter()
+                        .filter(|id| self.span(**id).qualifier.is_none());
+                    match (hits.next(), hits.next()) {
+                        (Some(one), None) => Some(*one),
+                        _ => None,
+                    }
+                })
+            }
+            CallKind::Bare => free_in(caller_crate).or_else(|| {
+                let mut hits = cands
+                    .iter()
+                    .filter(|id| self.span(**id).qualifier.is_none());
+                match (hits.next(), hits.next()) {
+                    (Some(one), None) => Some(*one),
+                    _ => None,
+                }
+            }),
+            CallKind::Dotted { .. } => {
+                if GENERIC_METHODS.contains(&rc.name.as_str()) {
+                    return None;
+                }
+                match (cands.first(), cands.get(1)) {
+                    (Some(one), None) => Some(*one),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// True when `name` is used as a value (address taken / passed as a
+    /// callback) anywhere outside imports — the conservative signal that
+    /// there may be callers the graph cannot see.
+    pub fn address_taken(&self, name: &str) -> bool {
+        for f in &self.files {
+            let mut in_use_stmt = false;
+            for line in &f.lines {
+                let code = line.code.trim_start();
+                // Imports name functions without taking their address —
+                // including the continuation lines of a multi-line
+                // `use crate::{a, b, …};` block.
+                let opens_use = code.starts_with("use ")
+                    || code.starts_with("pub use ")
+                    || (code.starts_with("pub(") && code.contains(") use "));
+                if opens_use || in_use_stmt {
+                    in_use_stmt = !code.contains(';');
+                    continue;
+                }
+                let ch: Vec<char> = line.code.chars().collect();
+                let mut from = 0usize;
+                let s: String = ch.iter().collect();
+                while let Some(pos) = s[from..].find(name) {
+                    let at = from + pos;
+                    from = at + name.len();
+                    let before_ok = at == 0
+                        || !(ch[at - 1].is_alphanumeric()
+                            || ch[at - 1] == '_'
+                            || ch[at - 1] == '.');
+                    let end = at + name.len();
+                    let after_ident =
+                        end < ch.len() && (ch[end].is_alphanumeric() || ch[end] == '_');
+                    if !before_ok || after_ident {
+                        continue;
+                    }
+                    // Word match. A call (`name(`), a path segment
+                    // (`name::`), or a definition (`fn name`) is fine;
+                    // anything else is value use.
+                    let next = ch.get(end).copied().unwrap_or(' ');
+                    let next2 = ch.get(end + 1).copied().unwrap_or(' ');
+                    let is_call = next == '(';
+                    let is_path = next == ':' && next2 == ':';
+                    let is_def = at >= 3 && s[..at].trim_end().ends_with("fn");
+                    let is_field = at >= 1 && ch[at - 1] == '.';
+                    let _ = is_field;
+                    if !(is_call || is_path || is_def) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn receiver_chains_and_fields() {
+        let line: Vec<char> = "let g = self.classes[class.idx()].lock();"
+            .chars()
+            .collect();
+        let dot = line.iter().collect::<String>().find(".lock(").unwrap();
+        let recv = receiver_chain(&line, dot);
+        assert_eq!(recv, "self.classes[class.idx()]");
+        assert_eq!(receiver_field(&recv), "classes");
+        assert_eq!(receiver_field("GARBAGE"), "GARBAGE");
+        assert_eq!(receiver_field("bucket.entries"), "entries");
+    }
+
+    #[test]
+    fn self_calls_resolve_through_impl_qualifier() {
+        let src = "\
+impl Shard {
+    fn write(&self) { self.open(); }
+    fn open(&self) { x(); }
+}
+impl Pool {
+    fn write(&self) { y(); }
+}
+";
+        let w = ws(&[("crates/hart/src/dir.rs", src)]);
+        // `self.open()` resolves to Shard::open even though resolution of
+        // dotted generic names is off.
+        let open_def = w.files[0]
+            .st
+            .fns
+            .iter()
+            .position(|f| f.name == "open")
+            .unwrap();
+        let call = w
+            .calls
+            .iter()
+            .find(|c| w.span(c.target).name == "open")
+            .expect("self.open() resolved");
+        assert_eq!(
+            call.target,
+            FnId {
+                file: 0,
+                idx: open_def
+            }
+        );
+    }
+
+    #[test]
+    fn generic_dotted_names_do_not_resolve() {
+        let src = "\
+impl Shard { fn read(&self) { a(); } }
+fn user(pool: &Pool) { pool.read(); }
+";
+        let w = ws(&[("crates/hart/src/dir.rs", src)]);
+        assert!(
+            !w.calls.iter().any(|c| w.span(c.target).name == "read"),
+            "pool.read() must not resolve to Shard::read"
+        );
+    }
+
+    #[test]
+    fn crate_qualified_paths_resolve_cross_crate() {
+        let a = "pub fn leafy_write(p: &P) { q(); }\n";
+        let b = "fn caller(p: &P) { hart_epalloc::leafy_write(p); }\n";
+        let w = ws(&[
+            ("crates/epalloc/src/leaf.rs", a),
+            ("crates/fptree/src/pmleaf.rs", b),
+        ]);
+        let call = w
+            .calls
+            .iter()
+            .find(|c| w.span(c.target).name == "leafy_write")
+            .expect("crate-qualified call resolved");
+        assert_eq!(call.file, 1);
+        assert_eq!(call.target.file, 0);
+    }
+
+    #[test]
+    fn address_taken_is_detected() {
+        let src = "fn f() {}\nfn g() { h(f); }\nfn direct() { f(); }\n";
+        let w = ws(&[("crates/hart/src/x.rs", src)]);
+        assert!(w.address_taken("f"));
+        let src2 = "fn f() {}\nfn direct() { f(); }\nuse x::{f};\n";
+        let w2 = ws(&[("crates/hart/src/x.rs", src2)]);
+        assert!(!w2.address_taken("f"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The line lexer: strips comments and string literals so the rules only
+//! ever see real code tokens.
+//!
+//! Comments and string interiors are replaced by spaces in the code view
+//! (so column positions survive for site reporting), and the comment text
+//! is kept separately (waivers and `SAFETY:` annotations live there).
+//! State carries across lines: multi-line block comments (with nesting),
+//! multi-line `"…"` strings, and multi-line raw strings `r"…"` /
+//! `r#"…"#` (any hash depth) are all tracked. `tests/selftest.rs` pins
+//! the raw-string and nested-comment behavior with seeded fixtures.
+
+/// A source line split into its code and comment parts.
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+}
+
+/// Carry-over lexer state between lines.
+#[derive(Default)]
+pub struct SplitState {
+    block_comment_depth: u32,
+    in_string: bool,
+    raw_string_hashes: Option<u32>,
+}
+
+/// True when `c` can be part of an identifier (so a preceding `r` is the
+/// tail of an identifier like `ptr`, not a raw-string prefix).
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Strip one line into (code, comment) under `st`. String-literal interiors
+/// become spaces in the code view so tokens inside them never match rules.
+pub fn split_line(line: &str, st: &mut SplitState) -> Line {
+    let ch: Vec<char> = line.chars().collect();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < ch.len() {
+        if st.block_comment_depth > 0 {
+            if ch[i] == '*' && i + 1 < ch.len() && ch[i + 1] == '/' {
+                st.block_comment_depth -= 1;
+                i += 2;
+            } else if ch[i] == '/' && i + 1 < ch.len() && ch[i + 1] == '*' {
+                st.block_comment_depth += 1;
+                i += 2;
+            } else {
+                comment.push(ch[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.raw_string_hashes {
+            // Inside r"..." / r#"..."#: ends at '"' followed by `hashes` '#'.
+            if ch[i] == '"' {
+                let mut n = 0u32;
+                while n < hashes && i + 1 + (n as usize) < ch.len() && ch[i + 1 + n as usize] == '#'
+                {
+                    n += 1;
+                }
+                if n == hashes {
+                    st.raw_string_hashes = None;
+                    i += 1 + hashes as usize;
+                    code.push(' ');
+                    continue;
+                }
+            }
+            i += 1;
+            code.push(' ');
+            continue;
+        }
+        if st.in_string {
+            if ch[i] == '\\' {
+                i += 2;
+                code.push(' ');
+                continue;
+            }
+            if ch[i] == '"' {
+                st.in_string = false;
+            }
+            code.push(' ');
+            i += 1;
+            continue;
+        }
+        match ch[i] {
+            '/' if i + 1 < ch.len() && ch[i + 1] == '/' => {
+                comment.push_str(&ch[i + 2..].iter().collect::<String>());
+                break;
+            }
+            '/' if i + 1 < ch.len() && ch[i + 1] == '*' => {
+                st.block_comment_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                st.in_string = true;
+                code.push(' ');
+                i += 1;
+            }
+            'r' if i + 1 < ch.len()
+                && (ch[i + 1] == '"' || ch[i + 1] == '#')
+                && (i == 0 || !ident_char(ch[i - 1])) =>
+            {
+                // Possible raw string r"..." or r#"..."#. The look-behind
+                // keeps identifiers ending in `r` (followed by `#`, as in
+                // a raw identifier used by a macro) out of string state.
+                let mut j = i + 1;
+                let mut hashes = 0u32;
+                while j < ch.len() && ch[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < ch.len() && ch[j] == '"' {
+                    st.raw_string_hashes = Some(hashes);
+                    code.push(' ');
+                    i = j + 1;
+                } else {
+                    code.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a literal closes within a few
+                // chars ('x', '\n', '\u{..}'); a lifetime does not.
+                let rest: String = ch[i..].iter().take(12).collect();
+                if let Some(len) = char_literal_len(&rest) {
+                    for _ in 0..len {
+                        code.push(' ');
+                    }
+                    i += len;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    Line { code, comment }
+}
+
+/// Length (in chars) of a char literal starting at `s[0] == '\''`, or None
+/// for a lifetime.
+fn char_literal_len(s: &str) -> Option<usize> {
+    let ch: Vec<char> = s.chars().collect();
+    if ch.len() < 3 {
+        return None;
+    }
+    if ch[1] == '\\' {
+        // Escaped: find the closing quote.
+        for (j, c) in ch.iter().enumerate().skip(2) {
+            if *c == '\'' {
+                return Some(j + 1);
+            }
+        }
+        None
+    } else if ch[2] == '\'' {
+        Some(3)
+    } else {
+        None
+    }
+}
+
+/// Lex a whole source into per-line (code, comment) views.
+pub fn lex(src: &str) -> Vec<Line> {
+    let mut st = SplitState::default();
+    src.lines().map(|l| split_line(l, &mut st)).collect()
+}
+
+/// True when `hay` contains `needle` as a word (identifier-boundary match).
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    let hb = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = hb[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after = at + needle.len();
+        let after_ok = after >= hb.len() || {
+            let b = hb[after];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Does any comment on `line` or the contiguous comment block above carry
+/// `marker`? Used for SAFETY comments and pmlint waivers.
+pub fn annotated(lines: &[Line], line: usize, marker: &str) -> bool {
+    let idx = line - 1;
+    if lines[idx].comment.contains(marker) {
+        return true;
+    }
+    // Walk up through comment-only (or attribute-only) lines.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code_trim = l.code.trim();
+        let is_pure_comment = code_trim.is_empty() || code_trim.starts_with("#[");
+        if !l.comment.is_empty() && l.comment.contains(marker) {
+            return true;
+        }
+        if !is_pure_comment {
+            return false;
+        }
+        if l.comment.is_empty() && code_trim.is_empty() {
+            // Blank line ends the annotation block.
+            return false;
+        }
+    }
+    false
+}
+
+/// Find `.name(`-style method calls of `name` in `code`, returning the
+/// index just past the opening parenthesis for each.
+pub fn method_calls(code: &str, name: &str) -> Vec<usize> {
+    let pat = format!(".{name}(");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pat) {
+        out.push(from + pos + pat.len());
+        from += pos + pat.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn splitter_strips_comments_and_strings() {
+        let mut st = SplitState::default();
+        let l = split_line(r#"let x = "a.write(b)"; // pool.write(c)"#, &mut st);
+        assert!(!l.code.contains("write"));
+        assert!(l.comment.contains("pool.write(c)"));
+    }
+
+    #[test]
+    fn splitter_handles_block_comments_across_lines() {
+        let mut st = SplitState::default();
+        let a = split_line("foo(); /* begin", &mut st);
+        let b = split_line("unsafe { } */ bar();", &mut st);
+        assert!(a.code.contains("foo"));
+        assert!(!b.code.contains("unsafe"));
+        assert!(b.code.contains("bar"));
+    }
+
+    #[test]
+    fn splitter_handles_char_literals_and_lifetimes() {
+        let mut st = SplitState::default();
+        let l = split_line("fn f<'a>(x: &'a u8) -> char { '}' }", &mut st);
+        assert!(!l.code.contains('}') || l.code.matches('}').count() == 1);
+        let l2 = split_line("let q = 'x'; pool.write(p, &v);", &mut st);
+        assert!(l2.code.contains(".write("));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        // Depth-2 nesting on one line: the tail after a single close is
+        // still comment; only the second close re-enters code.
+        let c = codes("/* a /* b */ pool.write(p, &v); */ after();");
+        assert!(!c[0].contains("write"), "depth-1 tail leaked: {:?}", c[0]);
+        assert!(c[0].contains("after"), "post-close code lost: {:?}", c[0]);
+        // And across lines.
+        let c = codes("/* outer\n/* inner */ pool.write(p, &v);\n*/ done();");
+        assert!(!c[1].contains("write"));
+        assert!(c[2].contains("done"));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped_at_any_hash_depth() {
+        let c = codes("let p = r\"pool.write(a, b)\"; x();");
+        assert!(!c[0].contains("write"), "r\"..\" leaked: {:?}", c[0]);
+        assert!(c[0].contains("x()"));
+        let c = codes("let p = r#\"has \" quote; persist(q)\"#; y();");
+        assert!(!c[0].contains("persist"), "r#\"..\"# leaked: {:?}", c[0]);
+        assert!(c[0].contains("y()"));
+        // Multi-line, hash-guarded close: `"#` inside an r##"..."## body
+        // is not a terminator.
+        let c = codes("let p = r##\"line \"# one\npool.write(p, &v)\"##; z();");
+        assert!(
+            !c[1].contains("write"),
+            "early close inside r##: {:?}",
+            c[1]
+        );
+        assert!(c[1].contains("z()"));
+    }
+
+    #[test]
+    fn raw_prefix_needs_an_identifier_boundary() {
+        // `hdr#` is an identifier followed by `#` (e.g. from a macro
+        // fragment), not a raw-string opener: string state must not start.
+        let c = codes("let a = hdr; m(hdr#than); pool.write(p, &v);");
+        assert!(
+            c[0].contains(".write("),
+            "ident-r swallowed code: {:?}",
+            c[0]
+        );
+    }
+
+    #[test]
+    fn fn_spans_nest() {
+        let src = "fn outer() {\n    fn inner() {\n        x();\n    }\n    y();\n}\n";
+        let lines = lex(src);
+        let s = crate::structure::analyze_structure(&lines);
+        assert_eq!(s.fn_at(3).unwrap().name, "inner");
+        assert_eq!(s.fn_at(5).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("let leaf = x;", "leaf"));
+        assert!(!contains_word("let leafy = x;", "leaf"));
+        assert!(!contains_word("let aleaf = x;", "leaf"));
+    }
+}

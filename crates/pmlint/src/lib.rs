@@ -1,25 +1,28 @@
-//! A lexical lint for the repo's persistence-ordering and concurrency
+//! A flow-aware lint for the repo's persistence-ordering and concurrency
 //! disciplines — the invariants the compiler cannot see but Algorithms 1–7
 //! (and the optimistic read path) depend on.
 //!
 //! The build environment has no crates.io mirror, so there is no `syn`;
-//! the linter is a careful line-level lexer instead: comments and string
-//! literals are stripped with a small state machine, function extents are
-//! recovered by brace tracking, and each rule works on the resulting
-//! `(code, comment)` view. That is deliberately conservative — the rules
-//! are tuned so the real tree lints clean and every seeded fixture
+//! the linter is a careful line-level lexer instead ([`lexer`]), with
+//! function extents and impl qualifiers recovered by brace tracking
+//! ([`structure`]) and a conservatively name-resolved workspace call
+//! graph on top ([`graph`]). Each rule works on the resulting views. The
+//! rules are tuned so the real tree lints clean and every seeded fixture
 //! violation fires (see `tests/selftest.rs`).
 //!
 //! # Rules
 //!
 //! * **R1 `persist-coverage`** — every `PmemPool::write` /
 //!   `write_bytes` / `write_zeros` / `write_u64_atomic` call site in
-//!   non-test source must be followed, within the same function, by a
-//!   `persist`-family call, or carry a
-//!   `// pmlint: deferred-persist(<reason>)` waiver. (`RwLock::write()`
-//!   lock acquires take no arguments and are ignored.) Test code is
-//!   exempt: crash-simulation tests write without persisting *on
-//!   purpose*, and the `pm-check` runtime tracker covers them instead.
+//!   non-test source must be *covered*: a `persist`-family call follows
+//!   within the same function, **or** (v2, interprocedural) every
+//!   non-test caller of the enclosing function persists after the call —
+//!   checked transitively to a bounded depth, conservative when the
+//!   function's address is taken or a caller cannot be resolved.
+//!   Remaining genuinely deferred sites carry a
+//!   `// pmlint: deferred-persist(<reason>)` waiver. Test code is exempt:
+//!   crash-simulation tests write without persisting *on purpose*, and
+//!   the `pm-check` runtime tracker covers them instead.
 //! * **R2 `safety-comment`** — every `unsafe {` block and `unsafe impl`
 //!   must be annotated with a `// SAFETY:` comment on the same line or in
 //!   the comment block immediately above. `unsafe fn` declarations are
@@ -33,7 +36,26 @@
 //!   simulates a crash, a `PmPtr` read from PM *before* the crash must
 //!   not be used after it: the crash may have reverted the pointer, so
 //!   the cached copy dangles. Waiver: `// pmlint: ptr-cache-ok(<reason>)`.
+//! * **R5 `lock-order`** — lock acquisitions, propagated through the
+//!   call graph, must respect the canonical [`locks::LOCK_ORDER`]
+//!   hierarchy (see `locks`). `try_*` edges are exempt but reported.
+//!   Waiver: `// pmlint: lock-order-ok(<reason>)`.
+//! * **R6 `fence-pairing`** — Release-side stores on guarded
+//!   seqlock/migration atomics need an Acquire-side load of the same
+//!   field in the same module. Waiver: `// pmlint: fence-ok(<reason>)`.
+//!
+//! Waived findings are not silently dropped: they are collected in
+//! [`Report::waived`] so CI can enforce a no-new-waivers budget
+//! (`pmlint --max-waivers N`, exit code 2 when exceeded).
 
+pub mod graph;
+pub mod lexer;
+pub mod locks;
+pub mod structure;
+
+use graph::{FileLex, FnId, Workspace};
+use lexer::{annotated, contains_word, method_calls, Line};
+use std::collections::HashSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -51,6 +73,9 @@ const RELAXED_ALLOWLIST_FILES: &[&str] = &["dir.rs", "optimistic.rs"];
 
 /// Calls that read a `PmPtr` out of PM (rule R4's cache sources).
 const PMPTR_READS: &[&str] = &["leaf_read_pvalue(", "read::<PmPtr>", "read_pvalue("];
+
+/// Max caller-chain depth for interprocedural persist coverage.
+const CALLER_DEPTH: usize = 4;
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,403 +96,202 @@ impl fmt::Display for Violation {
     }
 }
 
-/// A source line split into its code and comment parts.
-struct Line {
-    code: String,
-    comment: String,
-}
-
-/// Carry-over lexer state between lines.
+/// Rule output: hard violations plus findings suppressed by a waiver
+/// comment (tracked so CI can budget them).
 #[derive(Default)]
-struct SplitState {
-    block_comment_depth: u32,
-    in_string: bool,
-    raw_string_hashes: Option<u32>,
+pub struct Findings {
+    pub violations: Vec<Violation>,
+    pub waived: Vec<Violation>,
 }
 
-/// Strip one line into (code, comment) under `st`. String-literal interiors
-/// become spaces in the code view so tokens inside them never match rules.
-fn split_line(line: &str, st: &mut SplitState) -> Line {
-    let ch: Vec<char> = line.chars().collect();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let mut i = 0usize;
-    while i < ch.len() {
-        if st.block_comment_depth > 0 {
-            if ch[i] == '*' && i + 1 < ch.len() && ch[i + 1] == '/' {
-                st.block_comment_depth -= 1;
-                i += 2;
-            } else if ch[i] == '/' && i + 1 < ch.len() && ch[i + 1] == '*' {
-                st.block_comment_depth += 1;
-                i += 2;
-            } else {
-                comment.push(ch[i]);
-                i += 1;
-            }
-            continue;
-        }
-        if let Some(hashes) = st.raw_string_hashes {
-            // Inside r"..." / r#"..."#: ends at '"' followed by `hashes` '#'.
-            if ch[i] == '"' {
-                let mut n = 0u32;
-                while n < hashes && i + 1 + (n as usize) < ch.len() && ch[i + 1 + n as usize] == '#'
-                {
-                    n += 1;
-                }
-                if n == hashes {
-                    st.raw_string_hashes = None;
-                    i += 1 + hashes as usize;
-                    code.push(' ');
-                    continue;
-                }
-            }
-            i += 1;
-            code.push(' ');
-            continue;
-        }
-        if st.in_string {
-            if ch[i] == '\\' {
-                i += 2;
-                code.push(' ');
-                continue;
-            }
-            if ch[i] == '"' {
-                st.in_string = false;
-            }
-            code.push(' ');
-            i += 1;
-            continue;
-        }
-        match ch[i] {
-            '/' if i + 1 < ch.len() && ch[i + 1] == '/' => {
-                comment.push_str(&ch[i + 2..].iter().collect::<String>());
-                break;
-            }
-            '/' if i + 1 < ch.len() && ch[i + 1] == '*' => {
-                st.block_comment_depth += 1;
-                i += 2;
-            }
-            '"' => {
-                st.in_string = true;
-                code.push(' ');
-                i += 1;
-            }
-            'r' if i + 1 < ch.len() && (ch[i + 1] == '"' || ch[i + 1] == '#') => {
-                // Possible raw string r"..." or r#"..."#.
-                let mut j = i + 1;
-                let mut hashes = 0u32;
-                while j < ch.len() && ch[j] == '#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < ch.len() && ch[j] == '"' {
-                    st.raw_string_hashes = Some(hashes);
-                    code.push(' ');
-                    i = j + 1;
-                } else {
-                    code.push('r');
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs. lifetime: a literal closes within a few
-                // chars ('x', '\n', '\u{..}'); a lifetime does not.
-                let rest: String = ch[i..].iter().take(12).collect();
-                if let Some(len) = char_literal_len(&rest) {
-                    for _ in 0..len {
-                        code.push(' ');
-                    }
-                    i += len;
-                } else {
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            c => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    Line { code, comment }
-}
-
-/// Length (in chars) of a char literal starting at `s[0] == '\''`, or None
-/// for a lifetime.
-fn char_literal_len(s: &str) -> Option<usize> {
-    let ch: Vec<char> = s.chars().collect();
-    if ch.len() < 3 {
-        return None;
-    }
-    if ch[1] == '\\' {
-        // Escaped: find the closing quote.
-        for (j, c) in ch.iter().enumerate().skip(2) {
-            if *c == '\'' {
-                return Some(j + 1);
-            }
-        }
-        None
-    } else if ch[2] == '\'' {
-        Some(3)
+/// Route a finding to `violations` or, when the waiver `marker` annotates
+/// the site, to `waived`.
+pub(crate) fn push_finding(
+    out: &mut Findings,
+    lines: &[Line],
+    line: usize,
+    marker: &str,
+    v: Violation,
+) {
+    if annotated(lines, line, marker) {
+        out.waived.push(v);
     } else {
-        None
+        out.violations.push(v);
     }
 }
 
-/// A function's extent in lines (1-based, inclusive).
-#[derive(Debug, Clone)]
-struct FnSpan {
-    name: String,
-    start: usize,
-    end: usize,
+/// Full analysis result for a set of sources.
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    pub violations: Vec<Violation>,
+    pub waived: Vec<Violation>,
+    /// Observed blocking lock-order edges (all rank-legal unless also in
+    /// `violations`).
+    pub lock_edges: Vec<locks::LockEdge>,
+    /// Observed `try_*` edges: deadlock-exempt, reported for audit.
+    pub try_edges: Vec<locks::LockEdge>,
 }
 
-/// Recover function extents and `#[cfg(test)]`-module extents by brace
-/// tracking over the code view.
-struct Structure {
-    fns: Vec<FnSpan>,
-    /// Line-indexed (1-based): true when inside a `#[cfg(test)]` module.
-    in_test_mod: Vec<bool>,
-}
-
-fn analyze_structure(lines: &[Line]) -> Structure {
-    let mut fns: Vec<FnSpan> = Vec::new();
-    let mut stack: Vec<(String, usize, usize)> = Vec::new(); // name, open depth, start line
-    let mut test_mod_stack: Vec<usize> = Vec::new(); // open depths
-    let mut in_test_mod = vec![false; lines.len() + 1];
-    let mut brace_depth = 0usize;
-    let mut paren_depth = 0i32;
-    let mut pending_fn: Option<(String, usize)> = None; // name, start line
-    let mut awaiting_name = false;
-    let mut pending_test_mod = false;
-
-    for (li, line) in lines.iter().enumerate() {
-        let lineno = li + 1;
-        in_test_mod[lineno] = !test_mod_stack.is_empty();
-        let code = &line.code;
-        // `#[cfg(test)]` and compound forms like `#[cfg(all(test, ...))]`.
-        if code.contains("#[cfg(") && contains_word(code, "test") {
-            pending_test_mod = true;
+/// R1: persist coverage of PM write call sites (non-test code only),
+/// interprocedural via the call graph.
+fn rule_persist_coverage(ws: &Workspace, out: &mut Findings) {
+    for (fi, f) in ws.files.iter().enumerate() {
+        // Test code is exempt: crash tests omit persists deliberately, and
+        // the pm-check runtime tracker owns that territory.
+        if f.is_test_path() {
+            continue;
         }
-        let ch: Vec<char> = code.chars().collect();
-        let mut i = 0usize;
-        while i < ch.len() {
-            let c = ch[i];
-            if c.is_alphabetic() || c == '_' {
-                let start = i;
-                while i < ch.len() && (ch[i].is_alphanumeric() || ch[i] == '_') {
-                    i += 1;
-                }
-                let ident: String = ch[start..i].iter().collect();
-                if awaiting_name {
-                    pending_fn = Some((ident.clone(), lineno));
-                    awaiting_name = false;
-                } else if ident == "fn" {
-                    awaiting_name = true;
-                }
+        for (li, line) in f.lines.iter().enumerate() {
+            let lineno = li + 1;
+            if f.st.in_test_mod[lineno] {
                 continue;
             }
-            match c {
-                '(' => {
-                    // `fn(...)` pointer type, not a definition.
-                    awaiting_name = false;
-                    paren_depth += 1;
-                }
-                ')' => paren_depth -= 1,
-                '{' if paren_depth == 0 => {
-                    brace_depth += 1;
-                    if pending_test_mod {
-                        // A `#[cfg(test)]` item (module or function) opens
-                        // here: everything inside is test code.
-                        test_mod_stack.push(brace_depth);
-                        pending_test_mod = false;
-                        in_test_mod[lineno] = true;
-                    }
-                    if let Some((name, start)) = pending_fn.take() {
-                        stack.push((name, brace_depth, start));
-                    }
-                }
-                '}' if paren_depth == 0 => {
-                    if let Some((_, d, _)) = stack.last() {
-                        if *d == brace_depth {
-                            let (name, _, start) = stack.pop().unwrap();
-                            fns.push(FnSpan {
-                                name,
-                                start,
-                                end: lineno,
-                            });
-                        }
-                    }
-                    if test_mod_stack.last() == Some(&brace_depth) {
-                        test_mod_stack.pop();
-                    }
-                    brace_depth = brace_depth.saturating_sub(1);
-                }
-                ';' if paren_depth == 0 => {
-                    // Trait method declaration without a body.
-                    pending_fn = None;
-                }
-                _ => {}
+            let code = &line.code;
+            let mut sites: Vec<usize> = Vec::new();
+            for name in ["write_bytes", "write_zeros", "write_u64_atomic"] {
+                sites.extend(method_calls(code, name));
             }
-            i += 1;
+            // `.write(` only with a non-empty argument list — `.write()`
+            // is a lock acquire, not a PM store.
+            for after in method_calls(code, "write") {
+                let rest = code[after..].trim_start();
+                if code[..after].ends_with(".write(") && !rest.starts_with(')') {
+                    sites.push(after);
+                }
+            }
+            if sites.is_empty() {
+                continue;
+            }
+            let Some(fn_idx) = f.st.fn_idx_at(lineno) else {
+                push_finding(
+                    out,
+                    &f.lines,
+                    lineno,
+                    "pmlint: deferred-persist(",
+                    Violation {
+                        file: f.path.clone(),
+                        line: lineno,
+                        rule: "persist-coverage",
+                        msg: "PM write outside any function?".into(),
+                    },
+                );
+                continue;
+            };
+            let span = &f.st.fns[fn_idx];
+            // Covered if a persist-family token appears later on this line
+            // or on any following line of the same function…
+            let first_site = *sites.iter().min().unwrap();
+            let mut covered = code[first_site..].contains("persist");
+            if !covered {
+                for l in f.lines.iter().take(span.end).skip(lineno) {
+                    if l.code.contains("persist") {
+                        covered = true;
+                        break;
+                    }
+                }
+            }
+            // …or (v2) if every non-test caller persists after the call.
+            if !covered {
+                let mut path = HashSet::new();
+                covered = callers_persist(
+                    ws,
+                    FnId {
+                        file: fi,
+                        idx: fn_idx,
+                    },
+                    0,
+                    &mut path,
+                );
+            }
+            if !covered {
+                let v = Violation {
+                    file: f.path.clone(),
+                    line: lineno,
+                    rule: "persist-coverage",
+                    msg: format!(
+                        "PM write in `{}` has no covering persist later in the \
+                         function and not every caller persists after calling \
+                         it; persist it or waive with \
+                         `// pmlint: deferred-persist(<reason>)`",
+                        span.name
+                    ),
+                };
+                push_finding(out, &f.lines, lineno, "pmlint: deferred-persist(", v);
+            }
         }
     }
-    // Unterminated functions (EOF): close at the last line.
-    while let Some((name, _, start)) = stack.pop() {
-        fns.push(FnSpan {
-            name,
-            start,
-            end: lines.len(),
-        });
-    }
-    Structure { fns, in_test_mod }
 }
 
-impl Structure {
-    /// Innermost function containing `line` (1-based).
-    fn fn_at(&self, line: usize) -> Option<&FnSpan> {
-        self.fns
-            .iter()
-            .filter(|f| f.start <= line && line <= f.end)
-            .min_by_key(|f| f.end - f.start)
+/// True when `target` has at least one non-test caller and *every*
+/// non-test caller persists after its call site (lexically, or — bounded
+/// by depth — transitively through its own callers). Conservative on
+/// address-taken functions, unresolvable callers, module-scope call
+/// sites, and recursion (`path` holds the active chain).
+fn callers_persist(ws: &Workspace, target: FnId, depth: usize, path: &mut HashSet<FnId>) -> bool {
+    if depth >= CALLER_DEPTH || !path.insert(target) {
+        return false;
     }
-}
-
-/// True when `hay` contains `needle` as a word (identifier-boundary match).
-fn contains_word(hay: &str, needle: &str) -> bool {
-    let hb = hay.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let at = from + pos;
-        let before_ok = at == 0 || {
-            let b = hb[at - 1];
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        };
-        let after = at + needle.len();
-        let after_ok = after >= hb.len() || {
-            let b = hb[after];
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        };
-        if before_ok && after_ok {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
-}
-
-/// Does any comment on `line` or the contiguous comment block above carry
-/// `marker`? Used for SAFETY comments and pmlint waivers.
-fn annotated(lines: &[Line], line: usize, marker: &str) -> bool {
-    let idx = line - 1;
-    if lines[idx].comment.contains(marker) {
-        return true;
-    }
-    // Walk up through comment-only (or attribute-only) lines.
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let l = &lines[i];
-        let code_trim = l.code.trim();
-        let is_pure_comment = code_trim.is_empty() || code_trim.starts_with("#[");
-        if !l.comment.is_empty() && l.comment.contains(marker) {
-            return true;
-        }
-        if !is_pure_comment {
+    let result = (|| {
+        let name = &ws.span(target).name;
+        // A function whose address escapes may have callers the graph
+        // cannot see.
+        if ws.address_taken(name) {
             return false;
         }
-        if l.comment.is_empty() && code_trim.is_empty() {
-            // Blank line ends the annotation block.
+        let Some(call_idxs) = ws.callers.get(&target) else {
             return false;
-        }
-    }
-    false
-}
-
-/// Find `.name(`-style method calls of `name` in `code`, returning the
-/// index just past the opening parenthesis for each.
-fn method_calls(code: &str, name: &str) -> Vec<usize> {
-    let pat = format!(".{name}(");
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(&pat) {
-        out.push(from + pos + pat.len());
-        from += pos + pat.len();
-    }
-    out
-}
-
-/// R1: persist coverage of PM write call sites (non-test code only).
-fn rule_persist_coverage(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Violation>) {
-    // Test code is exempt: crash tests omit persists deliberately, and the
-    // pm-check runtime tracker owns that territory.
-    if path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/") {
-        return;
-    }
-    for (li, line) in lines.iter().enumerate() {
-        let lineno = li + 1;
-        if st.in_test_mod[lineno] {
-            continue;
-        }
-        let code = &line.code;
-        let mut sites: Vec<usize> = Vec::new();
-        for name in ["write_bytes", "write_zeros", "write_u64_atomic"] {
-            sites.extend(method_calls(code, name));
-        }
-        // `.write(` only with a non-empty argument list — `.write()` is a
-        // lock acquire, not a PM store.
-        for after in method_calls(code, "write") {
-            let rest = code[after..].trim_start();
-            if code[..after].ends_with(".write(") && !rest.starts_with(')') {
-                sites.push(after);
-            }
-        }
-        if sites.is_empty() {
-            continue;
-        }
-        if annotated(lines, lineno, "pmlint: deferred-persist(") {
-            continue;
-        }
-        let Some(f) = st.fn_at(lineno) else {
-            out.push(Violation {
-                file: path.to_string(),
-                line: lineno,
-                rule: "persist-coverage",
-                msg: "PM write outside any function?".into(),
-            });
-            continue;
         };
-        // Covered if a persist-family token appears later on this line or
-        // on any following line of the same function.
-        let first_site = *sites.iter().min().unwrap();
-        let mut covered = code[first_site..].contains("persist");
-        if !covered {
-            for l in lines.iter().take(f.end).skip(lineno) {
-                if l.code.contains("persist") {
-                    covered = true;
-                    break;
+        let mut real_callers = 0usize;
+        for &ci in call_idxs {
+            let c = &ws.calls[ci];
+            let cf = &ws.files[c.file];
+            // Test callers are exempt territory (see R1 header).
+            if cf.is_test_line(c.line) {
+                continue;
+            }
+            // Self-recursion neither helps nor hurts coverage.
+            if c.caller == Some(target) {
+                continue;
+            }
+            real_callers += 1;
+            let Some(caller) = c.caller else {
+                // Module-scope call site: no function to persist in.
+                return false;
+            };
+            let cspan = ws.span(caller);
+            // The call line's tail, then the rest of the caller.
+            let call_line_code = &cf.lines[c.line - 1].code;
+            let tail_from = call_line_code
+                .char_indices()
+                .nth(c.col)
+                .map(|(b, _)| b)
+                .unwrap_or(call_line_code.len());
+            let mut ok = call_line_code[tail_from..].contains("persist");
+            if !ok {
+                for l in cf.lines.iter().take(cspan.end).skip(c.line) {
+                    if l.code.contains("persist") {
+                        ok = true;
+                        break;
+                    }
                 }
             }
+            if !ok {
+                ok = callers_persist(ws, caller, depth + 1, path);
+            }
+            if !ok {
+                return false;
+            }
         }
-        if !covered {
-            out.push(Violation {
-                file: path.to_string(),
-                line: lineno,
-                rule: "persist-coverage",
-                msg: format!(
-                    "PM write in `{}` has no covering persist later in the \
-                     function; persist it or waive with \
-                     `// pmlint: deferred-persist(<reason>)`",
-                    f.name
-                ),
-            });
-        }
-    }
+        real_callers > 0
+    })();
+    path.remove(&target);
+    result
 }
 
 /// R2: SAFETY comments on `unsafe` blocks and impls.
-fn rule_safety_comments(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
-    for (li, line) in lines.iter().enumerate() {
+fn rule_safety_comments(f: &FileLex, out: &mut Findings) {
+    for (li, line) in f.lines.iter().enumerate() {
         let lineno = li + 1;
         let code = &line.code;
         if !contains_word(code, "unsafe") {
@@ -487,10 +311,10 @@ fn rule_safety_comments(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
             // next line).
             "unsafe block"
         };
-        let has = annotated(lines, lineno, "SAFETY:") || annotated(lines, lineno, "Safety:");
+        let has = annotated(&f.lines, lineno, "SAFETY:") || annotated(&f.lines, lineno, "Safety:");
         if !has {
-            out.push(Violation {
-                file: path.to_string(),
+            out.violations.push(Violation {
+                file: f.path.clone(),
                 line: lineno,
                 rule: "safety-comment",
                 msg: format!("{kind} without a `// SAFETY:` comment"),
@@ -500,13 +324,9 @@ fn rule_safety_comments(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
 }
 
 /// R3: Relaxed ordering on seqlock-version / migration-counter atomics.
-fn rule_relaxed_ordering(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Violation>) {
-    let file_name = Path::new(path)
-        .file_name()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    let file_allowlisted = RELAXED_ALLOWLIST_FILES.contains(&file_name.as_str());
-    for (li, line) in lines.iter().enumerate() {
+fn rule_relaxed_ordering(f: &FileLex, out: &mut Findings) {
+    let file_allowlisted = RELAXED_ALLOWLIST_FILES.contains(&f.file_name());
+    for (li, line) in f.lines.iter().enumerate() {
         let lineno = li + 1;
         let code = &line.code;
         if !code.contains("Ordering::Relaxed") {
@@ -516,15 +336,12 @@ fn rule_relaxed_ordering(path: &str, lines: &[Line], st: &Structure, out: &mut V
         if !guarded {
             continue;
         }
-        if annotated(lines, lineno, "pmlint: relaxed-ok(") {
-            continue;
-        }
-        let fn_name = st.fn_at(lineno).map(|f| f.name.as_str()).unwrap_or("");
+        let fn_name = f.st.fn_at(lineno).map(|s| s.name.as_str()).unwrap_or("");
         if file_allowlisted && RELAXED_ALLOWLIST_FNS.contains(&fn_name) {
             continue;
         }
-        out.push(Violation {
-            file: path.to_string(),
+        let v = Violation {
+            file: f.path.clone(),
             line: lineno,
             rule: "relaxed-ordering",
             msg: format!(
@@ -533,14 +350,15 @@ fn rule_relaxed_ordering(path: &str, lines: &[Line], st: &Structure, out: &mut V
                  into an allowlisted fence-paired helper, or waive with \
                  `// pmlint: relaxed-ok(<reason>)`"
             ),
-        });
+        };
+        push_finding(out, &f.lines, lineno, "pmlint: relaxed-ok(", v);
     }
 }
 
 /// R4: `PmPtr` values cached across a persist-fuse crash point.
-fn rule_ptr_cache(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Violation>) {
-    for f in &st.fns {
-        let body = || lines[f.start - 1..f.end].iter().enumerate();
+fn rule_ptr_cache(f: &FileLex, out: &mut Findings) {
+    for span in &f.st.fns {
+        let body = || f.lines[span.start - 1..span.end].iter().enumerate();
         let arm = body().find(|(_, l)| l.code.contains("arm_persist_fuse("));
         if arm.is_none() {
             continue;
@@ -548,9 +366,9 @@ fn rule_ptr_cache(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Viol
         let Some((crash_rel, _)) = body().find(|(_, l)| l.code.contains("simulate_crash(")) else {
             continue;
         };
-        let crash_line = f.start + crash_rel;
+        let crash_line = span.start + crash_rel;
         for (rel, l) in body() {
-            let lineno = f.start + rel;
+            let lineno = span.start + rel;
             if lineno >= crash_line {
                 break;
             }
@@ -573,12 +391,12 @@ fn rule_ptr_cache(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Viol
             if ident.is_empty() {
                 continue;
             }
-            let used_after = lines[crash_line..f.end]
+            let used_after = f.lines[crash_line..span.end]
                 .iter()
                 .any(|l2| contains_word(&l2.code, &ident));
-            if used_after && !annotated(lines, lineno, "pmlint: ptr-cache-ok(") {
-                out.push(Violation {
-                    file: path.to_string(),
+            if used_after {
+                let v = Violation {
+                    file: f.path.clone(),
                     line: lineno,
                     rule: "ptr-cache",
                     msg: format!(
@@ -587,24 +405,43 @@ fn rule_ptr_cache(path: &str, lines: &[Line], st: &Structure, out: &mut Vec<Viol
                          it; re-read after the crash or waive with \
                          `// pmlint: ptr-cache-ok(<reason>)`"
                     ),
-                });
+                };
+                push_finding(out, &f.lines, lineno, "pmlint: ptr-cache-ok(", v);
             }
         }
     }
 }
 
-/// Lint one file's source. `path` is used for rule scoping (test dirs,
-/// allowlisted files) and reporting.
+/// Run every rule over a set of `(path, source)` pairs.
+pub fn analyze_sources(sources: Vec<(String, String)>) -> Report {
+    let ws = Workspace::build(sources);
+    let mut out = Findings::default();
+    rule_persist_coverage(&ws, &mut out);
+    for f in &ws.files {
+        rule_safety_comments(f, &mut out);
+        rule_relaxed_ordering(f, &mut out);
+        rule_ptr_cache(f, &mut out);
+    }
+    let (lock_edges, try_edges) = locks::rule_lock_order(&ws, &mut out);
+    locks::rule_fence_pairing(&ws, &mut out);
+    let mut violations = out.violations;
+    let mut waived = out.waived;
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    waived.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Report {
+        files: ws.files.len(),
+        violations,
+        waived,
+        lock_edges,
+        try_edges,
+    }
+}
+
+/// Lint one file's source in isolation (fixture/self-test entry point).
+/// `path` is used for rule scoping (test dirs, allowlisted files) and
+/// reporting. Interprocedural reasoning sees only this one file.
 pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
-    let mut state = SplitState::default();
-    let lines: Vec<Line> = src.lines().map(|l| split_line(l, &mut state)).collect();
-    let st = analyze_structure(&lines);
-    let mut out = Vec::new();
-    rule_persist_coverage(path, &lines, &st, &mut out);
-    rule_safety_comments(path, &lines, &mut out);
-    rule_relaxed_ordering(path, &lines, &st, &mut out);
-    rule_ptr_cache(path, &lines, &st, &mut out);
-    out
+    analyze_sources(vec![(path.to_string(), src.to_string())]).violations
 }
 
 /// Collect the workspace's lintable `.rs` files under `root`.
@@ -642,11 +479,11 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lint every workspace file under `root`. Returns (files scanned,
-/// violations).
-pub fn lint_workspace(root: &Path) -> (usize, Vec<Violation>) {
+/// Analyze every workspace file under `root` as one call-graph-connected
+/// unit.
+pub fn analyze_workspace(root: &Path) -> Report {
     let files = workspace_files(root);
-    let mut all = Vec::new();
+    let mut sources = Vec::new();
     for f in &files {
         let Ok(src) = std::fs::read_to_string(f) else {
             continue;
@@ -655,10 +492,17 @@ pub fn lint_workspace(root: &Path) -> (usize, Vec<Violation>) {
             .strip_prefix(root)
             .unwrap_or(f)
             .to_string_lossy()
-            .into_owned();
-        all.extend(lint_source(&label, &src));
+            .replace('\\', "/");
+        sources.push((label, src));
     }
-    (files.len(), all)
+    analyze_sources(sources)
+}
+
+/// Lint every workspace file under `root`. Returns (files scanned,
+/// violations). Kept for callers that predate [`analyze_workspace`].
+pub fn lint_workspace(root: &Path) -> (usize, Vec<Violation>) {
+    let r = analyze_workspace(root);
+    (r.files, r.violations)
 }
 
 #[cfg(test)]
@@ -666,46 +510,118 @@ mod tests {
     use super::*;
 
     #[test]
-    fn splitter_strips_comments_and_strings() {
-        let mut st = SplitState::default();
-        let l = split_line(r#"let x = "a.write(b)"; // pool.write(c)"#, &mut st);
-        assert!(!l.code.contains("write"));
-        assert!(l.comment.contains("pool.write(c)"));
+    fn interprocedural_coverage_accepts_caller_persists() {
+        let src = "\
+fn leaf_write_key(pool: &P) {
+    pool.write(p, &v);
+}
+fn caller_a(pool: &P) {
+    leaf_write_key(pool);
+    pool.persist(p, 8);
+}
+fn caller_b(pool: &P) {
+    leaf_write_key(pool);
+    pool.persist_range(p, 8);
+}
+";
+        let v = lint_source("crates/epalloc/src/leaf.rs", src);
+        assert!(
+            v.iter().all(|x| x.rule != "persist-coverage"),
+            "caller-covered write flagged: {v:?}"
+        );
     }
 
     #[test]
-    fn splitter_handles_block_comments_across_lines() {
-        let mut st = SplitState::default();
-        let a = split_line("foo(); /* begin", &mut st);
-        let b = split_line("unsafe { } */ bar();", &mut st);
-        assert!(a.code.contains("foo"));
-        assert!(!b.code.contains("unsafe"));
-        assert!(b.code.contains("bar"));
+    fn interprocedural_coverage_rejects_one_bad_caller() {
+        let src = "\
+fn leaf_write_key(pool: &P) {
+    pool.write(p, &v);
+}
+fn caller_a(pool: &P) {
+    leaf_write_key(pool);
+    pool.persist(p, 8);
+}
+fn caller_forgot(pool: &P) {
+    leaf_write_key(pool);
+}
+";
+        let v = lint_source("crates/epalloc/src/leaf.rs", src);
+        assert_eq!(
+            v.iter().filter(|x| x.rule == "persist-coverage").count(),
+            1,
+            "uncovered caller must keep the site hot: {v:?}"
+        );
     }
 
     #[test]
-    fn splitter_handles_char_literals_and_lifetimes() {
-        let mut st = SplitState::default();
-        let l = split_line("fn f<'a>(x: &'a u8) -> char { '}' }", &mut st);
-        assert!(!l.code.contains('}') || l.code.matches('}').count() == 1);
-        let l2 = split_line("let q = 'x'; pool.write(p, &v);", &mut st);
-        assert!(l2.code.contains(".write("));
+    fn interprocedural_coverage_walks_caller_chains() {
+        // write → wrapper (no persist) → outer (persists): depth 2.
+        let src = "\
+fn inner_write(pool: &P) {
+    pool.write(p, &v);
+}
+fn wrapper(pool: &P) {
+    inner_write(pool);
+}
+fn outer(pool: &P) {
+    wrapper(pool);
+    pool.persist(p, 8);
+}
+";
+        let v = lint_source("crates/epalloc/src/leaf.rs", src);
+        assert!(
+            v.iter().all(|x| x.rule != "persist-coverage"),
+            "depth-2 coverage missed: {v:?}"
+        );
     }
 
     #[test]
-    fn fn_spans_nest() {
-        let src = "fn outer() {\n    fn inner() {\n        x();\n    }\n    y();\n}\n";
-        let mut st = SplitState::default();
-        let lines: Vec<Line> = src.lines().map(|l| split_line(l, &mut st)).collect();
-        let s = analyze_structure(&lines);
-        assert_eq!(s.fn_at(3).unwrap().name, "inner");
-        assert_eq!(s.fn_at(5).unwrap().name, "outer");
+    fn interprocedural_coverage_is_conservative_on_address_taken() {
+        let src = "\
+fn cb_write(pool: &P) {
+    pool.write(p, &v);
+}
+fn caller(pool: &P) {
+    cb_write(pool);
+    pool.persist(p, 8);
+}
+fn registrar(pool: &P) {
+    register(cb_write);
+}
+";
+        let v = lint_source("crates/epalloc/src/leaf.rs", src);
+        assert_eq!(
+            v.iter().filter(|x| x.rule == "persist-coverage").count(),
+            1,
+            "address-taken fn must not claim caller coverage: {v:?}"
+        );
     }
 
     #[test]
-    fn word_boundaries_respected() {
-        assert!(contains_word("let leaf = x;", "leaf"));
-        assert!(!contains_word("let leafy = x;", "leaf"));
-        assert!(!contains_word("let aleaf = x;", "leaf"));
+    fn zero_callers_is_not_coverage() {
+        let src = "pub fn orphan_write(pool: &P) {\n    pool.write(p, &v);\n}\n";
+        let v = lint_source("crates/epalloc/src/leaf.rs", src);
+        assert_eq!(v.iter().filter(|x| x.rule == "persist-coverage").count(), 1);
+    }
+
+    #[test]
+    fn waived_findings_are_reported_not_dropped() {
+        let src = "\
+fn lone_write(pool: &P) {
+    // pmlint: deferred-persist(test fixture)
+    pool.write(p, &v);
+}
+";
+        let r = analyze_sources(vec![(
+            "crates/epalloc/src/leaf.rs".to_string(),
+            src.to_string(),
+        )]);
+        assert!(
+            r.violations.is_empty(),
+            "waiver ignored: {:?}",
+            r.violations
+        );
+        assert_eq!(r.waived.len(), 1);
+        assert_eq!(r.waived[0].rule, "persist-coverage");
     }
 }

@@ -1,6 +1,18 @@
 //! `cargo run -p pmlint` — lint the workspace for persistence-ordering and
-//! concurrency discipline. Exits non-zero when any rule fires; see
-//! DESIGN.md §Verification for the rules and the waiver syntax.
+//! concurrency discipline (rules R1–R6; see DESIGN.md §Verification and
+//! CONTRIBUTING.md for the rules and the waiver syntax).
+//!
+//! ```text
+//! pmlint [ROOT] [--json PATH] [--max-waivers N]
+//! ```
+//!
+//! Exit codes:
+//!
+//! * `0` — clean: no hard violations, waiver count within budget.
+//! * `1` — hard violations (unwaived rule findings).
+//! * `2` — waiver-only failure: zero hard violations, but the number of
+//!   waived findings exceeds `--max-waivers` (the CI no-new-waivers
+//!   budget).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,20 +40,177 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => workspace_root(),
+/// Minimal JSON string escaping (the only non-trivial values are rule
+/// messages and file paths).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violations_json(vs: &[pmlint::Violation]) -> String {
+    let items: Vec<String> = vs
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"msg\":\"{}\"}}",
+                esc(&v.file),
+                v.line,
+                esc(v.rule),
+                esc(&v.msg)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn edges_json(es: &[pmlint::locks::LockEdge]) -> String {
+    let items: Vec<String> = es
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{},\"try\":{}}}",
+                esc(e.from),
+                esc(e.to),
+                esc(&e.file),
+                e.line,
+                e.is_try
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Per-rule counts over a finding list, as a JSON object.
+fn rule_counts_json(vs: &[pmlint::Violation]) -> String {
+    let mut rules: Vec<&'static str> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for v in vs {
+        match rules.iter().position(|r| *r == v.rule) {
+            Some(i) => counts[i] += 1,
+            None => {
+                rules.push(v.rule);
+                counts.push(1);
+            }
+        }
+    }
+    let items: Vec<String> = rules
+        .iter()
+        .zip(&counts)
+        .map(|(r, c)| format!("\"{}\":{}", esc(r), c))
+        .collect();
+    format!("{{{}}}", items.join(","))
+}
+
+fn report_json(r: &pmlint::Report) -> String {
+    format!(
+        "{{\"files\":{},\"violations\":{},\"waived\":{},\
+         \"violation_counts\":{},\"waiver_counts\":{},\
+         \"lock_edges\":{},\"try_edges\":{}}}\n",
+        r.files,
+        violations_json(&r.violations),
+        violations_json(&r.waived),
+        rule_counts_json(&r.violations),
+        rule_counts_json(&r.waived),
+        edges_json(&r.lock_edges),
+        edges_json(&r.try_edges)
+    )
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    max_waivers: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        root: None,
+        json: None,
+        max_waivers: None,
     };
-    let (files, violations) = pmlint::lint_workspace(&root);
-    for v in &violations {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let p = it
+                    .next()
+                    .ok_or("--json needs a path (use `-` for stdout)")?;
+                out.json = Some(PathBuf::from(p));
+            }
+            "--max-waivers" => {
+                let n = it.next().ok_or("--max-waivers needs a count")?;
+                out.max_waivers = Some(n.parse().map_err(|_| format!("bad --max-waivers: {n}"))?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: pmlint [ROOT] [--json PATH|-] [--max-waivers N]".into())
+            }
+            p if out.root.is_none() && !p.starts_with('-') => out.root = Some(PathBuf::from(p)),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pmlint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = args.root.unwrap_or_else(workspace_root);
+    let report = pmlint::analyze_workspace(&root);
+    if let Some(p) = &args.json {
+        let body = report_json(&report);
+        if p.as_os_str() == "-" {
+            print!("{body}");
+        } else if let Err(e) = std::fs::write(p, &body) {
+            eprintln!("pmlint: cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for v in &report.violations {
         eprintln!("{v}");
     }
-    if violations.is_empty() {
-        println!("pmlint: {files} files clean");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("pmlint: {} violation(s) in {files} files", violations.len());
-        ExitCode::FAILURE
+    if !report.violations.is_empty() {
+        eprintln!(
+            "pmlint: {} violation(s) ({} waived) in {} files",
+            report.violations.len(),
+            report.waived.len(),
+            report.files
+        );
+        return ExitCode::from(1);
     }
+    if let Some(budget) = args.max_waivers {
+        if report.waived.len() > budget {
+            for w in &report.waived {
+                eprintln!("waived: {w}");
+            }
+            eprintln!(
+                "pmlint: 0 violations but {} waiver(s) exceed the budget of {budget}; \
+                 burn a waiver down before adding a new one",
+                report.waived.len()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "pmlint: {} files clean ({} waived finding(s), {} lock edge(s), {} try edge(s))",
+        report.files,
+        report.waived.len(),
+        report.lock_edges.len(),
+        report.try_edges.len()
+    );
+    ExitCode::SUCCESS
 }

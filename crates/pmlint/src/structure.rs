@@ -1,0 +1,255 @@
+//! Function-extent and impl-block recovery by brace tracking over the
+//! lexed code view.
+//!
+//! Beyond the v1 tracker (function spans + `#[cfg(test)]` extents), this
+//! records:
+//!
+//! * the enclosing `impl` type of each function (its *qualifier*), which
+//!   lets the call graph resolve `self.f(…)` and `Type::f(…)` calls even
+//!   when `f` is a common name like `write`;
+//! * the brace depth at the **end** of every line, which lets the
+//!   lock-order rule end a guard's lexical hold range where its enclosing
+//!   block closes (e.g. the block-scoped `resize` guard in
+//!   `Directory::memory_bytes`).
+
+use crate::lexer::{contains_word, Line};
+
+/// A function's extent in lines (1-based, inclusive).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Enclosing `impl` type (`Shard` for `Shard::write`), or `None` for a
+    /// free function.
+    pub qualifier: Option<String>,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Recovered file structure.
+pub struct Structure {
+    pub fns: Vec<FnSpan>,
+    /// Line-indexed (1-based): true when inside a `#[cfg(test)]` item.
+    pub in_test_mod: Vec<bool>,
+    /// Line-indexed (1-based): brace depth after the line's last token.
+    pub depth_end: Vec<usize>,
+}
+
+/// While capturing an `impl` header: the last type name seen (updated
+/// across `for`, so `impl Deref for MutexGuard` captures `MutexGuard`).
+#[derive(Default)]
+struct ImplCapture {
+    active: bool,
+    name: Option<String>,
+}
+
+pub fn analyze_structure(lines: &[Line]) -> Structure {
+    let mut fns: Vec<FnSpan> = Vec::new();
+    // name, qualifier, open depth, start line
+    let mut stack: Vec<(String, Option<String>, usize, usize)> = Vec::new();
+    let mut impl_stack: Vec<(Option<String>, usize)> = Vec::new(); // name, open depth
+    let mut test_mod_stack: Vec<usize> = Vec::new(); // open depths
+    let mut in_test_mod = vec![false; lines.len() + 1];
+    let mut depth_end = vec![0usize; lines.len() + 1];
+    let mut brace_depth = 0usize;
+    let mut paren_depth = 0i32;
+    let mut angle_skip = 0i32; // inside `impl<...>` / `Type<...>` generics
+    let mut pending_fn: Option<(String, usize)> = None; // name, start line
+    let mut awaiting_name = false;
+    let mut pending_test_mod = false;
+    let mut imp = ImplCapture::default();
+
+    for (li, line) in lines.iter().enumerate() {
+        let lineno = li + 1;
+        in_test_mod[lineno] = !test_mod_stack.is_empty();
+        let code = &line.code;
+        // `#[cfg(test)]` and compound forms like `#[cfg(all(test, ...))]`.
+        if code.contains("#[cfg(") && contains_word(code, "test") {
+            pending_test_mod = true;
+        }
+        let ch: Vec<char> = code.chars().collect();
+        let mut i = 0usize;
+        while i < ch.len() {
+            let c = ch[i];
+            if angle_skip > 0 {
+                // Inside the generics of an impl header: `<...>` nests.
+                match c {
+                    '<' => angle_skip += 1,
+                    '>' => angle_skip -= 1,
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+            if c == '\'' && i + 1 < ch.len() && (ch[i + 1].is_alphabetic() || ch[i + 1] == '_') {
+                // Lifetime: skip the tick and its identifier so `'a` never
+                // reads as a type-name candidate.
+                i += 1;
+                while i < ch.len() && (ch[i].is_alphanumeric() || ch[i] == '_') {
+                    i += 1;
+                }
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < ch.len() && (ch[i].is_alphanumeric() || ch[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = ch[start..i].iter().collect();
+                if awaiting_name {
+                    pending_fn = Some((ident.clone(), lineno));
+                    awaiting_name = false;
+                } else if ident == "fn" {
+                    awaiting_name = true;
+                } else if ident == "impl" {
+                    imp = ImplCapture {
+                        active: true,
+                        name: None,
+                    };
+                    // Skip `impl<...>` generic parameters immediately.
+                    if i < ch.len() && ch[i] == '<' {
+                        angle_skip = 1;
+                        i += 1;
+                    }
+                } else if imp.active {
+                    match ident.as_str() {
+                        // `for` in `impl Trait for Type`: later names win.
+                        "for" => {}
+                        // A where-clause ends the type-name window.
+                        "where" => imp.active = false,
+                        _ => {
+                            imp.name = Some(ident.clone());
+                            // Skip the captured type's own generics.
+                            if i < ch.len() && ch[i] == '<' {
+                                angle_skip = 1;
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            match c {
+                '(' => {
+                    // `fn(...)` pointer type, not a definition.
+                    awaiting_name = false;
+                    paren_depth += 1;
+                }
+                ')' => paren_depth -= 1,
+                '{' if paren_depth == 0 => {
+                    brace_depth += 1;
+                    if pending_test_mod {
+                        // A `#[cfg(test)]` item (module or function) opens
+                        // here: everything inside is test code.
+                        test_mod_stack.push(brace_depth);
+                        pending_test_mod = false;
+                        in_test_mod[lineno] = true;
+                    }
+                    if imp.active {
+                        impl_stack.push((imp.name.take(), brace_depth));
+                        imp.active = false;
+                    }
+                    if let Some((name, start)) = pending_fn.take() {
+                        let qual = impl_stack.last().and_then(|(n, _)| n.clone());
+                        stack.push((name, qual, brace_depth, start));
+                    }
+                }
+                '}' if paren_depth == 0 => {
+                    if let Some((_, _, d, _)) = stack.last() {
+                        if *d == brace_depth {
+                            let (name, qualifier, _, start) = stack.pop().unwrap();
+                            fns.push(FnSpan {
+                                name,
+                                qualifier,
+                                start,
+                                end: lineno,
+                            });
+                        }
+                    }
+                    if impl_stack.last().map(|(_, d)| *d) == Some(brace_depth) {
+                        impl_stack.pop();
+                    }
+                    if test_mod_stack.last() == Some(&brace_depth) {
+                        test_mod_stack.pop();
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                }
+                ';' if paren_depth == 0 => {
+                    // Trait method declaration without a body.
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        depth_end[lineno] = brace_depth;
+    }
+    // Unterminated functions (EOF): close at the last line.
+    while let Some((name, qualifier, _, start)) = stack.pop() {
+        fns.push(FnSpan {
+            name,
+            qualifier,
+            start,
+            end: lines.len(),
+        });
+    }
+    Structure {
+        fns,
+        in_test_mod,
+        depth_end,
+    }
+}
+
+impl Structure {
+    /// Innermost function containing `line` (1-based).
+    pub fn fn_at(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+
+    /// Index of the innermost function containing `line`.
+    pub fn fn_idx_at(&self, line: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.start <= line && line <= f.end)
+            .min_by_key(|(_, f)| f.end - f.start)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn qualifiers_follow_impl_blocks() {
+        let src = "\
+impl<'a> Shard<'a> {
+    fn write(&self) -> u64 { 1 }
+}
+impl fmt::Debug for Bucket<T> {
+    fn fmt(&self) { x(); }
+}
+fn free_standing() { y(); }
+";
+        let s = analyze_structure(&lex(src));
+        let find = |n: &str| s.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(find("write").qualifier.as_deref(), Some("Shard"));
+        assert_eq!(find("fmt").qualifier.as_deref(), Some("Bucket"));
+        assert_eq!(find("free_standing").qualifier, None);
+    }
+
+    #[test]
+    fn depth_end_tracks_block_scopes() {
+        let src = "fn f() {\n    {\n        let g = m.lock();\n    }\n    after();\n}\n";
+        let s = analyze_structure(&lex(src));
+        assert_eq!(s.depth_end[1], 1);
+        assert_eq!(s.depth_end[2], 2);
+        assert_eq!(s.depth_end[3], 2);
+        assert_eq!(s.depth_end[4], 1, "inner block closed");
+        assert_eq!(s.depth_end[6], 0);
+    }
+}

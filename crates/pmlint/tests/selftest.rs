@@ -73,6 +73,49 @@ fn ptr_cache_rule_fires() {
 }
 
 #[test]
+fn raw_string_does_not_hide_a_missing_persist() {
+    // Regression fixture for the lexer blind spot: before raw-string
+    // support, the `persist` inside `r#"…"#` counted as coverage and this
+    // write slipped through with zero findings.
+    let vs = lint_fixture("bad_rawstring.rs");
+    let lines = rule_lines(&vs, "persist-coverage");
+    assert_eq!(lines.len(), 1, "expected the one uncovered write: {vs:?}");
+    assert_eq!(vs.len(), 1, "only persist-coverage may fire: {vs:?}");
+}
+
+#[test]
+fn nested_comment_does_not_hide_a_missing_persist() {
+    // Regression fixture: a depth-unaware lexer leaves the outer block
+    // comment at the inner `*/`, sees the commented `persist(p, 16)` as
+    // code, and reports nothing.
+    let vs = lint_fixture("bad_nested_comment.rs");
+    let lines = rule_lines(&vs, "persist-coverage");
+    assert_eq!(lines.len(), 1, "expected the one uncovered write: {vs:?}");
+    assert_eq!(vs.len(), 1, "only persist-coverage may fire: {vs:?}");
+}
+
+#[test]
+fn lock_order_table_matches_runtime_ranks() {
+    // R5's static table and the runtime lock-witness must agree on the
+    // hierarchy, or a passing lint could coexist with a panicking witness
+    // (and vice versa).
+    let by_name = |n: &str| {
+        pmlint::locks::LOCK_ORDER
+            .iter()
+            .find(|c| c.name == n)
+            .unwrap_or_else(|| panic!("LOCK_ORDER lost class {n}"))
+            .rank
+    };
+    assert_eq!(by_name("DIR_RESIZE"), parking_lot::rank::DIR_RESIZE);
+    assert_eq!(by_name("BUCKET_ENTRIES"), parking_lot::rank::BUCKET_ENTRIES);
+    assert_eq!(by_name("SHARD"), parking_lot::rank::SHARD);
+    assert_eq!(by_name("EPALLOC_CLASS"), parking_lot::rank::EPALLOC_CLASS);
+    assert_eq!(by_name("LOG_SLOTS"), parking_lot::rank::LOG_SLOTS);
+    assert_eq!(by_name("EBR_GARBAGE"), parking_lot::rank::EBR_GARBAGE);
+    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 6, "table drifted");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let vs = lint_fixture("good_clean.rs");
     assert!(vs.is_empty(), "clean fixture must lint clean: {vs:?}");

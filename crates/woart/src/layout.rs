@@ -130,9 +130,9 @@ pub fn alloc_node(pool: &PmemPool, nt: u8, prefix: &[u8]) -> Result<PmPtr> {
     let p = pool
         .alloc_raw(node_size(nt), NODE_ALIGN)
         .ok_or(Error::PmExhausted)?;
-    pool.write(p.add(OFF_TYPE), &nt); // pmlint: deferred-persist(caller fills the node then runs persist_node pre-publication)
+    pool.write(p.add(OFF_TYPE), &nt);
     if nt == NT_N48 {
-        pool.write_bytes(p.add(N48_INDEX), &[NO_SLOT; 256]); // pmlint: deferred-persist(caller fills the node then runs persist_node pre-publication)
+        pool.write_bytes(p.add(N48_INDEX), &[NO_SLOT; 256]);
     }
     set_prefix(pool, p, prefix);
     Ok(p)
@@ -163,7 +163,7 @@ pub fn node_count(pool: &PmemPool, node: PmPtr) -> usize {
 }
 
 fn set_count(pool: &PmemPool, node: PmPtr, c: usize) {
-    pool.write(node.add(OFF_COUNT), &(c as u16)); // pmlint: deferred-persist(caller persists the header region)
+    pool.write(node.add(OFF_COUNT), &(c as u16)); // pmlint: deferred-persist(add_child/remove_child persist_header inline; the add_child_volatile path defers to its own callers)
 }
 
 /// Compressed path prefix.
@@ -179,8 +179,8 @@ pub fn set_prefix(pool: &PmemPool, node: PmPtr, p: &[u8]) {
     debug_assert!(p.len() <= 24);
     let mut buf = [0u8; 24];
     buf[..p.len()].copy_from_slice(p);
-    pool.write(node.add(OFF_PREFIX_LEN), &(p.len() as u8)); // pmlint: deferred-persist(caller runs persist_header)
-    pool.write_bytes(node.add(OFF_PREFIX), &buf); // pmlint: deferred-persist(caller runs persist_header)
+    pool.write(node.add(OFF_PREFIX_LEN), &(p.len() as u8));
+    pool.write_bytes(node.add(OFF_PREFIX), &buf);
 }
 
 /// Persist the header region (type/count/prefix + N4 keys — one line).
@@ -397,25 +397,25 @@ pub fn add_child_volatile(pool: &PmemPool, node: PmPtr, b: u8, child: Tagged) ->
     }
     match nt {
         NT_N4 => {
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write(node.add(N4_KEYS + count as u64), &b);
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write_u64_atomic(node.add(N4_CHILDREN + 8 * count as u64), child.encode());
         }
         NT_N16 => {
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write(node.add(N16_KEYS + count as u64), &b);
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write_u64_atomic(node.add(N16_CHILDREN + 8 * count as u64), child.encode());
         }
         NT_N48 => {
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write(node.add(N48_INDEX + b as u64), &(count as u8));
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write_u64_atomic(node.add(N48_CHILDREN + 8 * count as u64), child.encode());
         }
         NT_N256 => {
-            // pmlint: deferred-persist(volatile build; caller runs persist_node before publishing)
+            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
             pool.write_u64_atomic(node.add(N256_CHILDREN + 8 * b as u64), child.encode());
         }
         _ => panic!("bad node type {nt}"),

@@ -68,8 +68,8 @@ fn prefix_of(pool: &PmemPool, node: PmPtr) -> ([u8; MAX_PREFIX], usize) {
 fn set_prefix(pool: &PmemPool, node: PmPtr, p: &[u8]) {
     let mut buf = [0u8; MAX_PREFIX];
     buf[..p.len()].copy_from_slice(p);
-    pool.write(node.add(OFF_PREFIX_LEN), &(p.len() as u8)); // pmlint: deferred-persist(caller runs persist_header)
-    pool.write_bytes(node.add(OFF_PREFIX), &buf); // pmlint: deferred-persist(caller runs persist_header)
+    pool.write(node.add(OFF_PREFIX_LEN), &(p.len() as u8));
+    pool.write_bytes(node.add(OFF_PREFIX), &buf);
 }
 
 fn persist_header(pool: &PmemPool, node: PmPtr) {

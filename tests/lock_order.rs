@@ -1,0 +1,210 @@
+//! Lock-ordering discipline, checked from both ends (DESIGN.md §8):
+//!
+//! * statically — seeded inversion fixtures fed through pmlint's R5
+//!   `lock-order` rule, proving the rule actually rejects the cycles the
+//!   hierarchy exists to prevent;
+//! * dynamically — a resize+insert+lookup stress whose every blocking
+//!   acquisition is validated by the runtime lock witness when the suite
+//!   runs under `--features lock-witness` (the nightly CI job). Without
+//!   the feature the same test still runs as a plain concurrency stress.
+
+use hart_suite::{Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Static side: R5 must reject a seeded rank inversion in dir.rs idiom.
+// ---------------------------------------------------------------------
+
+fn lint_as_dir(src: &str) -> Vec<pmlint::Violation> {
+    pmlint::lint_source("crates/hart/src/dir.rs", src)
+        .into_iter()
+        .filter(|v| v.rule == "lock-order")
+        .collect()
+}
+
+#[test]
+fn seeded_rank_inversion_is_rejected() {
+    // BUCKET_ENTRIES (20) held, then a blocking DIR_RESIZE (10) acquire:
+    // the exact deadlock shape the hierarchy forbids (a resizer holding
+    // `resize` takes bucket locks, so the reverse nesting can cycle).
+    let src = "\
+impl Bucket {
+    fn bad_nested(&self, dir: &Directory) {
+        let g = self.entries.write();
+        let r = dir.resize.lock();
+        drop(r);
+        drop(g);
+    }
+}
+";
+    let vs = lint_as_dir(src);
+    assert_eq!(vs.len(), 1, "inversion must be flagged: {vs:?}");
+    assert_eq!(vs[0].line, 4, "violation anchors at the nested acquire");
+    assert!(
+        vs[0].msg.contains("BUCKET_ENTRIES") && vs[0].msg.contains("DIR_RESIZE"),
+        "message names both classes: {}",
+        vs[0].msg
+    );
+}
+
+#[test]
+fn hierarchy_order_nesting_is_accepted() {
+    // The legal direction: DIR_RESIZE (10) → BUCKET_ENTRIES (20), the
+    // shape `grow`/`finish_resize` actually use.
+    let src = "\
+impl Directory {
+    fn good_nested(&self, bucket: &Bucket) {
+        let r = self.resize.lock();
+        let g = bucket.entries.write();
+        drop(g);
+        drop(r);
+    }
+}
+";
+    let vs = lint_as_dir(src);
+    assert!(vs.is_empty(), "legal nesting must pass: {vs:?}");
+}
+
+#[test]
+fn try_acquisition_is_exempt_from_r5() {
+    // try_lock cannot deadlock, so the same inversion through try_lock is
+    // reported as a try edge but not a violation — mirroring the runtime
+    // witness, which records but never checks try acquisitions.
+    let src = "\
+impl Bucket {
+    fn try_nested(&self, dir: &Directory) {
+        let g = self.entries.write();
+        if let Some(r) = dir.resize.try_lock() {
+            drop(r);
+        }
+        drop(g);
+    }
+}
+";
+    let vs = lint_as_dir(src);
+    assert!(vs.is_empty(), "try edges are exempt: {vs:?}");
+}
+
+#[test]
+fn chained_same_rank_nesting_is_accepted() {
+    // Hand-over-hand old→current bucket migration: same class, chained.
+    let src = "\
+impl Directory {
+    fn migrate(&self, old: &Bucket, cur: &Bucket) {
+        let a = old.entries.write();
+        let b = cur.entries.write();
+        drop(b);
+        drop(a);
+    }
+}
+";
+    let vs = lint_as_dir(src);
+    assert!(vs.is_empty(), "chained class may self-nest: {vs:?}");
+}
+
+// ---------------------------------------------------------------------
+// Dynamic side: resize + insert + lookup churn under the lock witness.
+// ---------------------------------------------------------------------
+
+/// Tiny deterministic PRNG (same idiom as `tests/resize.rs`) so every run
+/// replays the identical op stream.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+const N_PREFIXES: u64 = 32;
+const KEYS_PER_PREFIX: u64 = 3;
+const N_KEYS: u64 = N_PREFIXES * KEYS_PER_PREFIX;
+
+fn key_of(kid: u64) -> Key {
+    let p = kid / KEYS_PER_PREFIX;
+    let a = (b'A' + (p / 26) as u8) as char;
+    let b = (b'A' + (p % 26) as u8) as char;
+    Key::from_str(&format!("{a}{b}{:03}", kid % KEYS_PER_PREFIX)).unwrap()
+}
+
+fn value_of(x: u64) -> Value {
+    Value::new(&x.to_le_bytes()).unwrap()
+}
+
+/// One churn round: a fresh directory born with 8 buckets and load
+/// threshold 1 is forced through several doublings while two writers and
+/// a reader exercise every lock class — DIR_RESIZE and BUCKET_ENTRIES in
+/// the directory, SHARD under update, EPALLOC_CLASS / LOG_SLOTS in the
+/// allocator, EBR_GARBAGE on deferred frees. Under `lock-witness` every
+/// blocking acquisition in the round is hierarchy-checked; a single
+/// inversion panics the offending thread and fails the test.
+fn churn_round(seed: u64) -> u64 {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 32 << 20,
+        alloc_overhead_ns: 0,
+        ..PoolConfig::test_small()
+    }));
+    let h = Arc::new(
+        Hart::create(
+            pool,
+            HartConfig {
+                initial_buckets: 8,
+                resize_threshold: 1,
+                ..HartConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let hits = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for w in 0..2u64 {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                let mut rng = XorShift(seed * 4 + w + 1);
+                for _ in 0..N_KEYS {
+                    let kid = rng.next() % N_KEYS;
+                    let k = key_of(kid);
+                    if rng.next().is_multiple_of(4) {
+                        let _ = h.remove(&k);
+                    } else {
+                        h.insert(&k, &value_of(kid)).unwrap();
+                    }
+                }
+            });
+        }
+        let h2 = Arc::clone(&h);
+        let hits = &hits;
+        s.spawn(move || {
+            let mut rng = XorShift(seed * 4 + 3);
+            for _ in 0..N_KEYS * 2 {
+                let kid = rng.next() % N_KEYS;
+                if let Ok(Some(v)) = h2.search(&key_of(kid)) {
+                    assert_eq!(v.as_slice(), value_of(kid).as_slice());
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+    h.hash_resize_count()
+}
+
+#[test]
+fn witness_stress_resize_insert_lookup() {
+    // 100 independent rounds with distinct deterministic seeds. The point
+    // is witness coverage (every round re-walks create → grow → migrate →
+    // insert → lookup → remove → reclaim), not throughput.
+    let mut resizes = 0;
+    for seed in 1..=100u64 {
+        resizes += churn_round(seed);
+    }
+    assert!(
+        resizes >= 100,
+        "churn must actually exercise resizing, saw {resizes} grows"
+    );
+}
