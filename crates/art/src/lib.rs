@@ -56,6 +56,7 @@
 mod iter;
 mod node;
 mod optimistic;
+pub mod simd;
 mod tree;
 
 pub use iter::ArtIter;

@@ -163,13 +163,8 @@ impl<L> Node<L> {
                     .position(|&k| k == b)
                     .and_then(|i| n.children[i].as_ref())
             }
-            Repr::N16(n) => {
-                let c = self.count as usize;
-                n.keys[..c]
-                    .iter()
-                    .position(|&k| k == b)
-                    .and_then(|i| n.children[i].as_ref())
-            }
+            Repr::N16(n) => crate::simd::find_key16(&n.keys, self.count as usize, b)
+                .and_then(|i| n.children[i].as_ref()),
             Repr::N48(n) => {
                 let slot = n.index[b as usize];
                 if slot == NO_SLOT {
@@ -192,13 +187,10 @@ impl<L> Node<L> {
                     None => None,
                 }
             }
-            Repr::N16(n) => {
-                let c = self.count as usize;
-                match n.keys[..c].iter().position(|&k| k == b) {
-                    Some(i) => n.children[i].as_mut(),
-                    None => None,
-                }
-            }
+            Repr::N16(n) => match crate::simd::find_key16(&n.keys, self.count as usize, b) {
+                Some(i) => n.children[i].as_mut(),
+                None => None,
+            },
             Repr::N48(n) => {
                 let slot = n.index[b as usize];
                 if slot == NO_SLOT {
@@ -326,7 +318,7 @@ impl<L> Node<L> {
         match &self.repr {
             Repr::N4(n) => (self.count > 0).then(|| n.keys[0]),
             Repr::N16(n) => (self.count > 0).then(|| n.keys[0]),
-            Repr::N48(n) => (0..=255u8).find(|&b| n.index[b as usize] != NO_SLOT),
+            Repr::N48(n) => crate::simd::next_edge48(&n.index, 0),
             Repr::N256(n) => (0..=255u8).find(|&b| n.children[b as usize].is_some()),
         }
     }
@@ -345,11 +337,11 @@ impl<L> Node<L> {
                 }
             }
             Repr::N48(n) => {
-                for b in 0..=255u8 {
+                let mut from = 0usize;
+                while let Some(b) = crate::simd::next_edge48(&n.index, from) {
                     let slot = n.index[b as usize];
-                    if slot != NO_SLOT {
-                        f(b, n.children[slot as usize].as_ref().expect("live slot"));
-                    }
+                    f(b, n.children[slot as usize].as_ref().expect("live slot"));
+                    from = b as usize + 1;
                 }
             }
             Repr::N256(n) => {

@@ -35,7 +35,7 @@
 //! committed tree state for one version, so the result is exactly what the
 //! locked path would have returned at that version.
 
-use crate::node::{Child, Node, Repr, NO_SLOT};
+use crate::node::{Child, Node, Repr};
 use crate::tree::{prefix_gt, prefix_lt, tb, Art, KeyResolver};
 use hart_kv::MAX_KEY_LEN;
 use std::mem::MaybeUninit;
@@ -86,9 +86,11 @@ unsafe fn child_slot<L>(node: &Node<L>, b: u8) -> Result<*const Option<Child<L>>
         }
         Repr::N16(bx) => {
             let n = &**bx;
+            // SIMD search runs on the local volatile copy, never the shared
+            // array; a torn copy at worst misroutes to a committed slot,
+            // which the caller's validate rejects.
             let keys = vol_copy(addr_of!(n.keys)).assume_init();
-            let c = (node.count as usize).min(16);
-            match keys[..c].iter().position(|&k| k == b) {
+            match crate::simd::find_key16(&keys, node.count as usize, b) {
                 Some(i) => Ok(addr_of!(n.children[i])),
                 None => Err(()),
             }
@@ -363,10 +365,17 @@ where
         }
         Repr::N48(bx) => {
             let n = &**bx;
-            for b in 0..=255u8 {
-                let slot = ptr::read_volatile(addr_of!(n.index[b as usize]));
-                if slot == NO_SLOT || slot as usize >= 48 {
-                    continue;
+            // One volatile copy of the whole index, then SIMD next-edge
+            // stepping over the local bytes. Same trust model as the old
+            // per-byte volatile loop: the bytes are unvalidated, slots are
+            // bounds-clamped, and `visit` validates before dereferencing.
+            let index = vol_copy(addr_of!(n.index)).assume_init();
+            let mut from = 0usize;
+            while let Some(b) = crate::simd::next_edge48(&index, from) {
+                from = b as usize + 1;
+                let slot = index[b as usize];
+                if slot as usize >= 48 {
+                    continue; // torn index byte; validation will reject
                 }
                 if let Some(ok) = visit(b, addr_of!(n.children[slot as usize])) {
                     if !ok {

@@ -576,6 +576,120 @@ fn obsoverhead(a: &Args) {
     }
 }
 
+/// Ordered-scan experiment (beyond the paper's figures, DESIGN.md §Scans):
+/// the YCSB-E scan-heavy mix (95 % scans, Zipfian start keys, uniform
+/// lengths 1..=100) across all five trees, plus the SIMD-vs-scalar
+/// node-search ablation on a NODE16-heavy HART. The `speedup` column is
+/// only meaningful on the `simd-vector` row (scalar-secs / vector-secs).
+fn scan(a: &Args) {
+    let mut rep = Report::new(
+        "scan: YCSB-E scan-heavy mix + SIMD node-search ablation",
+        &[
+            "experiment",
+            "latency",
+            "tree",
+            "avg_us",
+            "scans",
+            "rows_mean",
+            "truncated",
+            "speedup",
+        ],
+    );
+    let w = YcsbWorkload::generate(MixSpec::ycsb_e(), a.records, a.records, a.seed);
+    for lat in [LatencyConfig::dram(), LatencyConfig::c300_100()] {
+        for kind in TreeKind::EXTENDED {
+            let t0 = Instant::now();
+            let r = run_scan_mix(kind, lat, &w);
+            eprintln!(
+                "[scan] ycsb-e / {} / {}: {:.3} µs/op ({} scans, {:.1} rows/scan) in {:.1}s",
+                lat.label(),
+                kind.label(),
+                r.avg_us,
+                r.scans,
+                r.rows_mean,
+                t0.elapsed().as_secs_f64()
+            );
+            rep.row(vec![
+                "ycsb-e".into(),
+                lat.label(),
+                kind.label().to_string(),
+                format!("{:.3}", r.avg_us),
+                r.scans.to_string(),
+                format!("{:.2}", r.rows_mean),
+                r.truncated.to_string(),
+                "".into(),
+            ]);
+        }
+    }
+    // SIMD ablation: same scan schedule over a NODE16-heavy tree, vector
+    // vs forced-scalar node search. DRAM latency so the CPU-side search
+    // cost under test is not drowned by injected PM stalls.
+    let n = a.records.min(200_000);
+    let scans = 2000.min(n);
+    let (vec_s, scal_s) = simd_scan_probe(LatencyConfig::dram(), n, scans);
+    let per_scan_us = |secs: f64| secs * 1e6 / scans as f64;
+    let speedup = scal_s / vec_s.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "[scan] simd: vector {:.3} µs/scan vs scalar {:.3} µs/scan ({speedup:.2}x, vector unit: {})",
+        per_scan_us(vec_s),
+        per_scan_us(scal_s),
+        bench::HAVE_VECTOR
+    );
+    rep.row(vec![
+        "simd-vector".into(),
+        "DRAM".into(),
+        "HART".into(),
+        format!("{:.3}", per_scan_us(vec_s)),
+        scans.to_string(),
+        "".into(),
+        "".into(),
+        format!("{speedup:.2}"),
+    ]);
+    rep.row(vec![
+        "simd-scalar".into(),
+        "DRAM".into(),
+        "HART".into(),
+        format!("{:.3}", per_scan_us(scal_s)),
+        scans.to_string(),
+        "".into(),
+        "".into(),
+        "1.00".into(),
+    ]);
+    // Kernel-granularity ablation: whole-scan timing buries the ~ns node
+    // search under ~µs of record loads, so also time the two vectorized
+    // kernels directly through the same runtime dispatch (avg_us is per
+    // kernel call; `scans` is the call count).
+    let iters = 2_000_000usize;
+    let k = simd_kernel_probe(iters);
+    eprintln!(
+        "[scan] simd kernels: find_key16 {:.2} ns vs {:.2} ns ({:.2}x), \
+         next_edge48 {:.2} ns vs {:.2} ns ({:.2}x)",
+        k.n16_vec_ns,
+        k.n16_scal_ns,
+        k.n16_scal_ns / k.n16_vec_ns.max(f64::MIN_POSITIVE),
+        k.n48_vec_ns,
+        k.n48_scal_ns,
+        k.n48_scal_ns / k.n48_vec_ns.max(f64::MIN_POSITIVE),
+    );
+    for (label, vec_ns, scal_ns) in [
+        ("simd-kernel-n16", k.n16_vec_ns, k.n16_scal_ns),
+        ("simd-kernel-n48", k.n48_vec_ns, k.n48_scal_ns),
+    ] {
+        rep.row(vec![
+            label.into(),
+            "DRAM".into(),
+            "HART".into(),
+            format!("{:.5}", vec_ns / 1e3),
+            iters.to_string(),
+            "".into(),
+            "".into(),
+            format!("{:.2}", scal_ns / vec_ns.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    rep.print();
+    rep.write_csv(&a.out, "scan.csv").expect("write csv");
+}
+
 fn summary(a: &Args, grid: &Grid) {
     // Best-case speedups of HART vs each competitor per op (§I's headline).
     let mut rep = Report::new(
@@ -636,6 +750,7 @@ fn main() {
         "readpath" => readpath(&a),
         "rehash" => rehash(&a),
         "extras" => extras(&a),
+        "scan" => scan(&a),
         "profile" => profile(&a),
         "tail" => tail(&a),
         "obsoverhead" => obsoverhead(&a),
@@ -658,12 +773,13 @@ fn main() {
             fig10d(&a);
             readpath(&a);
             rehash(&a);
+            scan(&a);
             summary(&a, &grid);
         }
         other => {
             eprintln!("unknown command {other}");
             eprintln!(
-                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras tail obsoverhead profile all"
+                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras scan tail obsoverhead profile all"
             );
             std::process::exit(2);
         }

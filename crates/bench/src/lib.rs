@@ -8,6 +8,7 @@
 //! phase at a time, exactly like §IV-B: insert everything, search
 //! everything, update everything, delete everything.
 
+pub use hart_art::simd::HAVE_VECTOR;
 pub use hart_obs::{Histogram, Instrumented, ObsSnapshot, Observable};
 
 use hart::{Hart, HartConfig};
@@ -203,6 +204,7 @@ pub fn run_mixed(
     for (k, v) in &workload.preload {
         tree.insert(k, v).expect("preload");
     }
+    let end = max_key();
     let t0 = Instant::now();
     for op in &workload.ops {
         match op.kind {
@@ -216,9 +218,216 @@ pub fn run_mixed(
             OpKind::Delete => {
                 let _ = tree.remove(&op.key).expect("delete");
             }
+            OpKind::Scan => {
+                // YCSB-E: open-ended range from the drawn start key, bounded
+                // by the requested row count (scan_len), like the reference
+                // workload's `scan(startkey, recordcount)`.
+                let _ = tree
+                    .scan(&op.key, &end, op.scan_len as usize)
+                    .expect("scan");
+            }
         }
     }
     avg_us(t0.elapsed(), workload.ops.len())
+}
+
+/// The greatest valid [`Key`] — the upper bound for open-ended scans.
+fn max_key() -> Key {
+    Key::new(&[0xFF; hart_kv::MAX_KEY_LEN]).expect("max key is valid")
+}
+
+/// One YCSB-E run (scan-heavy mix) with scan-shape telemetry: returns the
+/// average µs per op plus the observed rows/scan mean and truncation count
+/// from the tree's [`ObsSnapshot`] (the `scan` section added for this
+/// experiment).
+pub struct ScanMixResult {
+    pub avg_us: f64,
+    pub scans: u64,
+    pub rows_mean: f64,
+    pub truncated: u64,
+}
+
+/// Run a scan-heavy YCSB-E workload through the observed build of `kind`
+/// (HART exports native telemetry, baselines via [`Instrumented`]).
+pub fn run_scan_mix(
+    kind: TreeKind,
+    latency: LatencyConfig,
+    workload: &hart_workloads::YcsbWorkload,
+) -> ScanMixResult {
+    use hart_workloads::OpKind;
+    let (tree, _pool) = kind.build_observed(pool_config(
+        latency,
+        workload.preload.len() + workload.ops.len(),
+    ));
+    for (k, v) in &workload.preload {
+        tree.insert(k, v).expect("preload");
+    }
+    let end = max_key();
+    let t0 = Instant::now();
+    for op in &workload.ops {
+        match op.kind {
+            OpKind::Insert => tree.insert(&op.key, &op.value).expect("insert"),
+            OpKind::Search => {
+                let _ = tree.search(&op.key).expect("search");
+            }
+            OpKind::Update => {
+                let _ = tree.update(&op.key, &op.value).expect("update");
+            }
+            OpKind::Delete => {
+                let _ = tree.remove(&op.key).expect("delete");
+            }
+            OpKind::Scan => {
+                let _ = tree
+                    .scan(&op.key, &end, op.scan_len as usize)
+                    .expect("scan");
+            }
+        }
+    }
+    let avg = avg_us(t0.elapsed(), workload.ops.len());
+    let snap = tree.obs_snapshot();
+    ScanMixResult {
+        avg_us: avg,
+        scans: snap.ops.scan.count,
+        rows_mean: snap.scan.rows_mean,
+        truncated: snap.scan.truncated,
+    }
+}
+
+/// SIMD-vs-scalar node-search ablation: time ordered scans over a
+/// NODE16-heavy HART (keys drawn from a 16-symbol alphabet, so interior
+/// nodes top out at 16 children and every descent step is a `find_key16` /
+/// `next_edge48` call). Returns `(vector_secs, scalar_secs)` for the same
+/// scan schedule, toggled via [`hart_art::simd::force_scalar`]. On targets
+/// without a vector unit both runs take the scalar path and the ratio is
+/// ~1.0 (`hart_art::simd::HAVE_VECTOR` tells the caller which case it is).
+pub fn simd_scan_probe(latency: LatencyConfig, n_keys: usize, scans: usize) -> (f64, f64) {
+    use rand::{Rng, SeedableRng};
+    // 16-symbol alphabet, fixed width 8: dense NODE16 fanout at every level.
+    const SYMS: &[u8; 16] = b"0123456789ABCDEF";
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    let mut seen = std::collections::HashSet::new();
+    let mut keys = Vec::with_capacity(n_keys);
+    while keys.len() < n_keys {
+        let mut buf = [0u8; 8];
+        for b in &mut buf {
+            *b = SYMS[rng.gen_range(0..16)];
+        }
+        if seen.insert(buf) {
+            keys.push(Key::new(&buf).expect("hex keys are valid"));
+        }
+    }
+    let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
+    let tree = Hart::create(pool, HartConfig::default()).expect("create");
+    for k in &keys {
+        tree.insert(k, &value_for(k)).expect("preload");
+    }
+    let starts: Vec<Key> = (0..scans)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect();
+    let end = max_key();
+    let measure = |tree: &Hart| -> f64 {
+        let t0 = Instant::now();
+        for s in &starts {
+            let rows = tree.ordered_scan(s, &end, 100).expect("scan");
+            debug_assert!(!rows.is_empty());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Warm both paths once, then interleave best-of-3 so neither mode owns
+    // the cache-warming advantage.
+    hart_art::simd::force_scalar(false);
+    measure(&tree);
+    hart_art::simd::force_scalar(true);
+    measure(&tree);
+    let (mut vec_s, mut scal_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        hart_art::simd::force_scalar(false);
+        vec_s = vec_s.min(measure(&tree));
+        hart_art::simd::force_scalar(true);
+        scal_s = scal_s.min(measure(&tree));
+    }
+    hart_art::simd::force_scalar(false);
+    (vec_s, scal_s)
+}
+
+/// Per-kernel timings from [`simd_kernel_probe`], nanoseconds per call,
+/// vector vs forced-scalar. On targets without a vector unit the two
+/// columns time the same code and the ratio is ~1.0.
+pub struct SimdKernelResult {
+    pub n16_vec_ns: f64,
+    pub n16_scal_ns: f64,
+    pub n48_vec_ns: f64,
+    pub n48_scal_ns: f64,
+}
+
+/// Kernel-granularity SIMD ablation. Whole-scan timing buries the node
+/// search under record loads (~µs of PM reads per row vs ~ns of byte
+/// search per step), so this times the two vectorized kernels directly,
+/// through the same runtime dispatch the trees use:
+///
+/// * `find_key16` over a full NODE16, alternating hit and miss bytes —
+///   the per-level step of every point lookup and scan seek;
+/// * `next_edge48` over a sparse, just-promoted NODE48 (17 children
+///   spread across the byte space, the shape where the scalar linear
+///   probe walks its longest gaps) — the per-row step of ordered
+///   iteration through NODE48 interior nodes.
+pub fn simd_kernel_probe(iters: usize) -> SimdKernelResult {
+    use std::hint::black_box;
+    let keys: [u8; 16] = std::array::from_fn(|i| (i * 16 + 3) as u8);
+    let mut index = [0xFFu8; 256];
+    for i in 0..17 {
+        index[i * 15 + 1] = i as u8; // slots 1, 16, 31, … 241: gap 15
+    }
+    let time = |f: &mut dyn FnMut() -> usize| -> f64 {
+        let t0 = Instant::now();
+        let sum = f();
+        let secs = t0.elapsed().as_secs_f64();
+        black_box(sum);
+        secs * 1e9 / iters as f64
+    };
+    let n16 = |scalar: bool| {
+        hart_art::simd::force_scalar(scalar);
+        time(&mut || {
+            let mut sum = 0usize;
+            for i in 0..iters {
+                // Even i: a present key (hit); odd i: byte 0 (miss).
+                let b = if i % 2 == 0 { keys[(i / 2) % 16] } else { 0 };
+                sum += hart_art::simd::find_key16(black_box(&keys), 16, b).unwrap_or(17);
+            }
+            sum
+        })
+    };
+    // Warm, then measure; interleave so neither mode owns cache warming.
+    n16(false);
+    n16(true);
+    let (n16_vec_ns, n16_scal_ns) = (n16(false), n16(true));
+    let n48 = |scalar: bool| {
+        hart_art::simd::force_scalar(scalar);
+        time(&mut || {
+            let mut sum = 0usize;
+            let mut from = 0usize;
+            for _ in 0..iters {
+                match hart_art::simd::next_edge48(black_box(&index), from) {
+                    Some(b) => {
+                        sum += b as usize;
+                        from = b as usize + 1;
+                    }
+                    None => from = 0,
+                }
+            }
+            sum
+        })
+    };
+    n48(false);
+    n48(true);
+    let (n48_vec_ns, n48_scal_ns) = (n48(false), n48(true));
+    hart_art::simd::force_scalar(false);
+    SimdKernelResult {
+        n16_vec_ns,
+        n16_scal_ns,
+        n48_vec_ns,
+        n48_scal_ns,
+    }
 }
 
 /// Range-query experiment (Fig. 10a): the tree is loaded with `keys`
@@ -287,8 +496,10 @@ pub fn fptree_build_recover(latency: LatencyConfig, keys: &[Key]) -> (Duration, 
 }
 
 /// HART multithreaded throughput in MIOPS (Fig. 10d). `op` is one of
-/// "insert", "search", "update", "delete". Keys are partitioned across
-/// `threads`; for the non-insert ops the tree is pre-populated.
+/// "insert", "search", "update", "delete", "scan" (parsed through
+/// [`hart_workloads::OpKind::parse`], so a typo is a hard error, not a
+/// silently skipped phase). Keys are partitioned across `threads`; for
+/// the non-insert ops the tree is pre-populated.
 pub fn hart_scalability(latency: LatencyConfig, keys: &[Key], threads: usize, op: &str) -> f64 {
     hart_scalability_cfg(latency, keys, threads, op, HartConfig::default())
 }
@@ -303,33 +514,44 @@ pub fn hart_scalability_cfg(
     op: &str,
     cfg: HartConfig,
 ) -> f64 {
+    use hart_workloads::OpKind;
+    // Fail fast on op-code typos *before* building pools or spawning
+    // threads — an unknown op used to die mid-run inside a worker thread.
+    let op = OpKind::parse(op).unwrap_or_else(|e| panic!("{e}"));
     let pool = Arc::new(PmemPool::new(pool_config(latency, keys.len())));
     let tree = Arc::new(Hart::create(pool, cfg).expect("create"));
-    if op != "insert" {
+    if op != OpKind::Insert {
         for k in keys {
             tree.insert(k, &value_for(k)).expect("preload");
         }
     }
+    let end = max_key();
     let chunk = keys.len().div_ceil(threads);
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for part in keys.chunks(chunk) {
             let tree = Arc::clone(&tree);
+            let end = &end;
             s.spawn(move || {
                 for k in part {
                     match op {
-                        "insert" => tree.insert(k, &value_for(k)).expect("insert"),
-                        "search" => {
+                        OpKind::Insert => tree.insert(k, &value_for(k)).expect("insert"),
+                        OpKind::Search => {
                             let got = tree.search(k).expect("search");
                             debug_assert!(got.is_some());
                         }
-                        "update" => {
+                        OpKind::Update => {
                             let _ = tree.update(k, &Value::from_u64(1)).expect("update");
                         }
-                        "delete" => {
+                        OpKind::Delete => {
                             let _ = tree.remove(k).expect("delete");
                         }
-                        _ => panic!("unknown op {op}"),
+                        OpKind::Scan => {
+                            let rows = tree
+                                .ordered_scan(k, end, hart_workloads::SCAN_LEN_MAX as usize)
+                                .expect("scan");
+                            debug_assert!(!rows.is_empty());
+                        }
                     }
                 }
             });
@@ -615,6 +837,45 @@ mod tests {
             let us = run_mixed(kind, LatencyConfig::dram(), &w);
             assert!(us > 0.0);
         }
+    }
+
+    #[test]
+    fn scan_mix_runs_on_all_trees() {
+        let w =
+            hart_workloads::YcsbWorkload::generate(hart_workloads::MixSpec::ycsb_e(), 400, 800, 21);
+        for kind in TreeKind::ALL {
+            let r = run_scan_mix(kind, LatencyConfig::dram(), &w);
+            assert!(r.avg_us > 0.0, "{}", kind.label());
+            assert!(r.scans > 0, "{}", kind.label());
+            assert!(r.rows_mean > 0.0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn simd_probe_measures_both_modes() {
+        let (v, s) = simd_scan_probe(LatencyConfig::dram(), 2000, 32);
+        assert!(v > 0.0 && s > 0.0);
+    }
+
+    #[test]
+    fn simd_kernel_probe_measures_both_kernels() {
+        let k = simd_kernel_probe(10_000);
+        assert!(k.n16_vec_ns > 0.0 && k.n16_scal_ns > 0.0);
+        assert!(k.n48_vec_ns > 0.0 && k.n48_scal_ns > 0.0);
+    }
+
+    #[test]
+    fn scalability_scan_op_runs() {
+        let keys = hart_workloads::random(2000, 19);
+        let miops = hart_scalability(LatencyConfig::dram(), &keys, 2, "scan");
+        assert!(miops > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown op-code")]
+    fn scalability_rejects_unknown_op() {
+        let keys = hart_workloads::random(10, 1);
+        hart_scalability(LatencyConfig::dram(), &keys, 1, "scna");
     }
 
     #[test]

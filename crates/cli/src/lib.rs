@@ -344,12 +344,15 @@ fn cmd_scan(opts: &Options, args: &[String]) -> CliResult {
         return Err(CliError::Usage("scan <image> <start> <end>".into()));
     };
     let (_pool, hart) = load(opts)?;
-    let hits = hart.range(&parse_key(start)?, &parse_key(end)?)?;
+    // Trait-level scan: the limit is pushed down into the tree (shards past
+    // the quota are never visited) instead of ranging everything and
+    // truncating here.
+    let hits = hart.scan(&parse_key(start)?, &parse_key(end)?, opts.limit)?;
     let mut out = String::new();
-    for (k, v) in hits.iter().take(opts.limit) {
+    for (k, v) in &hits {
         writeln!(out, "{k}\t{}", show_value(v)).unwrap();
     }
-    write!(out, "{} record(s)", hits.len().min(opts.limit)).unwrap();
+    write!(out, "{} record(s)", hits.len()).unwrap();
     Ok(out)
 }
 
@@ -520,7 +523,7 @@ pub fn repl(opts: &Options, input: impl BufRead, mut output: impl Write) -> Resu
                 })
             })(),
             ["scan", a, b] => (|| {
-                let hits = hart.range(&parse_key(a)?, &parse_key(b)?)?;
+                let hits = hart.scan(&parse_key(a)?, &parse_key(b)?, opts.limit)?;
                 let mut s = String::new();
                 for (k, v) in &hits {
                     writeln!(s, "{k}\t{}", show_value(v)).unwrap();

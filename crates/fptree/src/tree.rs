@@ -408,6 +408,51 @@ impl PersistentIndex for FpTree {
         Ok(out)
     }
 
+    fn scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let g = self.inner.read();
+        let pool = &self.pool;
+        let (s, e) = (start.as_slice(), end.as_slice());
+        let mut out = Vec::new();
+        if s > e || limit == 0 || g.map.is_empty() {
+            return Ok(out);
+        }
+        let first_sep = *g
+            .map
+            .range(..=InlineKey::from_slice(s))
+            .next_back()
+            .map(|(k, _)| k)
+            .unwrap_or_else(|| g.map.iter().next().expect("non-empty").0);
+        for (sep, &leaf) in g.map.range(first_sep..) {
+            if sep.as_slice() > e {
+                break;
+            }
+            let bm = bitmap(pool, leaf);
+            for slot in 0..LEAF_CAP {
+                if bm & (1 << slot) != 0 {
+                    let k = entry_key(pool, leaf, slot);
+                    let ks = k.as_slice();
+                    if ks >= s && ks <= e {
+                        let (pv, len) = entry_pvalue(pool, leaf, slot);
+                        out.push((
+                            Key::new(ks).expect("stored key is valid"),
+                            read_value(pool, pv, len),
+                        ));
+                    }
+                }
+            }
+            // Leaves partition the keyspace in separator order, so once this
+            // leaf pushed the count past `limit`, every later leaf only holds
+            // larger keys. Entries *within* a leaf are unsorted, hence the
+            // sort-then-truncate below rather than an in-loop cutoff.
+            if out.len() >= limit {
+                break;
+            }
+        }
+        out.sort_unstable_by_key(|a| a.0);
+        out.truncate(limit);
+        Ok(out)
+    }
+
     fn name(&self) -> &'static str {
         "FPTree"
     }

@@ -314,7 +314,18 @@ pub(crate) struct Directory {
     /// Observability sink for grow/drain/finish events and lock-wait
     /// timing; an inert [`hart_obs::Recorder`] until [`Directory::set_recorder`].
     obs: hart_obs::Recorder,
+    /// Generation of the shard *set* (not shard contents): bumped once per
+    /// shard publish and once per unlink, never by migration (which moves
+    /// existing entries between tables). Stamps [`Directory::scan_cache`].
+    scan_gen: AtomicU64,
+    /// `(generation, sorted shard list)` for ordered scans — rebuilt
+    /// lazily when `scan_gen` moved, so steady-state scans skip the
+    /// full-directory walk and sort entirely.
+    scan_cache: RwLock<(u64, Arc<ShardList>)>,
 }
+
+/// Sorted `(hash key, shard)` snapshot held by the scan cache.
+pub(crate) type ShardList = Vec<(InlineKey, Arc<Shard>)>;
 
 /// Keeps the table pointers a directory operation loaded dereferenceable.
 ///
@@ -398,6 +409,13 @@ impl Directory {
             ),
             defer_reclaim,
             obs: hart_obs::Recorder::disabled(),
+            scan_gen: AtomicU64::new(0),
+            scan_cache: RwLock::new_ranked(
+                (0, Arc::new(Vec::new())),
+                parking_lot::rank::DIR_SCAN_CACHE,
+                false,
+                "Directory.scan_cache",
+            ),
         }
     }
 
@@ -567,82 +585,6 @@ impl Directory {
             }
         }
         RawBucketRead::Retry
-    }
-
-    /// Lock-free copy of one bucket's entries into `out`; returns false if
-    /// swaps kept interfering and the caller should fall back to the lock.
-    unsafe fn snapshot_bucket_raw(
-        bucket: &Bucket,
-        out: &mut Vec<(InlineKey, *const Shard)>,
-    ) -> bool {
-        for _ in 0..4 {
-            let v0 = bucket.version.load(Ordering::Acquire);
-            if v0 % 2 == 1 {
-                continue;
-            }
-            let table_mu: MaybeUninit<Box<[Entry]>> =
-                ptr::read_volatile(bucket.entries.data_ptr() as *const MaybeUninit<Box<[Entry]>>);
-            fence(Ordering::Acquire);
-            if bucket.version.load(Ordering::Relaxed) != v0 {
-                continue;
-            }
-            let table: &[Entry] = &*table_mu.as_ptr();
-            out.extend(table.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
-            return true;
-        }
-        false
-    }
-
-    /// Lock-free snapshot of all `(hash key, shard)` pairs, sorted by hash
-    /// key — the optimistic counterpart of [`Directory::shards_sorted`].
-    /// Falls back to read-locking any bucket whose swaps keep interfering.
-    /// During a migration an entry can momentarily live in both tables;
-    /// duplicates (always the same shard) are removed after the sort.
-    ///
-    /// The walk visits every `old` bucket before any `current` bucket, and
-    /// drains publish into `current` before deleting from `old`, so within
-    /// one stable `(old, current)` pair no live entry can dodge both
-    /// passes. A grow completing mid-walk breaks that argument (entries
-    /// drain into a table the walk never visits), so the walk restarts if
-    /// the `current` pointer moved; persistent growth degrades to one pass
-    /// under the resize lock, which freezes the table set.
-    ///
-    /// # Safety
-    /// Same pin contract as [`Directory::get_raw`].
-    pub unsafe fn shards_sorted_raw(&self) -> Vec<(InlineKey, *const Shard)> {
-        let mut out = Vec::new();
-        for _ in 0..4 {
-            out.clear();
-            let (cur, old) = self.tables();
-            for t in old.into_iter().chain(std::iter::once(cur)) {
-                for bucket in t.buckets.iter() {
-                    if !Self::snapshot_bucket_raw(bucket, &mut out) {
-                        let g = bucket.entries.read();
-                        out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
-                    }
-                }
-            }
-            if ptr::eq(self.current.load(Ordering::Acquire), cur as *const Table) {
-                out.sort_unstable_by_key(|e| e.0);
-                out.dedup_by_key(|e| e.0);
-                return out;
-            }
-        }
-        // Grows kept landing mid-walk; hold the resize lock so the table
-        // set is stable for one final pass (scans are rare — correctness
-        // over latency here).
-        let _st = self.resize.lock();
-        out.clear();
-        let (cur, old) = self.tables();
-        for t in old.into_iter().chain(std::iter::once(cur)) {
-            for bucket in t.buckets.iter() {
-                let g = bucket.entries.read();
-                out.extend(g.iter().map(|(k, s)| (*k, Arc::as_ptr(s))));
-            }
-        }
-        out.sort_unstable_by_key(|e| e.0);
-        out.dedup_by_key(|e| e.0);
-        out
     }
 
     /// Drain one `old` bucket into the current table. Entries are
@@ -838,6 +780,12 @@ impl Directory {
             let chain_len = next.len();
             bucket.install(&mut g, next);
             self.entries.fetch_add(1, Ordering::Relaxed);
+            // Release-ordered after the entry publish, and *before* the
+            // caller's first key insert can commit — a scan that starts
+            // after that commit therefore loads a generation past this
+            // bump and rebuilds its cached shard list (see
+            // `shards_sorted_cached`).
+            self.scan_gen.fetch_add(1, Ordering::Release);
             drop(g);
             if guard.may_resize() {
                 self.maybe_grow(cur as *const Table, chain_len);
@@ -888,6 +836,10 @@ impl Directory {
                 .collect();
             bucket.install(&mut g, next);
             self.entries.fetch_sub(1, Ordering::Relaxed);
+            // Stale cached lists keep an `Arc` to the shard, but it is
+            // `dead` and empty by the check above, so scans skip it; the
+            // bump retires the list at the next cache probe.
+            self.scan_gen.fetch_add(1, Ordering::Release);
             return true;
         }
     }
@@ -909,6 +861,40 @@ impl Directory {
         out.sort_unstable_by_key(|a| a.0);
         out.dedup_by_key(|a| a.0);
         out
+    }
+
+    /// Cached [`Directory::shards_sorted`]: the sorted list is rebuilt
+    /// only when the shard *set* changed (`scan_gen` — new hash prefix or
+    /// shard unlink; migrations do not count), so a steady-state ordered
+    /// scan costs one generation load plus an `Arc` clone instead of a
+    /// full bucket walk and sort.
+    ///
+    /// Staleness is bounded by commit order: a shard is published and the
+    /// generation bumped *before* its first key's insert returns, so a
+    /// scan that loads the generation after that insert committed sees
+    /// the bump and rebuilds; a scan overlapping the insert may use the
+    /// older list, indistinguishable from the scan running first.
+    /// Unlinked shards linger in stale lists but are `dead` (and empty by
+    /// the unlink invariant), so the per-shard collectors skip them.
+    pub fn shards_sorted_cached(&self) -> Arc<ShardList> {
+        let gen = self.scan_gen.load(Ordering::Acquire);
+        {
+            let g = self.scan_cache.read();
+            if g.0 == gen {
+                return Arc::clone(&g.1);
+            }
+        }
+        // Rebuild before taking the write lock: `shards_sorted` acquires
+        // the resize and bucket locks, and DIR_SCAN_CACHE ranks below
+        // both, so it must never be held across them. The snapshot is at
+        // least as new as `gen`; stamping it `gen` is conservative (a set
+        // change that landed mid-build just forces one more rebuild).
+        let list = Arc::new(self.shards_sorted());
+        let mut g = self.scan_cache.write();
+        if g.0 < gen {
+            *g = (gen, Arc::clone(&list));
+        }
+        list
     }
 
     /// Number of live shards (= ARTs = max concurrent writers).
@@ -1116,19 +1102,36 @@ mod tests {
     }
 
     #[test]
-    fn raw_snapshot_matches_locked_snapshot() {
+    fn cached_snapshot_tracks_shard_set() {
         let d = fixed(4);
         for hk in [b"zz".as_slice(), b"aa", b"mm"] {
             d.get_or_insert(hk);
         }
-        let _pin = hart_ebr::pin().expect("slot");
-        // SAFETY: `_pin` keeps the snapshotted tables alive.
-        let raw: Vec<InlineKey> = unsafe { d.shards_sorted_raw() }
-            .into_iter()
-            .map(|(k, _)| k)
-            .collect();
+        let keys = |l: &ShardList| -> Vec<InlineKey> { l.iter().map(|(k, _)| *k).collect() };
+        let cached = d.shards_sorted_cached();
         let locked: Vec<InlineKey> = d.shards_sorted().into_iter().map(|(k, _)| k).collect();
-        assert_eq!(raw, locked);
+        assert_eq!(keys(&cached), locked);
+        // Steady state: same generation, same list object — no rebuild.
+        assert!(Arc::ptr_eq(&cached, &d.shards_sorted_cached()));
+        // A new shard bumps the generation and invalidates the cache.
+        d.get_or_insert(b"bb");
+        let grown = d.shards_sorted_cached();
+        assert!(!Arc::ptr_eq(&cached, &grown));
+        assert_eq!(
+            keys(&grown),
+            [b"aa".as_slice(), b"bb", b"mm", b"zz"]
+                .map(InlineKey::from_slice)
+                .to_vec()
+        );
+        // So does an unlink.
+        assert!(d.remove_if_empty(b"mm"));
+        let shrunk = d.shards_sorted_cached();
+        assert_eq!(
+            keys(&shrunk),
+            [b"aa".as_slice(), b"bb", b"zz"]
+                .map(InlineKey::from_slice)
+                .to_vec()
+        );
     }
 
     /// Satellite: the seeded hash must spread random hash keys evenly — no
@@ -1336,11 +1339,12 @@ mod tests {
         hart_ebr::flush_for_tests();
     }
 
-    /// Regression (REVIEW.md): the lock-free full-directory snapshot must
-    /// never drop a continuously-live shard, even when a grow completes
-    /// mid-walk and drains entries into a table the walk would not visit.
+    /// Regression (REVIEW.md): the scan-facing directory snapshot must
+    /// never drop a continuously-live shard, even when grows complete and
+    /// drain entries between tables mid-walk — now exercised through the
+    /// generation-stamped cache, whose rebuilds race the growing writers.
     #[test]
-    fn raw_scan_never_misses_live_shards_during_growth() {
+    fn cached_scan_never_misses_live_shards_during_growth() {
         let d = Arc::new(resizing(4));
         let stable: Vec<[u8; 2]> = (0..64u16).map(|i| i.to_le_bytes()).collect();
         for hk in &stable {
@@ -1365,20 +1369,13 @@ mod tests {
                 let stable = stable.clone();
                 s.spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        let Some(_pin) = hart_ebr::pin() else {
-                            continue;
-                        };
-                        // SAFETY: `_pin` keeps the snapshotted tables
-                        // alive for the collect below.
-                        let raw = unsafe { d.shards_sorted_raw() };
-                        let snap: std::collections::HashSet<Vec<u8>> = raw
-                            .into_iter()
-                            .map(|(k, _)| k.as_slice().to_vec())
-                            .collect();
+                        let list = d.shards_sorted_cached();
+                        let snap: std::collections::HashSet<Vec<u8>> =
+                            list.iter().map(|(k, _)| k.as_slice().to_vec()).collect();
                         for hk in &stable {
                             assert!(
                                 snap.contains(hk.as_slice()),
-                                "raw scan dropped live shard {hk:?}"
+                                "cached scan dropped live shard {hk:?}"
                             );
                         }
                     }

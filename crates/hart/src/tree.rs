@@ -355,38 +355,77 @@ impl Hart {
     /// under its epoch counter; a shard whose writers keep invalidating the
     /// snapshot falls back to its read lock individually.
     pub fn ordered_range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
+        self.ordered_scan(start, end, usize::MAX)
+    }
+
+    /// Ordered scan bounded at `limit` records — the YCSB-E primitive.
+    ///
+    /// The directory-level merge degenerates to ordered concatenation: the
+    /// `k_h` prefix split gives shards non-overlapping key regions (the
+    /// shard for hash key "AB" holds exactly the keys that start "AB", and
+    /// "A" sorts before every "AB…"), so visiting shards in sorted hash-key
+    /// order yields globally sorted output with no heap. The limit then
+    /// becomes a shard-granular early stop: each visited shard is collected
+    /// whole (shards are small by construction — one `k_h` region), and no
+    /// further shard is touched once `limit` rows are in hand.
+    ///
+    /// Concurrency: same guarantees as [`Hart::ordered_range`] — every
+    /// per-shard batch is seqlock-validated before being published, and the
+    /// `Arc`s in the cached shard list keep every visited shard mapped
+    /// across an online resize, so a racing grow/drain can cost retries
+    /// but never torn, duplicated, or dropped keys.
+    ///
+    /// The shard list comes from the directory's generation-stamped scan
+    /// cache ([`Directory::shards_sorted_cached`]): steady state pays no
+    /// bucket walk, and a binary search on the sorted hash keys skips
+    /// every shard whose region ends below `start`.
+    pub fn ordered_scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
         let mut out = Vec::new();
-        if start > end {
+        if start > end || limit == 0 {
             return Ok(out);
         }
         let s = start.as_slice();
         let e = end.as_slice();
         let hi_buf = [0xFFu8; MAX_KEY_LEN];
-        let pin = if self.cfg.optimistic_reads {
-            hart_ebr::pin()
-        } else {
-            None
-        };
-        if pin.is_some() {
-            // SAFETY: `pin` stays alive for the whole scan, keeping every
-            // raw shard pointer from the snapshot dereferenceable (EBR
-            // defers shard frees past the pinned epoch).
-            for (hk, shard) in unsafe { self.dir.shards_sorted_raw() } {
-                let Some((ak_lo, ak_hi)) = shard_ak_bounds(hk.as_slice(), s, e, &hi_buf) else {
-                    continue;
-                };
-                // SAFETY: `shard` came from the pinned snapshot above and
-                // the callee re-validates every read against the seqlock.
-                unsafe { self.range_shard_optimistic(shard, s, e, ak_lo, ak_hi, &mut out)? };
+        let kh = self.cfg.hash_key_len;
+        let shards = self.dir.shards_sorted_cached();
+        // First shard whose region can reach `start`. A full-length hash
+        // key owns the prefix region [hk, hk·0xFF…]; a shorter one is a
+        // whole key and owns the singleton {hk}. Both maxima are monotone
+        // in hash-key order, so the predicate partitions the sorted list.
+        let from = shards.partition_point(|(hk, _)| {
+            let hk = hk.as_slice();
+            if hk.len() < kh {
+                hk < s
+            } else {
+                let m = hk.len().min(s.len());
+                hk[..m] < s[..m]
             }
-        } else {
-            for (hk, shard) in self.dir.shards_sorted() {
-                let Some((ak_lo, ak_hi)) = shard_ak_bounds(hk.as_slice(), s, e, &hi_buf) else {
-                    continue;
+        });
+        for (hk, shard) in &shards[from..] {
+            if out.len() >= limit {
+                break;
+            }
+            if hk.as_slice() > e {
+                // The region minimum is the hash key itself, so this and
+                // every later shard lie wholly past `end`.
+                break;
+            }
+            let Some((ak_lo, ak_hi)) = shard_ak_bounds(hk.as_slice(), s, e, &hi_buf) else {
+                continue;
+            };
+            if self.cfg.optimistic_reads {
+                // SAFETY: the `Arc` in the cached list keeps `shard` alive
+                // for the whole call; the callee re-validates every read
+                // against the shard seqlock.
+                unsafe {
+                    self.range_shard_optimistic(Arc::as_ptr(shard), s, e, ak_lo, ak_hi, &mut out)?
                 };
-                self.range_shard_locked(&shard, s, e, ak_lo, ak_hi, &mut out)?;
+            } else {
+                self.range_shard_locked(shard, s, e, ak_lo, ak_hi, &mut out)?;
             }
         }
+        out.truncate(limit);
         Ok(out)
     }
 
@@ -424,8 +463,8 @@ impl Hart {
     /// the retry budget runs out.
     ///
     /// # Safety
-    /// `shard` must come from a directory snapshot taken under the EBR pin
-    /// the caller still holds.
+    /// The caller must keep `shard` alive for the whole call (the scan
+    /// path holds the `Arc` from the cached shard list).
     unsafe fn range_shard_optimistic(
         &self,
         shard: *const Shard,
@@ -919,6 +958,19 @@ impl PersistentIndex for Hart {
 
     fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
         self.ordered_range(start, end)
+    }
+
+    fn scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let t0 = self.obs.op_timer();
+        let res = self.ordered_scan(start, end, limit);
+        match &res {
+            Ok(rows) => {
+                let truncated = limit > 0 && rows.len() == limit;
+                self.obs.record_scan(rows.len() as u64, truncated, t0);
+            }
+            Err(_) => self.obs.record_scan(0, false, t0),
+        }
+        res
     }
 
     fn name(&self) -> &'static str {

@@ -59,6 +59,20 @@ pub trait PersistentIndex: Send + Sync {
     /// all present keys in `[start, end]` (inclusive), in key order.
     fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>>;
 
+    /// Ordered scan: up to `limit` records with keys in `[start, end]`
+    /// (inclusive), smallest first — the YCSB-E primitive ("scan `limit`
+    /// records from `start`"). Unlike [`range`](Self::range), which always
+    /// materializes the whole interval, implementations stop early once
+    /// `limit` records are collected.
+    ///
+    /// The default is correct for any implementation; indexes override it
+    /// to avoid walking past the limit.
+    fn scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let mut out = self.range(start, end)?;
+        out.truncate(limit);
+        Ok(out)
+    }
+
     /// Point-lookup batch — exactly how the paper implements range query
     /// for the three ART-based trees (§IV-D: "simply implemented by calling
     /// a search function for each key").
@@ -77,5 +91,47 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes(_: &dyn PersistentIndex) {}
+    }
+
+    /// The default `scan` is `range` + truncation.
+    #[test]
+    fn default_scan_truncates_range() {
+        struct Fixed;
+        impl PersistentIndex for Fixed {
+            fn insert(&self, _: &Key, _: &Value) -> Result<()> {
+                unimplemented!()
+            }
+            fn search(&self, _: &Key) -> Result<Option<Value>> {
+                unimplemented!()
+            }
+            fn update(&self, _: &Key, _: &Value) -> Result<bool> {
+                unimplemented!()
+            }
+            fn remove(&self, _: &Key) -> Result<bool> {
+                unimplemented!()
+            }
+            fn len(&self) -> usize {
+                3
+            }
+            fn memory_stats(&self) -> MemoryStats {
+                MemoryStats::default()
+            }
+            fn range(&self, _: &Key, _: &Key) -> Result<Vec<(Key, Value)>> {
+                Ok(["a", "b", "c"]
+                    .iter()
+                    .map(|s| (Key::from_str(s).unwrap(), Value::from_u64(7)))
+                    .collect())
+            }
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+        }
+        let lo = Key::from_str("a").unwrap();
+        let hi = Key::from_str("z").unwrap();
+        let got = Fixed.scan(&lo, &hi, 2).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.as_slice(), b"a");
+        assert!(Fixed.scan(&lo, &hi, 10).unwrap().len() == 3);
+        assert!(Fixed.scan(&lo, &hi, 0).unwrap().is_empty());
     }
 }

@@ -1,0 +1,13 @@
+//! Print the current ObsSnapshot schema keys, one per line — pipe into
+//! `golden/obs_schema_keys.txt` (below its comment header) to accept an
+//! intentional schema change:
+//!
+//! ```text
+//! cargo run -p hart-obs --example regen_golden
+//! ```
+
+fn main() {
+    for k in hart_obs::ObsSnapshot::default().schema_keys() {
+        println!("{k}");
+    }
+}

@@ -33,7 +33,7 @@ pub use json::Json;
 pub use recorder::{Event, Op, Recorder, SAMPLE_EVERY};
 pub use snapshot::{
     AllocClassStats, AllocSection, DirSection, EbrSection, LocksSection, ObsSnapshot, OpStats,
-    OpsSection, PmSection, ReadsSection,
+    OpsSection, PmSection, ReadsSection, ScanSection,
 };
 pub use wrap::Instrumented;
 

@@ -34,9 +34,10 @@ pub enum Op {
     Insert = 1,
     Update = 2,
     Remove = 3,
+    Scan = 4,
 }
 
-pub(crate) const N_OPS: usize = 4;
+pub(crate) const N_OPS: usize = 5;
 
 /// Exact-count events.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +77,11 @@ struct ObsCore {
     ops: [AtomicHistogram; N_OPS],
     op_counts: [ShardedCounter; N_OPS],
     events: [ShardedCounter; N_EVENTS],
+    /// Rows returned per scan (count-valued samples in the ns histogram's
+    /// log₂ buckets — quantiles are bucket-approximate, like latencies).
+    scan_rows: AtomicHistogram,
+    /// Scans that stopped at their `limit` (more rows may have existed).
+    scan_truncated: AtomicU64,
     /// Epoch-relative ns at which the in-progress directory migration
     /// started; 0 when none is running.
     resize_started_at_ns: AtomicU64,
@@ -100,6 +106,8 @@ impl Recorder {
                 ops: Default::default(),
                 op_counts: Default::default(),
                 events: Default::default(),
+                scan_rows: AtomicHistogram::new(),
+                scan_truncated: AtomicU64::new(0),
                 resize_started_at_ns: AtomicU64::new(0),
                 epoch: Instant::now(),
             })),
@@ -151,6 +159,23 @@ impl Recorder {
             core.op_counts[op as usize].add(1);
             if let Some(t0) = t0 {
                 core.ops[op as usize].record(t0.elapsed());
+            }
+        }
+    }
+
+    /// Finish a scan: bumps the exact scan count, records the sampled
+    /// latency like [`Recorder::record_op`], and additionally folds in the
+    /// number of rows returned and whether the scan stopped at its limit.
+    #[inline]
+    pub fn record_scan(&self, rows: u64, truncated: bool, t0: Option<Instant>) {
+        if let Some(core) = &self.core {
+            core.op_counts[Op::Scan as usize].add(1);
+            if let Some(t0) = t0 {
+                core.ops[Op::Scan as usize].record(t0.elapsed());
+            }
+            core.scan_rows.record_ns(rows);
+            if truncated {
+                core.scan_truncated.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -243,6 +268,13 @@ impl Recorder {
         snap.ops.insert = op_stats(Op::Insert);
         snap.ops.update = op_stats(Op::Update);
         snap.ops.remove = op_stats(Op::Remove);
+        snap.ops.scan = op_stats(Op::Scan);
+        let rows = core.scan_rows.snapshot();
+        snap.scan.rows_mean = rows.mean_ns();
+        snap.scan.rows_p50 = rows.quantile_ns(0.50);
+        snap.scan.rows_p99 = rows.quantile_ns(0.99);
+        snap.scan.rows_max = rows.max_ns();
+        snap.scan.truncated = core.scan_truncated.load(Ordering::Relaxed);
         let ev = |e: Event| core.events[e as usize].sum();
         snap.reads.optimistic_retries = ev(Event::OptimisticRetry);
         snap.reads.lock_fallbacks = ev(Event::LockFallback);
@@ -298,6 +330,23 @@ mod tests {
         assert!(snap.ops.insert.samples < 100);
         assert_eq!(snap.reads.optimistic_retries, 3);
         assert_eq!(snap.locks.shard_write_waits, 1);
+        assert_eq!(snap.ops.search.count, 0);
+    }
+
+    #[test]
+    fn records_scans_with_rows_and_truncation() {
+        let r = Recorder::new();
+        for i in 0..64u64 {
+            let t0 = r.op_timer();
+            r.record_scan(i, i % 4 == 0, t0);
+        }
+        let mut snap = ObsSnapshot::default();
+        r.fill_snapshot(&mut snap);
+        assert_eq!(snap.ops.scan.count, 64);
+        assert_eq!(snap.scan.truncated, 16);
+        assert_eq!(snap.scan.rows_max, 63);
+        assert!(snap.scan.rows_mean > 0.0);
+        // Scan recording must not leak into the point-op histograms.
         assert_eq!(snap.ops.search.count, 0);
     }
 

@@ -52,6 +52,21 @@ pub struct OpsSection {
     pub insert: OpStats,
     pub update: OpStats,
     pub remove: OpStats,
+    pub scan: OpStats,
+}
+
+/// Ordered-scan shape: how much each scan returned and how often the
+/// `limit` cut it short. Row-count quantiles share the log₂ bucket
+/// approximation of the latency histograms. Scan *latency* lives in
+/// [`OpsSection::scan`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScanSection {
+    pub rows_mean: f64,
+    pub rows_p50: u64,
+    pub rows_p99: u64,
+    pub rows_max: u64,
+    /// Scans that stopped at their row limit (more rows may have existed).
+    pub truncated: u64,
 }
 
 /// Optimistic-read path health (PR 1's seqlock read protocol).
@@ -138,6 +153,7 @@ pub struct ObsSnapshot {
     /// other field is then zero.
     pub enabled: bool,
     pub ops: OpsSection,
+    pub scan: ScanSection,
     pub reads: ReadsSection,
     pub locks: LocksSection,
     pub dir: DirSection,
@@ -181,6 +197,17 @@ impl ObsSnapshot {
                     ("insert".into(), op_json(&self.ops.insert)),
                     ("update".into(), op_json(&self.ops.update)),
                     ("remove".into(), op_json(&self.ops.remove)),
+                    ("scan".into(), op_json(&self.ops.scan)),
+                ]),
+            ),
+            (
+                "scan".into(),
+                Json::Obj(vec![
+                    ("rows_mean".into(), Json::f64(self.scan.rows_mean)),
+                    ("rows_p50".into(), Json::u64(self.scan.rows_p50)),
+                    ("rows_p99".into(), Json::u64(self.scan.rows_p99)),
+                    ("rows_max".into(), Json::u64(self.scan.rows_max)),
+                    ("truncated".into(), Json::u64(self.scan.truncated)),
                 ]),
             ),
             (
@@ -333,6 +360,7 @@ impl ObsSnapshot {
             })
         };
         let ops = need(&v, "ops")?;
+        let scan = need(&v, "scan")?;
         let reads = need(&v, "reads")?;
         let locks = need(&v, "locks")?;
         let dir = need(&v, "dir")?;
@@ -347,6 +375,14 @@ impl ObsSnapshot {
                 insert: op(&ops, "insert")?,
                 update: op(&ops, "update")?,
                 remove: op(&ops, "remove")?,
+                scan: op(&ops, "scan")?,
+            },
+            scan: ScanSection {
+                rows_mean: f(&scan, "rows_mean")?,
+                rows_p50: u(&scan, "rows_p50")?,
+                rows_p99: u(&scan, "rows_p99")?,
+                rows_max: u(&scan, "rows_max")?,
+                truncated: u(&scan, "truncated")?,
             },
             reads: ReadsSection {
                 optimistic_retries: u(&reads, "optimistic_retries")?,
@@ -417,6 +453,7 @@ impl ObsSnapshot {
             ("insert", &self.ops.insert),
             ("update", &self.ops.update),
             ("remove", &self.ops.remove),
+            ("scan", &self.ops.scan),
         ] {
             writeln!(w, "hart_ops_total{{op=\"{name}\"}} {}", o.count).unwrap();
             for (stat, val) in [
@@ -434,6 +471,17 @@ impl ObsSnapshot {
                 .unwrap();
             }
         }
+        writeln!(w, "# TYPE hart_scan_rows gauge").unwrap();
+        for (stat, val) in [
+            ("mean", self.scan.rows_mean),
+            ("p50", self.scan.rows_p50 as f64),
+            ("p99", self.scan.rows_p99 as f64),
+            ("max", self.scan.rows_max as f64),
+        ] {
+            writeln!(w, "hart_scan_rows{{stat=\"{stat}\"}} {val}").unwrap();
+        }
+        writeln!(w, "# TYPE hart_scan_truncated_total counter").unwrap();
+        writeln!(w, "hart_scan_truncated_total {}", self.scan.truncated).unwrap();
         for (name, v) in [
             (
                 "hart_read_optimistic_retries_total",
@@ -538,6 +586,7 @@ mod tests {
         let insert = op();
         let update = op();
         let remove = op();
+        let scan = op();
         let mut class = || AllocClassStats {
             live: next(),
             chunks: next(),
@@ -555,6 +604,14 @@ mod tests {
                 insert,
                 update,
                 remove,
+                scan,
+            },
+            scan: ScanSection {
+                rows_mean: next() as f64 + 0.25,
+                rows_p50: next(),
+                rows_p99: next(),
+                rows_max: next(),
+                truncated: next(),
             },
             reads: ReadsSection {
                 optimistic_retries: next(),

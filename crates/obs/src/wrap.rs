@@ -87,6 +87,19 @@ impl<T: PersistentIndex> PersistentIndex for Instrumented<T> {
         self.inner.range(start, end)
     }
 
+    fn scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let t0 = self.rec.op_timer();
+        let r = self.inner.scan(start, end, limit);
+        match &r {
+            Ok(rows) => {
+                let truncated = limit > 0 && rows.len() == limit;
+                self.rec.record_scan(rows.len() as u64, truncated, t0);
+            }
+            Err(_) => self.rec.record_scan(0, false, t0),
+        }
+        r
+    }
+
     fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
         self.inner.multi_get(keys)
     }

@@ -44,6 +44,10 @@ use std::sync;
 /// mirrors these; its self-test asserts the two stay in sync. Gaps are
 /// left for future classes.
 pub mod rank {
+    /// `Directory.scan_cache` — generation-stamped sorted-shard list for
+    /// ordered scans; never held across another acquisition (the list is
+    /// rebuilt *before* the lock is taken), hence the lowest rank.
+    pub const DIR_SCAN_CACHE: u16 = 5;
     /// `Directory.resize` — serializes grow/finish and the pinless
     /// fallback read path.
     pub const DIR_RESIZE: u16 = 10;

@@ -57,6 +57,15 @@ pub struct LockClass {
 /// `parking_lot::rank`; `tests/selftest.rs` cross-checks the ranks.
 pub const LOCK_ORDER: &[LockClass] = &[
     LockClass {
+        name: "DIR_SCAN_CACHE",
+        rank: 5,
+        chained: false,
+        file: "crates/hart/src/dir.rs",
+        rationale: "generation-stamped sorted-shard list for ordered scans; \
+                    rebuilt before the lock is taken and never held across \
+                    another acquisition, hence the lowest rank",
+    },
+    LockClass {
         name: "DIR_RESIZE",
         rank: 10,
         chained: false,
@@ -122,43 +131,49 @@ const RW_METHODS: &[&str] = &["read", "write", "try_read", "try_write"];
 
 const ACQ_PATTERNS: &[AcqPat] = &[
     AcqPat {
-        class: 0, // DIR_RESIZE
+        class: 0, // DIR_SCAN_CACHE
+        file: Some("dir.rs"),
+        field: Some("scan_cache"),
+        methods: RW_METHODS,
+    },
+    AcqPat {
+        class: 1, // DIR_RESIZE
         file: Some("dir.rs"),
         field: Some("resize"),
         methods: LOCK_METHODS,
     },
     AcqPat {
-        class: 1, // BUCKET_ENTRIES
+        class: 2, // BUCKET_ENTRIES
         file: Some("dir.rs"),
         field: Some("entries"),
         methods: RW_METHODS,
     },
     AcqPat {
-        class: 2, // SHARD (the raw RwLock inside Shard)
+        class: 3, // SHARD (the raw RwLock inside Shard)
         file: Some("dir.rs"),
         field: Some("inner"),
         methods: RW_METHODS,
     },
     AcqPat {
-        class: 2, // SHARD via its unique wrapper, from any crate
+        class: 3, // SHARD via its unique wrapper, from any crate
         file: None,
         field: None,
         methods: &["write_observed"],
     },
     AcqPat {
-        class: 3, // EPALLOC_CLASS
+        class: 4, // EPALLOC_CLASS
         file: Some("epalloc.rs"),
         field: Some("classes"),
         methods: LOCK_METHODS,
     },
     AcqPat {
-        class: 4, // LOG_SLOTS
+        class: 5, // LOG_SLOTS
         file: Some("logs.rs"),
         field: Some("free"),
         methods: LOCK_METHODS,
     },
     AcqPat {
-        class: 5, // EBR_GARBAGE
+        class: 6, // EBR_GARBAGE
         file: Some("lib.rs"),
         field: Some("GARBAGE"),
         methods: LOCK_METHODS,

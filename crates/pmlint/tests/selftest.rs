@@ -112,7 +112,8 @@ fn lock_order_table_matches_runtime_ranks() {
     assert_eq!(by_name("EPALLOC_CLASS"), parking_lot::rank::EPALLOC_CLASS);
     assert_eq!(by_name("LOG_SLOTS"), parking_lot::rank::LOG_SLOTS);
     assert_eq!(by_name("EBR_GARBAGE"), parking_lot::rank::EBR_GARBAGE);
-    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 6, "table drifted");
+    assert_eq!(by_name("DIR_SCAN_CACHE"), parking_lot::rank::DIR_SCAN_CACHE);
+    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 7, "table drifted");
 }
 
 #[test]

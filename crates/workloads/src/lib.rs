@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 pub use dictionary::dictionary;
-pub use ycsb::{MixSpec, Op, OpKind, RequestDistribution, YcsbWorkload, ZipfSampler};
+pub use ycsb::{MixSpec, Op, OpKind, RequestDistribution, YcsbWorkload, ZipfSampler, SCAN_LEN_MAX};
 
 /// The paper's 62-character alphabet: "each character in a key is chosen
 /// from the 52 alphabetic characters ... and 10 Arabic numerals".

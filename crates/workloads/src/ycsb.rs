@@ -8,6 +8,11 @@
 //!   deletion;
 //! * **Read-Modified-Write** — 50 % search, 50 % update;
 //! * **Write-Intensive** — 40 % insertion, 20 % search, 40 % update.
+//!
+//! Beyond the paper, [`MixSpec::ycsb_e`] reproduces YCSB core workload E
+//! (95 % short ordered scans, 5 % inserts) to exercise the ordered-scan
+//! path; its scan-start keys follow the configured request distribution
+//! and scan lengths are uniform in `1..=`[`SCAN_LEN_MAX`].
 
 use crate::{random, value_for};
 use hart_kv::{Key, Value};
@@ -94,7 +99,31 @@ pub enum OpKind {
     Search,
     Update,
     Delete,
+    /// Ordered scan of up to `Op::scan_len` records starting at `Op::key`
+    /// (YCSB-E's workhorse operation).
+    Scan,
 }
+
+impl OpKind {
+    /// Parse a harness op-code. Unknown codes are a hard error — a typo'd
+    /// workload string must fail loudly, never silently no-op.
+    pub fn parse(s: &str) -> Result<OpKind, String> {
+        match s {
+            "insert" => Ok(OpKind::Insert),
+            "search" | "read" => Ok(OpKind::Search),
+            "update" => Ok(OpKind::Update),
+            "delete" | "remove" => Ok(OpKind::Delete),
+            "scan" => Ok(OpKind::Scan),
+            other => Err(format!(
+                "unknown op-code `{other}` (expected insert|search|update|delete|scan)"
+            )),
+        }
+    }
+}
+
+/// Largest scan length YCSB-E draws (uniform in `1..=SCAN_LEN_MAX`,
+/// matching YCSB's default `maxscanlength=100`).
+pub const SCAN_LEN_MAX: u32 = 100;
 
 /// An operation with its target key (and payload where applicable).
 #[derive(Clone, Copy, Debug)]
@@ -102,6 +131,8 @@ pub struct Op {
     pub kind: OpKind,
     pub key: Key,
     pub value: Value,
+    /// Row budget for [`OpKind::Scan`] ops; 0 otherwise.
+    pub scan_len: u32,
 }
 
 /// Operation percentages; must sum to 100.
@@ -111,6 +142,7 @@ pub struct MixSpec {
     pub search: u8,
     pub update: u8,
     pub delete: u8,
+    pub scan: u8,
     pub label: &'static str,
 }
 
@@ -122,6 +154,7 @@ impl MixSpec {
             search: 70,
             update: 10,
             delete: 10,
+            scan: 0,
             label: "Read-Intensive",
         }
     }
@@ -133,6 +166,7 @@ impl MixSpec {
             search: 50,
             update: 50,
             delete: 0,
+            scan: 0,
             label: "Read-Modified-Write",
         }
     }
@@ -144,7 +178,22 @@ impl MixSpec {
             search: 20,
             update: 40,
             delete: 0,
+            scan: 0,
             label: "Write-Intensive",
+        }
+    }
+
+    /// YCSB core workload E (beyond the paper): 95 % short ordered scans,
+    /// 5 % inserts. Pair with `RequestDistribution::Zipfian` for YCSB's
+    /// skewed scan-start keys.
+    pub const fn ycsb_e() -> MixSpec {
+        MixSpec {
+            insert: 5,
+            search: 0,
+            update: 0,
+            delete: 0,
+            scan: 95,
+            label: "YCSB-E",
         }
     }
 
@@ -157,7 +206,11 @@ impl MixSpec {
 
     fn validate(&self) {
         assert_eq!(
-            self.insert as u32 + self.search as u32 + self.update as u32 + self.delete as u32,
+            self.insert as u32
+                + self.search as u32
+                + self.update as u32
+                + self.delete as u32
+                + self.scan as u32,
             100,
             "mix percentages must sum to 100"
         );
@@ -201,8 +254,10 @@ impl YcsbWorkload {
                     OpKind::Search
                 } else if dice < spec.insert + spec.search + spec.update {
                     OpKind::Update
-                } else {
+                } else if dice < spec.insert + spec.search + spec.update + spec.delete {
                     OpKind::Delete
+                } else {
+                    OpKind::Scan
                 }
             })
             .collect();
@@ -226,6 +281,9 @@ impl YcsbWorkload {
             .map(|kind| {
                 let key = match kind {
                     OpKind::Insert => fresh.next().expect("budgeted exactly"),
+                    // Scans start at an existing record's key (YCSB picks
+                    // scan-start keys from the loaded table) — Zipfian when
+                    // configured, exactly like the point ops.
                     _ => {
                         let idx = match &zipf {
                             None => rng.gen_range(0..preload_n.max(1)),
@@ -234,10 +292,16 @@ impl YcsbWorkload {
                         preload[idx].0
                     }
                 };
+                let scan_len = if kind == OpKind::Scan {
+                    rng.gen_range(1..=SCAN_LEN_MAX)
+                } else {
+                    0
+                };
                 Op {
                     kind,
                     key,
                     value: Value::from_u64(rng.gen()),
+                    scan_len,
                 }
             })
             .collect();
@@ -386,6 +450,48 @@ mod tests {
         }
         assert!(hist[0] > hist[10], "rank 0 must beat rank 10");
         assert!(hist[0] > hist[500] * 5, "head must dominate the tail");
+    }
+
+    #[test]
+    fn ycsb_e_is_scan_heavy_with_bounded_lengths() {
+        let w = YcsbWorkload::generate_with(
+            MixSpec::ycsb_e(),
+            2000,
+            20_000,
+            11,
+            RequestDistribution::Zipfian { theta: 0.99 },
+        );
+        let scans = w.ops.iter().filter(|o| o.kind == OpKind::Scan).count() as f64 / 20_000.0;
+        assert!((scans - 0.95).abs() < 0.02, "scan fraction {scans}");
+        let preloaded: std::collections::HashSet<&[u8]> =
+            w.preload.iter().map(|(k, _)| k.as_slice()).collect();
+        let mut lens = std::collections::HashSet::new();
+        for op in &w.ops {
+            match op.kind {
+                OpKind::Scan => {
+                    assert!((1..=SCAN_LEN_MAX).contains(&op.scan_len));
+                    assert!(
+                        preloaded.contains(op.key.as_slice()),
+                        "scan start must be a loaded key"
+                    );
+                    lens.insert(op.scan_len);
+                }
+                OpKind::Insert => assert_eq!(op.scan_len, 0),
+                other => panic!("YCSB-E generated a {other:?}"),
+            }
+        }
+        // Uniform lengths: nearly every value in 1..=100 shows up.
+        assert!(lens.len() > 90, "only {} distinct scan lengths", lens.len());
+    }
+
+    #[test]
+    fn op_code_parsing_is_total_or_loud() {
+        assert_eq!(OpKind::parse("insert"), Ok(OpKind::Insert));
+        assert_eq!(OpKind::parse("read"), Ok(OpKind::Search));
+        assert_eq!(OpKind::parse("scan"), Ok(OpKind::Scan));
+        assert_eq!(OpKind::parse("remove"), Ok(OpKind::Delete));
+        let err = OpKind::parse("scann").unwrap_err();
+        assert!(err.contains("scann") && err.contains("expected"));
     }
 
     #[test]

@@ -376,6 +376,96 @@ impl Wort {
         walk(&self.pool, read_slot(&self.pool, self.root_slot), &mut f);
     }
 
+    /// Bounded in-order descent for `range`/`scan`: seek to `start` like a
+    /// point search (the left spine compares prefix nibbles and skips
+    /// smaller sibling edges), then emit leaves in key order until `end`,
+    /// `limit`, or the tree is exhausted — O(depth + answer) node visits
+    /// instead of one PM key read per live leaf.
+    fn scan_ordered(&self, s: &[u8], e: &[u8], limit: usize) -> Vec<(Key, Value)> {
+        /// Returns `false` once the traversal is done (past `end` or at
+        /// `limit`); in-order visiting makes that a global stop.
+        #[allow(clippy::too_many_arguments)]
+        fn walk(
+            pool: &PmemPool,
+            t: Tagged,
+            depth: usize,
+            seeking: bool,
+            s: &[u8],
+            e: &[u8],
+            limit: usize,
+            out: &mut Vec<(Key, Value)>,
+        ) -> bool {
+            match t {
+                Tagged::Null => true,
+                Tagged::Leaf(l) => {
+                    let k = leaf_read_key(pool, l);
+                    let ks = k.as_slice();
+                    if ks > e {
+                        return false;
+                    }
+                    if ks >= s {
+                        if let Ok(key) = Key::new(ks) {
+                            let pv = leaf_read_pvalue(pool, l);
+                            out.push((key, read_value(pool, pv, leaf_read_val_len(pool, l))));
+                        }
+                        if out.len() >= limit {
+                            return false;
+                        }
+                    }
+                    true
+                }
+                Tagged::Node(n) => {
+                    let mut depth = depth;
+                    let mut seeking = seeking;
+                    if seeking {
+                        // Compare the prefix nibbles against the terminated
+                        // start key: a smaller prefix nibble means the whole
+                        // subtree precedes `start` (skip it), a larger one
+                        // that it follows (emit everything, still bounded by
+                        // `end` at the leaves).
+                        let (pfx, plen) = prefix_of(pool, n);
+                        for (i, &pn) in pfx[..plen].iter().enumerate() {
+                            match pn.cmp(&nib(s, depth + i)) {
+                                std::cmp::Ordering::Less => return true,
+                                std::cmp::Ordering::Greater => {
+                                    seeking = false;
+                                    break;
+                                }
+                                std::cmp::Ordering::Equal => {}
+                            }
+                        }
+                        depth += plen;
+                    }
+                    let sn = nib(s, depth);
+                    for (b, c) in children(pool, n) {
+                        if seeking && b < sn {
+                            continue;
+                        }
+                        if !walk(pool, c, depth + 1, seeking && b == sn, s, e, limit, out) {
+                            return false;
+                        }
+                    }
+                    true
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if s > e || limit == 0 {
+            return out;
+        }
+        walk(
+            &self.pool,
+            read_slot(&self.pool, self.root_slot),
+            0,
+            true,
+            s,
+            e,
+            limit,
+            &mut out,
+        );
+        out
+    }
+
     fn descend(&self, key: &[u8]) -> Option<PmPtr> {
         let pool = &self.pool;
         let mut cur = read_slot(pool, self.root_slot);
@@ -471,23 +561,12 @@ impl PersistentIndex for Wort {
 
     fn range(&self, start: &Key, end: &Key) -> Result<Vec<(Key, Value)>> {
         let _g = self.lock.read();
-        let pool = &self.pool;
-        let (s, e) = (start.as_slice(), end.as_slice());
-        let mut out = Vec::new();
-        if s > e {
-            return Ok(out);
-        }
-        self.for_each_leaf(|leaf| {
-            let k = leaf_read_key(pool, leaf);
-            let ks = k.as_slice();
-            if ks >= s && ks <= e {
-                if let Ok(key) = Key::new(ks) {
-                    let pv = leaf_read_pvalue(pool, leaf);
-                    out.push((key, read_value(pool, pv, leaf_read_val_len(pool, leaf))));
-                }
-            }
-        });
-        Ok(out)
+        Ok(self.scan_ordered(start.as_slice(), end.as_slice(), usize::MAX))
+    }
+
+    fn scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
+        let _g = self.lock.read();
+        Ok(self.scan_ordered(start.as_slice(), end.as_slice(), limit))
     }
 
     fn name(&self) -> &'static str {

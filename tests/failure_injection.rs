@@ -47,6 +47,33 @@ fn assert_no_leaks(h: &Hart) {
     h.check_consistency().expect("structural consistency");
 }
 
+/// Shared post-recovery invariant (DESIGN.md §Scans): the ordered scan and
+/// point search agree exactly on the recovered state. The full-range scan
+/// must be strictly key-ordered, return one row per live record, and every
+/// row must read back identically through `search` — whatever crash point
+/// produced this state.
+fn assert_scan_agrees_with_search(t: &dyn PersistentIndex) {
+    let lo = Key::new(&[0x01]).unwrap();
+    let hi = Key::new(&[0xFF; hart_suite::kv::MAX_KEY_LEN]).unwrap();
+    let rows = t.scan(&lo, &hi, usize::MAX).unwrap();
+    assert!(
+        rows.windows(2).all(|w| w[0].0 < w[1].0),
+        "recovered scan has a duplicated or out-of-order key"
+    );
+    assert_eq!(
+        rows.len(),
+        t.len(),
+        "recovered scan must see exactly the live records"
+    );
+    for (key, val) in &rows {
+        assert_eq!(
+            t.search(key).unwrap().as_ref(),
+            Some(val),
+            "scan row for {key} disagrees with point search after recovery"
+        );
+    }
+}
+
 #[test]
 fn insert_crashes_at_every_persist_point() {
     const BASE: u64 = 50; // records inserted before arming the fuse
@@ -91,6 +118,7 @@ fn insert_crashes_at_every_persist_point() {
             );
         }
         assert_no_leaks(&r);
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -136,6 +164,7 @@ fn update_crashes_at_every_persist_point() {
             );
         }
         assert_no_leaks(&r);
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -177,6 +206,7 @@ fn delete_crashes_at_every_persist_point() {
         }
         assert_eq!(r.len() as u64, N - gone, "fuse={fuse}");
         assert_no_leaks(&r);
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -218,6 +248,7 @@ fn mixed_ops_crash_then_recover_consistently() {
         r.insert(&k(999), &Value::from_u64(999)).unwrap();
         assert_eq!(r.search(&k(999)).unwrap().unwrap().as_u64(), 999);
         assert_no_leaks(&r);
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -259,6 +290,7 @@ fn fptree_insert_crashes_at_every_persist_point() {
         // Post-recovery the tree keeps working.
         r.insert(&k(9999), &Value::from_u64(1)).unwrap();
         assert!(r.search(&k(9999)).unwrap().is_some());
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -290,6 +322,7 @@ fn fptree_update_crashes_keep_old_or_new() {
         // The recovered tree keeps working.
         r.insert(&k(777_777), &Value::from_u64(1)).unwrap();
         assert!(r.search(&k(777_777)).unwrap().is_some());
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -324,6 +357,7 @@ fn fptree_delete_crashes_are_atomic() {
             }
         }
         assert_eq!(r.len() as u64, survivors, "fuse={fuse}");
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -419,6 +453,7 @@ fn insert_crash_matrix_covers_all_six_ordering_points() {
         r.insert(&lost, &Value::from_u64(7)).unwrap();
         assert_eq!(r.search(&lost).unwrap().unwrap().as_u64(), 7, "{point:?}");
         assert_no_leaks(&r);
+        assert_scan_agrees_with_search(&r);
     }
 }
 
@@ -442,5 +477,6 @@ fn hart_parallel_recovery_from_fuse_crashes() {
         pool.simulate_crash();
         let r = Hart::recover_parallel(Arc::clone(&pool), HartConfig::default(), 4).unwrap();
         assert_no_leaks(&r);
+        assert_scan_agrees_with_search(&r);
     }
 }
