@@ -30,6 +30,10 @@ struct Args {
     /// `obsoverhead` fails when the observability layer costs more than
     /// this percentage on the read path (CI smoke gate).
     max_overhead_pct: f64,
+    /// `server`: concurrent client connections.
+    conns: usize,
+    /// `server`: group-commit batch sizes to ablate against per-op persist.
+    batches: Vec<usize>,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +48,8 @@ fn parse_args() -> Args {
         scale: Vec::new(),
         seed: 42,
         max_overhead_pct: 5.0,
+        conns: 64,
+        batches: vec![64, 256],
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,6 +83,15 @@ fn parse_args() -> Args {
                 a.scale = args
                     .next()
                     .expect("--scale n1,n2,...")
+                    .split(',')
+                    .map(|s| s.parse().expect("number"))
+                    .collect()
+            }
+            "--conns" => a.conns = args.next().expect("--conns N").parse().expect("number"),
+            "--batches" => {
+                a.batches = args
+                    .next()
+                    .expect("--batches n1,n2,...")
                     .split(',')
                     .map(|s| s.parse().expect("number"))
                     .collect()
@@ -690,6 +705,85 @@ fn scan(a: &Args) {
     rep.write_csv(&a.out, "scan.csv").expect("write csv");
 }
 
+/// Server front-end ablation (DESIGN.md §Server): YCSB-style mixes over
+/// real sockets against `hart-server`, per-op persist vs group commit at
+/// each `--batches` size, all at `--conns` concurrent pipelining
+/// connections under injected PM latency (600/300 — the harshest paper
+/// config, where fence amortization matters most). The `speedup` column
+/// is each row's throughput relative to the per-op row of the same mix.
+fn server_bench(a: &Args) {
+    let mut rep = Report::new(
+        &format!(
+            "server: group-commit ablation over sockets — {} conns, 600/300 latency",
+            a.conns
+        ),
+        &[
+            "mode",
+            "mix",
+            "conns",
+            "workers",
+            "ops",
+            "secs",
+            "kops_s",
+            "speedup",
+            "flushes",
+            "persists_deferred",
+            "occupancy_mean",
+            "busy",
+        ],
+    );
+    let ops_per_conn = (a.query_n / a.conns).max(100);
+    for (mix_label, read_pct) in [("write", 0u32), ("ycsb-a", 50u32)] {
+        let mut baseline_kops = 0.0;
+        let modes: Vec<(String, Option<usize>)> = std::iter::once(("per-op".to_string(), None))
+            .chain(a.batches.iter().map(|&b| (format!("group-{b}"), Some(b))))
+            .collect();
+        for (label, group_max_ops) in modes {
+            let spec = ServerMixSpec {
+                group_max_ops,
+                window_us: 100,
+                conns: a.conns,
+                workers: 4,
+                ops_per_conn,
+                read_pct,
+                latency: LatencyConfig::c600_300(),
+                pipeline: 32,
+            };
+            let t0 = Instant::now();
+            let r = run_server_mix(spec);
+            eprintln!(
+                "[server] {mix_label}/{label}: {:.1} kops/s in {:.1}s",
+                r.kops,
+                t0.elapsed().as_secs_f64()
+            );
+            if group_max_ops.is_none() {
+                baseline_kops = r.kops;
+            }
+            let speedup = if baseline_kops > 0.0 {
+                r.kops / baseline_kops
+            } else {
+                1.0
+            };
+            rep.row(vec![
+                label,
+                mix_label.to_string(),
+                a.conns.to_string(),
+                spec.workers.to_string(),
+                r.ops.to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.1}", r.kops),
+                format!("{speedup:.2}"),
+                r.flushes.to_string(),
+                r.persists_deferred.to_string(),
+                format!("{:.1}", r.occupancy_mean),
+                r.busy.to_string(),
+            ]);
+        }
+    }
+    rep.print();
+    rep.write_csv(&a.out, "server.csv").expect("write csv");
+}
+
 fn summary(a: &Args, grid: &Grid) {
     // Best-case speedups of HART vs each competitor per op (§I's headline).
     let mut rep = Report::new(
@@ -759,6 +853,7 @@ fn main() {
         "fig10b" => fig10b(&a),
         "fig10c" => fig10c(&a),
         "fig10d" => fig10d(&a),
+        "server" => server_bench(&a),
         "all" => {
             let grid = run_grid(&a);
             emit_op_figure(&a, &grid, "fig4", "insertion", |r| r.insert_us);
@@ -779,7 +874,7 @@ fn main() {
         other => {
             eprintln!("unknown command {other}");
             eprintln!(
-                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras scan tail obsoverhead profile all"
+                "commands: fig4 fig5 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig10d readpath rehash extras scan tail obsoverhead profile server all"
             );
             std::process::exit(2);
         }

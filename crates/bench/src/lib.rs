@@ -809,6 +809,146 @@ pub fn workload_keys(w: Workload, n: usize, seed: u64) -> Vec<Key> {
     w.keys(n, seed)
 }
 
+// ---------------------------------------------------------------------------
+// Server front-end benchmark (the group-commit ablation).
+// ---------------------------------------------------------------------------
+
+/// Knobs for one [`run_server_mix`] measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerMixSpec {
+    /// Group-commit batching on (`Some(max_ops)`) or the per-op-persist
+    /// kill-switch (`None`).
+    pub group_max_ops: Option<usize>,
+    /// Batch window when group commit is on.
+    pub window_us: u64,
+    /// Concurrent client connections, each on its own thread.
+    pub conns: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Operations issued per connection.
+    pub ops_per_conn: usize,
+    /// Percentage of GETs in the mix (0 = pure writes, 50 = YCSB-A-ish).
+    pub read_pct: u32,
+    /// PM latency model (injected — wall-clock numbers include it).
+    pub latency: LatencyConfig,
+    /// Pipelining window per connection (outstanding requests).
+    pub pipeline: usize,
+}
+
+/// What one server-mode run measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerMixResult {
+    pub ops: u64,
+    pub secs: f64,
+    pub kops: f64,
+    /// Amortized group flushes (0 on the per-op path).
+    pub flushes: u64,
+    /// Persist fences recorded instead of paid (0 on the per-op path).
+    pub persists_deferred: u64,
+    /// Mean ops per flush batch.
+    pub occupancy_mean: f64,
+    /// Admission-control rejections observed by clients.
+    pub busy: u64,
+}
+
+/// Drive a fresh server over real sockets with `conns` pipelining client
+/// threads and return wall-clock throughput plus the group-commit
+/// counters. Each connection works a private key range, so writes never
+/// contend on the same key while GETs always hit that connection's own
+/// previously written keys.
+pub fn run_server_mix(spec: ServerMixSpec) -> ServerMixResult {
+    use hart_server::client::Client;
+    use hart_server::proto::{Request, ST_BUSY};
+
+    let records = spec.conns * spec.ops_per_conn;
+    let pool = Arc::new(PmemPool::new(pool_config(
+        spec.latency,
+        records.max(10_000),
+    )));
+    let hcfg = HartConfig {
+        group_commit: spec.group_max_ops.is_some(),
+        ..Default::default()
+    };
+    let tree = Arc::new(Hart::create(pool, hcfg).expect("server bench tree"));
+    let cfg = hart_server::ServerConfig {
+        workers: spec.workers,
+        max_inflight: (spec.conns * spec.pipeline * 2).max(64),
+        group_commit: spec.group_max_ops.is_some(),
+        group: hart_pm::GroupConfig {
+            max_ops: spec.group_max_ops.unwrap_or(64),
+            window: Duration::from_micros(spec.window_us),
+        },
+        ..hart_server::ServerConfig::default()
+    };
+    let handle = hart_server::start(Arc::clone(&tree), cfg).expect("server start");
+    let addr = handle.local_addr();
+
+    let busy = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..spec.conns {
+            let busy = &busy;
+            s.spawn(move || {
+                let mut cl = Client::connect(addr).expect("connect");
+                // Cheap per-connection LCG deciding read vs write per op.
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (c as u64) << 17;
+                let mut written = 0usize;
+                let mut outstanding = 0usize;
+                let drain = |cl: &mut Client, outstanding: &mut usize| {
+                    let r = cl.recv().expect("recv");
+                    if r.status == ST_BUSY {
+                        busy.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    *outstanding -= 1;
+                };
+                for i in 0..spec.ops_per_conn {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let read = written > 0 && (rng >> 33) % 100 < spec.read_pct as u64;
+                    let req = if read {
+                        let j = (rng >> 13) as usize % written;
+                        Request::Get { key: mix_key(c, j) }
+                    } else {
+                        let key = mix_key(c, written);
+                        written += 1;
+                        Request::Put {
+                            key,
+                            value: (i as u64).to_le_bytes().to_vec(),
+                        }
+                    };
+                    if outstanding >= spec.pipeline {
+                        drain(&mut cl, &mut outstanding);
+                    }
+                    cl.send(&req).expect("send");
+                    outstanding += 1;
+                }
+                while outstanding > 0 {
+                    drain(&mut cl, &mut outstanding);
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let snap = handle.obs_snapshot();
+    handle.shutdown();
+    let ops = (spec.conns * spec.ops_per_conn) as u64;
+    ServerMixResult {
+        ops,
+        secs,
+        kops: ops as f64 / secs / 1e3,
+        flushes: snap.group.flushes,
+        persists_deferred: snap.group.persists_deferred,
+        occupancy_mean: snap.group.occupancy_mean,
+        busy: busy.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
+fn mix_key(conn: usize, i: usize) -> Vec<u8> {
+    format!("c{conn:03}x{i:07}").into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

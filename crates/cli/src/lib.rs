@@ -98,6 +98,25 @@ pub struct Options {
     /// `--no-obs`: build the tree with
     /// [`HartConfig::without_observability`] — the telemetry kill-switch.
     pub no_obs: bool,
+    /// `serve`: bind address (port 0 = ephemeral).
+    pub addr: String,
+    /// `serve --addr-file <path>`: atomically write the bound address to
+    /// this file once listening, so scripts can find an ephemeral port.
+    pub addr_file: Option<PathBuf>,
+    /// `serve --serve-secs N`: serve for N seconds then shut down and save
+    /// the image (0 = forever). Tests and scripted runs use this.
+    pub serve_secs: u64,
+    /// `serve --serve-workers N`: worker threads executing tree ops.
+    pub serve_workers: usize,
+    /// `serve --max-inflight N`: admission-control bound.
+    pub max_inflight: usize,
+    /// `serve --group-commit`: batch write persists through the group
+    /// committer (off = per-op persist kill-switch).
+    pub group_commit: bool,
+    /// `serve --group-max-ops N`: flush a batch at this many ops.
+    pub group_max_ops: usize,
+    /// `serve --group-window-us N`: flush an open batch after this long.
+    pub group_window_us: u64,
 }
 
 impl Default for Options {
@@ -117,6 +136,14 @@ impl Default for Options {
             metrics_dump: None,
             metrics_interval_ms: 200,
             no_obs: false,
+            addr: "127.0.0.1:0".into(),
+            addr_file: None,
+            serve_secs: 0,
+            serve_workers: 4,
+            max_inflight: 1024,
+            group_commit: false,
+            group_max_ops: 64,
+            group_window_us: 100,
         }
     }
 }
@@ -232,6 +259,34 @@ pub fn run(args: &[String]) -> CliResult {
                     .parse()
                     .map_err(|_| CliError::Usage("--metrics-interval-ms: not a number".into()))?
             }
+            "--addr" => opts.addr = grab("--addr")?,
+            "--addr-file" => opts.addr_file = Some(PathBuf::from(grab("--addr-file")?)),
+            "--serve-secs" => {
+                opts.serve_secs = grab("--serve-secs")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--serve-secs: not a number".into()))?
+            }
+            "--serve-workers" => {
+                opts.serve_workers = grab("--serve-workers")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--serve-workers: not a number".into()))?
+            }
+            "--max-inflight" => {
+                opts.max_inflight = grab("--max-inflight")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-inflight: not a number".into()))?
+            }
+            "--group-commit" => opts.group_commit = true,
+            "--group-max-ops" => {
+                opts.group_max_ops = grab("--group-max-ops")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--group-max-ops: not a number".into()))?
+            }
+            "--group-window-us" => {
+                opts.group_window_us = grab("--group-window-us")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--group-window-us: not a number".into()))?
+            }
             "--initial-buckets" => {
                 opts.initial_buckets = grab("--initial-buckets")?
                     .parse()
@@ -266,6 +321,7 @@ pub fn run(args: &[String]) -> CliResult {
         "load" => cmd_load(&opts),
         "stats" => cmd_stats(&opts),
         "fsck" => cmd_fsck(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(CliError::Usage(format!(
             "unknown command {other}\n{}",
             usage()
@@ -286,6 +342,9 @@ fn usage() -> String {
      \x20 load   <image> [--workload random|sequential|dictionary] [--n N] [--seed S]\n\
      \x20 stats  <image> [--json]             record/ART/memory statistics (JSON = full ObsSnapshot)\n\
      \x20 fsck   <image>                      deep-verify the persistent image\n\
+     \x20 serve  <image> [--addr H:P] [--addr-file P] [--serve-secs N] [--serve-workers N]\n\
+     \x20        [--max-inflight N] [--group-commit [--group-max-ops N] [--group-window-us N]]\n\
+     \x20                                     serve the image over TCP (hart-server protocol)\n\
      \x20 repl   <image>                      interactive session (binary only)"
         .to_string()
 }
@@ -358,6 +417,12 @@ fn cmd_scan(opts: &Options, args: &[String]) -> CliResult {
 
 /// Serialize the current snapshot to `path`. A `.prom` extension picks
 /// Prometheus text exposition; everything else gets pretty JSON.
+///
+/// The write is atomic: the body goes to a unique temp file in the same
+/// directory which is then renamed over `path`, so a concurrent reader
+/// (Prometheus textfile collector, `tail`, a test) either sees the
+/// previous complete snapshot or the new one — never a torn half-file,
+/// and never a moment where `path` does not exist.
 fn write_metrics(path: &Path, hart: &Hart) -> std::io::Result<()> {
     let snap = hart.obs_snapshot();
     let body = if path.extension().is_some_and(|e| e == "prom") {
@@ -365,7 +430,31 @@ fn write_metrics(path: &Path, hart: &Hart) -> std::io::Result<()> {
     } else {
         snap.to_json_pretty()
     };
-    std::fs::write(path, body)
+    write_atomic(path, body.as_bytes())
+}
+
+/// Write `body` to `path` via a same-directory temp file and rename.
+/// Unique per process+thread so concurrent dumpers never clobber each
+/// other's temp file mid-write.
+fn write_atomic(path: &Path, body: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp-{}-{:?}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        std::thread::current().id(),
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Background metrics writer driving `--metrics-dump`: rewrites `path`
@@ -488,6 +577,50 @@ fn cmd_fsck(opts: &Options) -> CliResult {
     } else {
         Err(CliError::Corrupt(out))
     }
+}
+
+/// `serve`: recover the image, expose it over TCP with the hart-server
+/// protocol, and (when `--serve-secs` bounds the run) save the mutated
+/// image back on shutdown. `--group-commit` routes write persists through
+/// the group committer; the default is the per-op-persist kill-switch.
+fn cmd_serve(opts: &Options) -> CliResult {
+    let (pool, hart) = load(opts)?;
+    // The tree is already recovered; `--group-commit` only routes the
+    // server's write path through the committer (the tree never batches).
+    let hart = Arc::new(hart);
+    let cfg = hart_server::ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.serve_workers,
+        max_inflight: opts.max_inflight,
+        group_commit: opts.group_commit,
+        group: hart_pm::GroupConfig {
+            max_ops: opts.group_max_ops,
+            window: std::time::Duration::from_micros(opts.group_window_us),
+        },
+    };
+    let handle = hart_server::start(Arc::clone(&hart), cfg).map_err(CliError::Io)?;
+    let addr = handle.local_addr();
+    eprintln!("hart-cli: serving {} on {addr}", opts.image.display());
+    if let Some(path) = &opts.addr_file {
+        write_atomic(path, addr.to_string().as_bytes())?;
+    }
+    if opts.serve_secs == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(opts.serve_secs));
+    let snap = handle.obs_snapshot();
+    handle.shutdown();
+    save(&pool, &opts.image)?;
+    Ok(format!(
+        "served {addr} for {}s: {} connection(s), {} request(s), {} busy, {} group flush(es); image saved",
+        opts.serve_secs,
+        snap.server.connections_total,
+        snap.server.requests_total,
+        snap.server.busy_rejections,
+        snap.group.flushes,
+    ))
 }
 
 /// Interactive session over any reader/writer (stdin/stdout in the
@@ -789,6 +922,102 @@ mod tests {
         .unwrap();
         let prom = std::fs::read_to_string(&prom_path).unwrap();
         assert!(prom.contains("hart_ops_total{op=\"insert\"} 50"), "{prom}");
+    }
+
+    #[test]
+    fn metrics_dump_is_atomic_under_concurrent_reads() {
+        // Regression: `write_metrics` used to rewrite the target in place
+        // with `std::fs::write` (truncate + write), so a concurrent reader
+        // could observe an empty or half-written snapshot. With the
+        // temp-file + rename scheme every read sees a complete document.
+        let path = tmp("mdump-hammer.json");
+        let _ = std::fs::remove_file(&path);
+        let pool = Arc::new(PmemPool::new(PoolConfig {
+            size_bytes: 16 * 1024 * 1024,
+            ..PoolConfig::default()
+        }));
+        let hart = Arc::new(Hart::create(pool, HartConfig::default()).unwrap());
+        for i in 0..500u64 {
+            hart.insert(&Key::from_u64_base62(i, 8), &Value::from_u64(i))
+                .unwrap();
+        }
+        let dumper = MetricsDumper::spawn(
+            path.clone(),
+            Arc::clone(&hart),
+            std::time::Duration::from_micros(200),
+        );
+        let mut complete_reads = 0u32;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(300);
+        while std::time::Instant::now() < deadline {
+            match std::fs::read_to_string(&path) {
+                // Only acceptable before the very first rename lands.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    assert_eq!(complete_reads, 0, "file vanished after first dump");
+                }
+                Err(e) => panic!("reader failed: {e}"),
+                Ok(body) => {
+                    let snap = hart::ObsSnapshot::from_json(&body)
+                        .unwrap_or_else(|e| panic!("torn snapshot ({e}): {body:?}"));
+                    assert_eq!(snap.ops.insert.count, 500);
+                    complete_reads += 1;
+                }
+            }
+        }
+        dumper.finish();
+        assert!(complete_reads > 0, "reader never saw a snapshot");
+        // The dumper cleans up after itself: no temp files left behind.
+        let dir = path.parent().unwrap();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            assert!(
+                !name.starts_with(".mdump-hammer.json.tmp-"),
+                "leftover temp file {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_exposes_image_over_tcp_and_saves_on_exit() {
+        use hart_server::client::Client;
+        let img = tmp("serve.img");
+        let img_s = img.to_str().unwrap();
+        let addr_file = tmp("serve.addr");
+        let _ = std::fs::remove_file(&addr_file);
+        runv(&["create", img_s, "--size-mb", "16"]).unwrap();
+        runv(&["put", img_s, "seeded", "before"]).unwrap();
+        let server = {
+            let args: Vec<String> = [
+                "serve",
+                img_s,
+                "--serve-secs",
+                "2",
+                "--group-commit",
+                "--addr-file",
+                addr_file.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            std::thread::spawn(move || run(&args))
+        };
+        // Wait for the ephemeral address to appear.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                break s;
+            }
+            assert!(std::time::Instant::now() < deadline, "no addr file");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let mut c = Client::connect(addr.trim()).unwrap();
+        assert_eq!(c.get(b"seeded").unwrap(), Some(b"before".to_vec()));
+        c.put(b"via-tcp", b"hello").unwrap();
+        assert_eq!(c.get(b"via-tcp").unwrap(), Some(b"hello".to_vec()));
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("image saved"), "{out}");
+        // The mutation survived into the saved image.
+        assert_eq!(runv(&["get", img_s, "via-tcp"]).unwrap(), "hello");
     }
 
     #[test]

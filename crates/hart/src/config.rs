@@ -48,6 +48,18 @@ pub struct HartConfig {
     /// clock is ever read — and snapshots come back zero-valued with
     /// `enabled: false`.
     pub observability: bool,
+    /// Group-commit persistence (kill-switch for the server's batching
+    /// layer). `false` (default): every write op fences its own persists —
+    /// the paper's per-op `persistent()` accounting. `true`: a hosting
+    /// server may run write ops under `PmemPool::run_deferred` and redeem
+    /// their [`hart_pm::PersistBatch`]es through a
+    /// [`hart_pm::GroupCommitter`], coalescing many ops' fences into one
+    /// flush per batch window. The tree itself never batches — the flag
+    /// only advertises that the embedder wants the deferred path, so one
+    /// config object can drive both the server and its ablation. Durability
+    /// of *acknowledged* writes is identical either way (proven by the
+    /// group-commit crash test).
+    pub group_commit: bool,
 }
 
 impl Default for HartConfig {
@@ -60,6 +72,7 @@ impl Default for HartConfig {
             optimistic_reads: true,
             optimistic_retry_limit: 8,
             observability: true,
+            group_commit: false,
         }
     }
 }
@@ -138,6 +151,16 @@ impl HartConfig {
             ..Default::default()
         }
     }
+
+    /// Config opting in to group-commit persistence (the server's batched
+    /// fence path). The default (`false`) is the per-op-persist
+    /// kill-switch.
+    pub fn with_group_commit() -> HartConfig {
+        HartConfig {
+            group_commit: true,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +174,14 @@ mod tests {
         assert!(c.optimistic_reads, "lock-free reads are the default");
         assert_eq!(c.resize_threshold, 1, "resizing is on by default");
         assert!(c.observability, "observability is on by default");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn group_commit_defaults_off() {
+        assert!(!HartConfig::default().group_commit);
+        let c = HartConfig::with_group_commit();
+        assert!(c.group_commit);
         assert!(c.validate().is_ok());
     }
 

@@ -285,6 +285,11 @@ impl Hart {
             read_extra_ns: p.read_extra_ns,
             alloc_extra_ns: p.alloc_extra_ns,
         };
+        // Pool-level group-commit truth; a hosting server overlays batch
+        // occupancy and admission counters before exporting.
+        s.group.enabled = self.cfg.group_commit;
+        s.group.persists_deferred = p.persists_deferred;
+        s.group.flushes = p.group_flushes;
         s
     }
 

@@ -61,13 +61,24 @@ pub trait PersistentIndex: Send + Sync {
 
     /// Ordered scan: up to `limit` records with keys in `[start, end]`
     /// (inclusive), smallest first — the YCSB-E primitive ("scan `limit`
-    /// records from `start`"). Unlike [`range`](Self::range), which always
-    /// materializes the whole interval, implementations stop early once
-    /// `limit` records are collected.
+    /// records from `start`").
     ///
-    /// The default is correct for any implementation; indexes override it
-    /// to avoid walking past the limit.
+    /// **Contract**: the result equals the first `limit` rows of
+    /// [`range`](Self::range) over the same interval; `limit == 0` returns
+    /// no rows and must do no interval work.
+    ///
+    /// **Cost**: the default body is `range` + post-hoc truncation — it is
+    /// correct for any implementation but materializes the *whole*
+    /// interval first, so it costs O(interval), not O(limit). Indexes with
+    /// an ordered walk must override it to stop traversal once `limit`
+    /// rows are collected (every in-tree index does; `Hart::scan` pushes
+    /// the quota down so shards past it are never visited). The only
+    /// early stop the default itself enforces is the `limit == 0`
+    /// short-circuit.
     fn scan(&self, start: &Key, end: &Key, limit: usize) -> Result<Vec<(Key, Value)>> {
+        if limit == 0 {
+            return Ok(Vec::new());
+        }
         let mut out = self.range(start, end)?;
         out.truncate(limit);
         Ok(out)
@@ -93,10 +104,11 @@ mod tests {
         fn _takes(_: &dyn PersistentIndex) {}
     }
 
-    /// The default `scan` is `range` + truncation.
+    /// The default `scan` is `range` + truncation, except `limit == 0`,
+    /// which must not touch the interval at all.
     #[test]
     fn default_scan_truncates_range() {
-        struct Fixed;
+        struct Fixed(std::sync::atomic::AtomicU32);
         impl PersistentIndex for Fixed {
             fn insert(&self, _: &Key, _: &Value) -> Result<()> {
                 unimplemented!()
@@ -117,6 +129,7 @@ mod tests {
                 MemoryStats::default()
             }
             fn range(&self, _: &Key, _: &Key) -> Result<Vec<(Key, Value)>> {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 Ok(["a", "b", "c"]
                     .iter()
                     .map(|s| (Key::from_str(s).unwrap(), Value::from_u64(7)))
@@ -126,12 +139,16 @@ mod tests {
                 "fixed"
             }
         }
+        let ix = Fixed(std::sync::atomic::AtomicU32::new(0));
         let lo = Key::from_str("a").unwrap();
         let hi = Key::from_str("z").unwrap();
-        let got = Fixed.scan(&lo, &hi, 2).unwrap();
+        let got = ix.scan(&lo, &hi, 2).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].0.as_slice(), b"a");
-        assert!(Fixed.scan(&lo, &hi, 10).unwrap().len() == 3);
-        assert!(Fixed.scan(&lo, &hi, 0).unwrap().is_empty());
+        assert!(ix.scan(&lo, &hi, 10).unwrap().len() == 3);
+        assert_eq!(ix.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+        // limit == 0 short-circuits without materializing the interval.
+        assert!(ix.scan(&lo, &hi, 0).unwrap().is_empty());
+        assert_eq!(ix.0.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 }

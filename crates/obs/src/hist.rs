@@ -182,6 +182,20 @@ impl AtomicHistogram {
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Record one *unitless* count-valued sample (e.g. rows per scan).
+    ///
+    /// The log₂ bucket layout and within-bucket interpolation are
+    /// unit-agnostic — a bucket is `[2^i, 2^(i+1))` of whatever the caller
+    /// measures — so the mechanics are shared with the ns path. Callers
+    /// recording counts must NOT report the results through ns-labeled
+    /// fields or metrics: `mean`/`quantile`/`max` come back in the sample's
+    /// own unit (see `ScanSection::rows_*` / `hart_scan_rows`). This alias
+    /// exists so count-valued call sites don't read as latency recordings.
+    #[inline]
+    pub fn record_value(&self, v: u64) {
+        self.record_ns(v);
+    }
+
     /// Record one sample.
     #[inline]
     pub fn record(&self, d: Duration) {

@@ -32,8 +32,8 @@ pub use hist::{AtomicHistogram, Histogram};
 pub use json::Json;
 pub use recorder::{Event, Op, Recorder, SAMPLE_EVERY};
 pub use snapshot::{
-    AllocClassStats, AllocSection, DirSection, EbrSection, LocksSection, ObsSnapshot, OpStats,
-    OpsSection, PmSection, ReadsSection, ScanSection,
+    AllocClassStats, AllocSection, DirSection, EbrSection, GroupSection, LocksSection, ObsSnapshot,
+    OpStats, OpsSection, PmSection, ReadsSection, ScanSection, ServerSection,
 };
 pub use wrap::Instrumented;
 

@@ -88,8 +88,24 @@ struct ObsCore {
     epoch: Instant,
 }
 
+/// Per-thread sampling-phase allocator: the n-th thread to record an op
+/// starts its tick at `n * 21 mod SAMPLE_EVERY` (21 is odd, so the map is
+/// a bijection on residues and consecutive threads land far apart).
+static PHASE_SEQ: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
-    static SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
+    // Seeded, not zero: with every thread starting at tick 0, each thread's
+    // first latency sample was always its SAMPLE_EVERY-th operation — all
+    // threads sampled the same warm-up-correlated op positions, and a
+    // thread retiring before SAMPLE_EVERY ops never contributed a sample
+    // at all. Staggered phases decorrelate sample positions from thread
+    // start while keeping per-thread sampling exactly 1-in-SAMPLE_EVERY.
+    static SAMPLE_TICK: Cell<u64> = Cell::new(
+        PHASE_SEQ
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(21)
+            % SAMPLE_EVERY,
+    );
 }
 
 /// Cloneable recording handle; see the module docs for the cost model.
@@ -173,7 +189,7 @@ impl Recorder {
             if let Some(t0) = t0 {
                 core.ops[Op::Scan as usize].record(t0.elapsed());
             }
-            core.scan_rows.record_ns(rows);
+            core.scan_rows.record_value(rows);
             if truncated {
                 core.scan_truncated.fetch_add(1, Ordering::Relaxed);
             }
@@ -351,6 +367,36 @@ mod tests {
     }
 
     #[test]
+    fn scan_row_stats_stay_in_row_units() {
+        // Regression guard for the shared-histogram audit: row-count
+        // samples ride the log₂-ns latency histogram, and the exported
+        // stats must come back in rows — bucket-approximate for the
+        // quantiles, exact for mean and max — never scaled or clamped as
+        // if they were nanoseconds.
+        let r = Recorder::new();
+        for _ in 0..100 {
+            r.record_scan(10, false, None);
+        }
+        let mut snap = ObsSnapshot::default();
+        r.fill_snapshot(&mut snap);
+        assert_eq!(snap.scan.rows_max, 10);
+        assert!((snap.scan.rows_mean - 10.0).abs() < 1e-9, "mean is exact");
+        // p50/p99 land inside 10's log₂ bucket [8, 16), clamped to max.
+        for q in [snap.scan.rows_p50, snap.scan.rows_p99] {
+            assert!((8..=10).contains(&q), "count-valued quantile {q}");
+        }
+        let prom = snap.to_prometheus();
+        assert!(
+            prom.contains("# HELP hart_scan_rows Rows returned"),
+            "scan-rows metric must declare its non-time unit:\n{prom}"
+        );
+        assert!(
+            !prom.contains("hart_scan_rows_ns"),
+            "row counts must not be exported under an _ns label"
+        );
+    }
+
+    #[test]
     fn resize_duration_accumulates() {
         let r = Recorder::new();
         r.resize_started();
@@ -390,6 +436,70 @@ mod tests {
         assert_eq!(snap.ops.search.count, 8 * PER_THREAD);
         assert_eq!(snap.reads.optimistic_retries, 8 * PER_THREAD);
         // Sampling is per-thread deterministic: exactly 1 in SAMPLE_EVERY.
+        // (Phase seeding does not disturb this — over any multiple of
+        // SAMPLE_EVERY ops a thread samples exactly n/SAMPLE_EVERY times,
+        // whatever its starting phase.)
         assert_eq!(snap.ops.search.samples, 8 * PER_THREAD / SAMPLE_EVERY);
+    }
+
+    #[test]
+    fn short_lived_threads_still_contribute_samples() {
+        // Regression: every thread's SAMPLE_TICK used to start at 0, so a
+        // thread doing fewer than SAMPLE_EVERY ops never produced a single
+        // latency sample, and longer-lived threads all sampled the same
+        // warm-up-correlated positions (op 32, 64, …). With staggered
+        // phases a fleet of short-lived threads samples at close to the
+        // nominal 1-in-SAMPLE_EVERY rate in aggregate.
+        let r = Recorder::new();
+        const THREADS: u64 = 64;
+        const OPS: u64 = 16; // < SAMPLE_EVERY: old behavior sampled nothing
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..OPS {
+                        let t0 = r.op_timer();
+                        r.record_op(Op::Update, t0);
+                    }
+                });
+            }
+        });
+        let mut snap = ObsSnapshot::default();
+        r.fill_snapshot(&mut snap);
+        assert_eq!(snap.ops.update.count, THREADS * OPS);
+        let samples = snap.ops.update.samples;
+        assert!(
+            samples > 0,
+            "short-lived threads sampled nothing (phase bug)"
+        );
+        // Nominal rate is THREADS*OPS/SAMPLE_EVERY = 32; phases interleave
+        // with other concurrently running tests, so accept a wide band
+        // around it rather than an exact count.
+        let nominal = THREADS * OPS / SAMPLE_EVERY;
+        assert!(
+            samples >= nominal / 4 && samples <= THREADS,
+            "sample count {samples} far from nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn full_windows_sample_exactly_regardless_of_phase() {
+        // Any thread that completes a whole number of SAMPLE_EVERY-op
+        // windows contributes exactly one sample per window, independent
+        // of its seeded phase.
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    let r = Recorder::new(); // fresh core per thread
+                    for _ in 0..3 * SAMPLE_EVERY {
+                        let t0 = r.op_timer();
+                        r.record_op(Op::Remove, t0);
+                    }
+                    let mut snap = ObsSnapshot::default();
+                    r.fill_snapshot(&mut snap);
+                    assert_eq!(snap.ops.remove.samples, 3);
+                });
+            }
+        });
     }
 }

@@ -56,9 +56,13 @@ pub struct OpsSection {
 }
 
 /// Ordered-scan shape: how much each scan returned and how often the
-/// `limit` cut it short. Row-count quantiles share the log₂ bucket
-/// approximation of the latency histograms. Scan *latency* lives in
-/// [`OpsSection::scan`].
+/// `limit` cut it short. Scan *latency* lives in [`OpsSection::scan`].
+///
+/// Every `rows_*` field is a **row count, not a time** — the samples go
+/// through the same log₂-bucket histogram as latencies (the bucketing is
+/// unit-agnostic), so the quantiles are bucket-approximate, but nothing
+/// here is in nanoseconds and none of these values may be exported under
+/// an `_ns`/seconds label. `rows_mean` and `rows_max` are exact.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ScanSection {
     pub rows_mean: f64,
@@ -146,6 +150,45 @@ pub struct PmSection {
     pub alloc_extra_ns: u64,
 }
 
+/// Network front-end (hart-server) connection and admission counters.
+/// Zero when no server is hosting the tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServerSection {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Currently open connections.
+    pub connections_active: u64,
+    /// Requests handled (any opcode, any status).
+    pub requests_total: u64,
+    /// Requests refused with BUSY by admission control.
+    pub busy_rejections: u64,
+    /// High-water mark of concurrently in-flight ops.
+    pub inflight_peak: u64,
+    /// Frames rejected as malformed/oversized/unknown-opcode.
+    pub proto_errors: u64,
+}
+
+/// Group-commit persistence: fence amortization and batch occupancy.
+/// `persists_deferred`/`flushes` fold in from `PmStats`; occupancy comes
+/// from the hosting server's `GroupCommitter` (zero without one).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GroupSection {
+    /// True when the hosting config opted in (`HartConfig::group_commit`).
+    pub enabled: bool,
+    /// Batch flushes (each = one real fence for a whole batch).
+    pub flushes: u64,
+    /// Ops whose batches were promoted durably.
+    pub ops_committed: u64,
+    /// Ops refused durability (simulated crash mid-batch).
+    pub ops_failed: u64,
+    /// `persist()` calls recorded-not-fenced under deferral.
+    pub persists_deferred: u64,
+    /// Mean ops per flush.
+    pub occupancy_mean: f64,
+    /// Largest single flushed batch, in ops.
+    pub occupancy_max: u64,
+}
+
 /// Point-in-time export of the whole observability layer.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ObsSnapshot {
@@ -160,6 +203,8 @@ pub struct ObsSnapshot {
     pub ebr: EbrSection,
     pub alloc: AllocSection,
     pub pm: PmSection,
+    pub server: ServerSection,
+    pub group: GroupSection,
 }
 
 fn op_json(o: &OpStats) -> Json {
@@ -300,6 +345,47 @@ impl ObsSnapshot {
                     ("alloc_extra_ns".into(), Json::u64(self.pm.alloc_extra_ns)),
                 ]),
             ),
+            (
+                "server".into(),
+                Json::Obj(vec![
+                    (
+                        "connections_total".into(),
+                        Json::u64(self.server.connections_total),
+                    ),
+                    (
+                        "connections_active".into(),
+                        Json::u64(self.server.connections_active),
+                    ),
+                    (
+                        "requests_total".into(),
+                        Json::u64(self.server.requests_total),
+                    ),
+                    (
+                        "busy_rejections".into(),
+                        Json::u64(self.server.busy_rejections),
+                    ),
+                    ("inflight_peak".into(), Json::u64(self.server.inflight_peak)),
+                    ("proto_errors".into(), Json::u64(self.server.proto_errors)),
+                ]),
+            ),
+            (
+                "group".into(),
+                Json::Obj(vec![
+                    ("enabled".into(), Json::Bool(self.group.enabled)),
+                    ("flushes".into(), Json::u64(self.group.flushes)),
+                    ("ops_committed".into(), Json::u64(self.group.ops_committed)),
+                    ("ops_failed".into(), Json::u64(self.group.ops_failed)),
+                    (
+                        "persists_deferred".into(),
+                        Json::u64(self.group.persists_deferred),
+                    ),
+                    (
+                        "occupancy_mean".into(),
+                        Json::f64(self.group.occupancy_mean),
+                    ),
+                    ("occupancy_max".into(), Json::u64(self.group.occupancy_max)),
+                ]),
+            ),
         ])
     }
 
@@ -367,6 +453,8 @@ impl ObsSnapshot {
         let ebr = need(&v, "ebr")?;
         let alloc = need(&v, "alloc")?;
         let pm = need(&v, "pm")?;
+        let server = need(&v, "server")?;
+        let group = need(&v, "group")?;
         Ok(ObsSnapshot {
             enabled: b(&v, "enabled")?,
             ops: OpsSection {
@@ -428,6 +516,23 @@ impl ObsSnapshot {
                 read_extra_ns: u(&pm, "read_extra_ns")?,
                 alloc_extra_ns: u(&pm, "alloc_extra_ns")?,
             },
+            server: ServerSection {
+                connections_total: u(&server, "connections_total")?,
+                connections_active: u(&server, "connections_active")?,
+                requests_total: u(&server, "requests_total")?,
+                busy_rejections: u(&server, "busy_rejections")?,
+                inflight_peak: u(&server, "inflight_peak")?,
+                proto_errors: u(&server, "proto_errors")?,
+            },
+            group: GroupSection {
+                enabled: b(&group, "enabled")?,
+                flushes: u(&group, "flushes")?,
+                ops_committed: u(&group, "ops_committed")?,
+                ops_failed: u(&group, "ops_failed")?,
+                persists_deferred: u(&group, "persists_deferred")?,
+                occupancy_mean: f(&group, "occupancy_mean")?,
+                occupancy_max: u(&group, "occupancy_max")?,
+            },
         })
     }
 
@@ -447,6 +552,11 @@ impl ObsSnapshot {
         writeln!(w, "# TYPE hart_obs_enabled gauge").unwrap();
         writeln!(w, "hart_obs_enabled {}", self.enabled as u64).unwrap();
         writeln!(w, "# TYPE hart_ops_total counter").unwrap();
+        writeln!(
+            w,
+            "# HELP hart_op_latency_ns Sampled operation latency in nanoseconds (log2-bucket approximate quantiles)."
+        )
+        .unwrap();
         writeln!(w, "# TYPE hart_op_latency_ns gauge").unwrap();
         for (name, o) in [
             ("search", &self.ops.search),
@@ -471,6 +581,11 @@ impl ObsSnapshot {
                 .unwrap();
             }
         }
+        writeln!(
+            w,
+            "# HELP hart_scan_rows Rows returned per ordered scan — a count, NOT a latency; quantiles share the log2 bucket scheme but carry no time unit."
+        )
+        .unwrap();
         writeln!(w, "# TYPE hart_scan_rows gauge").unwrap();
         for (stat, val) in [
             ("mean", self.scan.rows_mean),
@@ -521,6 +636,23 @@ impl ObsSnapshot {
             ("hart_pm_read_misses_total", self.pm.read_misses),
             ("hart_pm_raw_allocs_total", self.pm.raw_allocs),
             ("hart_pm_raw_frees_total", self.pm.raw_frees),
+            (
+                "hart_server_connections_total",
+                self.server.connections_total,
+            ),
+            ("hart_server_requests_total", self.server.requests_total),
+            (
+                "hart_server_busy_rejections_total",
+                self.server.busy_rejections,
+            ),
+            ("hart_server_proto_errors_total", self.server.proto_errors),
+            ("hart_group_flushes_total", self.group.flushes),
+            ("hart_group_ops_committed_total", self.group.ops_committed),
+            ("hart_group_ops_failed_total", self.group.ops_failed),
+            (
+                "hart_group_persists_deferred_total",
+                self.group.persists_deferred,
+            ),
         ] {
             writeln!(w, "# TYPE {name} counter").unwrap();
             writeln!(w, "{name} {v}").unwrap();
@@ -535,6 +667,13 @@ impl ObsSnapshot {
             ("hart_ebr_pending_garbage", self.ebr.pending_garbage),
             ("hart_pm_bytes_in_use", self.pm.bytes_in_use),
             ("hart_pm_bytes_peak", self.pm.bytes_peak),
+            (
+                "hart_server_connections_active",
+                self.server.connections_active,
+            ),
+            ("hart_server_inflight_peak", self.server.inflight_peak),
+            ("hart_group_enabled", self.group.enabled as u64),
+            ("hart_group_occupancy_max", self.group.occupancy_max),
         ] {
             writeln!(w, "# TYPE {name} gauge").unwrap();
             writeln!(w, "{name} {v}").unwrap();
@@ -556,6 +695,8 @@ impl ObsSnapshot {
             )
             .unwrap();
         }
+        writeln!(w, "# TYPE hart_group_occupancy_mean gauge").unwrap();
+        writeln!(w, "hart_group_occupancy_mean {}", self.group.occupancy_mean).unwrap();
         s
     }
 }
@@ -656,6 +797,23 @@ mod tests {
                 write_extra_ns: next(),
                 read_extra_ns: next(),
                 alloc_extra_ns: next(),
+            },
+            server: ServerSection {
+                connections_total: next(),
+                connections_active: next(),
+                requests_total: next(),
+                busy_rejections: next(),
+                inflight_peak: next(),
+                proto_errors: next(),
+            },
+            group: GroupSection {
+                enabled: true,
+                flushes: next(),
+                ops_committed: next(),
+                ops_failed: next(),
+                persists_deferred: next(),
+                occupancy_mean: next() as f64 + 0.125,
+                occupancy_max: next(),
             },
         }
     }

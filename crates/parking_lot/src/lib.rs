@@ -62,6 +62,10 @@ pub mod rank {
     pub const LOG_SLOTS: u16 = 50;
     /// `ebr::GARBAGE` — global deferred-drop bag.
     pub const EBR_GARBAGE: u16 = 60;
+    /// `GroupCommitter.state` — group-commit batch state. Highest rank:
+    /// a batch flush runs `PmemPool::persist` promotion under it, and no
+    /// other ranked lock is ever acquired while it is held.
+    pub const GROUP_COMMIT: u16 = 70;
 }
 
 #[cfg(feature = "lock-witness")]
@@ -594,6 +598,33 @@ impl Condvar {
         witness::push(guard.w);
     }
 
+    /// As [`Condvar::wait`], but give up after `timeout`. Returns whether
+    /// the wait timed out; spurious wakeups are possible either way, so
+    /// callers re-check their predicate.
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        #[cfg(feature = "lock-witness")]
+        witness::release(guard.w);
+        // SAFETY: the raw guard is moved out for the duration of the wait
+        // and a fresh one is written back before this function returns, so
+        // `MutexGuard::drop` always sees an initialized guard.
+        let raw = unsafe { ManuallyDrop::take(&mut guard.raw) };
+        let (raw, res) = match self.inner.wait_timeout(raw, timeout) {
+            Ok((raw, res)) => (raw, res),
+            Err(p) => {
+                let (raw, res) = p.into_inner();
+                (raw, res)
+            }
+        };
+        guard.raw = ManuallyDrop::new(raw);
+        #[cfg(feature = "lock-witness")]
+        witness::push(guard.w);
+        WaitTimeoutResult(res.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -610,6 +641,17 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 

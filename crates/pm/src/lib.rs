@@ -50,6 +50,7 @@
 mod cache;
 #[cfg(feature = "pm-check")]
 mod check;
+mod group;
 mod image;
 mod latency;
 mod pod;
@@ -58,8 +59,9 @@ mod ptr;
 mod stats;
 
 pub use cache::{CacheConfig, CacheSim};
+pub use group::{GroupCommitError, GroupCommitter, GroupConfig, GroupStatsSnapshot, Ticket};
 pub use latency::{LatencyConfig, TimeMode};
 pub use pod::Pod;
-pub use pool::{PmemPool, PoolConfig, CACHE_LINE};
+pub use pool::{PersistBatch, PmemPool, PoolConfig, CACHE_LINE};
 pub use ptr::PmPtr;
 pub use stats::{PmStats, PmStatsSnapshot};

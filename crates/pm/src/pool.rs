@@ -7,6 +7,7 @@ use crate::ptr::PmPtr;
 use crate::stats::PmStats;
 use parking_lot::Mutex;
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::mem::{size_of, MaybeUninit};
 use std::ptr::NonNull;
@@ -92,6 +93,64 @@ struct RawAlloc {
 struct CrashState {
     shadow: Vec<u8>,
     dirty: HashSet<u64>,
+    /// Per-line sequence of the newest promotion applied to the shadow,
+    /// so a deferred batch replayed after a newer persist of the same
+    /// line cannot roll the durable image backwards (see
+    /// [`PmemPool::flush_batches`]).
+    applied: HashMap<u64, u64>,
+}
+
+/// The persist ranges one operation recorded while running under
+/// [`PmemPool::run_deferred`]. Opaque except for occupancy inspection;
+/// redeem it through a group-commit flush ([`PmemPool::flush_batches`],
+/// usually via [`crate::GroupCommitter`]).
+#[derive(Debug)]
+pub struct PersistBatch {
+    /// Identity of the pool the ranges belong to (its arena base address),
+    /// so a batch can never be flushed against the wrong pool.
+    pool_id: usize,
+    /// Every deferred `persist`, in call order.
+    ranges: Vec<DeferredRange>,
+}
+
+/// One deferred `persist` call: the range it covered plus — under crash
+/// simulation — a redo-log record of the covered lines' bytes *at call
+/// time*. Flushing replays the snapshot, not whatever the line holds at
+/// flush time, so group commit crashes exactly like the per-op path: a
+/// store issued after this persist (by a later op in the batch window)
+/// cannot ride an earlier op's flush into the durable image.
+#[derive(Debug)]
+struct DeferredRange {
+    off: u64,
+    len: u32,
+    /// Global persist sequence at record time; newest-wins per line.
+    seq: u64,
+    /// Line-aligned bytes of the covered span, captured at record time.
+    /// `None` when the pool has no crash simulation (nothing to replay).
+    snap: Option<Box<[u8]>>,
+}
+
+impl PersistBatch {
+    /// Number of deferred `persist` calls recorded in this batch.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the operation never called `persist`.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Thread-local deferred-persist state: while `Some`, `persist` calls on
+/// the matching pool record ranges here instead of flushing.
+struct DeferState {
+    pool_id: usize,
+    ranges: Vec<DeferredRange>,
+}
+
+thread_local! {
+    static DEFER: RefCell<Option<DeferState>> = const { RefCell::new(None) };
 }
 
 /// An emulated persistent-memory device.
@@ -127,6 +186,9 @@ pub struct PmemPool {
     /// later persists no longer promote lines into the shadow image, as if
     /// the machine had already died. −1 = disarmed.
     persist_fuse: std::sync::atomic::AtomicI64,
+    /// Monotonic persist clock: stamps per-op promotions and deferred
+    /// redo records so flush replay is newest-wins per line.
+    persist_seq: std::sync::atomic::AtomicU64,
     /// Byte-granular written-but-not-persisted tracking for
     /// [`PmemPool::check_durable`] (see `check.rs` for the model).
     #[cfg(feature = "pm-check")]
@@ -158,6 +220,7 @@ impl PmemPool {
             Mutex::new(CrashState {
                 shadow: vec![0u8; cfg.size_bytes],
                 dirty: HashSet::new(),
+                applied: HashMap::new(),
             })
         });
         PmemPool {
@@ -176,6 +239,7 @@ impl PmemPool {
             crash,
             alloc_overhead_ns: cfg.alloc_overhead_ns,
             persist_fuse: std::sync::atomic::AtomicI64::new(-1),
+            persist_seq: std::sync::atomic::AtomicU64::new(1),
             #[cfg(feature = "pm-check")]
             durability: crate::check::DurTracker::default(),
         }
@@ -453,6 +517,66 @@ impl PmemPool {
         let first = p.0 & !(CACHE_LINE - 1);
         let end = p.0 + len.max(1) as u64;
         let nlines = (end - first).div_ceil(CACHE_LINE);
+
+        // Group-commit deferral: inside `run_deferred` the fence/flush is
+        // *recorded*, not performed — no latency charge, no fuse decrement,
+        // no shadow promotion. Durability arrives only when the batch is
+        // redeemed by `flush_batches`. Discipline tracking (`pm-check`) and
+        // cache eviction still happen here: the store *does* have a
+        // covering persist in program order, and its lines will be flushed.
+        let deferred = DEFER.with(|d| {
+            let mut d = d.borrow_mut();
+            match d.as_mut() {
+                Some(st) if st.pool_id == self.base.as_ptr() as usize => {
+                    // Redo-log record: under crash simulation, capture the
+                    // covered lines *now* so the flush replays exactly what
+                    // this persist would have made durable. The raw read of
+                    // the working image is as synchronized as per-op
+                    // promotion is (object writes are externally ordered;
+                    // neighbors on a shared line re-log their own bytes
+                    // with a later sequence, which wins at flush).
+                    let seq = self
+                        .persist_seq
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let snap = self.crash.as_ref().map(|_| {
+                        let a = (first as usize).min(self.len);
+                        let b = ((end.div_ceil(CACHE_LINE) * CACHE_LINE) as usize).min(self.len);
+                        // SAFETY: `a..b` is clamped to the arena length and
+                        // the arena outlives this call.
+                        unsafe {
+                            std::slice::from_raw_parts(self.base.as_ptr().add(a), b - a)
+                                .to_vec()
+                                .into_boxed_slice()
+                        }
+                    });
+                    st.ranges.push(DeferredRange {
+                        off: p.0,
+                        len: len.max(1) as u32,
+                        seq,
+                        snap,
+                    });
+                    true
+                }
+                _ => false,
+            }
+        });
+        if deferred {
+            self.stats
+                .persists_deferred
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            #[cfg(feature = "pm-check")]
+            self.durability
+                .note_persist(first, end.div_ceil(CACHE_LINE) * CACHE_LINE);
+            if self.charge_reads {
+                let mut line = first;
+                while line < end {
+                    self.cache.invalidate(line);
+                    line += CACHE_LINE;
+                }
+            }
+            return;
+        }
+
         self.stats
             .persist_calls
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -476,20 +600,7 @@ impl PmemPool {
 
         // Failure injection: a blown fuse means this persist "never
         // happened" — the store stays in the (volatile) working image only.
-        let fuse_ok = {
-            use std::sync::atomic::Ordering;
-            let f = self.persist_fuse.load(Ordering::Relaxed);
-            if f < 0 {
-                true // disarmed
-            } else {
-                // Decrement, clamped at 0 so a blown fuse stays blown.
-                self.persist_fuse
-                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                        (v > 0).then_some(v - 1)
-                    })
-                    .is_ok_and(|prev| prev > 0)
-            }
-        };
+        let fuse_ok = self.fuse_tick();
 
         if let Some(crash) = &self.crash {
             if !fuse_ok {
@@ -501,6 +612,9 @@ impl PmemPool {
                 );
                 return;
             }
+            let seq = self
+                .persist_seq
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let mut st = crash.lock();
             let mut line = first;
             while line < end {
@@ -518,6 +632,9 @@ impl PmemPool {
                             b - a,
                         );
                     }
+                    // Stale deferred redo records of this line must not
+                    // later roll the shadow back behind this promotion.
+                    st.applied.insert(idx, seq);
                 }
                 line += CACHE_LINE;
             }
@@ -567,6 +684,146 @@ impl PmemPool {
         }
     }
 
+    // -------------------------------------------------------- group-commit
+
+    /// Run `f` with this thread's `persist` calls *deferred*: each call is
+    /// recorded as an `(offset, len)` range instead of charging latency,
+    /// decrementing the persist fuse, or promoting lines into the crash
+    /// shadow. Returns `f`'s result plus the recorded [`PersistBatch`].
+    ///
+    /// The operation is **not durable** until the batch is redeemed by
+    /// [`PmemPool::flush_batches`] — callers that acknowledge writes (the
+    /// server's group-commit path) must wait for that flush. Deferral is
+    /// per-thread and applies only to persists against this pool; nesting
+    /// is a logic error.
+    ///
+    /// Under crash simulation each deferred persist carries a redo-log
+    /// snapshot of its lines taken at call time, and the flush replays the
+    /// snapshots (newest-wins per line). Group commit therefore crashes
+    /// *exactly* like the per-op path would at the same persist boundary:
+    /// bytes stored after a persist — e.g. a later op's allocator-bitmap
+    /// bit on the same cache line — cannot ride that persist's flush into
+    /// the durable image. (A delayed CLFLUSH on real hardware *would* leak
+    /// them; real group-commit systems interpose a write-ahead log for
+    /// precisely this reason, and the snapshot is that log record.)
+    pub fn run_deferred<R>(&self, f: impl FnOnce() -> R) -> (R, PersistBatch) {
+        let pool_id = self.base.as_ptr() as usize;
+        DEFER.with(|d| {
+            let mut d = d.borrow_mut();
+            assert!(d.is_none(), "PmemPool::run_deferred does not nest");
+            *d = Some(DeferState {
+                pool_id,
+                ranges: Vec::new(),
+            });
+        });
+        // Clear the thread-local if `f` panics so the thread is reusable.
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                DEFER.with(|d| d.borrow_mut().take());
+            }
+        }
+        let reset = Reset;
+        let out = f();
+        std::mem::forget(reset);
+        let st = DEFER
+            .with(|d| d.borrow_mut().take())
+            .expect("deferred-persist state vanished");
+        (
+            out,
+            PersistBatch {
+                pool_id,
+                ranges: st.ranges,
+            },
+        )
+    }
+
+    /// Redeem deferred batches: promote every recorded range in submission
+    /// order, then charge **one** write-latency fence for the whole group —
+    /// the group-commit amortization (`MFENCE; CLFLUSH…; MFENCE` once per
+    /// batch window instead of once per op).
+    ///
+    /// The persist fuse is decremented once per recorded range, in order,
+    /// so failure injection sees the same persist sequence the per-op path
+    /// would have issued. Returns the number of *leading* batches whose
+    /// ranges all promoted before the fuse blew — ops beyond that count
+    /// must not be acknowledged as durable (a trailing op may be torn,
+    /// exactly like a crash mid-op on the per-op path).
+    pub fn flush_batches(&self, batches: &[PersistBatch]) -> usize {
+        use std::sync::atomic::Ordering;
+        if batches.is_empty() {
+            return 0;
+        }
+        let mut crash_guard = self.crash.as_ref().map(|c| c.lock());
+        let mut ok_batches = 0usize;
+        let mut total_lines = 0u64;
+        'outer: for b in batches {
+            assert_eq!(
+                b.pool_id,
+                self.base.as_ptr() as usize,
+                "PersistBatch redeemed against a different pool"
+            );
+            for r in &b.ranges {
+                let first = r.off & !(CACHE_LINE - 1);
+                let end = r.off + r.len.max(1) as u64;
+                total_lines += (end - first).div_ceil(CACHE_LINE);
+                if !self.fuse_tick() {
+                    break 'outer;
+                }
+                let (Some(st), Some(snap)) = (crash_guard.as_deref_mut(), r.snap.as_deref()) else {
+                    continue;
+                };
+                // Replay the redo-log snapshot, newest sequence wins per
+                // line: a per-op promotion (or a racing batch) that already
+                // persisted newer content must not be rolled back by this
+                // older record. The line stays dirty — the working image
+                // may hold later, still-unpersisted stores.
+                let mut line = first;
+                while line < end {
+                    let idx = line / CACHE_LINE;
+                    if st.applied.get(&idx).is_none_or(|&s| s < r.seq) {
+                        let a = (line as usize).min(self.len);
+                        let b = ((line + CACHE_LINE) as usize).min(self.len);
+                        let so = (line - first) as usize;
+                        st.shadow[a..b].copy_from_slice(&snap[so..so + (b - a)]);
+                        st.applied.insert(idx, r.seq);
+                        st.dirty.insert(idx);
+                    }
+                    line += CACHE_LINE;
+                }
+            }
+            ok_batches += 1;
+        }
+        drop(crash_guard);
+        self.stats.persist_calls.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .lines_flushed
+            .fetch_add(total_lines, Ordering::Relaxed);
+        self.stats.group_flushes.fetch_add(1, Ordering::Relaxed);
+        charge(
+            self.mode,
+            &self.stats.write_extra_ns,
+            self.latency.write_extra_ns(),
+        );
+        ok_batches
+    }
+
+    /// Decrement the persist fuse by one logical persist; false once blown.
+    #[inline]
+    fn fuse_tick(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let f = self.persist_fuse.load(Ordering::Relaxed);
+        if f < 0 {
+            true // disarmed
+        } else {
+            self.persist_fuse
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    (v > 0).then_some(v - 1)
+                })
+                .is_ok_and(|prev| prev > 0)
+        }
+    }
+
     /// A standalone memory fence (counted; no latency charge of its own —
     /// the paper folds fence cost into the per-persist charge).
     pub fn fence(&self) {
@@ -591,6 +848,9 @@ impl PmemPool {
         #[cfg(feature = "pm-check")]
         self.durability.clear();
         let mut st = crash.lock();
+        // Any deferred redo records left in flight died with the machine;
+        // the promotion history restarts with the reboot.
+        st.applied.clear();
         let dirty: Vec<u64> = st.dirty.drain().collect();
         for idx in dirty {
             let a = ((idx * CACHE_LINE) as usize).min(self.len);

@@ -30,6 +30,10 @@ pub struct PmStats {
     pub read_extra_ns: AtomicU64,
     /// Extra nanoseconds charged for raw allocator calls.
     pub alloc_extra_ns: AtomicU64,
+    /// `persist()` calls deferred under group-commit (recorded, not fenced).
+    pub persists_deferred: AtomicU64,
+    /// Group-commit batch flushes (each = one real fence for many persists).
+    pub group_flushes: AtomicU64,
 }
 
 impl PmStats {
@@ -48,6 +52,8 @@ impl PmStats {
             write_extra_ns: self.write_extra_ns.load(Ordering::Relaxed),
             read_extra_ns: self.read_extra_ns.load(Ordering::Relaxed),
             alloc_extra_ns: self.alloc_extra_ns.load(Ordering::Relaxed),
+            persists_deferred: self.persists_deferred.load(Ordering::Relaxed),
+            group_flushes: self.group_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -77,6 +83,8 @@ impl PmStats {
             &self.write_extra_ns,
             &self.read_extra_ns,
             &self.alloc_extra_ns,
+            &self.persists_deferred,
+            &self.group_flushes,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -100,6 +108,8 @@ pub struct PmStatsSnapshot {
     pub write_extra_ns: u64,
     pub read_extra_ns: u64,
     pub alloc_extra_ns: u64,
+    pub persists_deferred: u64,
+    pub group_flushes: u64,
 }
 
 impl PmStatsSnapshot {

@@ -115,6 +115,15 @@ pub const LOCK_ORDER: &[LockClass] = &[
                     Bucket::install → defer_drop (destructors run after the \
                     bag unlocks, so nothing nests below it)",
     },
+    LockClass {
+        name: "GROUP_COMMIT",
+        rank: 70,
+        chained: false,
+        file: "crates/pm/src/group.rs",
+        rationale: "group-commit batch state; a flush promotes shadow lines \
+                    under it but never takes another ranked lock, so it sits \
+                    at the top of the hierarchy",
+    },
 ];
 
 /// Classification patterns: (class index, file-name filter, receiver
@@ -176,6 +185,12 @@ const ACQ_PATTERNS: &[AcqPat] = &[
         class: 6, // EBR_GARBAGE
         file: Some("lib.rs"),
         field: Some("GARBAGE"),
+        methods: LOCK_METHODS,
+    },
+    AcqPat {
+        class: 7, // GROUP_COMMIT
+        file: Some("group.rs"),
+        field: Some("state"),
         methods: LOCK_METHODS,
     },
 ];

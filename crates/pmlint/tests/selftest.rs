@@ -113,7 +113,8 @@ fn lock_order_table_matches_runtime_ranks() {
     assert_eq!(by_name("LOG_SLOTS"), parking_lot::rank::LOG_SLOTS);
     assert_eq!(by_name("EBR_GARBAGE"), parking_lot::rank::EBR_GARBAGE);
     assert_eq!(by_name("DIR_SCAN_CACHE"), parking_lot::rank::DIR_SCAN_CACHE);
-    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 7, "table drifted");
+    assert_eq!(by_name("GROUP_COMMIT"), parking_lot::rank::GROUP_COMMIT);
+    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 8, "table drifted");
 }
 
 #[test]

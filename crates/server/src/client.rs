@@ -1,0 +1,169 @@
+//! A small blocking client for the hart-server wire protocol.
+//!
+//! `send`/`recv` are split so callers can pipeline: enqueue a window of
+//! requests, then drain responses and match them up by `req_id`. The
+//! typed helpers (`get`, `put`, …) are one-request-one-response
+//! conveniences built on that split.
+
+use crate::proto::*;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One client connection.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Responses read while draining for some other id (pipelining).
+    stash: HashMap<u64, Response>,
+}
+
+/// A typed outcome for point ops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    Ok(Vec<u8>),
+    NotFound,
+    Busy(String),
+    Err(String),
+}
+
+impl Outcome {
+    fn from(resp: Response) -> Outcome {
+        match resp.status {
+            ST_OK => Outcome::Ok(resp.payload),
+            ST_NOT_FOUND => Outcome::NotFound,
+            ST_BUSY => Outcome::Busy(String::from_utf8_lossy(&resp.payload).into_owned()),
+            _ => Outcome::Err(String::from_utf8_lossy(&resp.payload).into_owned()),
+        }
+    }
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            next_id: 1,
+            stash: HashMap::new(),
+        })
+    }
+
+    /// Enqueue a request without waiting for its response; returns the
+    /// assigned `req_id`.
+    pub fn send(&mut self, req: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Write raw bytes to the socket (protocol-robustness tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// The underlying stream (tests: half-close, peer inspection).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Read the next response off the wire, whatever request it answers.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let body = read_frame(&mut self.stream, MAX_RESPONSE_BODY)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        parse_response(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.msg))
+    }
+
+    /// Read until the response for `id` arrives, stashing out-of-order
+    /// responses for other in-flight ids.
+    pub fn recv_for(&mut self, id: u64) -> io::Result<Response> {
+        if let Some(r) = self.stash.remove(&id) {
+            return Ok(r);
+        }
+        loop {
+            let r = self.recv()?;
+            if r.req_id == id {
+                return Ok(r);
+            }
+            self.stash.insert(r.req_id, r);
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        let id = self.send(req)?;
+        self.recv_for(id)
+    }
+
+    /// Bind this connection to a tenant namespace.
+    pub fn hello(&mut self, tenant: &[u8]) -> io::Result<Outcome> {
+        self.call(&Request::Hello {
+            tenant: tenant.to_vec(),
+        })
+        .map(Outcome::from)
+    }
+
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> io::Result<Outcome> {
+        self.call(&Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })
+        .map(Outcome::from)
+    }
+
+    /// `Ok(Some(v))` on hit, `Ok(None)` on miss.
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        match self
+            .call(&Request::Get { key: key.to_vec() })
+            .map(Outcome::from)?
+        {
+            Outcome::Ok(p) => {
+                // GET OK payload = [u8 len][value]
+                if p.is_empty() || p.len() != 1 + p[0] as usize {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "bad GET payload",
+                    ));
+                }
+                Ok(Some(p[1..].to_vec()))
+            }
+            Outcome::NotFound => Ok(None),
+            Outcome::Busy(m) | Outcome::Err(m) => Err(io::Error::other(m)),
+        }
+    }
+
+    pub fn del(&mut self, key: &[u8]) -> io::Result<Outcome> {
+        self.call(&Request::Del { key: key.to_vec() })
+            .map(Outcome::from)
+    }
+
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: u32,
+    ) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let resp = self.call(&Request::Scan {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            limit,
+        })?;
+        if resp.status != ST_OK {
+            return Err(io::Error::other(
+                String::from_utf8_lossy(&resp.payload).into_owned(),
+            ));
+        }
+        parse_scan_payload(&resp.payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.msg))
+    }
+
+    /// Fetch the Prometheus text exposition.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let resp = self.call(&Request::Stats)?;
+        if resp.status != ST_OK {
+            return Err(io::Error::other("STATS failed"));
+        }
+        String::from_utf8(resp.payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 stats"))
+    }
+}

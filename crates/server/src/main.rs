@@ -1,0 +1,114 @@
+//! `hart-server` — serve a fresh HART instance over TCP.
+//!
+//! ```text
+//! hart-server [--addr HOST:PORT] [--workers N] [--max-inflight N]
+//!             [--group-commit] [--group-max-ops N] [--group-window-us N]
+//!             [--size-mb N] [--latency 300/100|300/300|600/300|dram]
+//! ```
+//!
+//! Runs until killed; prints the bound address on stdout (one line) so
+//! scripts can connect to an ephemeral port.
+
+use hart::{Hart, HartConfig};
+use hart_pm::{GroupConfig, LatencyConfig, PmemPool, PoolConfig, TimeMode};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hart-server [--addr HOST:PORT] [--workers N] [--max-inflight N]\n\
+         \x20                 [--group-commit] [--group-max-ops N] [--group-window-us N]\n\
+         \x20                 [--size-mb N] [--latency 300/100|300/300|600/300|dram]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut cfg = hart_server::ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..Default::default()
+    };
+    let mut size_mb: usize = 64;
+    let mut latency = LatencyConfig::dram();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let grab = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => cfg.addr = grab(&mut i),
+            "--workers" => cfg.workers = grab(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-inflight" => cfg.max_inflight = grab(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--group-commit" => cfg.group_commit = true,
+            "--group-max-ops" => {
+                cfg.group.max_ops = grab(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--group-window-us" => {
+                cfg.group.window =
+                    Duration::from_micros(grab(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--size-mb" => size_mb = grab(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--latency" => {
+                latency = match grab(&mut i).as_str() {
+                    "300/100" => LatencyConfig::c300_100(),
+                    "300/300" => LatencyConfig::c300_300(),
+                    "600/300" => LatencyConfig::c600_300(),
+                    "dram" => LatencyConfig::dram(),
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: size_mb * 1024 * 1024,
+        latency,
+        time_mode: TimeMode::Inject,
+        ..PoolConfig::default()
+    }));
+    let hcfg = HartConfig {
+        group_commit: cfg.group_commit,
+        ..Default::default()
+    };
+    let hart = Arc::new(Hart::create(pool, hcfg).unwrap_or_else(|e| {
+        eprintln!("hart-server: cannot create tree: {e}");
+        exit(1);
+    }));
+    let default_group = GroupConfig::default();
+    let handle = hart_server::start(hart, cfg.clone()).unwrap_or_else(|e| {
+        eprintln!("hart-server: cannot bind {}: {e}", cfg.addr);
+        exit(1);
+    });
+    println!("{}", handle.local_addr());
+    eprintln!(
+        "hart-server: listening on {} ({} workers, max_inflight {}, group_commit {}{})",
+        handle.local_addr(),
+        cfg.workers,
+        cfg.max_inflight,
+        cfg.group_commit,
+        if cfg.group_commit {
+            format!(
+                ", batch {} ops / {:?} window",
+                if cfg.group.max_ops == 0 {
+                    default_group.max_ops
+                } else {
+                    cfg.group.max_ops
+                },
+                cfg.group.window
+            )
+        } else {
+            String::new()
+        }
+    );
+    // Serve forever; the OS reaps everything on SIGINT/SIGTERM.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,433 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every frame — request or response — is
+//!
+//! ```text
+//! [u32 body_len (LE)] [body]
+//! body(request)  = [u64 req_id (LE)] [u8 opcode] [payload]
+//! body(response) = [u64 req_id (LE)] [u8 status] [payload]
+//! ```
+//!
+//! `req_id` is chosen by the client and echoed verbatim, so clients may
+//! pipeline many requests on one connection and match responses by id
+//! (responses to *different keys* may arrive out of order; requests for the
+//! same key are executed in submission order because key-sharding pins them
+//! to one worker). A response with `req_id == 0` that the client never sent
+//! is a connection-level error (e.g. an oversized frame whose body was
+//! never read); the server closes the connection after sending it.
+//!
+//! Request payloads (all lengths are single bytes unless noted):
+//!
+//! | opcode        | payload |
+//! |---------------|---------|
+//! | `HELLO` (0)   | `[u8 n][tenant; n bytes]` — sets this connection's key namespace |
+//! | `GET` (1)     | `[u8 n][key]` |
+//! | `PUT` (2)     | `[u8 n][key][u8 m][value]` |
+//! | `DEL` (3)     | `[u8 n][key]` |
+//! | `SCAN` (4)    | `[u8 n][start][u8 m][end][u32 limit (LE)]` |
+//! | `STATS` (5)   | empty |
+//!
+//! Response payloads: `GET` OK carries `[u8 m][value]`; `SCAN` OK carries
+//! `[u32 count]` then `count` × `[u8 n][key][u8 m][value]`; `STATS` OK
+//! carries the Prometheus text exposition verbatim; `ERR` carries a UTF-8
+//! message. `PUT`/`DEL`/`HELLO` OK payloads are empty.
+
+use std::io::{self, Read};
+
+/// Upper bound on a request body. Requests are small (two keys + a value +
+/// header < 100 bytes); anything larger is an attack or a desynced stream.
+pub const MAX_REQUEST_BODY: u32 = 4096;
+/// Upper bound on a response body (a full 1000-row scan is ≈ 42 KiB; the
+/// Prometheus page is a few KiB).
+pub const MAX_RESPONSE_BODY: u32 = 256 * 1024;
+/// Hard cap on rows returned by one SCAN.
+pub const MAX_SCAN_LIMIT: u32 = 1000;
+/// Longest accepted tenant name (prefixing must leave room in 24-byte keys).
+pub const MAX_TENANT_LEN: usize = 8;
+
+pub const OP_HELLO: u8 = 0;
+pub const OP_GET: u8 = 1;
+pub const OP_PUT: u8 = 2;
+pub const OP_DEL: u8 = 3;
+pub const OP_SCAN: u8 = 4;
+pub const OP_STATS: u8 = 5;
+
+pub const ST_OK: u8 = 0;
+pub const ST_NOT_FOUND: u8 = 1;
+pub const ST_ERR: u8 = 2;
+/// Admission control: the server is at its in-flight limit; retry later.
+pub const ST_BUSY: u8 = 3;
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    Hello {
+        tenant: Vec<u8>,
+    },
+    Get {
+        key: Vec<u8>,
+    },
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    Del {
+        key: Vec<u8>,
+    },
+    Scan {
+        start: Vec<u8>,
+        end: Vec<u8>,
+        limit: u32,
+    },
+    Stats,
+}
+
+/// A parsed response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    pub req_id: u64,
+    pub status: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame was rejected. `req_id` is the best-effort id recovered from
+/// the broken frame (0 when even the header was unreadable), echoed in the
+/// ERR response so a pipelining client can tell which request died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    pub req_id: u64,
+    pub msg: &'static str,
+}
+
+fn take<'a>(
+    buf: &mut &'a [u8],
+    n: usize,
+    req_id: u64,
+    what: &'static str,
+) -> Result<&'a [u8], ProtoError> {
+    if buf.len() < n {
+        return Err(ProtoError { req_id, msg: what });
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn take_u8_bytes<'a>(
+    buf: &mut &'a [u8],
+    req_id: u64,
+    what: &'static str,
+) -> Result<&'a [u8], ProtoError> {
+    let n = take(buf, 1, req_id, what)?[0] as usize;
+    take(buf, n, req_id, what)
+}
+
+/// Parse a request body (everything after the length prefix).
+pub fn parse_request(body: &[u8]) -> Result<(u64, Request), ProtoError> {
+    let mut buf = body;
+    let id_bytes = take(&mut buf, 8, 0, "truncated header")?;
+    let req_id = u64::from_le_bytes(id_bytes.try_into().unwrap());
+    let opcode = take(&mut buf, 1, req_id, "truncated header")?[0];
+    let req = match opcode {
+        OP_HELLO => Request::Hello {
+            tenant: take_u8_bytes(&mut buf, req_id, "truncated tenant")?.to_vec(),
+        },
+        OP_GET => Request::Get {
+            key: take_u8_bytes(&mut buf, req_id, "truncated key")?.to_vec(),
+        },
+        OP_PUT => Request::Put {
+            key: take_u8_bytes(&mut buf, req_id, "truncated key")?.to_vec(),
+            value: take_u8_bytes(&mut buf, req_id, "truncated value")?.to_vec(),
+        },
+        OP_DEL => Request::Del {
+            key: take_u8_bytes(&mut buf, req_id, "truncated key")?.to_vec(),
+        },
+        OP_SCAN => {
+            let start = take_u8_bytes(&mut buf, req_id, "truncated scan start")?.to_vec();
+            let end = take_u8_bytes(&mut buf, req_id, "truncated scan end")?.to_vec();
+            let lim = take(&mut buf, 4, req_id, "truncated scan limit")?;
+            Request::Scan {
+                start,
+                end,
+                limit: u32::from_le_bytes(lim.try_into().unwrap()),
+            }
+        }
+        OP_STATS => Request::Stats,
+        _ => {
+            return Err(ProtoError {
+                req_id,
+                msg: "unknown opcode",
+            })
+        }
+    };
+    if !buf.is_empty() {
+        return Err(ProtoError {
+            req_id,
+            msg: "trailing bytes in frame",
+        });
+    }
+    Ok((req_id, req))
+}
+
+/// Encode a request into a full frame (length prefix included).
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&req_id.to_le_bytes());
+    let push_u8_bytes = |body: &mut Vec<u8>, b: &[u8]| {
+        debug_assert!(b.len() <= u8::MAX as usize);
+        body.push(b.len() as u8);
+        body.extend_from_slice(b);
+    };
+    match req {
+        Request::Hello { tenant } => {
+            body.push(OP_HELLO);
+            push_u8_bytes(&mut body, tenant);
+        }
+        Request::Get { key } => {
+            body.push(OP_GET);
+            push_u8_bytes(&mut body, key);
+        }
+        Request::Put { key, value } => {
+            body.push(OP_PUT);
+            push_u8_bytes(&mut body, key);
+            push_u8_bytes(&mut body, value);
+        }
+        Request::Del { key } => {
+            body.push(OP_DEL);
+            push_u8_bytes(&mut body, key);
+        }
+        Request::Scan { start, end, limit } => {
+            body.push(OP_SCAN);
+            push_u8_bytes(&mut body, start);
+            push_u8_bytes(&mut body, end);
+            body.extend_from_slice(&limit.to_le_bytes());
+        }
+        Request::Stats => body.push(OP_STATS),
+    }
+    frame(body)
+}
+
+/// Encode a response into a full frame (length prefix included).
+pub fn encode_response(req_id: u64, status: u8, payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(9 + payload.len());
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.push(status);
+    body.extend_from_slice(payload);
+    frame(body)
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut f = Vec::with_capacity(4 + body.len());
+    f.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    f.extend_from_slice(&body);
+    f
+}
+
+/// Parse a response body (everything after the length prefix).
+pub fn parse_response(body: &[u8]) -> Result<Response, ProtoError> {
+    let mut buf = body;
+    let id_bytes = take(&mut buf, 8, 0, "truncated response header")?;
+    let req_id = u64::from_le_bytes(id_bytes.try_into().unwrap());
+    let status = take(&mut buf, 1, req_id, "truncated response header")?[0];
+    Ok(Response {
+        req_id,
+        status,
+        payload: buf.to_vec(),
+    })
+}
+
+/// Read one length-prefixed frame body from `r`.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary (peer closed),
+/// `Err(InvalidData)` on an oversized or impossibly short length prefix,
+/// and any other I/O error (including `UnexpectedEof` mid-frame) verbatim.
+pub fn read_frame(r: &mut impl Read, max_body: u32) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None); // clean close between frames
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len < 9 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame shorter than its fixed header",
+        ));
+    }
+    if len > max_body {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds the protocol size limit",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Encode a SCAN OK payload.
+pub fn encode_scan_payload(rows: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + rows.len() * 32);
+    p.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for (k, v) in rows {
+        p.push(k.len() as u8);
+        p.extend_from_slice(k);
+        p.push(v.len() as u8);
+        p.extend_from_slice(v);
+    }
+    p
+}
+
+/// Owned `(key, value)` rows from a decoded SCAN response.
+pub type ScanRows = Vec<(Vec<u8>, Vec<u8>)>;
+
+/// Decode a SCAN OK payload.
+pub fn parse_scan_payload(payload: &[u8]) -> Result<ScanRows, ProtoError> {
+    let mut buf = payload;
+    let n_bytes = take(&mut buf, 4, 0, "truncated scan count")?;
+    let n = u32::from_le_bytes(n_bytes.try_into().unwrap());
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let k = take_u8_bytes(&mut buf, 0, "truncated scan row key")?.to_vec();
+        let v = take_u8_bytes(&mut buf, 0, "truncated scan row value")?.to_vec();
+        out.push((k, v));
+    }
+    if !buf.is_empty() {
+        return Err(ProtoError {
+            req_id: 0,
+            msg: "trailing bytes in scan payload",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            Request::Hello {
+                tenant: b"acme".to_vec(),
+            },
+            Request::Get {
+                key: b"k1".to_vec(),
+            },
+            Request::Put {
+                key: b"k1".to_vec(),
+                value: b"v".to_vec(),
+            },
+            Request::Del {
+                key: b"k1".to_vec(),
+            },
+            Request::Scan {
+                start: b"a".to_vec(),
+                end: b"z".to_vec(),
+                limit: 17,
+            },
+            Request::Stats,
+        ] {
+            let f = encode_request(42, &req);
+            let body = read_frame(&mut &f[..], MAX_REQUEST_BODY).unwrap().unwrap();
+            let (id, back) = parse_request(&body).unwrap();
+            assert_eq!(id, 42);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let f = encode_response(7, ST_OK, b"payload");
+        let body = read_frame(&mut &f[..], MAX_RESPONSE_BODY).unwrap().unwrap();
+        let r = parse_response(&body).unwrap();
+        assert_eq!(
+            (r.req_id, r.status, r.payload.as_slice()),
+            (7, ST_OK, &b"payload"[..])
+        );
+    }
+
+    #[test]
+    fn scan_payload_round_trips() {
+        let rows = vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"bb".to_vec(), b"22".to_vec()),
+        ];
+        assert_eq!(
+            parse_scan_payload(&encode_scan_payload(&rows)).unwrap(),
+            rows
+        );
+        assert!(parse_scan_payload(&encode_scan_payload(&[])[..3]).is_err());
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_and_short() {
+        let mut f = Vec::new();
+        f.extend_from_slice(&(MAX_REQUEST_BODY + 1).to_le_bytes());
+        f.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            read_frame(&mut &f[..], MAX_REQUEST_BODY)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        let f = 3u32.to_le_bytes().to_vec();
+        assert_eq!(
+            read_frame(&mut &f[..], MAX_REQUEST_BODY)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_close_from_torn_frame() {
+        assert!(read_frame(&mut &[][..], MAX_REQUEST_BODY)
+            .unwrap()
+            .is_none());
+        // Header cut mid-way.
+        let torn = [9u8, 0];
+        assert_eq!(
+            read_frame(&mut &torn[..], MAX_REQUEST_BODY)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Body cut mid-way.
+        let mut f = 9u32.to_le_bytes().to_vec();
+        f.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(
+            read_frame(&mut &f[..], MAX_REQUEST_BODY)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_request(&[1, 2, 3]).is_err());
+        let mut body = 99u64.to_le_bytes().to_vec();
+        body.push(200); // unknown opcode
+        let e = parse_request(&body).unwrap_err();
+        assert_eq!(e.req_id, 99);
+        // Trailing junk after a valid GET.
+        let f = encode_request(1, &Request::Get { key: b"k".to_vec() });
+        let mut body = read_frame(&mut &f[..], MAX_REQUEST_BODY).unwrap().unwrap();
+        body.push(0xff);
+        assert!(parse_request(&body).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end smoke tests: real sockets, both persistence paths.
+
+use hart::{Hart, HartConfig};
+use hart_pm::{GroupConfig, PmemPool, PoolConfig};
+use hart_server::client::{Client, Outcome};
+use hart_server::{start, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot(group_commit: bool) -> (Arc<Hart>, hart_server::ServerHandle) {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 16 * 1024 * 1024,
+        ..PoolConfig::default()
+    }));
+    let hcfg = HartConfig {
+        group_commit,
+        ..Default::default()
+    };
+    let hart = Arc::new(Hart::create(pool, hcfg).unwrap());
+    let cfg = ServerConfig {
+        workers: 2,
+        group_commit,
+        group: GroupConfig {
+            max_ops: 8,
+            window: Duration::from_micros(200),
+        },
+        ..ServerConfig::default()
+    };
+    let handle = start(Arc::clone(&hart), cfg).unwrap();
+    (hart, handle)
+}
+
+fn crud_roundtrip(group_commit: bool) {
+    let (_hart, handle) = boot(group_commit);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(c.put(b"alpha", b"1").unwrap(), Outcome::Ok(vec![]));
+    assert_eq!(c.put(b"beta", b"2").unwrap(), Outcome::Ok(vec![]));
+    assert_eq!(c.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(c.get(b"missing").unwrap(), None);
+    assert_eq!(c.del(b"alpha").unwrap(), Outcome::Ok(vec![]));
+    assert_eq!(c.del(b"alpha").unwrap(), Outcome::NotFound);
+    assert_eq!(c.get(b"alpha").unwrap(), None);
+    let rows = c.scan(b"a", b"z", 100).unwrap();
+    assert_eq!(rows, vec![(b"beta".to_vec(), b"2".to_vec())]);
+    handle.shutdown();
+}
+
+#[test]
+fn crud_roundtrip_per_op_persist() {
+    crud_roundtrip(false);
+}
+
+#[test]
+fn crud_roundtrip_group_commit() {
+    crud_roundtrip(true);
+}
+
+#[test]
+fn tenants_are_isolated_namespaces() {
+    let (_hart, handle) = boot(false);
+    let mut a = Client::connect(handle.local_addr()).unwrap();
+    let mut b = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(a.hello(b"acme").unwrap(), Outcome::Ok(vec![]));
+    assert_eq!(b.hello(b"bravo").unwrap(), Outcome::Ok(vec![]));
+    a.put(b"k", b"A").unwrap();
+    b.put(b"k", b"B").unwrap();
+    assert_eq!(a.get(b"k").unwrap(), Some(b"A".to_vec()));
+    assert_eq!(b.get(b"k").unwrap(), Some(b"B".to_vec()));
+    // Scans stay inside the namespace and strip the prefix.
+    assert_eq!(
+        a.scan(b"a", b"z", 10).unwrap(),
+        vec![(b"k".to_vec(), b"A".to_vec())]
+    );
+    // A tenant-less connection sees the raw keyspace.
+    let mut raw = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(raw.get(b"acme/k").unwrap(), Some(b"A".to_vec()));
+    // Bad tenant names are refused.
+    assert!(matches!(raw.hello(b"").unwrap(), Outcome::Err(_)));
+    assert!(matches!(raw.hello(b"a/b").unwrap(), Outcome::Err(_)));
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_all_answered() {
+    let (_hart, handle) = boot(true);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..100u32 {
+        let key = format!("pipe{i:03}");
+        ids.push(
+            c.send(&hart_server::proto::Request::Put {
+                key: key.into_bytes(),
+                value: i.to_le_bytes().to_vec(),
+            })
+            .unwrap(),
+        );
+    }
+    for id in ids {
+        let r = c.recv_for(id).unwrap();
+        assert_eq!(r.status, hart_server::proto::ST_OK);
+    }
+    assert_eq!(
+        c.get(b"pipe042").unwrap(),
+        Some(42u32.to_le_bytes().to_vec())
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn stats_serves_prometheus_with_server_sections() {
+    let (_hart, handle) = boot(true);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    for i in 0..20u32 {
+        c.put(format!("s{i}").as_bytes(), b"v").unwrap();
+    }
+    let text = c.stats().unwrap();
+    for metric in [
+        "hart_server_connections_total",
+        "hart_server_requests_total",
+        "hart_group_enabled 1",
+        "hart_group_flushes_total",
+        "hart_group_persists_deferred_total",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
+    let snap = handle.obs_snapshot();
+    assert!(snap.group.enabled);
+    assert!(
+        snap.group.persists_deferred > 0,
+        "writes should defer persists"
+    );
+    assert!(snap.server.requests_total >= 21);
+    handle.shutdown();
+}
+
+#[test]
+fn busy_backpressure_at_inflight_limit() {
+    // max_inflight = 0: every dispatched op is refused with BUSY.
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 16 * 1024 * 1024,
+        ..PoolConfig::default()
+    }));
+    let hart = Arc::new(Hart::create(pool, HartConfig::default()).unwrap());
+    let handle = start(
+        hart,
+        ServerConfig {
+            max_inflight: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    assert!(matches!(c.put(b"k", b"v").unwrap(), Outcome::Busy(_)));
+    let snap = handle.obs_snapshot();
+    assert_eq!(snap.server.busy_rejections, 1);
+    handle.shutdown();
+}

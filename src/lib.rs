@@ -25,6 +25,7 @@ pub use hart_fptree as fptree;
 pub use hart_kv as kv;
 pub use hart_obs as obs;
 pub use hart_pm as pm;
+pub use hart_server as server;
 pub use hart_woart as woart;
 pub use hart_workloads as workloads;
 pub use hart_wort as wort;
@@ -34,7 +35,7 @@ pub use hart_artcow::ArtCow;
 pub use hart_fptree::FpTree;
 pub use hart_kv::{Error, Key, MemoryStats, PersistentIndex, Result, Value};
 pub use hart_obs::{Instrumented, ObsSnapshot, Observable};
-pub use hart_pm::{LatencyConfig, PmemPool, PoolConfig, TimeMode};
+pub use hart_pm::{GroupCommitter, GroupConfig, LatencyConfig, PmemPool, PoolConfig, TimeMode};
 pub use hart_woart::Woart;
 pub use hart_wort::Wort;
 

@@ -1,0 +1,194 @@
+//! Group-commit durability contract, end to end through the server
+//! (DESIGN.md §Server), under the PM pool's persist-fuse failure model:
+//! once the fuse blows the simulated machine is *already dead* — later
+//! persists silently stop promoting into the durable image.
+//!
+//! What that means per path:
+//!
+//! * **Group commit** — the batch flush *inspects* the fuse per range, so
+//!   the committer learns of the death and refuses to ack anything at or
+//!   after the first failed flush. The testable contract is strict:
+//!   every `ST_OK` write is in the recovered state, and acks form a
+//!   prefix of submission order.
+//! * **Kill-switch (per-op)** — the op's own persists silently no-op
+//!   after the blow, so post-death acks still stream out; on real
+//!   hardware neither the persist *nor the ack* would survive the power
+//!   cut, so those acks are artifacts of the simulation, not a
+//!   durability-contract violation. The testable contract is the one
+//!   `tests/failure_injection.rs` checks: the recovered state is a
+//!   durable *prefix* of the submission order.
+//!
+//! Equivalence is proven by holding both paths to the shared prefix
+//! contract at every fuse point, plus a no-failure control where both
+//! must ack and recover *everything* identically.
+
+use hart_suite::server::client::Client;
+use hart_suite::server::proto::{Request, ST_OK};
+use hart_suite::server::{start, ServerConfig};
+use hart_suite::{
+    GroupConfig, Hart, HartConfig, Key, LatencyConfig, PersistentIndex, PmemPool, PoolConfig, Value,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OPS: u64 = 48;
+
+fn crash_pool() -> Arc<PmemPool> {
+    Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 16 * 1024 * 1024,
+        latency: LatencyConfig::dram(),
+        crash_sim: true,
+        alloc_overhead_ns: 0,
+        ..PoolConfig::default()
+    }))
+}
+
+fn k(i: u64) -> Key {
+    Key::from_u64_base62(i, 6)
+}
+
+/// Boot a 1-worker server over a crash-sim pool, arm the fuse at `fuse`
+/// persists, pipeline `OPS` puts over one connection, and return which
+/// ops were acked OK (in submission order). One worker + one connection
+/// means submission order == commit order, so prefix contracts are
+/// checkable. The pool outlives the server for crash + recovery.
+fn run_acked(group_commit: bool, fuse: u64) -> (Arc<PmemPool>, Vec<bool>) {
+    let pool = crash_pool();
+    let hcfg = HartConfig {
+        group_commit,
+        ..Default::default()
+    };
+    let hart = Arc::new(Hart::create(pool.clone(), hcfg).unwrap());
+    let handle = start(
+        hart,
+        ServerConfig {
+            workers: 1,
+            group_commit,
+            group: GroupConfig {
+                max_ops: 4,
+                window: Duration::from_micros(100),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    // Creation itself persists; only the op stream runs on the fuse.
+    pool.arm_persist_fuse(fuse);
+    let ids: Vec<u64> = (0..OPS)
+        .map(|i| {
+            c.send(&Request::Put {
+                key: k(i).as_slice().to_vec(),
+                value: Value::from_u64(i).as_slice().to_vec(),
+            })
+            .unwrap()
+        })
+        .collect();
+    let acked: Vec<bool> = ids
+        .into_iter()
+        .map(|id| c.recv_for(id).unwrap().status == ST_OK)
+        .collect();
+    drop(c);
+    handle.shutdown();
+    pool.disarm_persist_fuse();
+    (pool, acked)
+}
+
+/// Crash, recover, and return which of the `OPS` keys survived — also
+/// asserting any survivor carries the right value, and that the
+/// recovered tree is structurally sound with no leaked value objects.
+fn crash_and_recover(pool: Arc<PmemPool>, label: &str) -> Vec<bool> {
+    pool.simulate_crash();
+    let h = Hart::recover(pool, HartConfig::default()).expect("recover after crash");
+    let recovered: Vec<bool> = (0..OPS)
+        .map(|i| match h.search(&k(i)).unwrap() {
+            Some(v) => {
+                assert_eq!(
+                    v,
+                    Value::from_u64(i),
+                    "{label}: op {i} recovered with the wrong value"
+                );
+                true
+            }
+            None => false,
+        })
+        .collect();
+    h.check_consistency().expect("structural consistency");
+    let s = h.alloc_stats();
+    assert_eq!(
+        s.live[1] + s.live[2],
+        s.live[0],
+        "{label}: value objects must match leaves exactly: {s:?}"
+    );
+    recovered
+}
+
+/// Prefix durability for a single-connection, single-worker history:
+/// once one op is missing, every later op must be missing too.
+fn assert_prefix(flags: &[bool], what: &str, label: &str) {
+    if let Some(first_gap) = flags.iter().position(|f| !f) {
+        assert!(
+            flags[first_gap..].iter().all(|f| !f),
+            "{label}: {what} must form a prefix of submission order: {flags:?}"
+        );
+    }
+}
+
+#[test]
+fn fuse_blown_inside_batch_flush_never_acks_lost_writes() {
+    // Small fuses crash inside the very first batch flushes; larger ones
+    // land mid-run. Each fuse value is a distinct crash point in the
+    // group path's persist schedule.
+    for fuse in [1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233] {
+        let label = format!("group-commit fuse={fuse}");
+        let (pool, acked) = run_acked(true, fuse);
+        assert!(
+            !acked[acked.len() - 1] || fuse >= OPS,
+            "{label}: too large to crash inside the run — shrink sweep"
+        );
+        assert_prefix(&acked, "acks", &label);
+        let recovered = crash_and_recover(pool, &label);
+        assert_prefix(&recovered, "recovered ops", &label);
+        for i in 0..OPS as usize {
+            assert!(
+                !acked[i] || recovered[i],
+                "{label}: op {i} was acked OK but is missing after recovery"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_switch_per_op_path_honors_the_same_prefix_contract() {
+    // `group_commit: false` routes every write through the classic
+    // persist-per-op path. Post-death acks are simulation artifacts (see
+    // module docs), but the durable image must obey the identical prefix
+    // contract the group path was held to above.
+    for fuse in [1, 3, 8, 21, 55, 144, 233] {
+        let label = format!("per-op fuse={fuse}");
+        let (pool, _acked) = run_acked(false, fuse);
+        let recovered = crash_and_recover(pool, &label);
+        assert_prefix(&recovered, "recovered ops", &label);
+    }
+}
+
+#[test]
+fn no_failure_control_both_modes_ack_and_recover_everything() {
+    // Control: with a fuse the run never exhausts, both paths must ack
+    // every op OK and recover every op — i.e. they are indistinguishable
+    // whenever the machine survives, which is the kill-switch guarantee.
+    for gc in [true, false] {
+        let label = format!("control gc={gc}");
+        let (pool, acked) = run_acked(gc, u64::MAX / 4);
+        assert!(
+            acked.iter().all(|&a| a),
+            "{label}: no failure injected, every op must ack OK"
+        );
+        let recovered = crash_and_recover(pool, &label);
+        assert!(
+            recovered.iter().all(|&r| r),
+            "{label}: every acked op must survive a crash after clean flush"
+        );
+    }
+}

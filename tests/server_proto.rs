@@ -1,0 +1,248 @@
+//! Protocol robustness battery for `hart-server` (DESIGN.md §Server):
+//! malformed and truncated frames, oversized length prefixes, partial
+//! reads, mid-batch disconnects — the server must answer what it can,
+//! close what it must, and never wedge or crash.
+
+use hart_suite::server::client::{Client, Outcome};
+use hart_suite::server::proto::*;
+use hart_suite::server::{start, ServerConfig, ServerHandle};
+use hart_suite::{Hart, HartConfig, PmemPool, PoolConfig};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot(group_commit: bool) -> ServerHandle {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 16 * 1024 * 1024,
+        ..PoolConfig::default()
+    }));
+    let hcfg = HartConfig {
+        group_commit,
+        ..Default::default()
+    };
+    let hart = Arc::new(Hart::create(pool, hcfg).unwrap());
+    start(
+        hart,
+        ServerConfig {
+            workers: 2,
+            group_commit,
+            group: hart_suite::GroupConfig {
+                max_ops: 8,
+                window: Duration::from_micros(200),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Wait (bounded) until `cond` observes a true snapshot — counters are
+/// updated by detached reader threads after the socket closes.
+fn eventually(handle: &ServerHandle, cond: impl Fn(&hart_suite::ObsSnapshot) -> bool) -> bool {
+    for _ in 0..500 {
+        if cond(&handle.obs_snapshot()) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+#[test]
+fn oversized_length_prefix_gets_connection_error_and_close() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    // Announce a body far over MAX_REQUEST_BODY; never send it.
+    c.send_raw(&(10 * MAX_REQUEST_BODY).to_le_bytes()).unwrap();
+    let r = c.recv().unwrap();
+    assert_eq!(r.req_id, 0, "connection-level error uses req_id 0");
+    assert_eq!(r.status, ST_ERR);
+    // The server hangs up afterwards.
+    assert!(c.recv().is_err());
+    assert!(eventually(&handle, |s| s.server.proto_errors == 1));
+    handle.shutdown();
+}
+
+#[test]
+fn impossibly_short_frame_is_rejected() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.send_raw(&3u32.to_le_bytes()).unwrap();
+    let r = c.recv().unwrap();
+    assert_eq!((r.req_id, r.status), (0, ST_ERR));
+    assert!(c.recv().is_err());
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_opcode_echoes_req_id_then_closes() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let mut body = 77u64.to_le_bytes().to_vec();
+    body.push(250); // no such opcode
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    c.send_raw(&frame).unwrap();
+    let r = c.recv().unwrap();
+    assert_eq!(r.req_id, 77, "parse errors echo the broken request's id");
+    assert_eq!(r.status, ST_ERR);
+    assert!(c.recv().is_err(), "desynced stream must be closed");
+    handle.shutdown();
+}
+
+#[test]
+fn trailing_bytes_in_frame_are_rejected() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let good = encode_request(5, &Request::Get { key: b"k".to_vec() });
+    // Re-frame with one junk byte appended to the body.
+    let mut body = good[4..].to_vec();
+    body.push(0xAB);
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    c.send_raw(&frame).unwrap();
+    let r = c.recv().unwrap();
+    assert_eq!((r.req_id, r.status), (5, ST_ERR));
+    handle.shutdown();
+}
+
+#[test]
+fn torn_frame_then_disconnect_leaves_server_healthy() {
+    let handle = boot(false);
+    {
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        let frame = encode_request(
+            9,
+            &Request::Put {
+                key: b"torn".to_vec(),
+                value: b"v".to_vec(),
+            },
+        );
+        // Half a frame, then vanish.
+        c.send_raw(&frame[..frame.len() / 2]).unwrap();
+    }
+    // A fresh connection still gets full service.
+    let mut c2 = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(c2.put(b"after", b"1").unwrap(), Outcome::Ok(vec![]));
+    assert_eq!(c2.get(b"after").unwrap(), Some(b"1".to_vec()));
+    // The torn write never became an op.
+    assert_eq!(c2.get(b"torn").unwrap(), None);
+    assert!(eventually(&handle, |s| s.server.connections_active == 1));
+    handle.shutdown();
+}
+
+#[test]
+fn partial_reads_reassemble_into_one_request() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let frame = encode_request(
+        3,
+        &Request::Put {
+            key: b"dribble".to_vec(),
+            value: b"ok".to_vec(),
+        },
+    );
+    // One byte at a time, with pauses: the reader must block for the rest
+    // of the frame, not treat a short read as a protocol error.
+    for chunk in frame.chunks(1) {
+        c.send_raw(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let r = c.recv().unwrap();
+    assert_eq!((r.req_id, r.status), (3, ST_OK));
+    assert_eq!(c.get(b"dribble").unwrap(), Some(b"ok".to_vec()));
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_pipeline_under_group_commit_is_harmless() {
+    let handle = boot(true);
+    {
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        // Fire a pipeline of writes and hang up without reading a single
+        // response: workers and the committer must drain the in-flight
+        // items into closed channels without wedging or crashing.
+        for i in 0..200u32 {
+            c.send(&Request::Put {
+                key: format!("gone{i:04}").into_bytes(),
+                value: b"x".to_vec(),
+            })
+            .unwrap();
+        }
+    }
+    assert!(eventually(&handle, |s| s.server.connections_active == 0));
+    // Server still fully functional on a new connection, and the orphaned
+    // writes were still applied and committed in order.
+    let mut c2 = Client::connect(handle.local_addr()).unwrap();
+    assert!(eventually(&handle, |s| s.group.flushes > 0));
+    assert_eq!(c2.get(b"gone0000").unwrap(), Some(b"x".to_vec()));
+    assert_eq!(c2.put(b"alive", b"1").unwrap(), Outcome::Ok(vec![]));
+    handle.shutdown();
+}
+
+#[test]
+fn bad_keys_and_tenants_error_without_closing() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    // Key over 24 bytes: op-level error, connection survives.
+    let id = c
+        .send(&Request::Put {
+            key: vec![b'q'; 30],
+            value: b"v".to_vec(),
+        })
+        .unwrap();
+    let r = c.recv_for(id).unwrap();
+    assert_eq!(r.status, ST_ERR);
+    // Tenant too long (> MAX_TENANT_LEN): refused, connection survives.
+    assert!(matches!(c.hello(b"waytoolong").unwrap(), Outcome::Err(_)));
+    // Still serving.
+    assert_eq!(c.put(b"ok", b"1").unwrap(), Outcome::Ok(vec![]));
+    handle.shutdown();
+}
+
+#[test]
+fn scan_limit_is_clamped_server_side() {
+    let handle = boot(false);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    for i in 0..(MAX_SCAN_LIMIT + 100) {
+        c.put(format!("z{i:06}").as_bytes(), b"v").unwrap();
+    }
+    let rows = c.scan(b"z", b"z~", u32::MAX).unwrap();
+    assert_eq!(rows.len(), MAX_SCAN_LIMIT as usize);
+    handle.shutdown();
+}
+
+#[test]
+fn raw_socket_garbage_storm_never_wedges_the_server() {
+    let handle = boot(true);
+    let addr = handle.local_addr();
+    // A burst of connections each sending a different flavor of junk.
+    std::thread::scope(|s| {
+        for seed in 0..16u64 {
+            s.spawn(move || {
+                let mut sock = std::net::TcpStream::connect(addr).unwrap();
+                let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut junk = Vec::with_capacity(64);
+                for _ in 0..64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    junk.push(x as u8);
+                }
+                let _ = sock.write_all(&junk);
+                // Read whatever comes back until the server hangs up.
+                let _ = sock.set_read_timeout(Some(Duration::from_secs(5)));
+                let mut buf = [0u8; 256];
+                while let Ok(n) = sock.read(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.put(b"survivor", b"1").unwrap(), Outcome::Ok(vec![]));
+    assert_eq!(c.get(b"survivor").unwrap(), Some(b"1".to_vec()));
+    handle.shutdown();
+}
