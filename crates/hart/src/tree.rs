@@ -481,10 +481,17 @@ impl Hart {
     ) -> Result<()> {
         let shard = &*shard;
         let r = self.resolver();
+        // Scratch buffers live outside the retry loop: an optimistic read
+        // section must not allocate (pmlint R8), and reusing the capacity
+        // across attempts keeps a contended retry from churning the heap.
+        let mut leaves = Vec::new();
+        let mut rows: Vec<(Key, Value)> = Vec::new();
         'attempt: for attempt in 0..self.cfg.optimistic_retry_limit {
             if attempt > 0 {
                 self.obs.add(hart_obs::Event::OptimisticRetry, 1);
             }
+            leaves.clear();
+            rows.clear();
             let v0 = shard.version();
             if v0 % 2 == 1 {
                 continue; // write section open right now
@@ -498,7 +505,6 @@ impl Hart {
             if dead {
                 return Ok(()); // unlinked shards are empty by invariant
             }
-            let mut leaves = Vec::new();
             let art = ptr::addr_of!((*inner).art);
             if !hart_art::range_collect_raw(art, &r, ak_lo, ak_hi, &validate, &mut leaves) {
                 continue;
@@ -506,8 +512,8 @@ impl Hart {
             // The leaf set is a committed snapshot; now copy the records
             // out of PM and re-validate so a concurrent update/remove that
             // recycled a value chunk mid-copy discards the whole batch.
-            let mut rows = Vec::with_capacity(leaves.len());
-            for leaf in leaves {
+            rows.reserve(leaves.len());
+            for &leaf in &leaves {
                 match self.load_record(leaf) {
                     Ok((k, v)) => {
                         let ks = k.as_slice();
@@ -526,7 +532,7 @@ impl Hart {
             if !validate() {
                 continue;
             }
-            out.extend(rows);
+            out.append(&mut rows);
             return Ok(());
         }
         self.obs.add(hart_obs::Event::LockFallback, 1);

@@ -62,10 +62,15 @@ pub mod rank {
     pub const LOG_SLOTS: u16 = 50;
     /// `ebr::GARBAGE` — global deferred-drop bag.
     pub const EBR_GARBAGE: u16 = 60;
-    /// `GroupCommitter.state` — group-commit batch state. Highest rank:
-    /// a batch flush runs `PmemPool::persist` promotion under it, and no
-    /// other ranked lock is ever acquired while it is held.
+    /// `GroupCommitter.state` — group-commit batch state. A batch flush
+    /// runs `PmemPool::persist` promotion under it, and no other ranked
+    /// lock is ever acquired while it is held; only the leaf-level
+    /// connection registry ranks above it.
     pub const GROUP_COMMIT: u16 = 70;
+    /// `Shared.conns` — server connection registry; held briefly to
+    /// push/drain sockets for shutdown, with nothing ranked ever
+    /// acquired under it, hence the top rank.
+    pub const SERVER_CONNS: u16 = 80;
 }
 
 #[cfg(feature = "lock-witness")]

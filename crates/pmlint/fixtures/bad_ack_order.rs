@@ -1,0 +1,31 @@
+//! Seeded R9 violations: response frames acked ahead of their durability
+//! point, dropped fuse failures, and a discarded flush count. Not
+//! compiled — `tests/selftest.rs` lints this under a `crates/server/src/`
+//! label because R9 is scoped to the server + group-commit sources.
+
+fn acks_before_flush(shared: &Shared, resp: &Sender, req_id: u64) {
+    let frame = write_frame(req_id, Ok(true));
+    shared.finish(resp, frame); // VIOLATION: acked before any persist
+}
+
+fn drops_complete_result(gc: &GroupCommitter, t: Ticket) {
+    let _ = gc.complete(t); // VIOLATION: a blown fuse vanishes silently
+}
+
+fn discards_flush_count(pool: &PmemPool, batches: &[PersistBatch]) {
+    pool.flush_batches(batches); // VIOLATION: partial-flush count dropped
+}
+
+fn acks_after_complete(shared: &Shared, gc: &GroupCommitter, item: CommitItem) {
+    let frame = match gc.complete(item.ticket) {
+        Ok(()) => item.frame,
+        Err(e) => encode_response(item.req_id, ST_ERR, e.to_string().as_bytes()),
+    };
+    shared.finish(&item.resp, frame); // ok: complete dominates the ack
+}
+
+fn waived_per_op_path(shared: &Shared, resp: &Sender, req_id: u64) {
+    let frame = write_frame(req_id, Ok(true));
+    // pmlint: ack-ok(per-op path pays its fences before the frame is built)
+    shared.finish(resp, frame);
+}

@@ -1,0 +1,15 @@
+//! Regression fixture for the byte-raw-string lexer blind spot: before
+//! `br#"…"#` support the `b` prefix defeated the raw-string opener, so the
+//! embedded quote flipped plain-string state — the literal's `persist(…)`
+//! text leaked into the code view as fake R1 coverage, and the dangling
+//! string state swallowed every following function. Not compiled.
+
+fn frame_header(pool: &PmemPool, p: PmPtr) {
+    pool.write(p, &MAGIC); // VIOLATION: the only "persist" here is literal text
+    let tag = br#"tag " persist(fake coverage) trailing"#;
+    keep(tag);
+}
+
+fn swallowed_by_poisoned_state(pool: &PmemPool, p: PmPtr) {
+    pool.write(p, &1u64); // VIOLATION: a b-r-prefix-blind lexer never sees this
+}

@@ -1,0 +1,53 @@
+//! Seeded R7 violations: pointers derived under an EBR guard escaping the
+//! guard's hold range. Not compiled — consumed by `tests/selftest.rs` as
+//! lint input.
+
+struct Reader {
+    cache: *const Node,
+}
+
+impl Reader {
+    fn escapes_by_return(&self, base: *const Node) -> *const Node {
+        let g = hart_ebr::pin().unwrap();
+        let p = &*base;
+        let q = p as *const Node;
+        return q; // VIOLATION: q outlives the pin
+    }
+
+    fn escapes_by_field_store(&mut self, base: *const Node) {
+        let g = hart_ebr::pin().unwrap();
+        let p = base as *const Node;
+        self.cache = p; // VIOLATION: cached pointer dangles next epoch
+        drop(g);
+    }
+
+    fn escapes_by_publish(&self, base: *const Node) {
+        let g = hart_ebr::pin().unwrap();
+        let p = base as *const Node;
+        SLOT.store(p, Ordering::Release); // VIOLATION: crosses threads
+        drop(g);
+    }
+
+    fn used_after_unpin(&self, base: *const Node) -> u64 {
+        let g = hart_ebr::pin().unwrap();
+        let p = base as *const Node;
+        drop(g);
+        read_len(p) // VIOLATION: guard already dropped
+    }
+
+    fn waived_static_arena(&mut self, base: *const Node) {
+        let g = hart_ebr::pin().unwrap();
+        let p = base as *const Node;
+        // pmlint: epoch-escape-ok(arena is never retired in this configuration)
+        self.cache = p;
+        drop(g);
+    }
+
+    fn copies_out_cleanly(&self, base: *const Node) -> u64 {
+        let g = hart_ebr::pin().unwrap();
+        let p = base as *const Node;
+        let len = read_len(p); // ok: the copy is a value, not the pointer
+        drop(g);
+        len
+    }
+}

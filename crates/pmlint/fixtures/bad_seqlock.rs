@@ -1,0 +1,73 @@
+//! Seeded R8 violations: impure or unvalidated seqlock optimistic read
+//! sections. Not compiled — consumed by `tests/selftest.rs` as lint input.
+
+impl Table {
+    fn never_validates(&self) -> u64 {
+        let v0 = self.version.load(Ordering::Acquire); // VIOLATION: no revalidation
+        let x = self.cell.load(Ordering::Acquire);
+        consume(x, v0)
+    }
+
+    fn allocates_in_section(&self) -> Vec<u64> {
+        let v0 = self.version.load(Ordering::Acquire);
+        let mut buf = Vec::new(); // VIOLATION: allocation inside the section
+        buf.push(self.cell.load(Ordering::Acquire));
+        if self.version.load(Ordering::Acquire) == v0 {
+            return buf;
+        }
+        Vec::new()
+    }
+
+    fn writes_in_section(&self) -> u64 {
+        let v0 = self.version.load(Ordering::Acquire);
+        self.stats.store(1, Ordering::Release); // VIOLATION: publishes state
+        let x = self.cell.load(Ordering::Acquire);
+        if self.version.load(Ordering::Acquire) == v0 {
+            return x;
+        }
+        0
+    }
+
+    fn locks_in_section(&self) -> u64 {
+        let v0 = self.version.load(Ordering::Acquire);
+        let g = self.inner.lock(); // VIOLATION: read path must not block
+        let x = g.value;
+        drop(g);
+        if self.version.load(Ordering::Acquire) == v0 {
+            return x;
+        }
+        0
+    }
+
+    fn exits_without_validate(&self) -> u64 {
+        let v0 = self.version.load(Ordering::Acquire);
+        let x = self.cell.load(Ordering::Acquire);
+        if x > 7 {
+            return x; // VIOLATION: exit path skips the revalidation
+        }
+        if self.version.load(Ordering::Acquire) == v0 {
+            return x;
+        }
+        0
+    }
+
+    fn waived_scratch(&self) -> u64 {
+        let v0 = self.version.load(Ordering::Acquire);
+        // pmlint: seqlock-ok(cold slow path: runs once per resize, measured)
+        let mut scratch = Vec::new();
+        scratch.push(self.cell.load(Ordering::Acquire));
+        if self.version.load(Ordering::Acquire) == v0 {
+            return scratch.len() as u64;
+        }
+        0
+    }
+
+    fn clean_copy_validate(&self) -> u64 {
+        let v0 = self.version.load(Ordering::Acquire);
+        let x = self.cell.load(Ordering::Acquire);
+        if self.version.load(Ordering::Acquire) != v0 {
+            return 0;
+        }
+        x
+    }
+}

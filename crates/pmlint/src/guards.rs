@@ -1,0 +1,840 @@
+//! The guard-dataflow rules: R7 `epoch-escape`, R8 `seqlock-purity`,
+//! R9 `durable-ack`.
+//!
+//! All three rules track *values born under a protection window* — an EBR
+//! pin, a seqlock version observation, or a not-yet-durable response
+//! frame — through `let` bindings and (boundedly, via the call graph)
+//! callees, and flag uses that leave the window without discharging its
+//! obligation:
+//!
+//! * **R7 `epoch-escape`** — a pointer/reference derived from a
+//!   PM-resident structure while an EBR guard (or `Directory::protect`
+//!   guard) is held must die inside the guard's hold range: returning it,
+//!   storing it into a field, `.store()`-publishing it, or sending it to
+//!   another thread lets it dangle once the epoch advances. Derivation is
+//!   tracked from raw-source expressions (`&*`, `ptr::read_volatile`,
+//!   `addr_of!`, `.as_ptr()`, `.data_ptr()`, pointer casts) and from
+//!   calls to *deriving* functions — any workspace function whose body
+//!   contains a raw source and which returns a value — then propagated
+//!   through projection-only `let` bindings (a binding whose RHS calls a
+//!   non-deriving function is assumed to launder, e.g. `Arc::clone`).
+//!   `unsafe fn`s may return tracked values: their `# Safety` contract
+//!   moves the pin obligation to the caller (`probe_raw`/`get_raw`
+//!   pattern). Waiver: `// pmlint: epoch-escape-ok(<reason>)`.
+//! * **R8 `seqlock-purity`** — an optimistic read section (from a
+//!   version-load binding like `let v0 = shard.version()` to the last use
+//!   of `v0` or of a validate closure derived from it) must be pure: no
+//!   atomic stores/RMWs, no field assignment, no allocation, no lock
+//!   acquisition (direct, or transitively through a resolved callee), and
+//!   every `return` inside the section must be dominated by a validation
+//!   of `v0` (`validate`-token or `== v0`/`!= v0` re-check); a section
+//!   that never validates at all is flagged at the load. `return`s of a
+//!   `Retry` value are the sanctioned bail-out and exempt. Waiver:
+//!   `// pmlint: seqlock-ok(<reason>)`.
+//! * **R9 `durable-ack`** — in `crates/server` and `crates/pm/group.rs`,
+//!   a write-response frame (born from `write_frame(..)` or an
+//!   `item.frame` projection) must not reach an ack sink (`finish(..)` or
+//!   a send on a `resp`-named channel) unless a `GroupCommitter::complete`
+//!   / `flush_batches` / `persist` covers it between birth and ack;
+//!   every `complete(..)` call site must handle the fuse-failure `Err`
+//!   (nack) within a few lines or propagate the `Result`; and a
+//!   `flush_batches(..)` ok-count must never be discarded (a dropped
+//!   count silently swallows a blown persist fuse). Waiver:
+//!   `// pmlint: ack-ok(<reason>)`.
+//!
+//! Like the rest of pmlint these are lexical, line-grained analyses:
+//! multi-line RHSs are seen through their first line, match-arm bindings
+//! do not propagate taint, and tail-expression escapes are not returns.
+//! The seeded fixtures in `fixtures/` pin the supported shapes.
+
+use crate::graph::{scan_calls, CallKind, FileLex, FnId, Workspace};
+use crate::lexer::contains_word;
+use crate::structure::FnSpan;
+use crate::{locks, push_finding, Findings, Violation};
+use std::collections::HashSet;
+
+/// Expressions that derive a raw PM/heap address from a protected
+/// structure (R7 taint sources).
+const RAW_SOURCE_TOKENS: &[&str] = &[
+    "&*",
+    "read_volatile(",
+    "addr_of!",
+    "addr_of_mut!",
+    ".data_ptr(",
+    ".as_ptr(",
+    ".as_mut_ptr(",
+    " as *const",
+    " as *mut",
+];
+
+/// Atomic publish/RMW methods forbidden inside a seqlock read section.
+const ATOMIC_WRITES: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Allocation expressions forbidden inside a seqlock read section: a
+/// retry loop that allocates per attempt churns the heap under
+/// contention, and an owner born mid-section outlives a failed
+/// validation. (Amortized growth of a buffer hoisted *outside* the
+/// section — `buf.clear()` + `push` — is the sanctioned shape.)
+const ALLOC_TOKENS: &[&str] = &[
+    "Box::new(",
+    "Arc::new(",
+    "Rc::new(",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    "String::new(",
+    "String::from(",
+    ".to_vec(",
+    ".to_string(",
+    "format!",
+];
+
+/// Per-workspace function facts the dataflow rules key on.
+pub(crate) struct FnFacts {
+    /// Functions that return a value and contain a raw-source expression:
+    /// calls to these derive tracked pointers (R7).
+    deriving: HashSet<String>,
+    /// Functions that return an EBR-style guard: `pin` itself, plus any
+    /// function that calls `pin(..)` and whose return type names a
+    /// `Guard` (e.g. `Directory::protect` → `DirGuard`).
+    guard_returning: HashSet<String>,
+}
+
+/// Last line of a function's signature: the first line whose end-of-line
+/// brace depth exceeds the depth just before the definition started.
+fn fn_header_end(f: &FileLex, span: &FnSpan) -> usize {
+    let base = f.st.depth_end[span.start - 1];
+    for l in span.start..=span.end.min(f.st.depth_end.len() - 1) {
+        if f.st.depth_end[l] > base {
+            return l;
+        }
+    }
+    span.start
+}
+
+/// True when `code` contains a call of `name` (per the call scanner, so
+/// comments/strings/macros/definitions do not count).
+fn has_call(code: &str, name: &str) -> bool {
+    scan_calls(code).iter().any(|c| c.name == name)
+}
+
+pub(crate) fn collect_fn_facts(ws: &Workspace) -> FnFacts {
+    let mut deriving = HashSet::new();
+    let mut guard_returning = HashSet::new();
+    for f in &ws.files {
+        for span in &f.st.fns {
+            let hdr_end = fn_header_end(f, span);
+            let header: String = f.lines[span.start - 1..hdr_end]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let has_ret = header.contains("->");
+            let mut raw = false;
+            let mut pins = false;
+            for l in &f.lines[span.start - 1..span.end] {
+                let c = &l.code;
+                if !raw && RAW_SOURCE_TOKENS.iter().any(|t| c.contains(t)) {
+                    raw = true;
+                }
+                if !pins && has_call(c, "pin") {
+                    pins = true;
+                }
+            }
+            if has_ret && raw {
+                deriving.insert(span.name.clone());
+            }
+            let ret_ty = header.split("->").nth(1).unwrap_or("");
+            if span.name == "pin" || (pins && ret_ty.contains("Guard")) {
+                guard_returning.insert(span.name.clone());
+            }
+        }
+    }
+    FnFacts {
+        deriving,
+        guard_returning,
+    }
+}
+
+fn ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Identifiers bound by a `let` pattern: lowercase-initial names minus
+/// keywords. Uppercase-initial segments are enum variants / struct
+/// names / type annotations, and a single `:` cuts the pattern at its
+/// type ascription (`::` paths pass through).
+fn pattern_idents(pat: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = pat.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b':' {
+            if i + 1 < b.len() && b[i + 1] == b':' {
+                i += 2;
+                continue;
+            }
+            break; // type ascription: the rest is a type, not bindings
+        }
+        if b[i].is_ascii_alphabetic() || b[i] == b'_' {
+            let start = i;
+            while i < b.len() && ident_byte(b[i]) {
+                i += 1;
+            }
+            let id = &pat[start..i];
+            let keyword = matches!(id, "mut" | "ref" | "box" | "_");
+            let type_like = id.chars().next().is_some_and(|c| c.is_uppercase());
+            // An ident directly followed by `::` is a path segment
+            // (`mpsc::SendError(item)`), not a binding.
+            let path_seg = i + 1 < b.len() && b[i] == b':' && b[i + 1] == b':';
+            if !keyword && !type_like && !path_seg {
+                out.push(id.to_string());
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Split a `let`/`if let`/`while let` line into (bound idents, RHS text).
+pub(crate) fn parse_let(code: &str) -> Option<(Vec<String>, String)> {
+    let b = code.as_bytes();
+    let mut from = 0usize;
+    let at = loop {
+        let p = code[from..].find("let")? + from;
+        let before_ok = p == 0 || !ident_byte(b[p - 1]);
+        let after_ok = p + 3 >= b.len() || !ident_byte(b[p + 3]);
+        if before_ok && after_ok {
+            break p;
+        }
+        from = p + 3;
+    };
+    let rest = &code[at + 3..];
+    let rb = rest.as_bytes();
+    let mut i = 0usize;
+    let eq = loop {
+        let p = rest[i..].find('=')? + i;
+        let prev = if p > 0 { rb[p - 1] } else { b' ' };
+        let next = if p + 1 < rb.len() { rb[p + 1] } else { b' ' };
+        let op = matches!(
+            prev,
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+        );
+        if !op && next != b'=' && next != b'>' {
+            break p;
+        }
+        i = p + 1;
+    };
+    let idents = pattern_idents(&rest[..eq]);
+    if idents.is_empty() {
+        return None;
+    }
+    Some((idents, rest[eq + 1..].to_string()))
+}
+
+/// Split a non-`let` assignment statement into (LHS, RHS), skipping
+/// comparison/fat-arrow/compound operators.
+fn assignment_parts(code: &str) -> Option<(String, String)> {
+    let t = code.trim_start();
+    if t.starts_with("let ") || t.starts_with("if let") || t.starts_with("while let") {
+        return None;
+    }
+    let b = code.as_bytes();
+    let mut i = 0usize;
+    loop {
+        let p = code[i..].find('=')? + i;
+        let prev = if p > 0 { b[p - 1] } else { b' ' };
+        let next = if p + 1 < b.len() { b[p + 1] } else { b' ' };
+        let op = matches!(
+            prev,
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+        );
+        if !op && next != b'=' && next != b'>' {
+            return Some((code[..p].to_string(), code[p + 1..].to_string()));
+        }
+        i = p + 1;
+    }
+}
+
+/// True when `rhs` contains a raw-source token or a call to a deriving
+/// function (R7 taint birth).
+fn is_raw_source(rhs: &str, facts: &FnFacts) -> bool {
+    if RAW_SOURCE_TOKENS.iter().any(|t| rhs.contains(t)) {
+        return true;
+    }
+    scan_calls(rhs)
+        .iter()
+        .any(|c| facts.deriving.contains(&c.name))
+}
+
+/// True when taint may flow through this RHS: it is a projection of the
+/// tracked value — every call in it (if any) is itself deriving, so
+/// nothing launders the pointer into an owned value (`Arc::clone`,
+/// `find_in`, …).
+fn propagates(rhs: &str, facts: &FnFacts) -> bool {
+    scan_calls(rhs)
+        .iter()
+        .all(|c| facts.deriving.contains(&c.name))
+}
+
+/// R7 driver.
+pub(crate) fn rule_epoch_escape(ws: &Workspace, facts: &FnFacts, out: &mut Findings) {
+    const MARK: &str = "pmlint: epoch-escape-ok(";
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.is_test_path() {
+            continue;
+        }
+        for (idx, span) in f.st.fns.iter().enumerate() {
+            let hdr_end = fn_header_end(f, span);
+            let header: String = f.lines[span.start - 1..hdr_end]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let caller_owns_pin = header.contains("unsafe fn");
+            // Guard bindings in this function.
+            for g_line in span.start..=span.end {
+                if f.st.fn_idx_at(g_line) != Some(idx) || f.is_test_line(g_line) {
+                    continue;
+                }
+                let code = &f.lines[g_line - 1].code;
+                let Some((g_idents, g_rhs)) = parse_let(code) else {
+                    continue;
+                };
+                let is_guard = scan_calls(&g_rhs)
+                    .iter()
+                    .any(|c| c.name == "pin" || facts.guard_returning.contains(&c.name));
+                if !is_guard {
+                    continue;
+                }
+                let g_ident = g_idents[0].clone();
+                let hold_to = locks::hold_end(ws, fi, g_line, Some(&g_ident), span.end);
+                let mut tracked: Vec<String> = Vec::new();
+                let mut flagged: HashSet<(usize, &'static str)> = HashSet::new();
+                for l in g_line + 1..=span.end {
+                    if f.st.fn_idx_at(l) != Some(idx) || f.is_test_line(l) {
+                        continue;
+                    }
+                    let code = &f.lines[l - 1].code;
+                    let inside = l <= hold_to;
+                    let is_let = parse_let(code).is_some();
+                    if inside {
+                        if let Some((idents, rhs)) = parse_let(code) {
+                            let mentions = tracked.iter().any(|t| contains_word(&rhs, t));
+                            if is_raw_source(&rhs, facts) || (mentions && propagates(&rhs, facts)) {
+                                for id in idents {
+                                    if id != g_ident && !tracked.contains(&id) {
+                                        tracked.push(id);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let mentioned: Vec<&String> =
+                        tracked.iter().filter(|t| contains_word(code, t)).collect();
+                    if mentioned.is_empty() {
+                        continue;
+                    }
+                    let mut flag = |kind: &'static str, msg: String| {
+                        if flagged.insert((l, kind)) {
+                            let v = Violation {
+                                file: f.path.clone(),
+                                line: l,
+                                rule: "epoch-escape",
+                                msg,
+                            };
+                            push_finding(out, &f.lines, l, MARK, v);
+                        }
+                    };
+                    let t0 = mentioned[0].clone();
+                    if !inside {
+                        flag(
+                            "after",
+                            format!(
+                                "`{t0}` was derived under guard `{g_ident}` \
+                                 (pinned at line {g_line}, released by line \
+                                 {hold_to}) and is used after the guard drops; \
+                                 re-pin or shorten the value's life, or waive \
+                                 with `// pmlint: epoch-escape-ok(<reason>)`"
+                            ),
+                        );
+                        continue;
+                    }
+                    let trimmed = code.trim_start();
+                    if (trimmed.starts_with("return ") || code.contains(" return "))
+                        && !caller_owns_pin
+                    {
+                        flag(
+                            "return",
+                            format!(
+                                "returns `{t0}`, derived under guard `{g_ident}` \
+                                 (line {g_line}): the pointer outlives the pin. \
+                                 Copy the pointee out, make the fn `unsafe` with \
+                                 a caller-holds-pin contract, or waive with \
+                                 `// pmlint: epoch-escape-ok(<reason>)`"
+                            ),
+                        );
+                    }
+                    if !is_let {
+                        if let Some((lhs, rhs)) = assignment_parts(code) {
+                            let stores = mentioned.iter().any(|t| contains_word(&rhs, t));
+                            let lhs_t = lhs.trim();
+                            if stores && (lhs_t.contains('.') || lhs_t.starts_with('*')) {
+                                flag(
+                                    "store",
+                                    format!(
+                                        "stores `{t0}` (derived under guard \
+                                         `{g_ident}`, line {g_line}) into \
+                                         `{lhs_t}`: the cached pointer dangles \
+                                         once the epoch advances; re-derive it \
+                                         under a fresh pin, or waive with \
+                                         `// pmlint: epoch-escape-ok(<reason>)`"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    for rc in scan_calls(code) {
+                        let publishes = matches!(rc.name.as_str(), "store" | "send" | "spawn");
+                        if !publishes {
+                            continue;
+                        }
+                        // The tracked ident must appear past the call name
+                        // (i.e. inside the argument list).
+                        let tail: String = code.chars().skip(rc.col).collect();
+                        if mentioned.iter().any(|t| contains_word(&tail, t)) {
+                            flag(
+                                "publish",
+                                format!(
+                                    "passes `{t0}` (derived under guard \
+                                     `{g_ident}`, line {g_line}) to `{}`: it \
+                                     escapes the pinned epoch; copy the data \
+                                     out first, or waive with \
+                                     `// pmlint: epoch-escape-ok(<reason>)`",
+                                    rc.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R8 driver.
+pub(crate) fn rule_seqlock_purity(ws: &Workspace, sets: &locks::LockSets, out: &mut Findings) {
+    const MARK: &str = "pmlint: seqlock-ok(";
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.is_test_path() {
+            continue;
+        }
+        let file_name = f.file_name().to_string();
+        for (idx, span) in f.st.fns.iter().enumerate() {
+            for bind in span.start..=span.end {
+                if f.st.fn_idx_at(bind) != Some(idx) || f.is_test_line(bind) {
+                    continue;
+                }
+                let code = &f.lines[bind - 1].code;
+                let Some((idents, rhs)) = parse_let(code) else {
+                    continue;
+                };
+                let reads_version = rhs.contains("version")
+                    && (rhs.contains(".load(") || rhs.contains("version()"));
+                let write_side = ["fetch_add", "fetch_sub", ".swap(", ".store("]
+                    .iter()
+                    .any(|t| rhs.contains(t));
+                if !reads_version || write_side {
+                    continue;
+                }
+                let v = idents[0].clone();
+                // Tokens whose uses delimit the read section: the version
+                // binding plus any validate closure derived from it.
+                let mut tokens = vec![v.clone()];
+                for l in bind + 1..=span.end {
+                    if f.st.fn_idx_at(l) != Some(idx) {
+                        continue;
+                    }
+                    if let Some((ids, r)) = parse_let(&f.lines[l - 1].code) {
+                        if contains_word(&r, &v) && r.contains("validate") {
+                            tokens.extend(ids);
+                        }
+                    }
+                }
+                let mut section_end = bind;
+                for l in bind + 1..=span.end {
+                    if f.st.fn_idx_at(l) != Some(idx) {
+                        continue;
+                    }
+                    let c = &f.lines[l - 1].code;
+                    if tokens.iter().any(|t| contains_word(c, t)) {
+                        section_end = l;
+                    }
+                }
+                if section_end == bind {
+                    continue; // observation never used: not a read section
+                }
+                let eq_pat = format!("== {v}");
+                let ne_pat = format!("!= {v}");
+                let is_validate = |c: &str| {
+                    contains_word(c, "validate") || c.contains(&eq_pat) || c.contains(&ne_pat)
+                };
+                let validate_lines: Vec<usize> = (bind + 1..=section_end)
+                    .filter(|&l| {
+                        f.st.fn_idx_at(l) == Some(idx) && is_validate(&f.lines[l - 1].code)
+                    })
+                    .collect();
+                if validate_lines.is_empty() {
+                    let viol = Violation {
+                        file: f.path.clone(),
+                        line: bind,
+                        rule: "seqlock-purity",
+                        msg: format!(
+                            "version observation `{v}` is consumed through line \
+                             {section_end} but never re-validated; data copied \
+                             in this section may be torn — add a \
+                             `validate`/`== {v}` re-check before trusting it, \
+                             or waive with `// pmlint: seqlock-ok(<reason>)`"
+                        ),
+                    };
+                    push_finding(out, &f.lines, bind, MARK, viol);
+                    continue;
+                }
+                let mut flagged: HashSet<(usize, &'static str)> = HashSet::new();
+                for l in bind + 1..=section_end {
+                    if f.st.fn_idx_at(l) != Some(idx) || f.is_test_line(l) {
+                        continue;
+                    }
+                    let c = &f.lines[l - 1].code;
+                    let mut flag = |kind: &'static str, msg: String| {
+                        if flagged.insert((l, kind)) {
+                            let viol = Violation {
+                                file: f.path.clone(),
+                                line: l,
+                                rule: "seqlock-purity",
+                                msg,
+                            };
+                            push_finding(out, &f.lines, l, MARK, viol);
+                        }
+                    };
+                    let trimmed = c.trim_start();
+                    if (trimmed.starts_with("return ") || c.contains(" return "))
+                        && !c.contains("Retry")
+                        && !validate_lines.iter().any(|&vl| vl <= l)
+                    {
+                        flag(
+                            "exit",
+                            format!(
+                                "exits the optimistic read section (version \
+                                 `{v}` loaded at line {bind}) without \
+                                 re-validating: the data this path trusts may \
+                                 be torn; validate before returning, or waive \
+                                 with `// pmlint: seqlock-ok(<reason>)`"
+                            ),
+                        );
+                    }
+                    for rc in scan_calls(c) {
+                        if ATOMIC_WRITES.contains(&rc.name.as_str()) {
+                            flag(
+                                "write",
+                                format!(
+                                    "`.{}()` inside the optimistic read section \
+                                     (version `{v}`, line {bind}): a read \
+                                     section must not publish shared state — a \
+                                     failed validation would leave the side \
+                                     effect behind; move it out or waive with \
+                                     `// pmlint: seqlock-ok(<reason>)`",
+                                    rc.name
+                                ),
+                            );
+                        }
+                        let is_lock_name = rc.name == "lock" || rc.name == "try_lock";
+                        let classified = match &rc.kind {
+                            CallKind::Dotted { receiver } => locks::classify(
+                                &file_name,
+                                &crate::graph::receiver_field(receiver),
+                                &rc.name,
+                            )
+                            .is_some(),
+                            _ => false,
+                        };
+                        if is_lock_name || classified {
+                            flag(
+                                "lock",
+                                format!(
+                                    "acquires a lock (`{}`) inside the \
+                                     optimistic read section (version `{v}`, \
+                                     line {bind}): the lock-free read path must \
+                                     not block; take the lock after validation \
+                                     fails, or waive with \
+                                     `// pmlint: seqlock-ok(<reason>)`",
+                                    rc.name
+                                ),
+                            );
+                        }
+                    }
+                    if let Some((lhs, _)) = assignment_parts(c) {
+                        if lhs.trim().contains("self.") {
+                            flag(
+                                "assign",
+                                format!(
+                                    "assigns to `{}` inside the optimistic read \
+                                     section (version `{v}`, line {bind}); \
+                                     read sections must be side-effect-free, \
+                                     or waive with \
+                                     `// pmlint: seqlock-ok(<reason>)`",
+                                    lhs.trim()
+                                ),
+                            );
+                        }
+                    }
+                    if let Some(tok) = ALLOC_TOKENS.iter().find(|t| c.contains(**t)) {
+                        flag(
+                            "alloc",
+                            format!(
+                                "allocates (`{}`) inside the optimistic read \
+                                 section (version `{v}`, line {bind}); hoist \
+                                 the buffer out of the retry loop and reuse it, \
+                                 or waive with `// pmlint: seqlock-ok(<reason>)`",
+                                tok.trim_end_matches('(')
+                            ),
+                        );
+                    }
+                    // Calls whose transitive lock set is non-empty block
+                    // inside the section even though no `.lock()` is
+                    // visible here.
+                    for ci in ws
+                        .outcalls
+                        .get(&FnId { file: fi, idx })
+                        .into_iter()
+                        .flatten()
+                    {
+                        let call = &ws.calls[*ci];
+                        if call.line != l || call.target == (FnId { file: fi, idx }) {
+                            continue;
+                        }
+                        if let Some(b) = sets.blocking.get(&call.target) {
+                            if let Some(&cls) = b.iter().next() {
+                                flag(
+                                    "callee-lock",
+                                    format!(
+                                        "calls `{}` inside the optimistic read \
+                                         section (version `{v}`, line {bind}), \
+                                         and it transitively acquires {}; the \
+                                         lock-free read path must not block — \
+                                         restructure, or waive with \
+                                         `// pmlint: seqlock-ok(<reason>)`",
+                                        ws.span(call.target).name,
+                                        locks::LOCK_ORDER[cls].name
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R9 scope: the network front-end and the group committer.
+fn in_ack_scope(path: &str) -> bool {
+    path.starts_with("crates/server/") || path == "crates/pm/src/group.rs"
+}
+
+/// Tokens that discharge the durability obligation on a response frame.
+fn covers_durability(code: &str) -> bool {
+    code.contains("complete(") || code.contains("flush_batches(") || code.contains("persist")
+}
+
+/// R9 driver.
+pub(crate) fn rule_durable_ack(ws: &Workspace, out: &mut Findings) {
+    const MARK: &str = "pmlint: ack-ok(";
+    for f in &ws.files {
+        if !in_ack_scope(&f.path) || f.is_test_path() {
+            continue;
+        }
+        for (idx, span) in f.st.fns.iter().enumerate() {
+            // (ident, birth line, covered at birth)
+            let mut frames: Vec<(String, usize, bool)> = Vec::new();
+            for l in span.start..=span.end {
+                if f.st.fn_idx_at(l) != Some(idx) || f.is_test_line(l) {
+                    continue;
+                }
+                let code = &f.lines[l - 1].code;
+                if let Some((idents, rhs)) = parse_let(code) {
+                    let born = rhs.contains("write_frame(")
+                        || rhs.contains(".frame")
+                        || rhs.contains("complete(");
+                    let inherits = frames
+                        .iter()
+                        .find(|(id, _, _)| contains_word(&rhs, id))
+                        .map(|(_, birth, cov)| (*birth, *cov));
+                    if born {
+                        let covered = covers_durability(&rhs);
+                        for id in &idents {
+                            frames.push((id.clone(), l, covered));
+                        }
+                    } else if let Some((birth, cov)) = inherits {
+                        for id in &idents {
+                            frames.push((id.clone(), birth, cov));
+                        }
+                    }
+                }
+                // Ack sinks: `finish(frame)` or a send on a resp channel.
+                let mut is_sink = false;
+                for rc in scan_calls(code) {
+                    if rc.name == "finish" {
+                        is_sink = true;
+                    }
+                    if rc.name == "send" {
+                        if let CallKind::Dotted { receiver } = &rc.kind {
+                            if crate::graph::receiver_field(receiver).contains("resp") {
+                                is_sink = true;
+                            }
+                        }
+                    }
+                }
+                if is_sink {
+                    for (id, birth, covered) in &frames {
+                        if !contains_word(code, id) {
+                            continue;
+                        }
+                        let discharged = *covered
+                            || (*birth..=l).any(|bl| covers_durability(&f.lines[bl - 1].code));
+                        if !discharged {
+                            let viol = Violation {
+                                file: f.path.clone(),
+                                line: l,
+                                rule: "durable-ack",
+                                msg: format!(
+                                    "acks response frame `{id}` (built at line \
+                                     {birth}) with no `complete`/`flush_batches`\
+                                     /persist covering its deferred-persist \
+                                     sequence: the client could observe OK for \
+                                     a write a crash then loses; complete the \
+                                     ticket first, or waive with \
+                                     `// pmlint: ack-ok(<reason>)`"
+                                ),
+                            };
+                            push_finding(out, &f.lines, l, MARK, viol);
+                            break;
+                        }
+                    }
+                }
+                // Fuse-failure nack: every complete() call must handle Err
+                // nearby or propagate its Result.
+                if has_call(code, "complete") {
+                    let trimmed = code.trim_end();
+                    let propagated = trimmed.contains(")?")
+                        || (!trimmed.ends_with(';') && !trimmed.ends_with('{'));
+                    let window_err = (l..=(l + 3).min(span.end)).any(|wl| {
+                        contains_word(&f.lines[wl - 1].code, "Err")
+                            || f.lines[wl - 1].code.contains("unwrap")
+                            || f.lines[wl - 1].code.contains("expect(")
+                    });
+                    if !propagated && !window_err {
+                        let viol = Violation {
+                            file: f.path.clone(),
+                            line: l,
+                            rule: "durable-ack",
+                            msg: "`complete()` result is dropped: a blown \
+                                  persist fuse (`GroupCommitError::NotDurable`) \
+                                  must nack the client, not vanish; match the \
+                                  `Err`, propagate the `Result`, or waive with \
+                                  `// pmlint: ack-ok(<reason>)`"
+                                .to_string(),
+                        };
+                        push_finding(out, &f.lines, l, MARK, viol);
+                    }
+                }
+                // A discarded flush_batches ok-count swallows fuse failures.
+                if has_call(code, "flush_batches") {
+                    let consumed = code.contains("let ")
+                        || assignment_parts(code).is_some()
+                        || code.contains("==")
+                        || contains_word(code, "assert")
+                        || code.contains("assert_eq!");
+                    if !consumed {
+                        let viol = Violation {
+                            file: f.path.clone(),
+                            line: l,
+                            rule: "durable-ack",
+                            msg: "`flush_batches()` ok-count discarded: a \
+                                  partial flush (blown fuse) must mark \
+                                  `failed_from` so later `complete()`s nack; \
+                                  consume the count, or waive with \
+                                  `// pmlint: ack-ok(<reason>)`"
+                                .to_string(),
+                        };
+                        push_finding(out, &f.lines, l, MARK, viol);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run R7–R9 over the workspace.
+pub(crate) fn run(ws: &Workspace, out: &mut Findings) {
+    let facts = collect_fn_facts(ws);
+    let sets = locks::build_lock_sets(ws);
+    rule_epoch_escape(ws, &facts, out);
+    rule_seqlock_purity(ws, &sets, out);
+    rule_durable_ack(ws, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn let_parsing_handles_patterns() {
+        let (ids, rhs) = parse_let("    let (cur, old) = self.tables();").unwrap();
+        assert_eq!(ids, vec!["cur", "old"]);
+        assert!(rhs.contains("tables"));
+        let (ids, _) = parse_let("let Some((_, s)) = g.iter().find(|x| x) else {").unwrap();
+        assert_eq!(ids, vec!["s"], "closure params are RHS, not pattern");
+        let (ids, _) = parse_let("let next: Box<[Entry]> = g.iter().collect();").unwrap();
+        assert_eq!(ids, vec!["next"], "type ascription must not bind");
+        let (ids, _) =
+            parse_let("if let Err(mpsc::SendError(item)) = commit_tx.send(item) {").unwrap();
+        assert_eq!(ids, vec!["item"]);
+        assert!(parse_let("x.complete(t);").is_none());
+    }
+
+    #[test]
+    fn assignments_skip_comparisons() {
+        assert!(assignment_parts("if a == b {").is_none());
+        assert!(assignment_parts("Ok(()) => item.frame,").is_none());
+        assert!(assignment_parts("x <= y;").is_none());
+        let (l, r) = assignment_parts("self.slot = p;").unwrap();
+        assert_eq!(l.trim(), "self.slot");
+        assert_eq!(r.trim(), "p;");
+        assert!(assignment_parts("let x = 1;").is_none());
+    }
+
+    #[test]
+    fn fixture_shapes_cover_fn_facts() {
+        let ws = Workspace::build(vec![(
+            "crates/hart/src/dir.rs".to_string(),
+            "impl Shard {\n    pub fn inner_ptr(&self) -> *const Inner {\n        self.inner.data_ptr()\n    }\n    fn version(&self) -> u64 {\n        self.version.load(Ordering::Acquire)\n    }\n}\nfn protect() -> DirGuard<'_> {\n    match hart_ebr::pin() {\n        Some(g) => DirGuard::Pin(g),\n        None => DirGuard::Lock(l),\n    }\n}\n"
+                .to_string(),
+        )]);
+        let facts = collect_fn_facts(&ws);
+        assert!(facts.deriving.contains("inner_ptr"));
+        assert!(!facts.deriving.contains("version"));
+        assert!(facts.guard_returning.contains("protect"));
+    }
+}

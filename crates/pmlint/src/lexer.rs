@@ -98,11 +98,16 @@ pub fn split_line(line: &str, st: &mut SplitState) -> Line {
             }
             'r' if i + 1 < ch.len()
                 && (ch[i + 1] == '"' || ch[i + 1] == '#')
-                && (i == 0 || !ident_char(ch[i - 1])) =>
+                && (i == 0
+                    || !ident_char(ch[i - 1])
+                    || (ch[i - 1] == 'b' && (i == 1 || !ident_char(ch[i - 2])))) =>
             {
-                // Possible raw string r"..." or r#"..."#. The look-behind
-                // keeps identifiers ending in `r` (followed by `#`, as in
-                // a raw identifier used by a macro) out of string state.
+                // Possible raw string r"..." / r#"..."#, or the tail of a
+                // byte raw string br#"..."# (the `b` was already emitted as
+                // code, which is harmless — only the string body matters).
+                // The look-behind keeps identifiers ending in `r` (followed
+                // by `#`, as in a raw identifier used by a macro) out of
+                // string state, while still accepting a lone `b` prefix.
                 let mut j = i + 1;
                 let mut hashes = 0u32;
                 while j < ch.len() && ch[j] == '#' {
@@ -149,8 +154,9 @@ fn char_literal_len(s: &str) -> Option<usize> {
         return None;
     }
     if ch[1] == '\\' {
-        // Escaped: find the closing quote.
-        for (j, c) in ch.iter().enumerate().skip(2) {
+        // Escaped: find the closing quote. Start past the escaped char so
+        // `'\''` (escaped single quote) does not close on its own escape.
+        for (j, c) in ch.iter().enumerate().skip(3) {
             if *c == '\'' {
                 return Some(j + 1);
             }
@@ -298,6 +304,44 @@ mod tests {
             c[1]
         );
         assert!(c[1].contains("z()"));
+    }
+
+    #[test]
+    fn byte_raw_strings_are_stripped() {
+        // `br#"..."#`: the `b` prefix must not defeat the raw-string
+        // opener — an embedded `"` would otherwise flip plain-string
+        // state and leak the tail into the code view.
+        let c = codes("let p = br#\"quote \" then persist(q) done\"#; w();");
+        assert!(!c[0].contains("persist"), "br# body leaked: {:?}", c[0]);
+        assert!(c[0].contains("w()"), "post-literal code lost: {:?}", c[0]);
+        // …and the poisoned in_string state must not swallow later lines.
+        let c = codes("let p = br#\"has \" quote\"#;\npool.write(p, &v); pool.persist(p, 8);");
+        assert!(
+            c[1].contains(".write("),
+            "state leaked past br#: {:?}",
+            c[1]
+        );
+        // `abr#` is an identifier followed by `#`, not a byte raw string.
+        let c = codes("m(abr#frag); pool.write(p, &v);");
+        assert!(c[0].contains(".write("), "ident 'abr' ate code: {:?}", c[0]);
+        // Plain byte strings already worked; pin that too.
+        let c = codes("let p = b\"persist(q)\"; v();");
+        assert!(!c[0].contains("persist"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_closes_correctly() {
+        // `'\''` must consume all four chars; closing on the escaped
+        // quote would leave a stray `'` that lexes as a lifetime.
+        assert_eq!(char_literal_len("'\\''x"), Some(4));
+        assert_eq!(char_literal_len("'\\n' rest"), Some(4));
+        let mut st = SplitState::default();
+        let l = split_line("if c == '\\'' { pool.write(p, &v); }", &mut st);
+        assert!(
+            l.code.contains(".write("),
+            "escaped quote broke lexing: {:?}",
+            l.code
+        );
     }
 
     #[test]

@@ -43,12 +43,28 @@
 //! * **R6 `fence-pairing`** — Release-side stores on guarded
 //!   seqlock/migration atomics need an Acquire-side load of the same
 //!   field in the same module. Waiver: `// pmlint: fence-ok(<reason>)`.
+//! * **R7 `epoch-escape`** — (v3, guard-dataflow; see [`guards`]) a
+//!   pointer derived from PM under an EBR guard must not be returned,
+//!   stored to a field, `.store()`-published, or sent to another thread
+//!   past the guard's hold range.
+//!   Waiver: `// pmlint: epoch-escape-ok(<reason>)`.
+//! * **R8 `seqlock-purity`** — (v3) an optimistic read section between a
+//!   version load and its last use must be side-effect-free (no atomic
+//!   writes, field assignment, allocation, or lock acquisition — direct
+//!   or via resolved callees) and every exit path must revalidate.
+//!   Waiver: `// pmlint: seqlock-ok(<reason>)`.
+//! * **R9 `durable-ack`** — (v3; `crates/server` + `crates/pm/group.rs`
+//!   only) a response frame must not be acked before a
+//!   `complete`/`flush_batches`/persist covers its deferred-persist
+//!   sequence; `complete()` fuse failures must nack and `flush_batches`
+//!   ok-counts must be consumed. Waiver: `// pmlint: ack-ok(<reason>)`.
 //!
 //! Waived findings are not silently dropped: they are collected in
 //! [`Report::waived`] so CI can enforce a no-new-waivers budget
 //! (`pmlint --max-waivers N`, exit code 2 when exceeded).
 
 pub mod graph;
+pub mod guards;
 pub mod lexer;
 pub mod locks;
 pub mod structure;
@@ -424,6 +440,7 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Report {
     }
     let (lock_edges, try_edges) = locks::rule_lock_order(&ws, &mut out);
     locks::rule_fence_pairing(&ws, &mut out);
+    guards::run(&ws, &mut out);
     let mut violations = out.violations;
     let mut waived = out.waived;
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

@@ -121,8 +121,17 @@ pub const LOCK_ORDER: &[LockClass] = &[
         chained: false,
         file: "crates/pm/src/group.rs",
         rationale: "group-commit batch state; a flush promotes shadow lines \
-                    under it but never takes another ranked lock, so it sits \
-                    at the top of the hierarchy",
+                    under it but never takes another ranked lock, so only \
+                    the leaf-level connection registry ranks above it",
+    },
+    LockClass {
+        name: "SERVER_CONNS",
+        rank: 80,
+        chained: false,
+        file: "crates/server/src/lib.rs",
+        rationale: "server connection registry (Shared.conns); held briefly \
+                    to push/drain sockets and nothing ranked is ever \
+                    acquired under it, hence the top rank",
     },
 ];
 
@@ -193,6 +202,12 @@ const ACQ_PATTERNS: &[AcqPat] = &[
         field: Some("state"),
         methods: LOCK_METHODS,
     },
+    AcqPat {
+        class: 8, // SERVER_CONNS
+        file: Some("lib.rs"),
+        field: Some("conns"),
+        methods: LOCK_METHODS,
+    },
 ];
 
 /// A classified acquisition site.
@@ -218,7 +233,7 @@ pub struct LockEdge {
 }
 
 /// Classify one dotted call as a lock acquisition.
-fn classify(file_name: &str, field: &str, method: &str) -> Option<(usize, bool)> {
+pub(crate) fn classify(file_name: &str, field: &str, method: &str) -> Option<(usize, bool)> {
     for p in ACQ_PATTERNS {
         if let Some(f) = p.file {
             if f != file_name {
@@ -265,7 +280,7 @@ fn binding_before(code: &str, col: usize) -> Option<String> {
 
 /// Compute where a guard bound at (`line`, depth) stops being held:
 /// an explicit `drop(ident)`, the enclosing block's close, or `fn_end`.
-fn hold_end(
+pub(crate) fn hold_end(
     ws: &Workspace,
     file: usize,
     line: usize,
@@ -295,9 +310,10 @@ fn hold_end(
 }
 
 /// Per-function transitive lock sets: (blocking classes, try classes).
-struct LockSets {
-    blocking: HashMap<FnId, HashSet<usize>>,
-    trying: HashMap<FnId, HashSet<usize>>,
+pub(crate) struct LockSets {
+    pub(crate) blocking: HashMap<FnId, HashSet<usize>>,
+    #[allow(dead_code)]
+    pub(crate) trying: HashMap<FnId, HashSet<usize>>,
 }
 
 /// Direct classified acquisitions in one function.
@@ -344,7 +360,7 @@ fn direct_acqs(ws: &Workspace, file: usize, fn_idx: usize) -> Vec<Acq> {
 }
 
 /// Build transitive lock sets for every function (bounded DFS).
-fn build_lock_sets(ws: &Workspace) -> LockSets {
+pub(crate) fn build_lock_sets(ws: &Workspace) -> LockSets {
     let mut sets = LockSets {
         blocking: HashMap::new(),
         trying: HashMap::new(),

@@ -1,9 +1,9 @@
 //! `cargo run -p pmlint` — lint the workspace for persistence-ordering and
-//! concurrency discipline (rules R1–R6; see DESIGN.md §Verification and
+//! concurrency discipline (rules R1–R9; see DESIGN.md §Verification and
 //! CONTRIBUTING.md for the rules and the waiver syntax).
 //!
 //! ```text
-//! pmlint [ROOT] [--json PATH] [--max-waivers N]
+//! pmlint [ROOT] [--json PATH] [--max-waivers N] [--baseline PATH]
 //! ```
 //!
 //! Exit codes:
@@ -13,7 +13,13 @@
 //! * `2` — waiver-only failure: zero hard violations, but the number of
 //!   waived findings exceeds `--max-waivers` (the CI no-new-waivers
 //!   budget).
+//! * `3` — baseline drift: a violation or waived finding whose
+//!   `(file, rule)` class is absent from the committed `--baseline` JSON
+//!   artifact (`ci/pmlint-baseline.json`). Catches a new waiver sneaking
+//!   into a file that never needed one, even when the total stays within
+//!   budget; regenerate the baseline deliberately with `--json`.
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -130,6 +136,7 @@ struct Args {
     root: Option<PathBuf>,
     json: Option<PathBuf>,
     max_waivers: Option<usize>,
+    baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -137,6 +144,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         json: None,
         max_waivers: None,
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -151,14 +159,62 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("--max-waivers needs a count")?;
                 out.max_waivers = Some(n.parse().map_err(|_| format!("bad --max-waivers: {n}"))?);
             }
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline needs a path")?;
+                out.baseline = Some(PathBuf::from(p));
+            }
             "--help" | "-h" => {
-                return Err("usage: pmlint [ROOT] [--json PATH|-] [--max-waivers N]".into())
+                return Err(
+                    "usage: pmlint [ROOT] [--json PATH|-] [--max-waivers N] [--baseline PATH]"
+                        .into(),
+                )
             }
             p if out.root.is_none() && !p.starts_with('-') => out.root = Some(PathBuf::from(p)),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(out)
+}
+
+/// Extract the `(file, rule)` classes recorded in a pmlint `--json`
+/// artifact. Hand-rolled to match [`report_json`]'s fixed key order
+/// (`file`, `line`, `rule`, `msg`); lock-edge objects carry a `file` but
+/// no `rule` before their close brace, so they drop out naturally.
+fn baseline_classes(text: &str) -> HashSet<(String, String)> {
+    let mut out = HashSet::new();
+    let mut from = 0usize;
+    while let Some(p) = text[from..].find("\"file\":\"") {
+        let start = from + p + "\"file\":\"".len();
+        let Some(endq) = text[start..].find('"') else {
+            break;
+        };
+        let file = &text[start..start + endq];
+        let rest_at = start + endq;
+        let obj_end = text[rest_at..]
+            .find('}')
+            .map(|x| rest_at + x)
+            .unwrap_or(text.len());
+        let seg = &text[rest_at..obj_end];
+        if let Some(rp) = seg.find("\"rule\":\"") {
+            let rs = rp + "\"rule\":\"".len();
+            if let Some(rq) = seg[rs..].find('"') {
+                out.insert((file.to_string(), seg[rs..rs + rq].to_string()));
+            }
+        }
+        from = rest_at;
+    }
+    out
+}
+
+/// Findings whose `(file, rule)` class is not in the baseline.
+fn off_baseline<'a>(
+    findings: &'a [pmlint::Violation],
+    base: &HashSet<(String, String)>,
+) -> Vec<&'a pmlint::Violation> {
+    findings
+        .iter()
+        .filter(|v| !base.contains(&(v.file.clone(), v.rule.to_string())))
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -203,6 +259,30 @@ fn main() -> ExitCode {
                 report.waived.len()
             );
             return ExitCode::from(2);
+        }
+    }
+    if let Some(bp) = &args.baseline {
+        let text = match std::fs::read_to_string(bp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pmlint: cannot read baseline {}: {e}", bp.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = baseline_classes(&text);
+        let mut drift = off_baseline(&report.violations, &base);
+        drift.extend(off_baseline(&report.waived, &base));
+        if !drift.is_empty() {
+            for d in &drift {
+                eprintln!("off-baseline: {d}");
+            }
+            eprintln!(
+                "pmlint: {} finding class(es) absent from {}; fix them or \
+                 regenerate the baseline deliberately with --json",
+                drift.len(),
+                bp.display()
+            );
+            return ExitCode::from(3);
         }
     }
     println!(

@@ -114,7 +114,118 @@ fn lock_order_table_matches_runtime_ranks() {
     assert_eq!(by_name("EBR_GARBAGE"), parking_lot::rank::EBR_GARBAGE);
     assert_eq!(by_name("DIR_SCAN_CACHE"), parking_lot::rank::DIR_SCAN_CACHE);
     assert_eq!(by_name("GROUP_COMMIT"), parking_lot::rank::GROUP_COMMIT);
-    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 8, "table drifted");
+    assert_eq!(by_name("SERVER_CONNS"), parking_lot::rank::SERVER_CONNS);
+    assert_eq!(pmlint::locks::LOCK_ORDER.len(), 9, "table drifted");
+}
+
+#[test]
+fn epoch_escape_rule_fires() {
+    let (label, src) = fixture("bad_epoch_escape.rs");
+    let r = pmlint::analyze_sources(vec![(label, src)]);
+    let lines = rule_lines(&r.violations, "epoch-escape");
+    assert_eq!(
+        lines.len(),
+        4,
+        "expected return + field store + publish + use-after-unpin, got {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.violations.len(),
+        4,
+        "only epoch-escape may fire: {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.waived.iter().filter(|v| v.rule == "epoch-escape").count(),
+        1,
+        "the waived field store must be reported, not dropped: {:?}",
+        r.waived
+    );
+}
+
+#[test]
+fn seqlock_purity_rule_fires() {
+    let (label, src) = fixture("bad_seqlock.rs");
+    let r = pmlint::analyze_sources(vec![(label, src)]);
+    let lines = rule_lines(&r.violations, "seqlock-purity");
+    assert_eq!(
+        lines.len(),
+        5,
+        "expected no-validate + alloc + store + lock + unvalidated exit, got {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.violations.len(),
+        5,
+        "only seqlock-purity may fire: {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.waived
+            .iter()
+            .filter(|v| v.rule == "seqlock-purity")
+            .count(),
+        1,
+        "the waived scratch alloc must be reported: {:?}",
+        r.waived
+    );
+}
+
+#[test]
+fn durable_ack_rule_fires() {
+    // R9 is scoped to the server + group-commit sources, so the fixture
+    // lints under a `crates/server/src/` label (fixture paths are outside
+    // the rule's scope by design — they never pollute the workspace scan).
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad_ack_order.rs");
+    let src = std::fs::read_to_string(&p).expect("fixture readable");
+    let r = pmlint::analyze_sources(vec![(
+        "crates/server/src/bad_ack_order.rs".to_string(),
+        src,
+    )]);
+    let lines = rule_lines(&r.violations, "durable-ack");
+    assert_eq!(
+        lines.len(),
+        3,
+        "expected early ack + dropped complete + discarded flush count, got {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.violations.len(),
+        3,
+        "only durable-ack may fire: {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.waived.iter().filter(|v| v.rule == "durable-ack").count(),
+        1,
+        "the waived per-op ack must be reported: {:?}",
+        r.waived
+    );
+}
+
+#[test]
+fn durable_ack_is_scoped_to_server_sources() {
+    // The same source under its real fixture path must stay quiet: R9's
+    // patterns (`finish`, `complete`, `flush_batches`) are meaningful only
+    // in the server/group-commit crates.
+    let vs = lint_fixture("bad_ack_order.rs");
+    assert!(
+        rule_lines(&vs, "durable-ack").is_empty(),
+        "R9 leaked outside its scope: {vs:?}"
+    );
+}
+
+#[test]
+fn byte_raw_string_does_not_hide_a_missing_persist() {
+    // Regression fixture: a `b`-prefix-blind lexer lets the embedded quote
+    // flip string state — the literal's `persist(…)` text becomes fake
+    // coverage and the dangling state swallows the next function.
+    let vs = lint_fixture("bad_byte_rawstring.rs");
+    let lines = rule_lines(&vs, "persist-coverage");
+    assert_eq!(lines.len(), 2, "expected both uncovered writes: {vs:?}");
+    assert_eq!(vs.len(), 2, "only persist-coverage may fire: {vs:?}");
 }
 
 #[test]

@@ -35,11 +35,12 @@ use hart::{Hart, PersistentIndex};
 use hart_kv::{Key, Value};
 use hart_obs::ObsSnapshot;
 use hart_pm::{GroupCommitter, GroupConfig, PersistBatch, Ticket};
+use parking_lot::{rank, Mutex};
 use proto::*;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// Server construction parameters.
@@ -113,6 +114,8 @@ struct Shared {
     inflight: AtomicUsize,
     counters: Counters,
     /// Clones of accepted sockets, so shutdown can unblock reader threads.
+    /// Ranked top of the lock hierarchy (DESIGN.md §8): nothing ranked is
+    /// ever acquired while it is held.
     conns: Mutex<Vec<TcpStream>>,
 }
 
@@ -188,7 +191,7 @@ impl ServerHandle {
         // and the committer drain out as their channels close.
         let acceptor = self.threads.remove(0);
         let _ = acceptor.join();
-        for s in self.shared.conns.lock().unwrap().drain(..) {
+        for s in self.shared.conns.lock().drain(..) {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
         for t in self.threads.drain(..) {
@@ -225,7 +228,7 @@ pub fn start(hart: Arc<Hart>, cfg: ServerConfig) -> std::io::Result<ServerHandle
         stop: AtomicBool::new(false),
         inflight: AtomicUsize::new(0),
         counters: Counters::default(),
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new_ranked(Vec::new(), rank::SERVER_CONNS, false, "Shared.conns"),
     });
 
     let (commit_tx, commit_rx) = mpsc::channel::<CommitItem>();
@@ -295,7 +298,7 @@ fn accept_loop(
             .connections_active
             .fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().push(clone);
+            shared.conns.lock().push(clone);
         }
         let shared = Arc::clone(&shared);
         let worker_txs = worker_txs.clone();
@@ -575,6 +578,8 @@ fn run_write(
             // Kill-switch path: the op has already paid all its fences by
             // the time `f` returns, so the ack is durable.
             let frame = write_frame(req_id, f());
+            // pmlint: ack-ok(per-op path: every persist fence is paid inside
+            // the op itself before `f` returns, so the frame is born durable)
             shared.finish(&resp, frame);
         }
         Some(gc) => {

@@ -23,7 +23,24 @@
 //! key, key/value lengths, out-of-leaf value pointer.
 
 use hart_kv::{Error, InlineKey, Result, Value, MAX_VALUE_LEN};
-use hart_pm::{PmPtr, PmemPool};
+use hart_pm::{PmPtr, PmemPool, Pod};
+
+/// Non-persisting PM store for the volatile node-build family. Every
+/// deferred write in this file funnels through these two helpers so the
+/// build-then-persist-wholesale contract is waived exactly once per
+/// store kind instead of at each of the eight call sites.
+#[inline]
+fn write_vol<T: Pod>(pool: &PmemPool, p: PmPtr, v: &T) {
+    // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
+    pool.write(p, v);
+}
+
+/// See [`write_vol`]: the atomic (tagged-child) flavor.
+#[inline]
+fn write_vol_u64(pool: &PmemPool, p: PmPtr, v: u64) {
+    // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
+    pool.write_u64_atomic(p, v);
+}
 
 /// Node-kind discriminants stored in the type byte.
 pub const NT_N4: u8 = 1;
@@ -163,7 +180,7 @@ pub fn node_count(pool: &PmemPool, node: PmPtr) -> usize {
 }
 
 fn set_count(pool: &PmemPool, node: PmPtr, c: usize) {
-    pool.write(node.add(OFF_COUNT), &(c as u16)); // pmlint: deferred-persist(add_child/remove_child persist_header inline; the add_child_volatile path defers to its own callers)
+    write_vol(pool, node.add(OFF_COUNT), &(c as u16));
 }
 
 /// Compressed path prefix.
@@ -397,26 +414,31 @@ pub fn add_child_volatile(pool: &PmemPool, node: PmPtr, b: u8, child: Tagged) ->
     }
     match nt {
         NT_N4 => {
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write(node.add(N4_KEYS + count as u64), &b);
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write_u64_atomic(node.add(N4_CHILDREN + 8 * count as u64), child.encode());
+            write_vol(pool, node.add(N4_KEYS + count as u64), &b);
+            write_vol_u64(
+                pool,
+                node.add(N4_CHILDREN + 8 * count as u64),
+                child.encode(),
+            );
         }
         NT_N16 => {
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write(node.add(N16_KEYS + count as u64), &b);
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write_u64_atomic(node.add(N16_CHILDREN + 8 * count as u64), child.encode());
+            write_vol(pool, node.add(N16_KEYS + count as u64), &b);
+            write_vol_u64(
+                pool,
+                node.add(N16_CHILDREN + 8 * count as u64),
+                child.encode(),
+            );
         }
         NT_N48 => {
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write(node.add(N48_INDEX + b as u64), &(count as u8));
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write_u64_atomic(node.add(N48_CHILDREN + 8 * count as u64), child.encode());
+            write_vol(pool, node.add(N48_INDEX + b as u64), &(count as u8));
+            write_vol_u64(
+                pool,
+                node.add(N48_CHILDREN + 8 * count as u64),
+                child.encode(),
+            );
         }
         NT_N256 => {
-            // pmlint: deferred-persist(volatile build: every caller persists the whole node before publishing; the artcow cow_replace closure path inverts control, so R1 cannot see it)
-            pool.write_u64_atomic(node.add(N256_CHILDREN + 8 * b as u64), child.encode());
+            write_vol_u64(pool, node.add(N256_CHILDREN + 8 * b as u64), child.encode());
         }
         _ => panic!("bad node type {nt}"),
     }
