@@ -19,10 +19,42 @@
 //!   write guard does it automatically), so a reader can detect any
 //!   concurrent mutation of the shard's ART or of the PM records it owns.
 //!
-//! Bucket entry tables are immutable once published (`Box<[Entry]>`
+//! Bucket entry tables are immutable once published ([`BucketTable`]
 //! replaced wholesale, never edited in place) and retired through
 //! [`hart_ebr`], as are unlinked shards — the two facts that let readers
 //! chase raw pointers into them while pinned.
+//!
+//! # Fingerprint probes and the stash region (DESIGN.md §Resizing)
+//!
+//! Dash-style probe acceleration: every published [`BucketTable`] carries
+//! a packed array of 1-byte fingerprints (`fps[i]` is the top hash byte of
+//! `entries[i]`'s key), so a probe scans fingerprints first — 16 bytes per
+//! SIMD compare via `hart_art::simd::match_byte64`, with a bit-identical
+//! scalar fallback — and compares full hash keys only at fingerprint
+//! matches (false-positive rate ≈ chain/256). Chains of at most
+//! [`FP_SCAN_MIN`] entries skip the filter — a few short key compares
+//! beat the filter's extra cache line — so in practice the filter serves
+//! long stash chains. The `HartConfig::full_key_probes` kill-switch
+//! reverts to comparing every key; the stored format is identical either
+//! way.
+//!
+//! Home buckets are bounded at [`BUCKET_CAP`] entries (IcebergHT's
+//! low-associativity argument: bounded buckets keep install copies and
+//! migration units small). A key chaining past the cap is displaced into
+//! the table's *stash region* — a small shared array of overflow buckets,
+//! indexed by the home bucket's low bits — and the home bucket's sticky
+//! `overflow` bit is set *after* the stash entry publishes, so a probe
+//! that misses the home bucket consults the stash only when the bit is
+//! visible. Invariants:
+//!
+//! * all stash mutations for keys homed to bucket `B` happen while `B`'s
+//!   write lock is held — displacement, unlink and migration of a chain
+//!   serialize on the home bucket, and `overflow == false` under that lock
+//!   means no displaced entries exist;
+//! * the stash drains with its home bucket: `migrate_bucket` moves the
+//!   displaced part of the chain (same publish-in-new-before-remove-from-
+//!   old order), so a fully-migrated table has an empty stash and the
+//!   two-table miss rule is unchanged.
 //!
 //! # Online resizing (DESIGN.md §Resizing)
 //!
@@ -55,7 +87,7 @@
 //! key set cannot be precomputed to chain into a single bucket.
 
 use crate::resolver::PmResolver;
-use hart_art::Art;
+use hart_art::{simd, Art};
 use hart_kv::InlineKey;
 use hart_pm::PmPtr;
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -189,35 +221,65 @@ impl Drop for ShardWriteGuard<'_> {
 
 type Entry = (InlineKey, Arc<Shard>);
 
-/// A hash bucket: a versioned, wholesale-replaced entry table.
+/// The published per-bucket table: the entry slice plus the packed
+/// fingerprint array scanned ahead of it (`fps[i]` belongs to
+/// `entries[i]`). Immutable once published — writers install a whole new
+/// table and retire the old one through the epoch reclaimer.
+struct BucketTable {
+    /// One fingerprint byte per entry, contiguous so a probe can compare
+    /// 16 of them per SIMD instruction before touching any key bytes.
+    fps: Box<[u8]>,
+    entries: Box<[Entry]>,
+}
+
+impl BucketTable {
+    fn empty() -> BucketTable {
+        BucketTable {
+            fps: Box::new([]),
+            entries: Box::new([]),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A hash bucket: a versioned, wholesale-replaced [`BucketTable`].
 struct Bucket {
-    /// Seqlock version guarding `entries` swaps (odd = swap in progress).
+    /// Seqlock version guarding `table` swaps (odd = swap in progress).
     version: AtomicU64,
     /// The published table. Never mutated in place; writers install a new
-    /// boxed slice and retire the old one through the epoch reclaimer.
-    entries: RwLock<Box<[Entry]>>,
+    /// one and retire the old through the epoch reclaimer.
+    table: RwLock<BucketTable>,
     /// Set (under the write lock) once this bucket has been drained into
     /// the next table. A migrated bucket never accepts entries again.
     migrated: AtomicBool,
+    /// Sticky: set once a key homed to this bucket has been displaced into
+    /// the table's stash region (home chain at [`BUCKET_CAP`]). Probes
+    /// consult the stash only when set; it never clears, so at worst a
+    /// fully-unlinked chain costs one empty stash probe.
+    overflow: AtomicBool,
 }
 
 impl Bucket {
     fn new() -> Bucket {
         Bucket {
             version: AtomicU64::new(0),
-            entries: RwLock::new_ranked(
-                Box::new([]) as Box<[Entry]>,
+            table: RwLock::new_ranked(
+                BucketTable::empty(),
                 parking_lot::rank::BUCKET_ENTRIES,
                 true,
-                "Bucket.entries",
+                "Bucket.table",
             ),
             migrated: AtomicBool::new(false),
+            overflow: AtomicBool::new(false),
         }
     }
 
-    /// Replace the entry table under the (already held) write lock,
+    /// Replace the bucket table under the (already held) write lock,
     /// retiring the old table so pinned readers can finish scanning it.
-    fn install(&self, guard: &mut RwLockWriteGuard<'_, Box<[Entry]>>, next: Box<[Entry]>) {
+    fn install(&self, guard: &mut RwLockWriteGuard<'_, BucketTable>, next: BucketTable) {
         let v = self.version.fetch_add(1, Ordering::AcqRel);
         debug_assert!(v.is_multiple_of(2), "bucket swap already in progress");
         let old = std::mem::replace(&mut **guard, next);
@@ -230,23 +292,41 @@ impl Bucket {
 /// table; during a migration `old` points at the previous one.
 struct Table {
     buckets: Box<[Bucket]>,
+    /// The stash region: overflow buckets for keys displaced past
+    /// [`BUCKET_CAP`], shared across home buckets. Indexed by the *home
+    /// bucket index* masked down (`h & stash_mask`, and `stash_mask <=
+    /// mask`), so one home chain always stashes into one deterministic
+    /// stash bucket and a bucket drain touches exactly one of them.
+    stash: Box<[Bucket]>,
     mask: u64,
+    stash_mask: u64,
     /// Next bucket index the cooperative stride walker will claim. Only
     /// meaningful while this table is the `old` (draining) one.
     migrate_next: AtomicUsize,
     /// Buckets whose `migrated` flag has been set — the O(1) "fully
     /// drained" test for retiring this table. Counts both stride-walker
     /// and targeted drains, so a table drained entirely by targeted
-    /// drains (walker never ran) is still retirable.
+    /// drains (walker never ran) is still retirable. Stash buckets have no
+    /// flag of their own: they empty when their home buckets drain.
     migrated_count: AtomicUsize,
+}
+
+/// Stash buckets per table: 1/64th of the home buckets, floor 8 — small
+/// enough to be a rounding error in memory, deterministic so tests can
+/// reason about placement.
+fn stash_len(buckets: usize) -> usize {
+    (buckets / 64).max(8).min(buckets)
 }
 
 impl Table {
     fn new(buckets: usize) -> Table {
         debug_assert!(buckets.is_power_of_two());
+        let stash = stash_len(buckets);
         Table {
             buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            stash: (0..stash).map(|_| Bucket::new()).collect(),
             mask: buckets as u64 - 1,
+            stash_mask: stash as u64 - 1,
             migrate_next: AtomicUsize::new(0),
             migrated_count: AtomicUsize::new(0),
         }
@@ -255,6 +335,13 @@ impl Table {
     #[inline]
     fn bucket(&self, h: u64) -> &Bucket {
         &self.buckets[(h & self.mask) as usize]
+    }
+
+    /// The stash bucket serving `h`'s home bucket. Pure function of the
+    /// home index, so every key of one chain shares it.
+    #[inline]
+    fn stash_bucket(&self, h: u64) -> &Bucket {
+        &self.stash[(h & self.stash_mask) as usize]
     }
 }
 
@@ -272,10 +359,85 @@ pub(crate) enum RawBucketRead {
 /// How many old buckets each directory write drains beyond its own.
 const MIGRATE_STRIDE: usize = 16;
 
-/// A single chain longer than this triggers a grow even below the global
-/// load-factor threshold (guarded against degenerate repeat-growth by the
-/// `buckets < 4 * entries` condition in `maybe_grow`).
+/// Home-bucket capacity: a key chaining past this many entries is
+/// displaced into the table's stash region instead of growing the home
+/// chain, keeping home scans and install copies bounded (IcebergHT-style
+/// low associativity).
+const BUCKET_CAP: usize = 16;
+
+/// An *effective* chain (home bucket plus its displaced keys) longer than
+/// this triggers a grow even below the global load-factor threshold —
+/// provided doubling would actually split the chain (`doubling_splits`);
+/// an unsplittable chain stays in the stash instead of forcing doublings
+/// that cannot shorten it.
 const CHAIN_LIMIT: usize = 16;
+
+/// Failed miss-revalidations `Directory::get` tolerates before falling
+/// back to one final probe under the resize lock, which serializes out
+/// the grow storm (precedent: `shards_sorted_raw`'s resize-locked final
+/// pass). Without the bound, back-to-back grows + targeted drains can
+/// re-move `current` under every retry while the reader holds its EBR pin.
+const MISS_RETRY_LIMIT: usize = 8;
+
+/// Scans of at most this many entries skip the fingerprint filter and
+/// compare keys directly: for a handful of short hash keys the filter's
+/// extra cache line (the packed `fps` array) and scan setup cost more
+/// than the compares they replace (measured 6–22 % slower on the
+/// resizing directory, whose post-growth chains average 1–4 entries),
+/// while the long stash chains of an undersized directory are where the
+/// packed-byte SIMD scan wins big (2.5× at 1 M–10 M keys,
+/// RESULTS:rehash). Half `BUCKET_CAP`, so well-filled home buckets
+/// still take the filtered path.
+const FP_SCAN_MIN: usize = 8;
+
+/// 1-byte probe fingerprint: the top byte of the seeded FNV-1a hash.
+/// Bucket and stash indices use the *low* hash bits, so within one chain
+/// the fingerprint byte stays discriminating.
+#[inline]
+fn fingerprint(h: u64) -> u8 {
+    (h >> 56) as u8
+}
+
+/// A copy of `g` with `entry` (hashing to `h`) appended, its fingerprint
+/// kept in lockstep.
+fn push_entry(g: &BucketTable, h: u64, entry: Entry) -> BucketTable {
+    BucketTable {
+        fps: g
+            .fps
+            .iter()
+            .copied()
+            .chain(std::iter::once(fingerprint(h)))
+            .collect(),
+        entries: g
+            .entries
+            .iter()
+            .cloned()
+            .chain(std::iter::once(entry))
+            .collect(),
+    }
+}
+
+/// A copy of `g` without the entries at the positions in `removed` — the
+/// unlink/drain counterpart of [`push_entry`].
+fn remove_at(g: &BucketTable, removed: &[usize]) -> BucketTable {
+    let keep = |i: &usize| !removed.contains(i);
+    BucketTable {
+        fps: g
+            .fps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(i))
+            .map(|(_, f)| *f)
+            .collect(),
+        entries: g
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(i))
+            .map(|(_, e)| e.clone())
+            .collect(),
+    }
+}
 
 /// State serialized by the resize lock: grow/finish decisions plus the
 /// graveyard of retired tables for the no-EBR (locked reads) ablation.
@@ -311,6 +473,11 @@ pub(crate) struct Directory {
     /// behavior exactly. Also selects EBR vs graveyard retirement for
     /// drained tables (see the module docs).
     defer_reclaim: bool,
+    /// Kill-switch (`HartConfig::full_key_probes`): `true` makes every
+    /// probe compare full hash keys down the chain, ignoring the
+    /// fingerprint arrays (which are still maintained — the flag selects
+    /// the probe strategy, not the format).
+    full_key_probes: bool,
     /// Observability sink for grow/drain/finish events and lock-wait
     /// timing; an inert [`hart_obs::Recorder`] until [`Directory::set_recorder`].
     obs: hart_obs::Recorder,
@@ -383,8 +550,21 @@ impl Directory {
     /// *initial* size when `resize_threshold > 0`, the permanent size when
     /// it is `0`. `defer_reclaim` enables epoch-based reclamation inside
     /// the shards, required whenever lock-free readers may be active.
-    pub fn new(buckets: usize, resize_threshold: usize, defer_reclaim: bool) -> Directory {
-        Directory::with_seed(buckets, resize_threshold, defer_reclaim, random_seed())
+    /// `full_key_probes` disables the fingerprint probe filter (the
+    /// `HartConfig::with_full_key_probes` kill-switch).
+    pub fn new(
+        buckets: usize,
+        resize_threshold: usize,
+        defer_reclaim: bool,
+        full_key_probes: bool,
+    ) -> Directory {
+        Directory::with_seed(
+            buckets,
+            resize_threshold,
+            defer_reclaim,
+            full_key_probes,
+            random_seed(),
+        )
     }
 
     /// [`Directory::new`] with a fixed hash seed (tests, reproducibility).
@@ -392,6 +572,7 @@ impl Directory {
         buckets: usize,
         resize_threshold: usize,
         defer_reclaim: bool,
+        full_key_probes: bool,
         seed: u64,
     ) -> Directory {
         Directory {
@@ -408,6 +589,7 @@ impl Directory {
                 "Directory.resize",
             ),
             defer_reclaim,
+            full_key_probes,
             obs: hart_obs::Recorder::disabled(),
             scan_gen: AtomicU64::new(0),
             scan_cache: RwLock::new_ranked(
@@ -466,12 +648,63 @@ impl Directory {
         (cur, old)
     }
 
-    /// Locked probe of one table.
-    fn find_in(t: &Table, h: u64, hk: &[u8]) -> Option<Arc<Shard>> {
-        let g = t.bucket(h).entries.read();
-        g.iter()
-            .find(|(k, _)| k.as_slice() == hk)
-            .map(|(_, s)| Arc::clone(s))
+    /// Position of `hk` in a committed bucket table. Fingerprint
+    /// pre-filter: scan the packed fingerprint array (16 bytes per SIMD
+    /// compare, scalar fallback bit-identical) and compare full keys only
+    /// at matches. Chains of at most `FP_SCAN_MIN` entries — and every
+    /// probe under the `full_key_probes` kill-switch — compare every
+    /// chained key directly instead. Pure reads — safe both under a
+    /// bucket lock and on a validated optimistic copy.
+    fn scan_entries(&self, t: &BucketTable, h: u64, hk: &[u8]) -> Option<usize> {
+        if self.full_key_probes || t.entries.len() <= FP_SCAN_MIN {
+            return t.entries.iter().position(|(k, _)| k.as_slice() == hk);
+        }
+        debug_assert_eq!(t.fps.len(), t.entries.len());
+        let fp = fingerprint(h);
+        let mut base = 0usize;
+        for chunk in t.fps.chunks(64) {
+            let mut mask = simd::match_byte64(chunk, fp);
+            while mask != 0 {
+                let i = base + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.obs.add(hart_obs::Event::DirFpHit, 1);
+                if t.entries[i].0.as_slice() == hk {
+                    return Some(i);
+                }
+                self.obs.add(hart_obs::Event::DirFpFalsePositive, 1);
+            }
+            base += 64;
+        }
+        None
+    }
+
+    /// Locked probe of one table: the home bucket, then — only when the
+    /// home bucket's overflow bit says displaced keys may exist — its
+    /// stash bucket. The guards do not overlap: a key never moves between
+    /// home and stash within one table, so each probe is independently
+    /// authoritative for its region.
+    fn find_in(&self, t: &Table, h: u64, hk: &[u8]) -> Option<Arc<Shard>> {
+        let bucket = t.bucket(h);
+        {
+            let g = bucket.table.read();
+            if let Some(i) = self.scan_entries(&g, h, hk) {
+                return Some(Arc::clone(&g.entries[i].1));
+            }
+        }
+        if !bucket.overflow.load(Ordering::Acquire) {
+            return None;
+        }
+        self.obs.add(hart_obs::Event::DirStashProbe, 1);
+        self.stash_find(t, h, hk)
+    }
+
+    /// Probe `h`'s stash bucket under its read lock, returning an owned
+    /// handle. Only meaningful after a home miss with the overflow bit
+    /// set (the caller's job to check).
+    fn stash_find(&self, t: &Table, h: u64, hk: &[u8]) -> Option<Arc<Shard>> {
+        let g = t.stash_bucket(h).table.read();
+        self.scan_entries(&g, h, hk)
+            .map(|i| Arc::clone(&g.entries[i].1))
     }
 
     /// `HashFind` (Algorithm 1 line 2 / Algorithm 4 line 2).
@@ -488,6 +721,7 @@ impl Directory {
     pub fn get(&self, hk: &[u8]) -> Option<Arc<Shard>> {
         let guard = self.protect();
         let h = self.hash(hk);
+        let mut attempts = 0usize;
         loop {
             let (cur, old) = self.tables();
             if let Some(o) = old {
@@ -496,50 +730,94 @@ impl Directory {
                     // retire `old` if writers drained it but never finished.
                     self.try_finish(o);
                 }
-                if let Some(s) = Self::find_in(o, h, hk) {
+                if let Some(s) = self.find_in(o, h, hk) {
                     return Some(s);
                 }
             }
-            if let Some(s) = Self::find_in(cur, h, hk) {
+            if let Some(s) = self.find_in(cur, h, hk) {
                 return Some(s);
             }
             if ptr::eq(self.current.load(Ordering::Acquire), cur as *const Table) {
                 return None;
             }
             // A grow demoted `cur` mid-probe; the key may have been
-            // drained into the new current table. Re-snapshot and retry
-            // (growth is geometric, so this terminates).
+            // drained into the new current table. Re-snapshot and retry —
+            // but not unboundedly: each retry requires another grow to
+            // land mid-probe, and under a sustained grow storm this loop
+            // could spin while holding its EBR pin. After the limit,
+            // serialize against the storm instead. (A `Lock` guard
+            // already holds the resize lock, so `current` cannot move and
+            // the limit is unreachable for it.)
+            attempts += 1;
+            if attempts >= MISS_RETRY_LIMIT && guard.may_resize() {
+                return self.get_resize_locked(h, hk);
+            }
         }
     }
 
-    /// Lock-free probe of one bucket: volatile-copy the entry-table fat
-    /// pointer, validate the bucket version, then scan the (immutable)
-    /// committed table.
+    /// Final authoritative probe under the resize lock: grows and
+    /// finishes are serialized out, so the two-table snapshot is stable
+    /// for the whole probe and a double miss is a committed absence.
+    fn get_resize_locked(&self, h: u64, hk: &[u8]) -> Option<Arc<Shard>> {
+        let _st = self.resize.lock();
+        let (cur, old) = self.tables();
+        if let Some(o) = old {
+            if let Some(s) = self.find_in(o, h, hk) {
+                return Some(s);
+            }
+        }
+        self.find_in(cur, h, hk)
+    }
+
+    /// Lock-free probe of one bucket: volatile-copy the bucket table
+    /// struct (two fat pointers), validate the bucket version, then scan
+    /// the (immutable) committed table.
     ///
     /// # Safety
     /// Caller holds an EBR pin; `bucket` belongs to a table loaded under
     /// that pin.
-    unsafe fn probe_raw(bucket: &Bucket, hk: &[u8]) -> RawBucketRead {
+    unsafe fn probe_raw(&self, bucket: &Bucket, h: u64, hk: &[u8]) -> RawBucketRead {
         let v0 = bucket.version.load(Ordering::Acquire);
         if v0 % 2 == 1 {
             return RawBucketRead::Retry;
         }
-        // Copy the table's fat pointer without the lock; a concurrent swap
-        // can tear it, which the version re-check below detects before the
+        // Copy the table struct without the lock; a concurrent swap can
+        // tear it, which the version re-check below detects before the
         // copy is dereferenced.
-        let table_mu: MaybeUninit<Box<[Entry]>> =
-            ptr::read_volatile(bucket.entries.data_ptr() as *const MaybeUninit<Box<[Entry]>>);
+        let table_mu: MaybeUninit<BucketTable> =
+            ptr::read_volatile(bucket.table.data_ptr() as *const MaybeUninit<BucketTable>);
         fence(Ordering::Acquire);
         if bucket.version.load(Ordering::Relaxed) != v0 {
             return RawBucketRead::Retry;
         }
         // Validated: this is a committed table. Tables are immutable once
         // published, so scanning it needs no further checks.
-        let table: &[Entry] = &*table_mu.as_ptr();
-        match table.iter().find(|(k, _)| k.as_slice() == hk) {
-            Some((_, shard)) => RawBucketRead::Found(Arc::as_ptr(shard)),
+        let table: &BucketTable = &*table_mu.as_ptr();
+        match self.scan_entries(table, h, hk) {
+            Some(i) => RawBucketRead::Found(Arc::as_ptr(&table.entries[i].1)),
             None => RawBucketRead::Absent,
         }
+    }
+
+    /// Lock-free probe of one *table*: home bucket, then its stash bucket
+    /// when the overflow bit is visible. The bit is set with `Release`
+    /// *after* the stash entry publishes, so a reader that misses home and
+    /// loads the bit false can only be racing the displacing insert's
+    /// linearization point.
+    ///
+    /// # Safety
+    /// Same contract as [`Directory::probe_raw`].
+    unsafe fn probe_table_raw(&self, t: &Table, h: u64, hk: &[u8]) -> RawBucketRead {
+        let bucket = t.bucket(h);
+        match self.probe_raw(bucket, h, hk) {
+            RawBucketRead::Absent => {}
+            found_or_retry => return found_or_retry,
+        }
+        if !bucket.overflow.load(Ordering::Acquire) {
+            return RawBucketRead::Absent;
+        }
+        self.obs.add(hart_obs::Event::DirStashProbe, 1);
+        self.probe_raw(t.stash_bucket(h), h, hk)
     }
 
     /// Lock-free `HashFind` for the optimistic read path.
@@ -569,12 +847,12 @@ impl Directory {
                 // double-probe forever (O(1) check, locks only when the
                 // drain is actually complete).
                 self.try_finish(o);
-                match Self::probe_raw(o.bucket(h), hk) {
+                match self.probe_table_raw(o, h, hk) {
                     RawBucketRead::Absent => {} // fall through to current
                     found_or_retry => return found_or_retry,
                 }
             }
-            match Self::probe_raw(cur.bucket(h), hk) {
+            match self.probe_table_raw(cur, h, hk) {
                 RawBucketRead::Absent => {
                     if ptr::eq(self.current.load(Ordering::Acquire), cur as *const Table) {
                         return RawBucketRead::Absent;
@@ -587,9 +865,41 @@ impl Directory {
         RawBucketRead::Retry
     }
 
-    /// Drain one `old` bucket into the current table. Entries are
-    /// published in the new table *before* the old bucket empties, so
-    /// old-then-current probes never miss. No-op if already drained.
+    /// Publish one entry into table `cur`, honoring [`BUCKET_CAP`]: the
+    /// home bucket if it has room, otherwise the stash bucket (setting the
+    /// home bucket's overflow bit *after* the stash entry is installed, so
+    /// a probe that sees the bit clear cannot miss a published entry).
+    ///
+    /// Lock order within one table is home-then-stash; callers that
+    /// already hold locks in another table must take them table-by-table
+    /// in migration order (old before current) — all bucket locks share
+    /// the chained `BUCKET_ENTRIES` rank.
+    fn publish_into(&self, cur: &Table, k: &InlineKey, s: &Arc<Shard>) {
+        let h = self.hash(k.as_slice());
+        let nb = cur.bucket(h);
+        let mut ng = nb.table.write();
+        if ng.len() < BUCKET_CAP {
+            let next = push_entry(&ng, h, (*k, Arc::clone(s)));
+            nb.install(&mut ng, next);
+            return;
+        }
+        // Home full: displace into the stash, then make the bit visible.
+        // Both installs happen under the home bucket's write lock (the
+        // stash-mutation invariant in the module docs).
+        let sb = cur.stash_bucket(h);
+        {
+            let mut sg = sb.table.write();
+            let next = push_entry(&sg, h, (*k, Arc::clone(s)));
+            sb.install(&mut sg, next);
+        }
+        nb.overflow.store(true, Ordering::Release);
+        self.obs.add(hart_obs::Event::DirStashSpill, 1);
+    }
+
+    /// Drain one `old` bucket — home chain *and* its displaced stash
+    /// entries — into the current table. Entries are published in the new
+    /// table *before* the old bucket empties, so old-then-current probes
+    /// never miss. No-op if already drained.
     ///
     /// While we hold an un-migrated old bucket's write lock, the migration
     /// cannot finish (the finisher checks every bucket's flag) and no
@@ -600,7 +910,7 @@ impl Directory {
         if bucket.migrated.load(Ordering::Acquire) {
             return;
         }
-        let mut g = bucket.entries.write();
+        let mut g = bucket.table.write();
         if bucket.migrated.load(Ordering::Acquire) {
             return;
         }
@@ -608,18 +918,34 @@ impl Directory {
         // (where this bucket lives) is only retired after every bucket —
         // including this locked one — has drained.
         let cur = unsafe { &*self.current.load(Ordering::Acquire) };
-        for (k, s) in g.iter() {
-            let nb = cur.bucket(self.hash(k.as_slice()));
-            let mut ng = nb.entries.write();
-            let next: Box<[Entry]> = ng
-                .iter()
-                .cloned()
-                .chain(std::iter::once((*k, Arc::clone(s))))
-                .collect();
-            nb.install(&mut ng, next);
+        for (k, s) in g.entries.iter() {
+            self.publish_into(cur, k, s);
         }
-        if !g.is_empty() {
-            bucket.install(&mut g, Box::new([]));
+        // Displaced part of the chain: every key homed here stashes in one
+        // deterministic stash bucket (`stash_mask` folds the home index),
+        // and the overflow bit is sticky, so "bit clear under the home
+        // lock" proves there is nothing to drain.
+        if bucket.overflow.load(Ordering::Acquire) {
+            let sb = &o.stash[(idx as u64 & o.stash_mask) as usize];
+            let mut sg = sb.table.write();
+            let homed: Vec<usize> = sg
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (k, _))| (self.hash(k.as_slice()) & o.mask) as usize == idx)
+                .map(|(i, _)| i)
+                .collect();
+            for &i in &homed {
+                let (k, s) = &sg.entries[i];
+                self.publish_into(cur, k, s);
+            }
+            if !homed.is_empty() {
+                let next = remove_at(&sg, &homed);
+                sb.install(&mut sg, next);
+            }
+        }
+        if g.len() > 0 {
+            bucket.install(&mut g, BucketTable::empty());
         }
         bucket.migrated.store(true, Ordering::Release);
         // Exactly-once per bucket: the flag double-check above means only
@@ -703,18 +1029,63 @@ impl Directory {
         }
     }
 
+    /// Would doubling `t` actually split the chain homed at `h`'s bucket?
+    /// True iff the chain's keys (home bucket plus displaced stash
+    /// entries) disagree on the next mask bit. An unsplittable chain —
+    /// keys colliding on more low bits than one doubling adds — must not
+    /// trigger a grow: the old guard (`len < entries * 4`) both let such
+    /// chains cascade doublings that could never shorten them *and*
+    /// suppressed legitimate triggers on small, lightly-loaded tables.
+    ///
+    /// Takes only bucket read locks; called *before* the resize lock
+    /// (rank order: `DIR_RESIZE` < `BUCKET_ENTRIES`). The answer can go
+    /// stale the instant the locks drop — acceptable, because the trigger
+    /// is heuristic and the chain re-evaluates on its next insert.
+    fn doubling_splits(&self, t: &Table, h: u64) -> bool {
+        let split_bit = t.mask + 1;
+        let mut seen_zero = false;
+        let mut seen_one = false;
+        let mut note = |kh: u64| {
+            if kh & split_bit == 0 {
+                seen_zero = true;
+            } else {
+                seen_one = true;
+            }
+        };
+        let bucket = t.bucket(h);
+        {
+            let g = bucket.table.read();
+            for (k, _) in g.entries.iter() {
+                note(self.hash(k.as_slice()));
+            }
+        }
+        if bucket.overflow.load(Ordering::Acquire) {
+            let g = t.stash_bucket(h).table.read();
+            for (k, _) in g.entries.iter() {
+                let kh = self.hash(k.as_slice());
+                if kh & t.mask == h & t.mask {
+                    note(kh);
+                }
+            }
+        }
+        seen_zero && seen_one
+    }
+
     /// Double the bucket array if `seen` is still the current table and
-    /// the trigger (load factor, or one pathological chain) still holds.
-    fn maybe_grow(&self, seen: *const Table, chain_len: usize) {
+    /// the trigger (load factor, or one pathological chain that a doubling
+    /// would split) still holds. `h` is the hash whose chain reached
+    /// `chain_len`.
+    fn maybe_grow(&self, seen: *const Table, h: u64, chain_len: usize) {
         if self.resize_threshold == 0 {
             return;
         }
         let entries = self.entries.load(Ordering::Relaxed);
         // SAFETY: the caller observed `seen` as the current table under its
         // guard, which keeps the table alive for this read.
-        let len = unsafe { &*seen }.buckets.len();
+        let t = unsafe { &*seen };
+        let len = t.buckets.len();
         let overloaded = entries > self.resize_threshold.saturating_mul(len);
-        let chained = chain_len > CHAIN_LIMIT && len < entries.saturating_mul(4);
+        let chained = !overloaded && chain_len > CHAIN_LIMIT && self.doubling_splits(t, h);
         if !overloaded && !chained {
             return;
         }
@@ -754,7 +1125,7 @@ impl Directory {
                 }
             }
             let bucket = cur.bucket(h);
-            let mut g = bucket.entries.write();
+            let mut g = bucket.table.write();
             // Revalidate under the lock: a concurrent grow may have
             // demoted `cur`, and a concurrent drain may have emptied this
             // bucket into an even newer table.
@@ -763,22 +1134,49 @@ impl Directory {
             {
                 continue;
             }
-            if let Some((_, s)) = g.iter().find(|(k, _)| k.as_slice() == hk) {
-                return Arc::clone(s);
+            if let Some(i) = self.scan_entries(&g, h, hk) {
+                return Arc::clone(&g.entries[i].1);
+            }
+            // Home miss. Displaced keys only exist when the overflow bit
+            // is set, and all stash mutations for this chain happen under
+            // the home lock we hold — so the stash read below is
+            // authoritative, and skipping it on a clear bit is sound.
+            if bucket.overflow.load(Ordering::Acquire) {
+                if let Some(s) = self.stash_find(cur, h, hk) {
+                    return s;
+                }
             }
             let mut art = Art::new();
             art.set_deferred_reclaim(self.defer_reclaim);
             let shard = Arc::new(Shard::new(art));
-            let next: Box<[Entry]> = g
-                .iter()
-                .cloned()
-                .chain(std::iter::once((
-                    InlineKey::from_slice(hk),
-                    Arc::clone(&shard),
-                )))
-                .collect();
-            let chain_len = next.len();
-            bucket.install(&mut g, next);
+            let entry = (InlineKey::from_slice(hk), Arc::clone(&shard));
+            let chain_len = if g.len() < BUCKET_CAP {
+                let next = push_entry(&g, h, entry);
+                let chain_len = next.len();
+                bucket.install(&mut g, next);
+                chain_len
+            } else {
+                // Home full: displace into the stash (install first, then
+                // the Release bit — same protocol as `publish_into`). The
+                // effective chain length counts home plus the displaced
+                // keys homed here, so the chain trigger still sees
+                // pathological growth hidden in the stash.
+                let sb = cur.stash_bucket(h);
+                let displaced_here;
+                {
+                    let mut sg = sb.table.write();
+                    let next = push_entry(&sg, h, entry);
+                    displaced_here = next
+                        .entries
+                        .iter()
+                        .filter(|(k, _)| self.hash(k.as_slice()) & cur.mask == h & cur.mask)
+                        .count();
+                    sb.install(&mut sg, next);
+                }
+                bucket.overflow.store(true, Ordering::Release);
+                self.obs.add(hart_obs::Event::DirStashSpill, 1);
+                BUCKET_CAP + displaced_here
+            };
             self.entries.fetch_add(1, Ordering::Relaxed);
             // Release-ordered after the entry publish, and *before* the
             // caller's first key insert can commit — a scan that starts
@@ -788,7 +1186,7 @@ impl Directory {
             self.scan_gen.fetch_add(1, Ordering::Release);
             drop(g);
             if guard.may_resize() {
-                self.maybe_grow(cur as *const Table, chain_len);
+                self.maybe_grow(cur as *const Table, h, chain_len);
             }
             return shard;
         }
@@ -811,34 +1209,53 @@ impl Directory {
                 }
             }
             let bucket = cur.bucket(h);
-            let mut g = bucket.entries.write();
+            let mut g = bucket.table.write();
             if !ptr::eq(self.current.load(Ordering::Acquire), cur)
                 || bucket.migrated.load(Ordering::Acquire)
             {
                 continue;
             }
-            let Some(pos) = g.iter().position(|(k, _)| k.as_slice() == hk) else {
+            if let Some(pos) = self.scan_entries(&g, h, hk) {
+                {
+                    let shard = &g.entries[pos].1;
+                    let mut sg = shard.write_observed(&self.obs);
+                    if !sg.art.is_empty() || sg.dead {
+                        return false;
+                    }
+                    sg.dead = true;
+                }
+                let next = remove_at(&g, &[pos]);
+                bucket.install(&mut g, next);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                // Stale cached lists keep an `Arc` to the shard, but it is
+                // `dead` and empty by the check above, so scans skip it;
+                // the bump retires the list at the next cache probe.
+                self.scan_gen.fetch_add(1, Ordering::Release);
+                return true;
+            }
+            // Home miss: the key can only live in the stash, and only if
+            // the overflow bit says some key of this chain was displaced.
+            // Unlinking from the stash happens under the home write lock
+            // (still held), per the stash-mutation invariant.
+            if !bucket.overflow.load(Ordering::Acquire) {
+                return false;
+            }
+            let sb = cur.stash_bucket(h);
+            let mut sg = sb.table.write();
+            let Some(pos) = self.scan_entries(&sg, h, hk) else {
                 return false;
             };
             {
-                let shard = &g[pos].1;
-                let mut sg = shard.write_observed(&self.obs);
-                if !sg.art.is_empty() || sg.dead {
+                let shard = &sg.entries[pos].1;
+                let mut swg = shard.write_observed(&self.obs);
+                if !swg.art.is_empty() || swg.dead {
                     return false;
                 }
-                sg.dead = true;
+                swg.dead = true;
             }
-            let next: Box<[Entry]> = g
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != pos)
-                .map(|(_, e)| e.clone())
-                .collect();
-            bucket.install(&mut g, next);
+            let next = remove_at(&sg, &[pos]);
+            sb.install(&mut sg, next);
             self.entries.fetch_sub(1, Ordering::Relaxed);
-            // Stale cached lists keep an `Arc` to the shard, but it is
-            // `dead` and empty by the check above, so scans skip it; the
-            // bump retires the list at the next cache probe.
             self.scan_gen.fetch_add(1, Ordering::Release);
             return true;
         }
@@ -853,9 +1270,9 @@ impl Directory {
         let (cur, old) = self.tables();
         let mut out = Vec::new();
         for t in old.into_iter().chain(std::iter::once(cur)) {
-            for b in t.buckets.iter() {
-                let g = b.entries.read();
-                out.extend(g.iter().map(|(k, s)| (*k, Arc::clone(s))));
+            for b in t.buckets.iter().chain(t.stash.iter()) {
+                let g = b.table.read();
+                out.extend(g.entries.iter().map(|(k, s)| (*k, Arc::clone(s))));
             }
         }
         out.sort_unstable_by_key(|a| a.0);
@@ -930,18 +1347,16 @@ impl Directory {
         {
             let st = self.resize.lock();
             let (cur, old) = self.tables();
-            total += cur.buckets.len() * size_of::<Bucket>();
+            let table_bytes = |t: &Table| (t.buckets.len() + t.stash.len()) * size_of::<Bucket>();
+            total += table_bytes(cur);
             if let Some(o) = old {
-                total += o.buckets.len() * size_of::<Bucket>();
+                total += table_bytes(o);
             }
-            total += st
-                .graveyard
-                .iter()
-                .map(|t| t.buckets.len() * size_of::<Bucket>())
-                .sum::<usize>();
+            total += st.graveyard.iter().map(|t| table_bytes(t)).sum::<usize>();
         }
         for (_, shard) in self.shards_sorted() {
-            total += size_of::<Entry>() + size_of::<Shard>() + shard.read().art.memory_bytes();
+            // +1: the entry's fingerprint byte in the packed array.
+            total += size_of::<Entry>() + 1 + size_of::<Shard>() + shard.read().art.memory_bytes();
         }
         total
     }
@@ -988,12 +1403,29 @@ mod tests {
     /// Fixed-size directory with a deterministic seed, like the pre-resize
     /// default.
     fn fixed(buckets: usize) -> Directory {
-        Directory::with_seed(buckets, 0, true, 0)
+        Directory::with_seed(buckets, 0, true, false, 0)
     }
 
     /// Aggressively resizing directory (load factor 1, deterministic seed).
     fn resizing(buckets: usize) -> Directory {
-        Directory::with_seed(buckets, 1, true, 0)
+        Directory::with_seed(buckets, 1, true, false, 0)
+    }
+
+    /// First `n` u32-LE keys whose seeded hash satisfies `pred` — the
+    /// engine behind the deterministic collision tests (the per-directory
+    /// seed is fixed here, so collisions can be precomputed).
+    fn colliding_keys(d: &Directory, n: usize, pred: impl Fn(u64) -> bool) -> Vec<[u8; 4]> {
+        let mut out = Vec::with_capacity(n);
+        for x in 0u32.. {
+            let hk = x.to_le_bytes();
+            if pred(d.hash(&hk)) {
+                out.push(hk);
+                if out.len() == n {
+                    return out;
+                }
+            }
+        }
+        unreachable!()
     }
 
     #[test]
@@ -1164,8 +1596,8 @@ mod tests {
     /// chains into one bucket under seed A spreads out under seed B.
     #[test]
     fn seed_changes_bucket_assignment() {
-        let a = Directory::with_seed(64, 0, true, 1);
-        let b = Directory::with_seed(64, 0, true, 2);
+        let a = Directory::with_seed(64, 0, true, false, 1);
+        let b = Directory::with_seed(64, 0, true, false, 2);
         let mask = 63u64;
         let mut diff = 0;
         for x in 0u16..512 {
@@ -1244,18 +1676,266 @@ mod tests {
         assert_eq!(d.shards_sorted().len(), 150);
     }
 
+    /// Satellite regression: the chain trigger must fire deterministically
+    /// on a splittable over-limit chain, regardless of table size or
+    /// global load. The old guard (`len < entries * 4`) suppressed it
+    /// whenever the table was large relative to the entry count — exactly
+    /// the "one pathological chain in a big, lightly-loaded table" case
+    /// the trigger exists for.
     #[test]
     fn chain_limit_triggers_growth_without_load() {
-        // 512 buckets, threshold 1: global load stays far below 1, but one
-        // chain exceeding CHAIN_LIMIT must still trigger a grow... except
-        // the seeded hash makes engineered collisions impractical, so this
-        // exercises the code path statistically: inserting CHAIN_LIMIT*4
-        // keys into 2 buckets guarantees a long chain.
-        let d = Directory::with_seed(2, 1_000_000, true, 7);
-        for i in 0..((CHAIN_LIMIT as u16) * 4) {
-            d.get_or_insert(&i.to_le_bytes());
+        // 512 buckets, absurd load threshold: only the chain trigger can
+        // fire. Engineer CHAIN_LIMIT+1 keys into one home bucket (low 9
+        // hash bits equal) with both values of the next mask bit present,
+        // so one doubling provably splits the chain.
+        let d = Directory::with_seed(512, 1_000_000, true, false, 7);
+        let target = d.hash(&0u32.to_le_bytes()) & 511;
+        let keys = colliding_keys(&d, CHAIN_LIMIT + 1, |h| h & 511 == target);
+        assert!(
+            keys.iter().any(|k| d.hash(k) & 512 == 0) && keys.iter().any(|k| d.hash(k) & 512 != 0),
+            "collision set must disagree on the split bit"
+        );
+        for hk in &keys {
+            d.get_or_insert(hk);
         }
-        assert!(d.grow_count() >= 1, "chain trigger never fired");
+        assert!(
+            d.grow_count() >= 1,
+            "chain trigger never fired on a splittable over-limit chain"
+        );
+        for hk in &keys {
+            assert!(d.get(hk).is_some(), "key lost across chain-triggered grow");
+        }
+        hart_ebr::flush_for_tests();
+    }
+
+    /// Satellite regression (the other direction): an *unsplittable* chain
+    /// — keys agreeing on more low bits than one doubling adds — must not
+    /// trigger grows. The old guard let it cascade doublings that could
+    /// never shorten the chain.
+    #[test]
+    fn unsplittable_chain_does_not_cascade_grows() {
+        let d = Directory::with_seed(4, 1_000_000, true, false, 7);
+        let target = d.hash(&0u32.to_le_bytes()) & 0xFFFF;
+        // 20 keys agreeing on the low 16 hash bits: every table up to 64k
+        // buckets homes them together, so no doubling from 4 buckets can
+        // split the chain and the trigger must stay quiet.
+        let keys = colliding_keys(&d, CHAIN_LIMIT + 4, |h| h & 0xFFFF == target);
+        let shards: Vec<_> = keys.iter().map(|hk| d.get_or_insert(hk)).collect();
+        assert_eq!(d.grow_count(), 0, "unsplittable chain cascaded grows");
+        assert_eq!(d.bucket_count(), 4);
+        // The chain spilled past BUCKET_CAP into the stash; every key is
+        // still reachable by both probe paths.
+        assert_eq!(d.shard_count(), keys.len());
+        let _pin = hart_ebr::pin().expect("slot");
+        for (hk, s) in keys.iter().zip(&shards) {
+            let got = d.get(hk).expect("stashed key lost (locked probe)");
+            assert!(Arc::ptr_eq(&got, s));
+            // SAFETY: `_pin` keeps the probed tables alive.
+            match unsafe { d.get_raw(hk) } {
+                RawBucketRead::Found(p) => assert_eq!(p, Arc::as_ptr(s)),
+                _ => panic!("stashed key lost (raw probe)"),
+            }
+        }
+        hart_ebr::flush_for_tests();
+    }
+
+    /// Stash entries must drain with their home bucket during migration
+    /// and stay reachable throughout.
+    #[test]
+    fn stash_drains_with_home_bucket_across_grows() {
+        let d = Directory::with_seed(4, 1, true, false, 7);
+        let target = d.hash(&0u32.to_le_bytes()) & 3;
+        // Over-cap chain in one 4-bucket home (low 2 bits equal) plus
+        // filler keys to trip the load-factor trigger repeatedly.
+        let chained = colliding_keys(&d, BUCKET_CAP + 8, |h| h & 3 == target);
+        for hk in &chained {
+            d.get_or_insert(hk);
+        }
+        for i in 0..512u32 {
+            d.get_or_insert(&(0x4000_0000 + i).to_le_bytes());
+        }
+        assert!(d.grow_count() >= 4, "expected several doublings");
+        for hk in &chained {
+            assert!(d.get(hk).is_some(), "displaced key lost across grows");
+        }
+        assert_eq!(d.shard_count(), chained.len() + 512);
+        assert_eq!(d.shards_sorted().len(), chained.len() + 512);
+        hart_ebr::flush_for_tests();
+    }
+
+    /// A fingerprint collision between distinct keys must fall through to
+    /// the full key compare: the colliding absent key reads as absent, and
+    /// both keys coexist after insertion. The bucket is pre-filled past
+    /// `FP_SCAN_MIN` so the probe really takes the filtered path (shorter
+    /// chains compare keys directly and never consult fingerprints).
+    #[test]
+    fn fingerprint_collision_falls_through_to_key_compare() {
+        let d = fixed(16);
+        // Filler sharing the home bucket but not the 0xAB fingerprint, so
+        // any false-present can only come from the a/b collision.
+        for f in colliding_keys(&d, FP_SCAN_MIN + 2, |h| {
+            h & 15 == 3 && fingerprint(h) != 0xAB
+        }) {
+            d.get_or_insert(&f);
+        }
+        // Two distinct keys sharing home bucket AND fingerprint byte.
+        let a = colliding_keys(&d, 1, |h| h & 15 == 3 && fingerprint(h) == 0xAB)[0];
+        let b = colliding_keys(&d, 2, |h| h & 15 == 3 && fingerprint(h) == 0xAB)[1];
+        assert_ne!(a, b);
+        let sa = d.get_or_insert(&a);
+        assert!(
+            d.get(&b).is_none(),
+            "fingerprint collision reported a false present"
+        );
+        let sb = d.get_or_insert(&b);
+        assert!(!Arc::ptr_eq(&sa, &sb));
+        assert!(Arc::ptr_eq(&d.get(&a).unwrap(), &sa));
+        assert!(Arc::ptr_eq(&d.get(&b).unwrap(), &sb));
+    }
+
+    /// Kill-switch equivalence at the directory level: identical seed and
+    /// operation sequence, identical observable state with fingerprint
+    /// probes on and off.
+    #[test]
+    fn full_key_probe_kill_switch_is_equivalent() {
+        let fp = Directory::with_seed(4, 1, true, false, 42);
+        let full = Directory::with_seed(4, 1, true, true, 42);
+        for i in 0..300u16 {
+            fp.get_or_insert(&i.to_le_bytes());
+            full.get_or_insert(&i.to_le_bytes());
+        }
+        for i in (0..300u16).step_by(3) {
+            assert_eq!(
+                fp.remove_if_empty(&i.to_le_bytes()),
+                full.remove_if_empty(&i.to_le_bytes()),
+                "unlink outcome diverged at {i}"
+            );
+        }
+        assert_eq!(fp.shard_count(), full.shard_count());
+        assert_eq!(fp.bucket_count(), full.bucket_count());
+        assert_eq!(fp.grow_count(), full.grow_count());
+        for i in 0..300u16 {
+            assert_eq!(
+                fp.get(&i.to_le_bytes()).is_some(),
+                full.get(&i.to_le_bytes()).is_some(),
+                "presence diverged at {i}"
+            );
+        }
+        let a: Vec<InlineKey> = fp.shards_sorted().into_iter().map(|(k, _)| k).collect();
+        let b: Vec<InlineKey> = full.shards_sorted().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(a, b);
+        hart_ebr::flush_for_tests();
+    }
+
+    /// Satellite regression: a get that keeps losing the miss-revalidation
+    /// race falls back to the resize-locked probe instead of spinning.
+    /// Unit-level: the fallback itself must agree with `get` on presence
+    /// and identity, including for stashed keys.
+    #[test]
+    fn resize_locked_probe_agrees_with_get() {
+        let d = Directory::with_seed(4, 1_000_000, true, false, 7);
+        let target = d.hash(&0u32.to_le_bytes()) & 3;
+        let chained = colliding_keys(&d, BUCKET_CAP + 4, |h| h & 3 == target);
+        let shards: Vec<_> = chained.iter().map(|hk| d.get_or_insert(hk)).collect();
+        for (hk, s) in chained.iter().zip(&shards) {
+            let h = d.hash(hk);
+            let got = d.get_resize_locked(h, hk).expect("fallback lost key");
+            assert!(Arc::ptr_eq(&got, s));
+        }
+        let absent = colliding_keys(&d, BUCKET_CAP * 2, |h| h & 3 == target)
+            .into_iter()
+            .find(|k| !chained.contains(k))
+            .unwrap();
+        assert!(d.get_resize_locked(d.hash(&absent), &absent).is_none());
+    }
+
+    /// Satellite stress: absent-key gets under a sustained grow storm must
+    /// terminate (the MISS_RETRY_LIMIT fallback) and never report a
+    /// continuously-present key absent.
+    #[test]
+    fn bounded_get_terminates_under_grow_storm() {
+        let d = Arc::new(resizing(4));
+        let stable: Vec<[u8; 2]> = (0..32u16).map(|i| i.to_le_bytes()).collect();
+        for hk in &stable {
+            d.get_or_insert(hk);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 1000u32 + t as u32 * 1_000_000;
+                    while !stop.load(Ordering::Relaxed) {
+                        d.get_or_insert(&i.to_le_bytes()[..2]);
+                        d.get_or_insert(&i.to_le_bytes());
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                let stable = stable.clone();
+                s.spawn(move || {
+                    let mut miss = 0xF00Du32;
+                    while !stop.load(Ordering::Relaxed) {
+                        for hk in &stable {
+                            assert!(d.get(hk).is_some(), "false absent under storm");
+                        }
+                        // Absent keys: must return (bounded), not spin.
+                        assert!(d.get(&miss.to_le_bytes()[..3]).is_none());
+                        miss = miss.wrapping_add(1);
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            stop.store(true, Ordering::Relaxed);
+        });
+        hart_ebr::flush_for_tests();
+    }
+
+    /// Satellite: `entries` bookkeeping stays exact — after a concurrent
+    /// insert/remove storm, the counter equals both the number of live
+    /// shards the snapshot sees and the number of present keys.
+    #[test]
+    fn entries_counter_stays_exact_after_concurrent_storm() {
+        let d = Arc::new(resizing(4));
+        let n_threads = 4u32;
+        let per = 256u32;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let hk = (t * per + i).to_le_bytes();
+                        d.get_or_insert(&hk);
+                        if i % 2 == 0 {
+                            assert!(d.remove_if_empty(&hk), "own empty shard must unlink");
+                        }
+                        // Churn: re-insert a neighbor's parity-odd key;
+                        // idempotent, so the count stays predictable.
+                        let other = ((t ^ 1) * per + (i | 1)).to_le_bytes();
+                        d.get_or_insert(&other);
+                    }
+                });
+            }
+        });
+        let expect = (n_threads * per / 2) as usize;
+        assert_eq!(d.shard_count(), expect, "entries counter drifted");
+        assert_eq!(
+            d.shards_sorted().len(),
+            expect,
+            "snapshot and counter disagree"
+        );
+        let mut present = 0usize;
+        for x in 0..(n_threads * per) {
+            if d.get(&x.to_le_bytes()).is_some() {
+                present += 1;
+            }
+        }
+        assert_eq!(present, expect);
+        hart_ebr::flush_for_tests();
     }
 
     /// Regression (REVIEW.md): a table drained entirely by *targeted*

@@ -41,6 +41,7 @@ impl Hart {
             cfg.initial_buckets,
             cfg.resize_threshold,
             cfg.optimistic_reads,
+            cfg.full_key_probes,
         );
         dir.set_recorder(obs.clone());
         Ok(Hart {
@@ -64,6 +65,7 @@ impl Hart {
             cfg.initial_buckets,
             cfg.resize_threshold,
             cfg.optimistic_reads,
+            cfg.full_key_probes,
         );
         dir.set_recorder(obs.clone());
         let hart = Hart {
@@ -103,6 +105,7 @@ impl Hart {
             cfg.initial_buckets,
             cfg.resize_threshold,
             cfg.optimistic_reads,
+            cfg.full_key_probes,
         );
         dir.set_recorder(obs.clone());
         let hart = Hart {

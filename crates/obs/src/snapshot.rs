@@ -102,6 +102,15 @@ pub struct DirSection {
     pub migration_in_progress: bool,
     pub buckets: u64,
     pub shards: u64,
+    /// Probe fingerprint matches (each followed by a full key compare).
+    pub fp_hits: u64,
+    /// Fingerprint matches whose key compare failed (pre-filter false
+    /// positives).
+    pub fp_false_positives: u64,
+    /// Probes that consulted a stash region (overflow bit set).
+    pub stash_probes: u64,
+    /// Entries displaced into a stash region (home bucket at capacity).
+    pub stash_spills: u64,
 }
 
 /// Epoch-based reclamation backlog.
@@ -300,6 +309,13 @@ impl ObsSnapshot {
                     ),
                     ("buckets".into(), Json::u64(self.dir.buckets)),
                     ("shards".into(), Json::u64(self.dir.shards)),
+                    ("fp_hits".into(), Json::u64(self.dir.fp_hits)),
+                    (
+                        "fp_false_positives".into(),
+                        Json::u64(self.dir.fp_false_positives),
+                    ),
+                    ("stash_probes".into(), Json::u64(self.dir.stash_probes)),
+                    ("stash_spills".into(), Json::u64(self.dir.stash_spills)),
                 ]),
             ),
             (
@@ -488,6 +504,10 @@ impl ObsSnapshot {
                 migration_in_progress: b(&dir, "migration_in_progress")?,
                 buckets: u(&dir, "buckets")?,
                 shards: u(&dir, "shards")?,
+                fp_hits: u(&dir, "fp_hits")?,
+                fp_false_positives: u(&dir, "fp_false_positives")?,
+                stash_probes: u(&dir, "stash_probes")?,
+                stash_spills: u(&dir, "stash_spills")?,
             },
             ebr: EbrSection {
                 pending_garbage: u(&ebr, "pending_garbage")?,
@@ -618,6 +638,13 @@ impl ObsSnapshot {
                 self.dir.migrations_finished,
             ),
             ("hart_dir_migration_ns_total", self.dir.migration_ns_total),
+            ("hart_dir_fp_hits_total", self.dir.fp_hits),
+            (
+                "hart_dir_fp_false_positives_total",
+                self.dir.fp_false_positives,
+            ),
+            ("hart_dir_stash_probes_total", self.dir.stash_probes),
+            ("hart_dir_stash_spills_total", self.dir.stash_spills),
             ("hart_alloc_allocs_total", self.alloc.allocs),
             ("hart_alloc_commits_total", self.alloc.commits),
             ("hart_alloc_retires_total", self.alloc.retires),
@@ -770,6 +797,10 @@ mod tests {
                 migration_in_progress: true,
                 buckets: next(),
                 shards: next(),
+                fp_hits: next(),
+                fp_false_positives: next(),
+                stash_probes: next(),
+                stash_spills: next(),
             },
             ebr: EbrSection {
                 pending_garbage: next(),

@@ -163,7 +163,7 @@ const ACQ_PATTERNS: &[AcqPat] = &[
     AcqPat {
         class: 2, // BUCKET_ENTRIES
         file: Some("dir.rs"),
-        field: Some("entries"),
+        field: Some("table"),
         methods: RW_METHODS,
     },
     AcqPat {
@@ -669,7 +669,7 @@ mod tests {
     #[test]
     fn binding_extraction() {
         assert_eq!(
-            binding_before("        let mut g = bucket.entries.write();", 28).as_deref(),
+            binding_before("        let mut g = bucket.table.write();", 26).as_deref(),
             Some("g")
         );
         assert_eq!(

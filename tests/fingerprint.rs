@@ -1,0 +1,215 @@
+//! Fingerprint-probe equivalence battery (DESIGN.md §Resizing).
+//!
+//! The directory's fingerprint filter and stash region change only *how*
+//! bucket probes run, never what they find. This suite proves it from the
+//! outside: two trees with identical configs except
+//! `HartConfig::full_key_probes` are driven through the same seeded
+//! workload — inserts, updates, removes, point lookups and ordered scans,
+//! across forced directory doublings — and every observable answer must
+//! match exactly. A second battery checks the new observability counters
+//! actually account for the probes.
+//!
+//! Run with `HART_FORCE_SCALAR=1` to pin the fingerprint scan to the
+//! scalar fallback (the CI fingerprint-suite job does both); the SIMD and
+//! scalar paths are separately proven bit-identical in `hart-art`'s simd
+//! tests.
+
+use hart_suite::{Hart, HartConfig, Key, PersistentIndex, PmemPool, PoolConfig, Value};
+use std::sync::Arc;
+
+fn build(cfg: HartConfig) -> Arc<Hart> {
+    let pool = Arc::new(PmemPool::new(PoolConfig {
+        size_bytes: 128 << 20,
+        alloc_overhead_ns: 0,
+        ..PoolConfig::test_small()
+    }));
+    Arc::new(Hart::create(pool, cfg).unwrap())
+}
+
+/// Tiny deterministic PRNG (same idiom as `tests/resize.rs`).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+const N_PREFIXES: u64 = 192;
+const KEYS_PER_PREFIX: u64 = 4;
+const N_KEYS: u64 = N_PREFIXES * KEYS_PER_PREFIX;
+
+fn key_of(kid: u64) -> Key {
+    let p = kid / KEYS_PER_PREFIX;
+    let a = (b'A' + (p / 26) as u8) as char;
+    let b = (b'A' + (p % 26) as u8) as char;
+    Key::from_str(&format!("{a}{b}{:03}", kid % KEYS_PER_PREFIX)).unwrap()
+}
+
+fn value_of(x: u64) -> Value {
+    Value::new(&x.to_le_bytes()).unwrap()
+}
+
+/// Drive `h` through one seeded op mix; return a digest of every
+/// observable answer so two runs can be compared wholesale.
+fn drive(h: &Hart, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift(seed);
+    let mut digest = Vec::new();
+    for round in 0..4 {
+        // Insert/update/remove churn.
+        for _ in 0..N_KEYS {
+            let kid = rng.next() % N_KEYS;
+            let k = key_of(kid);
+            match rng.next() % 4 {
+                0 => {
+                    let removed = h.remove(&k).unwrap();
+                    digest.push(removed as u64);
+                }
+                _ => {
+                    h.insert(&k, &value_of(kid * 31 + round)).unwrap();
+                    digest.push(u64::MAX);
+                }
+            }
+        }
+        // Every key probed, hit or miss.
+        for kid in 0..N_KEYS {
+            match h.search(&key_of(kid)).unwrap() {
+                Some(v) => {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&v.as_slice()[..8]);
+                    digest.push(u64::from_le_bytes(b));
+                }
+                None => digest.push(0),
+            }
+        }
+        // Ordered scans cross every shard the directory knows about.
+        let lo = key_of(rng.next() % N_KEYS);
+        let hi = key_of(rng.next() % N_KEYS);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        for (k, v) in h.ordered_range(&lo, &hi).unwrap() {
+            digest.push(k.as_slice().iter().map(|&b| b as u64).sum());
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&v.as_slice()[..8]);
+            digest.push(u64::from_le_bytes(b));
+        }
+    }
+    digest
+}
+
+/// The tentpole equivalence proof: fingerprint probes on vs the
+/// `full_key_probes` kill-switch, identical op stream, identical answers
+/// — while the 8-bucket directory is forced through several doublings, so
+/// the equivalence covers migration, stash drains and both probe paths.
+#[test]
+fn kill_switch_equivalence_across_resizes() {
+    let base = HartConfig {
+        initial_buckets: 8,
+        resize_threshold: 1,
+        ..HartConfig::default()
+    };
+    let fp = build(base);
+    let full = build(HartConfig {
+        full_key_probes: true,
+        ..base
+    });
+    assert!(!fp.config().full_key_probes);
+    assert!(full.config().full_key_probes);
+    for seed in 1..=3u64 {
+        assert_eq!(
+            drive(&fp, seed),
+            drive(&full, seed),
+            "fingerprint and full-key probes diverged (seed {seed})"
+        );
+    }
+    assert!(fp.hash_resize_count() >= 4, "battery must force doublings");
+    assert_eq!(fp.hash_resize_count(), full.hash_resize_count());
+    assert_eq!(fp.art_count(), full.art_count());
+    assert_eq!(fp.hash_bucket_count(), full.hash_bucket_count());
+}
+
+/// Same proof under the locked-reads ablation (no EBR, graveyard
+/// retirement): the probe strategy must be orthogonal to the read path.
+#[test]
+fn kill_switch_equivalence_with_locked_reads() {
+    let base = HartConfig {
+        initial_buckets: 8,
+        resize_threshold: 1,
+        ..HartConfig::with_locked_reads()
+    };
+    let fp = build(base);
+    let full = build(HartConfig {
+        full_key_probes: true,
+        ..base
+    });
+    assert_eq!(
+        drive(&fp, 7),
+        drive(&full, 7),
+        "probe strategies diverged under locked reads"
+    );
+    assert!(fp.hash_resize_count() >= 4);
+}
+
+/// The fingerprint counters must account for real probe work: hits at
+/// least one per successful lookup, and stash probes appearing once
+/// chains are forced past the home-bucket cap.
+#[test]
+fn fingerprint_counters_account_for_probes() {
+    // 2 buckets, resizing off: every prefix chains into two home buckets,
+    // far past the cap, so the stash must absorb the tail.
+    let h = build(HartConfig {
+        initial_buckets: 2,
+        resize_threshold: 0,
+        ..HartConfig::default()
+    });
+    for kid in 0..N_KEYS {
+        h.insert(&key_of(kid), &value_of(kid)).unwrap();
+    }
+    for kid in 0..N_KEYS {
+        assert!(h.search(&key_of(kid)).unwrap().is_some());
+    }
+    let snap = h.obs_snapshot();
+    assert!(
+        snap.dir.fp_hits >= N_KEYS,
+        "every successful probe ends in a fingerprint hit (got {})",
+        snap.dir.fp_hits
+    );
+    assert!(
+        snap.dir.stash_spills > 0,
+        "192 prefixes over 2 capped buckets must spill"
+    );
+    assert!(
+        snap.dir.stash_probes > 0,
+        "displaced keys must be found via stash probes"
+    );
+    // False positives are possible but bounded: each is one wasted key
+    // compare, and the filter would be pointless if they dominated hits.
+    assert!(
+        snap.dir.fp_false_positives < snap.dir.fp_hits,
+        "false positives ({}) should not dominate hits ({})",
+        snap.dir.fp_false_positives,
+        snap.dir.fp_hits
+    );
+}
+
+/// With the kill-switch on, the fingerprint counters stay silent — the
+/// filter is really bypassed, not just ignored.
+#[test]
+fn kill_switch_silences_fingerprint_counters() {
+    let h = build(HartConfig {
+        initial_buckets: 2,
+        resize_threshold: 0,
+        ..HartConfig::with_full_key_probes()
+    });
+    for kid in 0..256 {
+        h.insert(&key_of(kid), &value_of(kid)).unwrap();
+        assert!(h.search(&key_of(kid)).unwrap().is_some());
+    }
+    let snap = h.obs_snapshot();
+    assert_eq!(snap.dir.fp_hits, 0, "kill-switch must bypass the filter");
+    assert_eq!(snap.dir.fp_false_positives, 0);
+}

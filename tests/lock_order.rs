@@ -31,7 +31,7 @@ fn seeded_rank_inversion_is_rejected() {
     let src = "\
 impl Bucket {
     fn bad_nested(&self, dir: &Directory) {
-        let g = self.entries.write();
+        let g = self.table.write();
         let r = dir.resize.lock();
         drop(r);
         drop(g);
@@ -56,7 +56,7 @@ fn hierarchy_order_nesting_is_accepted() {
 impl Directory {
     fn good_nested(&self, bucket: &Bucket) {
         let r = self.resize.lock();
-        let g = bucket.entries.write();
+        let g = bucket.table.write();
         drop(g);
         drop(r);
     }
@@ -74,7 +74,7 @@ fn try_acquisition_is_exempt_from_r5() {
     let src = "\
 impl Bucket {
     fn try_nested(&self, dir: &Directory) {
-        let g = self.entries.write();
+        let g = self.table.write();
         if let Some(r) = dir.resize.try_lock() {
             drop(r);
         }
@@ -92,8 +92,8 @@ fn chained_same_rank_nesting_is_accepted() {
     let src = "\
 impl Directory {
     fn migrate(&self, old: &Bucket, cur: &Bucket) {
-        let a = old.entries.write();
-        let b = cur.entries.write();
+        let a = old.table.write();
+        let b = cur.table.write();
         drop(b);
         drop(a);
     }
