@@ -49,10 +49,19 @@ fn vector_enabled() -> bool {
     }
 }
 
+/// The `HART_FORCE_SCALAR` environment override: set and neither empty
+/// nor `"0"`. Parsed once per process so the dispatch path and the
+/// self-test cannot drift on what counts as "set".
+pub fn env_forces_scalar() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var_os("HART_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
 #[cold]
 fn init_mode() -> bool {
-    let forced = std::env::var_os("HART_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
-    let on = HAVE_VECTOR && !forced;
+    let on = HAVE_VECTOR && !env_forces_scalar();
     MODE.store(
         if on { MODE_VECTOR } else { MODE_SCALAR },
         Ordering::Relaxed,
@@ -514,9 +523,7 @@ mod tests {
         force_scalar(false);
         // Restoring re-applies the environment override, so the suite can
         // run wholesale under HART_FORCE_SCALAR=1.
-        let env_forced =
-            std::env::var_os("HART_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
-        assert_eq!(vector_active(), HAVE_VECTOR && !env_forced);
+        assert_eq!(vector_active(), HAVE_VECTOR && !env_forces_scalar());
         assert_eq!(find_key16(&keys, 16, 9), Some(3));
     }
 }

@@ -187,6 +187,7 @@ impl Shard {
     /// optimistic traversal. Dereference only under an [`hart_ebr`] pin and
     /// the copy-validate discipline of `hart_art::search_raw`.
     pub fn inner_ptr(&self) -> *const ShardInner {
+        // pmlint: guarded-ok(the audited raw door for optimistic reads: callers pin and copy-validate against the seqlock version, never dereference unguarded)
         self.inner.data_ptr()
     }
 }
@@ -785,6 +786,7 @@ impl Directory {
         // tear it, which the version re-check below detects before the
         // copy is dereferenced.
         let table_mu: MaybeUninit<BucketTable> =
+            // pmlint: guarded-ok(the audited raw probe door: the volatile copy is validated against the bucket seqlock version before any field is trusted)
             ptr::read_volatile(bucket.table.data_ptr() as *const MaybeUninit<BucketTable>);
         fence(Ordering::Acquire);
         if bucket.version.load(Ordering::Relaxed) != v0 {

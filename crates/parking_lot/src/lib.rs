@@ -43,6 +43,14 @@ use std::sync;
 /// Canonical lock ranks (DESIGN.md §8). `pmlint`'s `LOCK_ORDER` table
 /// mirrors these; its self-test asserts the two stay in sync. Gaps are
 /// left for future classes.
+///
+/// These classes are also the vocabulary of pmlint's R10 `guarded-by`
+/// table (`crates/pmlint/src/racer.rs`): each `GUARDED_BY` entry names
+/// which of these classes must be held to touch a shared field, so a
+/// new ranked lock usually lands in three places at once — a rank here,
+/// an acquisition pattern in `locks.rs`, and the fields it covers in
+/// `racer.rs` (the pattern-liveness selftest fails if any of the three
+/// goes stale).
 pub mod rank {
     /// `Directory.scan_cache` — generation-stamped sorted-shard list for
     /// ordered scans; never held across another acquisition (the list is

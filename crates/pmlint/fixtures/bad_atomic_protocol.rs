@@ -1,0 +1,42 @@
+//! Seeded R11 `atomic-protocol` violations. The selftest lints this file
+//! under a `crates/server/src/` label (R11 declarations are scoped by
+//! crate); under its real fixture path it must stay quiet — the pmlint
+//! crate is outside R11 scope (scope-negative).
+//!
+//! Expected findings (under the server label):
+//! * `ready` — an atomic field declaration with no protocol class in the
+//!   ATOMIC_PROTOCOLS table.
+//! * `shutdown_racy` — a `Relaxed` store on `stop`, whose declared class
+//!   (sticky-flag) demands at least Release.
+//!
+//! Quiet by design: the SeqCst store, the waived Relaxed store, the
+//! Acquire observation, and the relaxed-by-declaration counter bump.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Lagging {
+    ready: AtomicBool,
+}
+
+impl Worker {
+    fn shutdown_racy(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn shutdown_waived(&self) {
+        // pmlint: atomic-ok(fixture: join() below provides the happens-before edge this store needs)
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn observe(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn admit(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -112,7 +112,7 @@ pub(crate) struct FnFacts {
 
 /// Last line of a function's signature: the first line whose end-of-line
 /// brace depth exceeds the depth just before the definition started.
-fn fn_header_end(f: &FileLex, span: &FnSpan) -> usize {
+pub(crate) fn fn_header_end(f: &FileLex, span: &FnSpan) -> usize {
     let base = f.st.depth_end[span.start - 1];
     for l in span.start..=span.end.min(f.st.depth_end.len() - 1) {
         if f.st.depth_end[l] > base {

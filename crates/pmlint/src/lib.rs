@@ -58,15 +58,35 @@
 //!   `complete`/`flush_batches`/persist covers its deferred-persist
 //!   sequence; `complete()` fuse failures must nack and `flush_batches`
 //!   ok-counts must be consumed. Waiver: `// pmlint: ack-ok(<reason>)`.
+//! * **R10 `guarded-by`** — (v4, lock-set; see [`racer`]) accesses to
+//!   shared fields of the registered concurrent types must happen with a
+//!   covering lock from the declarative [`racer`] `GUARDED_BY` table
+//!   held — directly, via a guard-typed parameter, or in every non-test
+//!   caller (bounded-depth call-graph walk). Lock-wrapped fields may only
+//!   be touched through their lock methods, and stash-bucket write locks
+//!   require a still-held home-bucket guard.
+//!   Waiver: `// pmlint: guarded-ok(<reason>)`.
+//! * **R11 `atomic-protocol`** — (v4) every atomic field in the
+//!   workspace declares a protocol class (`counter-relaxed-ok`,
+//!   `release-publish`, `seqlock-version`, `sticky-flag`, `seqcst-sync`)
+//!   in the [`racer`] `ATOMIC_PROTOCOLS` table; each load/store/RMW site
+//!   must meet its class's minimum ordering, and an *undeclared* atomic
+//!   field declaration is itself a finding.
+//!   Waiver: `// pmlint: atomic-ok(<reason>)`.
 //!
 //! Waived findings are not silently dropped: they are collected in
 //! [`Report::waived`] so CI can enforce a no-new-waivers budget
-//! (`pmlint --max-waivers N`, exit code 2 when exceeded).
+//! (`pmlint --max-waivers N`, exit code 2 when exceeded). Declaration
+//! tables additionally self-audit: [`Report::liveness`] counts matched
+//! sites per table entry, and the CLI / workspace selftest fail when any
+//! entry matches zero sites (a rename must retune the table, not
+//! silently blind a rule).
 
 pub mod graph;
 pub mod guards;
 pub mod lexer;
 pub mod locks;
+pub mod racer;
 pub mod structure;
 
 use graph::{FileLex, FnId, Workspace};
@@ -77,7 +97,7 @@ use std::path::{Path, PathBuf};
 
 /// Audited seqlock/migration helpers allowed to use `Ordering::Relaxed`
 /// (each pairs the load with an `Acquire` fence or is a pure stat).
-const RELAXED_ALLOWLIST_FNS: &[&str] = &[
+pub(crate) const RELAXED_ALLOWLIST_FNS: &[&str] = &[
     "validate",
     "probe_raw",
     "snapshot_bucket_raw",
@@ -85,13 +105,14 @@ const RELAXED_ALLOWLIST_FNS: &[&str] = &[
 ];
 
 /// Files whose allowlisted helpers may use `Relaxed` on guarded atomics.
-const RELAXED_ALLOWLIST_FILES: &[&str] = &["dir.rs", "optimistic.rs"];
+pub(crate) const RELAXED_ALLOWLIST_FILES: &[&str] = &["dir.rs", "optimistic.rs"];
 
 /// Calls that read a `PmPtr` out of PM (rule R4's cache sources).
 const PMPTR_READS: &[&str] = &["leaf_read_pvalue(", "read::<PmPtr>", "read_pvalue("];
 
-/// Max caller-chain depth for interprocedural persist coverage.
-const CALLER_DEPTH: usize = 4;
+/// Max caller-chain depth for interprocedural coverage walks (R1 persist
+/// coverage and R10 caller-held lock propagation).
+pub(crate) const CALLER_DEPTH: usize = 4;
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +157,19 @@ pub(crate) fn push_finding(
     }
 }
 
+/// One declaration-table liveness row: how many workspace sites matched
+/// a pattern/declaration. A row with `hits == 0` means the table entry
+/// is dead — usually a rename silently blinded the rule.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// The declaration table the row belongs to (e.g. `ACQ_PATTERNS`).
+    pub table: &'static str,
+    /// Human-readable entry key.
+    pub key: String,
+    /// Matched sites (or declaration lines) in the analyzed sources.
+    pub hits: usize,
+}
+
 /// Full analysis result for a set of sources.
 pub struct Report {
     /// Files scanned.
@@ -147,6 +181,11 @@ pub struct Report {
     pub lock_edges: Vec<locks::LockEdge>,
     /// Observed `try_*` edges: deadlock-exempt, reported for audit.
     pub try_edges: Vec<locks::LockEdge>,
+    /// Per-declaration-table-entry match counts. Only meaningful for
+    /// whole-workspace runs — enforced by the CLI and the workspace
+    /// selftest, never by [`analyze_sources`] itself (single-file
+    /// fixture lints legitimately miss most patterns).
+    pub liveness: Vec<Liveness>,
 }
 
 /// R1: persist coverage of PM write call sites (non-test code only),
@@ -441,6 +480,8 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Report {
     let (lock_edges, try_edges) = locks::rule_lock_order(&ws, &mut out);
     locks::rule_fence_pairing(&ws, &mut out);
     guards::run(&ws, &mut out);
+    let mut liveness = locks::acq_liveness(&ws);
+    liveness.extend(racer::run(&ws, &mut out));
     let mut violations = out.violations;
     let mut waived = out.waived;
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -451,6 +492,7 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Report {
         waived,
         lock_edges,
         try_edges,
+        liveness,
     }
 }
 

@@ -212,14 +212,14 @@ const ACQ_PATTERNS: &[AcqPat] = &[
 
 /// A classified acquisition site.
 #[derive(Debug, Clone)]
-struct Acq {
-    line: usize,
-    col: usize,
-    class: usize,
-    is_try: bool,
+pub(crate) struct Acq {
+    pub(crate) line: usize,
+    pub(crate) col: usize,
+    pub(crate) class: usize,
+    pub(crate) is_try: bool,
     /// Lexical hold range (line numbers, inclusive), for guard-bound
     /// acquisitions; a temporary holds only its own line.
-    hold_to: usize,
+    pub(crate) hold_to: usize,
 }
 
 /// An observed lock-order edge (reported in the JSON summary).
@@ -234,7 +234,14 @@ pub struct LockEdge {
 
 /// Classify one dotted call as a lock acquisition.
 pub(crate) fn classify(file_name: &str, field: &str, method: &str) -> Option<(usize, bool)> {
-    for p in ACQ_PATTERNS {
+    classify_pattern(file_name, field, method)
+        .map(|pi| (ACQ_PATTERNS[pi].class, method.starts_with("try_")))
+}
+
+/// Index of the first `ACQ_PATTERNS` entry matching a dotted call, if any
+/// — the per-pattern view `classify` and the liveness audit share.
+fn classify_pattern(file_name: &str, field: &str, method: &str) -> Option<usize> {
+    for (pi, p) in ACQ_PATTERNS.iter().enumerate() {
         if let Some(f) = p.file {
             if f != file_name {
                 continue;
@@ -248,9 +255,47 @@ pub(crate) fn classify(file_name: &str, field: &str, method: &str) -> Option<(us
         if !p.methods.contains(&method) {
             continue;
         }
-        return Some((p.class, method.starts_with("try_")));
+        return Some(pi);
     }
     None
+}
+
+/// Per-`ACQ_PATTERNS` site counts over the workspace. A pattern with zero
+/// hits is dead — typically a field rename silently blinded the rule (the
+/// PR-9 `entries`→`table` retune) — and fails the liveness gate in `main`
+/// and the `pattern_liveness_all_alive` selftest.
+pub(crate) fn acq_liveness(ws: &Workspace) -> Vec<crate::Liveness> {
+    let mut hits = vec![0usize; ACQ_PATTERNS.len()];
+    for f in &ws.files {
+        let file_name = f.file_name().to_string();
+        for line in &f.lines {
+            for rc in scan_calls(&line.code) {
+                let field = match &rc.kind {
+                    crate::graph::CallKind::Dotted { receiver } => receiver_field(receiver),
+                    crate::graph::CallKind::SelfDot => String::new(),
+                    _ => continue,
+                };
+                if let Some(pi) = classify_pattern(&file_name, &field, &rc.name) {
+                    hits[pi] += 1;
+                }
+            }
+        }
+    }
+    ACQ_PATTERNS
+        .iter()
+        .zip(hits)
+        .map(|(p, h)| crate::Liveness {
+            table: "ACQ_PATTERNS",
+            key: format!(
+                "{} file={} field={} methods={:?}",
+                LOCK_ORDER[p.class].name,
+                p.file.unwrap_or("*"),
+                p.field.unwrap_or("*"),
+                p.methods
+            ),
+            hits: h,
+        })
+        .collect()
 }
 
 /// Find the binding identifier of `let [mut] g = …` / `let Some([mut] g) =
@@ -288,9 +333,22 @@ pub(crate) fn hold_end(
     fn_end: usize,
 ) -> usize {
     let f = &ws.files[file];
-    let depth_here = f.st.depth_end[line];
+    let mut depth_here = f.st.depth_end[line];
+    let mut scan_from = line + 1;
+    if f.lines[line - 1].code.trim_end().ends_with("else {") {
+        // `let Some(g) = ….lock() else { … };` — the binding lives in the
+        // *enclosing* scope; the diverging else block closes first. Skip
+        // past it and track the outer depth.
+        for l in line + 1..=fn_end {
+            if f.st.depth_end[l] < depth_here {
+                scan_from = l + 1;
+                depth_here = f.st.depth_end[l];
+                break;
+            }
+        }
+    }
     let mut end = fn_end;
-    for l in line + 1..=fn_end {
+    for l in scan_from..=fn_end {
         if let Some(b) = binding {
             let pat = format!("drop({b})");
             if f.lines[l - 1].code.contains(&pat) {
@@ -317,7 +375,7 @@ pub(crate) struct LockSets {
 }
 
 /// Direct classified acquisitions in one function.
-fn direct_acqs(ws: &Workspace, file: usize, fn_idx: usize) -> Vec<Acq> {
+pub(crate) fn direct_acqs(ws: &Workspace, file: usize, fn_idx: usize) -> Vec<Acq> {
     let f = &ws.files[file];
     let span = &f.st.fns[fn_idx];
     let file_name = f.file_name().to_string();

@@ -1,5 +1,5 @@
 //! `cargo run -p pmlint` — lint the workspace for persistence-ordering and
-//! concurrency discipline (rules R1–R9; see DESIGN.md §Verification and
+//! concurrency discipline (rules R1–R11; see DESIGN.md §Verification and
 //! CONTRIBUTING.md for the rules and the waiver syntax).
 //!
 //! ```text
@@ -9,7 +9,10 @@
 //! Exit codes:
 //!
 //! * `0` — clean: no hard violations, waiver count within budget.
-//! * `1` — hard violations (unwaived rule findings).
+//! * `1` — hard violations (unwaived rule findings), or a dead
+//!   declaration-table entry (an `ACQ_PATTERNS`/`GUARDED_BY`/
+//!   `ATOMIC_PROTOCOLS`/`GUARD_PARAMS` entry matching zero workspace
+//!   sites — a rename silently blinded a rule; retune the table).
 //! * `2` — waiver-only failure: zero hard violations, but the number of
 //!   waived findings exceeds `--max-waivers` (the CI no-new-waivers
 //!   budget).
@@ -117,18 +120,34 @@ fn rule_counts_json(vs: &[pmlint::Violation]) -> String {
     format!("{{{}}}", items.join(","))
 }
 
+fn liveness_json(ls: &[pmlint::Liveness]) -> String {
+    let items: Vec<String> = ls
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"table\":\"{}\",\"key\":\"{}\",\"hits\":{}}}",
+                esc(l.table),
+                esc(&l.key),
+                l.hits
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
 fn report_json(r: &pmlint::Report) -> String {
     format!(
         "{{\"files\":{},\"violations\":{},\"waived\":{},\
          \"violation_counts\":{},\"waiver_counts\":{},\
-         \"lock_edges\":{},\"try_edges\":{}}}\n",
+         \"lock_edges\":{},\"try_edges\":{},\"liveness\":{}}}\n",
         r.files,
         violations_json(&r.violations),
         violations_json(&r.waived),
         rule_counts_json(&r.violations),
         rule_counts_json(&r.waived),
         edges_json(&r.lock_edges),
-        edges_json(&r.try_edges)
+        edges_json(&r.try_edges),
+        liveness_json(&r.liveness)
     )
 }
 
@@ -235,6 +254,22 @@ fn main() -> ExitCode {
             eprintln!("pmlint: cannot write {}: {e}", p.display());
             return ExitCode::FAILURE;
         }
+    }
+    let dead: Vec<&pmlint::Liveness> = report.liveness.iter().filter(|l| l.hits == 0).collect();
+    if !dead.is_empty() {
+        for l in &dead {
+            eprintln!(
+                "pattern-liveness: {} entry `{}` matched 0 sites",
+                l.table, l.key
+            );
+        }
+        eprintln!(
+            "pmlint: {} dead declaration-table entr{} — a rename blinded a rule; \
+             retune the table (see CONTRIBUTING.md)",
+            dead.len(),
+            if dead.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::from(1);
     }
     for v in &report.violations {
         eprintln!("{v}");

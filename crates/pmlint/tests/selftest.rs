@@ -218,6 +218,168 @@ fn durable_ack_is_scoped_to_server_sources() {
 }
 
 #[test]
+fn guarded_by_rule_fires() {
+    // R10 rules are scoped by crate/file, so the fixture lints under the
+    // dir.rs label (same trick as the R9 fixture; fixture paths are
+    // outside every rule's scope by design).
+    let (_, src) = fixture("bad_guarded_by.rs");
+    let r = pmlint::analyze_sources(vec![("crates/hart/src/dir.rs".to_string(), src)]);
+    let lines = rule_lines(&r.violations, "guarded-by");
+    assert_eq!(
+        lines.len(),
+        3,
+        "expected unlocked publish + raw door + unguarded stash write, got {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.violations.len(),
+        3,
+        "only guarded-by may fire: {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.waived.iter().filter(|v| v.rule == "guarded-by").count(),
+        1,
+        "the waived recovery-path publish must be reported, not dropped: {:?}",
+        r.waived
+    );
+}
+
+#[test]
+fn guarded_by_is_scoped_to_declared_crates() {
+    // The same source under its real fixture path matches no GUARDED_BY
+    // entry (crate `pmlint` declares none) and must stay quiet.
+    let vs = lint_fixture("bad_guarded_by.rs");
+    assert!(
+        vs.is_empty(),
+        "R10 leaked outside its declared scope: {vs:?}"
+    );
+}
+
+#[test]
+fn atomic_protocol_rule_fires() {
+    let (_, src) = fixture("bad_atomic_protocol.rs");
+    let r = pmlint::analyze_sources(vec![(
+        "crates/server/src/bad_atomic_protocol.rs".to_string(),
+        src,
+    )]);
+    let lines = rule_lines(&r.violations, "atomic-protocol");
+    assert_eq!(
+        lines.len(),
+        2,
+        "expected undeclared `ready` + Relaxed sticky-flag store, got {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.violations.len(),
+        2,
+        "only atomic-protocol may fire: {:?}",
+        r.violations
+    );
+    assert_eq!(
+        r.waived
+            .iter()
+            .filter(|v| v.rule == "atomic-protocol")
+            .count(),
+        1,
+        "the waived Relaxed store must be reported, not dropped: {:?}",
+        r.waived
+    );
+}
+
+#[test]
+fn atomic_protocol_is_scoped_to_workspace_crates() {
+    // Under the real fixture path the crate is `pmlint`, which is outside
+    // R11 scope (the linter's own sources quote atomic idioms in tables
+    // and fixtures) — the same file must stay quiet.
+    let vs = lint_fixture("bad_atomic_protocol.rs");
+    assert!(vs.is_empty(), "R11 leaked outside its scope: {vs:?}");
+}
+
+#[test]
+fn let_else_guard_holds_to_function_end() {
+    // Regression: `let Some(g) = ….try_lock() else { return };` binds the
+    // guard in the *enclosing* scope, but hold-range tracking used to
+    // close it at the diverging else block's `}` — flagging
+    // `finish_migration`'s retirement store as unguarded.
+    let src = "\
+impl Dir {
+    fn finish(&self, next: *mut Table) {
+        let Some(st) = self.resize.try_lock() else {
+            return;
+        };
+        self.old.store(next, Ordering::Release);
+        drop(st);
+    }
+}
+";
+    let vs = pmlint::lint_source("crates/hart/src/dir.rs", src);
+    assert!(
+        rule_lines(&vs, "guarded-by").is_empty(),
+        "let-else guard hold range regressed: {vs:?}"
+    );
+}
+
+#[test]
+fn racer_tables_are_sane() {
+    pmlint::racer::table_sanity().expect("racer declaration tables well-formed");
+}
+
+#[test]
+fn pattern_liveness_all_alive() {
+    // Every declaration-table entry (ACQ_PATTERNS, GUARDED_BY,
+    // ATOMIC_PROTOCOLS, GUARD_PARAMS) must match at least one workspace
+    // site: a rename that kills a pattern must fail here instead of
+    // silently disabling the rule (the PR-9 `entries`→`table` retune
+    // found that failure mode the hard way).
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let r = pmlint::analyze_workspace(&root);
+    assert!(
+        r.liveness.len() > 80,
+        "liveness table looks truncated: {} rows",
+        r.liveness.len()
+    );
+    let dead: Vec<String> = r
+        .liveness
+        .iter()
+        .filter(|l| l.hits == 0)
+        .map(|l| format!("{} entry `{}`", l.table, l.key))
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "{} declaration-table entr(ies) match zero sites — a rename \
+         blinded a rule; retune the table:\n{}",
+        dead.len(),
+        dead.join("\n")
+    );
+}
+
+#[test]
+fn pattern_liveness_reports_dead_entries() {
+    // The gate above only means something if the counters actually reach
+    // zero on non-matching input: lint a trivial source and check every
+    // row reports dead rather than defaulting alive.
+    let r = pmlint::analyze_sources(vec![(
+        "crates/hart/src/lib.rs".to_string(),
+        "fn nothing_here() {}\n".to_string(),
+    )]);
+    assert!(!r.liveness.is_empty(), "liveness rows missing");
+    assert!(
+        r.liveness.iter().all(|l| l.hits == 0),
+        "phantom liveness hits on empty input: {:?}",
+        r.liveness
+            .iter()
+            .filter(|l| l.hits > 0)
+            .map(|l| format!("{}/{}", l.table, l.key))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn byte_raw_string_does_not_hide_a_missing_persist() {
     // Regression fixture: a `b`-prefix-blind lexer lets the embedded quote
     // flip string state — the literal's `persist(…)` text becomes fake

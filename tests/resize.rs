@@ -322,3 +322,79 @@ fn stash_entries_survive_repeated_doublings() {
     assert!(snap.dir.stash_probes > 0, "stash must have served probes");
     h.check_consistency().unwrap();
 }
+
+/// Targeted regression for the disciplines pmlint R10 (`guarded-by`) now
+/// enforces statically on `dir.rs`: old-table retirement — the
+/// `old.store(null)` publish in `finish_migration` — happens under the
+/// resize lock exactly once, no matter how many readers race through
+/// `try_finish` against writers draining via `help_migrate`. A double
+/// retirement would free the old bucket array twice (UB, typically a
+/// crash or torn values); a missed one would pin `migration_in_progress`
+/// forever. Each wave forces fresh doublings while four reader threads
+/// hammer the finish path mid-drain, then drives writer traffic until
+/// the drain completes and the full key space reads back intact.
+#[test]
+fn concurrent_helpers_retire_old_tables_exactly_once() {
+    let h = build(aggressive());
+    let waves = 8u64;
+    let per_wave = N_KEYS / waves;
+    let torn = AtomicU64::new(0);
+    for wave in 0..waves {
+        let lo = wave * per_wave;
+        let hi = lo + per_wave;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (stop, torn) = (&stop, &torn);
+            for t in 0..4u64 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    // Readers race `try_finish` against the drain: every
+                    // lookup that sees a fully-drained old table attempts
+                    // the retirement itself.
+                    let mut rng = XorShift(0xDEAD_0001 ^ (wave << 8) ^ (t + 1));
+                    while !stop.load(Ordering::Relaxed) {
+                        let kid = rng.next() % hi.max(1);
+                        if let Some(v) = h.search(&key_of(kid)).unwrap() {
+                            if decode(&v).is_none() {
+                                torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+            for kid in lo..hi {
+                h.insert(&key_of(kid), &value_of(kid)).unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Drive writer traffic (updates help-migrate on every call) until
+        // the old array drains and some operation retires it. Bounded so a
+        // lost retirement fails loudly instead of hanging the suite.
+        let mut spins = 0u64;
+        while h.hash_migration_in_progress() {
+            let kid = spins % hi.max(1);
+            h.insert(&key_of(kid), &value_of(kid)).unwrap();
+            spins += 1;
+            assert!(
+                spins < 1_000_000,
+                "migration never finished after wave {wave}: a drained old \
+                 table was not retired"
+            );
+        }
+        h.check_consistency().unwrap();
+    }
+    assert_eq!(
+        torn.load(Ordering::Relaxed),
+        0,
+        "reads tore while racing old-table retirement"
+    );
+    assert!(
+        h.hash_resize_count() >= 3,
+        "waves must force doublings, got {}",
+        h.hash_resize_count()
+    );
+    for kid in 0..N_KEYS {
+        let v = h.search(&key_of(kid)).unwrap().expect("present at end");
+        assert_eq!(decode(&v), Some(kid));
+    }
+}
